@@ -1,0 +1,291 @@
+//! The buffer-based (BB) baseline of Huang et al. (SIGCOMM 2014), as the
+//! paper configures it: "bitrate `R_k` is chosen to be the maximum available
+//! bitrate which is less than `r_k = f(B_k)` with reservoir `r = 5 s` and
+//! cushion `c = 10 s`" (Section 7.1.2).
+//!
+//! The rate map `f` is the canonical piecewise-linear shape: pinned at
+//! `R_min` while the buffer is inside the reservoir, rising linearly to
+//! `R_max` across the cushion, and pinned at `R_max` above it. Throughput
+//! information is deliberately ignored — BB is the pure "A2" algorithm of
+//! Figure 4.
+//!
+//! The default follows the paper's configuration literally: the memoryless
+//! map, re-evaluated every chunk. [`BufferBased::bba0`] adds the switching
+//! band from Huang et al.'s full BBA-0 design (hold `R_cur` until `f(B)`
+//! clears the adjacent levels' rates), which eliminates boundary
+//! oscillation at the cost of reacting later to fades — on the volatile
+//! cellular traces the memoryless map's eagerness to downshift is actually
+//! protective, and it is the variant that reproduces the paper's Figure 8b
+//! BB numbers. The `hysteresis_reduces_switching_on_a_sawtooth` test and
+//! the robust-bound ablation document the trade-off.
+
+use abr_core::{BitrateController, ControllerContext, Decision};
+use abr_video::LevelIdx;
+
+/// Buffer-based bitrate selection.
+#[derive(Debug, Clone)]
+pub struct BufferBased {
+    /// Reservoir `r`: below this buffer level, stream at `R_min` (seconds).
+    pub reservoir_secs: f64,
+    /// Cushion `c`: the buffer span over which the rate map climbs from
+    /// `R_min` to `R_max` (seconds).
+    pub cushion_secs: f64,
+    /// Apply BBA-0's switching band (default true).
+    pub hysteresis: bool,
+    current: Option<LevelIdx>,
+}
+
+impl BufferBased {
+    /// The paper's configuration: reservoir 5 s, cushion 10 s, memoryless
+    /// map (the literal Section 7.1.2 description).
+    pub fn paper_default() -> Self {
+        Self::new(5.0, 10.0)
+    }
+
+    /// BB with custom reservoir/cushion (both positive), memoryless map.
+    pub fn new(reservoir_secs: f64, cushion_secs: f64) -> Self {
+        assert!(
+            reservoir_secs >= 0.0 && cushion_secs > 0.0,
+            "reservoir must be non-negative and cushion positive"
+        );
+        Self {
+            reservoir_secs,
+            cushion_secs,
+            hysteresis: false,
+            current: None,
+        }
+    }
+
+    /// Huang et al.'s full BBA-0: the rate map plus the switching band
+    /// (hold until `f(B)` crosses an adjacent level's rate).
+    pub fn bba0(reservoir_secs: f64, cushion_secs: f64) -> Self {
+        Self {
+            hysteresis: true,
+            ..Self::new(reservoir_secs, cushion_secs)
+        }
+    }
+
+    /// The rate map `f(B)` in kbps for a ladder spanning
+    /// `[min_kbps, max_kbps]`.
+    pub fn rate_map(&self, buffer_secs: f64, min_kbps: f64, max_kbps: f64) -> f64 {
+        if buffer_secs <= self.reservoir_secs {
+            min_kbps
+        } else if buffer_secs >= self.reservoir_secs + self.cushion_secs {
+            max_kbps
+        } else {
+            let frac = (buffer_secs - self.reservoir_secs) / self.cushion_secs;
+            min_kbps + frac * (max_kbps - min_kbps)
+        }
+    }
+}
+
+impl BitrateController for BufferBased {
+    fn name(&self) -> &'static str {
+        "BB"
+    }
+
+    fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
+        let ladder = ctx.video.ladder();
+        let target = self.rate_map(ctx.buffer_secs, ladder.min_kbps(), ladder.max_kbps());
+        let mapped = ladder.max_level_at_most(target);
+        let chosen = if !self.hysteresis {
+            mapped
+        } else {
+            let cur = self.current.or(ctx.prev_level);
+            match cur {
+                None => mapped,
+                Some(cur) => {
+                    // BBA-0's band: holding R_cur, switch up only when f(B)
+                    // clears the next level's rate (R+), down only when it
+                    // falls to the next level below (R−). Oscillation of
+                    // f(B) anywhere inside (R−, R+) changes nothing.
+                    let up = ladder.up(cur);
+                    let down = ladder.down(cur);
+                    if up != cur && target >= ladder.kbps(up) {
+                        mapped // f(B) >= R+: jump to what the map allows
+                    } else if down != cur && target <= ladder.kbps(down) {
+                        mapped // f(B) <= R-: fall to what the map allows
+                    } else {
+                        cur // inside the band: hold
+                    }
+                }
+            }
+        };
+        self.current = Some(chosen);
+        Decision::level(chosen)
+    }
+
+    fn reset(&mut self) {
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, Video};
+    use proptest::prelude::*;
+
+    fn ctx(video: &Video, buffer: f64) -> ControllerContext<'_> {
+        ControllerContext {
+            chunk_index: 10,
+            buffer_secs: buffer,
+            prev_level: None,
+            prediction_kbps: Some(9999.0), // must be ignored
+            robust_lower_kbps: None,
+            last_throughput_kbps: None,
+            recent_low_buffer: false,
+            startup: false,
+            video,
+            buffer_max_secs: 30.0,
+        }
+    }
+
+    #[test]
+    fn reservoir_pins_to_min() {
+        let v = envivio_video();
+        let mut bb = BufferBased::paper_default();
+        assert_eq!(bb.decide(&ctx(&v, 0.0)).level, LevelIdx(0));
+        bb.reset();
+        assert_eq!(bb.decide(&ctx(&v, 5.0)).level, LevelIdx(0));
+    }
+
+    #[test]
+    fn above_cushion_pins_to_max() {
+        let v = envivio_video();
+        let mut bb = BufferBased::paper_default();
+        assert_eq!(bb.decide(&ctx(&v, 15.0)).level, LevelIdx(4));
+        bb.reset();
+        assert_eq!(bb.decide(&ctx(&v, 30.0)).level, LevelIdx(4));
+    }
+
+    #[test]
+    fn cushion_interpolates_linearly() {
+        let bb = BufferBased::paper_default();
+        // Midpoint of the cushion: (350 + 3000)/2 = 1675.
+        let mid = bb.rate_map(10.0, 350.0, 3000.0);
+        assert!((mid - 1675.0).abs() < 1e-9);
+        let v = envivio_video();
+        let mut c = BufferBased::paper_default();
+        // First decision (no held rate): 1675 kbps budget -> 1000 kbps.
+        assert_eq!(c.decide(&ctx(&v, 10.0)).level, LevelIdx(2));
+    }
+
+    #[test]
+    fn hysteresis_holds_inside_the_band() {
+        let v = envivio_video();
+        let mut bb = BufferBased::bba0(5.0, 10.0);
+        // Establish 1000 kbps at buffer 10 (f = 1675).
+        assert_eq!(bb.decide(&ctx(&v, 10.0)).level, LevelIdx(2));
+        // Buffer wiggles: f(11.0) = 1940 < R+ = 2000 -> hold.
+        assert_eq!(bb.decide(&ctx(&v, 11.0)).level, LevelIdx(2));
+        // f(11.3) = 2019 >= 2000 -> step up to 2000.
+        assert_eq!(bb.decide(&ctx(&v, 11.3)).level, LevelIdx(3));
+        // f(10.5) = 1808: inside (R- = 1000, R+ = 3000) -> hold at 2000.
+        assert_eq!(bb.decide(&ctx(&v, 10.5)).level, LevelIdx(3));
+        // f(7.0) = 880 <= R- = 1000 -> fall to the map (600 kbps).
+        assert_eq!(bb.decide(&ctx(&v, 7.0)).level, LevelIdx(1));
+    }
+
+    #[test]
+    fn memoryless_variant_tracks_the_map_every_chunk() {
+        let v = envivio_video();
+        let mut bb = BufferBased::new(5.0, 10.0);
+        assert_eq!(bb.decide(&ctx(&v, 10.0)).level, LevelIdx(2));
+        assert_eq!(bb.decide(&ctx(&v, 11.3)).level, LevelIdx(3));
+        assert_eq!(bb.decide(&ctx(&v, 10.0)).level, LevelIdx(2));
+    }
+
+    #[test]
+    fn hysteresis_reduces_switching_on_a_sawtooth() {
+        let v = envivio_video();
+        // A buffer sawtooth crossing the 2000 kbps boundary every step.
+        let buffers = [11.0, 11.4, 11.0, 11.4, 11.0, 11.4, 11.0, 11.4];
+        let count_switches = |mut bb: BufferBased| -> usize {
+            let mut prev = None;
+            let mut switches = 0;
+            for &b in &buffers {
+                let l = bb.decide(&ctx(&v, b)).level;
+                if prev.is_some() && prev != Some(l) {
+                    switches += 1;
+                }
+                prev = Some(l);
+            }
+            switches
+        };
+        let with = count_switches(BufferBased::bba0(5.0, 10.0));
+        let without = count_switches(BufferBased::new(5.0, 10.0));
+        assert!(with < without, "hysteresis {with} vs memoryless {without}");
+        assert!(without >= 6, "the sawtooth should thrash the memoryless map");
+    }
+
+    #[test]
+    fn ignores_throughput_prediction() {
+        let v = envivio_video();
+        let mut bb = BufferBased::paper_default();
+        let mut starved = ctx(&v, 2.0);
+        starved.prediction_kbps = Some(100_000.0);
+        assert_eq!(bb.decide(&starved).level, LevelIdx(0));
+    }
+
+    #[test]
+    fn reset_forgets_held_rate() {
+        let v = envivio_video();
+        let mut bb = BufferBased::paper_default();
+        assert_eq!(bb.decide(&ctx(&v, 30.0)).level, LevelIdx(4));
+        bb.reset();
+        assert_eq!(bb.decide(&ctx(&v, 0.0)).level, LevelIdx(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cushion")]
+    fn rejects_zero_cushion() {
+        let _ = BufferBased::new(5.0, 0.0);
+    }
+
+    proptest! {
+        /// The rate map is monotone in buffer occupancy and bounded by the
+        /// ladder range.
+        #[test]
+        fn rate_map_monotone_and_bounded(
+            b in 0.0f64..30.0,
+            extra in 0.0f64..5.0,
+        ) {
+            let bb = BufferBased::paper_default();
+            let lo = bb.rate_map(b, 350.0, 3000.0);
+            let hi = bb.rate_map(b + extra, 350.0, 3000.0);
+            prop_assert!(hi >= lo - 1e-9);
+            prop_assert!((350.0..=3000.0).contains(&lo));
+        }
+
+        /// A fresh BB's first decision never exceeds what the rate map
+        /// allows.
+        #[test]
+        fn first_level_respects_rate_map(b in 0.0f64..30.0) {
+            let v = envivio_video();
+            let mut bb = BufferBased::paper_default();
+            let level = bb.decide(&ctx(&v, b)).level;
+            let budget = bb.rate_map(b, 350.0, 3000.0);
+            let kbps = v.ladder().kbps(level);
+            prop_assert!(kbps <= budget + 1e-9 || level == LevelIdx(0));
+        }
+
+        /// With hysteresis, consecutive decisions move at most as far as
+        /// the memoryless map would, and holding is always within the band.
+        #[test]
+        fn hysteresis_never_exceeds_map_by_more_than_one_band(
+            b1 in 5.0f64..30.0,
+            b2 in 5.0f64..30.0,
+        ) {
+            let v = envivio_video();
+            let mut bb = BufferBased::bba0(5.0, 10.0);
+            let l1 = bb.decide(&ctx(&v, b1)).level;
+            let l2 = bb.decide(&ctx(&v, b2)).level;
+            // The held level never exceeds the map of the *higher* buffer.
+            let map_hi = v.ladder().max_level_at_most(
+                bb.rate_map(b1.max(b2), 350.0, 3000.0));
+            prop_assert!(l1 <= map_hi);
+            prop_assert!(l2.get() <= map_hi.get() + 1);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! BOLA (Spiteri, Urgaonkar & Sitaraman, INFOCOM 2016) — the
+//! Lyapunov-optimization buffer-based algorithm that, together with MPC,
+//! became the standard ABR baseline in follow-on work (Pensieve, Puffer).
+//! Included as an extension: the paper predates it, but any library in this
+//! space is expected to ship it.
+//!
+//! BOLA-BASIC: with buffer level `Q` measured in chunks, utilities
+//! `v_m = ln(S_m / S_1)` (log of the size ratio to the lowest level), and a
+//! playback-smoothness parameter `gp > 0`, choose the level maximizing
+//!
+//! ```text
+//! score_m = (V · (v_m + gp) − Q) / s_m
+//! ```
+//!
+//! where `s_m = S_m / S_1` is the normalized chunk size and `V` is the
+//! Lyapunov trade-off parameter. We derive `V` from the buffer capacity the
+//! way the reference implementation does: `V = (Q_max − 1) / (v_M + gp)`,
+//! which makes the top level win exactly when the buffer approaches
+//! `Q_max` and the bottom level win near empty. Like BB, BOLA uses **no
+//! throughput prediction** — only buffer occupancy.
+
+use abr_core::{BitrateController, ControllerContext, Decision};
+
+/// The BOLA-BASIC controller.
+#[derive(Debug, Clone)]
+pub struct Bola {
+    /// Playback-smoothness utility `gp` (higher = more conservative,
+    /// favouring lower levels until the buffer is comfortable).
+    pub gp: f64,
+}
+
+impl Bola {
+    /// The reference configuration (`gp = 5`, a mid-range smoothness that
+    /// reproduces the published behaviour on 4 s chunks).
+    pub fn reference_default() -> Self {
+        Self::new(5.0)
+    }
+
+    /// BOLA with a custom `gp > 0`.
+    pub fn new(gp: f64) -> Self {
+        assert!(gp > 0.0 && gp.is_finite(), "gp must be positive");
+        Self { gp }
+    }
+
+    /// The BOLA score of level `m` given buffer `q_chunks` and the derived
+    /// control parameter `v`.
+    fn score(&self, v: f64, utility: f64, size_ratio: f64, q_chunks: f64) -> f64 {
+        (v * (utility + self.gp) - q_chunks) / size_ratio
+    }
+}
+
+impl BitrateController for Bola {
+    fn name(&self) -> &'static str {
+        "BOLA"
+    }
+
+    fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
+        let ladder = ctx.video.ladder();
+        let k = ctx.chunk_index;
+        let s1 = ctx.video.chunk_size_kbits(k, ladder.lowest());
+        let q_chunks = ctx.buffer_secs / ctx.video.chunk_secs();
+        let q_max = ctx.buffer_max_secs / ctx.video.chunk_secs();
+        let v_top =
+            (ctx.video.chunk_size_kbits(k, ladder.highest()) / s1).ln();
+        let v = (q_max - 1.0).max(0.1) / (v_top + self.gp);
+
+        let mut best = ladder.lowest();
+        let mut best_score = f64::NEG_INFINITY;
+        for level in ladder.iter() {
+            let size_ratio = ctx.video.chunk_size_kbits(k, level) / s1;
+            let utility = size_ratio.ln();
+            let score = self.score(v, utility, size_ratio, q_chunks);
+            if score > best_score {
+                best_score = score;
+                best = level;
+            }
+        }
+        Decision::level(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, LevelIdx, Video};
+
+    fn ctx(video: &Video, buffer: f64) -> ControllerContext<'_> {
+        ControllerContext {
+            chunk_index: 10,
+            buffer_secs: buffer,
+            prev_level: Some(LevelIdx(2)),
+            prediction_kbps: Some(99_999.0), // must be ignored
+            robust_lower_kbps: None,
+            last_throughput_kbps: None,
+            recent_low_buffer: false,
+            startup: false,
+            video,
+            buffer_max_secs: 30.0,
+        }
+    }
+
+    #[test]
+    fn empty_buffer_picks_bottom() {
+        let v = envivio_video();
+        let mut b = Bola::reference_default();
+        assert_eq!(b.decide(&ctx(&v, 0.0)).level, LevelIdx(0));
+    }
+
+    #[test]
+    fn full_buffer_picks_top() {
+        let v = envivio_video();
+        let mut b = Bola::reference_default();
+        assert_eq!(b.decide(&ctx(&v, 30.0)).level, LevelIdx(4));
+    }
+
+    #[test]
+    fn level_is_monotone_in_buffer() {
+        let v = envivio_video();
+        let mut b = Bola::reference_default();
+        let mut prev = 0usize;
+        for q in 0..=30 {
+            let lvl = b.decide(&ctx(&v, q as f64)).level.get();
+            assert!(
+                lvl >= prev,
+                "level decreased with more buffer at q={q}: {prev} -> {lvl}"
+            );
+            prev = lvl;
+        }
+        assert_eq!(prev, 4, "top level reached by the full buffer");
+    }
+
+    #[test]
+    fn ignores_throughput_entirely() {
+        let v = envivio_video();
+        let mut b = Bola::reference_default();
+        let mut lo = ctx(&v, 12.0);
+        lo.prediction_kbps = Some(10.0);
+        let mut hi = ctx(&v, 12.0);
+        hi.prediction_kbps = Some(1e6);
+        assert_eq!(b.decide(&lo).level, b.decide(&hi).level);
+    }
+
+    #[test]
+    fn higher_gp_is_more_conservative() {
+        let v = envivio_video();
+        let mut timid = Bola::new(15.0);
+        let mut bold = Bola::new(1.0);
+        for q in [6.0, 10.0, 14.0, 18.0] {
+            let t = timid.decide(&ctx(&v, q)).level;
+            let b = bold.decide(&ctx(&v, q)).level;
+            assert!(t <= b, "gp=15 chose {t:?} above gp=1's {b:?} at q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gp must be positive")]
+    fn rejects_bad_gp() {
+        let _ = Bola::new(0.0);
+    }
+
+    #[test]
+    fn streams_a_session_cleanly() {
+        use abr_predictor::HarmonicMean;
+        // BOLA over the simulator: no panics, sensible aggregate behaviour.
+        let v = envivio_video();
+        let trace = abr_trace::Trace::constant(2000.0, 60.0).unwrap();
+        let mut b = Bola::reference_default();
+        let r = abr_sim::run_session(
+            &mut b,
+            HarmonicMean::paper_default(),
+            &trace,
+            &v,
+            &abr_sim::SimConfig::paper_default(),
+        );
+        assert_eq!(r.records.len(), 65);
+        // A 2 Mbps link sustains the 2000 kbps level once the buffer is up;
+        // BOLA should spend most of the session at 1000–2000 kbps.
+        assert!(r.avg_bitrate_kbps() > 800.0, "{}", r.avg_bitrate_kbps());
+        assert!(r.total_rebuffer_secs() < 5.0);
+    }
+}

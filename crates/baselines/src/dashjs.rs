@@ -1,0 +1,261 @@
+//! A Rust port of the dash.js (v1.2.0) rule-based adaptation logic the
+//! paper benchmarks against (Section 6):
+//!
+//! * **DownloadRatioRule** — compares the play time of the last chunk to its
+//!   download time (`ratio = L / download_secs`, equivalently measured
+//!   throughput over the current bitrate). A ratio below 1 means the level
+//!   is unsustainable: drop to the highest level the measured throughput
+//!   sustains. A ratio comfortably above the next level's relative cost
+//!   allows a one-step climb.
+//! * **InsufficientBufferRule** — if the buffer recently dipped below a
+//!   panic threshold, forbid up-switches; on an actual (near-)empty buffer,
+//!   fall to the lowest level.
+//!
+//! Rules run independently and the **most conservative output wins**, the
+//! dash.js priority-resolution behaviour. As in the paper's modified player,
+//! decisions happen at chunk boundaries and downloads are sequential (the
+//! driver guarantees both).
+//!
+//! The paper's finding — this heuristic achieves low rebuffering but incurs
+//! many unnecessary switches because it reacts to every last-chunk ratio —
+//! emerges from exactly this structure.
+
+use abr_core::{BitrateController, ControllerContext, Decision};
+use abr_video::LevelIdx;
+
+/// The dash.js rule-based controller.
+#[derive(Debug, Clone)]
+pub struct DashJs {
+    /// Extra margin the ratio must clear beyond the next level's relative
+    /// cost before switching up (dash.js uses a small safety multiplier).
+    pub up_margin: f64,
+    /// Buffer level (seconds) below which the insufficient-buffer rule
+    /// forces the lowest bitrate.
+    pub panic_buffer_secs: f64,
+}
+
+impl DashJs {
+    /// Defaults mirroring the reference implementation: a 1.0 up-margin
+    /// (switch up as soon as the measured ratio covers the next level) and
+    /// a one-chunk panic threshold.
+    pub fn paper_default() -> Self {
+        Self {
+            up_margin: 1.0,
+            panic_buffer_secs: 4.0,
+        }
+    }
+
+    /// The DownloadRatioRule in isolation: proposed level from the last
+    /// chunk's achieved throughput.
+    fn download_ratio_rule(&self, ctx: &ControllerContext<'_>) -> LevelIdx {
+        let ladder = ctx.video.ladder();
+        let current = match ctx.prev_level {
+            Some(l) => l,
+            None => return ladder.lowest(),
+        };
+        let measured = match ctx.last_throughput_kbps {
+            Some(c) => c,
+            None => return current,
+        };
+        let cur_kbps = ladder.kbps(current);
+        let ratio = measured / cur_kbps;
+        if ratio < 1.0 {
+            // Unsustainable: drop straight to what the measurement supports.
+            ladder.max_level_at_most(measured)
+        } else {
+            let up = ladder.up(current);
+            if up != current {
+                let needed = ladder.kbps(up) / cur_kbps * self.up_margin;
+                if ratio >= needed {
+                    return up;
+                }
+            }
+            current
+        }
+    }
+
+    /// The InsufficientBufferRule in isolation: a cap on the level.
+    fn insufficient_buffer_rule(&self, ctx: &ControllerContext<'_>) -> LevelIdx {
+        let ladder = ctx.video.ladder();
+        if ctx.buffer_secs < self.panic_buffer_secs {
+            return ladder.lowest();
+        }
+        if ctx.recent_low_buffer {
+            // Hold: no up-switch while the buffer has been shaky.
+            return ctx.prev_level.unwrap_or_else(|| ladder.lowest());
+        }
+        ladder.highest()
+    }
+}
+
+impl BitrateController for DashJs {
+    fn name(&self) -> &'static str {
+        "dash.js"
+    }
+
+    fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
+        let by_ratio = self.download_ratio_rule(ctx);
+        let by_buffer = self.insufficient_buffer_rule(ctx);
+        Decision::level(by_ratio.min(by_buffer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, Video};
+
+    struct CtxArgs {
+        buffer: f64,
+        prev: Option<LevelIdx>,
+        last_throughput: Option<f64>,
+        recent_low: bool,
+    }
+
+    fn ctx(video: &Video, a: CtxArgs) -> ControllerContext<'_> {
+        ControllerContext {
+            chunk_index: 10,
+            buffer_secs: a.buffer,
+            prev_level: a.prev,
+            prediction_kbps: None,
+            robust_lower_kbps: None,
+            last_throughput_kbps: a.last_throughput,
+            recent_low_buffer: a.recent_low,
+            startup: false,
+            video,
+            buffer_max_secs: 30.0,
+        }
+    }
+
+    #[test]
+    fn first_chunk_starts_lowest() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 10.0,
+                prev: None,
+                last_throughput: None,
+                recent_low: false,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(0));
+    }
+
+    #[test]
+    fn ratio_below_one_drops_to_sustainable() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        // Streaming 3000, measured only 800 -> drop to 600.
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 10.0,
+                prev: Some(LevelIdx(4)),
+                last_throughput: Some(800.0),
+                recent_low: false,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(1));
+    }
+
+    #[test]
+    fn ratio_above_next_level_climbs_one() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        // At 1000, measured 2500: 2500/1000 >= 2000/1000 -> up one (not two).
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 10.0,
+                prev: Some(LevelIdx(2)),
+                last_throughput: Some(2500.0),
+                recent_low: false,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(3));
+    }
+
+    #[test]
+    fn modest_headroom_holds() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        // At 1000, measured 1500 < 2000 -> hold.
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 10.0,
+                prev: Some(LevelIdx(2)),
+                last_throughput: Some(1500.0),
+                recent_low: false,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(2));
+    }
+
+    #[test]
+    fn panic_buffer_forces_lowest() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 2.0,
+                prev: Some(LevelIdx(3)),
+                last_throughput: Some(10_000.0),
+                recent_low: false,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(0));
+    }
+
+    #[test]
+    fn recent_low_buffer_blocks_upswitch() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 10.0,
+                prev: Some(LevelIdx(2)),
+                last_throughput: Some(10_000.0),
+                recent_low: true,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(2), "hold, don't climb");
+    }
+
+    #[test]
+    fn conservative_rule_wins() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        // Ratio says climb to 4; buffer rule says hold at 1 -> hold.
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 10.0,
+                prev: Some(LevelIdx(1)),
+                last_throughput: Some(50_000.0),
+                recent_low: true,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(1));
+    }
+
+    #[test]
+    fn at_top_level_sustainable_holds() {
+        let v = envivio_video();
+        let mut d = DashJs::paper_default();
+        let out = d.decide(&ctx(
+            &v,
+            CtxArgs {
+                buffer: 20.0,
+                prev: Some(LevelIdx(4)),
+                last_throughput: Some(9000.0),
+                recent_low: false,
+            },
+        ));
+        assert_eq!(out.level, LevelIdx(4));
+    }
+}

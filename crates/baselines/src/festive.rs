@@ -1,0 +1,271 @@
+//! FESTIVE (Jiang et al., CoNEXT 2012), configured as in Section 7.1.2 of
+//! the paper:
+//!
+//! * efficiency score of a candidate bitrate `b`:
+//!   `|b / (p · Ĉ) − 1|` with `p = 1` and `Ĉ` the harmonic mean of the past
+//!   5 chunks (supplied by the driver);
+//! * stability score: `2^n + s(b)` where `n` is the number of bitrate
+//!   switches in the past 5 chunks and `s(b) = 1` if `b` differs from the
+//!   current bitrate (a candidate switch counts against itself);
+//! * the bitrate minimizes `stability + α · efficiency` with `α = 12`;
+//! * switching is **stepwise**: the candidate set is the current level and
+//!   its immediate neighbours (FESTIVE's gradual switching), and an
+//!   up-switch is only permitted after the player has stayed at the current
+//!   level for a number of chunks (delayed update — FESTIVE's guard against
+//!   bitrate oscillation);
+//! * no randomized chunk scheduling and no fairness term — the paper drops
+//!   both for the single-player setting.
+
+use abr_core::{BitrateController, ControllerContext, Decision};
+use abr_video::LevelIdx;
+use std::collections::VecDeque;
+
+/// The FESTIVE controller.
+#[derive(Debug, Clone)]
+pub struct Festive {
+    /// Weight of the efficiency score (the paper uses `α = 12`).
+    pub alpha: f64,
+    /// Safety factor on the prediction (`p = 1` in the paper).
+    pub p: f64,
+    /// Window (in chunks) over which switches are counted.
+    pub switch_window: usize,
+    /// Chunks the player must stay at a level before switching up.
+    pub up_delay_chunks: usize,
+    /// Recent decisions (for switch counting).
+    history: VecDeque<LevelIdx>,
+    /// Chunks spent at the current level.
+    dwell: usize,
+}
+
+impl Festive {
+    /// The paper's configuration: `α = 12`, `p = 1`, 5-chunk window.
+    pub fn paper_default() -> Self {
+        Self::new(12.0, 1.0, 5, 1)
+    }
+
+    /// Custom FESTIVE parameters.
+    pub fn new(alpha: f64, p: f64, switch_window: usize, up_delay_chunks: usize) -> Self {
+        assert!(alpha >= 0.0 && p > 0.0 && switch_window > 0);
+        Self {
+            alpha,
+            p,
+            switch_window,
+            up_delay_chunks,
+            history: VecDeque::with_capacity(switch_window + 1),
+            dwell: 0,
+        }
+    }
+
+    /// Number of switches among the recorded recent decisions.
+    fn recent_switches(&self) -> u32 {
+        self.history
+            .iter()
+            .zip(self.history.iter().skip(1))
+            .filter(|(a, b)| a != b)
+            .count() as u32
+    }
+
+    /// Efficiency score of a candidate bitrate: `|b / min(p·Ĉ, b_ref) − 1|`
+    /// as in the FESTIVE paper — the denominator is capped at the reference
+    /// bitrate so the reference itself scores 0 whenever bandwidth covers it.
+    fn efficiency(&self, kbps: f64, prediction_kbps: f64, ref_kbps: f64) -> f64 {
+        (kbps / (self.p * prediction_kbps).min(ref_kbps) - 1.0).abs()
+    }
+
+    /// Stability score of a candidate level given the current one.
+    fn stability(&self, candidate: LevelIdx, current: LevelIdx) -> f64 {
+        let n = self.recent_switches();
+        let switch_term = if candidate != current { 1.0 } else { 0.0 };
+        (2.0f64).powi(n as i32) + switch_term
+    }
+
+    fn record(&mut self, level: LevelIdx) {
+        if self.history.back() == Some(&level) {
+            self.dwell += 1;
+        } else {
+            self.dwell = 0;
+        }
+        if self.history.len() > self.switch_window {
+            self.history.pop_front();
+        }
+        self.history.push_back(level);
+    }
+}
+
+impl BitrateController for Festive {
+    fn name(&self) -> &'static str {
+        "FESTIVE"
+    }
+
+    fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
+        let ladder = ctx.video.ladder();
+        let prediction = ctx.prediction_or_floor();
+        let current = ctx
+            .prev_level
+            .or_else(|| self.history.back().copied())
+            .unwrap_or_else(|| ladder.lowest());
+
+        // Delayed gradual update: the reference bitrate moves one step from
+        // the current level toward the target (highest level under `p·Ĉ`);
+        // up-moves additionally wait out the dwell period.
+        let target = ladder.max_level_at_most(self.p * prediction);
+        let reference = if target > current && self.dwell >= self.up_delay_chunks {
+            ladder.up(current)
+        } else if target < current {
+            ladder.down(current)
+        } else {
+            current
+        };
+
+        // Stability/efficiency tradeoff between staying and the reference.
+        let ref_kbps = ladder.kbps(reference);
+        let score = |cand: LevelIdx| {
+            self.stability(cand, current)
+                + self.alpha * self.efficiency(ladder.kbps(cand), prediction, ref_kbps)
+        };
+        let best = if score(reference) < score(current) {
+            reference
+        } else {
+            current
+        };
+        self.record(best);
+        Decision::level(best)
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.dwell = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, Video};
+
+    fn ctx<'a>(
+        video: &'a Video,
+        prediction: Option<f64>,
+        prev: Option<LevelIdx>,
+    ) -> ControllerContext<'a> {
+        ControllerContext {
+            chunk_index: 10,
+            buffer_secs: 15.0,
+            prev_level: prev,
+            prediction_kbps: prediction,
+            robust_lower_kbps: None,
+            last_throughput_kbps: None,
+            recent_low_buffer: false,
+            startup: false,
+            video,
+            buffer_max_secs: 30.0,
+        }
+    }
+
+    #[test]
+    fn starts_at_lowest_without_history() {
+        let v = envivio_video();
+        let mut f = Festive::paper_default();
+        let d = f.decide(&ctx(&v, None, None));
+        assert_eq!(d.level, LevelIdx(0));
+    }
+
+    #[test]
+    fn switches_up_one_step_at_a_time() {
+        let v = envivio_video();
+        let mut f = Festive::paper_default();
+        // Abundant throughput, but FESTIVE climbs gradually.
+        let mut level = LevelIdx(0);
+        let mut seen = vec![level];
+        for _ in 0..12 {
+            let d = f.decide(&ctx(&v, Some(10_000.0), Some(level)));
+            assert!(
+                d.level.get() <= level.get() + 1,
+                "jumped more than one step: {level:?} -> {:?}",
+                d.level
+            );
+            level = d.level;
+            seen.push(level);
+        }
+        assert_eq!(level, LevelIdx(4), "should eventually reach the top: {seen:?}");
+    }
+
+    #[test]
+    fn up_switch_waits_for_dwell() {
+        let v = envivio_video();
+        let mut f = Festive::new(12.0, 1.0, 5, 3);
+        let mut level = LevelIdx(0);
+        let mut ups = 0;
+        let mut last_up_at = 0usize;
+        for i in 0..12 {
+            let d = f.decide(&ctx(&v, Some(10_000.0), Some(level)));
+            if d.level > level {
+                if ups > 0 {
+                    assert!(i - last_up_at >= 3, "up-switches too close at chunk {i}");
+                }
+                ups += 1;
+                last_up_at = i;
+            }
+            level = d.level;
+        }
+        assert!(ups >= 2, "should still climb, got {ups} up-switches");
+    }
+
+    #[test]
+    fn drops_when_throughput_collapses() {
+        let v = envivio_video();
+        let mut f = Festive::paper_default();
+        let d = f.decide(&ctx(&v, Some(100.0), Some(LevelIdx(3))));
+        assert_eq!(d.level, LevelIdx(2), "one gradual step down");
+    }
+
+    #[test]
+    fn stability_penalty_grows_with_recent_switches() {
+        let f0 = Festive::paper_default();
+        assert_eq!(f0.stability(LevelIdx(1), LevelIdx(1)), 1.0); // 2^0
+        assert_eq!(f0.stability(LevelIdx(2), LevelIdx(1)), 2.0); // 2^0 + 1
+        let mut f = Festive::paper_default();
+        f.record(LevelIdx(0));
+        f.record(LevelIdx(1));
+        f.record(LevelIdx(0));
+        assert_eq!(f.recent_switches(), 2);
+        assert_eq!(f.stability(LevelIdx(0), LevelIdx(0)), 4.0); // 2^2
+    }
+
+    #[test]
+    fn efficiency_matches_festive_formula() {
+        let f = Festive::paper_default();
+        // Denominator = min(p*C, ref): the reference scores 0 when the
+        // prediction covers it.
+        assert!(f.efficiency(1000.0, 5000.0, 1000.0).abs() < 1e-12);
+        assert!((f.efficiency(500.0, 1000.0, 1000.0) - 0.5).abs() < 1e-12);
+        // Prediction below the reference: normalize by the prediction.
+        assert!((f.efficiency(2000.0, 1000.0, 3000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holds_level_with_oscillating_history() {
+        // After a burst of switches the 2^n stability term dominates, so
+        // FESTIVE freezes even when efficiency argues for a change — the
+        // "slow to switch up" behaviour the paper observes.
+        let v = envivio_video();
+        let mut f = Festive::paper_default();
+        for lvl in [0usize, 1, 0, 1, 0] {
+            f.record(LevelIdx(lvl));
+        }
+        let before = f.recent_switches();
+        assert!(before >= 3);
+        let d = f.decide(&ctx(&v, Some(10_000.0), Some(LevelIdx(0))));
+        // Even with 10 Mbps available it steps at most one level.
+        assert!(d.level.get() <= 1);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut f = Festive::paper_default();
+        f.record(LevelIdx(0));
+        f.record(LevelIdx(3));
+        f.reset();
+        assert_eq!(f.recent_switches(), 0);
+    }
+}

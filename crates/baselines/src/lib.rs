@@ -1,0 +1,36 @@
+//! Baseline bitrate-adaptation algorithms (Section 7.1.2 of the paper).
+//!
+//! These are the comparison points for the MPC family:
+//!
+//! * [`RateBased`] (**RB**) — the classic rate-based strategy: highest
+//!   bitrate below `p ×` the throughput prediction;
+//! * [`BufferBased`] (**BB**) — Huang et al.'s buffer-based strategy with a
+//!   5 s reservoir and 10 s cushion;
+//! * [`Festive`] (**FESTIVE**) — Jiang et al.'s stability/efficiency scored
+//!   algorithm with stepwise switching (`α = 12`), without the randomized
+//!   scheduling that only matters for multi-player fairness (the paper's own
+//!   simplification);
+//! * [`DashJs`] (**dash.js**) — a Rust port of the reference player's
+//!   rule-based logic: `DownloadRatioRule` + `InsufficientBufferRule` with
+//!   conservative conflict resolution;
+//! * [`Bola`] (**BOLA**, extension) — the Lyapunov buffer-based algorithm
+//!   from follow-on work (Spiteri et al., INFOCOM 2016), the other standard
+//!   baseline of the post-2015 ABR literature.
+//!
+//! All implement [`abr_core::BitrateController`], so any driver that runs
+//! MPC can run these unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bb;
+pub mod bola;
+pub mod dashjs;
+pub mod festive;
+pub mod rb;
+
+pub use bb::BufferBased;
+pub use bola::Bola;
+pub use dashjs::DashJs;
+pub use festive::Festive;
+pub use rb::RateBased;

@@ -1,0 +1,102 @@
+//! The rate-based (RB) baseline: "the bitrate is picked as the maximum
+//! available bitrate which is less than `p = 1` times the throughput
+//! prediction using harmonic mean of past 5 chunks" (Section 7.1.2).
+//!
+//! The predictor lives in the driver; RB sees only the resulting scalar.
+
+use abr_core::{BitrateController, ControllerContext, Decision};
+
+/// Rate-based bitrate selection.
+#[derive(Debug, Clone)]
+pub struct RateBased {
+    /// Safety factor `p` applied to the prediction (the paper tunes `p = 1`).
+    pub p: f64,
+}
+
+impl RateBased {
+    /// The paper's configuration: `p = 1`.
+    pub fn paper_default() -> Self {
+        Self { p: 1.0 }
+    }
+
+    /// RB with a custom safety factor `p > 0`.
+    pub fn with_safety_factor(p: f64) -> Self {
+        assert!(p > 0.0 && p.is_finite(), "safety factor must be positive");
+        Self { p }
+    }
+}
+
+impl BitrateController for RateBased {
+    fn name(&self) -> &'static str {
+        "RB"
+    }
+
+    fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
+        let budget = self.p * ctx.prediction_or_floor();
+        Decision::level(ctx.video.ladder().max_level_at_most(budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, LevelIdx, Video};
+
+    fn ctx(video: &Video, prediction: Option<f64>) -> ControllerContext<'_> {
+        ControllerContext {
+            chunk_index: 3,
+            buffer_secs: 10.0,
+            prev_level: Some(LevelIdx(2)),
+            prediction_kbps: prediction,
+            robust_lower_kbps: None,
+            last_throughput_kbps: None,
+            recent_low_buffer: false,
+            startup: false,
+            video,
+            buffer_max_secs: 30.0,
+        }
+    }
+
+    #[test]
+    fn picks_floor_of_prediction() {
+        let v = envivio_video();
+        let mut rb = RateBased::paper_default();
+        assert_eq!(rb.decide(&ctx(&v, Some(2500.0))).level, LevelIdx(3));
+        assert_eq!(rb.decide(&ctx(&v, Some(3000.0))).level, LevelIdx(4));
+        assert_eq!(rb.decide(&ctx(&v, Some(599.0))).level, LevelIdx(0));
+    }
+
+    #[test]
+    fn no_prediction_starts_lowest() {
+        let v = envivio_video();
+        let mut rb = RateBased::paper_default();
+        assert_eq!(rb.decide(&ctx(&v, None)).level, LevelIdx(0));
+    }
+
+    #[test]
+    fn safety_factor_scales_budget() {
+        let v = envivio_video();
+        let mut rb = RateBased::with_safety_factor(0.5);
+        // 0.5 * 2100 = 1050 -> 1000 kbps level.
+        assert_eq!(rb.decide(&ctx(&v, Some(2100.0))).level, LevelIdx(2));
+    }
+
+    #[test]
+    fn ignores_buffer_entirely() {
+        // RB is the pure "A1" algorithm of Figure 4: same output at any
+        // buffer level.
+        let v = envivio_video();
+        let mut rb = RateBased::paper_default();
+        let mut low = ctx(&v, Some(1500.0));
+        low.buffer_secs = 0.0;
+        let mut high = ctx(&v, Some(1500.0));
+        high.buffer_secs = 30.0;
+        assert_eq!(rb.decide(&low).level, rb.decide(&high).level);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_safety_factor() {
+        let _ = RateBased::with_safety_factor(0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! §7.4 CPU overhead: per-decision cost of every adaptation algorithm.
+//!
+//! The paper reports FastMPC consuming "similar CPU" to RB/BB; the
+//! interesting comparison is FastMPC's table lookup vs. the exact MPC solve
+//! it replaces.
+
+use abr_baselines::{BufferBased, DashJs, Festive, RateBased};
+use abr_bench::{ctx, video};
+use abr_core::{BitrateController, Mpc};
+use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_decisions(c: &mut Criterion) {
+    let video = video();
+    let table = Arc::new(FastMpcTable::generate(
+        &video,
+        30.0,
+        TableConfig::paper_default(),
+    ));
+    let mut group = c.benchmark_group("decision");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let mut cases: Vec<(&str, Box<dyn BitrateController>)> = vec![
+        ("RB", Box::new(RateBased::paper_default())),
+        ("BB", Box::new(BufferBased::paper_default())),
+        ("FESTIVE", Box::new(Festive::paper_default())),
+        ("dash.js", Box::new(DashJs::paper_default())),
+        ("FastMPC", Box::new(FastMpc::new(Arc::clone(&table)))),
+        ("MPC-exact", Box::new(Mpc::paper_default())),
+        ("RobustMPC-exact", Box::new(Mpc::robust())),
+    ];
+    for (name, controller) in &mut cases {
+        let mut i = 0usize;
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(controller.decide(&ctx(&video, i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

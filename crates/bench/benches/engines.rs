@@ -1,0 +1,95 @@
+//! Engine-level benchmarks beyond the §7.4 story: trace generation, the
+//! MDP solve, and multi-player shared-bottleneck sessions — the pieces that
+//! size the extension experiments.
+
+use abr_bench::video;
+use abr_core::{MdpConfig, MdpPolicy, ThroughputChain};
+use abr_net::multiplayer::{run_shared_session, SharedPlayer};
+use abr_predictor::HarmonicMean;
+use abr_sim::SimConfig;
+use abr_trace::{Dataset, FccConfig, HsdpaConfig, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("fcc_like", |b| {
+        let cfg = FccConfig::default();
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(cfg.generate(42, i))
+        })
+    });
+    group.bench_function("hsdpa_like", |b| {
+        let cfg = HsdpaConfig::default();
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(cfg.generate(42, i))
+        })
+    });
+    group.bench_function("markov_synthetic", |b| {
+        let cfg = SyntheticConfig::default();
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(cfg.generate(42, i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_mdp(c: &mut Criterion) {
+    let video = video();
+    let traces = Dataset::Fcc.generate(1, 10);
+    let mut group = c.benchmark_group("mdp");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("fit_chain_12_states", |b| {
+        b.iter(|| black_box(ThroughputChain::fit(&traces, 12, 50.0, 8000.0, 4.0)))
+    });
+    let chain = ThroughputChain::fit(&traces, 12, 50.0, 8000.0, 4.0);
+    group.bench_function("value_iteration_31_bins", |b| {
+        b.iter(|| {
+            black_box(MdpPolicy::solve(
+                &video,
+                30.0,
+                chain.clone(),
+                &MdpConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_multiplayer(c: &mut Criterion) {
+    let video = video();
+    let cfg = SimConfig::paper_default();
+    let trace = Dataset::Fcc.generate(9, 1).remove(0).scaled(3.0);
+    let mut group = c.benchmark_group("multiplayer");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for n in [2usize, 4] {
+        group.bench_function(format!("{n}_players_bb"), |b| {
+            b.iter(|| {
+                let players = (0..n)
+                    .map(|i| SharedPlayer {
+                        controller: Box::new(
+                            abr_baselines::BufferBased::paper_default(),
+                        ),
+                        predictor: Box::new(HarmonicMean::paper_default()),
+                        start_offset_secs: i as f64,
+                    })
+                    .collect();
+                black_box(run_shared_session(players, &trace, &video, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_mdp, bench_multiplayer);
+criterion_main!(benches);

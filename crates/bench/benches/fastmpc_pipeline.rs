@@ -1,0 +1,92 @@
+//! The FastMPC pipeline (Section 5, Table 1): offline table generation at
+//! several discretization levels, run-length encode/decode, and the online
+//! binary-search lookup.
+
+use abr_bench::video;
+use abr_fastmpc::{FastMpcTable, Rle, TableConfig};
+use abr_video::LevelIdx;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let video = video();
+    let mut group = c.benchmark_group("table_generate");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for levels in [20usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &n| {
+            b.iter(|| {
+                black_box(FastMpcTable::generate(
+                    &video,
+                    30.0,
+                    TableConfig::with_levels(n, 30.0),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rle(c: &mut Criterion) {
+    // A realistic decision vector: the 100-level table's raw bytes.
+    let video = video();
+    let table = FastMpcTable::generate(&video, 30.0, TableConfig::paper_default());
+    let raw: Vec<u8> = {
+        // Reconstruct the raw vector through lookups on bin centroids.
+        let cfg = table.config().clone();
+        let mut v = Vec::with_capacity(table.num_entries());
+        for b in 0..cfg.buffer_bins.count {
+            for p in 0..5 {
+                for t in 0..cfg.throughput_bins.count {
+                    v.push(
+                        table
+                            .lookup(
+                                cfg.buffer_bins.centroid(b),
+                                LevelIdx(p),
+                                cfg.throughput_bins.centroid(t),
+                            )
+                            .get() as u8,
+                    );
+                }
+            }
+        }
+        v
+    };
+    let encoded = Rle::encode(&raw);
+
+    let mut group = c.benchmark_group("rle");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("encode_50k", |b| b.iter(|| black_box(Rle::encode(&raw))));
+    group.bench_function("decode_50k", |b| b.iter(|| black_box(encoded.decode())));
+    let mut i = 0usize;
+    group.bench_function("random_access", |b| {
+        b.iter(|| {
+            i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % raw.len();
+            black_box(encoded.get(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let video = video();
+    let table = FastMpcTable::generate(&video, 30.0, TableConfig::paper_default());
+    let mut group = c.benchmark_group("lookup");
+    group.measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("paper_100_levels", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(table.lookup(
+                (i % 300) as f64 / 10.0,
+                LevelIdx(i % 5),
+                200.0 + (i % 400) as f64 * 20.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_rle, bench_lookup);
+criterion_main!(benches);

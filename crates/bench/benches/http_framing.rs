@@ -1,0 +1,63 @@
+//! HTTP framing and manifest throughput: the substrate costs of the
+//! emulation path (request/response serialize + parse, chunk routing,
+//! manifest generate/parse).
+
+use abr_bench::video;
+use abr_net::http::{ChunkServer, Request, Response};
+use abr_net::mpd;
+use bytes_alias::copy_body;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::Cursor;
+use std::time::Duration;
+
+mod bytes_alias {
+    /// Keeps the benchmark honest: the response body is cloned per
+    /// iteration so the parser always reads fresh memory.
+    pub fn copy_body(src: &[u8]) -> Vec<u8> {
+        src.to_vec()
+    }
+}
+
+fn bench_http(c: &mut Criterion) {
+    let video = video();
+    let server = ChunkServer::new(video.clone());
+
+    let mut group = c.benchmark_group("http");
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("request_round_trip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(128);
+            Request::get("/video/3/42.m4s").write_to(&mut buf).unwrap();
+            black_box(Request::read_from(&mut Cursor::new(buf)).unwrap())
+        })
+    });
+
+    // A mid-ladder chunk response (~500 kB body).
+    let resp = server.handle(&Request::get("/video/2/7.m4s"));
+    let mut wire = Vec::new();
+    resp.write_to(&mut wire).unwrap();
+    group.bench_function("parse_chunk_response_500kB", |b| {
+        b.iter(|| {
+            let copy = copy_body(&wire);
+            black_box(Response::read_from(&mut Cursor::new(copy)).unwrap())
+        })
+    });
+
+    group.bench_function("route_chunk_request", |b| {
+        let req = Request::get("/video/4/33.m4s");
+        b.iter(|| black_box(server.handle(&req)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("mpd");
+    group.measurement_time(Duration::from_secs(2));
+    let manifest = mpd::generate(&video);
+    group.bench_function("generate", |b| b.iter(|| black_box(mpd::generate(&video))));
+    group.bench_function("parse", |b| b.iter(|| black_box(mpd::parse(&manifest).unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_http);
+criterion_main!(benches);

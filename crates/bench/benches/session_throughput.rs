@@ -1,0 +1,87 @@
+//! End-to-end engine throughput: full simulated sessions per second for
+//! each algorithm, the offline-optimal DP, and the emulated HTTP path —
+//! the numbers that size every experiment in the harness.
+
+use abr_baselines::{BufferBased, RateBased};
+use abr_bench::video;
+use abr_core::Mpc;
+use abr_net::{run_emulated_session, NetConfig};
+use abr_offline::{optimal_qoe, OfflineConfig};
+use abr_predictor::HarmonicMean;
+use abr_sim::{run_session, SimConfig};
+use abr_trace::Dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sessions(c: &mut Criterion) {
+    let video = video();
+    let cfg = SimConfig::paper_default();
+    let trace = Dataset::Hsdpa.generate(5, 1).remove(0);
+
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("sim_bb", |b| {
+        b.iter(|| {
+            let mut ctrl = BufferBased::paper_default();
+            black_box(run_session(
+                &mut ctrl,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+            ))
+        })
+    });
+    group.bench_function("sim_rb", |b| {
+        b.iter(|| {
+            let mut ctrl = RateBased::paper_default();
+            black_box(run_session(
+                &mut ctrl,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+            ))
+        })
+    });
+    group.bench_function("sim_robustmpc", |b| {
+        b.iter(|| {
+            let mut ctrl = Mpc::robust();
+            black_box(run_session(
+                &mut ctrl,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+            ))
+        })
+    });
+    group.bench_function("emulated_robustmpc", |b| {
+        b.iter(|| {
+            let mut ctrl = Mpc::robust();
+            black_box(run_emulated_session(
+                &mut ctrl,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &NetConfig::typical(),
+            ))
+        })
+    });
+    group.finish();
+
+    let mut opt = c.benchmark_group("offline_opt");
+    opt.sample_size(10);
+    opt.measurement_time(Duration::from_secs(3));
+    opt.bench_function("continuous_dp", |b| {
+        b.iter(|| black_box(optimal_qoe(&trace, &video, &OfflineConfig::paper_default())))
+    });
+    opt.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmarks quantify the paper's Section 7.4 overhead story: FastMPC
+//! trades an offline enumeration for an online lookup that costs about as
+//! much as the trivial RB/BB heuristics, while the exact MPC solve it
+//! replaces is orders of magnitude more expensive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use abr_core::ControllerContext;
+use abr_video::{envivio_video, LevelIdx, Video};
+
+/// The reference video shared by all benches.
+pub fn video() -> Video {
+    envivio_video()
+}
+
+/// A representative mid-session controller context; `i` varies the state so
+/// benches don't measure a single cached branch.
+pub fn ctx(video: &Video, i: usize) -> ControllerContext<'_> {
+    ControllerContext {
+        chunk_index: 10 + (i % 40),
+        buffer_secs: (i % 30) as f64,
+        prev_level: Some(LevelIdx(i % 5)),
+        prediction_kbps: Some(400.0 + (i % 50) as f64 * 60.0),
+        robust_lower_kbps: Some(350.0 + (i % 50) as f64 * 50.0),
+        last_throughput_kbps: Some(900.0 + (i % 7) as f64 * 150.0),
+        recent_low_buffer: i % 11 == 0,
+        startup: false,
+        video,
+        buffer_max_secs: 30.0,
+    }
+}

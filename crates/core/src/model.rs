@@ -1,0 +1,249 @@
+//! Buffer dynamics — Eqs. (1)–(4) of the paper.
+//!
+//! The playback buffer `B(t) ∈ [0, B_max]` holds downloaded-but-unwatched
+//! video, measured in seconds of play time. While chunk `k` (of `L` seconds,
+//! `d_k(R_k)` kilobits) downloads at average throughput `C_k` kbps:
+//!
+//! * download takes `d_k(R_k) / C_k` seconds (Eq. 1);
+//! * if the buffer runs out mid-download the player **rebuffers** for
+//!   `(d_k/C_k − B_k)_+` seconds;
+//! * after the chunk lands the buffer gains `L` seconds; if that would
+//!   overflow `B_max` the player first **waits** `Δt_k` (Eq. 4);
+//! * the next buffer level is Eq. (3):
+//!   `B_{k+1} = ((B_k − d_k/C_k)_+ + L − Δt_k)_+`.
+//!
+//! [`advance_buffer`] implements one step of this recurrence given the
+//! download duration, so the *same arithmetic* backs both the predictive
+//! model inside MPC (constant predicted throughput) and the trace-driven
+//! simulator and network emulator (measured download durations).
+
+use abr_video::{LevelIdx, Video};
+
+/// Outcome of downloading one chunk, per Eqs. (1)–(4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferStep {
+    /// Seconds spent downloading the chunk (`d_k/C_k` plus nothing else).
+    pub download_secs: f64,
+    /// Seconds of rebuffering incurred: `(download − B_k)_+`.
+    pub rebuffer_secs: f64,
+    /// Seconds the player idles before fetching the next chunk because the
+    /// buffer would overflow (`Δt_k`, Eq. 4).
+    pub wait_secs: f64,
+    /// Buffer level when the next chunk's download starts (`B_{k+1}`).
+    pub next_buffer_secs: f64,
+}
+
+/// Advances the buffer by one chunk download of known duration.
+///
+/// * `buffer_secs` — `B_k`, the buffer when the download starts;
+/// * `download_secs` — `d_k(R_k)/C_k`;
+/// * `chunk_secs` — `L`;
+/// * `buffer_max_secs` — `B_max`.
+///
+/// Returns the full [`BufferStep`]. Panics (debug) on negative inputs.
+pub fn advance_buffer(
+    buffer_secs: f64,
+    download_secs: f64,
+    chunk_secs: f64,
+    buffer_max_secs: f64,
+) -> BufferStep {
+    debug_assert!(buffer_secs >= 0.0, "negative buffer {buffer_secs}");
+    debug_assert!(download_secs >= 0.0, "negative download {download_secs}");
+    debug_assert!(chunk_secs > 0.0 && buffer_max_secs > 0.0);
+
+    let rebuffer_secs = (download_secs - buffer_secs).max(0.0);
+    let drained = (buffer_secs - download_secs).max(0.0);
+    // Eq. (4): wait so that appending L seconds fits within B_max.
+    let wait_secs = (drained + chunk_secs - buffer_max_secs).max(0.0);
+    // Eq. (3).
+    let next_buffer_secs = (drained + chunk_secs - wait_secs).max(0.0);
+    BufferStep {
+        download_secs,
+        rebuffer_secs,
+        wait_secs,
+        next_buffer_secs,
+    }
+}
+
+/// The predictive single-throughput streaming model used inside MPC: chunk
+/// downloads are assumed to proceed at a constant predicted throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamModel<'v> {
+    video: &'v Video,
+    buffer_max_secs: f64,
+}
+
+impl<'v> StreamModel<'v> {
+    /// Creates a model over `video` with buffer capacity `buffer_max_secs`.
+    pub fn new(video: &'v Video, buffer_max_secs: f64) -> Self {
+        assert!(
+            buffer_max_secs >= video.chunk_secs(),
+            "buffer ({buffer_max_secs}s) must hold at least one chunk ({}s)",
+            video.chunk_secs()
+        );
+        Self {
+            video,
+            buffer_max_secs,
+        }
+    }
+
+    /// The modeled video.
+    pub fn video(&self) -> &'v Video {
+        self.video
+    }
+
+    /// Buffer capacity in seconds.
+    pub fn buffer_max_secs(&self) -> f64 {
+        self.buffer_max_secs
+    }
+
+    /// Predicts the outcome of downloading chunk `k` at `level` given buffer
+    /// `B_k` and a constant throughput `throughput_kbps`.
+    pub fn step(
+        &self,
+        buffer_secs: f64,
+        k: usize,
+        level: LevelIdx,
+        throughput_kbps: f64,
+    ) -> BufferStep {
+        assert!(
+            throughput_kbps > 0.0 && throughput_kbps.is_finite(),
+            "throughput must be positive, got {throughput_kbps}"
+        );
+        let download_secs = self.video.chunk_size_kbits(k, level) / throughput_kbps;
+        advance_buffer(
+            buffer_secs,
+            download_secs,
+            self.video.chunk_secs(),
+            self.buffer_max_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, DEFAULT_BUFFER_MAX_SECS};
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_rebuffer_when_buffer_covers_download() {
+        let s = advance_buffer(10.0, 4.0, 4.0, 30.0);
+        assert_eq!(s.rebuffer_secs, 0.0);
+        assert_eq!(s.wait_secs, 0.0);
+        assert!((s.next_buffer_secs - 10.0).abs() < 1e-12); // drain 4, gain 4
+    }
+
+    #[test]
+    fn rebuffer_when_download_exceeds_buffer() {
+        let s = advance_buffer(2.0, 5.0, 4.0, 30.0);
+        assert!((s.rebuffer_secs - 3.0).abs() < 1e-12);
+        // Buffer fully drained, then the chunk lands: exactly L seconds.
+        assert!((s.next_buffer_secs - 4.0).abs() < 1e-12);
+        assert_eq!(s.wait_secs, 0.0);
+    }
+
+    #[test]
+    fn wait_when_buffer_would_overflow() {
+        // B = 29, download 1s, L = 4, Bmax = 30: drained = 28, appending 4
+        // gives 32 > 30 -> wait 2s, land at exactly Bmax.
+        let s = advance_buffer(29.0, 1.0, 4.0, 30.0);
+        assert_eq!(s.rebuffer_secs, 0.0);
+        assert!((s.wait_secs - 2.0).abs() < 1e-12);
+        assert!((s.next_buffer_secs - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_start_is_pure_rebuffer() {
+        let s = advance_buffer(0.0, 3.0, 4.0, 30.0);
+        assert!((s.rebuffer_secs - 3.0).abs() < 1e-12);
+        assert!((s.next_buffer_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instant_download_edge() {
+        let s = advance_buffer(5.0, 0.0, 4.0, 30.0);
+        assert_eq!(s.rebuffer_secs, 0.0);
+        assert!((s.next_buffer_secs - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_model_download_time() {
+        let v = envivio_video();
+        let m = StreamModel::new(&v, DEFAULT_BUFFER_MAX_SECS);
+        // 3000 kbps chunk = 12000 kbits; at 6000 kbps -> 2 s download.
+        let s = m.step(10.0, 0, LevelIdx(4), 6000.0);
+        assert!((s.download_secs - 2.0).abs() < 1e-12);
+        assert!((s.next_buffer_secs - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer")]
+    fn model_rejects_tiny_buffer() {
+        let v = envivio_video();
+        let _ = StreamModel::new(&v, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput")]
+    fn model_rejects_zero_throughput() {
+        let v = envivio_video();
+        let m = StreamModel::new(&v, 30.0);
+        let _ = m.step(0.0, 0, LevelIdx(0), 0.0);
+    }
+
+    proptest! {
+        /// The buffer invariant 0 <= B <= Bmax holds after any step whose
+        /// input buffer satisfied it.
+        #[test]
+        fn buffer_stays_in_range(
+            b in 0.0f64..30.0,
+            dl in 0.0f64..100.0,
+        ) {
+            let s = advance_buffer(b, dl, 4.0, 30.0);
+            prop_assert!(s.next_buffer_secs >= 0.0);
+            prop_assert!(s.next_buffer_secs <= 30.0 + 1e-9);
+            prop_assert!(s.rebuffer_secs >= 0.0);
+            prop_assert!(s.wait_secs >= 0.0);
+        }
+
+        /// Rebuffering and waiting are mutually exclusive: you cannot both
+        /// starve and overflow on the same chunk (requires Bmax >= 2L as in
+        /// all our configurations).
+        #[test]
+        fn rebuffer_and_wait_exclusive(
+            b in 0.0f64..30.0,
+            dl in 0.0f64..100.0,
+        ) {
+            let s = advance_buffer(b, dl, 4.0, 30.0);
+            prop_assert!(s.rebuffer_secs == 0.0 || s.wait_secs == 0.0);
+        }
+
+        /// Wall-clock accounting: buffer change equals playback gained minus
+        /// play time elapsed (download + wait), up to clamping at 0 and Bmax.
+        #[test]
+        fn conservation_without_clamping(
+            b in 8.0f64..20.0,
+            dl in 0.0f64..6.0,
+        ) {
+            // In this region neither clamp activates (b > dl, result < Bmax).
+            let s = advance_buffer(b, dl, 4.0, 30.0);
+            let expect = b - dl + 4.0 - s.wait_secs;
+            prop_assert!((s.next_buffer_secs - expect).abs() < 1e-9);
+        }
+
+        /// Higher starting buffer never yields lower next buffer or more
+        /// rebuffering (monotonicity used implicitly by FastMPC binning).
+        #[test]
+        fn monotone_in_buffer(
+            b in 0.0f64..28.0,
+            extra in 0.0f64..2.0,
+            dl in 0.0f64..50.0,
+        ) {
+            let lo = advance_buffer(b, dl, 4.0, 30.0);
+            let hi = advance_buffer(b + extra, dl, 4.0, 30.0);
+            prop_assert!(hi.next_buffer_secs >= lo.next_buffer_secs - 1e-9);
+            prop_assert!(hi.rebuffer_secs <= lo.rebuffer_secs + 1e-9);
+        }
+    }
+}

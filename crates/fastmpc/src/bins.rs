@@ -1,0 +1,155 @@
+//! Value binning for the FastMPC state space.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniform or logarithmic binning of a closed value range.
+///
+/// Buffer levels bin linearly (they live on a bounded `[0, B_max]` range);
+/// throughput bins are logarithmic so resolution concentrates where bitrate
+/// decisions actually flip (a 100 kbps difference matters at 400 kbps, not
+/// at 8 Mbps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinSpec {
+    /// Number of bins (>= 1).
+    pub count: usize,
+    /// Lower edge of the binned range.
+    pub lo: f64,
+    /// Upper edge of the binned range.
+    pub hi: f64,
+    /// Logarithmic spacing (requires `lo > 0`).
+    pub log: bool,
+}
+
+impl BinSpec {
+    /// Linear binning of `[lo, hi]` into `count` bins.
+    pub fn linear(count: usize, lo: f64, hi: f64) -> Self {
+        assert!(count >= 1, "need at least one bin");
+        assert!(lo.is_finite() && hi > lo, "invalid range [{lo}, {hi}]");
+        Self {
+            count,
+            lo,
+            hi,
+            log: false,
+        }
+    }
+
+    /// Logarithmic binning of `[lo, hi]` into `count` bins (`lo > 0`).
+    pub fn log(count: usize, lo: f64, hi: f64) -> Self {
+        assert!(count >= 1, "need at least one bin");
+        assert!(lo > 0.0 && hi > lo, "log bins need 0 < lo < hi");
+        Self {
+            count,
+            lo,
+            hi,
+            log: true,
+        }
+    }
+
+    /// Index of the bin containing `x`, clamped into range — out-of-range
+    /// queries land in the first/last bin, which is exactly the "closest
+    /// key" semantics of the paper's lookup.
+    pub fn index_of(&self, x: f64) -> usize {
+        let (lo, hi, x) = if self.log {
+            (self.lo.ln(), self.hi.ln(), x.max(f64::MIN_POSITIVE).ln())
+        } else {
+            (self.lo, self.hi, x)
+        };
+        if x <= lo {
+            return 0;
+        }
+        if x >= hi {
+            return self.count - 1;
+        }
+        let frac = (x - lo) / (hi - lo);
+        ((frac * self.count as f64) as usize).min(self.count - 1)
+    }
+
+    /// Centroid (midpoint) of bin `i` — the representative value solved
+    /// offline. Panics if out of range.
+    pub fn centroid(&self, i: usize) -> f64 {
+        assert!(i < self.count, "bin {i} out of range (count {})", self.count);
+        let frac = (i as f64 + 0.5) / self.count as f64;
+        if self.log {
+            (self.lo.ln() + frac * (self.hi.ln() - self.lo.ln())).exp()
+        } else {
+            self.lo + frac * (self.hi - self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_index_and_centroid() {
+        let b = BinSpec::linear(10, 0.0, 30.0);
+        assert_eq!(b.index_of(0.0), 0);
+        assert_eq!(b.index_of(1.4), 0);
+        assert_eq!(b.index_of(3.1), 1);
+        assert_eq!(b.index_of(29.99), 9);
+        assert_eq!(b.index_of(30.0), 9);
+        assert!((b.centroid(0) - 1.5).abs() < 1e-12);
+        assert!((b.centroid(9) - 28.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let b = BinSpec::linear(10, 0.0, 30.0);
+        assert_eq!(b.index_of(-5.0), 0);
+        assert_eq!(b.index_of(100.0), 9);
+        let l = BinSpec::log(10, 100.0, 10_000.0);
+        assert_eq!(l.index_of(1.0), 0);
+        assert_eq!(l.index_of(1e9), 9);
+    }
+
+    #[test]
+    fn log_bins_concentrate_low() {
+        let b = BinSpec::log(4, 100.0, 10_000.0);
+        // Decades split evenly in log space: edges 100, ~316, 1000, ~3162, 10000.
+        assert_eq!(b.index_of(200.0), 0);
+        assert_eq!(b.index_of(500.0), 1);
+        assert_eq!(b.index_of(2000.0), 2);
+        assert_eq!(b.index_of(5000.0), 3);
+    }
+
+    #[test]
+    fn single_bin_swallows_everything() {
+        let b = BinSpec::linear(1, 0.0, 1.0);
+        assert_eq!(b.index_of(-1.0), 0);
+        assert_eq!(b.index_of(0.5), 0);
+        assert_eq!(b.index_of(2.0), 0);
+        assert!((b.centroid(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn centroid_bounds_checked() {
+        let _ = BinSpec::linear(3, 0.0, 1.0).centroid(3);
+    }
+
+    proptest! {
+        /// A centroid always falls back into its own bin (both spacings).
+        #[test]
+        fn centroid_round_trips(count in 1usize..200, i_frac in 0.0f64..1.0) {
+            for spec in [
+                BinSpec::linear(count, 0.0, 30.0),
+                BinSpec::log(count, 100.0, 10_000.0),
+            ] {
+                let i = ((i_frac * count as f64) as usize).min(count - 1);
+                prop_assert_eq!(spec.index_of(spec.centroid(i)), i);
+            }
+        }
+
+        /// index_of is monotone non-decreasing in the query value.
+        #[test]
+        fn index_monotone(a in 0.0f64..40.0, delta in 0.0f64..40.0) {
+            let b = BinSpec::linear(100, 0.0, 30.0);
+            prop_assert!(b.index_of(a + delta) >= b.index_of(a));
+            let l = BinSpec::log(100, 100.0, 10_000.0);
+            prop_assert!(l.index_of(100.0 + a * 200.0 + delta * 200.0)
+                >= l.index_of(100.0 + a * 200.0));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! FastMPC — using MPC in practice without an online solver (Section 5).
+//!
+//! The exact MPC controller solves a discrete optimization before every
+//! chunk, which is too heavy for low-end devices and requires bundling
+//! solver logic with the player. FastMPC replaces the online solve with an
+//! **offline-enumerated decision table**:
+//!
+//! 1. the state space — (current buffer level, previous bitrate, predicted
+//!    throughput) — is **binned** ([`BinSpec`], Section 5.2 "compaction via
+//!    binning"; bin keys are implicit in the row index, so nothing but the
+//!    decisions is stored);
+//! 2. each bin centroid's instance is solved exactly offline
+//!    ([`FastMpcTable::generate`], standing in for the paper's CPLEX runs);
+//! 3. the decision vector is **run-length encoded** ([`Rle`], Section 5.2
+//!    "table compression" — neighbouring scenarios share optima, so RLE
+//!    shrinks the table to tens of kilobytes);
+//! 4. online, the player does a **binary-search lookup**
+//!    ([`FastMpc`], [`Rle::get`]) — no solver, microseconds per decision.
+//!
+//! With the paper's parameters (100 buffer bins × 5 previous bitrates ×
+//! 100 throughput bins) the table has exactly the 50,000 rows of Figure 5.
+//! Table-size accounting for Table 1 is provided by
+//! [`FastMpcTable::full_size_bytes`] and [`FastMpcTable::rle_size_bytes`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bins;
+mod controller;
+mod rle;
+mod table;
+
+pub use bins::BinSpec;
+pub use controller::FastMpc;
+pub use rle::Rle;
+pub use table::{FastMpcTable, TableConfig};

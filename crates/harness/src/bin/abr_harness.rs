@@ -1,0 +1,208 @@
+//! The experiment CLI — regenerates every table and figure of Section 7.
+//!
+//! ```text
+//! abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick]
+//! ```
+//!
+//! Commands: `fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig11d fig12a
+//! fig12b table1 levels overhead all`.
+
+use abr_harness::experiments::{self, ExpOptions};
+use abr_harness::report::Table;
+use abr_trace::Dataset;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick]
+
+commands:
+  fig7      dataset characteristics (3 CDF panels)
+  fig8      normalized-QoE CDFs on FCC / HSDPA / Synthetic (emulation path)
+  fig9      FCC detail CDFs (bitrate, switches, rebuffer)
+  fig10     HSDPA detail CDFs
+  fig11a    n-QoE vs prediction error
+  fig11b    n-QoE vs QoE preference presets
+  fig11c    n-QoE vs buffer size
+  fig11d    n-QoE vs fixed startup delay
+  fig12a    FastMPC discretization sweep
+  fig12b    MPC look-ahead horizon sweep
+  table1    FastMPC table sizes (full vs run-length coded)
+  levels    bitrate-ladder granularity sweep (§7.3, unplotted)
+  overhead  per-decision CPU cost and table memory (§7.4)
+  ablation  design-choice ablations (predictors, robust bound, MDP, binning)
+  multi     multi-player shared-bottleneck fairness (§8 extension)
+  all       everything above
+
+options:
+  --traces N   traces per dataset (default 100)
+  --seed S     RNG seed (default 42)
+  --out DIR    also write CSV series under DIR
+  --quick      smaller sweeps for a fast smoke run";
+
+fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
+    let mut cmd = None;
+    let mut opts = ExpOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--traces" => {
+                opts.traces = it
+                    .next()
+                    .ok_or("--traces needs a value")?
+                    .parse()
+                    .map_err(|_| "--traces must be a positive integer".to_string())?;
+                if opts.traces == 0 {
+                    return Err("--traces must be positive".into());
+                }
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--quick" => opts.quick = true,
+            other if !other.starts_with("--") && cmd.is_none() => {
+                cmd = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok((cmd.ok_or("no command given")?, opts))
+}
+
+fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
+    Ok(match cmd {
+        "fig7" => experiments::fig7::run(opts),
+        "fig8" => experiments::fig8::run(opts),
+        "fig9" => experiments::fig8::run_fig9(opts),
+        "fig10" => experiments::fig8::run_fig10(opts),
+        "fig11a" => experiments::fig11::run_fig11a(opts),
+        "fig11b" => experiments::fig11::run_fig11b(opts),
+        "fig11c" => experiments::fig11::run_fig11c(opts),
+        "fig11d" => experiments::fig11::run_fig11d(opts),
+        "fig12a" => experiments::fig12::run_fig12a(opts),
+        "fig12b" => experiments::fig12::run_fig12b(opts),
+        "table1" => experiments::table1::run(opts),
+        "levels" => experiments::levels::run(opts),
+        "overhead" => experiments::overhead::run(opts),
+        "ablation" => experiments::ablation::run(opts),
+        "multi" => experiments::multiplayer::run(opts),
+        "all" => {
+            let mut out = String::new();
+            // Share the expensive dataset evaluations between Figures 8,
+            // 9 and 10 instead of recomputing per figure.
+            out.push_str(&experiments::fig7::run(opts));
+            for ds in Dataset::ALL {
+                let eval = experiments::fig8::dataset_eval(ds, opts);
+                out.push_str(&experiments::fig8::render_fig8_panel(ds, &eval, opts));
+                match ds {
+                    Dataset::Fcc => out.push_str(&experiments::fig8::render_detail_panel(
+                        "Figure 9", ds, &eval, opts,
+                    )),
+                    Dataset::Hsdpa => out.push_str(&experiments::fig8::render_detail_panel(
+                        "Figure 10",
+                        ds,
+                        &eval,
+                        opts,
+                    )),
+                    Dataset::Synthetic => {}
+                }
+            }
+            for sub in [
+                "fig11a", "fig11b", "fig11c", "fig11d", "fig12a", "fig12b", "table1", "levels",
+                "overhead", "ablation", "multi",
+            ] {
+                out.push_str(&run_command(sub, opts)?);
+            }
+            out
+        }
+        _ => return Err(format!("unknown command '{cmd}'\n{USAGE}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let (cmd, opts) = parse(&args(&[
+            "fig8", "--traces", "25", "--seed", "7", "--quick", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "fig8");
+        assert_eq!(opts.traces, 25);
+        assert_eq!(opts.seed, 7);
+        assert!(opts.quick);
+        assert_eq!(opts.out.as_deref().unwrap().to_str().unwrap(), "/tmp/x");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let (cmd, opts) = parse(&args(&["table1"])).unwrap();
+        assert_eq!(cmd, "table1");
+        assert_eq!(opts.traces, 100);
+        assert_eq!(opts.seed, 42);
+        assert!(!opts.quick);
+        assert!(opts.out.is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["fig8", "--traces"])).is_err());
+        assert!(parse(&args(&["fig8", "--traces", "abc"])).is_err());
+        assert!(parse(&args(&["fig8", "--traces", "0"])).is_err());
+        assert!(parse(&args(&["fig8", "--bogus"])).is_err());
+        assert!(parse(&args(&["fig8", "extra-command"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported_at_dispatch() {
+        let (cmd, opts) = parse(&args(&["not-an-experiment"])).unwrap();
+        assert!(run_command(&cmd, &opts).is_err());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{USAGE}");
+        return;
+    }
+    let (cmd, opts) = match parse(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let start = Instant::now();
+    match run_command(&cmd, &opts) {
+        Ok(report) => {
+            print!("{report}");
+            let mut meta = Table::new("run info", &["key", "value"]);
+            meta.row(vec!["command".into(), cmd]);
+            meta.row(vec!["traces/dataset".into(), opts.traces.to_string()]);
+            meta.row(vec!["seed".into(), opts.seed.to_string()]);
+            meta.row(vec![
+                "elapsed".into(),
+                format!("{:.1}s", start.elapsed().as_secs_f64()),
+            ]);
+            print!("{}", meta.render());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

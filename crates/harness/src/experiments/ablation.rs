@@ -1,0 +1,651 @@
+//! Ablations of the design choices DESIGN.md calls out — the studies the
+//! paper discusses but does not run:
+//!
+//! * **predictors** — how much of MPC's gain comes from the harmonic-mean
+//!   predictor vs. alternatives (Section 8: "better throughput prediction
+//!   can improve video performance");
+//! * **robust-bound** — max-error (paper) vs. mean-error lower bound for
+//!   RobustMPC (Section 4.3's conservativeness trade-off);
+//! * **mdp** — the Section 4.1 strawman, fitted in- and out-of-
+//!   distribution, against MPC (the comparison the paper defers);
+//! * **bins** — linear vs. logarithmic throughput binning for the FastMPC
+//!   table at equal resolution (Section 5.2's open granularity question).
+
+use super::ExpOptions;
+use crate::registry::{Algo, PredictorSpec};
+use crate::report::{fmt_num, write_csv, Table};
+use crate::runner::{par_map, run_algo_session, EvalConfig};
+use abr_core::{MdpConfig, MdpController, MdpPolicy, ThroughputChain};
+use abr_fastmpc::{BinSpec, FastMpc, FastMpcTable, TableConfig};
+use abr_offline::optimal_qoe;
+use abr_predictor::HarmonicMean;
+use abr_sim::{run_session, RobustBound};
+use abr_trace::{Dataset, Trace};
+use abr_video::envivio_video;
+use std::sync::Arc;
+
+/// Median aggregation: robust to the explosive ratios that traces with a
+/// barely-positive clairvoyant optimum produce.
+fn agg(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        abr_trace::stats::median(xs)
+    }
+}
+
+fn opt_for(traces: &[Trace], cfg: &EvalConfig) -> Vec<f64> {
+    let video = envivio_video();
+    par_map(traces.len(), |i| {
+        optimal_qoe(&traces[i], &video, &cfg.offline).qoe
+    })
+}
+
+/// Predictor ablation: exact MPC driven by each predictor, per dataset.
+pub fn run_predictors(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let base_specs = [
+        PredictorSpec::Harmonic,
+        PredictorSpec::Sliding(5),
+        PredictorSpec::Ewma(0.4),
+        PredictorSpec::Last,
+        PredictorSpec::Ar1(8),
+    ];
+    let mut header = vec!["dataset".to_string()];
+    header.extend(base_specs.iter().map(|s| s.label()));
+    header.push("crowd-w3".to_string());
+    let mut t = Table::new(
+        "Ablation: MPC median n-QoE by throughput predictor",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for ds in Dataset::ALL {
+        let traces = ds.generate(opts.seed, opts.traces_capped(40));
+        let opt = opt_for(&traces, &cfg);
+        // Crowdsourced prior: the mean throughput other sessions on this
+        // network family observed (disjoint training traces).
+        let prior = {
+            let training = ds.generate(opts.seed ^ 0xC40D, 20);
+            training.iter().map(|t| t.mean_kbps()).sum::<f64>() / training.len() as f64
+        };
+        let mut specs = base_specs.to_vec();
+        specs.push(PredictorSpec::CrossSession {
+            prior_kbps: prior,
+            weight: 3.0,
+        });
+        let mut row = vec![ds.label().to_string()];
+        for spec in specs {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                run_algo_session(
+                    Algo::Mpc,
+                    None,
+                    spec,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                )
+                .qoe
+                .qoe
+                    / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(agg(&kept)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_predictors", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Robust-bound ablation: max vs. mean recent error, per dataset.
+pub fn run_robust_bound(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let mut t = Table::new(
+        "Ablation: RobustMPC bound — max vs mean recent error (median n-QoE | rebuffer s)",
+        &["dataset", "max-error", "mean-error"],
+    );
+    for ds in Dataset::ALL {
+        let traces = ds.generate(opts.seed, opts.traces_capped(40));
+        let base = EvalConfig {
+            seed: opts.seed,
+            ..EvalConfig::paper_default()
+        };
+        let opt = opt_for(&traces, &base);
+        let mut row = vec![ds.label().to_string()];
+        for bound in [RobustBound::MaxError, RobustBound::MeanError] {
+            let mut cfg = base.clone();
+            cfg.sim.robust_bound = bound;
+            let results: Vec<(f64, f64)> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return (f64::NAN, f64::NAN);
+                }
+                let r = run_algo_session(
+                    Algo::RobustMpc,
+                    None,
+                    PredictorSpec::Harmonic,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                );
+                (r.qoe.qoe / opt[i], r.total_rebuffer_secs())
+            });
+            let nqoe: Vec<f64> = results.iter().map(|r| r.0).filter(|x| x.is_finite()).collect();
+            let rebuf: Vec<f64> = results.iter().map(|r| r.1).filter(|x| x.is_finite()).collect();
+            row.push(format!("{} | {}", fmt_num(agg(&nqoe)), fmt_num(agg(&rebuf))));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_robust_bound", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// MDP ablation: value-iteration policy (fitted in- and out-of-
+/// distribution) vs. the MPC family.
+pub fn run_mdp(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let mdp_cfg = MdpConfig::default();
+    let fit = |ds: Dataset| -> Arc<MdpPolicy> {
+        let train = ds.generate(opts.seed ^ 0x7121A1, 20);
+        let chain = ThroughputChain::fit(&train, 12, 50.0, 8000.0, video.chunk_secs());
+        Arc::new(MdpPolicy::solve(&video, 30.0, chain, &mdp_cfg))
+    };
+    let policies: Vec<(Dataset, Arc<MdpPolicy>)> =
+        Dataset::ALL.iter().map(|ds| (*ds, fit(*ds))).collect();
+
+    let mut t = Table::new(
+        "Ablation: MDP (§4.1 strawman) vs MPC — median n-QoE",
+        &["eval dataset", "MDP in-dist", "MDP fit-on-FCC", "MPC", "RobustMPC"],
+    );
+    for ds in Dataset::ALL {
+        let traces = ds.generate(opts.seed, opts.traces_capped(30));
+        let opt = opt_for(&traces, &cfg);
+        let in_dist = policies
+            .iter()
+            .find(|(d, _)| *d == ds)
+            .map(|(_, p)| Arc::clone(p))
+            .expect("policy fitted per dataset");
+        let cross = policies
+            .iter()
+            .find(|(d, _)| *d == Dataset::Fcc)
+            .map(|(_, p)| Arc::clone(p))
+            .expect("FCC policy");
+        let mdp_score = |policy: &Arc<MdpPolicy>| -> f64 {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                let mut c = MdpController::new(Arc::clone(policy));
+                run_session(
+                    &mut c,
+                    HarmonicMean::paper_default(),
+                    &traces[i],
+                    &video,
+                    &cfg.sim,
+                )
+                .qoe
+                .qoe
+                    / opt[i]
+            });
+            agg(&scores.into_iter().filter(|s| s.is_finite()).collect::<Vec<_>>())
+        };
+        let mpc_score = |algo: Algo| -> f64 {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                run_algo_session(
+                    algo,
+                    None,
+                    PredictorSpec::Harmonic,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                )
+                .qoe
+                .qoe
+                    / opt[i]
+            });
+            agg(&scores.into_iter().filter(|s| s.is_finite()).collect::<Vec<_>>())
+        };
+        t.row(vec![
+            ds.label().to_string(),
+            fmt_num(mdp_score(&in_dist)),
+            fmt_num(mdp_score(&cross)),
+            fmt_num(mpc_score(Algo::Mpc)),
+            fmt_num(mpc_score(Algo::RobustMpc)),
+        ]);
+    }
+    write_csv(opts.out.as_deref(), "ablation_mdp", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Binning ablation: linear vs. logarithmic throughput bins for FastMPC.
+pub fn run_bins(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let levels = if opts.quick { 20 } else { 50 };
+    let make_table = |log: bool| -> Arc<FastMpcTable> {
+        let mut tc = TableConfig::with_levels(levels, 30.0);
+        tc.throughput_bins = if log {
+            BinSpec::log(levels, 100.0, 10_000.0)
+        } else {
+            BinSpec::linear(levels, 100.0, 10_000.0)
+        };
+        Arc::new(FastMpcTable::generate(&video, 30.0, tc))
+    };
+    let tables = [("log bins", make_table(true)), ("linear bins", make_table(false))];
+
+    let mut t = Table::new(
+        "Ablation: FastMPC throughput binning (median n-QoE per dataset; RLE bytes)",
+        &["variant", "FCC", "HSDPA", "Synthetic", "RLE bytes"],
+    );
+    for (name, table) in &tables {
+        let mut row = vec![name.to_string()];
+        for ds in Dataset::ALL {
+            let traces = ds.generate(opts.seed, opts.traces_capped(25));
+            let opt = opt_for(&traces, &cfg);
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                let mut c = FastMpc::new(Arc::clone(table));
+                run_session(
+                    &mut c,
+                    HarmonicMean::paper_default(),
+                    &traces[i],
+                    &video,
+                    &cfg.sim,
+                )
+                .qoe
+                .qoe
+                    / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(agg(&kept)));
+        }
+        row.push(table.rle_size_bytes().to_string());
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_bins", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// BB-variant ablation: the paper's literal memoryless rate map vs. Huang
+/// et al.'s full BBA-0 switching band. The band kills boundary oscillation
+/// (fewer switches) but reacts later to fades (more rebuffering on
+/// cellular) — which is why the memoryless reading reproduces the paper's
+/// Figure 8b BB numbers.
+pub fn run_bb_variants(opts: &ExpOptions) -> String {
+    use abr_baselines::BufferBased;
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let mut t = Table::new(
+        "Ablation: BB memoryless (paper) vs BBA-0 band — n-QoE | switches | rebuffer s",
+        &["dataset", "memoryless", "BBA-0 band"],
+    );
+    for ds in Dataset::ALL {
+        let traces = ds.generate(opts.seed, opts.traces_capped(40));
+        let opt = opt_for(&traces, &cfg);
+        let mut row = vec![ds.label().to_string()];
+        for band in [false, true] {
+            let results: Vec<(f64, f64, f64)> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return (f64::NAN, f64::NAN, f64::NAN);
+                }
+                let mut bb = if band {
+                    BufferBased::bba0(5.0, 10.0)
+                } else {
+                    BufferBased::paper_default()
+                };
+                let r = run_session(
+                    &mut bb,
+                    HarmonicMean::paper_default(),
+                    &traces[i],
+                    &video,
+                    &cfg.sim,
+                );
+                (
+                    r.qoe.qoe / opt[i],
+                    r.qoe.switches as f64,
+                    r.total_rebuffer_secs(),
+                )
+            });
+            let col = |f: fn(&(f64, f64, f64)) -> f64| {
+                agg(&results.iter().map(f).filter(|x| x.is_finite()).collect::<Vec<_>>())
+            };
+            row.push(format!(
+                "{} | {} | {}",
+                fmt_num(col(|x| x.0)),
+                fmt_num(col(|x| x.1)),
+                fmt_num(col(|x| x.2))
+            ));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_bb_variants", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Quality-function ablation — the §3.2 flexibility claim: the same
+/// algorithms under identity, logarithmic (small-screen) and saturating
+/// (capped-display) `q(·)`. MPC optimizes whatever `q` says; RB/BB cannot
+/// see it at all, so their relative standing should shift.
+pub fn run_qfunc(opts: &ExpOptions) -> String {
+    use abr_video::{QoeWeights, QualityFn};
+    let video = envivio_video();
+    let qfuncs: [(&str, QualityFn); 3] = [
+        ("identity", QualityFn::Identity),
+        (
+            "log (small screen)",
+            QualityFn::Log {
+                r0: 200.0,
+                // Scale so q(3000 kbps) matches identity's top value,
+                // keeping the rebuffer weight comparable.
+                scale: 3000.0 / (3000.0f64 / 200.0).ln(),
+            },
+        ),
+        ("saturating @1 Mbps", QualityFn::Saturating { cap_kbps: 1000.0 }),
+    ];
+    let traces = Dataset::Fcc.generate(opts.seed, opts.traces_capped(30));
+    let mut t = Table::new(
+        "Ablation: perceived-quality function q(·) — median n-QoE (FCC)",
+        &["q(·)", "RobustMPC", "BB", "RB"],
+    );
+    for (name, q) in qfuncs {
+        let weights = QoeWeights {
+            quality: q,
+            ..QoeWeights::balanced()
+        };
+        let mut cfg = EvalConfig {
+            seed: opts.seed,
+            ..EvalConfig::paper_default()
+        };
+        cfg.sim.weights = weights.clone();
+        cfg.offline.weights = weights;
+        let opt = opt_for(&traces, &cfg);
+        let mut row = vec![name.to_string()];
+        for algo in [Algo::RobustMpc, Algo::Bb, Algo::Rb] {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                run_algo_session(
+                    algo,
+                    None,
+                    PredictorSpec::Harmonic,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                )
+                .qoe
+                .qoe
+                    / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(agg(&kept)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_qfunc", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Startup-phase ablation: the conventional play-on-first-chunk policy vs.
+/// MPC's `fst_mpc` choosing `T_s` itself (Algorithm 1's startup branch),
+/// under cheap and expensive startup weights.
+pub fn run_startup(opts: &ExpOptions) -> String {
+    use abr_core::{Mpc, MpcConfig};
+    use abr_sim::StartupPolicy;
+    use abr_video::QoeWeights;
+    let video = envivio_video();
+    let traces = Dataset::Hsdpa.generate(opts.seed, opts.traces_capped(30));
+    let mut t = Table::new(
+        "Ablation: startup policy — play-on-first-chunk vs fst_mpc (median QoE incl. startup)",
+        &["µ_s", "first-chunk", "fst_mpc chooses T_s"],
+    );
+    for &(label, mu_s) in &[("3000 (paper)", 3000.0), ("300 (patient user)", 300.0)] {
+        let weights = QoeWeights {
+            mu_s,
+            ..QoeWeights::balanced()
+        };
+        let mut row = vec![label.to_string()];
+        for controller_startup in [false, true] {
+            let mut cfg = EvalConfig {
+                seed: opts.seed,
+                ..EvalConfig::paper_default()
+            };
+            cfg.sim.weights = weights.clone();
+            cfg.sim.startup = if controller_startup {
+                StartupPolicy::Controller
+            } else {
+                StartupPolicy::FirstChunk
+            };
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                let mut mpc = Mpc::new(MpcConfig {
+                    robust: true,
+                    optimize_startup: controller_startup,
+                    weights: weights.clone(),
+                    ..MpcConfig::paper_default()
+                });
+                run_session(
+                    &mut mpc,
+                    HarmonicMean::paper_default(),
+                    &traces[i],
+                    &video,
+                    &cfg.sim,
+                )
+                .qoe
+                .qoe
+            });
+            row.push(fmt_num(agg(&scores)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_startup", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Modern-baseline comparison: BOLA (INFOCOM 2016, post-dating the paper)
+/// against BB and the MPC family — the matchup every later ABR study runs.
+pub fn run_modern(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let algos = [Algo::Bola, Algo::Bb, Algo::Mpc, Algo::RobustMpc];
+    let mut t = Table::new(
+        "Extension: BOLA vs BB vs MPC family — median n-QoE",
+        &["dataset", "BOLA", "BB", "MPC", "RobustMPC"],
+    );
+    for ds in Dataset::ALL {
+        let traces = ds.generate(opts.seed, opts.traces_capped(40));
+        let opt = opt_for(&traces, &cfg);
+        let mut row = vec![ds.label().to_string()];
+        for algo in algos {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                run_algo_session(
+                    algo,
+                    None,
+                    PredictorSpec::Harmonic,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                )
+                .qoe
+                .qoe
+                    / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(agg(&kept)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_modern", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Live-streaming extension: the same algorithms with chunk availability
+/// gated by a live encoder at several latencies behind the live edge.
+/// Smaller offsets leave less room to buffer, so rebuffering rises and the
+/// conservative algorithms pull ahead.
+pub fn run_live(opts: &ExpOptions) -> String {
+    use abr_sim::LiveConfig;
+    let video = envivio_video();
+    let traces = Dataset::Hsdpa.generate(opts.seed, opts.traces_capped(30));
+    let mut t = Table::new(
+        "Extension: live streaming — median QoE | rebuffer s (HSDPA)",
+        &["latency behind live", "RobustMPC", "BB", "RB"],
+    );
+    let offsets = [
+        ("VOD (unconstrained)", None),
+        ("16 s", Some(16.0)),
+        ("8 s", Some(8.0)),
+        ("4 s", Some(4.0)),
+    ];
+    for (label, offset) in offsets {
+        let mut cfg = EvalConfig {
+            seed: opts.seed,
+            ..EvalConfig::paper_default()
+        };
+        cfg.sim.live = offset.map(|availability_offset_secs| LiveConfig {
+            availability_offset_secs,
+        });
+        let mut row = vec![label.to_string()];
+        for algo in [Algo::RobustMpc, Algo::Bb, Algo::Rb] {
+            let results: Vec<(f64, f64)> = par_map(traces.len(), |i| {
+                let r = run_algo_session(
+                    algo,
+                    None,
+                    PredictorSpec::Harmonic,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                );
+                (r.qoe.qoe, r.total_rebuffer_secs())
+            });
+            let qoe: Vec<f64> = results.iter().map(|x| x.0).collect();
+            let rebuf: Vec<f64> = results.iter().map(|x| x.1).collect();
+            row.push(format!("{} | {}", fmt_num(agg(&qoe)), fmt_num(agg(&rebuf))));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "ablation_live", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// All ablations.
+pub fn run(opts: &ExpOptions) -> String {
+    let mut s = String::new();
+    s.push_str(&run_predictors(opts));
+    s.push_str(&run_robust_bound(opts));
+    s.push_str(&run_mdp(opts));
+    s.push_str(&run_bins(opts));
+    s.push_str(&run_bb_variants(opts));
+    s.push_str(&run_qfunc(opts));
+    s.push_str(&run_startup(opts));
+    s.push_str(&run_modern(opts));
+    s.push_str(&run_live(opts));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            traces: 3,
+            quick: true,
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn predictor_ablation_renders() {
+        let s = run_predictors(&tiny());
+        assert!(s.contains("harmonic-5"));
+        assert!(s.contains("ar1-8"));
+    }
+
+    #[test]
+    fn robust_bound_ablation_renders() {
+        let s = run_robust_bound(&tiny());
+        assert!(s.contains("max-error"));
+        assert!(s.contains("mean-error"));
+    }
+
+    #[test]
+    fn mdp_ablation_renders() {
+        let s = run_mdp(&tiny());
+        assert!(s.contains("MDP in-dist"));
+        assert!(s.contains("RobustMPC"));
+    }
+
+    #[test]
+    fn bins_ablation_renders() {
+        let s = run_bins(&tiny());
+        assert!(s.contains("log bins"));
+        assert!(s.contains("linear bins"));
+    }
+
+    #[test]
+    fn bb_variants_ablation_renders() {
+        let s = run_bb_variants(&tiny());
+        assert!(s.contains("memoryless"));
+        assert!(s.contains("BBA-0"));
+    }
+
+    #[test]
+    fn qfunc_ablation_renders() {
+        let s = run_qfunc(&tiny());
+        assert!(s.contains("identity"));
+        assert!(s.contains("saturating"));
+    }
+
+    #[test]
+    fn startup_ablation_renders() {
+        let s = run_startup(&tiny());
+        assert!(s.contains("fst_mpc"));
+        assert!(s.contains("first-chunk"));
+    }
+
+    #[test]
+    fn modern_ablation_renders() {
+        let s = run_modern(&tiny());
+        assert!(s.contains("BOLA"));
+        assert!(s.contains("RobustMPC"));
+    }
+
+    #[test]
+    fn live_ablation_renders() {
+        let s = run_live(&tiny());
+        assert!(s.contains("live"));
+        assert!(s.contains("VOD"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Figure 11 — sensitivity analysis (simulation framework, Section 7.3):
+//!
+//! * (a) n-QoE vs. throughput-prediction error;
+//! * (b) n-QoE under the three QoE-preference presets;
+//! * (c) n-QoE vs. playout buffer size;
+//! * (d) n-QoE (excluding the startup term) vs. fixed startup delay.
+
+use super::ExpOptions;
+use crate::registry::{Algo, PredictorSpec};
+use crate::report::{fmt_num, write_csv, Table};
+use crate::runner::{par_map, run_algo_session, EvalConfig};
+use abr_offline::optimal_qoe;
+use abr_sim::StartupPolicy;
+use abr_trace::{stats, Dataset, Trace};
+use abr_video::{envivio_video, QoePreference, QoeWeights, Video};
+
+/// Trace mix used by the sensitivity studies: the paper's simulations draw
+/// from all datasets; we interleave the three families evenly.
+fn sensitivity_traces(opts: &ExpOptions, n: usize) -> Vec<Trace> {
+    let per = n.div_ceil(3);
+    let mut traces = Vec::with_capacity(per * 3);
+    for ds in Dataset::ALL {
+        traces.extend(ds.generate(opts.seed ^ 0x5E115, per));
+    }
+    traces.truncate(n);
+    traces
+}
+
+/// Median n-QoE of `algo` over `traces` with the supplied configuration and
+/// predictor, skipping traces whose OPT is non-positive.
+#[allow(clippy::too_many_arguments)]
+fn median_n_qoe(
+    algo: Algo,
+    spec: PredictorSpec,
+    traces: &[Trace],
+    video: &Video,
+    cfg: &EvalConfig,
+    opts: &[f64],
+    excl_startup: bool,
+    opt_excl: &[f64],
+) -> f64 {
+    let table = if algo.needs_table() {
+        Some(Algo::default_table(
+            video,
+            cfg.sim.buffer_max_secs,
+            cfg.weights(),
+            cfg.fastmpc_levels,
+        ))
+    } else {
+        None
+    };
+    let samples: Vec<Option<f64>> = par_map(traces.len(), |i| {
+        if opts[i] <= 0.0 {
+            return None;
+        }
+        let seed = cfg.seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let r = run_algo_session(algo, table.as_ref(), spec, seed, &traces[i], video, cfg);
+        Some(if excl_startup {
+            r.qoe.qoe_excluding_startup(cfg.weights()) / opt_excl[i]
+        } else {
+            r.qoe.qoe / opts[i]
+        })
+    });
+    let kept: Vec<f64> = samples.into_iter().flatten().collect();
+    if kept.is_empty() {
+        f64::NAN
+    } else {
+        // Median, not mean: traces whose clairvoyant optimum is barely
+        // positive produce explosive ratios that would dominate a mean.
+        stats::median(&kept)
+    }
+}
+
+/// Precomputes OPT (and OPT excluding startup) for every trace.
+fn compute_opts(traces: &[Trace], video: &Video, cfg: &EvalConfig) -> (Vec<f64>, Vec<f64>) {
+    let pairs: Vec<(f64, f64)> = par_map(traces.len(), |i| {
+        let r = optimal_qoe(&traces[i], video, &cfg.offline);
+        (r.qoe, r.qoe + cfg.weights().mu_s * r.startup_secs)
+    });
+    pairs.into_iter().unzip()
+}
+
+/// Figure 11a: prediction error sweep.
+pub fn run_fig11a(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let traces = sensitivity_traces(opts, opts.traces_capped(60));
+    let (opt, opt_ex) = compute_opts(&traces, &video, &cfg);
+    let errors = if opts.quick {
+        vec![0.1, 0.3, 0.5]
+    } else {
+        vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5]
+    };
+    let algos = [Algo::Mpc, Algo::RobustMpc, Algo::Bb, Algo::Rb];
+    let mut t = Table::new(
+        "Figure 11a: median n-QoE vs prediction error",
+        &["error", "MPC", "RobustMPC", "BB", "RB"],
+    );
+    for &err in &errors {
+        let mut row = vec![format!("{err:.2}")];
+        for algo in algos {
+            // BB ignores predictions entirely; the oracle spec still drives
+            // RB and the MPC family.
+            let spec = PredictorSpec::Oracle(err);
+            row.push(fmt_num(median_n_qoe(
+                algo, spec, &traces, &video, &cfg, &opt, false, &opt_ex,
+            )));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "fig11a", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Figure 11b: QoE-preference presets.
+pub fn run_fig11b(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let traces = sensitivity_traces(opts, opts.traces_capped(60));
+    let mut t = Table::new(
+        "Figure 11b: median n-QoE under QoE preferences",
+        &["preference", "MPC-OPT", "FastMPC", "BB", "RB"],
+    );
+    for pref in QoePreference::ALL {
+        let weights = QoeWeights::preset(pref);
+        let mut cfg = EvalConfig {
+            seed: opts.seed,
+            fastmpc_levels: if opts.quick { 20 } else { 100 },
+            ..EvalConfig::paper_default()
+        };
+        cfg.sim.weights = weights.clone();
+        cfg.offline.weights = weights;
+        let (opt, opt_ex) = compute_opts(&traces, &video, &cfg);
+        let mut row = vec![pref.label().to_string()];
+        for algo in Algo::SENSITIVITY {
+            row.push(fmt_num(median_n_qoe(
+                algo,
+                algo.default_predictor(),
+                &traces,
+                &video,
+                &cfg,
+                &opt,
+                false,
+                &opt_ex,
+            )));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "fig11b", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Figure 11c: buffer-size sweep.
+pub fn run_fig11c(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let traces = sensitivity_traces(opts, opts.traces_capped(60));
+    let sizes = if opts.quick {
+        vec![10.0, 30.0, 50.0]
+    } else {
+        vec![10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0]
+    };
+    let mut t = Table::new(
+        "Figure 11c: median n-QoE vs buffer size",
+        &["buffer (s)", "MPC-OPT", "FastMPC", "BB", "RB"],
+    );
+    for &bmax in &sizes {
+        let mut cfg = EvalConfig {
+            seed: opts.seed,
+            fastmpc_levels: if opts.quick { 20 } else { 100 },
+            ..EvalConfig::paper_default()
+        };
+        cfg.sim.buffer_max_secs = bmax;
+        cfg.offline.buffer_max_secs = bmax;
+        let (opt, opt_ex) = compute_opts(&traces, &video, &cfg);
+        let mut row = vec![format!("{bmax:.0}")];
+        for algo in Algo::SENSITIVITY {
+            row.push(fmt_num(median_n_qoe(
+                algo,
+                algo.default_predictor(),
+                &traces,
+                &video,
+                &cfg,
+                &opt,
+                false,
+                &opt_ex,
+            )));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "fig11c", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Figure 11d: fixed-startup-delay sweep (QoE excluding the startup term).
+pub fn run_fig11d(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let traces = sensitivity_traces(opts, opts.traces_capped(60));
+    let delays = if opts.quick {
+        vec![2.0, 6.0, 10.0]
+    } else {
+        vec![2.0, 4.0, 6.0, 8.0, 10.0]
+    };
+    let mut t = Table::new(
+        "Figure 11d: median n-QoE (excl. startup term) vs fixed startup time",
+        &["startup (s)", "MPC-OPT", "FastMPC", "BB", "RB"],
+    );
+    for &ts in &delays {
+        let mut cfg = EvalConfig {
+            seed: opts.seed,
+            fastmpc_levels: if opts.quick { 20 } else { 100 },
+            ..EvalConfig::paper_default()
+        };
+        cfg.sim.startup = StartupPolicy::Fixed(ts);
+        let (opt, opt_ex) = compute_opts(&traces, &video, &cfg);
+        let mut row = vec![format!("{ts:.0}")];
+        for algo in Algo::SENSITIVITY {
+            row.push(fmt_num(median_n_qoe(
+                algo,
+                algo.default_predictor(),
+                &traces,
+                &video,
+                &cfg,
+                &opt,
+                true,
+                &opt_ex,
+            )));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "fig11d", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Summary statistic helper exposed for tests.
+pub fn median(samples: &[f64]) -> f64 {
+    stats::median(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            traces: 3,
+            quick: true,
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn fig11a_renders() {
+        let s = run_fig11a(&tiny());
+        assert!(s.contains("Figure 11a"));
+        assert!(s.contains("RobustMPC"));
+    }
+
+    #[test]
+    fn fig11b_covers_presets() {
+        let s = run_fig11b(&tiny());
+        assert!(s.contains("Balanced"));
+        assert!(s.contains("Avoid Instability"));
+        assert!(s.contains("Avoid Rebuffering"));
+    }
+
+    #[test]
+    fn fig11c_and_d_render() {
+        assert!(run_fig11c(&tiny()).contains("buffer"));
+        assert!(run_fig11d(&tiny()).contains("startup"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 12 — MPC configuration parameters:
+//!
+//! * (a) FastMPC discretization levels vs. n-QoE, with perfect and
+//!   harmonic-mean prediction;
+//! * (b) look-ahead horizon vs. n-QoE at 10 / 15 / 20 % prediction error.
+
+use super::ExpOptions;
+use crate::registry::{Algo, PredictorSpec};
+use crate::report::{fmt_num, write_csv, Table};
+use crate::runner::{par_map, run_algo_session, EvalConfig};
+use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use abr_offline::optimal_qoe;
+use abr_sim::run_session;
+use abr_trace::{Dataset, Trace};
+use abr_video::envivio_video;
+use std::sync::Arc;
+
+fn traces_for(opts: &ExpOptions, n: usize) -> Vec<Trace> {
+    let per = n.div_ceil(3);
+    let mut traces = Vec::with_capacity(per * 3);
+    for ds in Dataset::ALL {
+        traces.extend(ds.generate(opts.seed ^ 0xF16, per));
+    }
+    traces.truncate(n);
+    traces
+}
+
+/// Figure 12a: FastMPC discretization sweep.
+///
+/// Runs on the stable broadband family: Figure 12a isolates *discretization
+/// granularity*, so prediction must stay accurate — on the volatile HSDPA
+/// traces FastMPC's prediction sensitivity (Figure 8b) would drown the
+/// binning signal.
+pub fn run_fig12a(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let traces = Dataset::Fcc.generate(opts.seed ^ 0xF16A, opts.traces_capped(40));
+    let opt: Vec<f64> = par_map(traces.len(), |i| {
+        optimal_qoe(&traces[i], &video, &cfg.offline).qoe
+    });
+    let levels = if opts.quick {
+        vec![5usize, 50, 100]
+    } else {
+        vec![5, 10, 50, 100, 500]
+    };
+    let mut t = Table::new(
+        "Figure 12a: FastMPC n-QoE vs discretization levels",
+        &["levels", "perfect prediction", "harmonic mean"],
+    );
+    for &n in &levels {
+        let mut table_cfg = TableConfig::with_levels(n, cfg.sim.buffer_max_secs);
+        table_cfg.weights = cfg.weights().clone();
+        let table = Arc::new(FastMpcTable::generate(
+            &video,
+            cfg.sim.buffer_max_secs,
+            table_cfg,
+        ));
+        let mut row = vec![n.to_string()];
+        for spec in [PredictorSpec::Oracle(0.0), PredictorSpec::Harmonic] {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                let mut c = FastMpc::new(Arc::clone(&table));
+                let r = run_session(
+                    &mut c,
+                    spec.build(cfg.seed ^ i as u64),
+                    &traces[i],
+                    &video,
+                    &cfg.sim,
+                );
+                r.qoe.qoe / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(abr_trace::stats::median(&kept)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "fig12a", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+/// Figure 12b: look-ahead horizon sweep at several prediction-error levels.
+pub fn run_fig12b(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let traces = traces_for(opts, opts.traces_capped(30));
+    let base = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    let opt: Vec<f64> = par_map(traces.len(), |i| {
+        optimal_qoe(&traces[i], &video, &base.offline).qoe
+    });
+    let horizons: Vec<usize> = if opts.quick {
+        vec![2, 5, 8]
+    } else {
+        (2..=9).collect()
+    };
+    let errors = [0.10, 0.15, 0.20];
+    let mut t = Table::new(
+        "Figure 12b: MPC n-QoE vs look-ahead horizon",
+        &["horizon", "error 10%", "error 15%", "error 20%"],
+    );
+    for &h in &horizons {
+        let cfg = EvalConfig {
+            horizon: h,
+            ..base.clone()
+        };
+        let mut row = vec![h.to_string()];
+        for &err in &errors {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                let seed = cfg.seed ^ (i as u64) << 8 ^ (err * 1000.0) as u64;
+                let r = run_algo_session(
+                    Algo::Mpc,
+                    None,
+                    PredictorSpec::Oracle(err),
+                    seed,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                );
+                r.qoe.qoe / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(abr_trace::stats::median(&kept)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "fig12b", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            traces: 3,
+            quick: true,
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn fig12a_renders() {
+        let s = run_fig12a(&tiny());
+        assert!(s.contains("Figure 12a"));
+        assert!(s.contains("harmonic"));
+    }
+
+    #[test]
+    fn fig12b_renders() {
+        let s = run_fig12b(&tiny());
+        assert!(s.contains("Figure 12b"));
+        assert!(s.contains("error 15%"));
+    }
+}

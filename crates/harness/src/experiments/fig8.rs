@@ -1,0 +1,203 @@
+//! Figures 8, 9 and 10 — the headline comparison.
+//!
+//! Figure 8: CDF of normalized QoE for RB, BB, FastMPC, RobustMPC, dash.js
+//! and FESTIVE over the FCC, HSDPA and Synthetic datasets, run on the
+//! emulation path (real HTTP through the trace-shaped link), as in the
+//! paper's testbed experiments.
+//!
+//! Figures 9 and 10 zoom into the FCC and HSDPA results respectively:
+//! CDFs of average bitrate, average per-chunk bitrate change, and total
+//! rebuffer time.
+
+use super::ExpOptions;
+use crate::registry::Algo;
+use crate::report::{cdf_table, fmt_num, write_csv, Table};
+use crate::runner::{evaluate_dataset, EvalConfig, EvalOutcome};
+use abr_net::NetConfig;
+use abr_trace::Dataset;
+use abr_video::envivio_video;
+
+/// Evaluates one dataset with the Figure 8 configuration.
+pub fn dataset_eval(ds: Dataset, opts: &ExpOptions) -> EvalOutcome {
+    let video = envivio_video();
+    let cfg = EvalConfig {
+        emulated: true,
+        net: NetConfig::typical(),
+        seed: opts.seed,
+        fastmpc_levels: if opts.quick { 30 } else { 100 },
+        ..EvalConfig::paper_default()
+    };
+    let traces = ds.generate(opts.seed, opts.traces);
+    evaluate_dataset(&Algo::FIGURE8, &traces, &video, &cfg)
+}
+
+/// Renders the Figure 8 panel for one dataset.
+pub fn render_fig8_panel(ds: Dataset, out: &EvalOutcome, opts: &ExpOptions) -> String {
+    let samples: Vec<(&str, Vec<f64>)> = out
+        .algos
+        .iter()
+        .map(|a| (a.name(), out.n_qoe_samples(*a)))
+        .collect();
+    let t = cdf_table(
+        &format!("Figure 8 ({}): CDF of normalized QoE", ds.label()),
+        &samples
+            .iter()
+            .map(|(n, v)| (*n, v.as_slice()))
+            .collect::<Vec<_>>(),
+        20,
+    );
+    write_csv(
+        opts.out.as_deref(),
+        &format!("fig8_{}", ds.label().to_lowercase()),
+        &t,
+    )
+    .expect("csv write");
+
+    let mut summary = Table::new(
+        &format!("Figure 8 ({}): median n-QoE summary", ds.label()),
+        &["algorithm", "median n-QoE"],
+    );
+    for a in &out.algos {
+        summary.row(vec![a.name().to_string(), fmt_num(out.median_n_qoe(*a))]);
+    }
+    let best_non_mpc = [Algo::Rb, Algo::Bb, Algo::Festive, Algo::DashJs]
+        .iter()
+        .map(|a| out.median_n_qoe(*a))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let robust = out.median_n_qoe(Algo::RobustMpc);
+    let dashjs = out.median_n_qoe(Algo::DashJs);
+    let mut s = t.render();
+    s.push('\n');
+    s.push_str(&summary.render());
+    s.push_str(&format!(
+        "RobustMPC vs best non-MPC median: {:+.1}%  |  vs dash.js: {:+.1}%  \
+         (skipped {} traces with non-positive OPT)\n\n",
+        (robust / best_non_mpc - 1.0) * 100.0,
+        (robust / dashjs - 1.0) * 100.0,
+        out.skipped
+    ));
+    s
+}
+
+/// Renders the Figure 9/10-style detail panel for one dataset.
+pub fn render_detail_panel(figure: &str, ds: Dataset, out: &EvalOutcome, opts: &ExpOptions) -> String {
+    let mut s = String::new();
+    let metrics: [(&str, Box<dyn Fn(&abr_sim::SessionResult) -> f64>); 3] = [
+        (
+            "average bitrate (kbps)",
+            Box::new(|r| r.avg_bitrate_kbps()),
+        ),
+        (
+            "average bitrate change (kbps/chunk)",
+            Box::new(|r| r.avg_bitrate_change_kbps()),
+        ),
+        (
+            "total rebuffer time (s)",
+            Box::new(|r| r.total_rebuffer_secs()),
+        ),
+    ];
+    for (mi, (label, f)) in metrics.iter().enumerate() {
+        let samples: Vec<(&str, Vec<f64>)> = out
+            .algos
+            .iter()
+            .map(|a| {
+                (
+                    a.name(),
+                    out.sessions_of(*a).iter().map(|r| f(r)).collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        let t = cdf_table(
+            &format!("{figure} ({}): CDF of {label}", ds.label()),
+            &samples
+                .iter()
+                .map(|(n, v)| (*n, v.as_slice()))
+                .collect::<Vec<_>>(),
+            20,
+        );
+        write_csv(
+            opts.out.as_deref(),
+            &format!(
+                "{}_{}_{mi}",
+                figure.to_lowercase().replace(' ', ""),
+                ds.label().to_lowercase()
+            ),
+            &t,
+        )
+        .expect("csv write");
+        s.push_str(&t.render());
+        s.push('\n');
+    }
+    // The zero-rebuffer headline the paper quotes for HSDPA.
+    let mut zero = Table::new(
+        &format!("{figure} ({}): fraction of sessions with zero rebuffering", ds.label()),
+        &["algorithm", "zero-rebuffer fraction"],
+    );
+    for a in &out.algos {
+        let sessions = out.sessions_of(*a);
+        let frac = sessions
+            .iter()
+            .filter(|r| r.total_rebuffer_secs() < 1e-9)
+            .count() as f64
+            / sessions.len().max(1) as f64;
+        zero.row(vec![a.name().to_string(), fmt_num(frac)]);
+    }
+    s.push_str(&zero.render());
+    s.push('\n');
+    s
+}
+
+/// Figure 8 over all three datasets.
+pub fn run(opts: &ExpOptions) -> String {
+    Dataset::ALL
+        .iter()
+        .map(|ds| render_fig8_panel(*ds, &dataset_eval(*ds, opts), opts))
+        .collect()
+}
+
+/// Figure 9 (FCC detail).
+pub fn run_fig9(opts: &ExpOptions) -> String {
+    render_detail_panel("Figure 9", Dataset::Fcc, &dataset_eval(Dataset::Fcc, opts), opts)
+}
+
+/// Figure 10 (HSDPA detail).
+pub fn run_fig10(opts: &ExpOptions) -> String {
+    render_detail_panel(
+        "Figure 10",
+        Dataset::Hsdpa,
+        &dataset_eval(Dataset::Hsdpa, opts),
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            traces: 3,
+            quick: true,
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn fig8_panel_renders() {
+        let out = dataset_eval(Dataset::Fcc, &tiny());
+        let s = render_fig8_panel(Dataset::Fcc, &out, &tiny());
+        assert!(s.contains("Figure 8 (FCC)"));
+        assert!(s.contains("RobustMPC"));
+        assert!(s.contains("median n-QoE"));
+    }
+
+    #[test]
+    fn detail_panel_renders_three_metrics() {
+        let out = dataset_eval(Dataset::Fcc, &tiny());
+        let s = render_detail_panel("Figure 9", Dataset::Fcc, &out, &tiny());
+        assert!(s.contains("average bitrate (kbps)"));
+        assert!(s.contains("bitrate change"));
+        assert!(s.contains("rebuffer"));
+        assert!(s.contains("zero-rebuffer"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Bitrate-level granularity sweep — the Section 7.3 result the paper
+//! describes but does not plot: BB and MPC improve with finer ladders,
+//! while RB first improves then degrades (it switches more and more,
+//! paying the instability penalty).
+
+use super::ExpOptions;
+use crate::registry::{Algo, PredictorSpec};
+use crate::report::{fmt_num, write_csv, Table};
+use crate::runner::{par_map, run_algo_session, EvalConfig};
+use abr_offline::optimal_qoe;
+use abr_trace::{Dataset, Trace};
+use abr_video::{Ladder, VideoBuilder};
+
+fn traces_for(opts: &ExpOptions, n: usize) -> Vec<Trace> {
+    let per = n.div_ceil(3);
+    let mut traces = Vec::with_capacity(per * 3);
+    for ds in Dataset::ALL {
+        traces.extend(ds.generate(opts.seed ^ 0x1E7E15, per));
+    }
+    traces.truncate(n);
+    traces
+}
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(opts: &ExpOptions) -> String {
+    let traces = traces_for(opts, opts.traces_capped(40));
+    let counts = if opts.quick {
+        vec![2usize, 5, 10]
+    } else {
+        vec![2, 3, 4, 5, 6, 8, 10, 12]
+    };
+    let cfg = EvalConfig {
+        seed: opts.seed,
+        ..EvalConfig::paper_default()
+    };
+    // The continuous-relaxation OPT depends on the ladder only through its
+    // endpoints, which we hold fixed — one OPT per trace serves every
+    // ladder granularity.
+    let ref_video = VideoBuilder::new(Ladder::geometric(350.0, 3000.0, 5).expect("valid"))
+        .chunks(65)
+        .chunk_secs(4.0)
+        .cbr();
+    let opt: Vec<f64> = par_map(traces.len(), |i| {
+        optimal_qoe(&traces[i], &ref_video, &cfg.offline).qoe
+    });
+
+    let algos = [Algo::Rb, Algo::Bb, Algo::Mpc];
+    let mut t = Table::new(
+        "Bitrate levels sweep (§7.3, not plotted in the paper): mean n-QoE",
+        &["levels", "RB", "BB", "MPC"],
+    );
+    for &n in &counts {
+        let ladder = Ladder::geometric(350.0, 3000.0, n).expect("valid ladder");
+        let video = VideoBuilder::new(ladder).chunks(65).chunk_secs(4.0).cbr();
+        let mut row = vec![n.to_string()];
+        for algo in algos {
+            let scores: Vec<f64> = par_map(traces.len(), |i| {
+                if opt[i] <= 0.0 {
+                    return f64::NAN;
+                }
+                let r = run_algo_session(
+                    algo,
+                    None,
+                    PredictorSpec::Harmonic,
+                    cfg.seed ^ i as u64,
+                    &traces[i],
+                    &video,
+                    &cfg,
+                );
+                r.qoe.qoe / opt[i]
+            });
+            let kept: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
+            row.push(fmt_num(abr_trace::stats::median(&kept)));
+        }
+        t.row(row);
+    }
+    write_csv(opts.out.as_deref(), "levels", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_sweep_renders() {
+        let s = run(&ExpOptions {
+            traces: 3,
+            quick: true,
+            ..ExpOptions::default()
+        });
+        assert!(s.contains("Bitrate levels"));
+        assert!(s.contains("MPC"));
+    }
+}

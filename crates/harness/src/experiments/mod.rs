@@ -1,0 +1,48 @@
+//! One regenerator per table/figure of the paper's evaluation.
+//!
+//! Each submodule exposes a `run(&ExpOptions) -> String` that prints the
+//! same rows/series the paper plots and optionally writes CSV files. The
+//! index mapping experiments to paper artifacts lives in DESIGN.md.
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod fig8;
+pub mod levels;
+pub mod multiplayer;
+pub mod overhead;
+pub mod table1;
+
+use std::path::PathBuf;
+
+/// Options common to all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Traces per dataset.
+    pub traces: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Directory for CSV output (`None` = text only).
+    pub out: Option<PathBuf>,
+    /// Quick mode: smaller sweeps for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            traces: 100,
+            seed: 42,
+            out: None,
+            quick: false,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Trace count, reduced for expensive sweeps.
+    pub fn traces_capped(&self, cap: usize) -> usize {
+        self.traces.min(cap)
+    }
+}

@@ -1,0 +1,112 @@
+//! Multi-player fairness — the Section 8 extension: `N` players share a
+//! bottleneck; how do the algorithms divide it, and what happens to each
+//! player's QoE under contention?
+//!
+//! Reports, per algorithm and player count: Jain fairness over average
+//! bitrates, mean per-player bitrate, rebuffering, and link utilization.
+//! FESTIVE was *designed* for this setting (its stability score damps the
+//! ON/OFF oscillation), so it should shine here relative to its
+//! single-player showing — the cross-check on our FESTIVE port.
+
+use super::ExpOptions;
+use crate::registry::Algo;
+use crate::report::{fmt_num, write_csv, Table};
+use crate::runner::par_map;
+use abr_net::multiplayer::{run_shared_session, SharedPlayer};
+use abr_predictor::HarmonicMean;
+use abr_sim::SimConfig;
+use abr_trace::{Dataset, Trace};
+use abr_video::{envivio_video, QoeWeights};
+
+fn shared_traces(opts: &ExpOptions, n: usize) -> Vec<Trace> {
+    // Bottlenecks sized for contention: scale up the FCC family so that
+    // two to four players can plausibly coexist.
+    Dataset::Fcc
+        .generate(opts.seed ^ 0x3417, n)
+        .into_iter()
+        .map(|t| t.scaled(3.0))
+        .collect()
+}
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let weights = QoeWeights::balanced();
+    let traces = shared_traces(opts, opts.traces_capped(20));
+    let counts = if opts.quick { vec![2usize] } else { vec![2usize, 3, 4] };
+    let algos = [Algo::Rb, Algo::Bb, Algo::Festive, Algo::RobustMpc];
+    let table = Algo::default_table(&video, cfg.buffer_max_secs, &weights, 30);
+
+    let mut t = Table::new(
+        "Multi-player (§8 extension): homogeneous players on a shared bottleneck",
+        &[
+            "players",
+            "algorithm",
+            "Jain fairness",
+            "avg bitrate (kbps)",
+            "rebuffer (s)",
+            "utilization",
+        ],
+    );
+    for &n_players in &counts {
+        for algo in algos {
+            let per_trace: Vec<(f64, f64, f64, f64)> = par_map(traces.len(), |ti| {
+                let trace = &traces[ti];
+                let players: Vec<SharedPlayer> = (0..n_players)
+                    .map(|p| SharedPlayer {
+                        controller: algo.build(Some(&table), &weights, 5),
+                        predictor: Box::new(HarmonicMean::paper_default()),
+                        start_offset_secs: p as f64 * 2.0,
+                    })
+                    .collect();
+                let out = run_shared_session(players, trace, &video, &cfg);
+                let bitrate = out
+                    .sessions
+                    .iter()
+                    .map(|s| s.avg_bitrate_kbps())
+                    .sum::<f64>()
+                    / n_players as f64;
+                let rebuf = out
+                    .sessions
+                    .iter()
+                    .map(|s| s.total_rebuffer_secs())
+                    .sum::<f64>()
+                    / n_players as f64;
+                let capacity = trace.integrate_kbits(0.0, out.span_secs);
+                let util = out.delivered_kbits / capacity;
+                (out.bitrate_fairness, bitrate, rebuf, util)
+            });
+            let m = |f: fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+                per_trace.iter().map(f).sum::<f64>() / per_trace.len() as f64
+            };
+            t.row(vec![
+                n_players.to_string(),
+                algo.name().to_string(),
+                fmt_num(m(|x| x.0)),
+                fmt_num(m(|x| x.1)),
+                fmt_num(m(|x| x.2)),
+                fmt_num(m(|x| x.3)),
+            ]);
+        }
+    }
+    write_csv(opts.out.as_deref(), "multiplayer", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplayer_experiment_renders() {
+        let s = run(&ExpOptions {
+            traces: 2,
+            quick: true,
+            ..ExpOptions::default()
+        });
+        assert!(s.contains("Jain fairness"));
+        assert!(s.contains("FESTIVE"));
+        assert!(s.contains("RobustMPC"));
+    }
+}

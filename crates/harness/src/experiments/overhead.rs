@@ -1,0 +1,103 @@
+//! Section 7.4 overhead microbenchmark: per-decision CPU cost of each
+//! algorithm and the FastMPC table's memory footprint (the paper reports
+//! "similar CPU usage and only 60 kB extra memory").
+//!
+//! The rigorous statistics live in the Criterion benches (`abr-bench`);
+//! this subcommand gives a quick same-binary measurement.
+
+use super::ExpOptions;
+use crate::registry::Algo;
+use crate::report::{write_csv, Table};
+use abr_core::ControllerContext;
+use abr_video::{envivio_video, LevelIdx, QoeWeights};
+use std::time::Instant;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let weights = QoeWeights::balanced();
+    let levels = if opts.quick { 30 } else { 100 };
+    let t_gen = Instant::now();
+    let table = Algo::default_table(&video, 30.0, &weights, levels);
+    let gen_secs = t_gen.elapsed().as_secs_f64();
+
+    let algos = [
+        Algo::Rb,
+        Algo::Bb,
+        Algo::Festive,
+        Algo::DashJs,
+        Algo::FastMpc,
+        Algo::Mpc,
+        Algo::RobustMpc,
+    ];
+    let mut t = Table::new(
+        "§7.4 overhead: per-decision CPU cost",
+        &["algorithm", "ns/decision", "decisions/s"],
+    );
+    let iters = if opts.quick { 2_000 } else { 20_000 };
+    for algo in algos {
+        let mut controller = algo.build(Some(&table), &weights, 5);
+        // A mid-stream state; vary buffer/prediction per iteration so
+        // nothing gets branch-predicted away unrealistically.
+        let start = Instant::now();
+        for i in 0..iters {
+            let ctx = ControllerContext {
+                chunk_index: 10 + (i % 40),
+                buffer_secs: (i % 30) as f64,
+                prev_level: Some(LevelIdx(i % 5)),
+                prediction_kbps: Some(400.0 + (i % 50) as f64 * 60.0),
+                robust_lower_kbps: Some(350.0 + (i % 50) as f64 * 50.0),
+                last_throughput_kbps: Some(1000.0),
+                recent_low_buffer: false,
+                startup: false,
+                video: &video,
+                buffer_max_secs: 30.0,
+            };
+            std::hint::black_box(controller.decide(&ctx));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        t.row(vec![
+            algo.name().to_string(),
+            format!("{ns:.0}"),
+            format!("{:.0}", 1e9 / ns),
+        ]);
+    }
+    write_csv(opts.out.as_deref(), "overhead", &t).expect("csv write");
+
+    let mut mem = Table::new(
+        "§7.4 overhead: FastMPC memory",
+        &["artifact", "bytes"],
+    );
+    mem.row(vec![
+        format!("decision table, full ({levels} levels)"),
+        table.full_size_bytes().to_string(),
+    ]);
+    mem.row(vec![
+        "decision table, run-length coded".to_string(),
+        table.rle_size_bytes().to_string(),
+    ]);
+    write_csv(opts.out.as_deref(), "overhead_memory", &mem).expect("csv write");
+
+    format!(
+        "{}\n{}\n(table generated offline in {:.2} s)\n",
+        t.render(),
+        mem.render(),
+        gen_secs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_reports_all_algorithms() {
+        let s = run(&ExpOptions {
+            quick: true,
+            ..ExpOptions::default()
+        });
+        assert!(s.contains("ns/decision"));
+        assert!(s.contains("FastMPC"));
+        assert!(s.contains("run-length coded"));
+    }
+}

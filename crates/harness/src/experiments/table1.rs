@@ -1,0 +1,55 @@
+//! Table 1 — FastMPC table size at several discretization levels, stored
+//! raw ("full table") and run-length coded.
+
+use super::ExpOptions;
+use crate::report::{write_csv, Table};
+use abr_fastmpc::{FastMpcTable, TableConfig};
+use abr_video::envivio_video;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let levels = if opts.quick {
+        vec![50usize, 100, 200]
+    } else {
+        vec![50, 100, 200, 500]
+    };
+    let mut t = Table::new(
+        "Table 1: FastMPC table size vs discretization levels",
+        &[
+            "levels",
+            "rows",
+            "full table (bytes)",
+            "run-length coded (bytes)",
+            "compression",
+        ],
+    );
+    for &n in &levels {
+        let table = FastMpcTable::generate(&video, 30.0, TableConfig::with_levels(n, 30.0));
+        let ratio = table.rle_size_bytes() as f64 / table.full_size_bytes() as f64;
+        t.row(vec![
+            n.to_string(),
+            table.num_entries().to_string(),
+            table.full_size_bytes().to_string(),
+            table.rle_size_bytes().to_string(),
+            format!("{:.2}x", ratio),
+        ]);
+    }
+    write_csv(opts.out.as_deref(), "table1", &t).expect("csv write");
+    t.render() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_with_decreasing_ratio() {
+        let s = run(&ExpOptions {
+            quick: true,
+            ..ExpOptions::default()
+        });
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("run-length"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness for the Section 7 evaluation.
+//!
+//! Every table and figure in the paper has a regenerator here (see
+//! DESIGN.md's experiment index). The `abr-harness` binary exposes them as
+//! subcommands:
+//!
+//! ```text
+//! abr-harness fig7      # dataset characteristics (3 CDF panels)
+//! abr-harness fig8      # normalized-QoE CDFs on FCC / HSDPA / Synthetic
+//! abr-harness fig9      # FCC per-factor CDFs (bitrate, switches, rebuffer)
+//! abr-harness fig10     # HSDPA per-factor CDFs
+//! abr-harness fig11a    # n-QoE vs prediction error
+//! abr-harness fig11b    # n-QoE vs QoE preference presets
+//! abr-harness fig11c    # n-QoE vs buffer size
+//! abr-harness fig11d    # n-QoE vs fixed startup delay
+//! abr-harness fig12a    # FastMPC discretization sweep
+//! abr-harness fig12b    # MPC look-ahead horizon sweep
+//! abr-harness table1    # FastMPC table sizes, full vs run-length coded
+//! abr-harness levels    # bitrate-ladder granularity sweep (§7.3, unshown)
+//! abr-harness overhead  # per-decision CPU cost + table memory (§7.4)
+//! abr-harness all       # everything above
+//! ```
+//!
+//! Output is aligned text (the same rows/series the paper plots) plus CSV
+//! files under `--out DIR` for plotting. Runs are deterministic in
+//! `--seed`; `--traces N` trades precision for time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use registry::{Algo, PredictorSpec};
+pub use runner::{evaluate_dataset, EvalConfig, EvalOutcome, TraceEval};

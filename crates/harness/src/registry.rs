@@ -1,0 +1,232 @@
+//! The algorithm registry: builds fresh controller/predictor pairs per
+//! session, exactly as Section 7.1.2 configures them.
+
+use abr_baselines::{Bola, BufferBased, DashJs, Festive, RateBased};
+use abr_core::{BitrateController, Mpc, MpcConfig};
+use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use abr_predictor::{
+    Ar1, CrossSession, Ewma, HarmonicMean, LastSample, NoisyOracle, Predictor, SlidingMean,
+};
+use abr_video::{QoeWeights, Video};
+use std::sync::Arc;
+
+/// The throughput predictor driving a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorSpec {
+    /// Harmonic mean of the past 5 chunks — the paper's default.
+    Harmonic,
+    /// Ground truth with bounded multiplicative noise (sensitivity studies);
+    /// `0.0` is the perfect predictor used for MPC-OPT.
+    Oracle(f64),
+    /// Arithmetic mean over a window.
+    Sliding(usize),
+    /// Exponentially weighted moving average.
+    Ewma(f64),
+    /// The last observed chunk throughput.
+    Last,
+    /// Online-fitted AR(1) in the log domain (Section 8's "better
+    /// predictors" direction).
+    Ar1(usize),
+    /// Crowdsourced prior worth `weight` pseudo-observations blended with a
+    /// 5-chunk harmonic window (Section 8's control-plane direction).
+    CrossSession {
+        /// Prior throughput estimate from other sessions, kbps.
+        prior_kbps: f64,
+        /// Pseudo-observation weight of the prior.
+        weight: f64,
+    },
+}
+
+impl PredictorSpec {
+    /// Builds a fresh predictor for one session; `seed` keeps oracle noise
+    /// deterministic per (trace, algorithm).
+    pub fn build(&self, seed: u64) -> Box<dyn Predictor> {
+        match *self {
+            PredictorSpec::Harmonic => Box::new(HarmonicMean::paper_default()),
+            PredictorSpec::Oracle(err) => Box::new(NoisyOracle::new(err, seed)),
+            PredictorSpec::Sliding(w) => Box::new(SlidingMean::new(w)),
+            PredictorSpec::Ewma(alpha) => Box::new(Ewma::new(alpha)),
+            PredictorSpec::Last => Box::new(LastSample::new()),
+            PredictorSpec::Ar1(w) => Box::new(Ar1::new(w)),
+            PredictorSpec::CrossSession { prior_kbps, weight } => {
+                Box::new(CrossSession::new(prior_kbps, weight, 5))
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorSpec::Harmonic => "harmonic-5".to_string(),
+            PredictorSpec::Oracle(e) => format!("oracle±{:.0}%", e * 100.0),
+            PredictorSpec::Sliding(w) => format!("mean-{w}"),
+            PredictorSpec::Ewma(a) => format!("ewma-{a}"),
+            PredictorSpec::Last => "last-sample".to_string(),
+            PredictorSpec::Ar1(w) => format!("ar1-{w}"),
+            PredictorSpec::CrossSession { weight, .. } => format!("crowd-w{weight}"),
+        }
+    }
+}
+
+/// The algorithms of the evaluation (Section 7.1.2's list plus MPC-OPT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Rate-based: max bitrate under the harmonic-mean prediction.
+    Rb,
+    /// Buffer-based (Huang et al.), reservoir 5 s / cushion 10 s.
+    Bb,
+    /// FESTIVE with `α = 12`, stepwise switching.
+    Festive,
+    /// dash.js rule-based logic.
+    DashJs,
+    /// BOLA (extension): the Lyapunov buffer-based algorithm from
+    /// follow-on work.
+    Bola,
+    /// FastMPC: 100×100-bin table lookup, harmonic-mean prediction.
+    FastMpc,
+    /// RobustMPC: exact MPC on the error-adjusted throughput lower bound.
+    RobustMpc,
+    /// Exact MPC on the raw prediction.
+    Mpc,
+    /// Exact MPC with perfect throughput prediction (simulation upper
+    /// reference in Figures 11b–d).
+    MpcOpt,
+}
+
+impl Algo {
+    /// The six algorithms of the headline comparison (Figure 8), in the
+    /// paper's legend order.
+    pub const FIGURE8: [Algo; 6] = [
+        Algo::Rb,
+        Algo::Bb,
+        Algo::FastMpc,
+        Algo::RobustMpc,
+        Algo::DashJs,
+        Algo::Festive,
+    ];
+
+    /// The four algorithms of the sensitivity panels (Figures 11b–d).
+    pub const SENSITIVITY: [Algo; 4] = [Algo::MpcOpt, Algo::FastMpc, Algo::Bb, Algo::Rb];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Rb => "RB",
+            Algo::Bb => "BB",
+            Algo::Festive => "FESTIVE",
+            Algo::DashJs => "dash.js",
+            Algo::Bola => "BOLA",
+            Algo::FastMpc => "FastMPC",
+            Algo::RobustMpc => "RobustMPC",
+            Algo::Mpc => "MPC",
+            Algo::MpcOpt => "MPC-OPT",
+        }
+    }
+
+    /// The predictor this algorithm is evaluated with by default.
+    pub fn default_predictor(self) -> PredictorSpec {
+        match self {
+            Algo::MpcOpt => PredictorSpec::Oracle(0.0),
+            _ => PredictorSpec::Harmonic,
+        }
+    }
+
+    /// Whether this algorithm needs the FastMPC decision table.
+    pub fn needs_table(self) -> bool {
+        matches!(self, Algo::FastMpc)
+    }
+
+    /// Builds a fresh controller. `table` is required for
+    /// [`Algo::FastMpc`]; `weights`/`horizon` configure the MPC family.
+    pub fn build(
+        self,
+        table: Option<&Arc<FastMpcTable>>,
+        weights: &QoeWeights,
+        horizon: usize,
+    ) -> Box<dyn BitrateController> {
+        let mpc_cfg = |robust: bool| MpcConfig {
+            horizon,
+            weights: weights.clone(),
+            robust,
+            ..MpcConfig::paper_default()
+        };
+        match self {
+            Algo::Rb => Box::new(RateBased::paper_default()),
+            Algo::Bb => Box::new(BufferBased::paper_default()),
+            Algo::Festive => Box::new(Festive::paper_default()),
+            Algo::DashJs => Box::new(DashJs::paper_default()),
+            Algo::Bola => Box::new(Bola::reference_default()),
+            Algo::FastMpc => Box::new(FastMpc::new(Arc::clone(
+                table.expect("FastMPC requires a decision table"),
+            ))),
+            Algo::RobustMpc => Box::new(Mpc::new(mpc_cfg(true))),
+            Algo::Mpc => Box::new(Mpc::new(mpc_cfg(false))),
+            Algo::MpcOpt => Box::new(Mpc::new(mpc_cfg(false)).named("MPC-OPT")),
+        }
+    }
+
+    /// Generates the paper-default FastMPC table for `video` (100 buffer
+    /// bins, 100 throughput bins, horizon 5) with the given weights.
+    pub fn default_table(
+        video: &Video,
+        buffer_max_secs: f64,
+        weights: &QoeWeights,
+        levels: usize,
+    ) -> Arc<FastMpcTable> {
+        let mut cfg = TableConfig::with_levels(levels, buffer_max_secs);
+        cfg.weights = weights.clone();
+        Arc::new(FastMpcTable::generate(video, buffer_max_secs, cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::envivio_video;
+
+    #[test]
+    fn all_algorithms_build() {
+        let video = envivio_video();
+        let weights = QoeWeights::balanced();
+        let table = Algo::default_table(&video, 30.0, &weights, 10);
+        for algo in [
+            Algo::Rb,
+            Algo::Bb,
+            Algo::Festive,
+            Algo::DashJs,
+            Algo::Bola,
+            Algo::FastMpc,
+            Algo::RobustMpc,
+            Algo::Mpc,
+            Algo::MpcOpt,
+        ] {
+            let c = algo.build(Some(&table), &weights, 5);
+            assert_eq!(c.name(), algo.name());
+        }
+    }
+
+    #[test]
+    fn figure8_set_matches_paper_legend() {
+        let names: Vec<_> = Algo::FIGURE8.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["RB", "BB", "FastMPC", "RobustMPC", "dash.js", "FESTIVE"]
+        );
+    }
+
+    #[test]
+    fn predictor_specs_build() {
+        let mut h = PredictorSpec::Harmonic.build(0);
+        h.observe(1000.0);
+        assert_eq!(h.predict(), Some(1000.0));
+        let mut o = PredictorSpec::Oracle(0.0).build(1);
+        o.hint_future(1234.0);
+        assert_eq!(o.predict(), Some(1234.0));
+    }
+
+    #[test]
+    fn mpc_opt_uses_perfect_oracle() {
+        assert_eq!(Algo::MpcOpt.default_predictor(), PredictorSpec::Oracle(0.0));
+        assert_eq!(Algo::RobustMpc.default_predictor(), PredictorSpec::Harmonic);
+    }
+}

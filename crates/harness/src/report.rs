@@ -1,0 +1,211 @@
+//! Plain-text tables and CSV series — the harness's output layer.
+
+use abr_trace::stats::Cdf;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a number with a sensible number of digits for tables.
+pub fn fmt_num(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Builds a CDF table from named sample sets, downsampled onto `points`
+/// quantiles — the series the paper plots. Columns: probability, then one
+/// value column per series.
+pub fn cdf_table(title: &str, series: &[(&str, &[f64])], points: usize) -> Table {
+    let mut header = vec!["p"];
+    for (name, _) in series {
+        header.push(name);
+    }
+    let mut t = Table::new(title, &header);
+    let cdfs: Vec<Option<Cdf>> = series.iter().map(|(_, s)| Cdf::of(s)).collect();
+    for i in 0..points {
+        let p = (i as f64 + 1.0) / points as f64;
+        let mut row = vec![format!("{p:.2}")];
+        for cdf in &cdfs {
+            row.push(match cdf {
+                Some(c) => fmt_num(c.quantile(p)),
+                None => "-".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Writes a table's CSV to `dir/name.csv` (creates `dir` if needed);
+/// silently skips when `dir` is `None`.
+pub fn write_csv(dir: Option<&Path>, name: &str, table: &Table) -> std::io::Result<()> {
+    let Some(dir) = dir else { return Ok(()) };
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.csv")), table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        // Aligned right: the short name is padded.
+        assert!(s.lines().any(|l| l.trim_start().starts_with('x')));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", &["a,b", "c"]);
+        t.row(vec!["has\"quote".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c"));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn cdf_table_shapes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let t = cdf_table("cdf", &[("A", &a), ("B", &b)], 4);
+        let s = t.render();
+        assert!(s.contains("1.00"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 5); // header + 4 points
+    }
+
+    #[test]
+    fn fmt_num_scales() {
+        assert_eq!(fmt_num(12345.6), "12346");
+        assert_eq!(fmt_num(99.87), "99.9");
+        assert_eq!(fmt_num(0.912), "0.912");
+    }
+
+    #[test]
+    fn write_csv_none_is_noop() {
+        let t = Table::new("t", &["a"]);
+        write_csv(None, "x", &t).unwrap();
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("empty", &["col1", "col2"]);
+        let s = t.render();
+        assert!(s.contains("== empty =="));
+        assert!(s.contains("col1"));
+        assert_eq!(t.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn cdf_table_empty_series_prints_dashes() {
+        let t = cdf_table("cdf", &[("empty", &[])], 3);
+        let s = t.render();
+        assert!(s.contains('-'), "{s}");
+        assert!(s.lines().skip(3).all(|l| l.trim_end().ends_with('-')), "{s}");
+    }
+
+    #[test]
+    fn write_csv_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join("abr_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        write_csv(Some(&dir), "out", &t).unwrap();
+        let content = std::fs::read_to_string(dir.join("out.csv")).unwrap();
+        assert_eq!(content, "a\n1\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,329 @@
+//! Evaluation driver: runs algorithm × trace grids, computes normalized QoE
+//! against the offline optimum, and fans work across CPU cores.
+
+use crate::registry::{Algo, PredictorSpec};
+use abr_fastmpc::FastMpcTable;
+use abr_net::{run_emulated_session, NetConfig};
+use abr_offline::{optimal_qoe, OfflineConfig};
+use abr_sim::{run_session, SessionResult, SimConfig};
+use abr_trace::Trace;
+use abr_video::{QoeWeights, Video};
+use std::sync::Arc;
+
+/// Configuration of one evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Simulator configuration (buffer size, weights, startup policy).
+    pub sim: SimConfig,
+    /// Offline-optimal solver configuration (normalized-QoE denominator).
+    pub offline: OfflineConfig,
+    /// Use the emulation path (real HTTP through the shaped link) instead
+    /// of the analytic simulator. The headline Figure 8/9/10 experiments
+    /// run emulated, matching the paper's testbed methodology; the
+    /// sensitivity studies run simulated, matching Section 7.3.
+    pub emulated: bool,
+    /// Network parameters of the emulation path.
+    pub net: NetConfig,
+    /// MPC look-ahead horizon.
+    pub horizon: usize,
+    /// FastMPC discretization levels per continuous dimension.
+    pub fastmpc_levels: usize,
+    /// Base RNG seed (oracle predictors derive per-session seeds from it).
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// The paper's defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            sim: SimConfig::paper_default(),
+            offline: OfflineConfig::paper_default(),
+            emulated: false,
+            net: NetConfig::parity(),
+            horizon: 5,
+            fastmpc_levels: 100,
+            seed: 42,
+        }
+    }
+
+    /// QoE weights in effect.
+    pub fn weights(&self) -> &QoeWeights {
+        &self.sim.weights
+    }
+}
+
+/// Evaluation of one trace: the offline optimum plus one session per
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct TraceEval {
+    /// Index of the trace within the dataset.
+    pub trace_idx: usize,
+    /// `QoE(OPT)` for this trace.
+    pub opt_qoe: f64,
+    /// One session per algorithm, in the order supplied to
+    /// [`evaluate_dataset`].
+    pub sessions: Vec<SessionResult>,
+}
+
+impl TraceEval {
+    /// Normalized QoE of algorithm `i`: `QoE(A) / QoE(OPT)`.
+    pub fn n_qoe(&self, i: usize) -> f64 {
+        self.sessions[i].qoe.qoe / self.opt_qoe
+    }
+}
+
+/// The full grid result.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Algorithms evaluated, in column order.
+    pub algos: Vec<Algo>,
+    /// Per-trace evaluations (traces whose offline optimum was not positive
+    /// are skipped — normalization is meaningless there; see `skipped`).
+    pub traces: Vec<TraceEval>,
+    /// Number of traces skipped because `QoE(OPT) <= 0`.
+    pub skipped: usize,
+}
+
+impl EvalOutcome {
+    /// Normalized-QoE samples of one algorithm across all traces.
+    pub fn n_qoe_samples(&self, algo: Algo) -> Vec<f64> {
+        let i = self.col(algo);
+        self.traces.iter().map(|t| t.n_qoe(i)).collect()
+    }
+
+    /// All sessions of one algorithm.
+    pub fn sessions_of(&self, algo: Algo) -> Vec<&SessionResult> {
+        let i = self.col(algo);
+        self.traces.iter().map(|t| &t.sessions[i]).collect()
+    }
+
+    /// Median normalized QoE of one algorithm.
+    pub fn median_n_qoe(&self, algo: Algo) -> f64 {
+        abr_trace::stats::median(&self.n_qoe_samples(algo))
+    }
+
+    fn col(&self, algo: Algo) -> usize {
+        self.algos
+            .iter()
+            .position(|a| *a == algo)
+            .unwrap_or_else(|| panic!("{} was not evaluated", algo.name()))
+    }
+}
+
+/// Derives a deterministic per-session seed.
+fn session_seed(base: u64, trace_idx: usize, algo_idx: usize) -> u64 {
+    base ^ (trace_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (algo_idx as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// Runs one algorithm over one trace under `cfg`, using `spec` as the
+/// predictor (pass `algo.default_predictor()` unless an experiment overrides
+/// it).
+#[allow(clippy::too_many_arguments)]
+pub fn run_algo_session(
+    algo: Algo,
+    table: Option<&Arc<FastMpcTable>>,
+    spec: PredictorSpec,
+    seed: u64,
+    trace: &Trace,
+    video: &Video,
+    cfg: &EvalConfig,
+) -> SessionResult {
+    let mut controller = algo.build(table, cfg.weights(), cfg.horizon);
+    let predictor = spec.build(seed);
+    if cfg.emulated {
+        run_emulated_session(
+            controller.as_mut(),
+            predictor,
+            trace,
+            video,
+            &cfg.sim,
+            &cfg.net,
+        )
+    } else {
+        run_session(controller.as_mut(), predictor, trace, video, &cfg.sim)
+    }
+}
+
+/// A minimal fork-join parallel map over trace indices (uses every core;
+/// degrades gracefully to serial on single-core machines).
+pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<_> = out.iter_mut().map(parking_slot).collect();
+    // Hand each worker the full slot list behind a mutex-free protocol:
+    // workers claim indices via the atomic counter and write disjoint slots.
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                // SAFETY-free: each index is claimed exactly once, so each
+                // cell is written by exactly one thread.
+                slots[i].set(value);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+/// A write-once cell wrapper so disjoint `&mut Option<T>` slots can be
+/// distributed across threads without unsafe code.
+struct Slot<'a, T>(std::sync::Mutex<&'a mut Option<T>>);
+
+impl<T> Slot<'_, T> {
+    fn set(&self, value: T) {
+        **self.0.lock().expect("slot lock poisoned") = Some(value);
+    }
+}
+
+fn parking_slot<T>(slot: &mut Option<T>) -> Slot<'_, T> {
+    Slot(std::sync::Mutex::new(slot))
+}
+
+/// Evaluates `algos` over `traces`, computing the offline optimum per trace
+/// for normalization. Traces with a non-positive optimum are skipped.
+pub fn evaluate_dataset(
+    algos: &[Algo],
+    traces: &[Trace],
+    video: &Video,
+    cfg: &EvalConfig,
+) -> EvalOutcome {
+    let table = if algos.iter().any(|a| a.needs_table()) {
+        Some(Algo::default_table(
+            video,
+            cfg.sim.buffer_max_secs,
+            cfg.weights(),
+            cfg.fastmpc_levels,
+        ))
+    } else {
+        None
+    };
+
+    let evals: Vec<Option<TraceEval>> = par_map(traces.len(), |t_idx| {
+        let trace = &traces[t_idx];
+        let opt = optimal_qoe(trace, video, &cfg.offline);
+        if opt.qoe <= 0.0 {
+            return None;
+        }
+        let sessions = algos
+            .iter()
+            .enumerate()
+            .map(|(a_idx, algo)| {
+                run_algo_session(
+                    *algo,
+                    table.as_ref(),
+                    algo.default_predictor(),
+                    session_seed(cfg.seed, t_idx, a_idx),
+                    trace,
+                    video,
+                    cfg,
+                )
+            })
+            .collect();
+        Some(TraceEval {
+            trace_idx: t_idx,
+            opt_qoe: opt.qoe,
+            sessions,
+        })
+    });
+
+    let skipped = evals.iter().filter(|e| e.is_none()).count();
+    EvalOutcome {
+        algos: algos.to_vec(),
+        traces: evals.into_iter().flatten().collect(),
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_trace::Dataset;
+    use abr_video::envivio_video;
+
+    fn quick_cfg() -> EvalConfig {
+        EvalConfig {
+            fastmpc_levels: 12,
+            ..EvalConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial() {
+        let out = par_map(100, |i| i * i);
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u32> = par_map(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn evaluate_small_grid() {
+        let video = envivio_video();
+        let traces = Dataset::Fcc.generate(7, 4);
+        let cfg = quick_cfg();
+        let algos = [Algo::Rb, Algo::Bb, Algo::RobustMpc, Algo::FastMpc];
+        let out = evaluate_dataset(&algos, &traces, &video, &cfg);
+        assert_eq!(out.traces.len() + out.skipped, 4);
+        for t in &out.traces {
+            assert!(t.opt_qoe > 0.0);
+            assert_eq!(t.sessions.len(), 4);
+            for i in 0..4 {
+                let n = t.n_qoe(i);
+                assert!(n.is_finite());
+                // No algorithm should (meaningfully) beat clairvoyant OPT.
+                assert!(n <= 1.05, "n-QoE {n} for {}", out.algos[i].name());
+            }
+        }
+        // Median accessor works.
+        let med = out.median_n_qoe(Algo::RobustMpc);
+        assert!(med.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let video = envivio_video();
+        let traces = Dataset::Hsdpa.generate(3, 2);
+        let cfg = quick_cfg();
+        let a = evaluate_dataset(&[Algo::RobustMpc], &traces, &video, &cfg);
+        let b = evaluate_dataset(&[Algo::RobustMpc], &traces, &video, &cfg);
+        assert_eq!(a.traces.len(), b.traces.len());
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(x.sessions[0].qoe.qoe, y.sessions[0].qoe.qoe);
+        }
+    }
+
+    #[test]
+    fn emulated_grid_runs() {
+        let video = envivio_video();
+        let traces = Dataset::Fcc.generate(9, 2);
+        let cfg = EvalConfig {
+            emulated: true,
+            fastmpc_levels: 12,
+            ..EvalConfig::paper_default()
+        };
+        let out = evaluate_dataset(&[Algo::Bb], &traces, &video, &cfg);
+        assert!(!out.traces.is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! A minimal HTTP/1.1 implementation: request/response framing with
+//! `Content-Length` bodies and keep-alive connections, over any
+//! `Read + Write` transport — real `TcpStream`s in the integration tests,
+//! in-memory buffers in the emulation path.
+//!
+//! Scope is exactly what DASH streaming needs (the paper's client issues
+//! plain `GET`s against a node.js static server): `GET` requests, `200/404`
+//! responses, byte-exact bodies. The parser is strict about framing —
+//! malformed input yields an error, never a panic.
+
+use crate::mpd;
+use abr_video::{LevelIdx, Video};
+use bytes::Bytes;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Errors from HTTP parsing or I/O.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// Malformed request/status line or header.
+    Malformed(String),
+    /// Body shorter than its declared `Content-Length`.
+    TruncatedBody {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The peer closed the connection before a complete message arrived.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed http: {what}"),
+            HttpError::TruncatedBody { expected, got } => {
+                write!(f, "truncated body: expected {expected} bytes, got {got}")
+            }
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or(HttpError::ConnectionClosed)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let lower = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(n, _)| *n == lower)
+        .map(|(_, v)| v.as_str())
+}
+
+/// An HTTP request (we only ever need `GET`, but the framing is general).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request path, e.g. `/video/2/17.m4s`.
+    pub path: String,
+    /// Headers as lowercase-name/value pairs.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A `GET` request for `path`.
+    pub fn get(path: &str) -> Self {
+        Self {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: vec![("connection".into(), "keep-alive".into())],
+        }
+    }
+
+    /// Value of a header (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+
+    /// Serializes onto a transport.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), HttpError> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, self.path)?;
+        for (n, v) in &self.headers {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Parses a request from a transport. `Ok(None)` on clean EOF before
+    /// the first byte (keep-alive peer went away).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+        let line = match read_line(r)? {
+            None => return Ok(None),
+            Some(l) => l,
+        };
+        let mut parts = line.split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) => (m, p, v),
+            _ => return Err(HttpError::Malformed(format!("request line '{line}'"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("version '{version}'")));
+        }
+        Ok(Some(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: read_headers(r)?,
+        }))
+    }
+}
+
+/// An HTTP response with a `Content-Length` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: String,
+    /// Headers as lowercase-name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A `200 OK` with the given body and content type.
+    pub fn ok(body: Bytes, content_type: &str) -> Self {
+        Self {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![
+                ("content-type".into(), content_type.into()),
+                ("content-length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// A `404 Not Found`.
+    pub fn not_found() -> Self {
+        let body = Bytes::from_static(b"not found");
+        Self {
+            status: 404,
+            reason: "Not Found".into(),
+            headers: vec![
+                ("content-type".into(), "text/plain".into()),
+                ("content-length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// Value of a header (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+
+    /// Serializes onto a transport.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), HttpError> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        for (n, v) in &self.headers {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Parses a response (status line, headers, exactly `Content-Length`
+    /// body bytes).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Response, HttpError> {
+        let line = read_line(r)?.ok_or(HttpError::ConnectionClosed)?;
+        let mut parts = line.splitn(3, ' ');
+        let (version, status, reason) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(v), Some(s), reason) => (v, s, reason.unwrap_or("")),
+            _ => return Err(HttpError::Malformed(format!("status line '{line}'"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("version '{version}'")));
+        }
+        let status: u16 = status
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("status '{status}'")))?;
+        let headers = read_headers(r)?;
+        let len: usize = header(&headers, "content-length")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| HttpError::Malformed("content-length".into()))?;
+        let mut body = vec![0u8; len];
+        let mut got = 0;
+        while got < len {
+            let n = r.read(&mut body[got..])?;
+            if n == 0 {
+                return Err(HttpError::TruncatedBody { expected: len, got });
+            }
+            got += n;
+        }
+        Ok(Response {
+            status,
+            reason: reason.to_string(),
+            headers,
+            body: Bytes::from(body),
+        })
+    }
+}
+
+/// Size in bytes of chunk `k` at `level` as served over HTTP.
+pub fn chunk_bytes(video: &Video, k: usize, level: LevelIdx) -> usize {
+    (video.chunk_size_kbits(k, level) * 1000.0 / 8.0).ceil() as usize
+}
+
+/// A DASH origin server: serves `/manifest.mpd` and
+/// `/video/{level}/{chunk}.m4s` with deterministic filler bodies of the
+/// exact encoded size.
+#[derive(Debug)]
+pub struct ChunkServer {
+    video: Video,
+    manifest: String,
+}
+
+impl ChunkServer {
+    /// Builds a server for `video`.
+    pub fn new(video: Video) -> Self {
+        let manifest = mpd::generate(&video);
+        Self { video, manifest }
+    }
+
+    /// The video being served.
+    pub fn video(&self) -> &Video {
+        &self.video
+    }
+
+    /// Routes one request to a response (pure function of the request —
+    /// usable from any transport).
+    pub fn handle(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::not_found();
+        }
+        if req.path == "/manifest.mpd" {
+            return Response::ok(Bytes::from(self.manifest.clone()), "application/dash+xml");
+        }
+        if let Some(rest) = req.path.strip_prefix("/video/") {
+            if let Some((level_s, chunk_s)) = rest.split_once('/') {
+                if let (Ok(level), Some(chunk_s)) =
+                    (level_s.parse::<usize>(), chunk_s.strip_suffix(".m4s"))
+                {
+                    if let Ok(k) = chunk_s.parse::<usize>() {
+                        if level < self.video.ladder().len() && k < self.video.num_chunks() {
+                            let n = chunk_bytes(&self.video, k, LevelIdx(level));
+                            // Deterministic filler: level/chunk tagged bytes.
+                            let tag = (level * 31 + k) as u8;
+                            return Response::ok(Bytes::from(vec![tag; n]), "video/mp4");
+                        }
+                    }
+                }
+            }
+        }
+        Response::not_found()
+    }
+
+    /// Serves keep-alive connections on a real TCP listener until the
+    /// listener errors (e.g. is dropped). One thread per connection.
+    pub fn serve_tcp(self: Arc<Self>, listener: TcpListener) {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            let server = Arc::clone(&self);
+            std::thread::spawn(move || {
+                let _ = server.serve_connection(stream);
+            });
+        }
+    }
+
+    /// Handles one keep-alive connection to completion.
+    pub fn serve_connection(&self, stream: TcpStream) -> Result<(), HttpError> {
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        while let Some(req) = Request::read_from(&mut reader)? {
+            self.handle(&req).write_to(&mut writer)?;
+            if req.header("connection") == Some("close") {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds to an ephemeral localhost port and serves in a background
+    /// thread. Returns the bound address.
+    pub fn spawn(video: Video) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(ChunkServer::new(video));
+        std::thread::spawn(move || server.serve_tcp(listener));
+        Ok(addr)
+    }
+}
+
+/// A keep-alive HTTP client over any `Read + Write` transport.
+#[derive(Debug)]
+pub struct HttpClient<T: Read + Write> {
+    reader: BufReader<T>,
+}
+
+impl<T: Read + Write> HttpClient<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Self {
+        Self {
+            reader: BufReader::new(transport),
+        }
+    }
+
+    /// Issues a `GET` and reads the full response.
+    pub fn get(&mut self, path: &str) -> Result<Response, HttpError> {
+        Request::get(path).write_to(self.reader.get_mut())?;
+        Response::read_from(&mut self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::envivio_video;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        Request::read_from(&mut Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::get("/video/3/42.m4s");
+        let back = round_trip_request(&req);
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ok(Bytes::from_static(b"hello world"), "text/plain");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(Request::read_from(&mut Cursor::new(Vec::new()))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_rejected() {
+        let err = Request::read_from(&mut Cursor::new(b"GARBAGE\r\n\r\n".to_vec())).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+        let err2 =
+            Request::read_from(&mut Cursor::new(b"GET / SPDY/9\r\n\r\n".to_vec())).unwrap_err();
+        assert!(matches!(err2, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let raw = b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc".to_vec();
+        let err = Response::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::TruncatedBody {
+                expected: 10,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn headers_are_case_insensitive() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nX-Thing: Yes\r\n\r\nok".to_vec();
+        let resp = Response::read_from(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(resp.header("content-length"), Some("2"));
+        assert_eq!(resp.header("X-THING"), Some("Yes"));
+        assert_eq!(resp.body.as_ref(), b"ok");
+    }
+
+    #[test]
+    fn server_serves_manifest_and_chunks() {
+        let server = ChunkServer::new(envivio_video());
+        let m = server.handle(&Request::get("/manifest.mpd"));
+        assert_eq!(m.status, 200);
+        assert!(String::from_utf8_lossy(&m.body).contains("MPD"));
+
+        let c = server.handle(&Request::get("/video/4/0.m4s"));
+        assert_eq!(c.status, 200);
+        // 3000 kbps * 4 s = 12,000 kbits = 1,500,000 bytes.
+        assert_eq!(c.body.len(), 1_500_000);
+    }
+
+    #[test]
+    fn server_404s() {
+        let server = ChunkServer::new(envivio_video());
+        for path in [
+            "/nope",
+            "/video/9/0.m4s",    // level out of range
+            "/video/0/999.m4s",  // chunk out of range
+            "/video/0/0.mp4",    // wrong extension
+            "/video/abc/0.m4s",  // non-numeric
+        ] {
+            assert_eq!(server.handle(&Request::get(path)).status, 404, "{path}");
+        }
+        let mut post = Request::get("/manifest.mpd");
+        post.method = "POST".into();
+        assert_eq!(server.handle(&post).status, 404);
+    }
+
+    #[test]
+    fn chunk_bytes_rounds_up() {
+        let v = envivio_video();
+        // 350 kbps * 4 s = 1400 kbits = 175,000 bytes exactly.
+        assert_eq!(chunk_bytes(&v, 0, LevelIdx(0)), 175_000);
+    }
+
+    mod fuzz {
+        use super::super::*;
+        use proptest::prelude::*;
+        use std::io::Cursor;
+
+        proptest! {
+            /// Arbitrary bytes must never panic the request parser — only
+            /// return an error, a request, or clean EOF.
+            #[test]
+            fn request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = Request::read_from(&mut Cursor::new(bytes));
+            }
+
+            /// Same for the response parser.
+            #[test]
+            fn response_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = Response::read_from(&mut Cursor::new(bytes));
+            }
+
+            /// Structured-ish garbage: a valid prefix with random tail.
+            #[test]
+            fn response_parser_survives_corrupted_frames(
+                status in 0u32..2000,
+                len_decl in 0usize..64,
+                body in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let mut raw = format!("HTTP/1.1 {status} X\r\ncontent-length: {len_decl}\r\n\r\n")
+                    .into_bytes();
+                raw.extend_from_slice(&body);
+                match Response::read_from(&mut Cursor::new(raw)) {
+                    Ok(resp) => prop_assert_eq!(resp.body.len(), len_decl),
+                    Err(_) => {} // malformed/truncated is an acceptable outcome
+                }
+            }
+
+            /// The server must answer *something* well-formed for any path.
+            #[test]
+            fn server_handles_arbitrary_paths(path in "[ -~]{0,80}") {
+                let server = ChunkServer::new(abr_video::envivio_video());
+                let resp = server.handle(&Request::get(&path));
+                prop_assert!(resp.status == 200 || resp.status == 404);
+                let mut buf = Vec::new();
+                resp.write_to(&mut buf).unwrap();
+                let back = Response::read_from(&mut Cursor::new(buf)).unwrap();
+                prop_assert_eq!(back.status, resp.status);
+            }
+        }
+    }
+
+    #[test]
+    fn real_tcp_round_trip() {
+        let addr = ChunkServer::spawn(envivio_video()).unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = HttpClient::new(stream);
+        // Keep-alive: several requests on one connection.
+        let manifest = client.get("/manifest.mpd").unwrap();
+        assert_eq!(manifest.status, 200);
+        let chunk = client.get("/video/0/3.m4s").unwrap();
+        assert_eq!(chunk.status, 200);
+        assert_eq!(chunk.body.len(), 175_000);
+        let missing = client.get("/video/0/9999.m4s").unwrap();
+        assert_eq!(missing.status, 404);
+    }
+}

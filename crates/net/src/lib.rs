@@ -1,0 +1,42 @@
+//! Network substrate for the emulation-path evaluation (Sections 6–7.2).
+//!
+//! The paper's "real player" experiments run dash.js in Chrome against a
+//! node.js HTTP server over a link throttled with Linux `tc` on Emulab. None
+//! of that is available here, so this crate rebuilds the pieces that matter
+//! for the experiment — the HTTP request/response path and a link whose
+//! available bandwidth follows a throughput trace — in-process:
+//!
+//! * [`http`] — a small, fully tested HTTP/1.1 implementation (request and
+//!   response framing with `Content-Length`, keep-alive) over any
+//!   `Read + Write` transport, plus the [`http::ChunkServer`] that serves a
+//!   DASH manifest and video segments (over real `TcpStream`s too);
+//! * [`mpd`] — a miniature DASH MPD manifest: generation and parsing,
+//!   including per-chunk segment sizes (the paper notes the standard omits
+//!   chunk sizes and argues they are required for principled control — our
+//!   manifest carries them);
+//! * [`link`] — the shaped link: exact virtual-time transfer scheduling
+//!   that follows a [`abr_trace::Trace`], plus a token-bucket shaper for
+//!   real-time use;
+//! * [`player`] — the emulated DASH player: drives real HTTP messages
+//!   through an in-memory transport whose transfer times follow the shaped
+//!   link in virtual time, with the same controller/predictor interface as
+//!   `abr-sim`. Also a real-socket player used by integration tests.
+//!
+//! The simulation path (`abr-sim`) and this emulation path implement the
+//! same streaming semantics through entirely different mechanisms; the
+//! integration suite checks they agree, which is the strongest correctness
+//! evidence this reproduction has (the paper similarly cross-validates its
+//! simulator against testbed results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod link;
+pub mod mpd;
+pub mod multiplayer;
+pub mod player;
+
+pub use link::{ShapedLink, TokenBucket};
+pub use multiplayer::{jain_index, run_shared_session, SharedOutcome, SharedPlayer};
+pub use player::{run_emulated_session, NetConfig};

@@ -1,0 +1,263 @@
+//! A miniature DASH MPD manifest.
+//!
+//! The paper observes that "a key requirement for any control algorithm is
+//! to know the size (in bytes) of each video chunk, but the standard does
+//! not mandate the manifest to report chunk sizes, which may be a key
+//! shortcoming of the current specification" (Section 6). Our manifest
+//! therefore carries an explicit `<SegmentSizes>` element (kilobits per
+//! chunk, one list per representation) so the controller has what the
+//! paper says it needs.
+//!
+//! The grammar is a small, fixed subset of MPD — enough to round-trip every
+//! [`Video`] this workspace can express. Parsing is hand-rolled (tag/attr
+//! scanning) to stay dependency-free and is strict: structural problems are
+//! reported as [`MpdError`], never panics.
+
+use abr_video::{Ladder, Video, VideoBuilder};
+
+/// Errors parsing a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpdError {
+    /// A required tag was missing.
+    MissingTag(&'static str),
+    /// A required attribute was missing from a tag.
+    MissingAttr(&'static str),
+    /// An attribute failed to parse as the required type.
+    BadValue(String),
+    /// Representations disagreed on segment counts or ladder ordering.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for MpdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpdError::MissingTag(t) => write!(f, "missing <{t}>"),
+            MpdError::MissingAttr(a) => write!(f, "missing attribute {a}"),
+            MpdError::BadValue(v) => write!(f, "bad value: {v}"),
+            MpdError::Inconsistent(w) => write!(f, "inconsistent manifest: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for MpdError {}
+
+/// Renders `video` as an MPD document.
+pub fn generate(video: &Video) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+    out.push_str(&format!(
+        "<MPD xmlns=\"urn:mpeg:dash:schema:mpd:2011\" type=\"static\" \
+         mediaPresentationDuration=\"PT{:.3}S\">\n",
+        video.duration_secs()
+    ));
+    out.push_str(" <Period>\n");
+    out.push_str(&format!(
+        "  <AdaptationSet mimeType=\"video/mp4\" segmentDuration=\"{:.6}\" \
+         segmentCount=\"{}\">\n",
+        video.chunk_secs(),
+        video.num_chunks()
+    ));
+    for level in video.ladder().iter() {
+        out.push_str(&format!(
+            "   <Representation id=\"{}\" bandwidth=\"{}\">\n",
+            level.get(),
+            (video.ladder().kbps(level) * 1000.0).round() as u64
+        ));
+        out.push_str("    <SegmentSizes>");
+        for k in 0..video.num_chunks() {
+            if k > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{:.3}", video.chunk_size_kbits(k, level)));
+        }
+        out.push_str("</SegmentSizes>\n");
+        out.push_str("   </Representation>\n");
+    }
+    out.push_str("  </AdaptationSet>\n </Period>\n</MPD>\n");
+    out
+}
+
+/// Extracts `name="value"` from a tag's attribute region.
+fn attr<'a>(tag: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("{name}=\"");
+    let start = tag.find(&pat)? + pat.len();
+    let end = tag[start..].find('"')? + start;
+    Some(&tag[start..end])
+}
+
+/// Finds the next occurrence of `<tag ...>` after `from`, returning the
+/// attribute region and the offset just past the tag.
+fn find_tag<'a>(doc: &'a str, tag: &str, from: usize) -> Option<(&'a str, usize)> {
+    let pat = format!("<{tag}");
+    let start = doc[from..].find(&pat)? + from;
+    let after = start + pat.len();
+    // The attribute region must start with whitespace or '>' (so "MPD"
+    // doesn't match "MPDX").
+    let rest = &doc[after..];
+    if !rest.starts_with(|c: char| c.is_whitespace() || c == '>' || c == '/') {
+        return find_tag(doc, tag, after);
+    }
+    let end = rest.find('>')? + after;
+    Some((&doc[after..end], end + 1))
+}
+
+/// Extracts the text content between `pos` (just after an opening tag) and
+/// the matching `</tag>`.
+fn text_until_close<'a>(doc: &'a str, tag: &str, pos: usize) -> Option<(&'a str, usize)> {
+    let close = format!("</{tag}>");
+    let end = doc[pos..].find(&close)? + pos;
+    Some((&doc[pos..end], end + close.len()))
+}
+
+/// Parses a manifest back into a [`Video`].
+pub fn parse(doc: &str) -> Result<Video, MpdError> {
+    let (_, _) = find_tag(doc, "MPD", 0).ok_or(MpdError::MissingTag("MPD"))?;
+    let (aset_attrs, mut pos) =
+        find_tag(doc, "AdaptationSet", 0).ok_or(MpdError::MissingTag("AdaptationSet"))?;
+    let chunk_secs: f64 = attr(aset_attrs, "segmentDuration")
+        .ok_or(MpdError::MissingAttr("segmentDuration"))?
+        .parse()
+        .map_err(|_| MpdError::BadValue("segmentDuration".into()))?;
+    let count: usize = attr(aset_attrs, "segmentCount")
+        .ok_or(MpdError::MissingAttr("segmentCount"))?
+        .parse()
+        .map_err(|_| MpdError::BadValue("segmentCount".into()))?;
+    if count == 0 || !(chunk_secs > 0.0) {
+        return Err(MpdError::BadValue(
+            "segmentCount/segmentDuration must be positive".into(),
+        ));
+    }
+
+    let mut levels_kbps: Vec<f64> = Vec::new();
+    let mut sizes_by_level: Vec<Vec<f64>> = Vec::new();
+    while let Some((rep_attrs, after_rep)) = find_tag(doc, "Representation", pos) {
+        let bandwidth: f64 = attr(rep_attrs, "bandwidth")
+            .ok_or(MpdError::MissingAttr("bandwidth"))?
+            .parse()
+            .map_err(|_| MpdError::BadValue("bandwidth".into()))?;
+        let (_, after_sizes_open) = find_tag(doc, "SegmentSizes", after_rep)
+            .ok_or(MpdError::MissingTag("SegmentSizes"))?;
+        let (sizes_text, next) = text_until_close(doc, "SegmentSizes", after_sizes_open)
+            .ok_or(MpdError::MissingTag("/SegmentSizes"))?;
+        let sizes: Result<Vec<f64>, _> = sizes_text
+            .split_whitespace()
+            .map(|s| s.parse::<f64>())
+            .collect();
+        let sizes = sizes.map_err(|_| MpdError::BadValue("segment size".into()))?;
+        if sizes.len() != count {
+            return Err(MpdError::Inconsistent(format!(
+                "representation has {} sizes, expected {count}",
+                sizes.len()
+            )));
+        }
+        levels_kbps.push(bandwidth / 1000.0);
+        sizes_by_level.push(sizes);
+        pos = next;
+    }
+    if levels_kbps.is_empty() {
+        return Err(MpdError::MissingTag("Representation"));
+    }
+
+    let ladder = Ladder::new(levels_kbps)
+        .map_err(|e| MpdError::Inconsistent(format!("ladder: {e}")))?;
+    // Transpose level-major sizes into chunk-major rows.
+    let sizes: Vec<Vec<f64>> = (0..count)
+        .map(|k| sizes_by_level.iter().map(|row| row[k]).collect())
+        .collect();
+    VideoBuilder::new(ladder)
+        .chunks(count)
+        .chunk_secs(chunk_secs)
+        .explicit_sizes(sizes)
+        .ok_or_else(|| MpdError::Inconsistent("segment sizes violate invariants".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::{envivio_video, Ladder, LevelIdx, VideoBuilder};
+
+    #[test]
+    fn round_trip_cbr() {
+        let v = envivio_video();
+        let doc = generate(&v);
+        let back = parse(&doc).unwrap();
+        assert_eq!(back.num_chunks(), 65);
+        assert!((back.chunk_secs() - 4.0).abs() < 1e-9);
+        assert_eq!(back.ladder().len(), 5);
+        for k in [0, 32, 64] {
+            for l in 0..5 {
+                assert!(
+                    (back.chunk_size_kbits(k, LevelIdx(l)) - v.chunk_size_kbits(k, LevelIdx(l)))
+                        .abs()
+                        < 1e-3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_vbr() {
+        let ladder = Ladder::new(vec![500.0, 1500.0]).unwrap();
+        let v = VideoBuilder::new(ladder)
+            .chunks(7)
+            .chunk_secs(2.0)
+            .vbr(|k| 0.8 + 0.1 * (k % 4) as f64);
+        let back = parse(&generate(&v)).unwrap();
+        for k in 0..7 {
+            for l in 0..2 {
+                assert!(
+                    (back.chunk_size_kbits(k, LevelIdx(l)) - v.chunk_size_kbits(k, LevelIdx(l)))
+                        .abs()
+                        < 1e-3,
+                    "chunk {k} level {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_advertises_bandwidths_in_bps() {
+        let doc = generate(&envivio_video());
+        assert!(doc.contains("bandwidth=\"350000\""));
+        assert!(doc.contains("bandwidth=\"3000000\""));
+        assert!(doc.contains("segmentCount=\"65\""));
+    }
+
+    #[test]
+    fn parse_rejects_missing_pieces() {
+        assert_eq!(parse("<foo/>").unwrap_err(), MpdError::MissingTag("MPD"));
+        let no_reps = "<MPD><Period><AdaptationSet segmentDuration=\"4\" \
+                       segmentCount=\"2\"></AdaptationSet></Period></MPD>";
+        assert_eq!(
+            parse(no_reps).unwrap_err(),
+            MpdError::MissingTag("Representation")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_wrong_size_count() {
+        let doc = "<MPD><Period><AdaptationSet segmentDuration=\"4\" segmentCount=\"3\">\
+                   <Representation id=\"0\" bandwidth=\"500000\">\
+                   <SegmentSizes>100 200</SegmentSizes></Representation>\
+                   </AdaptationSet></Period></MPD>";
+        assert!(matches!(parse(doc), Err(MpdError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_values() {
+        let doc = "<MPD><Period><AdaptationSet segmentDuration=\"abc\" segmentCount=\"3\">\
+                   </AdaptationSet></Period></MPD>";
+        assert!(matches!(parse(doc), Err(MpdError::BadValue(_))));
+    }
+
+    #[test]
+    fn parse_rejects_unsorted_ladder() {
+        let doc = "<MPD><Period><AdaptationSet segmentDuration=\"4\" segmentCount=\"1\">\
+                   <Representation id=\"0\" bandwidth=\"900000\">\
+                   <SegmentSizes>3600</SegmentSizes></Representation>\
+                   <Representation id=\"1\" bandwidth=\"500000\">\
+                   <SegmentSizes>2000</SegmentSizes></Representation>\
+                   </AdaptationSet></Period></MPD>";
+        assert!(matches!(parse(doc), Err(MpdError::Inconsistent(_))));
+    }
+}

@@ -1,0 +1,483 @@
+//! Multiple players sharing a bottleneck link — the extension the paper's
+//! Section 8 sketches ("a natural question is to extend these insights to
+//! multiple players and interaction with cross traffic").
+//!
+//! The model is the standard one from the FESTIVE line of work: `N` players
+//! stream (the same video) through one bottleneck whose capacity `C(t)`
+//! follows a throughput trace; at any instant the active downloads share
+//! the capacity **equally** (idealized TCP fair share), so a player
+//! downloading alone gets `C(t)` while `k` concurrent downloads get
+//! `C(t)/k` each. Players that pause (full buffer, or between decisions)
+//! free their share for the others — which is exactly the ON/OFF dynamic
+//! that makes multi-player adaptation interesting: a player's *observed*
+//! per-chunk throughput depends on everyone else's schedule, so throughput
+//! estimates are biased, and aggressive algorithms can starve timid ones.
+//!
+//! [`run_shared_session`] advances all players in one event-driven virtual
+//! timeline (events: chunk completions, idle wake-ups, trace rate changes)
+//! and returns one [`SessionResult`] per player plus link accounting.
+//! [`jain_index`] quantifies bitrate fairness.
+
+use abr_core::{advance_buffer, BitrateController, ControllerContext};
+use abr_predictor::{ErrorTracked, Predictor};
+use abr_sim::{ChunkRecord, SessionResult, SimConfig, StartupPolicy};
+use abr_trace::Trace;
+use abr_video::{QoeBreakdown, Video};
+use std::collections::VecDeque;
+
+/// One player's slot in the shared session.
+pub struct SharedPlayer {
+    /// The adaptation algorithm.
+    pub controller: Box<dyn BitrateController>,
+    /// The throughput predictor (fed per-flow observed throughput).
+    pub predictor: Box<dyn Predictor>,
+    /// When this player joins the bottleneck, seconds.
+    pub start_offset_secs: f64,
+}
+
+/// Jain's fairness index over a set of allocations: `(Σx)² / (n·Σx²)`,
+/// 1.0 = perfectly fair, `1/n` = one player takes everything.
+///
+/// ```
+/// use abr_net::jain_index;
+/// assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+/// assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// Outcome of a shared-bottleneck run.
+pub struct SharedOutcome {
+    /// One result per player, in input order.
+    pub sessions: Vec<SessionResult>,
+    /// Jain fairness index over the players' average bitrates.
+    pub bitrate_fairness: f64,
+    /// Total kilobits delivered across all players.
+    pub delivered_kbits: f64,
+    /// Wall-clock span of the whole run, seconds.
+    pub span_secs: f64,
+}
+
+enum FlowState {
+    /// Waiting to issue the next request at the given time.
+    IdleUntil(f64),
+    /// Downloading chunk `k` at `level` with `remaining_kbits` to go.
+    Downloading {
+        started: f64,
+        remaining_kbits: f64,
+    },
+    Finished,
+}
+
+struct PlayerRt {
+    controller: Box<dyn BitrateController>,
+    predictor: ErrorTracked<Box<dyn Predictor>>,
+    state: FlowState,
+    chunk: usize,
+    level: abr_video::LevelIdx,
+    buffer: f64,
+    prev_level: Option<abr_video::LevelIdx>,
+    last_throughput: Option<f64>,
+    low_buffer: VecDeque<bool>,
+    startup_secs: f64,
+    qoe: QoeBreakdown,
+    records: Vec<ChunkRecord>,
+}
+
+/// Runs `players` against a shared bottleneck following `trace`.
+///
+/// All players stream `video` under `cfg` (only the `FirstChunk` startup
+/// policy is supported in the shared setting). Returns per-player results
+/// and fairness accounting.
+pub fn run_shared_session(
+    players: Vec<SharedPlayer>,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+) -> SharedOutcome {
+    assert!(!players.is_empty(), "need at least one player");
+    assert!(
+        matches!(cfg.startup, StartupPolicy::FirstChunk),
+        "shared sessions support the FirstChunk startup policy only"
+    );
+    let mut rts: Vec<PlayerRt> = players
+        .into_iter()
+        .map(|p| {
+            let mut controller = p.controller;
+            controller.reset();
+            PlayerRt {
+                controller,
+                predictor: ErrorTracked::new(p.predictor, cfg.error_window),
+                state: FlowState::IdleUntil(p.start_offset_secs.max(0.0)),
+                chunk: 0,
+                level: video.ladder().lowest(),
+                buffer: 0.0,
+                prev_level: None,
+                last_throughput: None,
+                low_buffer: VecDeque::with_capacity(cfg.low_buffer_window_chunks),
+                startup_secs: 0.0,
+                qoe: QoeBreakdown::default(),
+                records: Vec::with_capacity(video.num_chunks()),
+            }
+        })
+        .collect();
+
+    let mut now = 0.0_f64;
+    let mut delivered = 0.0_f64;
+    // Hard cap: no run needs more than this many events (chunks x players
+    // x trace boundaries is generous); guards against scheduling bugs.
+    let max_events = 200 * rts.len() * video.num_chunks();
+    for _ in 0..max_events {
+        // Wake any idle players whose time has come: issue their next
+        // request (decision happens at issue time, per the paper's fixed
+        // chunk-boundary decision model).
+        for i in 0..rts.len() {
+            let wake = matches!(rts[i].state, FlowState::IdleUntil(t) if t <= now + 1e-12);
+            if wake {
+                start_next_download(&mut rts[i], video, cfg, now);
+            }
+        }
+
+        if rts.iter().all(|p| matches!(p.state, FlowState::Finished)) {
+            break;
+        }
+
+        let active: Vec<usize> = rts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.state, FlowState::Downloading { .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Next trace rate change and next idle wake-up bound the step.
+        let mut next_event = trace.next_boundary_after(now);
+        for p in &rts {
+            if let FlowState::IdleUntil(t) = p.state {
+                if t > now + 1e-12 {
+                    next_event = next_event.min(t);
+                }
+            }
+        }
+
+        if active.is_empty() {
+            // Nothing downloading: jump to the next wake-up.
+            now = next_event;
+            continue;
+        }
+
+        // Equal share of the current capacity per active flow.
+        let rate = trace.kbps_at(now) / active.len() as f64;
+        if rate > 0.0 {
+            // Earliest completion under the constant share also bounds the
+            // step.
+            for &i in &active {
+                if let FlowState::Downloading { remaining_kbits, .. } = rts[i].state {
+                    next_event = next_event.min(now + remaining_kbits / rate);
+                }
+            }
+        }
+        let dt = (next_event - now).max(1e-9);
+
+        // Progress all active downloads by dt at the shared rate.
+        for &i in &active {
+            if let FlowState::Downloading {
+                started,
+                remaining_kbits,
+            } = rts[i].state
+            {
+                let got = rate * dt;
+                delivered += got.min(remaining_kbits);
+                let left = remaining_kbits - got;
+                if left <= 1e-9 {
+                    complete_chunk(&mut rts[i], video, cfg, started, next_event);
+                } else {
+                    rts[i].state = FlowState::Downloading {
+                        started,
+                        remaining_kbits: left,
+                    };
+                }
+            }
+        }
+        now = next_event;
+    }
+    assert!(
+        rts.iter().all(|p| matches!(p.state, FlowState::Finished)),
+        "shared session did not converge (scheduling bug)"
+    );
+
+    let sessions: Vec<SessionResult> = rts
+        .into_iter()
+        .map(|mut p| {
+            p.qoe.set_startup(&cfg.weights, p.startup_secs);
+            SessionResult {
+                algorithm: p.controller.name().to_string(),
+                records: p.records,
+                startup_secs: p.startup_secs,
+                total_secs: now,
+                qoe: p.qoe,
+            }
+        })
+        .collect();
+    let bitrates: Vec<f64> = sessions.iter().map(|s| s.avg_bitrate_kbps()).collect();
+    SharedOutcome {
+        bitrate_fairness: jain_index(&bitrates),
+        delivered_kbits: delivered,
+        span_secs: now,
+        sessions,
+    }
+}
+
+fn start_next_download(p: &mut PlayerRt, video: &Video, cfg: &SimConfig, now: f64) {
+    if p.chunk >= video.num_chunks() {
+        p.state = FlowState::Finished;
+        return;
+    }
+    let prediction = p.predictor.predict();
+    let ctx = ControllerContext {
+        chunk_index: p.chunk,
+        buffer_secs: p.buffer,
+        prev_level: p.prev_level,
+        prediction_kbps: prediction,
+        robust_lower_kbps: p.predictor.robust_lower_bound(),
+        last_throughput_kbps: p.last_throughput,
+        recent_low_buffer: p.low_buffer.iter().any(|&b| b),
+        startup: p.chunk == 0,
+        video,
+        buffer_max_secs: cfg.buffer_max_secs,
+    };
+    let decision = p.controller.decide(&ctx);
+    p.level = decision.level;
+    p.state = FlowState::Downloading {
+        started: now,
+        remaining_kbits: video.chunk_size_kbits(p.chunk, p.level),
+    };
+}
+
+fn complete_chunk(p: &mut PlayerRt, video: &Video, cfg: &SimConfig, started: f64, now: f64) {
+    let download_secs = (now - started).max(1e-9);
+    let size_kbits = video.chunk_size_kbits(p.chunk, p.level);
+    let throughput = size_kbits / download_secs;
+    let mut step = advance_buffer(p.buffer, download_secs, video.chunk_secs(), cfg.buffer_max_secs);
+    if p.chunk == 0 {
+        p.startup_secs = download_secs;
+        step.rebuffer_secs = 0.0;
+    }
+    let prediction = p.predictor.predict();
+    p.qoe.push_chunk(
+        &cfg.weights,
+        video.ladder().kbps(p.level),
+        step.rebuffer_secs,
+    );
+    p.records.push(ChunkRecord {
+        index: p.chunk,
+        level: p.level,
+        bitrate_kbps: video.ladder().kbps(p.level),
+        size_kbits,
+        start_secs: started,
+        download_secs,
+        rebuffer_secs: step.rebuffer_secs,
+        wait_secs: step.wait_secs,
+            availability_wait_secs: 0.0,
+        buffer_before_secs: p.buffer,
+        buffer_after_secs: step.next_buffer_secs,
+        throughput_kbps: throughput,
+        prediction_kbps: prediction,
+    });
+    if p.low_buffer.len() == cfg.low_buffer_window_chunks {
+        p.low_buffer.pop_front();
+    }
+    p.low_buffer.push_back(p.buffer < cfg.low_buffer_threshold_secs);
+    p.predictor.observe(throughput);
+    p.last_throughput = Some(throughput);
+    p.buffer = step.next_buffer_secs;
+    p.prev_level = Some(p.level);
+    p.chunk += 1;
+    p.state = if p.chunk >= video.num_chunks() {
+        FlowState::Finished
+    } else {
+        FlowState::IdleUntil(now + step.wait_secs)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_baselines::{BufferBased, RateBased};
+    use abr_core::Mpc;
+    use abr_predictor::HarmonicMean;
+    use abr_video::{envivio_video, LevelIdx};
+
+    fn player(
+        controller: Box<dyn BitrateController>,
+        offset: f64,
+    ) -> SharedPlayer {
+        SharedPlayer {
+            controller,
+            predictor: Box::new(HarmonicMean::paper_default()),
+            start_offset_secs: offset,
+        }
+    }
+
+    #[test]
+    fn jain_index_basics() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(jain_index(&[]) == 1.0);
+        let mixed = jain_index(&[2.0, 1.0]);
+        assert!(mixed > 0.5 && mixed < 1.0);
+    }
+
+    #[test]
+    fn single_player_matches_solo_simulator() {
+        // With one player the shared bottleneck degenerates to the plain
+        // simulator: identical decisions and QoE.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::new(vec![(30.0, 2200.0), (30.0, 900.0)]).unwrap();
+        let shared = run_shared_session(
+            vec![player(Box::new(Mpc::robust()), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let mut solo_ctrl = Mpc::robust();
+        let solo = abr_sim::run_session(
+            &mut solo_ctrl,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+        );
+        let s = &shared.sessions[0];
+        assert_eq!(s.records.len(), 65);
+        let rel = (s.qoe.qoe - solo.qoe.qoe).abs() / solo.qoe.qoe.abs().max(1.0);
+        // The solo simulator also hints oracle predictors and computes
+        // integrals identically; harmonic-mean prediction makes the paths
+        // equivalent up to float noise.
+        assert!(
+            rel < 1e-6,
+            "shared(1) {} vs solo {}",
+            s.qoe.qoe,
+            solo.qoe.qoe
+        );
+        assert!((shared.bitrate_fairness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_identical_players_share_fairly() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(4000.0, 60.0).unwrap();
+        let shared = run_shared_session(
+            vec![
+                player(Box::new(BufferBased::paper_default()), 0.0),
+                player(Box::new(BufferBased::paper_default()), 0.0),
+            ],
+            &trace,
+            &video,
+            &cfg,
+        );
+        assert!(shared.bitrate_fairness > 0.98, "{}", shared.bitrate_fairness);
+        for s in &shared.sessions {
+            assert_eq!(s.records.len(), 65);
+            // 2000 kbps fair share: nobody should average above it long-run
+            // by much, nor collapse to the floor.
+            let avg = s.avg_bitrate_kbps();
+            assert!((350.0..=2300.0).contains(&avg), "avg {avg}");
+        }
+    }
+
+    #[test]
+    fn contention_lowers_observed_throughput() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(3000.0, 60.0).unwrap();
+        // Fixed-level controllers isolate the bandwidth accounting.
+        struct Fixed;
+        impl BitrateController for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn decide(&mut self, _ctx: &ControllerContext<'_>) -> abr_core::Decision {
+                abr_core::Decision::level(LevelIdx(2))
+            }
+        }
+        let solo = run_shared_session(
+            vec![player(Box::new(Fixed), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let duo = run_shared_session(
+            vec![player(Box::new(Fixed), 0.0), player(Box::new(Fixed), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let solo_thr = solo.sessions[0].records[1].throughput_kbps;
+        let duo_thr = duo.sessions[0].records[1].throughput_kbps;
+        assert!((solo_thr - 3000.0).abs() < 1.0, "{solo_thr}");
+        // With both flows active the early chunks see ~half the link.
+        assert!(
+            duo_thr < 2000.0,
+            "expected contention to bite: {duo_thr} kbps"
+        );
+    }
+
+    #[test]
+    fn on_off_dynamics_let_late_joiner_in() {
+        // Player 1 fills its buffer and goes ON/OFF; a late joiner must
+        // still complete and get a reasonable share.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(3000.0, 60.0).unwrap();
+        let shared = run_shared_session(
+            vec![
+                player(Box::new(RateBased::paper_default()), 0.0),
+                player(Box::new(RateBased::paper_default()), 40.0),
+            ],
+            &trace,
+            &video,
+            &cfg,
+        );
+        assert_eq!(shared.sessions[1].records.len(), 65);
+        assert!(shared.sessions[1].avg_bitrate_kbps() > 350.0);
+        assert!(shared.bitrate_fairness > 0.8, "{}", shared.bitrate_fairness);
+    }
+
+    #[test]
+    fn delivered_volume_matches_sessions() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(5000.0, 60.0).unwrap();
+        let shared = run_shared_session(
+            vec![
+                player(Box::new(BufferBased::paper_default()), 0.0),
+                player(Box::new(RateBased::paper_default()), 5.0),
+            ],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let session_total: f64 = shared
+            .sessions
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .map(|r| r.size_kbits)
+            .sum();
+        assert!(
+            (shared.delivered_kbits - session_total).abs() < 1e-3 * session_total,
+            "link accounting {} vs session accounting {session_total}",
+            shared.delivered_kbits
+        );
+    }
+}

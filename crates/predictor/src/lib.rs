@@ -1,0 +1,798 @@
+//! Throughput predictors.
+//!
+//! The paper treats the predictor as a pluggable component (Section 3.3,
+//! Eq. 12) and evaluates with the **harmonic mean of the observed throughput
+//! of the last 5 chunks**, which is robust to per-chunk outliers (following
+//! FESTIVE). This crate provides that predictor plus the alternatives used
+//! in the sensitivity analysis:
+//!
+//! * [`HarmonicMean`] — the paper's default (`w = 5`);
+//! * [`SlidingMean`], [`Ewma`], [`LastSample`] — common baselines;
+//! * [`NoisyOracle`] — ground truth perturbed by a controlled error level,
+//!   used to study "how does prediction error affect each algorithm"
+//!   (Figure 11a, Figure 12b) independent of any concrete predictor;
+//! * [`ErrorTracked`] — a wrapper that records the absolute percentage error
+//!   of recent predictions; RobustMPC divides its prediction by
+//!   `1 + max_error` to obtain the throughput lower bound (Section 4.3).
+//!
+//! Protocol: before each chunk decision the player calls
+//! [`Predictor::predict`]; after the chunk downloads it calls
+//! [`Predictor::observe`] with the measured average throughput. Oracle-style
+//! predictors additionally receive [`Predictor::hint_future`] with the true
+//! upcoming throughput (only the simulator knows it); real predictors ignore
+//! the hint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A throughput predictor: consumes per-chunk throughput observations and
+/// produces a scalar forecast for upcoming chunks (kbps).
+pub trait Predictor: Send {
+    /// Records the measured average throughput of the chunk that just
+    /// finished downloading, in kbps.
+    fn observe(&mut self, actual_kbps: f64);
+
+    /// Forecast for the next chunks in kbps, or `None` before any
+    /// observation.
+    fn predict(&self) -> Option<f64>;
+
+    /// Clears all history.
+    fn reset(&mut self);
+
+    /// Supplies the *true* average throughput over the upcoming horizon.
+    /// Only oracle-style predictors use this; the default is a no-op so the
+    /// driver can call it unconditionally.
+    fn hint_future(&mut self, _truth_kbps: f64) {}
+}
+
+impl<P: Predictor + ?Sized> Predictor for Box<P> {
+    fn observe(&mut self, actual_kbps: f64) {
+        (**self).observe(actual_kbps)
+    }
+    fn predict(&self) -> Option<f64> {
+        (**self).predict()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn hint_future(&mut self, truth_kbps: f64) {
+        (**self).hint_future(truth_kbps)
+    }
+}
+
+/// Harmonic mean of the last `window` observations — the paper's default
+/// predictor (`window = 5`).
+///
+/// ```
+/// use abr_predictor::{HarmonicMean, Predictor};
+///
+/// let mut p = HarmonicMean::paper_default();
+/// for kbps in [1000.0, 1000.0, 4000.0] {
+///     p.observe(kbps);
+/// }
+/// // The harmonic mean damps the 4 Mbps outlier.
+/// let forecast = p.predict().unwrap();
+/// assert!(forecast < 1500.0, "{forecast}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HarmonicMean {
+    window: usize,
+    history: VecDeque<f64>,
+}
+
+impl HarmonicMean {
+    /// The window size used throughout the paper's evaluation.
+    pub const PAPER_WINDOW: usize = 5;
+
+    /// Creates a predictor over the last `window > 0` observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The paper's configuration: harmonic mean over 5 chunks.
+    pub fn paper_default() -> Self {
+        Self::new(Self::PAPER_WINDOW)
+    }
+}
+
+impl Predictor for HarmonicMean {
+    fn observe(&mut self, actual_kbps: f64) {
+        assert!(
+            actual_kbps > 0.0 && actual_kbps.is_finite(),
+            "observed throughput must be positive, got {actual_kbps}"
+        );
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(actual_kbps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let inv_sum: f64 = self.history.iter().map(|c| 1.0 / c).sum();
+        Some(self.history.len() as f64 / inv_sum)
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Arithmetic mean of the last `window` observations.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    window: usize,
+    history: VecDeque<f64>,
+}
+
+impl SlidingMean {
+    /// Creates a predictor over the last `window > 0` observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+}
+
+impl Predictor for SlidingMean {
+    fn observe(&mut self, actual_kbps: f64) {
+        assert!(actual_kbps > 0.0 && actual_kbps.is_finite());
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(actual_kbps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        Some(self.history.iter().sum::<f64>() / self.history.len() as f64)
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha in (0, 1]` (higher = more weight on the latest sample).
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA predictor. Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+}
+
+impl Predictor for Ewma {
+    fn observe(&mut self, actual_kbps: f64) {
+        assert!(actual_kbps > 0.0 && actual_kbps.is_finite());
+        self.value = Some(match self.value {
+            None => actual_kbps,
+            Some(v) => self.alpha * actual_kbps + (1.0 - self.alpha) * v,
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.value
+    }
+
+    fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// A first-order autoregressive predictor fitted online by least squares —
+/// one of the "more accurate predictors" the paper's Section 8 calls for.
+///
+/// Models `c_{t+1} = a · c_t + b` in the log domain (throughput is
+/// multiplicative) over a sliding window, refitting after every
+/// observation. Falls back to the last sample until the window holds
+/// enough points or whenever the fit is degenerate.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    window: usize,
+    history: VecDeque<f64>,
+}
+
+impl Ar1 {
+    /// Creates an AR(1) predictor fitted over the last `window >= 3`
+    /// observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 3, "AR(1) needs at least 3 points to fit");
+        Self {
+            window,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Least-squares fit of `(a, b)` on consecutive log-throughput pairs.
+    fn fit(&self) -> Option<(f64, f64)> {
+        if self.history.len() < 3 {
+            return None;
+        }
+        let xs: Vec<f64> = self.history.iter().map(|c| c.ln()).collect();
+        let n = (xs.len() - 1) as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for pair in xs.windows(2) {
+            let (x, y) = (pair[0], pair[1]);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None; // constant history: slope undefined
+        }
+        let a = (n * sxy - sx * sy) / denom;
+        let b = (sy - a * sx) / n;
+        Some((a, b))
+    }
+}
+
+impl Predictor for Ar1 {
+    fn observe(&mut self, actual_kbps: f64) {
+        assert!(actual_kbps > 0.0 && actual_kbps.is_finite());
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(actual_kbps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        let last = *self.history.back()?;
+        match self.fit() {
+            Some((a, b)) => {
+                // Clamp the pole: an explosive fit on a short window must
+                // not forecast runaway throughput.
+                let a = a.clamp(-1.0, 1.0);
+                Some((a * last.ln() + b).exp())
+            }
+            None => Some(last),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Predicts whatever the last chunk achieved — the naive baseline whose
+/// biases motivated smoothed predictors.
+#[derive(Debug, Clone, Default)]
+pub struct LastSample {
+    value: Option<f64>,
+}
+
+impl LastSample {
+    /// Creates an empty last-sample predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastSample {
+    fn observe(&mut self, actual_kbps: f64) {
+        assert!(actual_kbps > 0.0 && actual_kbps.is_finite());
+        self.value = Some(actual_kbps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.value
+    }
+
+    fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// A crowdsourced-prior predictor — the paper's other Section 8 direction:
+/// "using crowdsourced approaches based on measurements from other
+/// clients". A control plane that has watched other sessions on the same
+/// network supplies a prior throughput estimate; the player blends it with
+/// its own observations.
+///
+/// The blend is harmonic: the prior acts as `weight` pseudo-observations at
+/// `prior_kbps`, combined with the window of real observations in the
+/// harmonic mean. A fresh session is dominated by the prior (solving the
+/// cold-start problem that makes the first chunks of RB/MPC conservative);
+/// as real measurements accumulate they take over.
+#[derive(Debug, Clone)]
+pub struct CrossSession {
+    prior_kbps: f64,
+    weight: f64,
+    window: usize,
+    history: VecDeque<f64>,
+}
+
+impl CrossSession {
+    /// Creates a predictor with a prior of `prior_kbps` worth `weight`
+    /// pseudo-observations, blending with the last `window` real ones.
+    pub fn new(prior_kbps: f64, weight: f64, window: usize) -> Self {
+        assert!(prior_kbps > 0.0 && prior_kbps.is_finite(), "bad prior");
+        assert!(weight >= 0.0 && weight.is_finite(), "bad weight");
+        assert!(window > 0, "window must be positive");
+        Self {
+            prior_kbps,
+            weight,
+            window,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The prior value in kbps.
+    pub fn prior_kbps(&self) -> f64 {
+        self.prior_kbps
+    }
+}
+
+impl Predictor for CrossSession {
+    fn observe(&mut self, actual_kbps: f64) {
+        assert!(actual_kbps > 0.0 && actual_kbps.is_finite());
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(actual_kbps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        let n = self.history.len() as f64;
+        let total_weight = n + self.weight;
+        if total_weight == 0.0 {
+            return None;
+        }
+        let inv_sum: f64 =
+            self.history.iter().map(|c| 1.0 / c).sum::<f64>() + self.weight / self.prior_kbps;
+        Some(total_weight / inv_sum)
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Ground truth perturbed by multiplicative noise: the driver supplies the
+/// true upcoming throughput via [`Predictor::hint_future`]; `predict`
+/// returns `truth * (1 + e)` with `e ~ Uniform(-error_level, +error_level)`
+/// drawn once per hint.
+///
+/// With `error_level = 0` this is the perfect predictor used for MPC-OPT.
+/// This is the paper's sensitivity-analysis device: "we use the average
+/// error level to characterize the performance of a throughput predictor and
+/// model the prediction output as being a combination of the true throughput
+/// with added random noise" (Section 7.3).
+#[derive(Debug, Clone)]
+pub struct NoisyOracle {
+    error_level: f64,
+    rng: StdRng,
+    current: Option<f64>,
+}
+
+impl NoisyOracle {
+    /// Creates an oracle with relative error bound `error_level in [0, 1)`
+    /// (e.g. `0.2` = predictions within ±20 % of truth), seeded for
+    /// reproducibility.
+    pub fn new(error_level: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&error_level),
+            "error level must be in [0, 1), got {error_level}"
+        );
+        Self {
+            error_level,
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+        }
+    }
+
+    /// A perfect predictor (zero error).
+    pub fn perfect() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// The configured error level.
+    pub fn error_level(&self) -> f64 {
+        self.error_level
+    }
+}
+
+impl Predictor for NoisyOracle {
+    fn observe(&mut self, _actual_kbps: f64) {
+        // The oracle does not learn from history.
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.current
+    }
+
+    fn reset(&mut self) {
+        self.current = None;
+    }
+
+    fn hint_future(&mut self, truth_kbps: f64) {
+        assert!(truth_kbps > 0.0 && truth_kbps.is_finite());
+        let e = if self.error_level == 0.0 {
+            0.0
+        } else {
+            self.rng.gen_range(-self.error_level..self.error_level)
+        };
+        self.current = Some(truth_kbps * (1.0 + e));
+    }
+}
+
+/// Wraps a predictor and tracks the absolute percentage error of its recent
+/// predictions, exactly as RobustMPC needs: "we use maximum prediction error
+/// over the past several chunks as bounds" (Section 4.3).
+///
+/// Call order per chunk: `predict()` (used for the decision), then
+/// `observe(actual)` once the chunk completes — the wrapper scores the
+/// prediction it had outstanding before forwarding the observation.
+#[derive(Debug, Clone)]
+pub struct ErrorTracked<P> {
+    inner: P,
+    window: usize,
+    errors: VecDeque<f64>,
+}
+
+impl<P: Predictor> ErrorTracked<P> {
+    /// Wraps `inner`, remembering the last `window > 0` percentage errors.
+    pub fn new(inner: P, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            inner,
+            window,
+            errors: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Maximum absolute percentage error over the tracked window (0 until
+    /// the first scored prediction).
+    pub fn max_error(&self) -> f64 {
+        self.errors.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean absolute percentage error over the tracked window (0 if empty).
+    pub fn mean_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            0.0
+        } else {
+            self.errors.iter().sum::<f64>() / self.errors.len() as f64
+        }
+    }
+
+    /// The throughput lower bound RobustMPC feeds to the regular MPC
+    /// optimizer: `prediction / (1 + max_error)`.
+    pub fn robust_lower_bound(&self) -> Option<f64> {
+        self.inner.predict().map(|p| p / (1.0 + self.max_error()))
+    }
+
+    /// Access to the wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Predictor> Predictor for ErrorTracked<P> {
+    fn observe(&mut self, actual_kbps: f64) {
+        if let Some(pred) = self.inner.predict() {
+            let err = (pred - actual_kbps).abs() / actual_kbps;
+            if self.errors.len() == self.window {
+                self.errors.pop_front();
+            }
+            self.errors.push_back(err);
+        }
+        self.inner.observe(actual_kbps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.inner.predict()
+    }
+
+    fn reset(&mut self) {
+        self.errors.clear();
+        self.inner.reset();
+    }
+
+    fn hint_future(&mut self, truth_kbps: f64) {
+        self.inner.hint_future(truth_kbps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn harmonic_mean_matches_formula() {
+        let mut p = HarmonicMean::new(3);
+        assert_eq!(p.predict(), None);
+        p.observe(1000.0);
+        assert_eq!(p.predict(), Some(1000.0));
+        p.observe(2000.0);
+        let hm2 = 2.0 / (1.0 / 1000.0 + 1.0 / 2000.0);
+        assert!((p.predict().unwrap() - hm2).abs() < 1e-9);
+        p.observe(500.0);
+        p.observe(500.0); // evicts the 1000 sample
+        let hm3 = 3.0 / (1.0 / 2000.0 + 1.0 / 500.0 + 1.0 / 500.0);
+        assert!((p.predict().unwrap() - hm3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_mean_is_outlier_robust() {
+        // One inflated sample moves the harmonic mean far less than the
+        // arithmetic mean — the property the paper cites for choosing it.
+        let mut hm = HarmonicMean::new(5);
+        let mut am = SlidingMean::new(5);
+        for &c in &[1000.0, 1000.0, 1000.0, 1000.0, 10_000.0] {
+            hm.observe(c);
+            am.observe(c);
+        }
+        let hm_v = hm.predict().unwrap();
+        let am_v = am.predict().unwrap();
+        assert!(hm_v < am_v);
+        assert!(hm_v < 1500.0, "harmonic mean {hm_v} should stay near 1000");
+        assert!(am_v > 2500.0, "arithmetic mean {am_v} should be dragged up");
+    }
+
+    #[test]
+    fn ewma_blends() {
+        let mut p = Ewma::new(0.5);
+        p.observe(1000.0);
+        p.observe(2000.0);
+        assert!((p.predict().unwrap() - 1500.0).abs() < 1e-9);
+        p.reset();
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    fn ar1_tracks_constant_series() {
+        let mut p = Ar1::new(6);
+        assert_eq!(p.predict(), None);
+        for _ in 0..6 {
+            p.observe(1200.0);
+        }
+        let pred = p.predict().unwrap();
+        assert!((pred - 1200.0).abs() < 1.0, "constant series -> {pred}");
+    }
+
+    #[test]
+    fn ar1_extrapolates_a_trend() {
+        // Geometric growth: each sample 10% above the previous. AR(1) in
+        // the log domain fits this exactly and predicts the next step up.
+        let mut p = Ar1::new(8);
+        let mut c = 500.0;
+        for _ in 0..8 {
+            p.observe(c);
+            c *= 1.1;
+        }
+        let pred = p.predict().unwrap();
+        let last = c / 1.1;
+        assert!(
+            pred > last,
+            "rising series should predict above the last sample: {pred} vs {last}"
+        );
+        // Compare against harmonic mean, which lags badly on trends.
+        let mut hm = HarmonicMean::new(8);
+        let mut c2 = 500.0;
+        for _ in 0..8 {
+            hm.observe(c2);
+            c2 *= 1.1;
+        }
+        assert!(pred > hm.predict().unwrap());
+    }
+
+    #[test]
+    fn ar1_short_history_falls_back_to_last() {
+        let mut p = Ar1::new(5);
+        p.observe(800.0);
+        assert_eq!(p.predict(), Some(800.0));
+        p.observe(1000.0);
+        assert_eq!(p.predict(), Some(1000.0));
+    }
+
+    #[test]
+    fn ar1_reset_clears() {
+        let mut p = Ar1::new(5);
+        for v in [100.0, 200.0, 300.0, 400.0] {
+            p.observe(v);
+        }
+        p.reset();
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    fn ar1_prediction_is_finite_on_noisy_input() {
+        let mut p = Ar1::new(5);
+        for v in [100.0, 9000.0, 150.0, 7000.0, 120.0, 8000.0] {
+            p.observe(v);
+            if let Some(pred) = p.predict() {
+                assert!(pred.is_finite() && pred > 0.0, "pred {pred}");
+            }
+        }
+    }
+
+    #[test]
+    fn last_sample_tracks_latest() {
+        let mut p = LastSample::new();
+        p.observe(100.0);
+        p.observe(900.0);
+        assert_eq!(p.predict(), Some(900.0));
+    }
+
+    #[test]
+    fn cross_session_prior_dominates_cold_start() {
+        let p = CrossSession::new(2000.0, 3.0, 5);
+        // No observations yet: pure prior.
+        assert!((p.predict().unwrap() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_session_observations_take_over() {
+        let mut p = CrossSession::new(2000.0, 2.0, 5);
+        for _ in 0..5 {
+            p.observe(500.0);
+        }
+        let pred = p.predict().unwrap();
+        // 5 real samples at 500 vs 2 pseudo-samples at 2000: harmonic blend
+        // sits much closer to 500 than to the prior.
+        assert!(pred < 700.0, "{pred}");
+        assert!(pred > 500.0, "{pred}");
+    }
+
+    #[test]
+    fn cross_session_zero_weight_equals_harmonic_mean() {
+        let mut cs = CrossSession::new(9999.0, 0.0, 5);
+        let mut hm = HarmonicMean::new(5);
+        assert_eq!(cs.predict(), None);
+        for v in [800.0, 1200.0, 600.0] {
+            cs.observe(v);
+            hm.observe(v);
+        }
+        assert!((cs.predict().unwrap() - hm.predict().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_perfect_reproduces_truth() {
+        let mut p = NoisyOracle::perfect();
+        assert_eq!(p.predict(), None);
+        p.hint_future(1234.0);
+        assert_eq!(p.predict(), Some(1234.0));
+        p.observe(999.0); // ignored
+        assert_eq!(p.predict(), Some(1234.0));
+    }
+
+    #[test]
+    fn oracle_noise_bounded_and_deterministic() {
+        let mut a = NoisyOracle::new(0.2, 7);
+        let mut b = NoisyOracle::new(0.2, 7);
+        for i in 1..100 {
+            let truth = 100.0 * i as f64;
+            a.hint_future(truth);
+            b.hint_future(truth);
+            let pa = a.predict().unwrap();
+            assert_eq!(pa, b.predict().unwrap());
+            assert!((pa - truth).abs() <= 0.2 * truth + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error level")]
+    fn oracle_rejects_bad_error_level() {
+        let _ = NoisyOracle::new(1.5, 0);
+    }
+
+    #[test]
+    fn error_tracker_scores_previous_prediction() {
+        let mut p = ErrorTracked::new(LastSample::new(), 5);
+        assert_eq!(p.max_error(), 0.0);
+        p.observe(1000.0); // no outstanding prediction yet -> no error entry
+        assert_eq!(p.max_error(), 0.0);
+        // Prediction is 1000; actual 800 -> error 0.25.
+        p.observe(800.0);
+        assert!((p.max_error() - 0.25).abs() < 1e-9);
+        // Prediction is 800; actual 800 -> error 0; max stays 0.25.
+        p.observe(800.0);
+        assert!((p.max_error() - 0.25).abs() < 1e-9);
+        assert!((p.mean_error() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_tracker_window_evicts() {
+        let mut p = ErrorTracked::new(LastSample::new(), 2);
+        p.observe(1000.0);
+        p.observe(500.0); // error 1.0
+        p.observe(500.0); // error 0
+        p.observe(500.0); // error 0 -> the 1.0 entry evicted
+        assert!(p.max_error() < 1e-9);
+    }
+
+    #[test]
+    fn robust_lower_bound_formula() {
+        let mut p = ErrorTracked::new(LastSample::new(), 5);
+        p.observe(1000.0);
+        p.observe(500.0); // err = 1.0, prediction now 500
+        let lb = p.robust_lower_bound().unwrap();
+        assert!((lb - 250.0).abs() < 1e-9, "500/(1+1.0) = 250, got {lb}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = ErrorTracked::new(HarmonicMean::new(3), 3);
+        p.observe(100.0);
+        p.observe(300.0);
+        p.reset();
+        assert_eq!(p.predict(), None);
+        assert_eq!(p.max_error(), 0.0);
+    }
+
+    #[test]
+    fn hint_passes_through_wrapper() {
+        let mut p = ErrorTracked::new(NoisyOracle::perfect(), 5);
+        p.hint_future(700.0);
+        assert_eq!(p.predict(), Some(700.0));
+    }
+
+    proptest! {
+        /// Harmonic mean lies between min and max of the window.
+        #[test]
+        fn harmonic_mean_bounded(values in proptest::collection::vec(1.0f64..1e6, 1..20)) {
+            let mut p = HarmonicMean::new(5);
+            for &v in &values {
+                p.observe(v);
+            }
+            let tail: Vec<f64> = values.iter().rev().take(5).copied().collect();
+            let lo = tail.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = tail.iter().copied().fold(0.0f64, f64::max);
+            let pred = p.predict().unwrap();
+            prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
+        }
+
+        /// Harmonic mean <= arithmetic mean (AM–HM inequality).
+        #[test]
+        fn hm_le_am(values in proptest::collection::vec(1.0f64..1e6, 1..5)) {
+            let mut hm = HarmonicMean::new(5);
+            let mut am = SlidingMean::new(5);
+            for &v in &values {
+                hm.observe(v);
+                am.observe(v);
+            }
+            prop_assert!(hm.predict().unwrap() <= am.predict().unwrap() + 1e-9);
+        }
+
+        /// Tracked errors are always non-negative and the lower bound never
+        /// exceeds the raw prediction.
+        #[test]
+        fn lower_bound_never_exceeds_prediction(
+            values in proptest::collection::vec(1.0f64..1e5, 2..30)
+        ) {
+            let mut p = ErrorTracked::new(HarmonicMean::paper_default(), 5);
+            for &v in &values {
+                p.observe(v);
+                prop_assert!(p.max_error() >= 0.0);
+                if let (Some(lb), Some(pred)) = (p.robust_lower_bound(), p.predict()) {
+                    prop_assert!(lb <= pred + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulator configuration.
+
+use abr_video::QoeWeights;
+use serde::{Deserialize, Serialize};
+
+/// How the startup delay `T_s` is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StartupPolicy {
+    /// Playback begins the moment the first chunk finishes downloading
+    /// (`T_s` = first download time). The default, applied to every
+    /// algorithm in comparisons.
+    FirstChunk,
+    /// Playback begins after a fixed delay; the player accumulates buffer
+    /// credit during the wait (Eq. 10's `B_1 = T_s`). If the first chunk
+    /// takes longer than the delay, the shortfall counts as rebuffering.
+    /// Used by the startup-delay sensitivity study (Figure 11d).
+    Fixed(f64),
+    /// The controller's first decision supplies `T_s` (MPC's `fst_mpc`);
+    /// controllers that return no startup directive fall back to
+    /// `FirstChunk` behaviour.
+    Controller,
+}
+
+/// How RobustMPC's throughput lower bound is derived from tracked
+/// prediction errors — `prediction / (1 + err)` with `err` chosen below.
+/// The paper uses the maximum error over the past 5 chunks; the mean-error
+/// variant is the less conservative alternative the `ablation` experiment
+/// compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobustBound {
+    /// `err` = maximum absolute percentage error in the window (paper).
+    MaxError,
+    /// `err` = mean absolute percentage error in the window.
+    MeanError,
+}
+
+/// Live-streaming constraints: chunk `k` only becomes available for
+/// download once the encoder has produced it.
+///
+/// The session joins `availability_offset_secs` behind the live edge: that
+/// much content already exists at `t = 0` (the DVR window), and the encoder
+/// keeps producing one chunk per `L` seconds. A smaller offset means lower
+/// glass-to-glass latency but also a hard cap on how much protective buffer
+/// the player can ever build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveConfig {
+    /// How far behind the live edge the session starts, seconds.
+    pub availability_offset_secs: f64,
+}
+
+impl LiveConfig {
+    /// The instant chunk `k` becomes available: its encoding completes when
+    /// the live edge passes the chunk's end, i.e. at
+    /// `(k+1)·L − offset` (never negative — early chunks pre-exist).
+    pub fn available_at(&self, k: usize, chunk_secs: f64) -> f64 {
+        ((k + 1) as f64 * chunk_secs - self.availability_offset_secs).max(0.0)
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Buffer capacity `B_max` in seconds (the paper uses 30 s).
+    pub buffer_max_secs: f64,
+    /// Live-streaming mode: when set, downloads additionally wait for chunk
+    /// availability (`None` = video-on-demand, the paper's setting).
+    #[serde(default)]
+    pub live: Option<LiveConfig>,
+    /// Startup policy.
+    pub startup: StartupPolicy,
+    /// QoE weights used for session accounting.
+    pub weights: QoeWeights,
+    /// Window (chunks) for tracking prediction errors (RobustMPC bound).
+    pub error_window: usize,
+    /// Which error statistic feeds the robust throughput lower bound.
+    #[serde(default = "default_robust_bound")]
+    pub robust_bound: RobustBound,
+    /// Buffer level under which a chunk start is flagged "low buffer"
+    /// (feeds the dash.js insufficient-buffer rule).
+    pub low_buffer_threshold_secs: f64,
+    /// A chunk sees `recent_low_buffer` if any of the last this-many chunk
+    /// starts were below the threshold.
+    pub low_buffer_window_chunks: usize,
+    /// Horizon (seconds) over which oracle predictors are told the true
+    /// mean upcoming throughput — matches the MPC look-ahead of 5 chunks
+    /// of 4 s by default.
+    pub hint_horizon_secs: f64,
+}
+
+impl SimConfig {
+    /// The paper's evaluation defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            buffer_max_secs: 30.0,
+            live: None,
+            startup: StartupPolicy::FirstChunk,
+            weights: QoeWeights::balanced(),
+            error_window: 5,
+            robust_bound: RobustBound::MaxError,
+            low_buffer_threshold_secs: 8.0,
+            low_buffer_window_chunks: 3,
+            hint_horizon_secs: 20.0,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+fn default_robust_bound() -> RobustBound {
+    RobustBound::MaxError
+}

@@ -1,0 +1,35 @@
+//! Trace-driven streaming simulator — the paper's "custom simulation
+//! framework" (Section 7.3).
+//!
+//! The simulator models the video download/playback process of Section 3.1
+//! exactly: at time `t_k` the bitrate controller picks `R_k`, the chunk
+//! downloads for `d_k(R_k)/C_k` seconds where `C_k` is the average
+//! throughput the trace delivers over that interval (computed by exact
+//! piecewise integration, Eq. 2), the buffer follows Eqs. (3)–(4), and the
+//! QoE of Eq. (5) is accounted per chunk.
+//!
+//! The driver owns the throughput predictor: before each decision it calls
+//! [`abr_predictor::Predictor::predict`] (and feeds oracle predictors the
+//! true upcoming average throughput via `hint_future`); after each download
+//! it calls `observe` with the measured `C_k`. Prediction errors are tracked
+//! with [`abr_predictor::ErrorTracked`] so RobustMPC's throughput lower
+//! bound is always available in the controller context.
+//!
+//! Startup follows [`StartupPolicy`]: by default playback begins when the
+//! first chunk lands (the behaviour of real players, applied uniformly to
+//! all algorithms so the startup QoE term never biases a comparison); fixed
+//! delays reproduce Figure 11d; `Controller` lets MPC's `fst_mpc` choose
+//! `T_s` itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod metrics;
+mod session;
+pub mod timeline;
+
+pub use config::{LiveConfig, RobustBound, SimConfig, StartupPolicy};
+pub use metrics::{ChunkRecord, SessionResult};
+pub use session::run_session;
+pub use timeline::{ascii_chart, buffer_timeline, TimelinePoint};

@@ -1,0 +1,184 @@
+//! Per-chunk logs and per-session results — the simulator-side counterpart
+//! of the logging functions the paper added to `BufferController`
+//! ("a complete log of the state of the player, including buffer level,
+//! bitrates, rebuffer time, predicted/actual throughput", Section 6).
+
+use abr_video::{LevelIdx, QoeBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one chunk download.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Chunk index `k` (0-based).
+    pub index: usize,
+    /// Chosen ladder level.
+    pub level: LevelIdx,
+    /// Nominal bitrate of the chosen level, kbps.
+    pub bitrate_kbps: f64,
+    /// Chunk size at the chosen level, kilobits.
+    pub size_kbits: f64,
+    /// Wall-clock time the download started, seconds.
+    pub start_secs: f64,
+    /// Download duration `d_k/C_k`, seconds.
+    pub download_secs: f64,
+    /// Rebuffering incurred by this chunk, seconds.
+    pub rebuffer_secs: f64,
+    /// Idle wait after this chunk (buffer full), seconds.
+    pub wait_secs: f64,
+    /// Time spent waiting for the chunk to *exist* before the download
+    /// could start (live mode; always 0 for video-on-demand).
+    #[serde(default)]
+    pub availability_wait_secs: f64,
+    /// Buffer occupancy when the download started (`B_k`), seconds.
+    pub buffer_before_secs: f64,
+    /// Buffer occupancy when the next download starts (`B_{k+1}`), seconds.
+    pub buffer_after_secs: f64,
+    /// Measured average throughput over the download (`C_k`), kbps.
+    pub throughput_kbps: f64,
+    /// The predictor's forecast in effect for this decision, if any.
+    pub prediction_kbps: Option<f64>,
+}
+
+impl ChunkRecord {
+    /// Absolute percentage prediction error for this chunk, if a prediction
+    /// existed: `|Ĉ − C_k| / C_k`.
+    pub fn prediction_error(&self) -> Option<f64> {
+        self.prediction_kbps
+            .map(|p| (p - self.throughput_kbps).abs() / self.throughput_kbps)
+    }
+
+    /// Signed percentage prediction error (`> 0` means over-estimation).
+    pub fn signed_prediction_error(&self) -> Option<f64> {
+        self.prediction_kbps
+            .map(|p| (p - self.throughput_kbps) / self.throughput_kbps)
+    }
+}
+
+/// The outcome of one simulated streaming session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Controller name ("RobustMPC", "BB", …).
+    pub algorithm: String,
+    /// Per-chunk log.
+    pub records: Vec<ChunkRecord>,
+    /// Startup delay `T_s`, seconds.
+    pub startup_secs: f64,
+    /// Wall-clock session length (downloads + waits), seconds.
+    pub total_secs: f64,
+    /// Accumulated QoE terms (Eq. 5).
+    pub qoe: QoeBreakdown,
+}
+
+impl SessionResult {
+    /// Total rebuffering time across all chunks, seconds.
+    pub fn total_rebuffer_secs(&self) -> f64 {
+        self.records.iter().map(|r| r.rebuffer_secs).sum()
+    }
+
+    /// Number of chunks that incurred any rebuffering.
+    pub fn rebuffer_events(&self) -> usize {
+        self.records.iter().filter(|r| r.rebuffer_secs > 1e-9).count()
+    }
+
+    /// Average per-chunk bitrate, kbps (Figures 9/10, left panels).
+    pub fn avg_bitrate_kbps(&self) -> f64 {
+        self.qoe.avg_bitrate_kbps()
+    }
+
+    /// Average per-transition bitrate change, kbps (Figures 9/10, middle).
+    pub fn avg_bitrate_change_kbps(&self) -> f64 {
+        self.qoe.avg_bitrate_change_kbps()
+    }
+
+    /// Mean absolute percentage prediction error over the session (the
+    /// Figure 7 right-panel statistic). `None` if no chunk had a prediction.
+    pub fn mean_prediction_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(ChunkRecord::prediction_error)
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Fraction of predicted chunks whose prediction over-estimated the
+    /// actual throughput (the paper reports >20 % over-estimation frequency
+    /// on HSDPA).
+    pub fn overestimate_fraction(&self) -> Option<f64> {
+        let signed: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(ChunkRecord::signed_prediction_error)
+            .collect();
+        if signed.is_empty() {
+            None
+        } else {
+            Some(signed.iter().filter(|e| **e > 0.0).count() as f64 / signed.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::QoeWeights;
+
+    fn record(pred: Option<f64>, actual: f64, rebuf: f64) -> ChunkRecord {
+        ChunkRecord {
+            index: 0,
+            level: LevelIdx(0),
+            bitrate_kbps: 350.0,
+            size_kbits: 1400.0,
+            start_secs: 0.0,
+            download_secs: 1.0,
+            rebuffer_secs: rebuf,
+            wait_secs: 0.0,
+            availability_wait_secs: 0.0,
+            buffer_before_secs: 5.0,
+            buffer_after_secs: 8.0,
+            throughput_kbps: actual,
+            prediction_kbps: pred,
+        }
+    }
+
+    #[test]
+    fn prediction_error_math() {
+        let r = record(Some(1200.0), 1000.0, 0.0);
+        assert!((r.prediction_error().unwrap() - 0.2).abs() < 1e-12);
+        assert!((r.signed_prediction_error().unwrap() - 0.2).abs() < 1e-12);
+        let under = record(Some(800.0), 1000.0, 0.0);
+        assert!((under.signed_prediction_error().unwrap() + 0.2).abs() < 1e-12);
+        assert_eq!(record(None, 1000.0, 0.0).prediction_error(), None);
+    }
+
+    #[test]
+    fn session_aggregates() {
+        let w = QoeWeights::balanced();
+        let records = vec![
+            record(None, 1000.0, 0.0),
+            record(Some(1100.0), 1000.0, 0.5),
+            record(Some(900.0), 1000.0, 0.0),
+        ];
+        let mut qoe = QoeBreakdown::default();
+        for r in &records {
+            qoe.push_chunk(&w, r.bitrate_kbps, r.rebuffer_secs);
+        }
+        let s = SessionResult {
+            algorithm: "test".into(),
+            records,
+            startup_secs: 1.0,
+            total_secs: 3.0,
+            qoe,
+        };
+        assert!((s.total_rebuffer_secs() - 0.5).abs() < 1e-12);
+        assert_eq!(s.rebuffer_events(), 1);
+        assert!((s.mean_prediction_error().unwrap() - 0.1).abs() < 1e-12);
+        assert!((s.overestimate_fraction().unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.avg_bitrate_kbps() - 350.0).abs() < 1e-12);
+        assert_eq!(s.avg_bitrate_change_kbps(), 0.0);
+    }
+}

@@ -1,0 +1,508 @@
+//! The simulation loop.
+
+use crate::config::{SimConfig, StartupPolicy};
+use crate::metrics::{ChunkRecord, SessionResult};
+use abr_core::{advance_buffer, BitrateController, ControllerContext};
+use abr_predictor::{ErrorTracked, Predictor};
+use abr_trace::Trace;
+use abr_video::{QoeBreakdown, Video};
+use std::collections::VecDeque;
+
+/// Runs one streaming session: `controller` adapts `video` over `trace`
+/// using `predictor` for throughput forecasts.
+///
+/// The controller is `reset()` at the start so sessions are independent;
+/// the predictor is consumed (fresh per session by construction).
+///
+/// ```
+/// use abr_predictor::HarmonicMean;
+/// use abr_sim::{run_session, SimConfig};
+/// use abr_trace::Trace;
+/// use abr_video::envivio_video;
+///
+/// let video = envivio_video();
+/// let trace = Trace::constant(1500.0, 60.0).unwrap();
+/// let mut controller = abr_core::Mpc::robust();
+/// let result = run_session(
+///     &mut controller,
+///     HarmonicMean::paper_default(),
+///     &trace,
+///     &video,
+///     &SimConfig::paper_default(),
+/// );
+/// assert_eq!(result.records.len(), 65);
+/// assert!(result.total_rebuffer_secs() < 1.0); // the link sustains 1000 kbps easily
+/// ```
+pub fn run_session<P: Predictor>(
+    controller: &mut dyn BitrateController,
+    predictor: P,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+) -> SessionResult {
+    assert!(
+        cfg.buffer_max_secs >= video.chunk_secs(),
+        "buffer must hold at least one chunk"
+    );
+    controller.reset();
+    let mut predictor = ErrorTracked::new(predictor, cfg.error_window);
+
+    let mut qoe = QoeBreakdown::default();
+    let mut records = Vec::with_capacity(video.num_chunks());
+    let mut now = 0.0_f64; // wall clock
+    let mut buffer = 0.0_f64; // B_k
+    let mut prev_level = None;
+    let mut startup_secs = 0.0_f64;
+    let mut last_throughput = None;
+    let mut low_buffer_history: VecDeque<bool> =
+        VecDeque::with_capacity(cfg.low_buffer_window_chunks);
+
+    for k in 0..video.num_chunks() {
+        // Oracle predictors get the true mean upcoming throughput.
+        let horizon_end = now + cfg.hint_horizon_secs.max(video.chunk_secs());
+        let truth = trace.integrate_kbits(now, horizon_end) / (horizon_end - now);
+        if truth > 0.0 {
+            predictor.hint_future(truth);
+        }
+
+        let prediction = predictor.predict();
+        let robust_lower = match cfg.robust_bound {
+            crate::config::RobustBound::MaxError => predictor.robust_lower_bound(),
+            crate::config::RobustBound::MeanError => {
+                prediction.map(|p| p / (1.0 + predictor.mean_error()))
+            }
+        };
+        let ctx = ControllerContext {
+            chunk_index: k,
+            buffer_secs: buffer,
+            prev_level,
+            prediction_kbps: prediction,
+            robust_lower_kbps: robust_lower,
+            last_throughput_kbps: last_throughput,
+            recent_low_buffer: low_buffer_history.iter().any(|&b| b),
+            startup: k == 0,
+            video,
+            buffer_max_secs: cfg.buffer_max_secs,
+        };
+        let decision = controller.decide(&ctx);
+        let level = decision.level;
+        assert!(
+            level.get() < video.ladder().len(),
+            "{} chose out-of-range level {level:?}",
+            controller.name()
+        );
+
+        // Startup: establish T_s and the equivalent initial buffer credit.
+        if k == 0 {
+            match cfg.startup {
+                StartupPolicy::FirstChunk => {} // handled after the download
+                StartupPolicy::Fixed(ts) => {
+                    assert!(ts >= 0.0, "negative fixed startup delay");
+                    startup_secs = ts;
+                    buffer = ts.min(cfg.buffer_max_secs);
+                }
+                StartupPolicy::Controller => {
+                    let ts = decision.startup_wait_secs.unwrap_or(0.0);
+                    startup_secs = ts;
+                    buffer = ts.min(cfg.buffer_max_secs);
+                }
+            }
+        }
+
+        // Live mode: the chunk may not exist yet — wait for the encoder.
+        // The buffer keeps draining through the wait, exactly like a slow
+        // download.
+        let availability_wait = match cfg.live {
+            Some(live) => (live.available_at(k, video.chunk_secs()) - now).max(0.0),
+            None => 0.0,
+        };
+
+        // Download through the trace (exact piecewise integration).
+        let size_kbits = video.chunk_size_kbits(k, level);
+        let dl_start = now + availability_wait;
+        let download_secs = trace.time_to_download(size_kbits, dl_start);
+        assert!(
+            download_secs.is_finite() && download_secs > 0.0,
+            "download of {size_kbits} kbits never completes at t={dl_start}"
+        );
+        let throughput = size_kbits / download_secs;
+
+        let mut step = advance_buffer(
+            buffer,
+            availability_wait + download_secs,
+            video.chunk_secs(),
+            cfg.buffer_max_secs,
+        );
+        if k == 0 && matches!(cfg.startup, StartupPolicy::FirstChunk) {
+            // Playback starts when this chunk lands: the time to get it is
+            // the startup delay, not a rebuffer.
+            startup_secs = availability_wait + download_secs;
+            step.rebuffer_secs = 0.0;
+        }
+
+        qoe.push_chunk(&cfg.weights, video.ladder().kbps(level), step.rebuffer_secs);
+        records.push(ChunkRecord {
+            index: k,
+            level,
+            bitrate_kbps: video.ladder().kbps(level),
+            size_kbits,
+            start_secs: dl_start,
+            download_secs,
+            rebuffer_secs: step.rebuffer_secs,
+            wait_secs: step.wait_secs,
+            availability_wait_secs: availability_wait,
+            buffer_before_secs: buffer,
+            buffer_after_secs: step.next_buffer_secs,
+            throughput_kbps: throughput,
+            prediction_kbps: prediction,
+        });
+
+        // Bookkeeping for the next iteration.
+        if low_buffer_history.len() == cfg.low_buffer_window_chunks {
+            low_buffer_history.pop_front();
+        }
+        low_buffer_history.push_back(buffer < cfg.low_buffer_threshold_secs);
+        predictor.observe(throughput);
+        last_throughput = Some(throughput);
+        now += availability_wait + download_secs + step.wait_secs;
+        buffer = step.next_buffer_secs;
+        prev_level = Some(level);
+    }
+
+    qoe.set_startup(&cfg.weights, startup_secs);
+    SessionResult {
+        algorithm: controller.name().to_string(),
+        records,
+        startup_secs,
+        total_secs: now,
+        qoe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_baselines::{BufferBased, DashJs, Festive, RateBased};
+    use abr_core::{Decision, Mpc, MpcConfig};
+    use abr_predictor::{HarmonicMean, NoisyOracle};
+    use abr_trace::Dataset;
+    use abr_video::{envivio_video, LevelIdx, QoeWeights};
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_default()
+    }
+
+    /// A controller that always requests the same level.
+    struct Fixed(LevelIdx);
+    impl BitrateController for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn decide(&mut self, _ctx: &ControllerContext<'_>) -> Decision {
+            Decision::level(self.0)
+        }
+    }
+
+    #[test]
+    fn constant_trace_matches_analytic_math() {
+        // 1000 kbps link, fixed 1000 kbps level: every chunk downloads in
+        // exactly L seconds, so after startup the buffer stays at L and
+        // there is never a rebuffer.
+        let v = envivio_video();
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        assert_eq!(r.records.len(), 65);
+        assert!((r.startup_secs - 4.0).abs() < 1e-9, "{}", r.startup_secs);
+        assert!(r.total_rebuffer_secs() < 1e-9);
+        for rec in &r.records {
+            assert!((rec.download_secs - 4.0).abs() < 1e-9);
+            assert!((rec.throughput_kbps - 1000.0).abs() < 1e-9);
+        }
+        // Buffer holds at exactly one chunk after each download.
+        assert!((r.records[5].buffer_after_secs - 4.0).abs() < 1e-9);
+        // QoE = 65 chunks * 1000 - startup penalty.
+        let expect = 65.0 * 1000.0 - 3000.0 * 4.0;
+        assert!((r.qoe.qoe - expect).abs() < 1e-6, "{}", r.qoe.qoe);
+    }
+
+    #[test]
+    fn fast_link_fills_buffer_and_waits() {
+        // 10 Mbps link, lowest level: downloads are much faster than
+        // playback, so the buffer parks at Bmax and the player idles.
+        let v = envivio_video();
+        let t = Trace::constant(10_000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(0));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        assert!(r.total_rebuffer_secs() < 1e-9);
+        let max_buf = r
+            .records
+            .iter()
+            .map(|x| x.buffer_after_secs)
+            .fold(0.0, f64::max);
+        assert!(max_buf <= 30.0 + 1e-9);
+        assert!((max_buf - 30.0).abs() < 1e-6, "buffer should reach Bmax");
+        assert!(r.records.iter().map(|x| x.wait_secs).sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn slow_link_high_level_rebuffers() {
+        // 500 kbps link, fixed top level (3000 kbps): rebuffer every chunk.
+        let v = envivio_video();
+        let t = Trace::constant(500.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(4));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        // Each chunk takes 24 s to download but yields 4 s of video.
+        assert!(r.total_rebuffer_secs() > 100.0);
+        assert!(r.qoe.qoe < 0.0, "QoE should collapse: {}", r.qoe.qoe);
+    }
+
+    #[test]
+    fn fixed_startup_gives_buffer_credit() {
+        let v = envivio_video();
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(2));
+        let mut config = cfg();
+        config.startup = StartupPolicy::Fixed(6.0);
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        assert_eq!(r.startup_secs, 6.0);
+        // First chunk: 4 s download against 6 s credit -> no rebuffer.
+        assert_eq!(r.records[0].rebuffer_secs, 0.0);
+        assert!((r.records[0].buffer_before_secs - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_startup_shortfall_is_rebuffering() {
+        let v = envivio_video();
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(4)); // 12 s first download
+        let mut config = cfg();
+        config.startup = StartupPolicy::Fixed(2.0);
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        assert!((r.records[0].rebuffer_secs - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_startup_policy_uses_fst_mpc() {
+        let v = envivio_video();
+        let t = Trace::constant(600.0, 400.0).unwrap();
+        let mut mpc = Mpc::new(MpcConfig {
+            optimize_startup: true,
+            weights: QoeWeights {
+                mu_s: 10.0, // cheap startup: waiting is worthwhile
+                ..QoeWeights::balanced()
+            },
+            ..MpcConfig::paper_default()
+        });
+        let mut config = cfg();
+        config.startup = StartupPolicy::Controller;
+        config.weights = QoeWeights {
+            mu_s: 10.0,
+            ..QoeWeights::balanced()
+        };
+        let r = run_session(&mut mpc, HarmonicMean::paper_default(), &t, &v, &config);
+        assert!(r.startup_secs > 0.0);
+    }
+
+    #[test]
+    fn all_algorithms_complete_all_datasets() {
+        let v = envivio_video();
+        let config = cfg();
+        for ds in Dataset::ALL {
+            for trace in ds.generate(99, 3) {
+                let mut algos: Vec<Box<dyn BitrateController>> = vec![
+                    Box::new(RateBased::paper_default()),
+                    Box::new(BufferBased::paper_default()),
+                    Box::new(Festive::paper_default()),
+                    Box::new(DashJs::paper_default()),
+                    Box::new(Mpc::paper_default()),
+                    Box::new(Mpc::robust()),
+                ];
+                for a in &mut algos {
+                    let r = run_session(
+                        a.as_mut(),
+                        HarmonicMean::paper_default(),
+                        &trace,
+                        &v,
+                        &config,
+                    );
+                    assert_eq!(r.records.len(), 65);
+                    assert!(r.total_secs > 0.0);
+                    assert!(r.qoe.qoe.is_finite());
+                    // Buffer invariant throughout.
+                    for rec in &r.records {
+                        assert!(rec.buffer_after_secs >= -1e-9);
+                        assert!(rec.buffer_after_secs <= 30.0 + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_hint_drives_perfect_predictions() {
+        let v = envivio_video();
+        let t = Trace::constant(1500.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(1));
+        let r = run_session(&mut c, NoisyOracle::perfect(), &t, &v, &cfg());
+        // Constant trace: hints equal measured throughput, so error is 0.
+        let err = r.mean_prediction_error().unwrap();
+        assert!(err < 1e-9, "error {err}");
+        assert!(r.records[0].prediction_kbps.is_some());
+    }
+
+    #[test]
+    fn harmonic_mean_has_no_prediction_for_first_chunk() {
+        let v = envivio_video();
+        let t = Trace::constant(1500.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(0));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        assert_eq!(r.records[0].prediction_kbps, None);
+        assert!(r.records[1].prediction_kbps.is_some());
+    }
+
+    #[test]
+    fn wall_clock_is_downloads_plus_waits() {
+        let v = envivio_video();
+        let t = Trace::constant(2000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        let sum: f64 = r
+            .records
+            .iter()
+            .map(|x| x.download_secs + x.wait_secs)
+            .sum();
+        assert!((r.total_secs - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_error_bound_is_less_conservative() {
+        // On a volatile trace, the mean-error bound sits above the
+        // max-error bound, so RobustMPC(mean) streams at least as high on
+        // average as RobustMPC(max).
+        let v = envivio_video();
+        let t = Trace::new(vec![
+            (20.0, 2500.0),
+            (10.0, 700.0),
+            (20.0, 2500.0),
+            (10.0, 500.0),
+        ])
+        .unwrap();
+        let mut cfg_max = cfg();
+        cfg_max.robust_bound = crate::config::RobustBound::MaxError;
+        let mut cfg_mean = cfg();
+        cfg_mean.robust_bound = crate::config::RobustBound::MeanError;
+        let mut a = Mpc::robust();
+        let r_max = run_session(&mut a, HarmonicMean::paper_default(), &t, &v, &cfg_max);
+        let mut b = Mpc::robust();
+        let r_mean = run_session(&mut b, HarmonicMean::paper_default(), &t, &v, &cfg_mean);
+        assert!(
+            r_mean.avg_bitrate_kbps() >= r_max.avg_bitrate_kbps() - 1e-9,
+            "mean {} vs max {}",
+            r_mean.avg_bitrate_kbps(),
+            r_max.avg_bitrate_kbps()
+        );
+    }
+
+    #[test]
+    fn mpc_beats_fixed_top_level_on_volatile_trace() {
+        // Sanity: adaptation must beat the naive "always max" policy when
+        // the link cannot sustain the max.
+        let v = envivio_video();
+        let t = Trace::new(vec![(30.0, 2500.0), (30.0, 600.0)]).unwrap();
+        let mut top = Fixed(LevelIdx(4));
+        let r_top = run_session(&mut top, HarmonicMean::paper_default(), &t, &v, &cfg());
+        let mut mpc = Mpc::robust();
+        let r_mpc = run_session(&mut mpc, HarmonicMean::paper_default(), &t, &v, &cfg());
+        assert!(
+            r_mpc.qoe.qoe > r_top.qoe.qoe,
+            "MPC {} vs fixed-top {}",
+            r_mpc.qoe.qoe,
+            r_top.qoe.qoe
+        );
+    }
+
+    #[test]
+    fn vod_sessions_never_wait_for_availability() {
+        let v = envivio_video();
+        let t = Trace::constant(2000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(1));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        assert!(r.records.iter().all(|x| x.availability_wait_secs == 0.0));
+    }
+
+    #[test]
+    fn live_mode_paces_at_the_encoder() {
+        // Infinite-feeling bandwidth, 8 s behind live: downloads are nearly
+        // instant, so the player is gated by chunk availability — exactly
+        // one chunk per L seconds — and the buffer parks near the offset.
+        let v = envivio_video();
+        let t = Trace::constant(100_000.0, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(2));
+        let mut config = cfg();
+        config.live = Some(crate::LiveConfig {
+            availability_offset_secs: 8.0,
+        });
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        assert!(r.total_rebuffer_secs() < 1e-6);
+        // Mid-session: every chunk waits ~L for the encoder.
+        for rec in &r.records[3..60] {
+            assert!(
+                rec.availability_wait_secs > 3.0,
+                "chunk {} waited only {}",
+                rec.index,
+                rec.availability_wait_secs
+            );
+            // The buffer can never exceed what the encoder has produced.
+            assert!(
+                rec.buffer_after_secs <= 8.0 + 4.0 + 1e-6,
+                "buffer {} outran the live edge",
+                rec.buffer_after_secs
+            );
+        }
+        // Wall clock ~ when the last chunk is encoded: 65*4 - 8 = 252 s.
+        assert!(r.total_secs >= 251.9, "{}", r.total_secs);
+    }
+
+    #[test]
+    fn live_mode_small_offset_rebuffers_on_dips() {
+        // 4 s behind live with a mid-stream dip: the player cannot build a
+        // protective buffer (the encoder hasn't produced it), so the dip
+        // hits playback directly.
+        let v = envivio_video();
+        let t = Trace::new(vec![(60.0, 3000.0), (20.0, 400.0), (120.0, 3000.0)]).unwrap();
+        let mut live_cfg = cfg();
+        live_cfg.live = Some(crate::LiveConfig {
+            availability_offset_secs: 4.0,
+        });
+        let mut c1 = Fixed(LevelIdx(2));
+        let live = run_session(&mut c1, HarmonicMean::paper_default(), &t, &v, &live_cfg);
+        let mut c2 = Fixed(LevelIdx(2));
+        let vod = run_session(&mut c2, HarmonicMean::paper_default(), &t, &v, &cfg());
+        assert!(
+            live.total_rebuffer_secs() > vod.total_rebuffer_secs(),
+            "live {} should rebuffer more than VOD {}",
+            live.total_rebuffer_secs(),
+            vod.total_rebuffer_secs()
+        );
+        assert!(live.total_rebuffer_secs() > 1.0);
+    }
+
+    #[test]
+    fn per_chunk_throughput_consistent_with_trace() {
+        let v = envivio_video();
+        let t = Trace::new(vec![(20.0, 800.0), (20.0, 3000.0)]).unwrap();
+        let mut c = Fixed(LevelIdx(1));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &cfg());
+        for rec in &r.records {
+            let integrated =
+                t.integrate_kbits(rec.start_secs, rec.start_secs + rec.download_secs);
+            assert!(
+                (integrated - rec.size_kbits).abs() < 1e-6 * rec.size_kbits.max(1.0),
+                "chunk {} downloaded {} kbits but trace delivered {integrated}",
+                rec.index,
+                rec.size_kbits
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Buffer-occupancy timelines — the continuous `B(t)` signal of the
+//! paper's Figure 2, reconstructed from a session's per-chunk records.
+//!
+//! Within one chunk the buffer is piecewise linear: it drains at rate 1
+//! while the video plays during the download, clamps at zero through a
+//! rebuffer, jumps by `L` when the chunk lands, and stays flat during a
+//! buffer-full wait (the player idles but playback continues draining —
+//! so "flat" is actually a drain that the wait formula exactly offsets at
+//! `B_max`; we reconstruct the true polyline). Useful for debugging
+//! controllers and for the `buffer_timeline` example's Figure-2-style
+//! plots.
+
+use crate::metrics::SessionResult;
+use serde::{Deserialize, Serialize};
+
+/// One vertex of the buffer polyline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Wall-clock time, seconds.
+    pub t_secs: f64,
+    /// Buffer occupancy, seconds of video.
+    pub buffer_secs: f64,
+}
+
+/// Reconstructs the buffer polyline of a session: one segment per phase
+/// (drain-during-download, rebuffer floor, chunk arrival jump, post-arrival
+/// wait). Points are ordered by time; vertical jumps appear as two points
+/// at the same `t`.
+pub fn buffer_timeline(session: &SessionResult) -> Vec<TimelinePoint> {
+    let mut pts = Vec::with_capacity(session.records.len() * 3 + 1);
+    for r in &session.records {
+        let start = r.start_secs;
+        pts.push(TimelinePoint {
+            t_secs: start,
+            buffer_secs: r.buffer_before_secs,
+        });
+        if r.rebuffer_secs > 1e-12 {
+            // Drained to zero before the chunk landed.
+            let hit_zero = start + r.buffer_before_secs;
+            pts.push(TimelinePoint {
+                t_secs: hit_zero,
+                buffer_secs: 0.0,
+            });
+            pts.push(TimelinePoint {
+                t_secs: start + r.download_secs,
+                buffer_secs: 0.0,
+            });
+        } else {
+            // Clamp at zero: the first chunk downloads before playback
+            // starts (its record has zero rebuffer by the startup rule), so
+            // the buffer floor is not a real drain below zero.
+            pts.push(TimelinePoint {
+                t_secs: start + r.download_secs,
+                buffer_secs: (r.buffer_before_secs - r.download_secs).max(0.0),
+            });
+        }
+        // The chunk lands: the buffer jumps to B_{k+1} + wait (the wait
+        // then drains it back down to exactly B_{k+1}).
+        let landing_buffer = r.buffer_after_secs + r.wait_secs;
+        pts.push(TimelinePoint {
+            t_secs: start + r.download_secs,
+            buffer_secs: landing_buffer,
+        });
+        if r.wait_secs > 1e-12 {
+            pts.push(TimelinePoint {
+                t_secs: start + r.download_secs + r.wait_secs,
+                buffer_secs: r.buffer_after_secs,
+            });
+        }
+    }
+    pts
+}
+
+/// Renders a timeline as a fixed-width ASCII strip chart: `rows` lines of
+/// `cols` characters, time left to right, buffer bottom to top.
+pub fn ascii_chart(points: &[TimelinePoint], cols: usize, rows: usize, max_buffer: f64) -> String {
+    assert!(cols >= 2 && rows >= 2 && max_buffer > 0.0);
+    if points.is_empty() {
+        return String::new();
+    }
+    let t_end = points.last().expect("non-empty").t_secs.max(1e-9);
+    let mut grid = vec![vec![' '; cols]; rows];
+    // Sample the polyline per column.
+    let value_at = |t: f64| -> f64 {
+        match points.iter().position(|p| p.t_secs >= t) {
+            Some(0) => points[0].buffer_secs,
+            Some(i) => {
+                let (a, b) = (&points[i - 1], &points[i]);
+                if (b.t_secs - a.t_secs).abs() < 1e-12 {
+                    b.buffer_secs
+                } else {
+                    a.buffer_secs
+                        + (b.buffer_secs - a.buffer_secs) * (t - a.t_secs)
+                            / (b.t_secs - a.t_secs)
+                }
+            }
+            None => points.last().expect("non-empty").buffer_secs,
+        }
+    };
+    for c in 0..cols {
+        let t = t_end * c as f64 / (cols - 1) as f64;
+        let v = value_at(t).clamp(0.0, max_buffer);
+        let row = ((1.0 - v / max_buffer) * (rows - 1) as f64).round() as usize;
+        grid[row.min(rows - 1)][c] = '*';
+    }
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_buffer:>4.0}s |")
+        } else if i == rows - 1 {
+            "   0s |".to_string()
+        } else {
+            "      |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("       0s{:>width$.0}s\n", t_end, width = cols - 2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_session, SimConfig};
+    use abr_core::{BitrateController, ControllerContext, Decision};
+    use abr_predictor::HarmonicMean;
+    use abr_trace::Trace;
+    use abr_video::{envivio_video, LevelIdx};
+
+    struct Fixed(LevelIdx);
+    impl BitrateController for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn decide(&mut self, _ctx: &ControllerContext<'_>) -> Decision {
+            Decision::level(self.0)
+        }
+    }
+
+    fn session(level: usize, kbps: f64) -> SessionResult {
+        let video = envivio_video();
+        let trace = Trace::constant(kbps, 60.0).unwrap();
+        let mut c = Fixed(LevelIdx(level));
+        run_session(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &SimConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn timeline_is_time_ordered_and_bounded() {
+        let s = session(2, 1500.0);
+        let pts = buffer_timeline(&s);
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].t_secs >= w[0].t_secs - 1e-12);
+        }
+        for p in &pts {
+            assert!(p.buffer_secs >= -1e-9 && p.buffer_secs <= 30.0 + 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn timeline_endpoints_match_records() {
+        let s = session(2, 1500.0);
+        let pts = buffer_timeline(&s);
+        let r0 = &s.records[0];
+        assert!((pts[0].t_secs - r0.start_secs).abs() < 1e-12);
+        assert!((pts[0].buffer_secs - r0.buffer_before_secs).abs() < 1e-12);
+        // Last vertex coincides with the final record's post-wait state.
+        let last_r = s.records.last().unwrap();
+        let last_p = pts.last().unwrap();
+        assert!((last_p.buffer_secs - last_r.buffer_after_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuffering_shows_a_zero_floor() {
+        // Top level on a slow link rebuffers every chunk: the polyline must
+        // visit zero.
+        let s = session(4, 600.0);
+        assert!(s.total_rebuffer_secs() > 0.0);
+        let pts = buffer_timeline(&s);
+        assert!(
+            pts.iter().any(|p| p.buffer_secs == 0.0),
+            "no zero-buffer vertex despite rebuffering"
+        );
+    }
+
+    #[test]
+    fn waits_flatten_at_bmax() {
+        // Lowest level on a fast link parks at Bmax with waits.
+        let s = session(0, 10_000.0);
+        let pts = buffer_timeline(&s);
+        let near_max = pts
+            .iter()
+            .filter(|p| (p.buffer_secs - 30.0).abs() < 4.0 + 1e-9)
+            .count();
+        assert!(near_max > 10, "expected long dwell near Bmax, got {near_max}");
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let s = session(2, 1500.0);
+        let pts = buffer_timeline(&s);
+        let chart = ascii_chart(&pts, 60, 10, 34.0);
+        assert_eq!(chart.lines().count(), 11);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("0s"));
+    }
+}

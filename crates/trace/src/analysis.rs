@@ -1,0 +1,203 @@
+//! Trace analysis: the statistical properties that determine how
+//! predictable a throughput process is.
+//!
+//! The paper's MPC design rests on one empirical claim — "network
+//! conditions are reasonably stable on short timescales and usually do not
+//! change drastically during a short horizon (tens of seconds)" (Section
+//! 4.1, citing Zhang & Duffield's constancy study). This module provides
+//! the tools to check that claim on any [`Trace`]: autocorrelation,
+//! horizon-change profiles, and rolling stability statistics. The
+//! `trace_analysis` example applies them to the three datasets.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Samples a trace on a uniform grid (mean throughput per `dt` bucket) —
+/// the first step of every analysis below.
+pub fn resample(trace: &Trace, dt: f64, duration_secs: f64) -> Vec<f64> {
+    assert!(dt > 0.0 && duration_secs > 0.0, "invalid grid");
+    let n = (duration_secs / dt).floor() as usize;
+    (0..n)
+        .map(|i| {
+            let t0 = i as f64 * dt;
+            trace.integrate_kbits(t0, t0 + dt) / dt
+        })
+        .collect()
+}
+
+/// Sample autocorrelation of a series at integer `lag` (biased estimator,
+/// as standard). Returns `None` when the series is too short or constant.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    if series.len() <= lag + 1 {
+        return None;
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var <= 1e-12 {
+        return None;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// The throughput-constancy profile underpinning MPC's short-horizon bet:
+/// for each horizon `h` (seconds), the mean relative difference between
+/// the average throughput of `[t, t+h]` and that of the preceding window
+/// `[t-h, t]`, averaged over the trace. Small values mean "the near future
+/// looks like the recent past".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstancyProfile {
+    /// The horizons probed, seconds.
+    pub horizons_secs: Vec<f64>,
+    /// Mean relative change per horizon (same order).
+    pub mean_rel_change: Vec<f64>,
+}
+
+/// Computes the constancy profile of a trace over `horizons_secs`.
+pub fn constancy_profile(trace: &Trace, horizons_secs: &[f64]) -> ConstancyProfile {
+    let total = trace.cycle_secs();
+    let mut out = Vec::with_capacity(horizons_secs.len());
+    for &h in horizons_secs {
+        assert!(h > 0.0, "horizon must be positive");
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        let step = (h / 2.0).max(1.0);
+        let mut t = h;
+        while t + h <= total {
+            let past = trace.integrate_kbits(t - h, t) / h;
+            let future = trace.integrate_kbits(t, t + h) / h;
+            if past > 0.0 {
+                acc += (future - past).abs() / past;
+                count += 1;
+            }
+            t += step;
+        }
+        out.push(if count == 0 { f64::NAN } else { acc / count as f64 });
+    }
+    ConstancyProfile {
+        horizons_secs: horizons_secs.to_vec(),
+        mean_rel_change: out,
+    }
+}
+
+/// Rolling coefficient of variation: std/mean over windows of `window_secs`,
+/// averaged across the trace — a single-number stability score (lower =
+/// steadier on that timescale).
+pub fn rolling_cov(trace: &Trace, window_secs: f64, dt: f64) -> f64 {
+    assert!(window_secs > dt && dt > 0.0);
+    let series = resample(trace, dt, trace.cycle_secs());
+    let w = (window_secs / dt) as usize;
+    if series.len() < w || w < 2 {
+        return f64::NAN;
+    }
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for chunk in series.windows(w).step_by(w / 2) {
+        let mean = chunk.iter().sum::<f64>() / w as f64;
+        if mean <= 0.0 {
+            continue;
+        }
+        let var = chunk.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / w as f64;
+        acc += var.sqrt() / mean;
+        count += 1;
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    #[test]
+    fn resample_recovers_piecewise_levels() {
+        let t = Trace::new(vec![(10.0, 1000.0), (10.0, 2000.0)]).unwrap();
+        let s = resample(&t, 5.0, 20.0);
+        assert_eq!(s, vec![1000.0, 1000.0, 2000.0, 2000.0]);
+        // Straddling bucket averages.
+        let s2 = resample(&t, 8.0, 16.0);
+        assert!((s2[0] - 1000.0).abs() < 1e-9);
+        assert!((s2[1] - (2.0 * 1000.0 + 6.0 * 2000.0) / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_undefined() {
+        assert_eq!(autocorrelation(&[5.0; 10], 1), None);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 3), None);
+    }
+
+    #[test]
+    fn autocorrelation_detects_persistence_and_alternation() {
+        // Slowly varying series: high positive lag-1 autocorrelation.
+        let smooth: Vec<f64> = (0..100).map(|i| (i as f64 / 15.0).sin()).collect();
+        assert!(autocorrelation(&smooth, 1).unwrap() > 0.9);
+        // Alternating series: strongly negative.
+        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1).unwrap() < -0.9);
+        // Lag 0 is exactly 1.
+        assert!((autocorrelation(&smooth, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constancy_profile_flat_trace_is_zero() {
+        let t = Trace::constant(1500.0, 300.0).unwrap();
+        let p = constancy_profile(&t, &[5.0, 20.0]);
+        for &c in &p.mean_rel_change {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constancy_grows_with_horizon_on_volatile_traces() {
+        // For the cellular family, longer horizons are (weakly) harder to
+        // predict from the past — the effect behind Figure 12b's flattening.
+        let traces = Dataset::Hsdpa.generate(3, 10);
+        let mut short_sum = 0.0;
+        let mut long_sum = 0.0;
+        for t in &traces {
+            let p = constancy_profile(t, &[4.0, 40.0]);
+            short_sum += p.mean_rel_change[0];
+            long_sum += p.mean_rel_change[1];
+        }
+        assert!(
+            long_sum > short_sum * 0.8,
+            "long-horizon change {long_sum} unexpectedly below short {short_sum}"
+        );
+        assert!(short_sum > 0.0);
+    }
+
+    #[test]
+    fn rolling_cov_orders_the_datasets() {
+        // The single-number stability score reproduces Figure 7's ordering.
+        let score = |ds: Dataset| {
+            let traces = ds.generate(17, 10);
+            traces.iter().map(|t| rolling_cov(t, 20.0, 1.0)).sum::<f64>() / traces.len() as f64
+        };
+        let fcc = score(Dataset::Fcc);
+        let hsdpa = score(Dataset::Hsdpa);
+        assert!(fcc < hsdpa, "fcc {fcc} vs hsdpa {hsdpa}");
+    }
+
+    #[test]
+    fn mpc_premise_holds_on_broadband() {
+        // The Section 4.1 premise, quantified: on FCC-like traces the next
+        // 20 s differ from the previous 20 s by a small relative amount.
+        let traces = Dataset::Fcc.generate(23, 10);
+        let mean_change: f64 = traces
+            .iter()
+            .map(|t| constancy_profile(t, &[20.0]).mean_rel_change[0])
+            .sum::<f64>()
+            / traces.len() as f64;
+        assert!(
+            mean_change < 0.25,
+            "broadband 20s constancy broke: {mean_change}"
+        );
+    }
+}

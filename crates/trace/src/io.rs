@@ -1,0 +1,184 @@
+//! Trace persistence: JSON for round-tripping, plain text for importing real
+//! measurement exports (one `duration_secs throughput_kbps` pair per line,
+//! the format of the public HSDPA logs and trivially produced from FCC CSV
+//! exports).
+
+use crate::trace::{Trace, TraceError};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Errors loading or saving traces.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem or stream error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// A text line could not be parsed as `duration kbps`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Parsed values violated trace invariants.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse '{content}' as 'duration kbps'")
+            }
+            IoError::Trace(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+impl From<TraceError> for IoError {
+    fn from(e: TraceError) -> Self {
+        IoError::Trace(e)
+    }
+}
+
+/// Serializes a batch of traces to pretty JSON.
+pub fn to_json(traces: &[Trace]) -> Result<String, IoError> {
+    Ok(serde_json::to_string_pretty(traces)?)
+}
+
+/// Deserializes a batch of traces from JSON.
+pub fn from_json(json: &str) -> Result<Vec<Trace>, IoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Saves traces as JSON to a file.
+pub fn save_json(traces: &[Trace], path: &Path) -> Result<(), IoError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(traces)?.as_bytes())?;
+    Ok(())
+}
+
+/// Loads traces from a JSON file.
+pub fn load_json(path: &Path) -> Result<Vec<Trace>, IoError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+/// Parses a plain-text trace: one `duration_secs throughput_kbps` pair per
+/// line; blank lines and `#` comments ignored.
+pub fn parse_text(reader: impl BufRead) -> Result<Trace, IoError> {
+    let mut segments = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let (d, c) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(d), Some(c), None) => (d.parse::<f64>(), c.parse::<f64>()),
+            _ => {
+                return Err(IoError::Parse {
+                    line: i + 1,
+                    content: content.to_string(),
+                })
+            }
+        };
+        match (d, c) {
+            (Ok(d), Ok(c)) => segments.push((d, c)),
+            _ => {
+                return Err(IoError::Parse {
+                    line: i + 1,
+                    content: content.to_string(),
+                })
+            }
+        }
+    }
+    Ok(Trace::new(segments)?)
+}
+
+/// Loads a plain-text trace file (see [`parse_text`]).
+pub fn load_text(path: &Path) -> Result<Trace, IoError> {
+    parse_text(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn json_round_trip() {
+        let traces = vec![
+            Trace::constant(1000.0, 10.0).unwrap(),
+            Trace::new(vec![(1.0, 100.0), (2.0, 200.0)]).unwrap(),
+        ];
+        let json = to_json(&traces).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(traces, back);
+    }
+
+    #[test]
+    fn text_parse_with_comments_and_blanks() {
+        let input = "# header\n5 1000\n\n5 2000  # inline comment\n  5   500\n";
+        let t = parse_text(Cursor::new(input)).unwrap();
+        assert_eq!(t.num_segments(), 3);
+        assert_eq!(t.kbps_at(7.0), 2000.0);
+    }
+
+    #[test]
+    fn text_parse_rejects_garbage() {
+        let err = parse_text(Cursor::new("5 1000\nnot numbers\n")).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_parse_rejects_extra_columns() {
+        assert!(matches!(
+            parse_text(Cursor::new("5 1000 7\n")),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn text_parse_rejects_invalid_trace() {
+        assert!(matches!(
+            parse_text(Cursor::new("# only comments\n")),
+            Err(IoError::Trace(TraceError::Empty))
+        ));
+        assert!(matches!(
+            parse_text(Cursor::new("5 -3\n")),
+            Err(IoError::Trace(TraceError::BadThroughput))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("abr_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.json");
+        let traces = vec![Trace::constant(123.0, 4.0).unwrap()];
+        save_json(&traces, &path).unwrap();
+        assert_eq!(load_json(&path).unwrap(), traces);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,203 @@
+//! Small statistics toolkit: summary stats, percentiles and empirical CDFs.
+//!
+//! These are the primitives behind every CDF plot in the paper's evaluation
+//! (Figures 7–10) and the median-improvement headline numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        Some(Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            max: sorted[n - 1],
+        })
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted slice,
+/// `p` in `[0, 100]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Convenience: percentile of an unsorted sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Median of an unsorted sample. Panics on empty input.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// An empirical CDF: sorted sample values paired with cumulative probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Ascending sample values.
+    pub values: Vec<f64>,
+    /// `probs[i]` = fraction of samples `<= values[i]` (ends at 1.0).
+    pub probs: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF of a sample. Returns `None` if empty.
+    pub fn of(samples: &[f64]) -> Option<Cdf> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut values = samples.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        let n = values.len() as f64;
+        let probs = (1..=values.len()).map(|i| i as f64 / n).collect();
+        Some(Cdf { values, probs })
+    }
+
+    /// `P(X <= x)` under the empirical distribution.
+    pub fn prob_at(&self, x: f64) -> f64 {
+        let idx = self.values.partition_point(|&v| v <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            self.probs[idx - 1]
+        }
+    }
+
+    /// Inverse CDF at probability `p in (0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "quantile prob {p} out of range");
+        let idx = self.probs.partition_point(|&q| q < p);
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Downsamples the CDF onto `n` evenly spaced probability points — the
+    /// series format the harness prints for plotting.
+    pub fn series(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two points");
+        (0..n)
+            .map(|i| {
+                let p = (i as f64 + 1.0) / n as f64;
+                (self.quantile(p), p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12); // classic example with sigma = 2
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_singleton() {
+        assert_eq!(percentile(&[42.0], 73.0), 42.0);
+    }
+
+    #[test]
+    fn cdf_prob_and_quantile() {
+        let c = Cdf::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(c.prob_at(0.5), 0.0);
+        assert_eq!(c.prob_at(1.0), 0.25);
+        assert_eq!(c.prob_at(2.5), 0.5);
+        assert_eq!(c.prob_at(10.0), 1.0);
+        assert_eq!(c.quantile(0.25), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.26), 2.0);
+    }
+
+    #[test]
+    fn cdf_handles_duplicates() {
+        let c = Cdf::of(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(c.prob_at(5.0), 1.0);
+        assert_eq!(c.prob_at(4.999), 0.0);
+        assert_eq!(c.quantile(0.5), 5.0);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let samples: Vec<f64> = (0..100).map(|i| (i * 7 % 100) as f64).collect();
+        let c = Cdf::of(&samples).unwrap();
+        let s = c.series(20);
+        assert_eq!(s.len(), 20);
+        for w in s.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+}

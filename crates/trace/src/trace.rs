@@ -1,0 +1,637 @@
+//! The piecewise-constant throughput trace and its integration primitives.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// No segments were supplied.
+    Empty,
+    /// A segment had non-positive or non-finite duration.
+    BadDuration,
+    /// A segment had negative or non-finite throughput.
+    BadThroughput,
+    /// Every segment has zero throughput, so no data can ever be delivered.
+    AllZero,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            TraceError::Empty => "trace must contain at least one segment",
+            TraceError::BadDuration => "segment durations must be positive and finite",
+            TraceError::BadThroughput => "segment throughput must be non-negative and finite",
+            TraceError::AllZero => "trace delivers zero throughput everywhere",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A piecewise-constant network-throughput signal `C_t`.
+///
+/// The trace is a sequence of `(duration_secs, kbps)` segments starting at
+/// `t = 0`. Beyond its end the trace **wraps around cyclically** — the paper
+/// concatenates measurement sets "to match the length of the video", and
+/// rebuffering can stretch wall-clock time past any fixed trace length, so
+/// cyclic extension keeps every experiment well defined without special
+/// cases.
+///
+/// ```
+/// use abr_trace::Trace;
+///
+/// // 10 s at 1 Mbps, then 10 s at 2 Mbps.
+/// let trace = Trace::new(vec![(10.0, 1000.0), (10.0, 2000.0)]).unwrap();
+/// assert_eq!(trace.kbps_at(12.0), 2000.0);
+/// // Downloading 15,000 kbits from t = 0: 10 s at 1000 then 2.5 s at 2000.
+/// assert!((trace.time_to_download(15_000.0, 0.0) - 12.5).abs() < 1e-9);
+/// assert_eq!(trace.mean_kbps(), 1500.0);
+/// ```
+///
+/// Segments may have zero throughput (outages); construction only fails if
+/// *all* segments are zero, because then no download could ever finish.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Segment durations in seconds (all positive).
+    durations: Vec<f64>,
+    /// Segment throughputs in kbps (all non-negative, at least one positive).
+    kbps: Vec<f64>,
+    /// Cached total duration of one cycle.
+    total_secs: f64,
+}
+
+impl Trace {
+    /// Builds a trace from `(duration_secs, kbps)` segments.
+    pub fn new(segments: Vec<(f64, f64)>) -> Result<Self, TraceError> {
+        if segments.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let mut durations = Vec::with_capacity(segments.len());
+        let mut kbps = Vec::with_capacity(segments.len());
+        for (d, c) in segments {
+            if !(d > 0.0 && d.is_finite()) {
+                return Err(TraceError::BadDuration);
+            }
+            if !(c >= 0.0 && c.is_finite()) {
+                return Err(TraceError::BadThroughput);
+            }
+            durations.push(d);
+            kbps.push(c);
+        }
+        if kbps.iter().all(|&c| c == 0.0) {
+            return Err(TraceError::AllZero);
+        }
+        let total_secs = durations.iter().sum();
+        Ok(Self {
+            durations,
+            kbps,
+            total_secs,
+        })
+    }
+
+    /// Builds a trace of uniformly spaced samples (e.g. the HSDPA dataset's
+    /// 1 s samples or the FCC dataset's 5 s averages).
+    pub fn from_samples(sample_secs: f64, samples_kbps: &[f64]) -> Result<Self, TraceError> {
+        Self::new(samples_kbps.iter().map(|&c| (sample_secs, c)).collect())
+    }
+
+    /// A constant-rate trace — handy for tests and analytic checks.
+    pub fn constant(kbps: f64, duration_secs: f64) -> Result<Self, TraceError> {
+        Self::new(vec![(duration_secs, kbps)])
+    }
+
+    /// Duration of one trace cycle in seconds.
+    #[inline]
+    pub fn cycle_secs(&self) -> f64 {
+        self.total_secs
+    }
+
+    /// Number of segments in one cycle.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// `(duration_secs, kbps)` of segment `i` within one cycle.
+    pub fn segment(&self, i: usize) -> (f64, f64) {
+        (self.durations[i], self.kbps[i])
+    }
+
+    /// Instantaneous throughput `C_t` at time `t >= 0` (cyclic).
+    pub fn kbps_at(&self, t: f64) -> f64 {
+        assert!(t >= 0.0 && t.is_finite(), "time must be non-negative");
+        let mut rem = t % self.total_secs;
+        for (d, c) in self.durations.iter().zip(&self.kbps) {
+            if rem < *d {
+                return *c;
+            }
+            rem -= d;
+        }
+        // Floating point can leave `rem` microscopically >= the final
+        // boundary; that instant belongs to the start of the next cycle.
+        self.kbps[0]
+    }
+
+    /// Kilobits deliverable over the window `[t0, t1]` (cyclic integration
+    /// of `C_t`).
+    pub fn integrate_kbits(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t0 >= 0.0 && t1 >= t0, "invalid window [{t0}, {t1}]");
+        let full_cycles = ((t1 - t0) / self.total_secs).floor();
+        let cycle_kbits: f64 = self
+            .durations
+            .iter()
+            .zip(&self.kbps)
+            .map(|(d, c)| d * c)
+            .sum();
+        let mut kbits = full_cycles * cycle_kbits;
+        let rem_start = t0 % self.total_secs;
+        let mut rem = (t1 - t0) - full_cycles * self.total_secs;
+        let mut pos = 0.0;
+        let mut cursor = rem_start;
+        for (d, c) in self.durations.iter().cycle().zip(self.kbps.iter().cycle()) {
+            if rem <= 1e-12 {
+                break;
+            }
+            let seg_end = pos + d;
+            if cursor < seg_end {
+                let take = (seg_end - cursor).min(rem);
+                kbits += take * c;
+                rem -= take;
+                cursor += take;
+            }
+            pos = seg_end;
+        }
+        kbits
+    }
+
+    /// Time in seconds to deliver `kbits` kilobits starting at time `t0`
+    /// (inverse of [`integrate_kbits`](Self::integrate_kbits)).
+    ///
+    /// Returns `f64::INFINITY` only in the impossible-by-invariant case of an
+    /// all-zero trace; zero-rate segments simply stall the transfer until the
+    /// next non-zero segment.
+    pub fn time_to_download(&self, kbits: f64, t0: f64) -> f64 {
+        assert!(kbits >= 0.0 && kbits.is_finite(), "invalid volume {kbits}");
+        assert!(t0 >= 0.0 && t0.is_finite(), "invalid start time {t0}");
+        if kbits == 0.0 {
+            return 0.0;
+        }
+        let cycle_kbits: f64 = self
+            .durations
+            .iter()
+            .zip(&self.kbps)
+            .map(|(d, c)| d * c)
+            .sum();
+        if cycle_kbits <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Skip whole cycles first so huge transfers stay O(segments).
+        let full_cycles = (kbits / cycle_kbits).floor();
+        let mut remaining = kbits - full_cycles * cycle_kbits;
+        let mut elapsed = full_cycles * self.total_secs;
+        let mut cursor = t0 % self.total_secs;
+        let mut pos = 0.0;
+        // At most two passes over the segments are needed for the remainder.
+        for (d, c) in self
+            .durations
+            .iter()
+            .cycle()
+            .zip(self.kbps.iter().cycle())
+            .take(2 * self.durations.len() + 2)
+        {
+            if remaining <= 1e-12 {
+                break;
+            }
+            let seg_end = pos + d;
+            if cursor < seg_end {
+                let avail_secs = seg_end - cursor;
+                let seg_kbits = avail_secs * c;
+                if seg_kbits >= remaining && *c > 0.0 {
+                    elapsed += remaining / c;
+                    remaining = 0.0;
+                    break;
+                }
+                remaining -= seg_kbits;
+                elapsed += avail_secs;
+                cursor = seg_end;
+            }
+            pos = seg_end;
+        }
+        if remaining > 1e-12 {
+            // Only reachable when every remaining segment in the cycle is
+            // zero-rate but the cycle as a whole is not (cannot happen: we
+            // scanned two full cycles above). Defensive fallback.
+            return f64::INFINITY;
+        }
+        elapsed
+    }
+
+    /// Download times for several volumes starting at the same instant, in
+    /// one pass over the trace: `times_to_download(&sizes, t0)[i]` equals
+    /// `time_to_download(sizes[i], t0)`. `sizes` must be ascending. This is
+    /// the hot primitive of the offline dynamic program, which evaluates
+    /// every candidate bitrate from a common state.
+    pub fn times_to_download(&self, kbits_ascending: &[f64], t0: f64) -> Vec<f64> {
+        assert!(t0 >= 0.0 && t0.is_finite(), "invalid start time {t0}");
+        debug_assert!(
+            kbits_ascending.windows(2).all(|w| w[1] >= w[0]),
+            "sizes must be ascending"
+        );
+        let mut out = Vec::with_capacity(kbits_ascending.len());
+        let mut targets = kbits_ascending.iter().copied().peekable();
+        // Serve zero-size requests immediately.
+        while let Some(&next) = targets.peek() {
+            if next == 0.0 {
+                out.push(0.0);
+                targets.next();
+            } else {
+                break;
+            }
+        }
+        if targets.peek().is_none() {
+            return out;
+        }
+        let cycle_kbits: f64 = self
+            .durations
+            .iter()
+            .zip(&self.kbps)
+            .map(|(d, c)| d * c)
+            .sum();
+        if cycle_kbits <= 0.0 {
+            out.resize(kbits_ascending.len(), f64::INFINITY);
+            return out;
+        }
+        // Whole-cycle fast-forward shared by all targets (based on the
+        // smallest unserved one; larger targets just keep cycling).
+        let base_cycles = (kbits_ascending[out.len()] / cycle_kbits).floor();
+        let mut delivered = base_cycles * cycle_kbits;
+        let mut elapsed = base_cycles * self.total_secs;
+        let mut cursor = t0 % self.total_secs;
+        let mut pos = 0.0;
+        let mut seg_iter = self
+            .durations
+            .iter()
+            .cycle()
+            .zip(self.kbps.iter().cycle());
+        while targets.peek().is_some() {
+            let (d, c) = seg_iter.next().expect("cycle iterator never ends");
+            let seg_end = pos + d;
+            if cursor < seg_end {
+                let avail_secs = seg_end - cursor;
+                let seg_kbits = avail_secs * c;
+                // Emit every target this segment satisfies.
+                while let Some(&target) = targets.peek() {
+                    let need = target - delivered;
+                    if need <= seg_kbits + 1e-12 && *c > 0.0 {
+                        out.push(elapsed + (need.max(0.0)) / c);
+                        targets.next();
+                    } else if need <= 1e-12 {
+                        out.push(elapsed);
+                        targets.next();
+                    } else {
+                        break;
+                    }
+                }
+                delivered += seg_kbits;
+                elapsed += avail_secs;
+                cursor = seg_end;
+            }
+            pos = seg_end;
+        }
+        out
+    }
+
+    /// The next instant strictly after `t` at which the (cyclic) trace
+    /// changes rate — a segment boundary or the cycle wrap. Event-driven
+    /// consumers (the multi-player bottleneck) advance in these steps so
+    /// rate is constant between events.
+    pub fn next_boundary_after(&self, t: f64) -> f64 {
+        assert!(t >= 0.0 && t.is_finite(), "invalid time {t}");
+        let cycle_idx = (t / self.total_secs).floor();
+        let pos = t - cycle_idx * self.total_secs;
+        let mut acc = 0.0;
+        for d in &self.durations {
+            acc += d;
+            if acc > pos + 1e-12 {
+                return cycle_idx * self.total_secs + acc;
+            }
+        }
+        (cycle_idx + 1.0) * self.total_secs
+    }
+
+    /// Average throughput over one cycle, kbps (time-weighted).
+    pub fn mean_kbps(&self) -> f64 {
+        self.durations
+            .iter()
+            .zip(&self.kbps)
+            .map(|(d, c)| d * c)
+            .sum::<f64>()
+            / self.total_secs
+    }
+
+    /// Time-weighted standard deviation of throughput over one cycle, kbps.
+    pub fn std_kbps(&self) -> f64 {
+        let mean = self.mean_kbps();
+        let var = self
+            .durations
+            .iter()
+            .zip(&self.kbps)
+            .map(|(d, c)| d * (c - mean) * (c - mean))
+            .sum::<f64>()
+            / self.total_secs;
+        var.sqrt()
+    }
+
+    /// Minimum segment throughput in kbps.
+    pub fn min_kbps(&self) -> f64 {
+        self.kbps.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum segment throughput in kbps.
+    pub fn max_kbps(&self) -> f64 {
+        self.kbps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Returns a new trace with every throughput multiplied by `factor > 0`.
+    pub fn scaled(&self, factor: f64) -> Trace {
+        assert!(factor > 0.0 && factor.is_finite(), "bad scale {factor}");
+        Trace {
+            durations: self.durations.clone(),
+            kbps: self.kbps.iter().map(|c| c * factor).collect(),
+            total_secs: self.total_secs,
+        }
+    }
+
+    /// Concatenates `other` after `self` (the FCC-style trace-stitching
+    /// operation).
+    pub fn concat(&self, other: &Trace) -> Trace {
+        let mut durations = self.durations.clone();
+        let mut kbps = self.kbps.clone();
+        durations.extend_from_slice(&other.durations);
+        kbps.extend_from_slice(&other.kbps);
+        Trace {
+            total_secs: self.total_secs + other.total_secs,
+            durations,
+            kbps,
+        }
+    }
+
+    /// The sub-trace covering `[t0, t0 + len_secs)` of one cycle, clamped to
+    /// the cycle end. Panics if the window is empty after clamping.
+    pub fn window(&self, t0: f64, len_secs: f64) -> Trace {
+        assert!(t0 >= 0.0 && t0 < self.total_secs, "window start out of range");
+        let t1 = (t0 + len_secs).min(self.total_secs);
+        let mut segs = Vec::new();
+        let mut pos = 0.0;
+        for (d, c) in self.durations.iter().zip(&self.kbps) {
+            let seg_start = pos;
+            let seg_end = pos + d;
+            let lo = seg_start.max(t0);
+            let hi = seg_end.min(t1);
+            if hi > lo {
+                segs.push((hi - lo, *c));
+            }
+            pos = seg_end;
+            if pos >= t1 {
+                break;
+            }
+        }
+        Trace::new(segs).expect("non-empty window of a valid trace")
+    }
+
+    /// Per-segment samples as `(start_secs, duration_secs, kbps)` tuples.
+    pub fn segments(&self) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::with_capacity(self.durations.len());
+        let mut pos = 0.0;
+        for (d, c) in self.durations.iter().zip(&self.kbps) {
+            out.push((pos, *d, *c));
+            pos += d;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn steps() -> Trace {
+        // 10s at 1000, 10s at 2000, 10s at 500.
+        Trace::new(vec![(10.0, 1000.0), (10.0, 2000.0), (10.0, 500.0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(Trace::new(vec![]).unwrap_err(), TraceError::Empty);
+        assert_eq!(
+            Trace::new(vec![(0.0, 100.0)]).unwrap_err(),
+            TraceError::BadDuration
+        );
+        assert_eq!(
+            Trace::new(vec![(1.0, -5.0)]).unwrap_err(),
+            TraceError::BadThroughput
+        );
+        assert_eq!(
+            Trace::new(vec![(1.0, 0.0), (2.0, 0.0)]).unwrap_err(),
+            TraceError::AllZero
+        );
+        assert!(Trace::new(vec![(1.0, 0.0), (2.0, 10.0)]).is_ok());
+    }
+
+    #[test]
+    fn kbps_at_segments_and_wrap() {
+        let t = steps();
+        assert_eq!(t.kbps_at(0.0), 1000.0);
+        assert_eq!(t.kbps_at(9.999), 1000.0);
+        assert_eq!(t.kbps_at(10.0), 2000.0);
+        assert_eq!(t.kbps_at(25.0), 500.0);
+        // Cyclic wrap.
+        assert_eq!(t.kbps_at(30.0), 1000.0);
+        assert_eq!(t.kbps_at(45.0), 2000.0);
+    }
+
+    #[test]
+    fn integrate_matches_hand_math() {
+        let t = steps();
+        assert!((t.integrate_kbits(0.0, 10.0) - 10_000.0).abs() < 1e-6);
+        assert!((t.integrate_kbits(5.0, 15.0) - (5_000.0 + 10_000.0)).abs() < 1e-6);
+        // One full cycle = 35,000 kbits.
+        assert!((t.integrate_kbits(0.0, 30.0) - 35_000.0).abs() < 1e-6);
+        // Two cycles + half of first segment.
+        assert!((t.integrate_kbits(0.0, 65.0) - (70_000.0 + 5_000.0)).abs() < 1e-6);
+        // Window starting mid-cycle and wrapping.
+        assert!((t.integrate_kbits(25.0, 35.0) - (2_500.0 + 5_000.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_to_download_basic() {
+        let t = steps();
+        // 5,000 kbits at 1000 kbps from t=0 -> 5s.
+        assert!((t.time_to_download(5_000.0, 0.0) - 5.0).abs() < 1e-9);
+        // 15,000 kbits from t=0: 10s @1000 (10k) + 2.5s @2000 (5k) = 12.5s.
+        assert!((t.time_to_download(15_000.0, 0.0) - 12.5).abs() < 1e-9);
+        // Starting at t=28 (rate 500): 1000 kbits -> 2s @500, wrap to 1000.
+        assert!((t.time_to_download(1_000.0, 28.0) - 2.0).abs() < 1e-9);
+        assert!((t.time_to_download(2_000.0, 28.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_download_zero_volume() {
+        assert_eq!(steps().time_to_download(0.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn time_to_download_through_outage() {
+        // 5s outage between two live segments.
+        let t = Trace::new(vec![(5.0, 1000.0), (5.0, 0.0), (5.0, 1000.0)]).unwrap();
+        // From t=0: 6,000 kbits = 5s @1000 + 5s stall + 1s @1000 = 11s.
+        assert!((t.time_to_download(6_000.0, 0.0) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_download_many_cycles() {
+        let t = steps();
+        // 100 cycles worth of data: 3,500,000 kbits -> exactly 3000s.
+        let secs = t.time_to_download(3_500_000.0, 0.0);
+        assert!((secs - 3000.0).abs() < 1e-6, "{secs}");
+    }
+
+    #[test]
+    fn next_boundary_steps_through_segments() {
+        let t = steps(); // boundaries at 10, 20, 30 (cycle), 40, ...
+        assert!((t.next_boundary_after(0.0) - 10.0).abs() < 1e-9);
+        assert!((t.next_boundary_after(9.999) - 10.0).abs() < 1e-9);
+        assert!((t.next_boundary_after(10.0) - 20.0).abs() < 1e-9);
+        assert!((t.next_boundary_after(25.0) - 30.0).abs() < 1e-9);
+        // Wraps cyclically.
+        assert!((t.next_boundary_after(30.0) - 40.0).abs() < 1e-9);
+        assert!((t.next_boundary_after(95.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let t = steps();
+        let mean = (1000.0 + 2000.0 + 500.0) / 3.0;
+        assert!((t.mean_kbps() - mean).abs() < 1e-9);
+        let var = ((1000.0f64 - mean).powi(2) + (2000.0 - mean).powi(2) + (500.0 - mean).powi(2))
+            / 3.0;
+        assert!((t.std_kbps() - var.sqrt()).abs() < 1e-9);
+        assert_eq!(t.min_kbps(), 500.0);
+        assert_eq!(t.max_kbps(), 2000.0);
+    }
+
+    #[test]
+    fn constant_trace_roundtrip() {
+        let t = Trace::constant(1500.0, 60.0).unwrap();
+        assert!((t.time_to_download(1500.0, 13.0) - 1.0).abs() < 1e-9);
+        assert_eq!(t.mean_kbps(), 1500.0);
+        assert_eq!(t.std_kbps(), 0.0);
+    }
+
+    #[test]
+    fn scaled_doubles_rate() {
+        let t = steps().scaled(2.0);
+        assert_eq!(t.kbps_at(0.0), 2000.0);
+        assert!((t.time_to_download(10_000.0, 0.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concat_joins_in_order() {
+        let a = Trace::constant(100.0, 5.0).unwrap();
+        let b = Trace::constant(200.0, 5.0).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.cycle_secs(), 10.0);
+        assert_eq!(c.kbps_at(2.0), 100.0);
+        assert_eq!(c.kbps_at(7.0), 200.0);
+    }
+
+    #[test]
+    fn window_extracts_and_clamps() {
+        let t = steps();
+        let w = t.window(5.0, 10.0);
+        assert_eq!(w.cycle_secs(), 10.0);
+        assert_eq!(w.kbps_at(0.0), 1000.0);
+        assert_eq!(w.kbps_at(6.0), 2000.0);
+        // Clamped at cycle end.
+        let w2 = t.window(25.0, 100.0);
+        assert_eq!(w2.cycle_secs(), 5.0);
+        assert_eq!(w2.kbps_at(0.0), 500.0);
+    }
+
+    #[test]
+    fn from_samples_uniform_spacing() {
+        let t = Trace::from_samples(5.0, &[100.0, 200.0, 300.0]).unwrap();
+        assert_eq!(t.cycle_secs(), 15.0);
+        assert_eq!(t.kbps_at(11.0), 300.0);
+    }
+
+    proptest! {
+        /// Integration over [a,b] + [b,c] equals integration over [a,c].
+        #[test]
+        fn integrate_additive(
+            a in 0.0f64..100.0,
+            d1 in 0.0f64..50.0,
+            d2 in 0.0f64..50.0,
+        ) {
+            let t = steps();
+            let b = a + d1;
+            let c = b + d2;
+            let lhs = t.integrate_kbits(a, b) + t.integrate_kbits(b, c);
+            let rhs = t.integrate_kbits(a, c);
+            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+        }
+
+        /// time_to_download is the inverse of integrate_kbits.
+        #[test]
+        fn download_time_inverts_integration(
+            t0 in 0.0f64..30.0,
+            kbits in 1.0f64..200_000.0,
+        ) {
+            let t = steps();
+            let secs = t.time_to_download(kbits, t0);
+            let got = t.integrate_kbits(t0, t0 + secs);
+            prop_assert!((got - kbits).abs() < 1e-6 * (1.0 + kbits), "{got} vs {kbits}");
+        }
+
+        /// Download time is monotone in volume.
+        #[test]
+        fn download_time_monotone(
+            t0 in 0.0f64..30.0,
+            k1 in 1.0f64..100_000.0,
+            extra in 0.0f64..100_000.0,
+        ) {
+            let t = steps();
+            prop_assert!(t.time_to_download(k1 + extra, t0) >= t.time_to_download(k1, t0) - 1e-9);
+        }
+
+        /// Average over one full cycle equals mean_kbps regardless of phase.
+        #[test]
+        fn cycle_average_phase_invariant(t0 in 0.0f64..30.0) {
+            let t = steps();
+            let avg = t.integrate_kbits(t0, t0 + t.cycle_secs()) / t.cycle_secs();
+            prop_assert!((avg - t.mean_kbps()).abs() < 1e-6);
+        }
+
+        /// The batched download-time helper agrees with the scalar one.
+        #[test]
+        fn times_to_download_matches_scalar(
+            t0 in 0.0f64..30.0,
+            raw in proptest::collection::vec(0.0f64..100_000.0, 1..12),
+        ) {
+            let t = steps();
+            let mut sizes = raw;
+            sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let batch = t.times_to_download(&sizes, t0);
+            prop_assert_eq!(batch.len(), sizes.len());
+            for (i, &s) in sizes.iter().enumerate() {
+                let scalar = t.time_to_download(s, t0);
+                prop_assert!(
+                    (batch[i] - scalar).abs() < 1e-6 * (1.0 + scalar),
+                    "size {} at t0 {}: batch {} vs scalar {}", s, t0, batch[i], scalar
+                );
+            }
+        }
+    }
+}

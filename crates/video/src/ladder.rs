@@ -1,0 +1,270 @@
+//! Bitrate ladders: the discrete set `R` of available encoding levels.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a bitrate level within a [`Ladder`], ordered from lowest (0) to
+/// highest. A newtype so chunk indices and level indices cannot be confused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LevelIdx(pub usize);
+
+impl LevelIdx {
+    /// Returns the raw index.
+    #[inline]
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors constructing a [`Ladder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LadderError {
+    /// The ladder had no levels.
+    Empty,
+    /// Levels were not strictly increasing and positive.
+    NotStrictlyIncreasing,
+}
+
+impl std::fmt::Display for LadderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LadderError::Empty => write!(f, "bitrate ladder must have at least one level"),
+            LadderError::NotStrictlyIncreasing => {
+                write!(f, "bitrate levels must be positive and strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LadderError {}
+
+/// An ordered set of available bitrate levels in kbps.
+///
+/// Invariant: levels are positive and strictly increasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ladder {
+    levels_kbps: Vec<f64>,
+}
+
+impl Ladder {
+    /// Creates a ladder from bitrate levels in kbps.
+    ///
+    /// Levels must be positive and strictly increasing.
+    pub fn new(levels_kbps: Vec<f64>) -> Result<Self, LadderError> {
+        if levels_kbps.is_empty() {
+            return Err(LadderError::Empty);
+        }
+        let increasing = levels_kbps[0] > 0.0
+            && levels_kbps[0].is_finite()
+            && levels_kbps.windows(2).all(|w| w[1] > w[0] && w[1].is_finite());
+        if !increasing {
+            return Err(LadderError::NotStrictlyIncreasing);
+        }
+        Ok(Self { levels_kbps })
+    }
+
+    /// Builds a ladder of `n` levels spaced geometrically between `lo` and
+    /// `hi` kbps (inclusive). Used by the bitrate-level sensitivity study.
+    pub fn geometric(lo: f64, hi: f64, n: usize) -> Result<Self, LadderError> {
+        if n == 0 {
+            return Err(LadderError::Empty);
+        }
+        if n == 1 {
+            return Self::new(vec![lo]);
+        }
+        let ratio = (hi / lo).powf(1.0 / (n as f64 - 1.0));
+        let mut levels = Vec::with_capacity(n);
+        for i in 0..n {
+            levels.push(lo * ratio.powi(i as i32));
+        }
+        // Guard against floating point slightly overshooting `hi`.
+        levels[n - 1] = hi;
+        Self::new(levels)
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.levels_kbps.len()
+    }
+
+    /// True if the ladder has exactly one level (never empty by invariant).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bitrate of level `i` in kbps. Panics if out of range.
+    #[inline]
+    pub fn kbps(&self, i: LevelIdx) -> f64 {
+        self.levels_kbps[i.0]
+    }
+
+    /// All levels in kbps, lowest first.
+    #[inline]
+    pub fn levels(&self) -> &[f64] {
+        &self.levels_kbps
+    }
+
+    /// Lowest bitrate in kbps.
+    #[inline]
+    pub fn min_kbps(&self) -> f64 {
+        self.levels_kbps[0]
+    }
+
+    /// Highest bitrate in kbps.
+    #[inline]
+    pub fn max_kbps(&self) -> f64 {
+        *self.levels_kbps.last().expect("non-empty by invariant")
+    }
+
+    /// Index of the lowest level.
+    #[inline]
+    pub fn lowest(&self) -> LevelIdx {
+        LevelIdx(0)
+    }
+
+    /// Index of the highest level.
+    #[inline]
+    pub fn highest(&self) -> LevelIdx {
+        LevelIdx(self.levels_kbps.len() - 1)
+    }
+
+    /// Iterator over all level indices, lowest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = LevelIdx> + ExactSizeIterator {
+        (0..self.levels_kbps.len()).map(LevelIdx)
+    }
+
+    /// Highest level whose bitrate is `<= budget_kbps`; the lowest level if
+    /// none qualifies. This is the canonical "max bitrate below X" selection
+    /// used by the rate-based and buffer-based baselines.
+    pub fn max_level_at_most(&self, budget_kbps: f64) -> LevelIdx {
+        let mut best = LevelIdx(0);
+        for (i, &r) in self.levels_kbps.iter().enumerate() {
+            if r <= budget_kbps {
+                best = LevelIdx(i);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Exact level index for a bitrate value, if it is on the ladder.
+    pub fn index_of(&self, kbps: f64) -> Option<LevelIdx> {
+        self.levels_kbps
+            .iter()
+            .position(|&r| (r - kbps).abs() < 1e-9)
+            .map(LevelIdx)
+    }
+
+    /// The level one step above `i`, saturating at the top.
+    pub fn up(&self, i: LevelIdx) -> LevelIdx {
+        LevelIdx((i.0 + 1).min(self.levels_kbps.len() - 1))
+    }
+
+    /// The level one step below `i`, saturating at the bottom.
+    pub fn down(&self, i: LevelIdx) -> LevelIdx {
+        LevelIdx(i.0.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envivio() -> Ladder {
+        Ladder::new(vec![350.0, 600.0, 1000.0, 2000.0, 3000.0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Ladder::new(vec![]).unwrap_err(), LadderError::Empty);
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        assert_eq!(
+            Ladder::new(vec![600.0, 350.0]).unwrap_err(),
+            LadderError::NotStrictlyIncreasing
+        );
+    }
+
+    #[test]
+    fn rejects_nonpositive() {
+        assert_eq!(
+            Ladder::new(vec![0.0, 350.0]).unwrap_err(),
+            LadderError::NotStrictlyIncreasing
+        );
+        assert_eq!(
+            Ladder::new(vec![-1.0]).unwrap_err(),
+            LadderError::NotStrictlyIncreasing
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            Ladder::new(vec![350.0, 350.0]).unwrap_err(),
+            LadderError::NotStrictlyIncreasing
+        );
+    }
+
+    #[test]
+    fn rejects_nan_and_inf() {
+        assert!(Ladder::new(vec![f64::NAN]).is_err());
+        assert!(Ladder::new(vec![350.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn max_level_at_most_picks_floor() {
+        let l = envivio();
+        assert_eq!(l.max_level_at_most(2999.0), LevelIdx(3));
+        assert_eq!(l.max_level_at_most(3000.0), LevelIdx(4));
+        assert_eq!(l.max_level_at_most(350.0), LevelIdx(0));
+        // Below the lowest level we still must pick something: the lowest.
+        assert_eq!(l.max_level_at_most(100.0), LevelIdx(0));
+        assert_eq!(l.max_level_at_most(1e9), LevelIdx(4));
+    }
+
+    #[test]
+    fn up_down_saturate() {
+        let l = envivio();
+        assert_eq!(l.up(LevelIdx(4)), LevelIdx(4));
+        assert_eq!(l.down(LevelIdx(0)), LevelIdx(0));
+        assert_eq!(l.up(LevelIdx(1)), LevelIdx(2));
+        assert_eq!(l.down(LevelIdx(1)), LevelIdx(0));
+    }
+
+    #[test]
+    fn geometric_endpoints_and_monotonicity() {
+        let l = Ladder::geometric(350.0, 3000.0, 8).unwrap();
+        assert_eq!(l.len(), 8);
+        assert!((l.min_kbps() - 350.0).abs() < 1e-9);
+        assert!((l.max_kbps() - 3000.0).abs() < 1e-9);
+        for w in l.levels().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn geometric_single_level() {
+        let l = Ladder::geometric(500.0, 3000.0, 1).unwrap();
+        assert_eq!(l.len(), 1);
+        assert!((l.kbps(LevelIdx(0)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_of_finds_exact() {
+        let l = envivio();
+        assert_eq!(l.index_of(1000.0), Some(LevelIdx(2)));
+        assert_eq!(l.index_of(1001.0), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = envivio();
+        let s = serde_json::to_string(&l).unwrap();
+        let back: Ladder = serde_json::from_str(&s).unwrap();
+        assert_eq!(l, back);
+    }
+}

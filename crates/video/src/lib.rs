@@ -1,0 +1,82 @@
+//! Video model and QoE objective for HTTP adaptive streaming.
+//!
+//! This crate implements the video-side abstractions of the control-theoretic
+//! model in *Yin et al., "A Control-Theoretic Approach for Dynamic Adaptive
+//! Video Streaming over HTTP" (SIGCOMM 2015)*, Section 3:
+//!
+//! * [`Ladder`] — the discrete set of encoded bitrate levels `R`;
+//! * [`Video`] — a sequence of `K` chunks of `L` seconds each, with per-chunk
+//!   per-level sizes `d_k(R_k)` (constant-bitrate or variable-bitrate);
+//! * [`QualityFn`] — the non-decreasing perceived-quality map `q(·)`;
+//! * [`QoeWeights`] / [`QoeBreakdown`] — the weighted QoE objective of
+//!   Eq. (5), with the paper's three preference presets.
+//!
+//! Units used throughout the workspace: bitrates and throughputs in **kbps**,
+//! chunk sizes in **kilobits**, time in **seconds**. With those units a chunk
+//! of size `d` kilobits downloads in `d / C` seconds at throughput `C` kbps,
+//! exactly matching the paper's `d_k(R_k)/C_k`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod ladder;
+pub mod presets;
+pub mod qoe;
+pub mod quality;
+
+pub use chunk::{ChunkSizes, Video, VideoBuilder};
+pub use ladder::{Ladder, LevelIdx};
+pub use qoe::{QoeBreakdown, QoePreference, QoeWeights};
+pub use quality::QualityFn;
+
+/// Duration in seconds of one chunk of the paper's reference "Envivio" test
+/// video (65 chunks x 4 s = 260 s).
+pub const ENVIVIO_CHUNK_SECS: f64 = 4.0;
+
+/// Number of chunks in the reference "Envivio" test video.
+pub const ENVIVIO_CHUNKS: usize = 65;
+
+/// The paper's reference bitrate ladder in kbps (240p..1080p per the YouTube
+/// recommended settings cited in Section 7.1.1).
+pub const ENVIVIO_LADDER_KBPS: [f64; 5] = [350.0, 600.0, 1000.0, 2000.0, 3000.0];
+
+/// Default maximum playback buffer size used in the evaluation (seconds).
+pub const DEFAULT_BUFFER_MAX_SECS: f64 = 30.0;
+
+/// Builds the paper's reference test video: 65 chunks of 4 s, CBR-encoded at
+/// {350, 600, 1000, 2000, 3000} kbps.
+pub fn envivio_video() -> Video {
+    VideoBuilder::new(Ladder::new(ENVIVIO_LADDER_KBPS.to_vec()).expect("static ladder is valid"))
+        .chunks(ENVIVIO_CHUNKS)
+        .chunk_secs(ENVIVIO_CHUNK_SECS)
+        .cbr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envivio_matches_paper_parameters() {
+        let v = envivio_video();
+        assert_eq!(v.num_chunks(), 65);
+        assert!((v.chunk_secs() - 4.0).abs() < 1e-12);
+        assert!((v.duration_secs() - 260.0).abs() < 1e-9);
+        assert_eq!(v.ladder().len(), 5);
+        assert!((v.ladder().kbps(LevelIdx(0)) - 350.0).abs() < 1e-12);
+        assert!((v.ladder().kbps(LevelIdx(4)) - 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envivio_cbr_sizes() {
+        let v = envivio_video();
+        // CBR: d_k(R) = L * R for every chunk.
+        for k in 0..v.num_chunks() {
+            for (i, &r) in ENVIVIO_LADDER_KBPS.iter().enumerate() {
+                let d = v.chunk_size_kbits(k, LevelIdx(i));
+                assert!((d - 4.0 * r).abs() < 1e-9, "chunk {k} level {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Preset videos beyond the paper's Envivio reference — exercising the
+//! library across content shapes (fine ladders, short chunks, long films).
+
+use crate::chunk::{Video, VideoBuilder};
+use crate::ladder::Ladder;
+
+/// The paper's reference video (alias of [`crate::envivio_video`]).
+pub fn envivio() -> Video {
+    crate::envivio_video()
+}
+
+/// An HD catalogue title: 10-minute video, 4 s chunks, a fine 8-level
+/// ladder from 235 kbps to 5800 kbps (a Netflix-style ladder) — the
+/// "more bitrate levels" regime of the Section 7.3 sensitivity study.
+pub fn hd_catalogue() -> Video {
+    let ladder = Ladder::new(vec![
+        235.0, 375.0, 560.0, 750.0, 1050.0, 1750.0, 3000.0, 5800.0,
+    ])
+    .expect("static ladder is valid");
+    VideoBuilder::new(ladder).chunks(150).chunk_secs(4.0).cbr()
+}
+
+/// A low-latency live profile: 2 s chunks, small three-level ladder —
+/// small buffers and frequent decisions stress the adaptation loop.
+pub fn low_latency_live() -> Video {
+    let ladder =
+        Ladder::new(vec![400.0, 1200.0, 2500.0]).expect("static ladder is valid");
+    VideoBuilder::new(ladder).chunks(90).chunk_secs(2.0).cbr()
+}
+
+/// A film with pronounced VBR structure: quiet dialogue scenes around 0.7x
+/// the nominal rate, action peaks at 1.5x, alternating on a ~40 s cadence.
+pub fn vbr_film() -> Video {
+    let ladder = Ladder::new(vec![350.0, 600.0, 1000.0, 2000.0, 3000.0])
+        .expect("static ladder is valid");
+    VideoBuilder::new(ladder)
+        .chunks(120)
+        .chunk_secs(4.0)
+        .vbr(|k| 1.1 + 0.4 * ((k as f64) * std::f64::consts::PI / 10.0).sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LevelIdx;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for (name, v) in [
+            ("envivio", envivio()),
+            ("hd_catalogue", hd_catalogue()),
+            ("low_latency_live", low_latency_live()),
+            ("vbr_film", vbr_film()),
+        ] {
+            assert!(v.num_chunks() > 0, "{name}");
+            assert!(v.chunk_secs() > 0.0, "{name}");
+            assert!(v.duration_secs() > 60.0, "{name}");
+            for k in 0..v.num_chunks() {
+                let lo = v.chunk_size_kbits(k, v.ladder().lowest());
+                let hi = v.chunk_size_kbits(k, v.ladder().highest());
+                assert!(lo > 0.0 && hi >= lo, "{name} chunk {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hd_catalogue_shape() {
+        let v = hd_catalogue();
+        assert_eq!(v.ladder().len(), 8);
+        assert_eq!(v.num_chunks(), 150);
+        assert!((v.duration_secs() - 600.0).abs() < 1e-9);
+        assert_eq!(v.ladder().max_kbps(), 5800.0);
+    }
+
+    #[test]
+    fn low_latency_chunks_are_short() {
+        let v = low_latency_live();
+        assert_eq!(v.chunk_secs(), 2.0);
+        assert!((v.duration_secs() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vbr_film_really_varies() {
+        let v = vbr_film();
+        let sizes: Vec<f64> = (0..v.num_chunks())
+            .map(|k| v.chunk_size_kbits(k, LevelIdx(2)))
+            .collect();
+        let min = sizes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().copied().fold(0.0, f64::max);
+        assert!(max / min > 1.5, "VBR spread too small: {min}..{max}");
+    }
+}

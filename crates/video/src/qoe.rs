@@ -1,0 +1,365 @@
+//! The QoE objective of Eq. (5):
+//!
+//! ```text
+//! QoE_1^K = sum_k q(R_k)
+//!         - lambda * sum_k |q(R_{k+1}) - q(R_k)|
+//!         - mu     * sum_k (d_k(R_k)/C_k - B_k)_+     (rebuffer seconds)
+//!         - mu_s   * T_s                              (startup delay)
+//! ```
+//!
+//! [`QoeWeights`] holds `(lambda, mu, mu_s)` plus the quality function;
+//! [`QoeBreakdown`] accumulates the four terms for a played session and can
+//! report the total and each component separately (the per-factor CDFs of
+//! Figures 9 and 10 come straight from these components).
+
+use crate::quality::QualityFn;
+use serde::{Deserialize, Serialize};
+
+/// The paper's three user-preference presets (Section 7.3, Figure 11b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QoePreference {
+    /// `lambda = 1, mu = mu_s = 3000`.
+    Balanced,
+    /// `lambda = 3, mu = mu_s = 3000` — penalize quality switches harder.
+    AvoidInstability,
+    /// `lambda = 1, mu = mu_s = 6000` — penalize rebuffering harder.
+    AvoidRebuffering,
+}
+
+impl QoePreference {
+    /// All presets, in the order the paper plots them.
+    pub const ALL: [QoePreference; 3] = [
+        QoePreference::Balanced,
+        QoePreference::AvoidInstability,
+        QoePreference::AvoidRebuffering,
+    ];
+
+    /// Human-readable label matching the paper's x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            QoePreference::Balanced => "Balanced",
+            QoePreference::AvoidInstability => "Avoid Instability",
+            QoePreference::AvoidRebuffering => "Avoid Rebuffering",
+        }
+    }
+}
+
+/// Weights of the QoE objective plus the quality function `q(·)`.
+///
+/// ```
+/// use abr_video::QoeWeights;
+///
+/// let w = QoeWeights::balanced(); // λ = 1, µ = µ_s = 3000
+/// // Three chunks at 1000/2000/1000 kbps, 0.5 s rebuffer on the second,
+/// // 2 s startup delay:
+/// let score = w.session_score(&[1000.0, 2000.0, 1000.0], &[0.0, 0.5, 0.0], 2.0);
+/// // 4000 quality − 2000 switching − 1500 rebuffer − 6000 startup:
+/// assert!((score.qoe - (-5500.0)).abs() < 1e-9);
+/// assert_eq!(score.switches, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QoeWeights {
+    /// Penalty per unit of quality change between consecutive chunks.
+    pub lambda: f64,
+    /// Penalty per second of rebuffering (quality units / second).
+    pub mu: f64,
+    /// Penalty per second of startup delay (quality units / second).
+    pub mu_s: f64,
+    /// Penalty per rebuffering *event* — the paper's footnote 3 variant
+    /// ("alternatively, one can also consider the number of rebuffering
+    /// events"). Zero in every paper preset; combine with `mu` freely.
+    #[serde(default)]
+    pub mu_event: f64,
+    /// The perceived-quality map.
+    pub quality: QualityFn,
+}
+
+impl QoeWeights {
+    /// The paper's default: `lambda = 1`, `mu = mu_s = 3000`, identity `q`.
+    /// One second of rebuffering costs as much as lowering one chunk by
+    /// 3000 kbps.
+    pub fn balanced() -> Self {
+        Self::preset(QoePreference::Balanced)
+    }
+
+    /// Builds weights for one of the paper's presets (identity `q`).
+    pub fn preset(p: QoePreference) -> Self {
+        let (lambda, mu, mu_s) = match p {
+            QoePreference::Balanced => (1.0, 3000.0, 3000.0),
+            QoePreference::AvoidInstability => (3.0, 3000.0, 3000.0),
+            QoePreference::AvoidRebuffering => (1.0, 6000.0, 6000.0),
+        };
+        Self {
+            lambda,
+            mu,
+            mu_s,
+            mu_event: 0.0,
+            quality: QualityFn::Identity,
+        }
+    }
+
+    /// Evaluates `q(·)` for a bitrate in kbps.
+    #[inline]
+    pub fn q(&self, kbps: f64) -> f64 {
+        self.quality.eval(kbps)
+    }
+
+    /// Raw per-chunk QoE contribution from already-computed pieces: quality
+    /// `q`, absolute quality change `switch`, and rebuffering. The inner
+    /// loop of every optimizer (MPC's plan search, the offline DP) calls
+    /// this so all of them score exactly the same objective.
+    #[inline]
+    pub fn chunk_contribution(&self, q: f64, switch: f64, rebuffer_secs: f64) -> f64 {
+        let event = if rebuffer_secs > 0.0 { self.mu_event } else { 0.0 };
+        q - self.lambda * switch - self.mu * rebuffer_secs - event
+    }
+
+    /// QoE contribution of downloading one chunk: quality gain, minus switch
+    /// penalty against the previous chunk's bitrate (`None` for the first
+    /// chunk of the video), minus rebuffer penalty.
+    pub fn chunk_score(&self, kbps: f64, prev_kbps: Option<f64>, rebuffer_secs: f64) -> f64 {
+        let q = self.q(kbps);
+        let switch = prev_kbps.map_or(0.0, |p| (q - self.q(p)).abs());
+        self.chunk_contribution(q, switch, rebuffer_secs)
+    }
+
+    /// Scores a complete session described by per-chunk bitrates (kbps),
+    /// per-chunk rebuffer seconds, and the startup delay.
+    ///
+    /// Panics if `rebuffer_secs` is non-empty and shorter than `bitrates`.
+    pub fn session_score(
+        &self,
+        bitrates_kbps: &[f64],
+        rebuffer_secs: &[f64],
+        startup_secs: f64,
+    ) -> QoeBreakdown {
+        let mut b = QoeBreakdown::default();
+        for (k, &r) in bitrates_kbps.iter().enumerate() {
+            let rebuf = if rebuffer_secs.is_empty() {
+                0.0
+            } else {
+                rebuffer_secs[k]
+            };
+            b.push_chunk(self, r, rebuf);
+        }
+        b.set_startup(self, startup_secs);
+        b
+    }
+}
+
+impl Default for QoeWeights {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// Accumulated QoE for a (possibly in-progress) session, split into the four
+/// terms of Eq. (5). All stored in quality units; totals are exact sums, not
+/// averages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QoeBreakdown {
+    /// `sum_k q(R_k)`.
+    pub total_quality: f64,
+    /// `sum_k |q(R_{k+1}) - q(R_k)|` (unweighted).
+    pub total_quality_change: f64,
+    /// Total rebuffering seconds (unweighted).
+    pub total_rebuffer_secs: f64,
+    /// Startup delay in seconds (unweighted).
+    pub startup_secs: f64,
+    /// Number of chunks accumulated.
+    pub chunks: usize,
+    /// Number of chunk-to-chunk transitions that changed bitrate.
+    pub switches: usize,
+    /// Number of chunks that incurred any rebuffering.
+    pub rebuffer_events: usize,
+    /// Sum of chunk bitrates in kbps (for average-bitrate reporting).
+    pub sum_bitrate_kbps: f64,
+    /// Sum of |R_{k+1} - R_k| in kbps (for Figures 9/10's "average bitrate
+    /// change per chunk").
+    pub sum_bitrate_change_kbps: f64,
+    /// Weighted total: quality - lambda*change - mu*rebuffer - mu_s*startup.
+    pub qoe: f64,
+    last_q: Option<f64>,
+    last_kbps: Option<f64>,
+}
+
+impl QoeBreakdown {
+    /// Adds one downloaded chunk to the running score.
+    pub fn push_chunk(&mut self, w: &QoeWeights, kbps: f64, rebuffer_secs: f64) {
+        debug_assert!(rebuffer_secs >= 0.0, "negative rebuffer time");
+        let q = w.q(kbps);
+        let dq = self.last_q.map_or(0.0, |p| (q - p).abs());
+        let dr = self.last_kbps.map_or(0.0, |p| (kbps - p).abs());
+        if dr > 1e-9 {
+            self.switches += 1;
+        }
+        self.total_quality += q;
+        self.total_quality_change += dq;
+        self.total_rebuffer_secs += rebuffer_secs;
+        self.sum_bitrate_kbps += kbps;
+        self.sum_bitrate_change_kbps += dr;
+        let event = if rebuffer_secs > 0.0 {
+            self.rebuffer_events += 1;
+            w.mu_event
+        } else {
+            0.0
+        };
+        self.qoe += q - w.lambda * dq - w.mu * rebuffer_secs - event;
+        self.chunks += 1;
+        self.last_q = Some(q);
+        self.last_kbps = Some(kbps);
+    }
+
+    /// Sets the startup delay term (replaces any previous value).
+    pub fn set_startup(&mut self, w: &QoeWeights, startup_secs: f64) {
+        debug_assert!(startup_secs >= 0.0, "negative startup time");
+        self.qoe += w.mu_s * self.startup_secs; // undo previous
+        self.startup_secs = startup_secs;
+        self.qoe -= w.mu_s * startup_secs;
+    }
+
+    /// Average per-chunk bitrate in kbps (0 if no chunks).
+    pub fn avg_bitrate_kbps(&self) -> f64 {
+        if self.chunks == 0 {
+            0.0
+        } else {
+            self.sum_bitrate_kbps / self.chunks as f64
+        }
+    }
+
+    /// Average per-transition bitrate change in kbps (0 if fewer than two
+    /// chunks). This is the x-axis of the middle panels of Figures 9 and 10.
+    pub fn avg_bitrate_change_kbps(&self) -> f64 {
+        if self.chunks < 2 {
+            0.0
+        } else {
+            self.sum_bitrate_change_kbps / (self.chunks - 1) as f64
+        }
+    }
+
+    /// The QoE total excluding the startup term (used by Figure 11d, which
+    /// studies fixed startup delays).
+    pub fn qoe_excluding_startup(&self, w: &QoeWeights) -> f64 {
+        self.qoe + w.mu_s * self.startup_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let b = QoeWeights::preset(QoePreference::Balanced);
+        assert_eq!((b.lambda, b.mu, b.mu_s), (1.0, 3000.0, 3000.0));
+        let i = QoeWeights::preset(QoePreference::AvoidInstability);
+        assert_eq!((i.lambda, i.mu, i.mu_s), (3.0, 3000.0, 3000.0));
+        let r = QoeWeights::preset(QoePreference::AvoidRebuffering);
+        assert_eq!((r.lambda, r.mu, r.mu_s), (1.0, 6000.0, 6000.0));
+    }
+
+    #[test]
+    fn session_score_matches_hand_computation() {
+        let w = QoeWeights::balanced();
+        // Bitrates 1000, 2000, 1000; rebuffer 0.5s on chunk 2; startup 2s.
+        let b = w.session_score(&[1000.0, 2000.0, 1000.0], &[0.0, 0.5, 0.0], 2.0);
+        let expect_quality = 4000.0;
+        let expect_change = 2000.0;
+        let expect = expect_quality - 1.0 * expect_change - 3000.0 * 0.5 - 3000.0 * 2.0;
+        assert!((b.qoe - expect).abs() < 1e-9, "{} vs {expect}", b.qoe);
+        assert_eq!(b.switches, 2);
+        assert!((b.avg_bitrate_kbps() - 4000.0 / 3.0).abs() < 1e-9);
+        assert!((b.avg_bitrate_change_kbps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_switch_penalty_for_first_chunk() {
+        let w = QoeWeights::balanced();
+        let one = w.session_score(&[3000.0], &[0.0], 0.0);
+        assert!((one.qoe - 3000.0).abs() < 1e-9);
+        assert_eq!(one.switches, 0);
+    }
+
+    #[test]
+    fn chunk_score_consistent_with_accumulator() {
+        let w = QoeWeights::preset(QoePreference::AvoidInstability);
+        let mut acc = QoeBreakdown::default();
+        acc.push_chunk(&w, 600.0, 0.0);
+        acc.push_chunk(&w, 2000.0, 1.0);
+        let manual = w.chunk_score(600.0, None, 0.0) + w.chunk_score(2000.0, Some(600.0), 1.0);
+        assert!((acc.qoe - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_startup_is_idempotent_on_replacement() {
+        let w = QoeWeights::balanced();
+        let mut acc = QoeBreakdown::default();
+        acc.push_chunk(&w, 1000.0, 0.0);
+        acc.set_startup(&w, 5.0);
+        acc.set_startup(&w, 1.0);
+        assert!((acc.qoe - (1000.0 - 3000.0)).abs() < 1e-9);
+        assert!((acc.startup_secs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qoe_excluding_startup_removes_only_startup_term() {
+        let w = QoeWeights::balanced();
+        let b = w.session_score(&[1000.0, 1000.0], &[0.0, 0.0], 3.0);
+        assert!((b.qoe_excluding_startup(&w) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuffering_dominates_with_large_mu() {
+        let w = QoeWeights::preset(QoePreference::AvoidRebuffering);
+        let smooth = w.session_score(&[350.0, 350.0], &[0.0, 0.0], 0.0);
+        let risky = w.session_score(&[3000.0, 3000.0], &[0.0, 2.0], 0.0);
+        assert!(smooth.qoe > risky.qoe);
+    }
+
+    #[test]
+    fn rebuffer_event_penalty_counts_events_not_seconds() {
+        let mut w = QoeWeights::balanced();
+        w.mu = 0.0; // isolate the per-event term
+        w.mu_event = 500.0;
+        // Two short events cost twice one long event of the same total time.
+        let two_events = w.session_score(&[1000.0, 1000.0, 1000.0], &[0.5, 0.0, 0.5], 0.0);
+        let one_event = w.session_score(&[1000.0, 1000.0, 1000.0], &[1.0, 0.0, 0.0], 0.0);
+        assert!((two_events.qoe - (3000.0 - 1000.0)).abs() < 1e-9);
+        assert!((one_event.qoe - (3000.0 - 500.0)).abs() < 1e-9);
+        assert_eq!(two_events.rebuffer_events, 2);
+        assert_eq!(one_event.rebuffer_events, 1);
+    }
+
+    #[test]
+    fn paper_presets_have_zero_event_penalty() {
+        for p in QoePreference::ALL {
+            assert_eq!(QoeWeights::preset(p).mu_event, 0.0);
+        }
+    }
+
+    #[test]
+    fn chunk_contribution_matches_chunk_score() {
+        let mut w = QoeWeights::balanced();
+        w.mu_event = 123.0;
+        let a = w.chunk_score(2000.0, Some(1000.0), 0.7);
+        let b = w.chunk_contribution(2000.0, 1000.0, 0.7);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_fn_is_respected() {
+        let w = QoeWeights {
+            lambda: 1.0,
+            mu: 3000.0,
+            mu_s: 3000.0,
+            mu_event: 0.0,
+            quality: QualityFn::Saturating { cap_kbps: 1000.0 },
+        };
+        // 2000 vs 3000 kbps look identical under the cap: no switch penalty.
+        let b = w.session_score(&[2000.0, 3000.0], &[0.0, 0.0], 0.0);
+        assert!((b.qoe - 2000.0).abs() < 1e-9);
+        assert!((b.total_quality_change - 0.0).abs() < 1e-12);
+        // ...but bitrate-change accounting still sees the raw switch.
+        assert_eq!(b.switches, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Perceived-quality functions `q(·) : R -> R+`.
+//!
+//! The paper requires only that `q` be non-decreasing and notes it may depend
+//! on device and content (Section 3.1). The evaluation uses the identity
+//! function; we also provide the common logarithmic and device-aware shapes
+//! used in follow-on work so users can model diminishing returns.
+
+use serde::{Deserialize, Serialize};
+
+/// A non-decreasing map from bitrate (kbps) to perceived quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QualityFn {
+    /// `q(R) = R` — the paper's evaluation default.
+    Identity,
+    /// `q(R) = scale * ln(R / r0)` for `R >= r0`; 0 below. Models strongly
+    /// diminishing returns at high bitrates (as on small screens).
+    Log {
+        /// Bitrate at which quality is zero (kbps).
+        r0: f64,
+        /// Multiplier applied to the log term.
+        scale: f64,
+    },
+    /// `q(R) = R.min(cap)` — quality saturates at a device-dependent cap
+    /// (e.g. a mobile screen that cannot exploit more than ~1 Mbps).
+    Saturating {
+        /// Bitrate beyond which extra kbps adds no perceived quality.
+        cap_kbps: f64,
+    },
+    /// Piecewise-linear interpolation through `(bitrate, quality)` knots,
+    /// clamped outside the knot range. Knots must be sorted by bitrate with
+    /// non-decreasing quality.
+    Table {
+        /// `(kbps, quality)` knots, sorted by kbps.
+        knots: Vec<(f64, f64)>,
+    },
+}
+
+impl QualityFn {
+    /// Evaluates `q(bitrate)`.
+    pub fn eval(&self, kbps: f64) -> f64 {
+        match self {
+            QualityFn::Identity => kbps,
+            QualityFn::Log { r0, scale } => {
+                if kbps <= *r0 {
+                    0.0
+                } else {
+                    scale * (kbps / r0).ln()
+                }
+            }
+            QualityFn::Saturating { cap_kbps } => kbps.min(*cap_kbps),
+            QualityFn::Table { knots } => {
+                debug_assert!(Self::knots_valid(knots), "invalid quality table");
+                match knots.len() {
+                    0 => 0.0,
+                    1 => knots[0].1,
+                    _ => {
+                        if kbps <= knots[0].0 {
+                            return knots[0].1;
+                        }
+                        if kbps >= knots[knots.len() - 1].0 {
+                            return knots[knots.len() - 1].1;
+                        }
+                        let i = knots.partition_point(|&(b, _)| b <= kbps) - 1;
+                        let (b0, q0) = knots[i];
+                        let (b1, q1) = knots[i + 1];
+                        q0 + (q1 - q0) * (kbps - b0) / (b1 - b0)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks a knot list is usable: sorted strictly by bitrate,
+    /// non-decreasing in quality.
+    pub fn knots_valid(knots: &[(f64, f64)]) -> bool {
+        knots.windows(2).all(|w| w[1].0 > w[0].0 && w[1].1 >= w[0].1)
+            && knots.iter().all(|(b, q)| b.is_finite() && q.is_finite())
+    }
+}
+
+impl Default for QualityFn {
+    fn default() -> Self {
+        QualityFn::Identity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(QualityFn::Identity.eval(1234.5), 1234.5);
+    }
+
+    #[test]
+    fn log_zero_below_r0_and_increasing_above() {
+        let q = QualityFn::Log { r0: 300.0, scale: 100.0 };
+        assert_eq!(q.eval(100.0), 0.0);
+        assert_eq!(q.eval(300.0), 0.0);
+        assert!(q.eval(600.0) > 0.0);
+        assert!(q.eval(3000.0) > q.eval(600.0));
+    }
+
+    #[test]
+    fn saturating_caps() {
+        let q = QualityFn::Saturating { cap_kbps: 1000.0 };
+        assert_eq!(q.eval(600.0), 600.0);
+        assert_eq!(q.eval(2000.0), 1000.0);
+        assert_eq!(q.eval(3000.0), 1000.0);
+    }
+
+    #[test]
+    fn table_interpolates_and_clamps() {
+        let q = QualityFn::Table {
+            knots: vec![(350.0, 1.0), (1000.0, 3.0), (3000.0, 4.0)],
+        };
+        assert_eq!(q.eval(100.0), 1.0); // clamp left
+        assert_eq!(q.eval(3500.0), 4.0); // clamp right
+        assert!((q.eval(675.0) - 2.0).abs() < 1e-9); // midpoint of first segment
+        assert!((q.eval(2000.0) - 3.5).abs() < 1e-9); // midpoint of second
+        assert_eq!(q.eval(1000.0), 3.0); // exact knot
+    }
+
+    #[test]
+    fn table_degenerate_sizes() {
+        assert_eq!(QualityFn::Table { knots: vec![] }.eval(500.0), 0.0);
+        assert_eq!(QualityFn::Table { knots: vec![(100.0, 7.0)] }.eval(5.0), 7.0);
+    }
+
+    #[test]
+    fn knot_validation() {
+        assert!(QualityFn::knots_valid(&[(1.0, 1.0), (2.0, 1.0)]));
+        assert!(!QualityFn::knots_valid(&[(2.0, 1.0), (1.0, 2.0)])); // unsorted
+        assert!(!QualityFn::knots_valid(&[(1.0, 2.0), (2.0, 1.0)])); // decreasing q
+        assert!(!QualityFn::knots_valid(&[(1.0, f64::NAN)]));
+    }
+
+    #[test]
+    fn all_variants_non_decreasing() {
+        let fns = [
+            QualityFn::Identity,
+            QualityFn::Log { r0: 200.0, scale: 50.0 },
+            QualityFn::Saturating { cap_kbps: 1500.0 },
+            QualityFn::Table {
+                knots: vec![(350.0, 0.0), (600.0, 1.0), (3000.0, 2.0)],
+            },
+        ];
+        for q in &fns {
+            let mut prev = f64::NEG_INFINITY;
+            for r in (100..=4000).step_by(50) {
+                let v = q.eval(r as f64);
+                assert!(v >= prev - 1e-12, "{q:?} decreased at {r}");
+                prev = v;
+            }
+        }
+    }
+}

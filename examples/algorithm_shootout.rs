@@ -1,0 +1,71 @@
+//! Algorithm shootout: every adaptation algorithm of the paper's evaluation
+//! over one dataset, with normalized QoE against the clairvoyant optimum —
+//! a miniature Figure 8.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_shootout -- [fcc|hsdpa|synthetic] [traces]
+//! ```
+
+use mpc_dash::harness::registry::Algo;
+use mpc_dash::harness::runner::{evaluate_dataset, EvalConfig};
+use mpc_dash::trace::stats::Summary;
+use mpc_dash::trace::Dataset;
+use mpc_dash::video::envivio_video;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = match args.first().map(String::as_str) {
+        Some("hsdpa") => Dataset::Hsdpa,
+        Some("synthetic") => Dataset::Synthetic,
+        _ => Dataset::Fcc,
+    };
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("evaluating {} traces from the {} dataset...", n, dataset.label());
+    let video = envivio_video();
+    let traces = dataset.generate(42, n);
+    let cfg = EvalConfig {
+        fastmpc_levels: 60, // keep the example snappy; 100 in the harness
+        ..EvalConfig::paper_default()
+    };
+    let out = evaluate_dataset(&Algo::FIGURE8, &traces, &video, &cfg);
+
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "algorithm", "median", "mean", "bitrate", "switches", "rebuffer"
+    );
+    println!("{}", "-".repeat(62));
+    for algo in &out.algos {
+        let nq = out.n_qoe_samples(*algo);
+        let s = Summary::of(&nq).expect("non-empty");
+        let sessions = out.sessions_of(*algo);
+        let avg_bitrate: f64 = sessions.iter().map(|r| r.avg_bitrate_kbps()).sum::<f64>()
+            / sessions.len() as f64;
+        let avg_switches: f64 = sessions.iter().map(|r| r.qoe.switches as f64).sum::<f64>()
+            / sessions.len() as f64;
+        let avg_rebuf: f64 = sessions
+            .iter()
+            .map(|r| r.total_rebuffer_secs())
+            .sum::<f64>()
+            / sessions.len() as f64;
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>9.0}k {:>10.1} {:>9.2}s",
+            algo.name(),
+            s.median,
+            s.mean,
+            avg_bitrate,
+            avg_switches,
+            avg_rebuf
+        );
+    }
+    if out.skipped > 0 {
+        println!(
+            "\n({} traces skipped: the clairvoyant optimum itself was negative)",
+            out.skipped
+        );
+    }
+    println!("\n(median/mean are normalized QoE: 1.0 = clairvoyant continuous-rate optimum)");
+}

@@ -1,0 +1,52 @@
+//! The paper's Figure 2 in your terminal: buffer dynamics of two
+//! controllers on the same volatile link, side by side.
+//!
+//! ```sh
+//! cargo run --release --example buffer_timeline
+//! ```
+
+use mpc_dash::baselines::RateBased;
+use mpc_dash::core::Mpc;
+use mpc_dash::predictor::HarmonicMean;
+use mpc_dash::sim::{ascii_chart, buffer_timeline, run_session, SimConfig};
+use mpc_dash::trace::Trace;
+use mpc_dash::video::envivio_video;
+
+fn main() {
+    let video = envivio_video();
+    // A link that halves mid-stream and recovers — the classic trap.
+    let trace = Trace::new(vec![
+        (60.0, 2800.0),
+        (60.0, 900.0),
+        (60.0, 2200.0),
+    ])
+    .expect("valid trace");
+    let cfg = SimConfig::paper_default();
+
+    for mk in [0usize, 1] {
+        let (name, result) = if mk == 0 {
+            let mut c = Mpc::robust();
+            (
+                "RobustMPC",
+                run_session(&mut c, HarmonicMean::paper_default(), &trace, &video, &cfg),
+            )
+        } else {
+            let mut c = RateBased::paper_default();
+            (
+                "RB",
+                run_session(&mut c, HarmonicMean::paper_default(), &trace, &video, &cfg),
+            )
+        };
+        let pts = buffer_timeline(&result);
+        println!(
+            "{name}: avg bitrate {:.0} kbps, {} switches, {:.1}s rebuffer, QoE {:.0}",
+            result.avg_bitrate_kbps(),
+            result.qoe.switches,
+            result.total_rebuffer_secs(),
+            result.qoe.qoe
+        );
+        print!("{}", ascii_chart(&pts, 76, 12, 34.0));
+        println!();
+    }
+    println!("(buffer occupancy over wall-clock time; link drops from 2.8 to 0.9 Mbps at t=60s)");
+}

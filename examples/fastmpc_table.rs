@@ -1,0 +1,99 @@
+//! The FastMPC deployment story (Section 5): generate the decision table
+//! offline, compress it, persist it, and serve online decisions by lookup —
+//! then compare lookup decisions and speed against the exact online solver.
+//!
+//! ```sh
+//! cargo run --release --example fastmpc_table
+//! ```
+
+use mpc_dash::core::mpc::optimize_horizon;
+use mpc_dash::fastmpc::{FastMpcTable, TableConfig};
+use mpc_dash::video::{envivio_video, LevelIdx, QoeWeights};
+use std::time::Instant;
+
+fn main() {
+    let video = envivio_video();
+
+    // Offline: enumerate the binned state space and solve each scenario.
+    println!("generating the 100x5x100 decision table (offline step)...");
+    let t0 = Instant::now();
+    let table = FastMpcTable::generate(&video, 30.0, TableConfig::paper_default());
+    println!(
+        "  {} scenarios solved in {:.2}s",
+        table.num_entries(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "  full table {} bytes -> run-length coded {} bytes ({} runs, {:.0}% of full)",
+        table.full_size_bytes(),
+        table.rle_size_bytes(),
+        table.num_runs(),
+        100.0 * table.rle_size_bytes() as f64 / table.full_size_bytes() as f64
+    );
+
+    // Persist and reload — the artifact a player would download.
+    let json = table.to_json();
+    println!("  serialized artifact: {} bytes of JSON", json.len());
+    let reloaded = FastMpcTable::from_json(&json).expect("round-trips");
+
+    // Online: lookups vs exact solves on a grid of live states.
+    println!("\nonline decisions (buffer x throughput, prev level 1000 kbps):");
+    print!("{:>10}", "");
+    for thr in [400.0, 800.0, 1500.0, 2500.0, 4000.0] {
+        print!("{:>9.0}k", thr / 1000.0 * 1000.0);
+    }
+    println!();
+    let weights = QoeWeights::balanced();
+    let mut disagreements = 0;
+    let mut checked = 0;
+    for buffer in [2.0, 6.0, 10.0, 15.0, 22.0, 28.0] {
+        print!("{buffer:>8.0}s  ");
+        for thr in [400.0, 800.0, 1500.0, 2500.0, 4000.0] {
+            let fast = reloaded.lookup(buffer, LevelIdx(2), thr);
+            let exact = optimize_horizon(
+                &video,
+                0,
+                5,
+                buffer,
+                30.0,
+                Some(LevelIdx(2)),
+                thr,
+                &weights,
+            )
+            .first();
+            checked += 1;
+            if fast != exact {
+                disagreements += 1;
+            }
+            let marker = if fast == exact { ' ' } else { '*' };
+            print!("{:>9}{marker}", video.ladder().kbps(fast) as u64);
+        }
+        println!();
+    }
+    println!("\n({disagreements}/{checked} lookups differ from the exact solve — bin-boundary effects, marked *)");
+
+    // Speed: the reason FastMPC exists.
+    let states: Vec<(f64, f64)> = (0..10_000)
+        .map(|i| ((i % 300) as f64 / 10.0, 300.0 + (i % 97) as f64 * 40.0))
+        .collect();
+    let t1 = Instant::now();
+    let mut acc = 0usize;
+    for &(b, c) in &states {
+        acc += reloaded.lookup(b, LevelIdx(2), c).get();
+    }
+    let lookup_ns = t1.elapsed().as_nanos() as f64 / states.len() as f64;
+    let t2 = Instant::now();
+    for &(b, c) in &states[..500] {
+        acc += optimize_horizon(&video, 0, 5, b, 30.0, Some(LevelIdx(2)), c, &weights)
+            .first()
+            .get();
+    }
+    let solve_ns = t2.elapsed().as_nanos() as f64 / 500.0;
+    std::hint::black_box(acc);
+    println!(
+        "lookup {:.0} ns/decision vs exact solve {:.0} ns/decision ({:.0}x faster)",
+        lookup_ns,
+        solve_ns,
+        solve_ns / lookup_ns
+    );
+}

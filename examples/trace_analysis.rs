@@ -1,0 +1,48 @@
+//! Checking MPC's premise: "network conditions are reasonably stable on
+//! short timescales" (Section 4.1). Quantifies throughput constancy,
+//! autocorrelation and rolling stability for the three datasets.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use mpc_dash::trace::analysis::{autocorrelation, constancy_profile, resample, rolling_cov};
+use mpc_dash::trace::Dataset;
+
+fn main() {
+    let horizons = [4.0, 8.0, 20.0, 40.0];
+    println!("mean relative throughput change, next-vs-previous window:\n");
+    print!("{:<10}", "dataset");
+    for h in horizons {
+        print!("{:>9.0}s", h);
+    }
+    println!("{:>12} {:>12}", "lag-4s acf", "rolling CoV");
+    println!("{}", "-".repeat(72));
+
+    for ds in Dataset::ALL {
+        let traces = ds.generate(42, 30);
+        let mut change = [0.0f64; 4];
+        let mut acf = 0.0;
+        let mut cov = 0.0;
+        for t in &traces {
+            let p = constancy_profile(t, &horizons);
+            for (i, c) in p.mean_rel_change.iter().enumerate() {
+                change[i] += c / traces.len() as f64;
+            }
+            let series = resample(t, 4.0, t.cycle_secs());
+            acf += autocorrelation(&series, 1).unwrap_or(0.0) / traces.len() as f64;
+            cov += rolling_cov(t, 20.0, 1.0) / traces.len() as f64;
+        }
+        print!("{:<10}", ds.label());
+        for c in change {
+            print!("{c:>9.3} ");
+        }
+        println!("{acf:>11.3} {cov:>12.3}");
+    }
+
+    println!(
+        "\nReading: small window-to-window change at 20s = the short-horizon\n\
+         predictability MPC needs; HSDPA's larger numbers are why RobustMPC's\n\
+         error-adjusted lower bound matters there (Figure 8b)."
+    );
+}

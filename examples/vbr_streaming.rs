@@ -1,0 +1,84 @@
+//! Variable-bitrate content over a cellular trace: builds a VBR video where
+//! scene complexity oscillates, publishes it as a DASH manifest with
+//! explicit per-chunk sizes (the extension the paper argues the standard
+//! needs), parses the manifest back, and streams it through the emulated
+//! HTTP path with RobustMPC vs. the rate-based baseline.
+//!
+//! ```sh
+//! cargo run --release --example vbr_streaming
+//! ```
+
+use mpc_dash::baselines::RateBased;
+use mpc_dash::core::Mpc;
+use mpc_dash::net::player::{run_emulated_session, NetConfig};
+use mpc_dash::net::mpd;
+use mpc_dash::predictor::HarmonicMean;
+use mpc_dash::sim::{SessionResult, SimConfig};
+use mpc_dash::trace::Dataset;
+use mpc_dash::video::{Ladder, VideoBuilder};
+
+fn main() {
+    // VBR: action scenes cost up to 1.4x the nominal bitrate, static
+    // scenes as little as 0.7x, oscillating through the film.
+    let ladder = Ladder::new(vec![350.0, 600.0, 1000.0, 2000.0, 3000.0]).expect("valid");
+    let video = VideoBuilder::new(ladder)
+        .chunks(65)
+        .chunk_secs(4.0)
+        .vbr(|k| 1.05 + 0.35 * ((k as f64) * 0.45).sin());
+
+    // Publish and re-parse the manifest: the streaming side only ever sees
+    // what the manifest declares.
+    let manifest = mpd::generate(&video);
+    println!(
+        "manifest: {} bytes, advertises per-chunk sizes for {} chunks x {} levels",
+        manifest.len(),
+        video.num_chunks(),
+        video.ladder().len()
+    );
+    let video = mpd::parse(&manifest).expect("round-trips");
+
+    let trace = Dataset::Hsdpa.generate(11, 1).remove(0);
+    println!(
+        "cellular trace: mean {:.0} kbps, std {:.0} kbps\n",
+        trace.mean_kbps(),
+        trace.std_kbps()
+    );
+
+    let cfg = SimConfig::paper_default();
+    let net = NetConfig::typical();
+    let mut robust = Mpc::robust();
+    let r_mpc = run_emulated_session(
+        &mut robust,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &cfg,
+        &net,
+    );
+    let mut rb = RateBased::paper_default();
+    let r_rb = run_emulated_session(
+        &mut rb,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &cfg,
+        &net,
+    );
+
+    let report = |r: &SessionResult| {
+        format!(
+            "{:<10} avg bitrate {:>5.0} kbps | switches {:>2} | rebuffer {:>6.2}s | QoE {:>8.0}",
+            r.algorithm,
+            r.avg_bitrate_kbps(),
+            r.qoe.switches,
+            r.total_rebuffer_secs(),
+            r.qoe.qoe
+        )
+    };
+    println!("{}", report(&r_mpc));
+    println!("{}", report(&r_rb));
+    println!(
+        "\nRobustMPC QoE advantage on VBR cellular content: {:+.0}",
+        r_mpc.qoe.qoe - r_rb.qoe.qoe
+    );
+}

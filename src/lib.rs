@@ -1,0 +1,55 @@
+//! # mpc-dash
+//!
+//! A complete Rust reproduction of *Yin, Jindal, Sekar & Sinopoli,
+//! "A Control-Theoretic Approach for Dynamic Adaptive Video Streaming over
+//! HTTP" (SIGCOMM 2015)* — the MPC/RobustMPC/FastMPC family of bitrate
+//! adaptation algorithms, every baseline the paper compares against, and
+//! the full evaluation apparatus.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a short name.
+//!
+//! | Module | Crate | What's inside |
+//! |---|---|---|
+//! | [`video`] | `abr-video` | Bitrate ladders, chunked video, QoE objective (Eq. 5) |
+//! | [`trace`] | `abr-trace` | Throughput traces, dataset generators, statistics |
+//! | [`predictor`] | `abr-predictor` | Harmonic-mean & friends, error tracking |
+//! | [`core`] | `abr-core` | Buffer model (Eqs. 1–4), MPC, RobustMPC, MDP |
+//! | [`baselines`] | `abr-baselines` | RB, BB, FESTIVE, dash.js rules, BOLA |
+//! | [`fastmpc`] | `abr-fastmpc` | Offline table enumeration + RLE + lookup |
+//! | [`offline`] | `abr-offline` | Clairvoyant optimum (normalized-QoE denominator) |
+//! | [`sim`] | `abr-sim` | Trace-driven streaming simulator |
+//! | [`net`] | `abr-net` | HTTP/1.1, DASH manifests, shaped links, players |
+//! | [`harness`] | `abr-harness` | Regenerators for every paper figure/table |
+//!
+//! ## Five-line quickstart
+//!
+//! ```
+//! use mpc_dash::{core::Mpc, predictor::HarmonicMean,
+//!                sim::{run_session, SimConfig}, trace::Trace,
+//!                video::envivio_video};
+//!
+//! let video = envivio_video();
+//! let trace = Trace::constant(1500.0, 60.0).unwrap();
+//! let mut controller = Mpc::robust();
+//! let result = run_session(&mut controller, HarmonicMean::paper_default(),
+//!                          &trace, &video, &SimConfig::paper_default());
+//! assert_eq!(result.records.len(), 65);
+//! ```
+//!
+//! See README.md for the architecture diagram, DESIGN.md for the system
+//! inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+#![forbid(unsafe_code)]
+
+pub use abr_baselines as baselines;
+pub use abr_core as core;
+pub use abr_fastmpc as fastmpc;
+pub use abr_harness as harness;
+pub use abr_net as net;
+pub use abr_offline as offline;
+pub use abr_predictor as predictor;
+pub use abr_sim as sim;
+pub use abr_trace as trace;
+pub use abr_video as video;

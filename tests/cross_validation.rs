@@ -1,0 +1,164 @@
+//! Cross-validation between the two independent execution paths (analytic
+//! simulator vs. HTTP emulation) and between FastMPC and the exact solver.
+
+use mpc_dash::core::Mpc;
+use mpc_dash::fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use mpc_dash::net::player::{run_emulated_session, NetConfig};
+use mpc_dash::predictor::HarmonicMean;
+use mpc_dash::sim::{run_session, SimConfig};
+use mpc_dash::trace::Dataset;
+use mpc_dash::video::envivio_video;
+use std::sync::Arc;
+
+#[test]
+fn simulator_and_emulator_agree_across_datasets_and_algorithms() {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let net = NetConfig::parity();
+    for ds in Dataset::ALL {
+        for trace in ds.generate(50, 2) {
+            type Maker = fn() -> Box<dyn mpc_dash::core::BitrateController>;
+            let makers: [Maker; 3] = [
+                || Box::new(mpc_dash::baselines::RateBased::paper_default()),
+                || Box::new(mpc_dash::baselines::BufferBased::paper_default()),
+                || Box::new(Mpc::robust()),
+            ];
+            for make in makers {
+                let mut c1 = make();
+                let sim = run_session(
+                    c1.as_mut(),
+                    HarmonicMean::paper_default(),
+                    &trace,
+                    &video,
+                    &cfg,
+                );
+                let mut c2 = make();
+                let emu = run_emulated_session(
+                    c2.as_mut(),
+                    HarmonicMean::paper_default(),
+                    &trace,
+                    &video,
+                    &cfg,
+                    &net,
+                );
+                // HTTP headers add a few hundred bytes per chunk, shifting
+                // buffer trajectories slightly; stateful controllers (BB's
+                // hysteresis) can amplify one flipped hold/switch, so allow
+                // a modest relative gap.
+                let rel = (sim.qoe.qoe - emu.qoe.qoe).abs() / sim.qoe.qoe.abs().max(1000.0);
+                assert!(
+                    rel < 0.05,
+                    "{} on {}: sim {} vs emu {}",
+                    sim.algorithm,
+                    ds.label(),
+                    sim.qoe.qoe,
+                    emu.qoe.qoe
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fastmpc_approaches_exact_mpc_as_bins_grow() {
+    // Figure 12a's monotone trend, as an aggregate over traces: finer
+    // tables close the gap to the exact optimizer.
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let traces = Dataset::Fcc.generate(13, 6);
+
+    let mut exact_total = 0.0;
+    for trace in &traces {
+        let mut mpc = Mpc::paper_default();
+        exact_total +=
+            run_session(&mut mpc, HarmonicMean::paper_default(), trace, &video, &cfg)
+                .qoe
+                .qoe;
+    }
+
+    let total_for = |levels: usize| -> f64 {
+        let table = Arc::new(FastMpcTable::generate(
+            &video,
+            30.0,
+            TableConfig::with_levels(levels, 30.0),
+        ));
+        traces
+            .iter()
+            .map(|trace| {
+                let mut c = FastMpc::new(Arc::clone(&table));
+                run_session(&mut c, HarmonicMean::paper_default(), trace, &video, &cfg)
+                    .qoe
+                    .qoe
+            })
+            .sum()
+    };
+
+    let coarse = total_for(5);
+    let fine = total_for(120);
+    assert!(
+        fine >= coarse,
+        "finer table should help: coarse {coarse}, fine {fine}"
+    );
+    let gap = (exact_total - fine).abs() / exact_total.abs();
+    assert!(
+        gap < 0.12,
+        "fine FastMPC {fine} should be within ~10% of exact {exact_total} (gap {gap})"
+    );
+}
+
+#[test]
+fn robust_mpc_rebuffers_less_than_plain_mpc_under_volatility() {
+    // Section 7.2's HSDPA finding, in aggregate: RobustMPC trades a little
+    // bitrate for a lot less rebuffering when predictions are unreliable.
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let traces = Dataset::Hsdpa.generate(2024, 12);
+    let mut rebuf_plain = 0.0;
+    let mut rebuf_robust = 0.0;
+    let mut bitrate_plain = 0.0;
+    let mut bitrate_robust = 0.0;
+    for trace in &traces {
+        let mut plain = Mpc::paper_default();
+        let a = run_session(&mut plain, HarmonicMean::paper_default(), trace, &video, &cfg);
+        rebuf_plain += a.total_rebuffer_secs();
+        bitrate_plain += a.avg_bitrate_kbps();
+        let mut robust = Mpc::robust();
+        let b = run_session(&mut robust, HarmonicMean::paper_default(), trace, &video, &cfg);
+        rebuf_robust += b.total_rebuffer_secs();
+        bitrate_robust += b.avg_bitrate_kbps();
+    }
+    assert!(
+        rebuf_robust < rebuf_plain,
+        "robust rebuffer {rebuf_robust} should beat plain {rebuf_plain}"
+    );
+    assert!(
+        bitrate_robust <= bitrate_plain * 1.02,
+        "robustness is bought with (slightly) lower bitrate"
+    );
+}
+
+#[test]
+fn robust_theorem_holds_in_closed_loop() {
+    // Theorem 1 in vivo: a RobustMPC session equals a plain-MPC session
+    // that is fed the identical lower-bound predictions. We verify via the
+    // controller context plumbing: robust uses robust_lower_kbps, which the
+    // simulator derives as pred/(1+err). Equality of decisions follows from
+    // the unit tests; here we double-check the session-level wiring by
+    // asserting RobustMPC never exceeds plain MPC's per-chunk level when
+    // both see the same history... which holds only chunk-by-chunk given
+    // identical histories, so compare first-divergence behaviour instead:
+    // on a constant trace (zero prediction error) the two must be
+    // indistinguishable.
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let trace = mpc_dash::trace::Trace::constant(1700.0, 60.0).unwrap();
+    let mut plain = Mpc::paper_default();
+    let a = run_session(&mut plain, HarmonicMean::paper_default(), &trace, &video, &cfg);
+    let mut robust = Mpc::robust();
+    let b = run_session(&mut robust, HarmonicMean::paper_default(), &trace, &video, &cfg);
+    assert_eq!(
+        a.records.iter().map(|r| r.level).collect::<Vec<_>>(),
+        b.records.iter().map(|r| r.level).collect::<Vec<_>>(),
+        "zero prediction error must make RobustMPC == MPC"
+    );
+}

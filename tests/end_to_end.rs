@@ -1,0 +1,138 @@
+//! Cross-crate integration: the full pipeline from trace generation through
+//! controllers, simulator, offline optimum and normalization.
+
+use mpc_dash::harness::registry::Algo;
+use mpc_dash::harness::runner::{evaluate_dataset, EvalConfig};
+use mpc_dash::offline::{optimal_qoe, OfflineConfig};
+use mpc_dash::predictor::HarmonicMean;
+use mpc_dash::sim::{run_session, SimConfig};
+use mpc_dash::trace::Dataset;
+use mpc_dash::video::envivio_video;
+
+fn quick_cfg() -> EvalConfig {
+    EvalConfig {
+        fastmpc_levels: 15,
+        ..EvalConfig::paper_default()
+    }
+}
+
+#[test]
+fn full_grid_invariants_on_every_dataset() {
+    let video = envivio_video();
+    let algos = [
+        Algo::Rb,
+        Algo::Bb,
+        Algo::Festive,
+        Algo::DashJs,
+        Algo::FastMpc,
+        Algo::RobustMpc,
+        Algo::Mpc,
+        Algo::MpcOpt,
+    ];
+    for ds in Dataset::ALL {
+        let traces = ds.generate(1234, 4);
+        let out = evaluate_dataset(&algos, &traces, &video, &quick_cfg());
+        assert!(!out.traces.is_empty(), "{}: everything skipped", ds.label());
+        for t in &out.traces {
+            assert!(t.opt_qoe > 0.0);
+            for (i, session) in t.sessions.iter().enumerate() {
+                let name = algos[i].name();
+                assert_eq!(session.records.len(), 65, "{name}");
+                // Buffer invariant everywhere.
+                for r in &session.records {
+                    assert!(
+                        (0.0 - 1e-9..=30.0 + 1e-9).contains(&r.buffer_after_secs),
+                        "{name}: buffer {}",
+                        r.buffer_after_secs
+                    );
+                    assert!(r.download_secs > 0.0 && r.download_secs.is_finite());
+                    assert!(r.rebuffer_secs >= 0.0);
+                }
+                // Nobody beats the clairvoyant continuous optimum by more
+                // than numerical noise.
+                assert!(
+                    t.n_qoe(i) <= 1.02,
+                    "{name} on {}: n-QoE {} vs OPT {}",
+                    ds.label(),
+                    t.n_qoe(i),
+                    t.opt_qoe
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mpc_opt_dominates_plain_mpc_in_aggregate() {
+    // Perfect prediction can only help MPC on average.
+    let video = envivio_video();
+    let traces = Dataset::Hsdpa.generate(77, 6);
+    let out = evaluate_dataset(&[Algo::Mpc, Algo::MpcOpt], &traces, &video, &quick_cfg());
+    let mpc: f64 = out.n_qoe_samples(Algo::Mpc).iter().sum();
+    let opt: f64 = out.n_qoe_samples(Algo::MpcOpt).iter().sum();
+    assert!(
+        opt >= mpc - 0.1,
+        "MPC-OPT {opt} should not trail MPC {mpc} in aggregate"
+    );
+}
+
+#[test]
+fn offline_optimum_upper_bounds_every_session() {
+    let video = envivio_video();
+    let sim = SimConfig::paper_default();
+    let off = OfflineConfig::paper_default();
+    for ds in Dataset::ALL {
+        for trace in ds.generate(31, 3) {
+            let opt = optimal_qoe(&trace, &video, &off);
+            let mut mpc = mpc_dash::core::Mpc::robust();
+            let session = run_session(
+                &mut mpc,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &sim,
+            );
+            assert!(
+                session.qoe.qoe <= opt.qoe + 0.02 * opt.qoe.abs() + 1.0,
+                "{}: online {} beat OPT {}",
+                ds.label(),
+                session.qoe.qoe,
+                opt.qoe
+            );
+        }
+    }
+}
+
+#[test]
+fn sessions_are_deterministic_end_to_end() {
+    let video = envivio_video();
+    let traces = Dataset::Synthetic.generate(5, 2);
+    let cfg = quick_cfg();
+    let a = evaluate_dataset(&Algo::FIGURE8, &traces, &video, &cfg);
+    let b = evaluate_dataset(&Algo::FIGURE8, &traces, &video, &cfg);
+    for (x, y) in a.traces.iter().zip(&b.traces) {
+        for (sx, sy) in x.sessions.iter().zip(&y.sessions) {
+            assert_eq!(sx.qoe.qoe, sy.qoe.qoe, "{}", sx.algorithm);
+            assert_eq!(sx.records.len(), sy.records.len());
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The public API a downstream user sees: everything reachable from the
+    // facade, composed without touching internal crates.
+    use mpc_dash::baselines::BufferBased;
+    let video = mpc_dash::video::envivio_video();
+    let trace = mpc_dash::trace::Trace::constant(1200.0, 60.0).unwrap();
+    let mut bb = BufferBased::paper_default();
+    let result = mpc_dash::sim::run_session(
+        &mut bb,
+        mpc_dash::predictor::HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &mpc_dash::sim::SimConfig::paper_default(),
+    );
+    assert_eq!(result.records.len(), 65);
+    assert!(result.qoe.qoe.is_finite());
+}

@@ -1,0 +1,100 @@
+//! Integration tests of the multi-player shared-bottleneck extension.
+
+use mpc_dash::baselines::{Festive, RateBased};
+use mpc_dash::core::Mpc;
+use mpc_dash::net::multiplayer::{jain_index, run_shared_session, SharedPlayer};
+use mpc_dash::predictor::HarmonicMean;
+use mpc_dash::sim::SimConfig;
+use mpc_dash::trace::{Dataset, Trace};
+use mpc_dash::video::envivio_video;
+
+fn hm() -> Box<HarmonicMean> {
+    Box::new(HarmonicMean::paper_default())
+}
+
+#[test]
+fn heterogeneous_mix_completes_and_accounts() {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let trace = Dataset::Fcc.generate(8, 1).remove(0).scaled(3.0);
+    let out = run_shared_session(
+        vec![
+            SharedPlayer {
+                controller: Box::new(Mpc::robust()),
+                predictor: hm(),
+                start_offset_secs: 0.0,
+            },
+            SharedPlayer {
+                controller: Box::new(RateBased::paper_default()),
+                predictor: hm(),
+                start_offset_secs: 1.0,
+            },
+            SharedPlayer {
+                controller: Box::new(Festive::paper_default()),
+                predictor: hm(),
+                start_offset_secs: 2.0,
+            },
+        ],
+        &trace,
+        &video,
+        &cfg,
+    );
+    assert_eq!(out.sessions.len(), 3);
+    for s in &out.sessions {
+        assert_eq!(s.records.len(), 65, "{}", s.algorithm);
+        assert!(s.qoe.qoe.is_finite());
+        for r in &s.records {
+            assert!(r.buffer_after_secs >= -1e-9 && r.buffer_after_secs <= 30.0 + 1e-9);
+        }
+    }
+    assert!(out.bitrate_fairness > 0.3 && out.bitrate_fairness <= 1.0 + 1e-12);
+    // The link never delivers more than its capacity over the span.
+    let capacity = trace.integrate_kbits(0.0, out.span_secs);
+    assert!(
+        out.delivered_kbits <= capacity + 1e-6 * capacity,
+        "delivered {} exceeds capacity {capacity}",
+        out.delivered_kbits
+    );
+}
+
+#[test]
+fn more_players_mean_less_each() {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let trace = Trace::constant(6000.0, 60.0).unwrap();
+    let mean_bitrate = |n: usize| -> f64 {
+        let players = (0..n)
+            .map(|i| SharedPlayer {
+                controller: Box::new(Mpc::robust()),
+                predictor: hm(),
+                start_offset_secs: i as f64,
+            })
+            .collect();
+        let out = run_shared_session(players, &trace, &video, &cfg);
+        out.sessions.iter().map(|s| s.avg_bitrate_kbps()).sum::<f64>() / n as f64
+    };
+    let two = mean_bitrate(2);
+    let four = mean_bitrate(4);
+    assert!(
+        four < two,
+        "four players ({four} kbps avg) must average less than two ({two} kbps)"
+    );
+}
+
+#[test]
+fn fairness_index_reflects_capacity_split() {
+    // Two identical FESTIVE players on a stable link: near-perfect Jain.
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let trace = Trace::constant(4000.0, 60.0).unwrap();
+    let players = (0..2)
+        .map(|i| SharedPlayer {
+            controller: Box::new(Festive::paper_default()),
+            predictor: hm(),
+            start_offset_secs: i as f64 * 2.0,
+        })
+        .collect();
+    let out = run_shared_session(players, &trace, &video, &cfg);
+    assert!(out.bitrate_fairness > 0.95, "{}", out.bitrate_fairness);
+    assert!((jain_index(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+}

@@ -1,0 +1,224 @@
+//! Qualitative claims from the paper's evaluation, checked in aggregate on
+//! seeded data. These encode the *shape* of the results — who wins, where,
+//! and why — rather than absolute numbers.
+
+use mpc_dash::harness::registry::{Algo, PredictorSpec};
+use mpc_dash::harness::runner::{evaluate_dataset, run_algo_session, EvalConfig};
+use mpc_dash::trace::Dataset;
+use mpc_dash::video::envivio_video;
+
+fn cfg() -> EvalConfig {
+    EvalConfig {
+        fastmpc_levels: 40,
+        ..EvalConfig::paper_default()
+    }
+}
+
+/// "RobustMPC outperforms existing algorithms in both broadband (FCC) and
+/// cellular (HSDPA) datasets" — Section 7.5, finding 1.
+#[test]
+fn robustmpc_wins_on_fcc_and_hsdpa() {
+    let video = envivio_video();
+    for ds in [Dataset::Fcc, Dataset::Hsdpa] {
+        let traces = ds.generate(42, 12);
+        let out = evaluate_dataset(&Algo::FIGURE8, &traces, &video, &cfg());
+        let robust = out.median_n_qoe(Algo::RobustMpc);
+        for other in [Algo::Rb, Algo::Bb, Algo::Festive, Algo::DashJs] {
+            assert!(
+                robust >= out.median_n_qoe(other),
+                "{}: RobustMPC {robust} vs {} {}",
+                ds.label(),
+                other.name(),
+                out.median_n_qoe(other)
+            );
+        }
+    }
+}
+
+/// "Regular FastMPC does not show advantage in cellular network due to high
+/// throughput instability" — Section 7.5, finding 1 (and Figure 8b).
+#[test]
+fn plain_fastmpc_loses_its_edge_on_cellular() {
+    let video = envivio_video();
+    let traces = Dataset::Hsdpa.generate(42, 12);
+    let out = evaluate_dataset(
+        &[Algo::FastMpc, Algo::RobustMpc, Algo::Bb],
+        &traces,
+        &video,
+        &cfg(),
+    );
+    // RobustMPC must clearly beat plain FastMPC under prediction error.
+    assert!(
+        out.median_n_qoe(Algo::RobustMpc) > out.median_n_qoe(Algo::FastMpc),
+        "robust {} vs fastmpc {}",
+        out.median_n_qoe(Algo::RobustMpc),
+        out.median_n_qoe(Algo::FastMpc)
+    );
+}
+
+/// "dash.js achieves low rebuffer time, but incurs many unnecessary
+/// switches" — Section 7.2.
+#[test]
+fn dashjs_switches_most_on_broadband() {
+    let video = envivio_video();
+    let traces = Dataset::Fcc.generate(42, 10);
+    let out = evaluate_dataset(&Algo::FIGURE8, &traces, &video, &cfg());
+    let avg_switches = |a: Algo| -> f64 {
+        let s = out.sessions_of(a);
+        s.iter().map(|r| r.qoe.switches as f64).sum::<f64>() / s.len() as f64
+    };
+    let dashjs = avg_switches(Algo::DashJs);
+    for other in [Algo::RobustMpc, Algo::Rb, Algo::Festive] {
+        assert!(
+            dashjs >= avg_switches(other),
+            "dash.js {dashjs} vs {} {}",
+            other.name(),
+            avg_switches(other)
+        );
+    }
+}
+
+/// "BB is unaffected [by prediction error] as it does not use any throughput
+/// information" — Section 7.3, Figure 11a.
+#[test]
+fn bb_is_invariant_to_prediction_error() {
+    let video = envivio_video();
+    let traces = Dataset::Synthetic.generate(9, 4);
+    let cfg = cfg();
+    for trace in &traces {
+        let base = run_algo_session(
+            Algo::Bb,
+            None,
+            PredictorSpec::Oracle(0.0),
+            1,
+            trace,
+            &video,
+            &cfg,
+        );
+        let noisy = run_algo_session(
+            Algo::Bb,
+            None,
+            PredictorSpec::Oracle(0.45),
+            2,
+            trace,
+            &video,
+            &cfg,
+        );
+        assert_eq!(
+            base.qoe.qoe, noisy.qoe.qoe,
+            "BB must ignore the predictor entirely"
+        );
+    }
+}
+
+/// "As prediction error grows, MPC can be even worse than BB" — Figure 11a's
+/// crossover.
+#[test]
+fn large_prediction_error_erodes_mpc_advantage() {
+    let video = envivio_video();
+    let traces = Dataset::Synthetic.generate(99, 10);
+    let cfg = cfg();
+    let mean = |algo: Algo, err: f64| -> f64 {
+        let total: f64 = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                run_algo_session(
+                    algo,
+                    None,
+                    PredictorSpec::Oracle(err),
+                    i as u64,
+                    t,
+                    &video,
+                    &cfg,
+                )
+                .qoe
+                .qoe
+            })
+            .sum();
+        total / traces.len() as f64
+    };
+    let mpc_good = mean(Algo::Mpc, 0.05);
+    let mpc_bad = mean(Algo::Mpc, 0.5);
+    assert!(
+        mpc_good > mpc_bad,
+        "more prediction error must hurt MPC: {mpc_good} vs {mpc_bad}"
+    );
+    // And the degradation must be material (the basis of the crossover).
+    assert!(
+        mpc_bad < 0.97 * mpc_good,
+        "degradation too small to ever cross over: {mpc_good} -> {mpc_bad}"
+    );
+}
+
+/// "A larger buffer protects the player against rebuffering... performances
+/// stay constant once buffer size reaches a certain level" — Figure 11c.
+#[test]
+fn bigger_buffers_help_then_saturate() {
+    let video = envivio_video();
+    let traces = Dataset::Hsdpa.generate(3, 8);
+    let mean_for = |bmax: f64| -> f64 {
+        let mut cfg = cfg();
+        cfg.sim.buffer_max_secs = bmax;
+        let total: f64 = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                run_algo_session(
+                    Algo::RobustMpc,
+                    None,
+                    PredictorSpec::Harmonic,
+                    i as u64,
+                    t,
+                    &video,
+                    &cfg,
+                )
+                .qoe
+                .qoe
+            })
+            .sum();
+        total / traces.len() as f64
+    };
+    let small = mean_for(8.0);
+    let medium = mean_for(30.0);
+    assert!(
+        medium > small,
+        "going from 8s to 30s of buffer must help: {small} vs {medium}"
+    );
+}
+
+/// Startup-delay credit makes every algorithm's life easier — Figure 11d's
+/// direction.
+#[test]
+fn longer_fixed_startup_improves_core_qoe() {
+    use mpc_dash::sim::StartupPolicy;
+    let video = envivio_video();
+    let traces = Dataset::Hsdpa.generate(8, 8);
+    let mean_excl = |ts: f64| -> f64 {
+        let mut cfg = cfg();
+        cfg.sim.startup = StartupPolicy::Fixed(ts);
+        let total: f64 = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = run_algo_session(
+                    Algo::Rb,
+                    None,
+                    PredictorSpec::Harmonic,
+                    i as u64,
+                    t,
+                    &video,
+                    &cfg,
+                );
+                r.qoe.qoe_excluding_startup(cfg.weights())
+            })
+            .sum();
+        total / traces.len() as f64
+    };
+    let short = mean_excl(2.0);
+    let long = mean_excl(10.0);
+    assert!(
+        long >= short,
+        "10s of startup credit must not hurt core QoE: {short} vs {long}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Generality across content shapes: the preset videos (fine HD ladder,
+//! low-latency live, VBR film) streamed end-to-end by the full algorithm
+//! roster. The paper evaluates only the Envivio clip; a library must not
+//! be overfitted to it.
+
+use mpc_dash::baselines::{BufferBased, DashJs, Festive, RateBased};
+use mpc_dash::core::{BitrateController, Mpc};
+use mpc_dash::fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use mpc_dash::predictor::HarmonicMean;
+use mpc_dash::sim::{run_session, SimConfig};
+use mpc_dash::trace::Dataset;
+use mpc_dash::video::presets;
+use std::sync::Arc;
+
+fn roster() -> Vec<Box<dyn BitrateController>> {
+    vec![
+        Box::new(RateBased::paper_default()),
+        Box::new(BufferBased::paper_default()),
+        Box::new(Festive::paper_default()),
+        Box::new(DashJs::paper_default()),
+        Box::new(Mpc::paper_default()),
+        Box::new(Mpc::robust()),
+    ]
+}
+
+#[test]
+fn hd_catalogue_with_fine_ladder_streams_cleanly() {
+    // An 8-level ladder exercises the horizon search's branching (8^5
+    // plans) and every baseline's level arithmetic.
+    let video = presets::hd_catalogue();
+    let trace = Dataset::Fcc.generate(8, 1).remove(0).scaled(2.0);
+    let cfg = SimConfig::paper_default();
+    for mut c in roster() {
+        let r = run_session(
+            c.as_mut(),
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+        );
+        assert_eq!(r.records.len(), 150, "{}", r.algorithm);
+        assert!(r.qoe.qoe.is_finite(), "{}", r.algorithm);
+        assert!(
+            r.avg_bitrate_kbps() >= 235.0,
+            "{}: {}",
+            r.algorithm,
+            r.avg_bitrate_kbps()
+        );
+    }
+}
+
+#[test]
+fn low_latency_live_with_small_buffer() {
+    let video = presets::low_latency_live();
+    let trace = Dataset::Hsdpa.generate(5, 1).remove(0);
+    let cfg = SimConfig {
+        buffer_max_secs: 8.0, // small live buffer
+        ..SimConfig::paper_default()
+    };
+    for mut c in roster() {
+        let r = run_session(
+            c.as_mut(),
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+        );
+        assert_eq!(r.records.len(), 90, "{}", r.algorithm);
+        for rec in &r.records {
+            assert!(rec.buffer_after_secs <= 8.0 + 1e-9, "{}", r.algorithm);
+        }
+    }
+}
+
+#[test]
+fn fastmpc_table_adapts_to_other_ladders() {
+    // The table pipeline must regenerate cleanly for non-Envivio ladders.
+    let video = presets::hd_catalogue();
+    let table = Arc::new(FastMpcTable::generate(
+        &video,
+        30.0,
+        TableConfig::with_levels(20, 30.0),
+    ));
+    assert_eq!(table.num_entries(), 20 * 8 * 20);
+    let trace = Dataset::Fcc.generate(3, 1).remove(0).scaled(2.0);
+    let mut c = FastMpc::new(table);
+    let r = run_session(
+        &mut c,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &SimConfig::paper_default(),
+    );
+    assert_eq!(r.records.len(), 150);
+    assert!(r.qoe.qoe.is_finite());
+}
+
+#[test]
+fn vbr_film_mpc_anticipates_big_chunks() {
+    // On VBR content the optimizer sees true per-chunk sizes; it must not
+    // rebuffer more than the rate-based baseline that only tracks
+    // throughput.
+    let video = presets::vbr_film();
+    let trace = Dataset::Synthetic.generate(4, 1).remove(0);
+    let cfg = SimConfig::paper_default();
+    let mut mpc = Mpc::robust();
+    let r_mpc = run_session(
+        &mut mpc,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &cfg,
+    );
+    let mut rb = RateBased::paper_default();
+    let r_rb = run_session(&mut rb, HarmonicMean::paper_default(), &trace, &video, &cfg);
+    assert!(
+        r_mpc.total_rebuffer_secs() <= r_rb.total_rebuffer_secs() + 1.0,
+        "MPC rebuffered {} vs RB {}",
+        r_mpc.total_rebuffer_secs(),
+        r_rb.total_rebuffer_secs()
+    );
+    assert!(r_mpc.qoe.qoe >= r_rb.qoe.qoe - 1000.0);
+}
