@@ -6,9 +6,10 @@
 
 use abr_baselines::{BufferBased, DashJs, Festive, RateBased};
 use abr_bench::{ctx, video};
-use abr_core::{BitrateController, Mpc};
+use abr_core::{optimize_first_with, BitrateController, HorizonScratch, Mpc};
 use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use abr_video::{LevelIdx, QoeWeights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,5 +46,38 @@ fn bench_decisions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decisions);
+/// The raw horizon solver through the reusable scratch buffer — the hot
+/// inner loop of both the online MPC controller and the offline table
+/// enumeration. Allocation-free after warm-up (proven by the `no_alloc`
+/// test in `abr-core`); horizon 9 exercises the branch-and-bound pruning
+/// where the search tree is ~5^9.
+fn bench_horizon_solver(c: &mut Criterion) {
+    let video = video();
+    let weights = QoeWeights::balanced();
+    let mut scratch = HorizonScratch::new();
+    let mut group = c.benchmark_group("horizon_solve");
+    group.measurement_time(Duration::from_secs(3));
+    for horizon in [5usize, 9] {
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(optimize_first_with(
+                    &mut scratch,
+                    &video,
+                    10 + (i % 40),
+                    h,
+                    (i % 30) as f64,
+                    30.0,
+                    Some(LevelIdx(i % 5)),
+                    400.0 + (i % 50) as f64 * 60.0,
+                    &weights,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions, bench_horizon_solver);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! binary-search lookup.
 
 use abr_bench::video;
-use abr_fastmpc::{FastMpcTable, Rle, TableConfig};
+use abr_fastmpc::{FastMpcTable, GenMode, Rle, TableConfig};
 use abr_video::LevelIdx;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -25,6 +25,52 @@ fn bench_generation(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// The three enumeration strategies at a fixed resolution — quantifies what
+/// parallel row fan-out and run-aware probing each buy. All three produce
+/// byte-identical tables.
+fn bench_generation_modes(c: &mut Criterion) {
+    let video = video();
+    let mut group = c.benchmark_group("table_generate_mode");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for (mode, name) in [
+        (GenMode::Sequential, "sequential"),
+        (GenMode::Parallel, "parallel"),
+        (GenMode::RunAware, "run_aware"),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                black_box(FastMpcTable::generate_with(
+                    &video,
+                    30.0,
+                    TableConfig::with_levels(50, 30.0),
+                    mode,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Binary vs JSON serialization of the paper-resolution table.
+fn bench_serialization(c: &mut Criterion) {
+    let video = video();
+    let table = FastMpcTable::generate(&video, 30.0, TableConfig::paper_default());
+    let bytes = table.to_bytes();
+    let json = table.to_json();
+    let mut group = c.benchmark_group("table_serialize");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("to_bytes", |b| b.iter(|| black_box(table.to_bytes())));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| black_box(FastMpcTable::from_bytes(&bytes).unwrap()))
+    });
+    group.bench_function("to_json", |b| b.iter(|| black_box(table.to_json())));
+    group.bench_function("from_json", |b| {
+        b.iter(|| black_box(FastMpcTable::from_json(&json).unwrap()))
+    });
     group.finish();
 }
 
@@ -88,5 +134,12 @@ fn bench_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_rle, bench_lookup);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_generation_modes,
+    bench_serialization,
+    bench_rle,
+    bench_lookup
+);
 criterion_main!(benches);

@@ -8,9 +8,21 @@
 //!
 //! The paper solves this with CPLEX offline; at the evaluation's problem
 //! sizes (`|R| = 5`, `N = 5` → 3125 plans) exact enumeration is cheap. We
-//! implement depth-first enumeration with an admissible upper-bound prune
-//! (remaining steps can contribute at most `q(R_max)` each), which keeps
-//! even the `N = 9` sensitivity sweep of Figure 12b exact and fast.
+//! implement depth-first branch-and-bound over a reusable scratch buffer
+//! ([`HorizonScratch`] — no heap allocation per node or per solve), warm-
+//! started with a greedy feasible plan and pruned by an admissible bound
+//! that folds the unavoidable switch penalty and the unavoidable rebuffer
+//! time into the optimistic estimate. This keeps even the `N = 9`
+//! sensitivity sweep of Figure 12b exact and fast.
+//!
+//! The search visits levels top-down and replaces the incumbent only on
+//! strict improvement, so it always returns the *first* optimal plan in
+//! that fixed order. Warm starts are backed off by [`BOUND_SLACK`] so they
+//! sit strictly below the optimum and can never displace that plan — the
+//! solver's output is bit-identical with or without a warm start, which is
+//! what lets FastMPC's run-aware table generation (`abr-fastmpc`) reuse
+//! neighbouring solutions as hints ([`confirm_first_with`]) while promising
+//! byte-identical tables.
 //!
 //! **RobustMPC** (Section 4.3) maximizes worst-case QoE over a throughput
 //! interval `[Ĉ_lo, Ĉ_hi]`. By Theorem 1 the inner minimum is attained at
@@ -117,14 +129,326 @@ pub fn plan_qoe(
     qoe
 }
 
+/// Back-off applied to warm-start incumbent values so they sit strictly
+/// below the optimum even under floating-point rounding of the bound
+/// arithmetic. QoE values in this model are O(10³)–O(10⁵), so 10⁻⁶ is
+/// ~10⁴ × the accumulated rounding noise while being far too small to cost
+/// measurable pruning.
+pub const BOUND_SLACK: f64 = 1e-6;
+
+/// Reusable workspace for [`optimize_first_with`] / [`confirm_first_with`].
+///
+/// Holding one of these across solves makes the horizon search completely
+/// allocation-free after the first use at a given horizon/ladder size: the
+/// DFS writes plan prefixes into pre-sized buffers instead of cloning a
+/// `Vec` per improving node, and the per-level quality and minimum-size
+/// tables are rebuilt in place.
+#[derive(Debug, Clone, Default)]
+pub struct HorizonScratch {
+    best: Vec<LevelIdx>,
+    current: Vec<LevelIdx>,
+    level_q: Vec<f64>,
+    min_suffix_kbits: Vec<f64>,
+}
+
+impl HorizonScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full optimal plan left behind by the most recent solve (length =
+    /// the clipped horizon of that solve). Empty before the first solve.
+    pub fn plan(&self) -> &[LevelIdx] {
+        &self.best
+    }
+}
+
+/// The branch-and-bound state. Borrows all buffers from a
+/// [`HorizonScratch`]; the recursion allocates nothing.
+struct Search<'a> {
+    video: &'a Video,
+    weights: &'a QoeWeights,
+    start: usize,
+    len: usize,
+    buffer_max: f64,
+    throughput: f64,
+    lambda: f64,
+    mu: f64,
+    chunk_secs: f64,
+    q_max: f64,
+    level_q: &'a [f64],
+    min_suffix_kbits: &'a [f64],
+    best_qoe: f64,
+    best: &'a mut Vec<LevelIdx>,
+    current: &'a mut Vec<LevelIdx>,
+}
+
+impl Search<'_> {
+    /// Admissible upper bound on the total QoE contribution of the chunks
+    /// below `depth`, given the buffer level and the quality of the chunk
+    /// just placed.
+    ///
+    /// Two ingredients, each individually an over-estimate, so their sum is
+    /// too. **Quality minus unavoidable switching**: a future plan whose
+    /// best per-chunk quality is `q_l` earns at most `remaining · q_l` and,
+    /// by the triangle inequality on the switch terms, pays at least
+    /// `λ · |q_l − prev_q|` to visit that level; maximize over the ladder.
+    /// **Unavoidable rebuffering**: downloading even the smallest remaining
+    /// chunks takes `min_suffix / C` seconds while the buffer supplies at
+    /// most `buffer + (remaining − 1) · L` seconds of playback before the
+    /// last chunk lands (telescoping Eqs. (1)–(4); the `B_max` cap only
+    /// removes buffer, so ignoring it keeps the bound admissible).
+    #[inline]
+    fn bound(&self, depth: usize, buffer: f64, prev_q: Option<f64>) -> f64 {
+        let remaining = (self.len - depth) as f64;
+        let quality = match prev_q {
+            None => remaining * self.q_max,
+            Some(p) => {
+                let mut b = f64::NEG_INFINITY;
+                for &q in self.level_q {
+                    let cand = remaining * q - self.lambda * (q - p).abs();
+                    if cand > b {
+                        b = cand;
+                    }
+                }
+                b
+            }
+        };
+        let min_dl_secs = self.min_suffix_kbits[depth] / self.throughput;
+        let rebuf_min = (min_dl_secs - buffer - (remaining - 1.0) * self.chunk_secs).max(0.0);
+        quality - self.mu * rebuf_min
+    }
+
+    /// Greedy one-step-lookahead descent: the QoE of a feasible plan,
+    /// accumulated with the exact same floating-point operations the DFS
+    /// would use along that path. Only the value is kept — it seeds the
+    /// incumbent so the search starts pruning from node one.
+    fn greedy_value(&self, buffer: f64, prev_q: Option<f64>) -> f64 {
+        let mut qoe = 0.0;
+        let mut buf = buffer;
+        let mut pq = prev_q;
+        for depth in 0..self.len {
+            let k = self.start + depth;
+            let mut best_gain = f64::NEG_INFINITY;
+            let mut best_next = buf;
+            let mut best_q = 0.0;
+            for li in (0..self.level_q.len()).rev() {
+                let level = LevelIdx(li);
+                let dl = self.video.chunk_size_kbits(k, level) / self.throughput;
+                let step = advance_buffer(buf, dl, self.video.chunk_secs(), self.buffer_max);
+                let q = self.level_q[li];
+                let switch = pq.map_or(0.0, |p| (q - p).abs());
+                let gain = self.weights.chunk_contribution(q, switch, step.rebuffer_secs);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_next = step.next_buffer_secs;
+                    best_q = q;
+                }
+            }
+            qoe += best_gain;
+            buf = best_next;
+            pq = Some(best_q);
+        }
+        qoe
+    }
+
+    /// Depth-first branch-and-bound. Iterates levels from the top down and
+    /// replaces the incumbent only on strict improvement, so the final
+    /// `best` is the first optimal plan in that fixed enumeration order —
+    /// independent of the incumbent value the search started from (as long
+    /// as it is strictly below the optimum).
+    fn dfs(&mut self, depth: usize, buffer: f64, prev_q: Option<f64>, qoe: f64) {
+        if depth == self.len {
+            if qoe > self.best_qoe {
+                self.best_qoe = qoe;
+                self.best[..self.len].copy_from_slice(&self.current[..self.len]);
+            }
+            return;
+        }
+        if qoe + self.bound(depth, buffer, prev_q) <= self.best_qoe {
+            return;
+        }
+        let k = self.start + depth;
+        for li in (0..self.level_q.len()).rev() {
+            let level = LevelIdx(li);
+            let dl = self.video.chunk_size_kbits(k, level) / self.throughput;
+            let step = advance_buffer(buffer, dl, self.video.chunk_secs(), self.buffer_max);
+            let q = self.level_q[li];
+            let switch = prev_q.map_or(0.0, |p| (q - p).abs());
+            let gain = self.weights.chunk_contribution(q, switch, step.rebuffer_secs);
+            self.current[depth] = level;
+            self.dfs(depth + 1, step.next_buffer_secs, Some(q), qoe + gain);
+        }
+    }
+}
+
+/// Validates arguments, sizes the scratch buffers, and assembles a
+/// [`Search`] over them. Returns the search and the clipped horizon.
+fn prepare<'a>(
+    scratch: &'a mut HorizonScratch,
+    video: &'a Video,
+    start: usize,
+    horizon: usize,
+    buffer_max_secs: f64,
+    throughput_kbps: f64,
+    weights: &'a QoeWeights,
+) -> Search<'a> {
+    assert!(horizon > 0, "horizon must be positive");
+    assert!(start < video.num_chunks(), "start chunk beyond video end");
+    assert!(
+        throughput_kbps > 0.0 && throughput_kbps.is_finite(),
+        "throughput must be positive, got {throughput_kbps}"
+    );
+    let len = horizon.min(video.num_chunks() - start);
+    let num_levels = video.ladder().len();
+    let HorizonScratch {
+        best,
+        current,
+        level_q,
+        min_suffix_kbits,
+    } = scratch;
+    level_q.clear();
+    for li in 0..num_levels {
+        level_q.push(weights.q(video.ladder().kbps(LevelIdx(li))));
+    }
+    best.clear();
+    best.resize(len, LevelIdx(0));
+    current.clear();
+    current.resize(len, LevelIdx(0));
+    // min_suffix_kbits[d] = total size of the cheapest encoding of chunks
+    // start+d .. start+len-1 — the floor on future download work feeding
+    // the rebuffer part of the bound.
+    min_suffix_kbits.clear();
+    min_suffix_kbits.resize(len, 0.0);
+    let mut acc = 0.0;
+    for d in (0..len).rev() {
+        let k = start + d;
+        let mut min_size = f64::INFINITY;
+        for li in 0..num_levels {
+            min_size = min_size.min(video.chunk_size_kbits(k, LevelIdx(li)));
+        }
+        acc += min_size;
+        min_suffix_kbits[d] = acc;
+    }
+    Search {
+        video,
+        weights,
+        start,
+        len,
+        buffer_max: buffer_max_secs,
+        throughput: throughput_kbps,
+        lambda: weights.lambda,
+        mu: weights.mu,
+        chunk_secs: video.chunk_secs(),
+        q_max: weights.q(video.ladder().max_kbps()),
+        level_q,
+        min_suffix_kbits,
+        best_qoe: f64::NEG_INFINITY,
+        best,
+        current,
+    }
+}
+
+/// The allocation-free horizon solve: identical semantics to
+/// [`optimize_horizon`] but writing the plan into `scratch` (read it back
+/// via [`HorizonScratch::plan`]) and returning only the receding-horizon
+/// output — the first level — plus the optimal QoE.
+///
+/// This is the online hot path: MPC and RobustMPC call it once per chunk,
+/// table generation calls it tens of thousands of times per table.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_first_with(
+    scratch: &mut HorizonScratch,
+    video: &Video,
+    start: usize,
+    horizon: usize,
+    buffer_secs: f64,
+    buffer_max_secs: f64,
+    prev_level: Option<LevelIdx>,
+    throughput_kbps: f64,
+    weights: &QoeWeights,
+) -> (LevelIdx, f64) {
+    let prev_q = prev_level.map(|l| weights.q(video.ladder().kbps(l)));
+    let mut s = prepare(
+        scratch,
+        video,
+        start,
+        horizon,
+        buffer_max_secs,
+        throughput_kbps,
+        weights,
+    );
+    // Warm-start from a greedy feasible plan, backed off below the optimum.
+    s.best_qoe = s.greedy_value(buffer_secs, prev_q) - BOUND_SLACK;
+    s.dfs(0, buffer_secs, prev_q, 0.0);
+    let qoe = s.best_qoe;
+    (scratch.best[0], qoe)
+}
+
+/// Hint-seeded variant of [`optimize_first_with`]: warm-starts the search
+/// from `hint` — any feasible plan of the clipped horizon's length, e.g.
+/// the optimum of a neighbouring FastMPC scenario — and from the greedy
+/// plan, whichever scores higher.
+///
+/// Output is **bit-identical** to the unhinted solve regardless of hint
+/// quality: the incumbent seed is a real plan's value backed off by
+/// [`BOUND_SLACK`], hence strictly below the optimum, so the search still
+/// reaches (and keeps) the same first-in-order optimal plan. A good hint
+/// only makes the proof of optimality cheaper. Panics if `hint.len()`
+/// differs from the clipped horizon.
+#[allow(clippy::too_many_arguments)]
+pub fn confirm_first_with(
+    scratch: &mut HorizonScratch,
+    video: &Video,
+    start: usize,
+    horizon: usize,
+    buffer_secs: f64,
+    buffer_max_secs: f64,
+    prev_level: Option<LevelIdx>,
+    throughput_kbps: f64,
+    weights: &QoeWeights,
+    hint: &[LevelIdx],
+) -> (LevelIdx, f64) {
+    let v_hint = plan_qoe(
+        video,
+        start,
+        hint,
+        buffer_secs,
+        buffer_max_secs,
+        prev_level,
+        throughput_kbps,
+        weights,
+    );
+    let prev_q = prev_level.map(|l| weights.q(video.ladder().kbps(l)));
+    let mut s = prepare(
+        scratch,
+        video,
+        start,
+        horizon,
+        buffer_max_secs,
+        throughput_kbps,
+        weights,
+    );
+    assert_eq!(
+        hint.len(),
+        s.len,
+        "hint length must equal the clipped horizon"
+    );
+    let v_greedy = s.greedy_value(buffer_secs, prev_q);
+    s.best_qoe = v_hint.max(v_greedy) - BOUND_SLACK;
+    s.dfs(0, buffer_secs, prev_q, 0.0);
+    let qoe = s.best_qoe;
+    (scratch.best[0], qoe)
+}
+
 /// Exactly solves `QOE_MAX_STEADY(start .. start + horizon - 1)` for a
 /// constant predicted throughput: the optimal bitrate plan and its QoE.
 ///
-/// The horizon is clipped at the end of the video. Depth-first enumeration
-/// with branch-and-bound: a partial plan is abandoned when even gaining the
-/// maximum per-chunk quality for every remaining chunk cannot beat the best
-/// complete plan found so far (switch and rebuffer penalties are
-/// non-negative, so `q(R_max)` per remaining step is an admissible bound).
+/// The horizon is clipped at the end of the video. Convenience wrapper
+/// around [`optimize_first_with`] that materializes the full plan; callers
+/// on a hot path should hold a [`HorizonScratch`] and use
+/// [`optimize_first_with`] directly to avoid the plan allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn optimize_horizon(
     video: &Video,
@@ -136,79 +460,21 @@ pub fn optimize_horizon(
     throughput_kbps: f64,
     weights: &QoeWeights,
 ) -> HorizonPlan {
-    assert!(horizon > 0, "horizon must be positive");
-    assert!(start < video.num_chunks(), "start chunk beyond video end");
-    assert!(
-        throughput_kbps > 0.0 && throughput_kbps.is_finite(),
-        "throughput must be positive, got {throughput_kbps}"
-    );
-    let len = horizon.min(video.num_chunks() - start);
-    let q_max = weights.q(video.ladder().max_kbps());
-
-    struct Search<'a> {
-        video: &'a Video,
-        weights: &'a QoeWeights,
-        start: usize,
-        len: usize,
-        buffer_max: f64,
-        throughput: f64,
-        q_max: f64,
-        best_qoe: f64,
-        best: Vec<LevelIdx>,
-        current: Vec<LevelIdx>,
-    }
-
-    impl Search<'_> {
-        fn dfs(&mut self, depth: usize, buffer: f64, prev_q: Option<f64>, qoe: f64) {
-            if depth == self.len {
-                if qoe > self.best_qoe {
-                    self.best_qoe = qoe;
-                    self.best = self.current.clone();
-                }
-                return;
-            }
-            // Admissible bound: every remaining step contributes <= q_max.
-            let remaining = (self.len - depth) as f64;
-            if qoe + remaining * self.q_max <= self.best_qoe {
-                return;
-            }
-            let k = self.start + depth;
-            // Iterate from the top level down: good plans tend to sit high,
-            // which tightens the bound early.
-            for level in self.video.ladder().iter().rev() {
-                let dl = self.video.chunk_size_kbits(k, level) / self.throughput;
-                let step =
-                    advance_buffer(buffer, dl, self.video.chunk_secs(), self.buffer_max);
-                let q = self.weights.q(self.video.ladder().kbps(level));
-                let switch = prev_q.map_or(0.0, |p| (q - p).abs());
-                let gain = self
-                    .weights
-                    .chunk_contribution(q, switch, step.rebuffer_secs);
-                self.current.push(level);
-                self.dfs(depth + 1, step.next_buffer_secs, Some(q), qoe + gain);
-                self.current.pop();
-            }
-        }
-    }
-
-    let mut s = Search {
+    let mut scratch = HorizonScratch::new();
+    let (_, qoe) = optimize_first_with(
+        &mut scratch,
         video,
-        weights,
         start,
-        len,
-        buffer_max: buffer_max_secs,
-        throughput: throughput_kbps,
-        q_max,
-        best_qoe: f64::NEG_INFINITY,
-        best: Vec::new(),
-        current: Vec::with_capacity(len),
-    };
-    let prev_q = prev_level.map(|l| weights.q(video.ladder().kbps(l)));
-    s.dfs(0, buffer_secs, prev_q, 0.0);
-    debug_assert_eq!(s.best.len(), len);
+        horizon,
+        buffer_secs,
+        buffer_max_secs,
+        prev_level,
+        throughput_kbps,
+        weights,
+    );
     HorizonPlan {
-        qoe: s.best_qoe,
-        levels: s.best,
+        qoe,
+        levels: scratch.best,
     }
 }
 
@@ -282,13 +548,18 @@ pub fn optimize_startup(
 pub struct Mpc {
     cfg: MpcConfig,
     name: &'static str,
+    scratch: HorizonScratch,
 }
 
 impl Mpc {
     /// Regular MPC with the given configuration (name "MPC").
     pub fn new(cfg: MpcConfig) -> Self {
         let name = if cfg.robust { "RobustMPC" } else { "MPC" };
-        Self { cfg, name }
+        Self {
+            cfg,
+            name,
+            scratch: HorizonScratch::new(),
+        }
     }
 
     /// The paper's regular MPC configuration.
@@ -347,7 +618,10 @@ impl BitrateController for Mpc {
                 startup_wait_secs: Some(ts),
             };
         }
-        let plan = optimize_horizon(
+        // Steady state: solve in the controller-owned scratch — no heap
+        // allocation per decision.
+        let (level, _) = optimize_first_with(
+            &mut self.scratch,
             ctx.video,
             ctx.chunk_index,
             self.cfg.horizon,
@@ -357,7 +631,7 @@ impl BitrateController for Mpc {
             throughput,
             &self.cfg.weights,
         );
-        Decision::level(plan.first())
+        Decision::level(level)
     }
 }
 
@@ -578,6 +852,57 @@ mod tests {
     }
 
     #[test]
+    fn scratch_solver_matches_wrapper_and_reuses_across_sizes() {
+        let v = envivio_video();
+        let w = weights();
+        let mut scratch = HorizonScratch::new();
+        // Alternate horizons and start positions so the scratch is resized
+        // up and down; every solve must agree with the allocating wrapper.
+        for (start, horizon, buffer, c) in [
+            (0usize, 5usize, 10.0, 1500.0),
+            (63, 5, 4.0, 700.0), // clips to 2 chunks
+            (10, 9, 22.0, 2600.0),
+            (30, 1, 0.0, 150.0),
+            (5, 7, 30.0, 9000.0),
+        ] {
+            let plan = optimize_horizon(&v, start, horizon, buffer, 30.0, None, c, &w);
+            let (first, qoe) = optimize_first_with(
+                &mut scratch,
+                &v,
+                start,
+                horizon,
+                buffer,
+                30.0,
+                None,
+                c,
+                &w,
+            );
+            assert_eq!(first, plan.first());
+            assert_eq!(qoe.to_bits(), plan.qoe.to_bits(), "qoe must be bit-identical");
+            assert_eq!(scratch.plan(), &plan.levels[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hint length")]
+    fn confirm_rejects_wrong_hint_length() {
+        let v = envivio_video();
+        let mut scratch = HorizonScratch::new();
+        confirm_first_with(
+            &mut scratch,
+            &v,
+            0,
+            5,
+            10.0,
+            30.0,
+            None,
+            1000.0,
+            &weights(),
+            &[LevelIdx(0); 3],
+        );
+    }
+
+    #[test]
     fn names_follow_configuration() {
         assert_eq!(Mpc::paper_default().name(), "MPC");
         assert_eq!(Mpc::robust().name(), "RobustMPC");
@@ -606,6 +931,41 @@ mod tests {
             // The reported plan really achieves the reported value.
             let recomputed = plan_qoe(&v, start, &fast.levels, buffer, 30.0, prev, c, &w);
             prop_assert!((recomputed - fast.qoe).abs() < 1e-9);
+        }
+
+        /// A hint-seeded solve is bit-identical to the cold solve no matter
+        /// how bad the hint plan is (the property the run-aware FastMPC
+        /// table generation relies on).
+        #[test]
+        fn confirm_matches_cold_solve_for_any_hint(
+            buffer in 0.0f64..30.0,
+            c in 100.0f64..8000.0,
+            prev in proptest::option::of(0usize..5),
+            start in 0usize..60,
+            horizon in 1usize..6,
+            hint_code in 0usize..3125,
+        ) {
+            let v = envivio_video();
+            let w = weights();
+            let prev = prev.map(LevelIdx);
+            let len = horizon.min(v.num_chunks() - start);
+            let mut rem = hint_code;
+            let hint: Vec<LevelIdx> = (0..len)
+                .map(|_| {
+                    let l = rem % 5;
+                    rem /= 5;
+                    LevelIdx(l)
+                })
+                .collect();
+            let mut cold = HorizonScratch::new();
+            let (first_cold, qoe_cold) =
+                optimize_first_with(&mut cold, &v, start, horizon, buffer, 30.0, prev, c, &w);
+            let mut hinted = HorizonScratch::new();
+            let (first_hint, qoe_hint) = confirm_first_with(
+                &mut hinted, &v, start, horizon, buffer, 30.0, prev, c, &w, &hint);
+            prop_assert_eq!(first_hint, first_cold);
+            prop_assert_eq!(qoe_hint.to_bits(), qoe_cold.to_bits());
+            prop_assert_eq!(hinted.plan(), cold.plan());
         }
 
         /// Theorem 1's engine: for any fixed plan, QoE is non-decreasing in

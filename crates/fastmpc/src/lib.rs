@@ -21,16 +21,26 @@
 //! 100 throughput bins) the table has exactly the 50,000 rows of Figure 5.
 //! Table-size accounting for Table 1 is provided by
 //! [`FastMpcTable::full_size_bytes`] and [`FastMpcTable::rle_size_bytes`].
+//!
+//! The enumeration pipeline is parallel and run-aware: (buffer, previous
+//! level) rows fan out across threads via `abr-par`, and within a row a
+//! divide-and-conquer pass over the throughput axis settles candidate runs
+//! with cheap hint-seeded solves ([`GenMode`]). Every mode is byte-identical
+//! to the sequential reference. Tables ship either as JSON
+//! ([`FastMpcTable::to_json`]) or as the compact binary format
+//! ([`FastMpcTable::to_bytes`], [`codec`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bins;
+pub mod codec;
 mod controller;
 mod rle;
 mod table;
 
 pub use bins::BinSpec;
+pub use codec::CodecError;
 pub use controller::FastMpc;
 pub use rle::Rle;
-pub use table::{FastMpcTable, TableConfig};
+pub use table::{FastMpcTable, GenMode, TableConfig};

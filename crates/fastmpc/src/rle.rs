@@ -87,6 +87,25 @@ impl Rle {
     pub fn size_bytes(&self) -> usize {
         self.starts.len() * std::mem::size_of::<u32>() + self.values.len()
     }
+
+    /// Raw parts for the binary codec: `(run starts, run values, length)`.
+    pub(crate) fn parts(&self) -> (&[u32], &[u8], u32) {
+        (&self.starts, &self.values, self.len)
+    }
+
+    /// Reassembles from raw parts. The caller (the binary codec) is
+    /// responsible for having validated the invariants: equally many starts
+    /// and values, starts strictly increasing from 0, all below `len`.
+    pub(crate) fn from_parts(starts: Vec<u32>, values: Vec<u8>, len: u32) -> Self {
+        debug_assert_eq!(starts.len(), values.len());
+        debug_assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(len == 0 || (starts.first() == Some(&0)));
+        Self {
+            starts,
+            values,
+            len,
+        }
+    }
 }
 
 #[cfg(test)]

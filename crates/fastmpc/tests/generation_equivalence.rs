@@ -1,0 +1,81 @@
+//! Property test: every generation strategy — parallel rows, run-aware
+//! divide-and-conquer — produces a table byte-identical to the sequential
+//! reference, across randomized ladders, bin resolutions (including the
+//! degenerate 1-bin case), horizons, and VBR size profiles.
+
+use abr_fastmpc::{BinSpec, FastMpcTable, GenMode, TableConfig};
+use abr_video::{Ladder, QoeWeights, VideoBuilder};
+use proptest::prelude::*;
+
+/// A strictly increasing bitrate ladder built from a base rate and
+/// multiplicative steps.
+fn ladder_strategy() -> impl Strategy<Value = Ladder> {
+    (
+        100.0f64..600.0,
+        proptest::collection::vec(1.2f64..2.2, 1..4),
+    )
+        .prop_map(|(base, steps)| {
+            let mut levels = vec![base];
+            for s in steps {
+                levels.push(levels.last().unwrap() * s);
+            }
+            Ladder::new(levels).expect("constructed strictly increasing")
+        })
+}
+
+proptest! {
+    // Each case generates three full tables (plus, in debug builds, the
+    // run-aware path's internal re-derivation), so keep the case count low
+    // and the dimensions small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential, parallel and run-aware enumeration agree byte for byte.
+    #[test]
+    fn all_modes_agree(
+        ladder in ladder_strategy(),
+        buffer_bins in 1usize..8,
+        throughput_bins in 1usize..8,
+        horizon in 1usize..5,
+        vbr_swing in 0.0f64..0.4,
+    ) {
+        let video = VideoBuilder::new(ladder)
+            .chunks(10)
+            .chunk_secs(4.0)
+            .vbr(|k| 1.0 + vbr_swing * if k % 2 == 0 { 1.0 } else { -1.0 });
+        let cfg = TableConfig {
+            buffer_bins: BinSpec::linear(buffer_bins, 0.0, 30.0),
+            throughput_bins: BinSpec::log(throughput_bins, 100.0, 10_000.0),
+            horizon,
+            weights: QoeWeights::balanced(),
+        };
+        let seq = FastMpcTable::generate_with(&video, 30.0, cfg.clone(), GenMode::Sequential);
+        let par = FastMpcTable::generate_with(&video, 30.0, cfg.clone(), GenMode::Parallel);
+        let ra = FastMpcTable::generate_with(&video, 30.0, cfg, GenMode::RunAware);
+        prop_assert_eq!(&seq, &par, "parallel diverged from sequential");
+        prop_assert_eq!(&seq, &ra, "run-aware diverged from sequential");
+        // The serialized artifacts must match too — both JSON and binary.
+        prop_assert_eq!(seq.to_json(), ra.to_json());
+        prop_assert_eq!(seq.to_bytes(), ra.to_bytes());
+    }
+
+    /// The binary codec round-trips every randomly generated table.
+    #[test]
+    fn binary_codec_round_trips(
+        ladder in ladder_strategy(),
+        bins in 1usize..8,
+        horizon in 1usize..5,
+    ) {
+        let video = VideoBuilder::new(ladder).chunks(10).chunk_secs(4.0).cbr();
+        let cfg = TableConfig {
+            buffer_bins: BinSpec::linear(bins, 0.0, 30.0),
+            throughput_bins: BinSpec::log(bins, 100.0, 10_000.0),
+            horizon,
+            weights: QoeWeights::balanced(),
+        };
+        let t = FastMpcTable::generate_with(&video, 30.0, cfg, GenMode::RunAware);
+        let bytes = t.to_bytes();
+        prop_assert_eq!(bytes.len(), t.binary_size_bytes());
+        let back = FastMpcTable::from_bytes(&bytes).expect("round trip decodes");
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,7 +1,7 @@
 //! The experiment CLI — regenerates every table and figure of Section 7.
 //!
 //! ```text
-//! abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick]
+//! abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T]
 //! ```
 //!
 //! Commands: `fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig11d fig12a
@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -37,7 +37,9 @@ options:
   --traces N   traces per dataset (default 100)
   --seed S     RNG seed (default 42)
   --out DIR    also write CSV series under DIR
-  --quick      smaller sweeps for a fast smoke run";
+  --quick      smaller sweeps for a fast smoke run
+  --threads T  worker threads for parallel sections (default: the
+               ABR_THREADS environment variable if set, else all cores)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -66,6 +68,17 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                 opts.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
             "--quick" => opts.quick = true,
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_string())?;
+                if t == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                opts.threads = Some(t);
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -136,7 +149,8 @@ mod tests {
     #[test]
     fn parses_command_and_options() {
         let (cmd, opts) = parse(&args(&[
-            "fig8", "--traces", "25", "--seed", "7", "--quick", "--out", "/tmp/x",
+            "fig8", "--traces", "25", "--seed", "7", "--quick", "--out", "/tmp/x", "--threads",
+            "4",
         ]))
         .unwrap();
         assert_eq!(cmd, "fig8");
@@ -144,6 +158,7 @@ mod tests {
         assert_eq!(opts.seed, 7);
         assert!(opts.quick);
         assert_eq!(opts.out.as_deref().unwrap().to_str().unwrap(), "/tmp/x");
+        assert_eq!(opts.threads, Some(4));
     }
 
     #[test]
@@ -162,6 +177,8 @@ mod tests {
         assert!(parse(&args(&["fig8", "--traces"])).is_err());
         assert!(parse(&args(&["fig8", "--traces", "abc"])).is_err());
         assert!(parse(&args(&["fig8", "--traces", "0"])).is_err());
+        assert!(parse(&args(&["fig8", "--threads", "0"])).is_err());
+        assert!(parse(&args(&["fig8", "--threads", "many"])).is_err());
         assert!(parse(&args(&["fig8", "--bogus"])).is_err());
         assert!(parse(&args(&["fig8", "extra-command"])).is_err());
     }
@@ -186,6 +203,8 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Applies to every parallel section: trace grids and table generation.
+    abr_par::set_max_threads(opts.threads);
     let start = Instant::now();
     match run_command(&cmd, &opts) {
         Ok(report) => {

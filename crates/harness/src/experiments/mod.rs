@@ -27,6 +27,9 @@ pub struct ExpOptions {
     pub out: Option<PathBuf>,
     /// Quick mode: smaller sweeps for smoke runs.
     pub quick: bool,
+    /// Worker-thread cap for parallel sections (`None` = `ABR_THREADS`
+    /// environment variable if set, else all cores). Set from `--threads`.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -36,6 +39,7 @@ impl Default for ExpOptions {
             seed: 42,
             out: None,
             quick: false,
+            threads: None,
         }
     }
 }

@@ -9,6 +9,7 @@ use super::ExpOptions;
 use crate::registry::Algo;
 use crate::report::{write_csv, Table};
 use abr_core::ControllerContext;
+use abr_fastmpc::{FastMpcTable, GenMode, TableConfig};
 use abr_video::{envivio_video, LevelIdx, QoeWeights};
 use std::time::Instant;
 
@@ -17,9 +18,39 @@ pub fn run(opts: &ExpOptions) -> String {
     let video = envivio_video();
     let weights = QoeWeights::balanced();
     let levels = if opts.quick { 30 } else { 100 };
-    let t_gen = Instant::now();
-    let table = Algo::default_table(&video, 30.0, &weights, levels);
-    let gen_secs = t_gen.elapsed().as_secs_f64();
+
+    // Offline table generation: the sequential reference vs the parallel
+    // and run-aware pipelines (all byte-identical; see GenMode).
+    let mut gen = Table::new(
+        "§7.4 overhead: offline table generation",
+        &["mode", "seconds", "speedup vs sequential"],
+    );
+    let mut table = None;
+    let mut seq_secs = 0.0;
+    for (mode, name) in [
+        (GenMode::Sequential, "sequential"),
+        (GenMode::Parallel, "parallel rows"),
+        (GenMode::RunAware, "parallel + run-aware"),
+    ] {
+        let cfg = TableConfig {
+            weights: weights.clone(),
+            ..TableConfig::with_levels(levels, 30.0)
+        };
+        let t0 = Instant::now();
+        let t = FastMpcTable::generate_with(&video, 30.0, cfg, mode);
+        let secs = t0.elapsed().as_secs_f64();
+        if mode == GenMode::Sequential {
+            seq_secs = secs;
+        }
+        gen.row(vec![
+            name.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.2}x", seq_secs / secs.max(1e-12)),
+        ]);
+        table = Some(t);
+    }
+    write_csv(opts.out.as_deref(), "overhead_tablegen", &gen).expect("csv write");
+    let table = std::sync::Arc::new(table.expect("generated above"));
 
     let algos = [
         Algo::Rb,
@@ -76,14 +107,17 @@ pub fn run(opts: &ExpOptions) -> String {
         "decision table, run-length coded".to_string(),
         table.rle_size_bytes().to_string(),
     ]);
+    mem.row(vec![
+        "decision table, binary serialization".to_string(),
+        table.binary_size_bytes().to_string(),
+    ]);
+    mem.row(vec![
+        "decision table, JSON serialization".to_string(),
+        table.to_json().len().to_string(),
+    ]);
     write_csv(opts.out.as_deref(), "overhead_memory", &mem).expect("csv write");
 
-    format!(
-        "{}\n{}\n(table generated offline in {:.2} s)\n",
-        t.render(),
-        mem.render(),
-        gen_secs
-    )
+    format!("{}\n{}\n{}", gen.render(), t.render(), mem.render())
 }
 
 #[cfg(test)]
@@ -99,5 +133,8 @@ mod tests {
         assert!(s.contains("ns/decision"));
         assert!(s.contains("FastMPC"));
         assert!(s.contains("run-length coded"));
+        assert!(s.contains("binary serialization"));
+        assert!(s.contains("parallel + run-aware"));
+        assert!(s.contains("speedup vs sequential"));
     }
 }

@@ -145,57 +145,11 @@ pub fn run_algo_session(
     }
 }
 
-/// A minimal fork-join parallel map over trace indices (uses every core;
-/// degrades gracefully to serial on single-core machines).
-pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<_> = out.iter_mut().map(parking_slot).collect();
-    // Hand each worker the full slot list behind a mutex-free protocol:
-    // workers claim indices via the atomic counter and write disjoint slots.
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            let f = &f;
-            let next = &next;
-            let slots = &slots;
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                // SAFETY-free: each index is claimed exactly once, so each
-                // cell is written by exactly one thread.
-                slots[i].set(value);
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter()
-        .map(|slot| slot.expect("every index was processed"))
-        .collect()
-}
-
-/// A write-once cell wrapper so disjoint `&mut Option<T>` slots can be
-/// distributed across threads without unsafe code.
-struct Slot<'a, T>(std::sync::Mutex<&'a mut Option<T>>);
-
-impl<T> Slot<'_, T> {
-    fn set(&self, value: T) {
-        **self.0.lock().expect("slot lock poisoned") = Some(value);
-    }
-}
-
-fn parking_slot<T>(slot: &mut Option<T>) -> Slot<'_, T> {
-    Slot(std::sync::Mutex::new(slot))
-}
+/// Fork-join parallel map over trace indices. Re-exported from `abr-par`
+/// (the same substrate the FastMPC table generator fans rows across), so the
+/// `--threads` flag and the `ABR_THREADS` environment variable govern every
+/// parallel section of the harness uniformly.
+pub use abr_par::par_map;
 
 /// Evaluates `algos` over `traces`, computing the offline optimum per trace
 /// for normalization. Traces with a non-positive optimum are skipped.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: lint clean, tests green, benches compile.
+#
+#   scripts/ci.sh          full gate
+#   scripts/ci.sh quick    skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace -q
+
+if [[ "${1:-}" != "quick" ]]; then
+  echo "== release build =="
+  cargo build --release --workspace
+fi
+
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "CI gate passed."
