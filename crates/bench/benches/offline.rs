@@ -1,0 +1,73 @@
+//! Offline-optimal solver benchmarks: the scratch-based DP against the
+//! preserved reference implementation (the ISSUE's ≥2× contract at the
+//! paper's resolution), and the cost of an OptCache hit versus a solve.
+
+use abr_bench::video;
+use abr_offline::{reference, OfflineConfig, OfflineScratch, OptCache};
+use abr_trace::{Dataset, Trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A deterministic multi-segment trace exercising the cyclic scan.
+fn bench_trace() -> Trace {
+    Dataset::Fcc.generate(42, 1).remove(0)
+}
+
+fn bench_offline_solve(c: &mut Criterion) {
+    let video = video();
+    let trace = bench_trace();
+    let paper = OfflineConfig::paper_default();
+    let small = OfflineConfig {
+        rate_grid: 8,
+        buffer_bins: 21,
+        ..OfflineConfig::paper_default()
+    };
+
+    let mut group = c.benchmark_group("offline_solve");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("reference_paper_resolution", |b| {
+        b.iter(|| black_box(reference::optimal_qoe(&trace, &video, &paper)))
+    });
+    group.bench_function("scratch_paper_resolution", |b| {
+        let mut scratch = OfflineScratch::new();
+        b.iter(|| black_box(scratch.optimal_qoe(&trace, &video, &paper).qoe))
+    });
+    group.bench_function("reference_small", |b| {
+        b.iter(|| black_box(reference::optimal_qoe(&trace, &video, &small)))
+    });
+    group.bench_function("scratch_small", |b| {
+        let mut scratch = OfflineScratch::new();
+        b.iter(|| black_box(scratch.optimal_qoe(&trace, &video, &small).qoe))
+    });
+    group.finish();
+}
+
+fn bench_opt_cache(c: &mut Criterion) {
+    let video = video();
+    let trace = bench_trace();
+    let cfg = OfflineConfig::paper_default();
+
+    let mut group = c.benchmark_group("opt_cache_hit");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("hit", |b| {
+        let cache = OptCache::new();
+        cache.get_or_solve(&trace, &video, &cfg); // warm the single entry
+        b.iter(|| black_box(cache.get_or_solve(&trace, &video, &cfg).qoe))
+    });
+    group.bench_function("content_key", |b| {
+        b.iter(|| {
+            black_box(abr_offline::cache::content_key(
+                &trace,
+                &video,
+                &cfg,
+                abr_offline::cache::OptMode::Continuous,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_solve, bench_opt_cache);
+criterion_main!(benches);

@@ -41,6 +41,7 @@ pub struct BufferStep {
 /// * `buffer_max_secs` — `B_max`.
 ///
 /// Returns the full [`BufferStep`]. Panics (debug) on negative inputs.
+#[inline]
 pub fn advance_buffer(
     buffer_secs: f64,
     download_secs: f64,

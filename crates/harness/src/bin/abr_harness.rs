@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -39,7 +39,13 @@ options:
   --out DIR    also write CSV series under DIR
   --quick      smaller sweeps for a fast smoke run
   --threads T  worker threads for parallel sections (default: the
-               ABR_THREADS environment variable if set, else all cores)";
+               ABR_THREADS environment variable if set, else all cores)
+  --opt-cache PATH
+               persist offline-optimal results at PATH: load before the run,
+               save after, so repeat invocations skip the offline DP
+  --no-opt-cache
+               disable the shared OPT result cache (each experiment solves
+               its own OPT problems; results are identical, only slower)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -79,6 +85,11 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                 }
                 opts.threads = Some(t);
             }
+            "--opt-cache" => {
+                opts.opt_cache_path =
+                    Some(PathBuf::from(it.next().ok_or("--opt-cache needs a value")?));
+            }
+            "--no-opt-cache" => opts.no_opt_cache = true,
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -159,6 +170,24 @@ mod tests {
         assert!(opts.quick);
         assert_eq!(opts.out.as_deref().unwrap().to_str().unwrap(), "/tmp/x");
         assert_eq!(opts.threads, Some(4));
+        assert!(opts.opt_cache_path.is_none());
+        assert!(!opts.no_opt_cache);
+    }
+
+    #[test]
+    fn parses_opt_cache_flags() {
+        let (_, opts) = parse(&args(&["all", "--opt-cache", "results/opt_cache.bin"])).unwrap();
+        assert_eq!(
+            opts.opt_cache_path.as_deref().unwrap().to_str().unwrap(),
+            "results/opt_cache.bin"
+        );
+        assert!(!opts.no_opt_cache);
+
+        let (_, opts) = parse(&args(&["all", "--no-opt-cache"])).unwrap();
+        assert!(opts.no_opt_cache);
+        assert!(opts.opt_cache_path.is_none());
+
+        assert!(parse(&args(&["all", "--opt-cache"])).is_err());
     }
 
     #[test]
@@ -205,6 +234,27 @@ fn main() {
     };
     // Applies to every parallel section: trace grids and table generation.
     abr_par::set_max_threads(opts.threads);
+    // Decide the OPT-cache policy before any experiment builds an
+    // EvalConfig; preload persisted results if a cache file was given.
+    // Cache chatter goes to stderr so stdout stays byte-comparable across
+    // cache-on / cache-off runs.
+    abr_harness::set_opt_cache_enabled(!opts.no_opt_cache);
+    if let Some(path) = &opts.opt_cache_path {
+        if opts.no_opt_cache {
+            eprintln!("error: --opt-cache and --no-opt-cache are mutually exclusive");
+            std::process::exit(2);
+        }
+        match abr_harness::global_opt_cache().load_file(path) {
+            Ok(n) => eprintln!("opt cache: preloaded {n} results from {}", path.display()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("opt cache: {} not found, starting empty", path.display());
+            }
+            Err(e) => {
+                eprintln!("error: failed to load opt cache {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     let start = Instant::now();
     match run_command(&cmd, &opts) {
         Ok(report) => {
@@ -218,6 +268,20 @@ fn main() {
                 format!("{:.1}s", start.elapsed().as_secs_f64()),
             ]);
             print!("{}", meta.render());
+            if let Some(path) = &opts.opt_cache_path {
+                let cache = abr_harness::global_opt_cache();
+                match cache.save_file(path) {
+                    Ok(()) => eprintln!(
+                        "opt cache: saved {} results to {}",
+                        cache.len(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("error: failed to save opt cache {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -14,10 +14,9 @@
 use super::ExpOptions;
 use crate::registry::{Algo, PredictorSpec};
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::{par_map, run_algo_session, EvalConfig};
+use crate::runner::{opt_results, par_map, run_algo_session, EvalConfig};
 use abr_core::{MdpConfig, MdpController, MdpPolicy, ThroughputChain};
 use abr_fastmpc::{BinSpec, FastMpc, FastMpcTable, TableConfig};
-use abr_offline::optimal_qoe;
 use abr_predictor::HarmonicMean;
 use abr_sim::{run_session, RobustBound};
 use abr_trace::{Dataset, Trace};
@@ -36,9 +35,7 @@ fn agg(xs: &[f64]) -> f64 {
 
 fn opt_for(traces: &[Trace], cfg: &EvalConfig) -> Vec<f64> {
     let video = envivio_video();
-    par_map(traces.len(), |i| {
-        optimal_qoe(&traces[i], &video, &cfg.offline).qoe
-    })
+    opt_results(traces, &video, cfg).iter().map(|r| r.qoe).collect()
 }
 
 /// Predictor ablation: exact MPC driven by each predictor, per dataset.

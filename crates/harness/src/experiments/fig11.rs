@@ -8,8 +8,7 @@
 use super::ExpOptions;
 use crate::registry::{Algo, PredictorSpec};
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::{par_map, run_algo_session, EvalConfig};
-use abr_offline::optimal_qoe;
+use crate::runner::{opt_results, par_map, run_algo_session, EvalConfig};
 use abr_sim::StartupPolicy;
 use abr_trace::{stats, Dataset, Trace};
 use abr_video::{envivio_video, QoePreference, QoeWeights, Video};
@@ -71,13 +70,13 @@ fn median_n_qoe(
     }
 }
 
-/// Precomputes OPT (and OPT excluding startup) for every trace.
+/// Precomputes OPT (and OPT excluding startup) for every trace, through the
+/// shared OPT cache when one is attached to `cfg`.
 fn compute_opts(traces: &[Trace], video: &Video, cfg: &EvalConfig) -> (Vec<f64>, Vec<f64>) {
-    let pairs: Vec<(f64, f64)> = par_map(traces.len(), |i| {
-        let r = optimal_qoe(&traces[i], video, &cfg.offline);
-        (r.qoe, r.qoe + cfg.weights().mu_s * r.startup_secs)
-    });
-    pairs.into_iter().unzip()
+    opt_results(traces, video, cfg)
+        .iter()
+        .map(|r| (r.qoe, r.qoe + cfg.weights().mu_s * r.startup_secs))
+        .unzip()
 }
 
 /// Figure 11a: prediction error sweep.

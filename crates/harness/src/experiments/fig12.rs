@@ -7,9 +7,8 @@
 use super::ExpOptions;
 use crate::registry::{Algo, PredictorSpec};
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::{par_map, run_algo_session, EvalConfig};
+use crate::runner::{opt_results, par_map, run_algo_session, EvalConfig};
 use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
-use abr_offline::optimal_qoe;
 use abr_sim::run_session;
 use abr_trace::{Dataset, Trace};
 use abr_video::envivio_video;
@@ -38,9 +37,7 @@ pub fn run_fig12a(opts: &ExpOptions) -> String {
         ..EvalConfig::paper_default()
     };
     let traces = Dataset::Fcc.generate(opts.seed ^ 0xF16A, opts.traces_capped(40));
-    let opt: Vec<f64> = par_map(traces.len(), |i| {
-        optimal_qoe(&traces[i], &video, &cfg.offline).qoe
-    });
+    let opt: Vec<f64> = opt_results(&traces, &video, &cfg).iter().map(|r| r.qoe).collect();
     let levels = if opts.quick {
         vec![5usize, 50, 100]
     } else {
@@ -91,9 +88,7 @@ pub fn run_fig12b(opts: &ExpOptions) -> String {
         seed: opts.seed,
         ..EvalConfig::paper_default()
     };
-    let opt: Vec<f64> = par_map(traces.len(), |i| {
-        optimal_qoe(&traces[i], &video, &base.offline).qoe
-    });
+    let opt: Vec<f64> = opt_results(&traces, &video, &base).iter().map(|r| r.qoe).collect();
     let horizons: Vec<usize> = if opts.quick {
         vec![2, 5, 8]
     } else {

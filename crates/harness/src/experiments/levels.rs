@@ -6,8 +6,7 @@
 use super::ExpOptions;
 use crate::registry::{Algo, PredictorSpec};
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::{par_map, run_algo_session, EvalConfig};
-use abr_offline::optimal_qoe;
+use crate::runner::{opt_results, par_map, run_algo_session, EvalConfig};
 use abr_trace::{Dataset, Trace};
 use abr_video::{Ladder, VideoBuilder};
 
@@ -40,9 +39,7 @@ pub fn run(opts: &ExpOptions) -> String {
         .chunks(65)
         .chunk_secs(4.0)
         .cbr();
-    let opt: Vec<f64> = par_map(traces.len(), |i| {
-        optimal_qoe(&traces[i], &ref_video, &cfg.offline).qoe
-    });
+    let opt: Vec<f64> = opt_results(&traces, &ref_video, &cfg).iter().map(|r| r.qoe).collect();
 
     let algos = [Algo::Rb, Algo::Bb, Algo::Mpc];
     let mut t = Table::new(

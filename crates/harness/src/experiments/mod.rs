@@ -30,6 +30,13 @@ pub struct ExpOptions {
     /// Worker-thread cap for parallel sections (`None` = `ABR_THREADS`
     /// environment variable if set, else all cores). Set from `--threads`.
     pub threads: Option<usize>,
+    /// On-disk OPT cache: loaded before the run and saved after, so repeated
+    /// harness invocations skip the offline DP entirely. Set from
+    /// `--opt-cache PATH`.
+    pub opt_cache_path: Option<PathBuf>,
+    /// Disables the in-process OPT cache (every experiment solves its own
+    /// OPT problems from scratch). Set from `--no-opt-cache`.
+    pub no_opt_cache: bool,
 }
 
 impl Default for ExpOptions {
@@ -40,6 +47,8 @@ impl Default for ExpOptions {
             out: None,
             quick: false,
             threads: None,
+            opt_cache_path: None,
+            no_opt_cache: false,
         }
     }
 }

@@ -8,6 +8,7 @@
 use super::ExpOptions;
 use crate::registry::Algo;
 use crate::report::{write_csv, Table};
+use crate::runner::{global_opt_cache, opt_cache_enabled};
 use abr_core::ControllerContext;
 use abr_fastmpc::{FastMpcTable, GenMode, TableConfig};
 use abr_video::{envivio_video, LevelIdx, QoeWeights};
@@ -117,7 +118,41 @@ pub fn run(opts: &ExpOptions) -> String {
     ]);
     write_csv(opts.out.as_deref(), "overhead_memory", &mem).expect("csv write");
 
-    format!("{}\n{}\n{}", gen.render(), t.render(), mem.render())
+    // OPT result cache: under `abr_harness all` every experiment shares the
+    // process-wide cache, so "unique solves" equals "entries" — each
+    // distinct (trace, video, offline-config) DP ran exactly once.
+    let stats = global_opt_cache().stats();
+    let mut cache = Table::new(
+        "§7.4 overhead: OPT result cache",
+        &["metric", "value"],
+    );
+    cache.row(vec![
+        "opt cache attached".to_string(),
+        opt_cache_enabled().to_string(),
+    ]);
+    cache.row(vec!["opt cache entries".to_string(), stats.entries.to_string()]);
+    cache.row(vec![
+        "opt cache unique solves".to_string(),
+        stats.solves.to_string(),
+    ]);
+    cache.row(vec!["opt cache hits".to_string(), stats.hits.to_string()]);
+    cache.row(vec![
+        "opt cache preloaded from disk".to_string(),
+        stats.preloaded.to_string(),
+    ]);
+    cache.row(vec![
+        "opt cache solved exactly once per problem".to_string(),
+        (stats.solves + stats.preloaded == stats.entries as u64).to_string(),
+    ]);
+    write_csv(opts.out.as_deref(), "overhead_opt_cache", &cache).expect("csv write");
+
+    format!(
+        "{}\n{}\n{}\n{}",
+        gen.render(),
+        t.render(),
+        mem.render(),
+        cache.render()
+    )
 }
 
 #[cfg(test)]
@@ -136,5 +171,7 @@ mod tests {
         assert!(s.contains("binary serialization"));
         assert!(s.contains("parallel + run-aware"));
         assert!(s.contains("speedup vs sequential"));
+        assert!(s.contains("opt cache unique solves"));
+        assert!(s.contains("opt cache solved exactly once per problem"));
     }
 }

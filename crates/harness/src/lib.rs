@@ -34,4 +34,7 @@ pub mod report;
 pub mod runner;
 
 pub use registry::{Algo, PredictorSpec};
-pub use runner::{evaluate_dataset, EvalConfig, EvalOutcome, TraceEval};
+pub use runner::{
+    default_opt_cache, evaluate_dataset, global_opt_cache, opt_cache_enabled, opt_results,
+    set_opt_cache_enabled, EvalConfig, EvalOutcome, TraceEval,
+};

@@ -4,11 +4,49 @@
 use crate::registry::{Algo, PredictorSpec};
 use abr_fastmpc::FastMpcTable;
 use abr_net::{run_emulated_session, NetConfig};
-use abr_offline::{optimal_qoe, OfflineConfig};
+use abr_offline::{OfflineConfig, OfflineResult, OptCache};
 use abr_sim::{run_session, SessionResult, SimConfig};
 use abr_trace::Trace;
 use abr_video::{QoeWeights, Video};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Whether [`EvalConfig::paper_default`] attaches the process-wide OPT
+/// cache. On by default; the CLI's `--no-opt-cache` flag clears it.
+static OPT_CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The process-wide OPT cache shared by every experiment in a harness run.
+static GLOBAL_OPT_CACHE: OnceLock<Arc<OptCache>> = OnceLock::new();
+
+/// Enables or disables attaching the shared OPT cache to configurations
+/// built by [`EvalConfig::paper_default`]. Explicitly-set `opt_cache`
+/// fields are unaffected.
+pub fn set_opt_cache_enabled(enabled: bool) {
+    OPT_CACHE_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`EvalConfig::paper_default`] currently attaches the shared
+/// OPT cache.
+pub fn opt_cache_enabled() -> bool {
+    OPT_CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide OPT cache (created on first use). One shared cache is
+/// what makes `abr_harness all` solve each distinct (trace, video, offline
+/// config) problem exactly once across all experiments.
+pub fn global_opt_cache() -> &'static Arc<OptCache> {
+    GLOBAL_OPT_CACHE.get_or_init(|| Arc::new(OptCache::new()))
+}
+
+/// The cache handle [`EvalConfig::paper_default`] attaches: the shared
+/// cache when enabled, `None` when disabled via [`set_opt_cache_enabled`].
+pub fn default_opt_cache() -> Option<Arc<OptCache>> {
+    if opt_cache_enabled() {
+        Some(Arc::clone(global_opt_cache()))
+    } else {
+        None
+    }
+}
 
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -30,6 +68,10 @@ pub struct EvalConfig {
     pub fastmpc_levels: usize,
     /// Base RNG seed (oracle predictors derive per-session seeds from it).
     pub seed: u64,
+    /// Memo table for offline-optimal results ([`opt_results`] consults it
+    /// before solving). `None` solves from scratch every time; results are
+    /// bit-identical either way, only wall-clock differs.
+    pub opt_cache: Option<Arc<OptCache>>,
 }
 
 impl EvalConfig {
@@ -43,12 +85,27 @@ impl EvalConfig {
             horizon: 5,
             fastmpc_levels: 100,
             seed: 42,
+            opt_cache: default_opt_cache(),
         }
     }
 
     /// QoE weights in effect.
     pub fn weights(&self) -> &QoeWeights {
         &self.sim.weights
+    }
+}
+
+/// The offline optimum for every trace, through `cfg.opt_cache` when one is
+/// attached (each distinct problem solved once per process) or by direct
+/// parallel solves otherwise. Every experiment that normalizes by
+/// `QoE(OPT)` goes through this helper — none call the solver directly —
+/// so the cache policy is decided in exactly one place.
+pub fn opt_results(traces: &[Trace], video: &Video, cfg: &EvalConfig) -> Vec<Arc<OfflineResult>> {
+    match &cfg.opt_cache {
+        Some(cache) => cache.ensure(traces, video, &cfg.offline),
+        None => par_map(traces.len(), |i| {
+            Arc::new(abr_offline::optimal_qoe(&traces[i], video, &cfg.offline))
+        }),
     }
 }
 
@@ -170,9 +227,13 @@ pub fn evaluate_dataset(
         None
     };
 
+    // One OPT result per trace, hoisted out of the session loop so the shared
+    // cache (when attached) is consulted and filled exactly once per problem.
+    let opts = opt_results(traces, video, cfg);
+
     let evals: Vec<Option<TraceEval>> = par_map(traces.len(), |t_idx| {
         let trace = &traces[t_idx];
-        let opt = optimal_qoe(trace, video, &cfg.offline);
+        let opt = &opts[t_idx];
         if opt.qoe <= 0.0 {
             return None;
         }
@@ -265,6 +326,44 @@ mod tests {
         assert_eq!(a.traces.len(), b.traces.len());
         for (x, y) in a.traces.iter().zip(&b.traces) {
             assert_eq!(x.sessions[0].qoe.qoe, y.sessions[0].qoe.qoe);
+        }
+    }
+
+    #[test]
+    fn opt_cache_does_not_change_results_and_solves_once() {
+        let video = envivio_video();
+        let traces = Dataset::Hsdpa.generate(11, 3);
+
+        // A private cache (not the process-global one) keeps this test
+        // independent of whatever other tests have cached.
+        let cache = Arc::new(OptCache::new());
+        let cached_cfg = EvalConfig {
+            opt_cache: Some(Arc::clone(&cache)),
+            ..quick_cfg()
+        };
+        let plain_cfg = EvalConfig {
+            opt_cache: None,
+            ..quick_cfg()
+        };
+
+        let first = evaluate_dataset(&[Algo::Rb], &traces, &video, &cached_cfg);
+        let second = evaluate_dataset(&[Algo::Rb], &traces, &video, &cached_cfg);
+        let plain = evaluate_dataset(&[Algo::Rb], &traces, &video, &plain_cfg);
+
+        let stats = cache.stats();
+        assert_eq!(
+            stats.solves as usize, stats.entries,
+            "each distinct problem must be solved exactly once"
+        );
+        assert_eq!(stats.entries, traces.len());
+        assert!(stats.hits >= traces.len() as u64);
+
+        assert_eq!(first.traces.len(), plain.traces.len());
+        assert_eq!(first.skipped, plain.skipped);
+        for ((a, b), c) in first.traces.iter().zip(&second.traces).zip(&plain.traces) {
+            assert_eq!(a.opt_qoe.to_bits(), b.opt_qoe.to_bits());
+            assert_eq!(a.opt_qoe.to_bits(), c.opt_qoe.to_bits());
+            assert_eq!(a.sessions[0].qoe.qoe.to_bits(), c.sessions[0].qoe.qoe.to_bits());
         }
     }
 

@@ -1,0 +1,596 @@
+//! Cross-experiment cache of offline-optimal results.
+//!
+//! Every normalized-QoE figure divides by `QoE(OPT)`, and several
+//! experiments (fig8/9/10, fig11, fig12, the ablation, the levels sweep)
+//! evaluate the *same* trace corpus under the *same* offline configuration.
+//! [`OptCache`] memoizes whole [`OfflineResult`]s keyed by a content hash of
+//! `(trace, video, config, mode)`, so a full harness run performs exactly
+//! one DP solve per distinct problem, fills misses in parallel via
+//! [`abr_par::par_map`], and can persist the table to disk
+//! (`results/opt_cache.bin`) in a small validating binary format in the
+//! style of `abr-fastmpc`'s table codec, letting repeated invocations skip
+//! the DP entirely.
+//!
+//! Keys are content hashes (FNV-1a over the exact `f64` bit patterns of the
+//! trace segments, video sizes and config), so a cache entry can never be
+//! served for a different problem than the one it was solved for — and
+//! because the solver itself is bit-deterministic, a hit returns exactly the
+//! bytes a fresh solve would produce.
+
+use crate::{optimal_qoe, optimal_qoe_discrete, OfflineConfig, OfflineResult};
+use abr_trace::Trace;
+use abr_video::{LevelIdx, QualityFn, Video};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which solver a cached result came from (part of the cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptMode {
+    /// The continuous-relaxation optimum ([`crate::optimal_qoe`]).
+    Continuous,
+    /// The ladder-restricted optimum ([`crate::optimal_qoe_discrete`]).
+    Discrete,
+}
+
+// 128-bit FNV-1a: cheap, dependency-free, and wide enough that accidental
+// collisions across a few thousand cached problems are not a concern.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u128::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn len(&mut self, v: usize) {
+        self.bytes(&(v as u64).to_le_bytes());
+    }
+}
+
+/// Content hash identifying one offline problem instance: the exact trace
+/// segments, the video's timing/ladder/per-chunk sizes, every field of the
+/// [`OfflineConfig`] (including the quality function), and the solver mode.
+/// All floats are hashed by bit pattern, so any observable difference in the
+/// problem yields a different key.
+pub fn content_key(trace: &Trace, video: &Video, cfg: &OfflineConfig, mode: OptMode) -> u128 {
+    let mut h = Fnv::new();
+    h.byte(match mode {
+        OptMode::Continuous => 0,
+        OptMode::Discrete => 1,
+    });
+    // Trace: segment count then every (duration, kbps) pair.
+    h.len(trace.num_segments());
+    for i in 0..trace.num_segments() {
+        let (d, c) = trace.segment(i);
+        h.f64(d);
+        h.f64(c);
+    }
+    // Video: timing, ladder, and per-chunk per-level sizes (covers VBR).
+    h.f64(video.chunk_secs());
+    h.len(video.num_chunks());
+    h.len(video.ladder().len());
+    for &r in video.ladder().levels() {
+        h.f64(r);
+    }
+    for k in 0..video.num_chunks() {
+        for l in 0..video.ladder().len() {
+            h.f64(video.chunk_size_kbits(k, LevelIdx(l)));
+        }
+    }
+    // Config.
+    h.len(cfg.rate_grid);
+    h.len(cfg.buffer_bins);
+    h.f64(cfg.buffer_max_secs);
+    let w = &cfg.weights;
+    h.f64(w.lambda);
+    h.f64(w.mu);
+    h.f64(w.mu_s);
+    h.f64(w.mu_event);
+    match &w.quality {
+        QualityFn::Identity => h.byte(0),
+        QualityFn::Log { r0, scale } => {
+            h.byte(1);
+            h.f64(*r0);
+            h.f64(*scale);
+        }
+        QualityFn::Saturating { cap_kbps } => {
+            h.byte(2);
+            h.f64(*cap_kbps);
+        }
+        QualityFn::Table { knots } => {
+            h.byte(3);
+            h.len(knots.len());
+            for &(b, q) in knots {
+                h.f64(b);
+                h.f64(q);
+            }
+        }
+    }
+    h.0
+}
+
+/// Counters describing what an [`OptCache`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptCacheStats {
+    /// Distinct problems currently cached.
+    pub entries: usize,
+    /// Results computed by running the DP (cache misses).
+    pub solves: u64,
+    /// Results served without solving (cache hits).
+    pub hits: u64,
+    /// Results loaded from disk rather than solved in this process.
+    pub preloaded: u64,
+}
+
+/// A thread-safe memo table of offline-optimal results.
+///
+/// `ensure` resolves a whole batch at once: misses are deduplicated, solved
+/// in parallel with [`abr_par::par_map`], and inserted; everything else is a
+/// hit. With a single `OptCache` shared across a harness run, each distinct
+/// `(trace, video, config, mode)` problem is solved exactly once — the
+/// `solves` counter equals the number of entries not loaded from disk, which
+/// the overhead report surfaces as the exactly-once check.
+#[derive(Debug, Default)]
+pub struct OptCache {
+    map: Mutex<HashMap<u128, Arc<OfflineResult>>>,
+    solves: AtomicU64,
+    hits: AtomicU64,
+    preloaded: AtomicU64,
+}
+
+impl OptCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct problems cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("opt cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> OptCacheStats {
+        OptCacheStats {
+            entries: self.len(),
+            solves: self.solves.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the continuous-relaxation optimum for every trace, solving
+    /// only the ones not already cached (in parallel, deduplicated within
+    /// the batch). `out[i]` corresponds to `traces[i]`.
+    pub fn ensure(
+        &self,
+        traces: &[Trace],
+        video: &Video,
+        cfg: &OfflineConfig,
+    ) -> Vec<Arc<OfflineResult>> {
+        self.ensure_mode(traces, video, cfg, OptMode::Continuous)
+    }
+
+    /// [`ensure`](Self::ensure) for an explicit solver mode.
+    pub fn ensure_mode(
+        &self,
+        traces: &[Trace],
+        video: &Video,
+        cfg: &OfflineConfig,
+        mode: OptMode,
+    ) -> Vec<Arc<OfflineResult>> {
+        let keys: Vec<u128> = traces
+            .iter()
+            .map(|t| content_key(t, video, cfg, mode))
+            .collect();
+        // Indices of the first occurrence of each missing key.
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let map = self.map.lock().expect("opt cache poisoned");
+            let mut queued = HashSet::new();
+            for (i, k) in keys.iter().enumerate() {
+                if !map.contains_key(k) && queued.insert(*k) {
+                    missing.push(i);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let solved = abr_par::par_map(missing.len(), |j| {
+                let t = &traces[missing[j]];
+                Arc::new(match mode {
+                    OptMode::Continuous => optimal_qoe(t, video, cfg),
+                    OptMode::Discrete => optimal_qoe_discrete(t, video, cfg),
+                })
+            });
+            let mut map = self.map.lock().expect("opt cache poisoned");
+            for (j, res) in solved.into_iter().enumerate() {
+                map.insert(keys[missing[j]], res);
+            }
+            self.solves.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        }
+        self.hits
+            .fetch_add((keys.len() - missing.len()) as u64, Ordering::Relaxed);
+        let map = self.map.lock().expect("opt cache poisoned");
+        keys.iter()
+            .map(|k| Arc::clone(map.get(k).expect("filled above")))
+            .collect()
+    }
+
+    /// Single-trace convenience wrapper around [`ensure`](Self::ensure).
+    pub fn get_or_solve(
+        &self,
+        trace: &Trace,
+        video: &Video,
+        cfg: &OfflineConfig,
+    ) -> Arc<OfflineResult> {
+        self.ensure(std::slice::from_ref(trace), video, cfg)
+            .pop()
+            .expect("one input, one output")
+    }
+
+    /// Serializes every cached entry to the compact validating binary
+    /// format (entries sorted by key, so equal caches produce equal bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let map = self.map.lock().expect("opt cache poisoned");
+        let mut entries: Vec<(&u128, &Arc<OfflineResult>)> = map.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        let mut w = Writer::default();
+        w.out.extend_from_slice(&MAGIC);
+        w.u16(VERSION);
+        w.u32(entries.len() as u32);
+        for (k, r) in entries {
+            w.out.extend_from_slice(&k.to_le_bytes());
+            w.f64(r.qoe);
+            w.f64(r.total_rebuffer_secs);
+            w.f64(r.startup_secs);
+            w.u32(r.rates_kbps.len() as u32);
+            for &rate in &r.rates_kbps {
+                w.f64(rate);
+            }
+        }
+        w.out
+    }
+
+    /// Validates `bytes` and merges its entries into the cache (existing
+    /// keys win, so in-process solves are never overwritten). Returns the
+    /// number of entries added; they count as `preloaded` in the stats.
+    pub fn merge_bytes(&self, bytes: &[u8]) -> Result<usize, CacheCodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CacheCodecError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CacheCodecError::UnsupportedVersion(version));
+        }
+        let count = r.u32()? as usize;
+        let mut decoded: Vec<(u128, OfflineResult)> = Vec::with_capacity(count);
+        let mut seen = HashSet::new();
+        for _ in 0..count {
+            let key = u128::from_le_bytes(
+                r.take(16)?
+                    .try_into()
+                    .expect("take(16) yields exactly 16 bytes"),
+            );
+            if !seen.insert(key) {
+                return Err(CacheCodecError::Invalid("duplicate cache key"));
+            }
+            let qoe = r.finite()?;
+            let total_rebuffer_secs = r.finite()?;
+            let startup_secs = r.finite()?;
+            if total_rebuffer_secs < 0.0 || startup_secs < 0.0 {
+                return Err(CacheCodecError::Invalid("negative time"));
+            }
+            let n = r.u32()? as usize;
+            let mut rates_kbps = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rate = r.finite()?;
+                if rate <= 0.0 {
+                    return Err(CacheCodecError::Invalid("non-positive bitrate"));
+                }
+                rates_kbps.push(rate);
+            }
+            decoded.push((
+                key,
+                OfflineResult {
+                    qoe,
+                    rates_kbps,
+                    total_rebuffer_secs,
+                    startup_secs,
+                },
+            ));
+        }
+        if r.pos != bytes.len() {
+            return Err(CacheCodecError::Truncated);
+        }
+        let mut map = self.map.lock().expect("opt cache poisoned");
+        let mut added = 0usize;
+        for (key, res) in decoded {
+            if let std::collections::hash_map::Entry::Vacant(e) = map.entry(key) {
+                e.insert(Arc::new(res));
+                added += 1;
+            }
+        }
+        drop(map);
+        self.preloaded.fetch_add(added as u64, Ordering::Relaxed);
+        Ok(added)
+    }
+
+    /// Writes the cache to `path` (see [`to_bytes`](Self::to_bytes)).
+    pub fn save_file(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads and merges a cache file previously written by
+    /// [`save_file`](Self::save_file). Returns the number of entries added.
+    pub fn load_file(&self, path: &Path) -> io::Result<usize> {
+        let bytes = std::fs::read(path)?;
+        self.merge_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+const MAGIC: [u8; 4] = *b"OPTC";
+const VERSION: u16 = 1;
+
+/// Errors from decoding a serialized [`OptCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheCodecError {
+    /// Input ended early or has trailing bytes.
+    Truncated,
+    /// The magic header is not `OPTC`.
+    BadMagic,
+    /// Encoded with a format version this build does not understand.
+    UnsupportedVersion(u16),
+    /// Structurally well-formed but semantically invalid.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CacheCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheCodecError::Truncated => write!(f, "truncated or oversized opt-cache data"),
+            CacheCodecError::BadMagic => write!(f, "not an opt-cache file (bad magic)"),
+            CacheCodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported opt-cache format version {v}")
+            }
+            CacheCodecError::Invalid(what) => write!(f, "invalid opt-cache data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheCodecError {}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CacheCodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CacheCodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, CacheCodecError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("exact size"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, CacheCodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("exact size"),
+        ))
+    }
+
+    fn finite(&mut self) -> Result<f64, CacheCodecError> {
+        let v = f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("exact size"),
+        ));
+        if !v.is_finite() {
+            return Err(CacheCodecError::Invalid("non-finite float"));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::envivio_video;
+
+    fn traces() -> Vec<Trace> {
+        vec![
+            Trace::constant(1500.0, 60.0).unwrap(),
+            Trace::new(vec![(30.0, 300.0), (30.0, 5000.0)]).unwrap(),
+            Trace::constant(1500.0, 60.0).unwrap(), // duplicate of [0]
+        ]
+    }
+
+    #[test]
+    fn ensure_solves_each_distinct_problem_once() {
+        let cache = OptCache::new();
+        let v = envivio_video();
+        let cfg = OfflineConfig::paper_default();
+        let ts = traces();
+        let first = cache.ensure(&ts, &v, &cfg);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "duplicate trace deduplicated");
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.hits, 1, "in-batch duplicate counts as a hit");
+        // Second pass: all hits, no new solves.
+        let second = cache.ensure(&ts, &v, &cfg);
+        let stats = cache.stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.hits, 4);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b), "hits return the cached allocation");
+        }
+    }
+
+    #[test]
+    fn cached_results_match_direct_solves_exactly() {
+        let cache = OptCache::new();
+        let v = envivio_video();
+        let cfg = OfflineConfig::paper_default();
+        for t in &traces() {
+            let cached = cache.get_or_solve(t, &v, &cfg);
+            let direct = optimal_qoe(t, &v, &cfg);
+            assert_eq!(*cached, direct);
+            assert_eq!(cached.qoe.to_bits(), direct.qoe.to_bits());
+        }
+    }
+
+    #[test]
+    fn key_separates_modes_configs_and_traces() {
+        let v = envivio_video();
+        let cfg = OfflineConfig::paper_default();
+        let t0 = Trace::constant(1500.0, 60.0).unwrap();
+        let t1 = Trace::constant(1500.0, 61.0).unwrap();
+        let base = content_key(&t0, &v, &cfg, OptMode::Continuous);
+        assert_ne!(base, content_key(&t1, &v, &cfg, OptMode::Continuous));
+        assert_ne!(base, content_key(&t0, &v, &cfg, OptMode::Discrete));
+        let mut cfg2 = cfg.clone();
+        cfg2.buffer_bins += 1;
+        assert_ne!(base, content_key(&t0, &v, &cfg2, OptMode::Continuous));
+        let mut cfg3 = cfg.clone();
+        cfg3.weights.mu += 1.0;
+        assert_ne!(base, content_key(&t0, &v, &cfg3, OptMode::Continuous));
+        // Same inputs, same key.
+        assert_eq!(base, content_key(&t0, &v, &cfg, OptMode::Continuous));
+    }
+
+    #[test]
+    fn codec_roundtrips_and_counts_preloads() {
+        let cache = OptCache::new();
+        let v = envivio_video();
+        let cfg = OfflineConfig::paper_default();
+        cache.ensure(&traces(), &v, &cfg);
+        let bytes = cache.to_bytes();
+
+        let restored = OptCache::new();
+        assert_eq!(restored.merge_bytes(&bytes).unwrap(), 2);
+        let stats = restored.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.preloaded, 2);
+        assert_eq!(stats.solves, 0);
+        // A run over the same corpus is now solve-free.
+        restored.ensure(&traces(), &v, &cfg);
+        assert_eq!(restored.stats().solves, 0);
+        assert_eq!(restored.to_bytes(), bytes, "serialization is canonical");
+        // Merging the same bytes again adds nothing.
+        assert_eq!(restored.merge_bytes(&bytes).unwrap(), 0);
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let cache = OptCache::new();
+        let v = envivio_video();
+        let cfg = OfflineConfig::paper_default();
+        cache.ensure(&traces()[..1], &v, &cfg);
+        let bytes = cache.to_bytes();
+
+        let probe = OptCache::new();
+        assert_eq!(
+            probe.merge_bytes(&bytes[..3]).unwrap_err(),
+            CacheCodecError::Truncated
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            probe.merge_bytes(&bad_magic).unwrap_err(),
+            CacheCodecError::BadMagic
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            probe.merge_bytes(&bad_version).unwrap_err(),
+            CacheCodecError::UnsupportedVersion(99)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            probe.merge_bytes(&trailing).unwrap_err(),
+            CacheCodecError::Truncated
+        );
+        let mut nan = bytes.clone();
+        // First f64 (the qoe) starts after magic+version+count+key.
+        let qoe_off = 4 + 2 + 4 + 16;
+        nan[qoe_off..qoe_off + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(
+            probe.merge_bytes(&nan).unwrap_err(),
+            CacheCodecError::Invalid("non-finite float")
+        );
+        assert!(probe.is_empty(), "rejected data must not merge partially");
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_via_disk() {
+        let cache = OptCache::new();
+        let v = envivio_video();
+        let cfg = OfflineConfig::paper_default();
+        cache.ensure(&traces(), &v, &cfg);
+        let dir = std::env::temp_dir().join("abr_offline_optcache_test");
+        let path = dir.join("opt_cache.bin");
+        cache.save_file(&path).unwrap();
+        let restored = OptCache::new();
+        assert_eq!(restored.load_file(&path).unwrap(), 2);
+        assert_eq!(restored.to_bytes(), cache.to_bytes());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -23,14 +23,41 @@
 //! Startup matches the convention the whole workspace uses for fair
 //! comparison: playback begins when the first chunk lands, so `T_s` equals
 //! the first download time and the first chunk incurs no rebuffering.
+//!
+//! # Performance
+//!
+//! The DP sits on the critical path of every normalized-QoE figure, so the
+//! hot solver is written around a reusable [`OfflineScratch`]: candidate
+//! chunk sizes are computed once per layer (not once per surviving state),
+//! the four layer arrays are double-buffered instead of reallocated per
+//! chunk, parents live in one flat `u32` slab, a live-state list keeps dead
+//! `(bin, rate)` buckets from ever touching the trace, and the trace scan
+//! reuses a [`TraceScanCache`](abr_trace::TraceScanCache) so per-state
+//! download times need no per-call prefix recomputation. Per surviving
+//! state the relaxation runs as a branch-free *compute* pass over all
+//! candidate rates (quality-minus-switch penalties come from a precomputed
+//! table, buffer binning uses an exact branchless `round`, and candidate
+//! value/buffer/clock/bin are staged in small arrays the compiler can
+//! vectorize) followed by a scalar *commit* pass for the scattered
+//! first-writer-wins updates. After one warm-up solve the scratch solver
+//! performs **zero heap allocations** (`tests/no_alloc.rs`) and its output
+//! is **bit-identical** to the straightforward solver preserved in
+//! [`reference`] (`tests/equivalence.rs`). [`cache::OptCache`] memoizes
+//! whole [`OfflineResult`]s across experiments keyed by a content hash of
+//! `(trace, video, config)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use abr_core::advance_buffer;
-use abr_trace::Trace;
+use abr_trace::{Trace, TraceScanCache};
 use abr_video::{QoeWeights, Video};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+pub mod cache;
+
+pub use cache::{OptCache, OptCacheStats};
 
 /// Configuration of the offline DP.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,7 +92,7 @@ impl Default for OfflineConfig {
 }
 
 /// The offline optimum for one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct OfflineResult {
     /// Optimal QoE (Eq. 5 total, including the startup term).
     pub qoe: f64,
@@ -77,25 +104,386 @@ pub struct OfflineResult {
     pub startup_secs: f64,
 }
 
+thread_local! {
+    static SCRATCH: RefCell<OfflineScratch> = RefCell::new(OfflineScratch::new());
+}
+
 /// Solves the continuous-relaxation offline optimum (the paper's
 /// `QoE(OPT)`).
+///
+/// Uses a thread-local [`OfflineScratch`], so repeated calls on one thread
+/// reuse the DP workspace; hold your own scratch to also avoid the result
+/// clone.
 pub fn optimal_qoe(trace: &Trace, video: &Video, cfg: &OfflineConfig) -> OfflineResult {
-    let lo = video.ladder().min_kbps();
-    let hi = video.ladder().max_kbps();
-    let n = cfg.rate_grid.max(2);
-    let ratio = (hi / lo).powf(1.0 / (n as f64 - 1.0));
-    let mut rates = Vec::with_capacity(n);
-    for i in 0..n {
-        rates.push(lo * ratio.powi(i as i32));
-    }
-    *rates.last_mut().expect("n >= 2") = hi;
-    solve(trace, video, cfg, &rates)
+    SCRATCH.with(|s| s.borrow_mut().optimal_qoe(trace, video, cfg).clone())
 }
 
 /// Solves the ladder-restricted offline optimum (useful for gauging how much
 /// of the OPT gap is the continuous relaxation vs. clairvoyance).
 pub fn optimal_qoe_discrete(trace: &Trace, video: &Video, cfg: &OfflineConfig) -> OfflineResult {
-    solve(trace, video, cfg, video.ladder().levels())
+    SCRATCH.with(|s| s.borrow_mut().optimal_qoe_discrete(trace, video, cfg).clone())
+}
+
+/// Builds the geometric bitrate grid of the continuous relaxation into
+/// `rates` (cleared first). Shared by the scratch solver and the cache so
+/// every caller sees bit-identical grid points.
+fn build_rate_grid(video: &Video, cfg: &OfflineConfig, rates: &mut Vec<f64>) {
+    let lo = video.ladder().min_kbps();
+    let hi = video.ladder().max_kbps();
+    let n = cfg.rate_grid.max(2);
+    let ratio = (hi / lo).powf(1.0 / (n as f64 - 1.0));
+    rates.clear();
+    rates.reserve(n);
+    for i in 0..n {
+        rates.push(lo * ratio.powi(i as i32));
+    }
+    *rates.last_mut().expect("n >= 2") = hi;
+}
+
+/// `x.round()` (round half away from zero) without the libm `round` call
+/// the intrinsic lowers to on x86-64 — that call dominated the DP's
+/// per-candidate cost. Exact for every finite `x`, so it is bit-identical
+/// to `f64::round` (both produce *the* mathematically rounded value):
+/// `x + 2^52 - 2^52` yields the nearest integer with ties to even for
+/// `|x| < 2^52` (musl's `round` uses the same identity), and the two tie
+/// branches move halfway cases away from zero. Inputs with `|x| >= 2^52`
+/// (including infinities) are already integers; NaN propagates.
+#[inline]
+fn round_half_away(x: f64) -> f64 {
+    const TOINT: f64 = 4_503_599_627_370_496.0; // 2^52
+    let ax = x.abs();
+    // `y = n - ax` is exact (|n - ax| <= 0.5 with n the nearest-even
+    // integer), so the tie tests and the final additions are all exact.
+    // `adj` nudges halfway cases away from zero; it is computed branchlessly
+    // because the tie tests depend on the fractional part and mispredict.
+    let y = ax + TOINT - TOINT - ax;
+    let adj = ((y <= -0.5) as u8 as f64) - ((y > 0.5) as u8 as f64);
+    // `y + ax` is the nearest-even integer: never -0.0 for ax >= 0, so
+    // adding `adj = 0.0` is the bitwise identity and `copysign` restores
+    // the sign (mapping e.g. -0.3 to -0.0, exactly like `round`).
+    let r = (y + ax + adj).copysign(x);
+    if ax < TOINT {
+        r
+    } else {
+        x // already integral (or NaN / infinite)
+    }
+}
+
+/// Reusable workspace for the offline DP.
+///
+/// All per-solve storage — the bitrate grid, per-layer state arrays, the
+/// flat parent slab, the live-state list and the trace scan cache — lives
+/// here and is recycled between solves, so after a warm-up solve of the
+/// largest instance the solver allocates nothing. Results are bit-identical
+/// to [`reference::optimal_qoe`] / [`reference::optimal_qoe_discrete`].
+///
+/// The free functions [`optimal_qoe`] / [`optimal_qoe_discrete`] wrap a
+/// thread-local scratch and clone the result out; hold an `OfflineScratch`
+/// directly to borrow the result in place.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineScratch {
+    /// Candidate bitrates (grid or ladder), ascending.
+    rates: Vec<f64>,
+    /// `q(rates[i])` — the quality function evaluated once per candidate.
+    q_of: Vec<f64>,
+    /// Current chunk's candidate sizes in kbits (once per layer).
+    sizes: Vec<f64>,
+    /// Quality-minus-switch-penalty table, `nr * nr` entries:
+    /// `qsw[prev * nr + next] = q(next) - λ·|q(next) − q(prev)|`. The rate
+    /// grid is layer-invariant, so this prefix of every transition's QoE
+    /// contribution is computed once per solve instead of once per candidate.
+    qsw: Vec<f64>,
+    /// Download times of `sizes` from the current state's clock.
+    downloads: Vec<f64>,
+    // Per-candidate staging arrays (one entry per rate): the branch-free
+    // compute pass writes candidate value / buffer / clock / bin here so the
+    // compiler can vectorize it; a scalar commit pass applies the scattered
+    // `>`-updates afterwards.
+    cand_v: Vec<f64>,
+    cand_buf: Vec<f64>,
+    cand_time: Vec<f64>,
+    cand_bin: Vec<f64>,
+    // Double-buffered layer arrays: (qoe, buf_exact, time) is the current
+    // layer, (nqoe, nbuf, ntime) the one being built.
+    qoe: Vec<f64>,
+    buf_exact: Vec<f64>,
+    time: Vec<f64>,
+    nqoe: Vec<f64>,
+    nbuf: Vec<f64>,
+    ntime: Vec<f64>,
+    /// Feasible state indices of the current layer, ascending.
+    live: Vec<u32>,
+    /// Flat parent slab, `k_total * states` entries.
+    parents: Vec<u32>,
+    /// Prefix sums + cycle volume of the trace being solved.
+    scan: TraceScanCache,
+    /// The last solve's result (buffers reused across solves).
+    result: OfflineResult,
+}
+
+impl OfflineScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Continuous-relaxation optimum; see [`optimal_qoe`]. The returned
+    /// reference borrows the scratch's internal result buffer.
+    pub fn optimal_qoe(
+        &mut self,
+        trace: &Trace,
+        video: &Video,
+        cfg: &OfflineConfig,
+    ) -> &OfflineResult {
+        build_rate_grid(video, cfg, &mut self.rates);
+        self.solve(trace, video, cfg);
+        &self.result
+    }
+
+    /// Ladder-restricted optimum; see [`optimal_qoe_discrete`].
+    pub fn optimal_qoe_discrete(
+        &mut self,
+        trace: &Trace,
+        video: &Video,
+        cfg: &OfflineConfig,
+    ) -> &OfflineResult {
+        self.rates.clear();
+        self.rates.extend_from_slice(video.ladder().levels());
+        self.solve(trace, video, cfg);
+        &self.result
+    }
+
+    /// The result of the most recent solve.
+    pub fn last_result(&self) -> &OfflineResult {
+        &self.result
+    }
+
+    /// The DP over `self.rates`. Identical arithmetic, iteration order and
+    /// tie-breaking to [`reference`]'s solver — only the storage strategy
+    /// differs — which is what makes the two bit-identical.
+    fn solve(&mut self, trace: &Trace, video: &Video, cfg: &OfflineConfig) {
+        let Self {
+            rates,
+            q_of,
+            sizes,
+            qsw,
+            downloads,
+            cand_v,
+            cand_buf,
+            cand_time,
+            cand_bin,
+            qoe,
+            buf_exact,
+            time,
+            nqoe,
+            nbuf,
+            ntime,
+            live,
+            parents,
+            scan,
+            result,
+        } = self;
+        assert!(!rates.is_empty());
+        assert!(cfg.buffer_bins >= 2, "need at least two buffer bins");
+        let k_total = video.num_chunks();
+        let nb = cfg.buffer_bins;
+        let nr = rates.len();
+        let bmax = cfg.buffer_max_secs;
+        let w = &cfg.weights;
+        let bin_width = bmax / (nb - 1) as f64;
+        let bin_of =
+            |buf: f64| -> usize { (round_half_away(buf / bin_width) as usize).min(nb - 1) };
+
+        let idx = |b: usize, r: usize| -> usize { b * nr + r };
+        let states = nb * nr;
+        let neg = f64::NEG_INFINITY;
+
+        scan.rebuild(trace);
+        q_of.clear();
+        q_of.extend(rates.iter().map(|&r| w.q(r)));
+        // `q − λ·|q − q_prev|` is the leading subexpression of
+        // `QoeWeights::chunk_contribution` (left-associated, so precomputing
+        // it preserves the exact operation order and therefore the bits).
+        qsw.clear();
+        qsw.resize(nr * nr, 0.0);
+        for j in 0..nr {
+            let q_prev = q_of[j];
+            for i in 0..nr {
+                let q = q_of[i];
+                qsw[j * nr + i] = q - w.lambda * (q - q_prev).abs();
+            }
+        }
+        cand_v.clear();
+        cand_v.resize(nr, 0.0);
+        cand_buf.clear();
+        cand_buf.resize(nr, 0.0);
+        cand_time.clear();
+        cand_time.resize(nr, 0.0);
+        cand_bin.clear();
+        cand_bin.resize(nr, 0.0);
+
+        // Layer arrays (bins bucket states for dominance pruning only; each
+        // surviving state keeps its exact buffer and wall-clock time so every
+        // transition is computed against the trace without rounding).
+        qoe.clear();
+        qoe.resize(states, neg);
+        buf_exact.clear();
+        buf_exact.resize(states, 0.0);
+        time.clear();
+        time.resize(states, 0.0);
+        nqoe.clear();
+        nqoe.resize(states, neg);
+        nbuf.clear();
+        nbuf.resize(states, 0.0);
+        ntime.clear();
+        ntime.resize(states, 0.0);
+        parents.clear();
+        parents.resize(k_total * states, u32::MAX);
+        live.clear();
+        live.reserve(states);
+
+        // Layer 0: choose the first chunk's rate. Startup rule: playback
+        // begins when chunk 0 lands — startup penalty µ_s · download, no
+        // rebuffer, buffer = L afterwards.
+        sizes.clear();
+        sizes.extend(rates.iter().map(|&r| chunk_size_kbits(video, 0, r)));
+        for r_i in 0..nr {
+            let dl = trace.time_to_download(sizes[r_i], 0.0);
+            let b_after = video.chunk_secs().min(bmax);
+            let s = idx(bin_of(b_after), r_i);
+            let value = q_of[r_i] - w.mu_s * dl;
+            if value > qoe[s] {
+                qoe[s] = value;
+                buf_exact[s] = b_after;
+                time[s] = dl;
+                parents[s] = r_i as u32; // layer 0 encodes the chosen rate
+            }
+        }
+        live.extend((0..states as u32).filter(|&s| qoe[s as usize] != neg));
+
+        // Layers 1..K-1. Only live (feasible) states are visited, so dead
+        // buckets never touch the trace; the live list is rebuilt by an
+        // ascending scan so states are processed in the same order (and with
+        // the same `>`-tie-breaking) as a dense loop over all buckets.
+        let chunk_secs = video.chunk_secs();
+        let (mu, mu_event) = (w.mu, w.mu_event);
+        for k in 1..k_total {
+            // One size per candidate rate, hoisted out of the state loop.
+            sizes.clear();
+            sizes.extend(rates.iter().map(|&r| chunk_size_kbits(video, k, r)));
+            nqoe.fill(neg);
+            nbuf.fill(0.0);
+            ntime.fill(0.0);
+            let nparent = &mut parents[k * states..(k + 1) * states];
+            for &s32 in live.iter() {
+                let s = s32 as usize;
+                let t0 = time[s];
+                let buf = buf_exact[s];
+                let base = qoe[s];
+                let qsw_row = &qsw[(s % nr) * nr..(s % nr) * nr + nr];
+                // One pass over the trace yields the download time of every
+                // candidate rate (sizes are ascending in the rate grid).
+                // Candidates the trace can never deliver come back as
+                // INFINITY; their value is `-inf` (or NaN when µ = 0), so the
+                // commit pass's `v > nqoe[s2]` can never accept them.
+                trace.times_to_download_with(scan, sizes, t0, downloads);
+                // Compute pass: straight-line arithmetic per candidate (the
+                // `event` conditional is a select), so the compiler can
+                // vectorize it. The bin is staged as the rounded f64 — the
+                // integer cast would block vectorization on baseline x86-64.
+                let dls = &downloads[..nr];
+                let (cand_v, cand_buf) = (&mut cand_v[..nr], &mut cand_buf[..nr]);
+                let (cand_time, cand_bin) = (&mut cand_time[..nr], &mut cand_bin[..nr]);
+                for r_i in 0..nr {
+                    let dl = dls[r_i];
+                    let step = advance_buffer(buf, dl, chunk_secs, bmax);
+                    let rebuf = step.rebuffer_secs;
+                    let event = if rebuf > 0.0 { mu_event } else { 0.0 };
+                    let gain = (qsw_row[r_i] - mu * rebuf) - event;
+                    cand_v[r_i] = base + gain;
+                    cand_buf[r_i] = step.next_buffer_secs;
+                    cand_time[r_i] = t0 + dl + step.wait_secs;
+                    cand_bin[r_i] = round_half_away(step.next_buffer_secs / bin_width);
+                }
+                // Commit pass: scattered first-writer-wins `>`-updates, in
+                // ascending candidate order like the reference.
+                for r_i in 0..nr {
+                    let s2 = (cand_bin[r_i] as usize).min(nb - 1) * nr + r_i;
+                    let v = cand_v[r_i];
+                    if v > nqoe[s2] {
+                        nqoe[s2] = v;
+                        nbuf[s2] = cand_buf[r_i];
+                        ntime[s2] = cand_time[r_i];
+                        nparent[s2] = s32;
+                    }
+                }
+            }
+            std::mem::swap(qoe, nqoe);
+            std::mem::swap(buf_exact, nbuf);
+            std::mem::swap(time, ntime);
+            live.clear();
+            live.extend((0..states as u32).filter(|&s| qoe[s as usize] != neg));
+        }
+
+        // Best terminal state.
+        let (best_state, &best_qoe) = qoe
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in DP"))
+            .expect("non-empty DP");
+        assert!(
+            best_qoe > neg,
+            "DP found no feasible plan (trace cannot deliver the video)"
+        );
+
+        // Reconstruct the rate path into the reused result buffer.
+        let rates_path = &mut result.rates_kbps;
+        rates_path.clear();
+        rates_path.resize(k_total, 0.0);
+        let mut s = best_state;
+        for k in (1..k_total).rev() {
+            rates_path[k] = rates[s % nr];
+            s = parents[k * states + s] as usize;
+        }
+        rates_path[0] = rates[if k_total == 1 {
+            parents[s] as usize
+        } else {
+            s % nr
+        }];
+
+        // Replay the plan (all dynamics were exact, so this reproduces the DP
+        // value; it is how we report startup and rebuffering).
+        let mut replay_qoe = 0.0;
+        let mut buf = 0.0_f64;
+        let mut t = 0.0_f64;
+        let mut rebuf_total = 0.0;
+        let mut startup = 0.0;
+        let mut q_prev: Option<f64> = None;
+        for (k, &r) in rates_path.iter().enumerate() {
+            let dl = trace.time_to_download(chunk_size_kbits(video, k, r), t);
+            let mut step = advance_buffer(buf, dl, video.chunk_secs(), bmax);
+            if k == 0 {
+                startup = dl;
+                step.rebuffer_secs = 0.0;
+            }
+            let q = w.q(r);
+            replay_qoe +=
+                w.chunk_contribution(q, q_prev.map_or(0.0, |p| (q - p).abs()), step.rebuffer_secs);
+            rebuf_total += step.rebuffer_secs;
+            q_prev = Some(q);
+            buf = step.next_buffer_secs;
+            t += dl + step.wait_secs;
+        }
+        replay_qoe -= w.mu_s * startup;
+        debug_assert!(
+            (replay_qoe - best_qoe).abs() < 1e-6 * (1.0 + best_qoe.abs()),
+            "replay {replay_qoe} diverged from DP value {best_qoe}"
+        );
+
+        result.qoe = replay_qoe;
+        result.total_rebuffer_secs = rebuf_total;
+        result.startup_secs = startup;
+    }
 }
 
 /// Exhaustive exact optimum over the discrete ladder — ground truth for
@@ -200,150 +588,188 @@ fn chunk_size_kbits(video: &Video, k: usize, r: f64) -> f64 {
     video.chunk_secs() * r * vbr_scale
 }
 
-fn solve(trace: &Trace, video: &Video, cfg: &OfflineConfig, rates: &[f64]) -> OfflineResult {
-    assert!(!rates.is_empty());
-    assert!(cfg.buffer_bins >= 2, "need at least two buffer bins");
-    let k_total = video.num_chunks();
-    let nb = cfg.buffer_bins;
-    let nr = rates.len();
-    let bmax = cfg.buffer_max_secs;
-    let w = &cfg.weights;
-    let bin_width = bmax / (nb - 1) as f64;
-    let bin_of = |buf: f64| -> usize { ((buf / bin_width).round() as usize).min(nb - 1) };
+pub mod reference {
+    //! The straightforward per-layer-allocating solver this crate originally
+    //! shipped, preserved verbatim as the differential-testing and
+    //! benchmarking baseline. The scratch solver in the crate root must stay
+    //! **bit-identical** to these functions (`tests/equivalence.rs` asserts
+    //! it over random instances); any change to the DP must land in both.
 
-    let idx = |b: usize, r: usize| -> usize { b * nr + r };
-    let states = nb * nr;
-    let neg = f64::NEG_INFINITY;
+    use super::{chunk_size_kbits, OfflineConfig, OfflineResult};
+    use abr_core::advance_buffer;
+    use abr_trace::Trace;
+    use abr_video::Video;
 
-    // Per-layer DP arrays. Bins bucket states for dominance pruning only;
-    // each surviving state keeps its exact buffer and wall-clock time so
-    // every transition is computed against the trace without rounding.
-    let mut qoe = vec![neg; states];
-    let mut buf_exact = vec![0.0_f64; states];
-    let mut time = vec![0.0_f64; states];
-    let mut parents: Vec<Vec<u32>> = Vec::with_capacity(k_total);
-
-    // Layer 0: choose the first chunk's rate. Startup rule: playback begins
-    // when chunk 0 lands — startup penalty µ_s · download, no rebuffer,
-    // buffer = L afterwards.
-    let mut parent0 = vec![u32::MAX; states];
-    for (r_i, &r) in rates.iter().enumerate() {
-        let dl = trace.time_to_download(chunk_size_kbits(video, 0, r), 0.0);
-        let b_after = video.chunk_secs().min(bmax);
-        let s = idx(bin_of(b_after), r_i);
-        let value = w.q(r) - w.mu_s * dl;
-        if value > qoe[s] {
-            qoe[s] = value;
-            buf_exact[s] = b_after;
-            time[s] = dl;
-            parent0[s] = r_i as u32; // encodes the chosen first rate
+    /// Continuous-relaxation optimum, baseline implementation; see
+    /// [`super::optimal_qoe`].
+    pub fn optimal_qoe(trace: &Trace, video: &Video, cfg: &OfflineConfig) -> OfflineResult {
+        let lo = video.ladder().min_kbps();
+        let hi = video.ladder().max_kbps();
+        let n = cfg.rate_grid.max(2);
+        let ratio = (hi / lo).powf(1.0 / (n as f64 - 1.0));
+        let mut rates = Vec::with_capacity(n);
+        for i in 0..n {
+            rates.push(lo * ratio.powi(i as i32));
         }
+        *rates.last_mut().expect("n >= 2") = hi;
+        solve(trace, video, cfg, &rates)
     }
-    parents.push(parent0);
 
-    // Layers 1..K-1.
-    for k in 1..k_total {
-        let mut nqoe = vec![neg; states];
-        let mut nbuf = vec![0.0_f64; states];
-        let mut ntime = vec![0.0_f64; states];
-        let mut nparent = vec![u32::MAX; states];
-        for b in 0..nb {
-            for r_prev in 0..nr {
-                let s = idx(b, r_prev);
-                if qoe[s] == neg {
-                    continue;
-                }
-                let t0 = time[s];
-                let buf = buf_exact[s];
-                let q_prev = w.q(rates[r_prev]);
-                // One pass over the trace yields the download time of every
-                // candidate rate (sizes are ascending in the rate grid).
-                let sizes: Vec<f64> = rates
-                    .iter()
-                    .map(|&r| chunk_size_kbits(video, k, r))
-                    .collect();
-                let downloads = trace.times_to_download(&sizes, t0);
-                for (r_i, &r) in rates.iter().enumerate() {
-                    let dl = downloads[r_i];
-                    let step = advance_buffer(buf, dl, video.chunk_secs(), bmax);
-                    let q = w.q(r);
-                    let gain =
-                        w.chunk_contribution(q, (q - q_prev).abs(), step.rebuffer_secs);
-                    let s2 = idx(bin_of(step.next_buffer_secs), r_i);
-                    let v = qoe[s] + gain;
-                    if v > nqoe[s2] {
-                        nqoe[s2] = v;
-                        nbuf[s2] = step.next_buffer_secs;
-                        ntime[s2] = t0 + dl + step.wait_secs;
-                        nparent[s2] = s as u32;
+    /// Ladder-restricted optimum, baseline implementation; see
+    /// [`super::optimal_qoe_discrete`].
+    pub fn optimal_qoe_discrete(
+        trace: &Trace,
+        video: &Video,
+        cfg: &OfflineConfig,
+    ) -> OfflineResult {
+        solve(trace, video, cfg, video.ladder().levels())
+    }
+
+    fn solve(trace: &Trace, video: &Video, cfg: &OfflineConfig, rates: &[f64]) -> OfflineResult {
+        assert!(!rates.is_empty());
+        assert!(cfg.buffer_bins >= 2, "need at least two buffer bins");
+        let k_total = video.num_chunks();
+        let nb = cfg.buffer_bins;
+        let nr = rates.len();
+        let bmax = cfg.buffer_max_secs;
+        let w = &cfg.weights;
+        let bin_width = bmax / (nb - 1) as f64;
+        let bin_of = |buf: f64| -> usize { ((buf / bin_width).round() as usize).min(nb - 1) };
+
+        let idx = |b: usize, r: usize| -> usize { b * nr + r };
+        let states = nb * nr;
+        let neg = f64::NEG_INFINITY;
+
+        // Per-layer DP arrays. Bins bucket states for dominance pruning only;
+        // each surviving state keeps its exact buffer and wall-clock time so
+        // every transition is computed against the trace without rounding.
+        let mut qoe = vec![neg; states];
+        let mut buf_exact = vec![0.0_f64; states];
+        let mut time = vec![0.0_f64; states];
+        let mut parents: Vec<Vec<u32>> = Vec::with_capacity(k_total);
+
+        // Layer 0: choose the first chunk's rate. Startup rule: playback
+        // begins when chunk 0 lands — startup penalty µ_s · download, no
+        // rebuffer, buffer = L afterwards.
+        let mut parent0 = vec![u32::MAX; states];
+        for (r_i, &r) in rates.iter().enumerate() {
+            let dl = trace.time_to_download(chunk_size_kbits(video, 0, r), 0.0);
+            let b_after = video.chunk_secs().min(bmax);
+            let s = idx(bin_of(b_after), r_i);
+            let value = w.q(r) - w.mu_s * dl;
+            if value > qoe[s] {
+                qoe[s] = value;
+                buf_exact[s] = b_after;
+                time[s] = dl;
+                parent0[s] = r_i as u32; // encodes the chosen first rate
+            }
+        }
+        parents.push(parent0);
+
+        // Layers 1..K-1.
+        for k in 1..k_total {
+            let mut nqoe = vec![neg; states];
+            let mut nbuf = vec![0.0_f64; states];
+            let mut ntime = vec![0.0_f64; states];
+            let mut nparent = vec![u32::MAX; states];
+            for b in 0..nb {
+                for r_prev in 0..nr {
+                    let s = idx(b, r_prev);
+                    if qoe[s] == neg {
+                        continue;
+                    }
+                    let t0 = time[s];
+                    let buf = buf_exact[s];
+                    let q_prev = w.q(rates[r_prev]);
+                    // One pass over the trace yields the download time of
+                    // every candidate rate (sizes are ascending in the grid).
+                    let sizes: Vec<f64> = rates
+                        .iter()
+                        .map(|&r| chunk_size_kbits(video, k, r))
+                        .collect();
+                    let downloads = trace.times_to_download(&sizes, t0);
+                    for (r_i, &r) in rates.iter().enumerate() {
+                        let dl = downloads[r_i];
+                        let step = advance_buffer(buf, dl, video.chunk_secs(), bmax);
+                        let q = w.q(r);
+                        let gain =
+                            w.chunk_contribution(q, (q - q_prev).abs(), step.rebuffer_secs);
+                        let s2 = idx(bin_of(step.next_buffer_secs), r_i);
+                        let v = qoe[s] + gain;
+                        if v > nqoe[s2] {
+                            nqoe[s2] = v;
+                            nbuf[s2] = step.next_buffer_secs;
+                            ntime[s2] = t0 + dl + step.wait_secs;
+                            nparent[s2] = s as u32;
+                        }
                     }
                 }
             }
+            qoe = nqoe;
+            buf_exact = nbuf;
+            time = ntime;
+            parents.push(nparent);
         }
-        qoe = nqoe;
-        buf_exact = nbuf;
-        time = ntime;
-        parents.push(nparent);
-    }
 
-    // Best terminal state.
-    let (best_state, &best_qoe) = qoe
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in DP"))
-        .expect("non-empty DP");
-    assert!(
-        best_qoe > neg,
-        "DP found no feasible plan (trace cannot deliver the video)"
-    );
+        // Best terminal state.
+        let (best_state, &best_qoe) = qoe
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in DP"))
+            .expect("non-empty DP");
+        assert!(
+            best_qoe > neg,
+            "DP found no feasible plan (trace cannot deliver the video)"
+        );
 
-    // Reconstruct the rate path.
-    let mut rates_path = vec![0.0_f64; k_total];
-    let mut s = best_state;
-    for k in (1..k_total).rev() {
-        rates_path[k] = rates[s % nr];
-        s = parents[k][s] as usize;
-    }
-    rates_path[0] = rates[if k_total == 1 {
-        parents[0][s] as usize
-    } else {
-        s % nr
-    }];
-
-    // Replay the plan (all dynamics were exact, so this reproduces the DP
-    // value; it is how we report startup and rebuffering).
-    let mut replay_qoe = 0.0;
-    let mut buf = 0.0_f64;
-    let mut t = 0.0_f64;
-    let mut rebuf_total = 0.0;
-    let mut startup = 0.0;
-    let mut q_prev: Option<f64> = None;
-    for (k, &r) in rates_path.iter().enumerate() {
-        let dl = trace.time_to_download(chunk_size_kbits(video, k, r), t);
-        let mut step = advance_buffer(buf, dl, video.chunk_secs(), bmax);
-        if k == 0 {
-            startup = dl;
-            step.rebuffer_secs = 0.0;
+        // Reconstruct the rate path.
+        let mut rates_path = vec![0.0_f64; k_total];
+        let mut s = best_state;
+        for k in (1..k_total).rev() {
+            rates_path[k] = rates[s % nr];
+            s = parents[k][s] as usize;
         }
-        let q = w.q(r);
-        replay_qoe +=
-            w.chunk_contribution(q, q_prev.map_or(0.0, |p| (q - p).abs()), step.rebuffer_secs);
-        rebuf_total += step.rebuffer_secs;
-        q_prev = Some(q);
-        buf = step.next_buffer_secs;
-        t += dl + step.wait_secs;
-    }
-    replay_qoe -= w.mu_s * startup;
-    debug_assert!(
-        (replay_qoe - best_qoe).abs() < 1e-6 * (1.0 + best_qoe.abs()),
-        "replay {replay_qoe} diverged from DP value {best_qoe}"
-    );
+        rates_path[0] = rates[if k_total == 1 {
+            parents[0][s] as usize
+        } else {
+            s % nr
+        }];
 
-    OfflineResult {
-        qoe: replay_qoe,
-        rates_kbps: rates_path,
-        total_rebuffer_secs: rebuf_total,
-        startup_secs: startup,
+        // Replay the plan (all dynamics were exact, so this reproduces the
+        // DP value; it is how we report startup and rebuffering).
+        let mut replay_qoe = 0.0;
+        let mut buf = 0.0_f64;
+        let mut t = 0.0_f64;
+        let mut rebuf_total = 0.0;
+        let mut startup = 0.0;
+        let mut q_prev: Option<f64> = None;
+        for (k, &r) in rates_path.iter().enumerate() {
+            let dl = trace.time_to_download(chunk_size_kbits(video, k, r), t);
+            let mut step = advance_buffer(buf, dl, video.chunk_secs(), bmax);
+            if k == 0 {
+                startup = dl;
+                step.rebuffer_secs = 0.0;
+            }
+            let q = w.q(r);
+            replay_qoe +=
+                w.chunk_contribution(q, q_prev.map_or(0.0, |p| (q - p).abs()), step.rebuffer_secs);
+            rebuf_total += step.rebuffer_secs;
+            q_prev = Some(q);
+            buf = step.next_buffer_secs;
+            t += dl + step.wait_secs;
+        }
+        replay_qoe -= w.mu_s * startup;
+        debug_assert!(
+            (replay_qoe - best_qoe).abs() < 1e-6 * (1.0 + best_qoe.abs()),
+            "replay {replay_qoe} diverged from DP value {best_qoe}"
+        );
+
+        OfflineResult {
+            qoe: replay_qoe,
+            rates_kbps: rates_path,
+            total_rebuffer_secs: rebuf_total,
+            startup_secs: startup,
+        }
     }
 }
 
@@ -382,6 +808,26 @@ mod tests {
             t += dl + step.wait_secs;
         }
         qoe
+    }
+
+    /// Bit-level equality of two results (the contract between the scratch
+    /// solver and the reference solver).
+    fn assert_bit_identical(a: &OfflineResult, b: &OfflineResult) {
+        assert_eq!(a.qoe.to_bits(), b.qoe.to_bits(), "qoe bits differ");
+        assert_eq!(
+            a.total_rebuffer_secs.to_bits(),
+            b.total_rebuffer_secs.to_bits(),
+            "rebuffer bits differ"
+        );
+        assert_eq!(
+            a.startup_secs.to_bits(),
+            b.startup_secs.to_bits(),
+            "startup bits differ"
+        );
+        assert_eq!(a.rates_kbps.len(), b.rates_kbps.len());
+        for (i, (x, y)) in a.rates_kbps.iter().zip(&b.rates_kbps).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "rate {i} differs: {x} vs {y}");
+        }
     }
 
     #[test]
@@ -537,6 +983,75 @@ mod tests {
         for &rate in &r.rates_kbps[1..] {
             assert!(rate < 500.0, "{rate}");
         }
+    }
+
+    #[test]
+    fn scratch_matches_reference_bit_for_bit() {
+        let v = envivio_video();
+        let traces = [
+            Trace::constant(1500.0, 60.0).unwrap(),
+            Trace::new(vec![(30.0, 300.0), (30.0, 5000.0)]).unwrap(),
+            Trace::new(vec![(8.0, 2000.0), (8.0, 600.0), (10.0, 1500.0)]).unwrap(),
+            Trace::constant(200.0, 60.0).unwrap(),
+        ];
+        let mut scratch = OfflineScratch::new();
+        for t in &traces {
+            assert_bit_identical(
+                scratch.optimal_qoe(t, &v, &cfg()),
+                &reference::optimal_qoe(t, &v, &cfg()),
+            );
+            assert_bit_identical(
+                scratch.optimal_qoe_discrete(t, &v, &cfg()),
+                &reference::optimal_qoe_discrete(t, &v, &cfg()),
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_survives_dimension_changes() {
+        // Reusing one scratch across differently-shaped instances (grid
+        // size, bins, chunk count, ladder) must not leak state between
+        // solves.
+        let mut scratch = OfflineScratch::new();
+        let big = envivio_video();
+        let small = VideoBuilder::new(Ladder::new(vec![400.0, 1000.0, 2500.0]).unwrap())
+            .chunks(5)
+            .chunk_secs(4.0)
+            .cbr();
+        let t = Trace::new(vec![(20.0, 1800.0), (20.0, 700.0)]).unwrap();
+        let configs = [
+            cfg(),
+            OfflineConfig {
+                rate_grid: 7,
+                buffer_bins: 13,
+                ..cfg()
+            },
+            OfflineConfig {
+                buffer_bins: 201,
+                ..cfg()
+            },
+        ];
+        for c in &configs {
+            for v in [&big, &small] {
+                assert_bit_identical(
+                    scratch.optimal_qoe(&t, v, c),
+                    &reference::optimal_qoe(&t, v, c),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_video_reconstructs() {
+        let v = VideoBuilder::new(Ladder::new(vec![400.0, 1000.0]).unwrap())
+            .chunks(1)
+            .chunk_secs(4.0)
+            .cbr();
+        let t = Trace::constant(1200.0, 30.0).unwrap();
+        let mut scratch = OfflineScratch::new();
+        let got = scratch.optimal_qoe(&t, &v, &cfg()).clone();
+        assert_bit_identical(&got, &reference::optimal_qoe(&t, &v, &cfg()));
+        assert_eq!(got.rates_kbps.len(), 1);
     }
 
     proptest! {

@@ -1,0 +1,200 @@
+//! Differential contract of the offline solver pipeline: the scratch-based
+//! solver, the thread-local convenience wrappers, the cache, and the
+//! preserved reference implementation must agree **exactly** — same QoE
+//! bits, same rate path, same rebuffer/startup schedule — on arbitrary
+//! ladders, traces, videos and DP resolutions.
+
+use abr_offline::{reference, OfflineConfig, OfflineResult, OfflineScratch, OptCache};
+use abr_trace::Trace;
+use abr_video::{Ladder, QoePreference, QoeWeights, QualityFn, VideoBuilder};
+use proptest::prelude::*;
+
+fn assert_bits_equal(a: &OfflineResult, b: &OfflineResult, what: &str) {
+    assert_eq!(
+        a.qoe.to_bits(),
+        b.qoe.to_bits(),
+        "{what}: qoe {} vs {}",
+        a.qoe,
+        b.qoe
+    );
+    assert_eq!(
+        a.total_rebuffer_secs.to_bits(),
+        b.total_rebuffer_secs.to_bits(),
+        "{what}: rebuffer {} vs {}",
+        a.total_rebuffer_secs,
+        b.total_rebuffer_secs
+    );
+    assert_eq!(
+        a.startup_secs.to_bits(),
+        b.startup_secs.to_bits(),
+        "{what}: startup {} vs {}",
+        a.startup_secs,
+        b.startup_secs
+    );
+    assert_eq!(a.rates_kbps.len(), b.rates_kbps.len(), "{what}: path length");
+    for (i, (x, y)) in a.rates_kbps.iter().zip(&b.rates_kbps).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: rate {i}: {x} vs {y}");
+    }
+}
+
+/// An arbitrary strictly-ascending bitrate ladder with 2..=5 levels.
+fn ladder_strategy() -> impl Strategy<Value = Ladder> {
+    (
+        100.0f64..800.0,
+        proptest::collection::vec(1.15f64..2.2, 1..5),
+    )
+        .prop_map(|(lo, steps)| {
+            let mut levels = vec![lo];
+            for s in steps {
+                levels.push(levels.last().unwrap() * s);
+            }
+            Ladder::new(levels).expect("ascending positive levels")
+        })
+}
+
+/// An arbitrary cyclic trace with 1..=6 segments, at least one non-zero.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0.5f64..20.0, 0.0f64..6_000.0), 1..6)
+        .prop_filter("need a non-zero segment", |segs| {
+            segs.iter().any(|&(_, c)| c > 0.0)
+        })
+        .prop_map(|segs| Trace::new(segs).expect("valid segments"))
+}
+
+fn weights_strategy() -> impl Strategy<Value = QoeWeights> {
+    (0u8..4, 0.0f64..5.0, 0.0f64..500.0).prop_map(|(kind, lambda, mu_event)| {
+        let mut w = match kind {
+            0 => QoeWeights::balanced(),
+            1 => QoeWeights::preset(QoePreference::AvoidInstability),
+            2 => QoeWeights::preset(QoePreference::AvoidRebuffering),
+            _ => QoeWeights {
+                lambda: 1.0,
+                mu: 3000.0,
+                mu_s: 3000.0,
+                mu_event: 0.0,
+                quality: QualityFn::Saturating { cap_kbps: 1200.0 },
+            },
+        };
+        w.lambda = lambda;
+        w.mu_event = mu_event;
+        w
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scratch solver, thread-local wrapper, cache hit and cache miss all
+    /// reproduce the reference solver bit-for-bit on random instances.
+    #[test]
+    fn all_paths_agree_exactly(
+        ladder in ladder_strategy(),
+        trace in trace_strategy(),
+        chunks in 1usize..16,
+        chunk_secs in 1.0f64..6.0,
+        rate_grid in 2usize..16,
+        buffer_bins in 2usize..60,
+        buffer_max in 8.0f64..40.0,
+        weights in weights_strategy(),
+        vbr_amp in 0.0f64..0.5,
+    ) {
+        let video = VideoBuilder::new(ladder)
+            .chunks(chunks)
+            .chunk_secs(chunk_secs)
+            // Deterministic per-chunk VBR wobble exercises per-layer sizes.
+            .vbr(|k| 1.0 + vbr_amp * (((k * 7919) % 13) as f64 / 13.0 - 0.5));
+        let cfg = OfflineConfig {
+            rate_grid,
+            buffer_bins,
+            buffer_max_secs: buffer_max,
+            weights,
+        };
+
+        let expected = reference::optimal_qoe(&trace, &video, &cfg);
+
+        let mut scratch = OfflineScratch::new();
+        assert_bits_equal(
+            scratch.optimal_qoe(&trace, &video, &cfg),
+            &expected,
+            "scratch vs reference",
+        );
+        assert_bits_equal(
+            &abr_offline::optimal_qoe(&trace, &video, &cfg),
+            &expected,
+            "thread-local wrapper vs reference",
+        );
+
+        let cache = OptCache::new();
+        let miss = cache.get_or_solve(&trace, &video, &cfg);
+        assert_bits_equal(&miss, &expected, "cache miss vs reference");
+        let hit = cache.get_or_solve(&trace, &video, &cfg);
+        assert_bits_equal(&hit, &expected, "cache hit vs reference");
+        prop_assert_eq!(cache.stats().solves, 1);
+        prop_assert_eq!(cache.stats().hits, 1);
+
+        // Disk round-trip preserves the exact bytes too.
+        let restored = OptCache::new();
+        restored.merge_bytes(&cache.to_bytes()).expect("valid bytes");
+        assert_bits_equal(
+            &restored.get_or_solve(&trace, &video, &cfg),
+            &expected,
+            "preloaded cache vs reference",
+        );
+        prop_assert_eq!(restored.stats().solves, 0, "preload must prevent the solve");
+    }
+
+    /// Same contract for the ladder-restricted (discrete) solver.
+    #[test]
+    fn discrete_paths_agree_exactly(
+        ladder in ladder_strategy(),
+        trace in trace_strategy(),
+        chunks in 1usize..16,
+        chunk_secs in 1.0f64..6.0,
+        buffer_bins in 2usize..60,
+    ) {
+        let video = VideoBuilder::new(ladder)
+            .chunks(chunks)
+            .chunk_secs(chunk_secs)
+            .cbr();
+        let cfg = OfflineConfig {
+            buffer_bins,
+            ..OfflineConfig::paper_default()
+        };
+        let expected = reference::optimal_qoe_discrete(&trace, &video, &cfg);
+        let mut scratch = OfflineScratch::new();
+        assert_bits_equal(
+            scratch.optimal_qoe_discrete(&trace, &video, &cfg),
+            &expected,
+            "scratch discrete vs reference",
+        );
+        assert_bits_equal(
+            &abr_offline::optimal_qoe_discrete(&trace, &video, &cfg),
+            &expected,
+            "thread-local discrete vs reference",
+        );
+    }
+
+    /// One scratch reused across a random sequence of differently-shaped
+    /// instances never leaks state between solves.
+    #[test]
+    fn scratch_reuse_is_stateless(
+        instances in proptest::collection::vec(
+            (ladder_strategy(), trace_strategy(), 1usize..10, 2usize..40),
+            2..5,
+        ),
+    ) {
+        let mut scratch = OfflineScratch::new();
+        for (ladder, trace, chunks, buffer_bins) in instances {
+            let video = VideoBuilder::new(ladder).chunks(chunks).cbr();
+            let cfg = OfflineConfig {
+                buffer_bins,
+                ..OfflineConfig::paper_default()
+            };
+            assert_bits_equal(
+                scratch.optimal_qoe(&trace, &video, &cfg),
+                &reference::optimal_qoe(&trace, &video, &cfg),
+                "reused scratch vs reference",
+            );
+        }
+    }
+}

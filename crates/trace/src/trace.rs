@@ -29,6 +29,51 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Precomputed scan state for the batched download-time kernel
+/// ([`Trace::times_to_download_with`]).
+///
+/// The batched kernel's cost has two parts: summing one cycle's volume and
+/// walking segments from the cycle start until the request window begins.
+/// Both depend only on the trace, not on the request, so a caller issuing
+/// many requests against one trace (the offline DP issues one per surviving
+/// state per chunk) builds this cache once and reuses it.
+///
+/// `prefix_secs[i]` is the left-to-right running sum `d_0 + … + d_i` — the
+/// exact `pos` value the plain scan would carry at segment `i`, bit for
+/// bit, which is what makes the binary-searched skip produce byte-identical
+/// download times.
+#[derive(Debug, Clone, Default)]
+pub struct TraceScanCache {
+    prefix_secs: Vec<f64>,
+    cycle_kbits: f64,
+}
+
+impl TraceScanCache {
+    /// Builds the cache for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        let mut cache = Self::default();
+        cache.rebuild(trace);
+        cache
+    }
+
+    /// Re-targets the cache at `trace`, reusing the existing allocation
+    /// (no heap traffic once capacity covers the largest trace seen).
+    pub fn rebuild(&mut self, trace: &Trace) {
+        self.prefix_secs.clear();
+        let mut acc = 0.0_f64;
+        for d in &trace.durations {
+            acc += d;
+            self.prefix_secs.push(acc);
+        }
+        self.cycle_kbits = trace
+            .durations
+            .iter()
+            .zip(&trace.kbps)
+            .map(|(d, c)| d * c)
+            .sum();
+    }
+}
+
 /// A piecewise-constant network-throughput signal `C_t`.
 ///
 /// The trace is a sequence of `(duration_secs, kbps)` segments starting at
@@ -233,62 +278,108 @@ impl Trace {
     /// the hot primitive of the offline dynamic program, which evaluates
     /// every candidate bitrate from a common state.
     pub fn times_to_download(&self, kbits_ascending: &[f64], t0: f64) -> Vec<f64> {
+        let cache = TraceScanCache::new(self);
+        let mut out = Vec::new();
+        self.times_to_download_with(&cache, kbits_ascending, t0, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`times_to_download`](Self::times_to_download):
+    /// results are appended to `out` (which is cleared first), and the cycle
+    /// volume / segment prefix sums come from `cache` instead of being
+    /// recomputed per call. `cache` must have been built (or rebuilt) for
+    /// this trace. Output is bit-identical to `times_to_download`.
+    pub fn times_to_download_with(
+        &self,
+        cache: &TraceScanCache,
+        kbits_ascending: &[f64],
+        t0: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        self.for_each_download_time(cache, kbits_ascending, t0, |_, dl| out.push(dl));
+        // Targets a zero-volume cycle can never deliver are reported as
+        // INFINITY rather than omitted.
+        if out.len() < kbits_ascending.len() {
+            out.resize(kbits_ascending.len(), f64::INFINITY);
+        }
+    }
+
+    /// Streaming form of [`times_to_download_with`](Self::times_to_download_with):
+    /// `emit(i, dl)` is called with each target's download time, in index
+    /// order, as the single trace pass reaches it. Targets a zero-volume
+    /// cycle cannot deliver are never emitted (their time is infinite).
+    /// Consumers that fold each time into an update the moment it is known
+    /// (the offline DP) skip the round-trip through an output buffer.
+    pub fn for_each_download_time(
+        &self,
+        cache: &TraceScanCache,
+        kbits_ascending: &[f64],
+        t0: f64,
+        mut emit: impl FnMut(usize, f64),
+    ) {
         assert!(t0 >= 0.0 && t0.is_finite(), "invalid start time {t0}");
         debug_assert!(
             kbits_ascending.windows(2).all(|w| w[1] >= w[0]),
             "sizes must be ascending"
         );
-        let mut out = Vec::with_capacity(kbits_ascending.len());
-        let mut targets = kbits_ascending.iter().copied().peekable();
+        debug_assert_eq!(
+            cache.prefix_secs.len(),
+            self.durations.len(),
+            "scan cache does not match this trace"
+        );
         // Serve zero-size requests immediately.
-        while let Some(&next) = targets.peek() {
-            if next == 0.0 {
-                out.push(0.0);
-                targets.next();
-            } else {
-                break;
-            }
+        let mut served = 0;
+        while served < kbits_ascending.len() && kbits_ascending[served] == 0.0 {
+            emit(served, 0.0);
+            served += 1;
         }
-        if targets.peek().is_none() {
-            return out;
+        if served == kbits_ascending.len() {
+            return;
         }
-        let cycle_kbits: f64 = self
-            .durations
-            .iter()
-            .zip(&self.kbps)
-            .map(|(d, c)| d * c)
-            .sum();
+        let cycle_kbits = cache.cycle_kbits;
         if cycle_kbits <= 0.0 {
-            out.resize(kbits_ascending.len(), f64::INFINITY);
-            return out;
+            return;
         }
         // Whole-cycle fast-forward shared by all targets (based on the
         // smallest unserved one; larger targets just keep cycling).
-        let base_cycles = (kbits_ascending[out.len()] / cycle_kbits).floor();
+        let base_cycles = (kbits_ascending[served] / cycle_kbits).floor();
         let mut delivered = base_cycles * cycle_kbits;
         let mut elapsed = base_cycles * self.total_secs;
-        let mut cursor = t0 % self.total_secs;
-        let mut pos = 0.0;
-        let mut seg_iter = self
-            .durations
-            .iter()
-            .cycle()
-            .zip(self.kbps.iter().cycle());
-        while targets.peek().is_some() {
-            let (d, c) = seg_iter.next().expect("cycle iterator never ends");
+        let cursor_start = t0 % self.total_secs;
+        // First segment whose end lies past the cursor. A plain scan would
+        // walk `pos = ((0 + d_0) + d_1) + …` past every earlier segment;
+        // `prefix_secs` holds exactly those partial sums, so the binary
+        // search lands on the same segment with the same `pos` bits.
+        let start = cache.prefix_secs.partition_point(|&p| p <= cursor_start);
+        let mut cursor = cursor_start;
+        let mut pos = if start == 0 {
+            0.0
+        } else {
+            cache.prefix_secs[start - 1]
+        };
+        let nseg = self.durations.len();
+        let mut i = if start == nseg { 0 } else { start };
+        while served < kbits_ascending.len() {
+            let d = self.durations[i];
+            let c = self.kbps[i];
+            i += 1;
+            if i == nseg {
+                i = 0;
+            }
             let seg_end = pos + d;
             if cursor < seg_end {
                 let avail_secs = seg_end - cursor;
                 let seg_kbits = avail_secs * c;
                 // Emit every target this segment satisfies.
-                while let Some(&target) = targets.peek() {
-                    let need = target - delivered;
-                    if need <= seg_kbits + 1e-12 && *c > 0.0 {
-                        out.push(elapsed + (need.max(0.0)) / c);
-                        targets.next();
+                while served < kbits_ascending.len() {
+                    let need = kbits_ascending[served] - delivered;
+                    if need <= seg_kbits + 1e-12 && c > 0.0 {
+                        emit(served, elapsed + (need.max(0.0)) / c);
+                        served += 1;
                     } else if need <= 1e-12 {
-                        out.push(elapsed);
-                        targets.next();
+                        emit(served, elapsed);
+                        served += 1;
                     } else {
                         break;
                     }
@@ -299,7 +390,6 @@ impl Trace {
             }
             pos = seg_end;
         }
-        out
     }
 
     /// The next instant strictly after `t` at which the (cyclic) trace
@@ -567,6 +657,40 @@ mod tests {
         assert_eq!(t.kbps_at(11.0), 300.0);
     }
 
+    #[test]
+    fn scan_cache_prefix_matches_plain_scan_bits() {
+        // Irregular durations so the prefix sums exercise fp accumulation.
+        let t = Trace::new(vec![
+            (1.7, 900.0),
+            (0.3, 0.0),
+            (4.9, 2400.0),
+            (2.2, 130.0),
+        ])
+        .unwrap();
+        let cache = TraceScanCache::new(&t);
+        let sizes = [0.0, 500.0, 1_500.0, 9_000.0, 40_000.0];
+        for t0 in [0.0, 0.05, 1.7, 3.31, 8.99, 27.4] {
+            let plain = t.times_to_download(&sizes, t0);
+            let mut out = Vec::new();
+            t.times_to_download_with(&cache, &sizes, t0, &mut out);
+            for (a, b) in plain.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t0={t0}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_cache_rebuild_retargets() {
+        let a = steps();
+        let b = Trace::new(vec![(3.0, 250.0), (7.0, 4_000.0)]).unwrap();
+        let mut cache = TraceScanCache::new(&a);
+        cache.rebuild(&b);
+        let mut out = Vec::new();
+        b.times_to_download_with(&cache, &[1_000.0, 5_000.0], 2.0, &mut out);
+        let plain = b.times_to_download(&[1_000.0, 5_000.0], 2.0);
+        assert_eq!(out, plain);
+    }
+
     proptest! {
         /// Integration over [a,b] + [b,c] equals integration over [a,c].
         #[test]
@@ -631,6 +755,29 @@ mod tests {
                     (batch[i] - scalar).abs() < 1e-6 * (1.0 + scalar),
                     "size {} at t0 {}: batch {} vs scalar {}", s, t0, batch[i], scalar
                 );
+            }
+        }
+
+        /// The cached scan is bit-identical to the allocating one on random
+        /// traces, start times and target lists.
+        #[test]
+        fn cached_scan_is_bit_identical(
+            segs in proptest::collection::vec((0.1f64..8.0, 0.0f64..5_000.0), 1..10),
+            t0 in 0.0f64..60.0,
+            raw in proptest::collection::vec(0.0f64..150_000.0, 0..10),
+        ) {
+            prop_assume!(segs.iter().any(|&(_, c)| c > 0.0));
+            let t = Trace::new(segs).unwrap();
+            let mut sizes = raw;
+            sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let t0 = t0 % (2.0 * t.cycle_secs());
+            let plain = t.times_to_download(&sizes, t0);
+            let cache = TraceScanCache::new(&t);
+            let mut out = vec![0.0; 3]; // stale contents must be cleared
+            t.times_to_download_with(&cache, &sizes, t0, &mut out);
+            prop_assert_eq!(plain.len(), out.len());
+            for (a, b) in plain.iter().zip(&out) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

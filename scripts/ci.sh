@@ -15,6 +15,23 @@ cargo test --workspace -q
 if [[ "${1:-}" != "quick" ]]; then
   echo "== release build =="
   cargo build --release --workspace
+
+  echo "== harness smoke: OPT cache parity =="
+  # The full report must be byte-identical with the OPT cache on and off.
+  # The §7.4 overhead section (wall-clock microbenchmarks + the cache's own
+  # stats) and the run-info footer (elapsed) describe the run rather than
+  # the results, so those sections are stripped before comparing.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+  filter_report() {
+    awk '/^== / { skip = ($0 ~ /overhead|run info/) } !skip { print }'
+  }
+  ./target/release/abr_harness all --traces 5 --quick \
+    | filter_report > "$smoke_dir/full_report.cached.txt"
+  ./target/release/abr_harness all --traces 5 --quick --no-opt-cache \
+    | filter_report > "$smoke_dir/full_report.nocache.txt"
+  diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.nocache.txt"
+  echo "cache on/off reports identical"
 fi
 
 echo "== benches compile =="
