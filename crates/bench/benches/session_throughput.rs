@@ -5,10 +5,10 @@
 use abr_baselines::{BufferBased, RateBased};
 use abr_bench::video;
 use abr_core::Mpc;
-use abr_net::{run_emulated_session, NetConfig};
+use abr_net::{run_emulated_session, run_emulated_session_with, NetConfig};
 use abr_offline::{optimal_qoe, OfflineConfig};
 use abr_predictor::HarmonicMean;
-use abr_sim::{run_session, SimConfig};
+use abr_sim::{run_session, run_session_with, SessionResult, SessionScratch, SimConfig};
 use abr_trace::Dataset;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -70,6 +70,45 @@ fn bench_sessions(c: &mut Criterion) {
                 &cfg,
                 &NetConfig::typical(),
             ))
+        })
+    });
+    // The allocation-lean entry points grid drivers use: one scratch and
+    // one result reused across sessions, so the steady state stays off the
+    // allocator. Results are bit-identical to the owning variants above.
+    group.bench_function("sim_robustmpc_scratch", |b| {
+        let mut scratch = SessionScratch::new();
+        let mut out = SessionResult::default();
+        b.iter(|| {
+            let mut ctrl = Mpc::robust();
+            run_session_with(
+                &mut scratch,
+                &mut out,
+                &mut ctrl,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+            );
+            black_box(out.qoe.qoe)
+        })
+    });
+    group.bench_function("emulated_robustmpc_scratch", |b| {
+        let net = NetConfig::typical();
+        let mut scratch = SessionScratch::new();
+        let mut out = SessionResult::default();
+        b.iter(|| {
+            let mut ctrl = Mpc::robust();
+            run_emulated_session_with(
+                &mut scratch,
+                &mut out,
+                &mut ctrl,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &net,
+            );
+            black_box(out.qoe.qoe)
         })
     });
     group.finish();

@@ -1,0 +1,91 @@
+//! Trace-scan kernels: the two integrals every simulated chunk download
+//! calls (`integrate_kbits`, `time_to_download`), comparing the naive
+//! linear scans kept as oracles, the indexed cold-start path (binary
+//! search per call), and the cursor'd path a session actually uses
+//! (amortized O(1) along the forward-moving wall clock).
+
+use abr_trace::{Dataset, TraceCursor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Session-shaped access pattern: a forward-moving clock sampling both
+/// kernels once per step, like one chunk download does.
+const STEPS: usize = 256;
+const STEP_SECS: f64 = 3.17;
+
+fn bench_kernels(c: &mut Criterion) {
+    let trace = Dataset::Fcc.generate(7, 1).remove(0);
+
+    let mut group = c.benchmark_group("trace_kernels");
+    group.sample_size(60);
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("integrate_naive", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..STEPS {
+                let t0 = i as f64 * STEP_SECS;
+                acc += trace.naive_integrate_kbits(black_box(t0), black_box(t0 + 5.0));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("integrate_indexed_cold", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..STEPS {
+                let t0 = i as f64 * STEP_SECS;
+                acc += trace.integrate_kbits(black_box(t0), black_box(t0 + 5.0));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("integrate_cursor", |b| {
+        b.iter(|| {
+            let mut cursor = TraceCursor::new();
+            let mut acc = 0.0;
+            for i in 0..STEPS {
+                let t0 = i as f64 * STEP_SECS;
+                acc += trace.integrate_kbits_at(&mut cursor, black_box(t0), black_box(t0 + 5.0));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("ttd_naive", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..STEPS {
+                let t0 = i as f64 * STEP_SECS;
+                acc += trace.naive_time_to_download(black_box(3000.0), black_box(t0));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("ttd_indexed_cold", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..STEPS {
+                let t0 = i as f64 * STEP_SECS;
+                acc += trace.time_to_download(black_box(3000.0), black_box(t0));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("ttd_cursor", |b| {
+        b.iter(|| {
+            let mut cursor = TraceCursor::new();
+            let mut acc = 0.0;
+            for i in 0..STEPS {
+                let t0 = i as f64 * STEP_SECS;
+                acc += trace.time_to_download_at(&mut cursor, black_box(3000.0), black_box(t0));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

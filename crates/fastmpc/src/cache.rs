@@ -1,0 +1,268 @@
+//! Cross-experiment cache of generated FastMPC tables.
+//!
+//! Several experiments (the figure-8/9/10 grids, fig11's sensitivity
+//! panels, fig12's sweeps, table 1, the ablation, the multiplayer study)
+//! generate a FastMPC decision table for the *same* (video, buffer,
+//! weights, resolution) instance. Generation is the most expensive single
+//! step left in `abr_harness all` — 50,000 exact MPC solves at paper
+//! resolution — so [`TableCache`] memoizes whole [`FastMpcTable`]s keyed by
+//! a content hash, making a full harness run generate each distinct table
+//! exactly once (the sibling of `abr_offline::cache::OptCache` for the
+//! table pipeline).
+//!
+//! Keys are content hashes (128-bit FNV-1a over the exact `f64` bit
+//! patterns of the video timing/ladder/sizes, the buffer cap and every
+//! field of the [`TableConfig`]), so a cache entry can never be served for
+//! a different instance than the one it was generated for — and because
+//! generation is bit-deterministic across [`crate::GenMode`]s, a hit
+//! returns exactly the bytes a fresh generation would produce.
+
+use crate::table::{FastMpcTable, TableConfig};
+use abr_video::{LevelIdx, QualityFn, Video};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// 128-bit FNV-1a, matching `abr_offline::cache`: cheap, dependency-free,
+// and wide enough that collisions across a handful of cached tables are
+// not a concern.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u128::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn len(&mut self, v: usize) {
+        self.bytes(&(v as u64).to_le_bytes());
+    }
+}
+
+/// Content hash identifying one table-generation instance: the video's
+/// timing, ladder and per-chunk per-level sizes, the buffer cap, and every
+/// field of the [`TableConfig`] (both bin specs, horizon, QoE weights
+/// including the quality function). All floats are hashed by bit pattern,
+/// so any observable difference in the instance yields a different key.
+pub fn table_key(video: &Video, buffer_max_secs: f64, cfg: &TableConfig) -> u128 {
+    let mut h = Fnv::new();
+    // Video: timing, ladder, and per-chunk per-level sizes (covers VBR).
+    h.f64(video.chunk_secs());
+    h.len(video.num_chunks());
+    h.len(video.ladder().len());
+    for &r in video.ladder().levels() {
+        h.f64(r);
+    }
+    for k in 0..video.num_chunks() {
+        for l in 0..video.ladder().len() {
+            h.f64(video.chunk_size_kbits(k, LevelIdx(l)));
+        }
+    }
+    h.f64(buffer_max_secs);
+    // Config: bins, horizon, weights.
+    for bins in [&cfg.buffer_bins, &cfg.throughput_bins] {
+        h.len(bins.count);
+        h.f64(bins.lo);
+        h.f64(bins.hi);
+        h.byte(bins.log as u8);
+    }
+    h.len(cfg.horizon);
+    let w = &cfg.weights;
+    h.f64(w.lambda);
+    h.f64(w.mu);
+    h.f64(w.mu_s);
+    h.f64(w.mu_event);
+    match &w.quality {
+        QualityFn::Identity => h.byte(0),
+        QualityFn::Log { r0, scale } => {
+            h.byte(1);
+            h.f64(*r0);
+            h.f64(*scale);
+        }
+        QualityFn::Saturating { cap_kbps } => {
+            h.byte(2);
+            h.f64(*cap_kbps);
+        }
+        QualityFn::Table { knots } => {
+            h.byte(3);
+            h.len(knots.len());
+            for &(b, q) in knots {
+                h.f64(b);
+                h.f64(q);
+            }
+        }
+    }
+    h.0
+}
+
+/// Counters describing what a [`TableCache`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCacheStats {
+    /// Distinct tables currently cached.
+    pub entries: usize,
+    /// Tables produced by running the offline enumeration (cache misses).
+    pub generates: u64,
+    /// Tables served without generating (cache hits).
+    pub hits: u64,
+}
+
+/// A thread-safe memo table of generated FastMPC tables.
+///
+/// [`ensure`](TableCache::ensure) returns the cached table for an instance,
+/// generating it on first request. Concurrent requests for the *same*
+/// missing instance are serialized per key so each distinct instance is
+/// generated exactly once per process — the `generates` counter equals the
+/// number of entries, which the overhead report surfaces as the
+/// exactly-once check.
+#[derive(Debug, Default)]
+pub struct TableCache {
+    map: Mutex<HashMap<u128, Arc<OnceSlot>>>,
+    generates: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// One cache slot: generation happens inside the slot's lock so two
+/// threads racing on the same key run one generation, not two, while
+/// generations for *different* keys proceed in parallel (the outer map
+/// lock is never held across a generation).
+#[derive(Debug, Default)]
+struct OnceSlot {
+    table: Mutex<Option<Arc<FastMpcTable>>>,
+}
+
+impl TableCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct tables cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("table cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> TableCacheStats {
+        TableCacheStats {
+            entries: self.len(),
+            generates: self.generates.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The table for `(video, buffer_max_secs, cfg)`, generated on first
+    /// request and served from memory afterwards. A hit is bit-identical to
+    /// a fresh [`FastMpcTable::generate`].
+    pub fn ensure(&self, video: &Video, buffer_max_secs: f64, cfg: &TableConfig) -> Arc<FastMpcTable> {
+        let key = table_key(video, buffer_max_secs, cfg);
+        let slot = {
+            let mut map = self.map.lock().expect("table cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut table = slot.table.lock().expect("table slot poisoned");
+        match &*table {
+            Some(t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(t)
+            }
+            None => {
+                let t = Arc::new(FastMpcTable::generate(video, buffer_max_secs, cfg.clone()));
+                self.generates.fetch_add(1, Ordering::Relaxed);
+                *table = Some(Arc::clone(&t));
+                t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::envivio_video;
+
+    fn small_cfg(buffer_max: f64) -> TableConfig {
+        TableConfig::with_levels(6, buffer_max)
+    }
+
+    #[test]
+    fn ensure_generates_each_instance_exactly_once() {
+        let video = envivio_video();
+        let cache = TableCache::new();
+        let a = cache.ensure(&video, 30.0, &small_cfg(30.0));
+        let b = cache.ensure(&video, 30.0, &small_cfg(30.0));
+        let c = cache.ensure(&video, 20.0, &small_cfg(20.0));
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached table");
+        assert!(!Arc::ptr_eq(&a, &c), "different instance, different table");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.generates, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cached_table_is_bit_identical_to_fresh_generation() {
+        let video = envivio_video();
+        let cache = TableCache::new();
+        let cached = cache.ensure(&video, 30.0, &small_cfg(30.0));
+        let fresh = FastMpcTable::generate(&video, 30.0, small_cfg(30.0));
+        assert_eq!(*cached, fresh);
+        assert_eq!(cached.to_bytes(), fresh.to_bytes());
+    }
+
+    #[test]
+    fn key_is_sensitive_to_every_config_field() {
+        let video = envivio_video();
+        let base = small_cfg(30.0);
+        let base_key = table_key(&video, 30.0, &base);
+        let mut horizon = base.clone();
+        horizon.horizon = 4;
+        let mut weights = base.clone();
+        weights.weights.mu = 7777.0;
+        let mut bins = base.clone();
+        bins.throughput_bins.count += 1;
+        for (what, cfg) in [("horizon", &horizon), ("weights", &weights), ("bins", &bins)] {
+            assert_ne!(base_key, table_key(&video, 30.0, cfg), "{what}");
+        }
+        assert_ne!(base_key, table_key(&video, 29.0, &base), "buffer cap");
+    }
+
+    #[test]
+    fn concurrent_ensure_generates_once() {
+        let video = envivio_video();
+        let cache = Arc::new(TableCache::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let video = &video;
+                s.spawn(move || {
+                    cache.ensure(video, 30.0, &small_cfg(30.0));
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.generates, 1, "racing threads must share one generation");
+        assert_eq!(stats.hits, 3);
+    }
+}

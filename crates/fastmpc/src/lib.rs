@@ -34,12 +34,14 @@
 #![warn(missing_docs)]
 
 mod bins;
+pub mod cache;
 pub mod codec;
 mod controller;
 mod rle;
 mod table;
 
 pub use bins::BinSpec;
+pub use cache::{table_key, TableCache, TableCacheStats};
 pub use codec::CodecError;
 pub use controller::FastMpc;
 pub use rle::Rle;

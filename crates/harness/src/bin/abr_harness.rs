@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -45,7 +45,11 @@ options:
                save after, so repeat invocations skip the offline DP
   --no-opt-cache
                disable the shared OPT result cache (each experiment solves
-               its own OPT problems; results are identical, only slower)";
+               its own OPT problems; results are identical, only slower)
+  --no-table-cache
+               disable the shared FastMPC table cache (each experiment
+               generates its own decision tables; results are identical,
+               only slower)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -90,6 +94,7 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                     Some(PathBuf::from(it.next().ok_or("--opt-cache needs a value")?));
             }
             "--no-opt-cache" => opts.no_opt_cache = true,
+            "--no-table-cache" => opts.no_table_cache = true,
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -191,6 +196,16 @@ mod tests {
     }
 
     #[test]
+    fn parses_table_cache_flag() {
+        let (_, opts) = parse(&args(&["all"])).unwrap();
+        assert!(!opts.no_table_cache);
+
+        let (_, opts) = parse(&args(&["all", "--no-table-cache"])).unwrap();
+        assert!(opts.no_table_cache);
+        assert!(!opts.no_opt_cache, "flags are independent");
+    }
+
+    #[test]
     fn defaults_apply() {
         let (cmd, opts) = parse(&args(&["table1"])).unwrap();
         assert_eq!(cmd, "table1");
@@ -239,6 +254,7 @@ fn main() {
     // Cache chatter goes to stderr so stdout stays byte-comparable across
     // cache-on / cache-off runs.
     abr_harness::set_opt_cache_enabled(!opts.no_opt_cache);
+    abr_harness::set_table_cache_enabled(!opts.no_table_cache);
     if let Some(path) = &opts.opt_cache_path {
         if opts.no_opt_cache {
             eprintln!("error: --opt-cache and --no-opt-cache are mutually exclusive");

@@ -244,7 +244,12 @@ pub fn run_bins(opts: &ExpOptions) -> String {
         } else {
             BinSpec::linear(levels, 100.0, 10_000.0)
         };
-        Arc::new(FastMpcTable::generate(&video, 30.0, tc))
+        // Custom bin layouts go through the cache directly: the content key
+        // covers every config field, so the two variants never collide.
+        match &cfg.table_cache {
+            Some(cache) => cache.ensure(&video, 30.0, &tc),
+            None => Arc::new(FastMpcTable::generate(&video, 30.0, tc)),
+        }
     };
     let tables = [("log bins", make_table(true)), ("linear bins", make_table(false))];
 

@@ -8,7 +8,7 @@
 use super::ExpOptions;
 use crate::registry::{Algo, PredictorSpec};
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::{opt_results, par_map, run_algo_session, EvalConfig};
+use crate::runner::{fastmpc_table, opt_results, par_map, run_algo_session, EvalConfig};
 use abr_sim::StartupPolicy;
 use abr_trace::{stats, Dataset, Trace};
 use abr_video::{envivio_video, QoePreference, QoeWeights, Video};
@@ -39,11 +39,12 @@ fn median_n_qoe(
     opt_excl: &[f64],
 ) -> f64 {
     let table = if algo.needs_table() {
-        Some(Algo::default_table(
+        Some(fastmpc_table(
             video,
             cfg.sim.buffer_max_secs,
             cfg.weights(),
             cfg.fastmpc_levels,
+            cfg.table_cache.as_ref(),
         ))
     } else {
         None

@@ -7,8 +7,8 @@
 use super::ExpOptions;
 use crate::registry::{Algo, PredictorSpec};
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::{opt_results, par_map, run_algo_session, EvalConfig};
-use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use crate::runner::{fastmpc_table, opt_results, par_map, run_algo_session, EvalConfig};
+use abr_fastmpc::FastMpc;
 use abr_sim::run_session;
 use abr_trace::{Dataset, Trace};
 use abr_video::envivio_video;
@@ -48,13 +48,13 @@ pub fn run_fig12a(opts: &ExpOptions) -> String {
         &["levels", "perfect prediction", "harmonic mean"],
     );
     for &n in &levels {
-        let mut table_cfg = TableConfig::with_levels(n, cfg.sim.buffer_max_secs);
-        table_cfg.weights = cfg.weights().clone();
-        let table = Arc::new(FastMpcTable::generate(
+        let table = fastmpc_table(
             &video,
             cfg.sim.buffer_max_secs,
-            table_cfg,
-        ));
+            cfg.weights(),
+            n,
+            cfg.table_cache.as_ref(),
+        );
         let mut row = vec![n.to_string()];
         for spec in [PredictorSpec::Oracle(0.0), PredictorSpec::Harmonic] {
             let scores: Vec<f64> = par_map(traces.len(), |i| {

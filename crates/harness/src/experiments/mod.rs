@@ -37,6 +37,10 @@ pub struct ExpOptions {
     /// Disables the in-process OPT cache (every experiment solves its own
     /// OPT problems from scratch). Set from `--no-opt-cache`.
     pub no_opt_cache: bool,
+    /// Disables the in-process FastMPC table cache (every experiment
+    /// generates its own decision tables from scratch). Set from
+    /// `--no-table-cache`.
+    pub no_table_cache: bool,
 }
 
 impl Default for ExpOptions {
@@ -49,6 +53,7 @@ impl Default for ExpOptions {
             threads: None,
             opt_cache_path: None,
             no_opt_cache: false,
+            no_table_cache: false,
         }
     }
 }

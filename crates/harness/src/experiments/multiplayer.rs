@@ -11,7 +11,7 @@
 use super::ExpOptions;
 use crate::registry::Algo;
 use crate::report::{fmt_num, write_csv, Table};
-use crate::runner::par_map;
+use crate::runner::{default_table_cache, fastmpc_table, par_map};
 use abr_net::multiplayer::{run_shared_session, SharedPlayer};
 use abr_predictor::HarmonicMean;
 use abr_sim::SimConfig;
@@ -36,7 +36,13 @@ pub fn run(opts: &ExpOptions) -> String {
     let traces = shared_traces(opts, opts.traces_capped(20));
     let counts = if opts.quick { vec![2usize] } else { vec![2usize, 3, 4] };
     let algos = [Algo::Rb, Algo::Bb, Algo::Festive, Algo::RobustMpc];
-    let table = Algo::default_table(&video, cfg.buffer_max_secs, &weights, 30);
+    let table = fastmpc_table(
+        &video,
+        cfg.buffer_max_secs,
+        &weights,
+        30,
+        default_table_cache().as_ref(),
+    );
 
     let mut t = Table::new(
         "Multi-player (§8 extension): homogeneous players on a shared bottleneck",

@@ -8,7 +8,9 @@
 use super::ExpOptions;
 use crate::registry::Algo;
 use crate::report::{write_csv, Table};
-use crate::runner::{global_opt_cache, opt_cache_enabled};
+use crate::runner::{
+    global_opt_cache, global_table_cache, opt_cache_enabled, table_cache_enabled,
+};
 use abr_core::ControllerContext;
 use abr_fastmpc::{FastMpcTable, GenMode, TableConfig};
 use abr_video::{envivio_video, LevelIdx, QoeWeights};
@@ -146,12 +148,41 @@ pub fn run(opts: &ExpOptions) -> String {
     ]);
     write_csv(opts.out.as_deref(), "overhead_opt_cache", &cache).expect("csv write");
 
+    // FastMPC table cache: the table-pipeline sibling of the OPT cache.
+    // Under `abr_harness all` every experiment shares the process-wide
+    // cache, so "unique generations" equals "entries" — each distinct
+    // (video, buffer, table-config) instance was enumerated exactly once.
+    let tstats = global_table_cache().stats();
+    let mut tcache = Table::new(
+        "§7.4 overhead: FastMPC table cache",
+        &["metric", "value"],
+    );
+    tcache.row(vec![
+        "table cache attached".to_string(),
+        table_cache_enabled().to_string(),
+    ]);
+    tcache.row(vec![
+        "table cache entries".to_string(),
+        tstats.entries.to_string(),
+    ]);
+    tcache.row(vec![
+        "table cache unique generations".to_string(),
+        tstats.generates.to_string(),
+    ]);
+    tcache.row(vec!["table cache hits".to_string(), tstats.hits.to_string()]);
+    tcache.row(vec![
+        "table cache generated exactly once per instance".to_string(),
+        (tstats.generates == tstats.entries as u64).to_string(),
+    ]);
+    write_csv(opts.out.as_deref(), "overhead_table_cache", &tcache).expect("csv write");
+
     format!(
-        "{}\n{}\n{}\n{}",
+        "{}\n{}\n{}\n{}\n{}",
         gen.render(),
         t.render(),
         mem.render(),
-        cache.render()
+        cache.render(),
+        tcache.render()
     )
 }
 
@@ -173,5 +204,7 @@ mod tests {
         assert!(s.contains("speedup vs sequential"));
         assert!(s.contains("opt cache unique solves"));
         assert!(s.contains("opt cache solved exactly once per problem"));
+        assert!(s.contains("table cache unique generations"));
+        assert!(s.contains("table cache generated exactly once per instance"));
     }
 }

@@ -3,8 +3,8 @@
 
 use super::ExpOptions;
 use crate::report::{write_csv, Table};
-use abr_fastmpc::{FastMpcTable, TableConfig};
-use abr_video::envivio_video;
+use crate::runner::{default_table_cache, fastmpc_table};
+use abr_video::{envivio_video, QoeWeights};
 
 /// Runs the experiment and returns the rendered report.
 pub fn run(opts: &ExpOptions) -> String {
@@ -24,8 +24,9 @@ pub fn run(opts: &ExpOptions) -> String {
             "compression",
         ],
     );
+    let weights = QoeWeights::balanced();
     for &n in &levels {
-        let table = FastMpcTable::generate(&video, 30.0, TableConfig::with_levels(n, 30.0));
+        let table = fastmpc_table(&video, 30.0, &weights, n, default_table_cache().as_ref());
         let ratio = table.rle_size_bytes() as f64 / table.full_size_bytes() as f64;
         t.row(vec![
             n.to_string(),

@@ -2,10 +2,10 @@
 //! against the offline optimum, and fans work across CPU cores.
 
 use crate::registry::{Algo, PredictorSpec};
-use abr_fastmpc::FastMpcTable;
-use abr_net::{run_emulated_session, NetConfig};
+use abr_fastmpc::{FastMpcTable, TableCache, TableConfig};
+use abr_net::{run_emulated_session_with, NetConfig};
 use abr_offline::{OfflineConfig, OfflineResult, OptCache};
-use abr_sim::{run_session, SessionResult, SimConfig};
+use abr_sim::{run_session_with, SessionResult, SessionScratch, SimConfig};
 use abr_trace::Trace;
 use abr_video::{QoeWeights, Video};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +48,65 @@ pub fn default_opt_cache() -> Option<Arc<OptCache>> {
     }
 }
 
+/// Whether [`EvalConfig::paper_default`] attaches the process-wide FastMPC
+/// table cache. On by default; the CLI's `--no-table-cache` flag clears it.
+static TABLE_CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The process-wide table cache shared by every experiment in a harness run.
+static GLOBAL_TABLE_CACHE: OnceLock<Arc<TableCache>> = OnceLock::new();
+
+/// Enables or disables attaching the shared table cache to configurations
+/// built by [`EvalConfig::paper_default`]. Explicitly-set `table_cache`
+/// fields are unaffected.
+pub fn set_table_cache_enabled(enabled: bool) {
+    TABLE_CACHE_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`EvalConfig::paper_default`] currently attaches the shared
+/// table cache.
+pub fn table_cache_enabled() -> bool {
+    TABLE_CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide table cache (created on first use). One shared cache is
+/// what makes `abr_harness all` generate each distinct FastMPC table exactly
+/// once across experiments.
+pub fn global_table_cache() -> &'static Arc<TableCache> {
+    GLOBAL_TABLE_CACHE.get_or_init(|| Arc::new(TableCache::new()))
+}
+
+/// The cache handle [`EvalConfig::paper_default`] attaches: the shared
+/// cache when enabled, `None` when disabled via [`set_table_cache_enabled`].
+pub fn default_table_cache() -> Option<Arc<TableCache>> {
+    if table_cache_enabled() {
+        Some(Arc::clone(global_table_cache()))
+    } else {
+        None
+    }
+}
+
+/// The FastMPC table for `(video, buffer, weights, levels)`, through `cache`
+/// when one is attached (each distinct table generated once per process) or
+/// by a direct generation otherwise. Every experiment that needs a table
+/// goes through this helper — none call the generator directly — so the
+/// cache policy is decided in exactly one place. Builds the same
+/// [`TableConfig`] as [`Algo::default_table`], so a hit is bit-identical to
+/// a fresh generation.
+pub fn fastmpc_table(
+    video: &Video,
+    buffer_max_secs: f64,
+    weights: &QoeWeights,
+    levels: usize,
+    cache: Option<&Arc<TableCache>>,
+) -> Arc<FastMpcTable> {
+    let mut cfg = TableConfig::with_levels(levels, buffer_max_secs);
+    cfg.weights = weights.clone();
+    match cache {
+        Some(cache) => cache.ensure(video, buffer_max_secs, &cfg),
+        None => Arc::new(FastMpcTable::generate(video, buffer_max_secs, cfg)),
+    }
+}
+
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {
@@ -72,6 +131,10 @@ pub struct EvalConfig {
     /// before solving). `None` solves from scratch every time; results are
     /// bit-identical either way, only wall-clock differs.
     pub opt_cache: Option<Arc<OptCache>>,
+    /// Memo table for generated FastMPC decision tables ([`fastmpc_table`]
+    /// consults it before generating). `None` generates from scratch every
+    /// time; tables are bit-identical either way, only wall-clock differs.
+    pub table_cache: Option<Arc<TableCache>>,
 }
 
 impl EvalConfig {
@@ -86,6 +149,7 @@ impl EvalConfig {
             fastmpc_levels: 100,
             seed: 42,
             opt_cache: default_opt_cache(),
+            table_cache: default_table_cache(),
         }
     }
 
@@ -186,19 +250,62 @@ pub fn run_algo_session(
     video: &Video,
     cfg: &EvalConfig,
 ) -> SessionResult {
+    let mut scratch = SessionScratch::new();
+    let mut out = SessionResult::default();
+    run_algo_session_with(
+        &mut scratch,
+        &mut out,
+        algo,
+        table,
+        spec,
+        seed,
+        trace,
+        video,
+        cfg,
+    );
+    out
+}
+
+/// [`run_algo_session`] writing into caller-owned buffers: `scratch` carries
+/// the session engine's reusable working memory across calls and `out` is
+/// overwritten with the result. Grid drivers keep one scratch per worker so
+/// the steady-state loop never touches the allocator; results are
+/// bit-identical to [`run_algo_session`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_algo_session_with(
+    scratch: &mut SessionScratch,
+    out: &mut SessionResult,
+    algo: Algo,
+    table: Option<&Arc<FastMpcTable>>,
+    spec: PredictorSpec,
+    seed: u64,
+    trace: &Trace,
+    video: &Video,
+    cfg: &EvalConfig,
+) {
     let mut controller = algo.build(table, cfg.weights(), cfg.horizon);
     let predictor = spec.build(seed);
     if cfg.emulated {
-        run_emulated_session(
+        run_emulated_session_with(
+            scratch,
+            out,
             controller.as_mut(),
             predictor,
             trace,
             video,
             &cfg.sim,
             &cfg.net,
-        )
+        );
     } else {
-        run_session(controller.as_mut(), predictor, trace, video, &cfg.sim)
+        run_session_with(
+            scratch,
+            out,
+            controller.as_mut(),
+            predictor,
+            trace,
+            video,
+            &cfg.sim,
+        );
     }
 }
 
@@ -217,11 +324,12 @@ pub fn evaluate_dataset(
     cfg: &EvalConfig,
 ) -> EvalOutcome {
     let table = if algos.iter().any(|a| a.needs_table()) {
-        Some(Algo::default_table(
+        Some(fastmpc_table(
             video,
             cfg.sim.buffer_max_secs,
             cfg.weights(),
             cfg.fastmpc_levels,
+            cfg.table_cache.as_ref(),
         ))
     } else {
         None
@@ -237,11 +345,18 @@ pub fn evaluate_dataset(
         if opt.qoe <= 0.0 {
             return None;
         }
+        // One scratch per par_map item: every session on this trace reuses
+        // the same working buffers, so the engine's steady state stays off
+        // the allocator while each result lands in its own `SessionResult`.
+        let mut scratch = SessionScratch::new();
         let sessions = algos
             .iter()
             .enumerate()
             .map(|(a_idx, algo)| {
-                run_algo_session(
+                let mut out = SessionResult::default();
+                run_algo_session_with(
+                    &mut scratch,
+                    &mut out,
                     *algo,
                     table.as_ref(),
                     algo.default_predictor(),
@@ -249,7 +364,8 @@ pub fn evaluate_dataset(
                     trace,
                     video,
                     cfg,
-                )
+                );
+                out
             })
             .collect();
         Some(TraceEval {
@@ -363,6 +479,43 @@ mod tests {
         for ((a, b), c) in first.traces.iter().zip(&second.traces).zip(&plain.traces) {
             assert_eq!(a.opt_qoe.to_bits(), b.opt_qoe.to_bits());
             assert_eq!(a.opt_qoe.to_bits(), c.opt_qoe.to_bits());
+            assert_eq!(a.sessions[0].qoe.qoe.to_bits(), c.sessions[0].qoe.qoe.to_bits());
+        }
+    }
+
+    #[test]
+    fn table_cache_does_not_change_results_and_generates_once() {
+        let video = envivio_video();
+        let traces = Dataset::Fcc.generate(13, 3);
+
+        // A private cache (not the process-global one) keeps this test
+        // independent of whatever other tests have cached.
+        let cache = Arc::new(TableCache::new());
+        let cached_cfg = EvalConfig {
+            table_cache: Some(Arc::clone(&cache)),
+            ..quick_cfg()
+        };
+        let plain_cfg = EvalConfig {
+            table_cache: None,
+            ..quick_cfg()
+        };
+
+        let first = evaluate_dataset(&[Algo::FastMpc], &traces, &video, &cached_cfg);
+        let second = evaluate_dataset(&[Algo::FastMpc], &traces, &video, &cached_cfg);
+        let plain = evaluate_dataset(&[Algo::FastMpc], &traces, &video, &plain_cfg);
+
+        let stats = cache.stats();
+        assert_eq!(
+            stats.generates as usize, stats.entries,
+            "each distinct table must be generated exactly once"
+        );
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hits >= 1);
+
+        assert_eq!(first.traces.len(), plain.traces.len());
+        assert_eq!(first.skipped, plain.skipped);
+        for ((a, b), c) in first.traces.iter().zip(&second.traces).zip(&plain.traces) {
+            assert_eq!(a.sessions[0].qoe.qoe.to_bits(), b.sessions[0].qoe.qoe.to_bits());
             assert_eq!(a.sessions[0].qoe.qoe.to_bits(), c.sessions[0].qoe.qoe.to_bits());
         }
     }

@@ -11,9 +11,10 @@
 use crate::mpd;
 use abr_video::{LevelIdx, Video};
 use bytes::Bytes;
+use std::borrow::Cow;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Errors from HTTP parsing or I/O.
 #[derive(Debug)]
@@ -252,22 +253,68 @@ pub fn chunk_bytes(video: &Video, k: usize, level: LevelIdx) -> usize {
 /// A DASH origin server: serves `/manifest.mpd` and
 /// `/video/{level}/{chunk}.m4s` with deterministic filler bodies of the
 /// exact encoded size.
+///
+/// The video is held as a [`Cow`] so the emulated path can borrow the
+/// caller's `Video` (thousands of per-session servers, zero clones) while
+/// the TCP path owns it (threads need `'static`). The manifest is generated
+/// lazily on first request — emulated sessions never fetch it, so they
+/// never pay for it.
 #[derive(Debug)]
-pub struct ChunkServer {
-    video: Video,
-    manifest: String,
+pub struct ChunkServer<'a> {
+    video: Cow<'a, Video>,
+    manifest: OnceLock<String>,
 }
 
-impl ChunkServer {
-    /// Builds a server for `video`.
+impl ChunkServer<'static> {
+    /// Builds a server owning `video`.
     pub fn new(video: Video) -> Self {
-        let manifest = mpd::generate(&video);
-        Self { video, manifest }
+        Self {
+            video: Cow::Owned(video),
+            manifest: OnceLock::new(),
+        }
+    }
+
+    /// Binds to an ephemeral localhost port and serves in a background
+    /// thread. Returns the bound address.
+    pub fn spawn(video: Video) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(ChunkServer::new(video));
+        std::thread::spawn(move || server.serve_tcp(listener));
+        Ok(addr)
+    }
+
+    /// Serves keep-alive connections on a real TCP listener until the
+    /// listener errors (e.g. is dropped). One thread per connection.
+    pub fn serve_tcp(self: Arc<Self>, listener: TcpListener) {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            let server = Arc::clone(&self);
+            std::thread::spawn(move || {
+                let _ = server.serve_connection(stream);
+            });
+        }
+    }
+}
+
+impl<'a> ChunkServer<'a> {
+    /// Builds a server borrowing `video` (the allocation-lean emulated
+    /// path).
+    pub fn borrowed(video: &'a Video) -> Self {
+        Self {
+            video: Cow::Borrowed(video),
+            manifest: OnceLock::new(),
+        }
     }
 
     /// The video being served.
     pub fn video(&self) -> &Video {
         &self.video
+    }
+
+    /// The MPD manifest (generated on first access).
+    pub fn manifest(&self) -> &str {
+        self.manifest.get_or_init(|| mpd::generate(&self.video))
     }
 
     /// Routes one request to a response (pure function of the request —
@@ -277,7 +324,10 @@ impl ChunkServer {
             return Response::not_found();
         }
         if req.path == "/manifest.mpd" {
-            return Response::ok(Bytes::from(self.manifest.clone()), "application/dash+xml");
+            return Response::ok(
+                Bytes::from(self.manifest().to_owned()),
+                "application/dash+xml",
+            );
         }
         if let Some(rest) = req.path.strip_prefix("/video/") {
             if let Some((level_s, chunk_s)) = rest.split_once('/') {
@@ -298,18 +348,6 @@ impl ChunkServer {
         Response::not_found()
     }
 
-    /// Serves keep-alive connections on a real TCP listener until the
-    /// listener errors (e.g. is dropped). One thread per connection.
-    pub fn serve_tcp(self: Arc<Self>, listener: TcpListener) {
-        for conn in listener.incoming() {
-            let Ok(stream) = conn else { break };
-            let server = Arc::clone(&self);
-            std::thread::spawn(move || {
-                let _ = server.serve_connection(stream);
-            });
-        }
-    }
-
     /// Handles one keep-alive connection to completion.
     pub fn serve_connection(&self, stream: TcpStream) -> Result<(), HttpError> {
         let mut writer = stream.try_clone()?;
@@ -321,16 +359,6 @@ impl ChunkServer {
             }
         }
         Ok(())
-    }
-
-    /// Binds to an ephemeral localhost port and serves in a background
-    /// thread. Returns the bound address.
-    pub fn spawn(video: Video) -> std::io::Result<SocketAddr> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        let server = Arc::new(ChunkServer::new(video));
-        std::thread::spawn(move || server.serve_tcp(listener));
-        Ok(addr)
     }
 }
 
@@ -456,6 +484,18 @@ mod tests {
         let mut post = Request::get("/manifest.mpd");
         post.method = "POST".into();
         assert_eq!(server.handle(&post).status, 404);
+    }
+
+    #[test]
+    fn borrowed_server_matches_owning_server() {
+        let video = envivio_video();
+        let owned = ChunkServer::new(video.clone());
+        let borrowed = ChunkServer::borrowed(&video);
+        for path in ["/manifest.mpd", "/video/2/7.m4s", "/nope"] {
+            let req = Request::get(path);
+            assert_eq!(owned.handle(&req), borrowed.handle(&req), "{path}");
+        }
+        assert_eq!(owned.manifest(), borrowed.manifest());
     }
 
     #[test]

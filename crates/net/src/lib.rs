@@ -39,4 +39,6 @@ pub mod player;
 
 pub use link::{ShapedLink, TokenBucket};
 pub use multiplayer::{jain_index, run_shared_session, SharedOutcome, SharedPlayer};
-pub use player::{run_emulated_session, NetConfig};
+pub use player::{
+    run_emulated_session, run_emulated_session_with, EmulatedDownloader, NetConfig,
+};

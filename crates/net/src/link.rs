@@ -2,20 +2,25 @@
 //! emulation path's stand-in for `tc` shaping) and a token bucket for
 //! real-time shaping.
 
-use abr_trace::Trace;
+use abr_trace::{Trace, TraceCursor};
+use std::borrow::Cow;
 
 /// A unidirectional link whose deliverable bandwidth follows a throughput
 /// trace, with a fixed one-way latency. All scheduling is in virtual time:
 /// [`ShapedLink::transfer`] answers "when does a transfer of `n` bytes
 /// started at `t` complete?" by exact piecewise integration of the trace.
+///
+/// The trace is a [`Cow`]: [`ShapedLink::new`] owns it, while the emulated
+/// player's per-session link borrows the caller's trace so running a grid
+/// of sessions clones nothing.
 #[derive(Debug, Clone)]
-pub struct ShapedLink {
-    trace: Trace,
+pub struct ShapedLink<'a> {
+    trace: Cow<'a, Trace>,
     latency_secs: f64,
 }
 
-impl ShapedLink {
-    /// Creates a link following `trace` with one-way latency
+impl ShapedLink<'static> {
+    /// Creates a link owning `trace` with one-way latency
     /// `latency_secs >= 0`.
     pub fn new(trace: Trace, latency_secs: f64) -> Self {
         assert!(
@@ -23,7 +28,22 @@ impl ShapedLink {
             "invalid latency {latency_secs}"
         );
         Self {
-            trace,
+            trace: Cow::Owned(trace),
+            latency_secs,
+        }
+    }
+}
+
+impl<'a> ShapedLink<'a> {
+    /// Creates a link borrowing `trace` with one-way latency
+    /// `latency_secs >= 0`.
+    pub fn borrowed(trace: &'a Trace, latency_secs: f64) -> Self {
+        assert!(
+            latency_secs >= 0.0 && latency_secs.is_finite(),
+            "invalid latency {latency_secs}"
+        );
+        Self {
+            trace: Cow::Borrowed(trace),
             latency_secs,
         }
     }
@@ -43,6 +63,15 @@ impl ShapedLink {
     pub fn transfer(&self, bytes: usize, start_secs: f64) -> f64 {
         let kbits = bytes as f64 * 8.0 / 1000.0;
         start_secs + self.latency_secs + self.trace.time_to_download(kbits, start_secs)
+    }
+
+    /// [`transfer`](Self::transfer) resuming from `cursor` — bit-identical,
+    /// amortized O(1) along a session's forward-moving clock.
+    pub fn transfer_at(&self, cursor: &mut TraceCursor, bytes: usize, start_secs: f64) -> f64 {
+        let kbits = bytes as f64 * 8.0 / 1000.0;
+        start_secs
+            + self.latency_secs
+            + self.trace.time_to_download_at(cursor, kbits, start_secs)
     }
 
     /// Average throughput the link would deliver to a transfer of `bytes`
@@ -153,6 +182,22 @@ mod tests {
         // 2000 kbits takes 1s + 1/3s -> effective 1500 kbps.
         let kbps = link.effective_kbps(250_000, 0.0);
         assert!((kbps - 1500.0).abs() < 1e-6, "{kbps}");
+    }
+
+    #[test]
+    fn borrowed_link_and_cursor_transfer_match_owned() {
+        let t = Trace::new(vec![(10.0, 1000.0), (5.0, 0.0), (10.0, 2000.0)]).unwrap();
+        let owned = ShapedLink::new(t.clone(), 0.03);
+        let link = ShapedLink::borrowed(&t, 0.03);
+        let mut cursor = TraceCursor::new();
+        let mut start = 0.0;
+        for i in 0..40 {
+            let bytes = 10_000 + i * 7_919;
+            let a = owned.transfer(bytes, start);
+            let b = link.transfer_at(&mut cursor, bytes, start);
+            assert_eq!(a.to_bits(), b.to_bits(), "transfer {i} diverged");
+            start += 1.7;
+        }
     }
 
     #[test]

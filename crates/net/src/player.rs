@@ -20,10 +20,13 @@ use crate::link::{ShapedLink, TokenBucket};
 use crate::mpd;
 use abr_core::{advance_buffer, BitrateController, ControllerContext};
 use abr_predictor::{ErrorTracked, Predictor};
-use abr_sim::{ChunkRecord, SessionResult, SimConfig, StartupPolicy};
-use abr_trace::Trace;
-use abr_video::{QoeBreakdown, Video};
+use abr_sim::{
+    run_session_core, ChunkDownloader, ChunkRecord, SessionResult, SessionScratch, SimConfig,
+};
+use abr_trace::{Trace, TraceCursor};
+use abr_video::{LevelIdx, QoeBreakdown, Video};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::io::{Cursor, Read};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
@@ -50,11 +53,87 @@ impl NetConfig {
     }
 }
 
+/// The emulated path's downloader: a per-chunk HTTP exchange (serialized,
+/// re-parsed and routed by the origin, re-parsed by the client) whose
+/// delivery time is paced by a [`ShapedLink`]. The server borrows the
+/// video, the link borrows the trace, and the request/framing buffers are
+/// reused across chunks — one session allocates no per-chunk paths or
+/// byte vectors.
+pub struct EmulatedDownloader<'a> {
+    server: ChunkServer<'a>,
+    link: ShapedLink<'a>,
+    video: &'a Video,
+    cursor: TraceCursor,
+    req: Request,
+    req_bytes: Vec<u8>,
+    resp_bytes: Vec<u8>,
+}
+
+impl<'a> EmulatedDownloader<'a> {
+    /// Builds a downloader serving `video` over `trace` shaped by `net`.
+    pub fn new(video: &'a Video, trace: &'a Trace, net: &NetConfig) -> Self {
+        Self {
+            server: ChunkServer::borrowed(video),
+            link: ShapedLink::borrowed(trace, net.latency_secs),
+            video,
+            cursor: TraceCursor::new(),
+            req: Request::get(""),
+            req_bytes: Vec::new(),
+            resp_bytes: Vec::new(),
+        }
+    }
+}
+
+impl ChunkDownloader for EmulatedDownloader<'_> {
+    fn download_secs(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        _size_kbits: f64,
+        start_secs: f64,
+    ) -> f64 {
+        // --- The HTTP exchange, for real ---------------------------------
+        // Serialize the request and let the origin parse and route it.
+        self.req.path.clear();
+        write!(self.req.path, "/video/{}/{index}.m4s", level.get())
+            .expect("writing to a String cannot fail");
+        self.req_bytes.clear();
+        self.req
+            .write_to(&mut self.req_bytes)
+            .expect("serializing to memory cannot fail");
+        let parsed_req = Request::read_from(&mut Cursor::new(&self.req_bytes[..]))
+            .expect("we produced well-formed bytes")
+            .expect("request present");
+        let response = self.server.handle(&parsed_req);
+        assert_eq!(response.status, 200, "origin rejected {}", self.req.path);
+        // Serialize the response; its delivery is paced by the shaped link.
+        self.resp_bytes.clear();
+        response
+            .write_to(&mut self.resp_bytes)
+            .expect("serializing to memory cannot fail");
+        // Request crosses upstream (latency), response body is trace-paced.
+        let request_arrives = start_secs + self.link.latency_secs();
+        let done = self
+            .link
+            .transfer_at(&mut self.cursor, self.resp_bytes.len(), request_arrives);
+        // The client re-parses the delivered bytes.
+        let parsed = Response::read_from(&mut Cursor::new(&self.resp_bytes[..]))
+            .expect("well-formed response bytes");
+        let expected_bytes = chunk_bytes(self.video, index, level);
+        assert_eq!(parsed.body.len(), expected_bytes, "body size mismatch");
+        // ------------------------------------------------------------------
+        done - start_secs
+    }
+}
+
 /// Runs one emulated streaming session over the shaped link.
 ///
 /// Every chunk request is serialized, re-parsed by the origin, routed, and
 /// the response re-parsed by the client — the full HTTP code path — while
-/// the body's delivery time follows the trace exactly.
+/// the body's delivery time follows the trace exactly. The control loop is
+/// [`abr_sim::run_session_core`] — the very same code the simulator runs —
+/// so startup policy, robust bounds and live pacing behave identically on
+/// both paths.
 pub fn run_emulated_session<P: Predictor>(
     controller: &mut dyn BitrateController,
     predictor: P,
@@ -63,131 +142,45 @@ pub fn run_emulated_session<P: Predictor>(
     cfg: &SimConfig,
     net: &NetConfig,
 ) -> SessionResult {
-    controller.reset();
-    let mut predictor = ErrorTracked::new(predictor, cfg.error_window);
-    let server = ChunkServer::new(video.clone());
+    let mut scratch = SessionScratch::new();
+    let mut out = SessionResult::default();
+    run_emulated_session_with(
+        &mut scratch,
+        &mut out,
+        controller,
+        predictor,
+        trace,
+        video,
+        cfg,
+        net,
+    );
+    out
+}
 
-    let mut qoe = QoeBreakdown::default();
-    let mut records = Vec::with_capacity(video.num_chunks());
-    let link = ShapedLink::new(trace.clone(), net.latency_secs);
-    let mut now = 0.0_f64;
-    let mut buffer = 0.0_f64;
-    let mut prev_level = None;
-    let mut startup_secs = 0.0_f64;
-    let mut last_throughput = None;
-    let mut low_buffer_history: VecDeque<bool> =
-        VecDeque::with_capacity(cfg.low_buffer_window_chunks);
-
-    for k in 0..video.num_chunks() {
-        let horizon_end = now + cfg.hint_horizon_secs.max(video.chunk_secs());
-        let truth = trace.integrate_kbits(now, horizon_end) / (horizon_end - now);
-        if truth > 0.0 {
-            predictor.hint_future(truth);
-        }
-        let prediction = predictor.predict();
-        let ctx = ControllerContext {
-            chunk_index: k,
-            buffer_secs: buffer,
-            prev_level,
-            prediction_kbps: prediction,
-            robust_lower_kbps: predictor.robust_lower_bound(),
-            last_throughput_kbps: last_throughput,
-            recent_low_buffer: low_buffer_history.iter().any(|&b| b),
-            startup: k == 0,
-            video,
-            buffer_max_secs: cfg.buffer_max_secs,
-        };
-        let decision = controller.decide(&ctx);
-        let level = decision.level;
-
-        if k == 0 {
-            match cfg.startup {
-                StartupPolicy::FirstChunk => {}
-                StartupPolicy::Fixed(ts) => {
-                    startup_secs = ts;
-                    buffer = ts.min(cfg.buffer_max_secs);
-                }
-                StartupPolicy::Controller => {
-                    let ts = decision.startup_wait_secs.unwrap_or(0.0);
-                    startup_secs = ts;
-                    buffer = ts.min(cfg.buffer_max_secs);
-                }
-            }
-        }
-
-        // --- The HTTP exchange, for real ---------------------------------
-        // Serialize the request and let the origin parse and route it.
-        let path = format!("/video/{}/{k}.m4s", level.get());
-        let mut req_bytes = Vec::new();
-        Request::get(&path)
-            .write_to(&mut req_bytes)
-            .expect("serializing to memory cannot fail");
-        let parsed_req = Request::read_from(&mut Cursor::new(req_bytes))
-            .expect("we produced well-formed bytes")
-            .expect("request present");
-        let response = server.handle(&parsed_req);
-        assert_eq!(response.status, 200, "origin rejected {path}");
-        // Serialize the response; its delivery is paced by the shaped link.
-        let mut resp_bytes = Vec::new();
-        response
-            .write_to(&mut resp_bytes)
-            .expect("serializing to memory cannot fail");
-        // Request crosses upstream (latency), response body is trace-paced.
-        let request_arrives = now + net.latency_secs;
-        let done = link.transfer(resp_bytes.len(), request_arrives);
-        let download_secs = done - now;
-        // The client re-parses the delivered bytes.
-        let parsed = Response::read_from(&mut Cursor::new(resp_bytes))
-            .expect("well-formed response bytes");
-        let expected_bytes = chunk_bytes(video, k, level);
-        assert_eq!(parsed.body.len(), expected_bytes, "body size mismatch");
-        // ------------------------------------------------------------------
-
-        let size_kbits = video.chunk_size_kbits(k, level);
-        let throughput = size_kbits / download_secs;
-        let mut step =
-            advance_buffer(buffer, download_secs, video.chunk_secs(), cfg.buffer_max_secs);
-        if k == 0 && matches!(cfg.startup, StartupPolicy::FirstChunk) {
-            startup_secs = download_secs;
-            step.rebuffer_secs = 0.0;
-        }
-
-        qoe.push_chunk(&cfg.weights, video.ladder().kbps(level), step.rebuffer_secs);
-        records.push(ChunkRecord {
-            index: k,
-            level,
-            bitrate_kbps: video.ladder().kbps(level),
-            size_kbits,
-            start_secs: now,
-            download_secs,
-            rebuffer_secs: step.rebuffer_secs,
-            wait_secs: step.wait_secs,
-            availability_wait_secs: 0.0,
-            buffer_before_secs: buffer,
-            buffer_after_secs: step.next_buffer_secs,
-            throughput_kbps: throughput,
-            prediction_kbps: prediction,
-        });
-
-        if low_buffer_history.len() == cfg.low_buffer_window_chunks {
-            low_buffer_history.pop_front();
-        }
-        low_buffer_history.push_back(buffer < cfg.low_buffer_threshold_secs);
-        predictor.observe(throughput);
-        last_throughput = Some(throughput);
-        now += download_secs + step.wait_secs;
-        buffer = step.next_buffer_secs;
-        prev_level = Some(level);
-    }
-
-    qoe.set_startup(&cfg.weights, startup_secs);
-    SessionResult {
-        algorithm: controller.name().to_string(),
-        records,
-        startup_secs,
-        total_secs: now,
-        qoe,
-    }
+/// [`run_emulated_session`] writing into caller-owned buffers, retaining
+/// their allocations across sessions.
+#[allow(clippy::too_many_arguments)]
+pub fn run_emulated_session_with<P: Predictor>(
+    scratch: &mut SessionScratch,
+    out: &mut SessionResult,
+    controller: &mut dyn BitrateController,
+    predictor: P,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    net: &NetConfig,
+) {
+    let mut downloader = EmulatedDownloader::new(video, trace, net);
+    run_session_core(
+        scratch,
+        out,
+        controller,
+        predictor,
+        &mut downloader,
+        trace,
+        video,
+        cfg,
+    );
 }
 
 /// A reader that paces its consumption through a token bucket — the
@@ -411,6 +404,71 @@ mod tests {
                 .filter(|(x, y)| x.level == y.level)
                 .count();
             assert!(same_levels >= 60, "only {same_levels}/65 decisions agree");
+        }
+    }
+
+    #[test]
+    fn emulated_honors_mean_error_bound() {
+        // The shared stepping core gives the emulated path the
+        // RobustBound::MeanError branch the old duplicate loop silently
+        // dropped; at zero latency it must track the simulator as closely
+        // as the default max-error bound does.
+        let video = envivio_video();
+        let mut cfg = SimConfig::paper_default();
+        cfg.robust_bound = abr_sim::RobustBound::MeanError;
+        let trace = Dataset::Fcc.generate(5, 1).remove(0);
+        let mut a = Mpc::robust();
+        let sim =
+            abr_sim::run_session(&mut a, HarmonicMean::paper_default(), &trace, &video, &cfg);
+        let mut b = Mpc::robust();
+        let emu = run_emulated_session(
+            &mut b,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+        );
+        let rel = (sim.qoe.qoe - emu.qoe.qoe).abs() / sim.qoe.qoe.abs().max(1.0);
+        assert!(rel < 0.01, "sim {} vs emu {}", sim.qoe.qoe, emu.qoe.qoe);
+        let same_levels = sim
+            .records
+            .iter()
+            .zip(&emu.records)
+            .filter(|(x, y)| x.level == y.level)
+            .count();
+        assert!(same_levels >= 60, "only {same_levels}/65 decisions agree");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_emulated_runs() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let net = NetConfig::typical();
+        let mut scratch = abr_sim::SessionScratch::new();
+        let mut out = abr_sim::SessionResult::default();
+        for trace in Dataset::Fcc.generate(11, 2) {
+            let mut a = Mpc::robust();
+            let fresh = run_emulated_session(
+                &mut a,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &net,
+            );
+            let mut b = Mpc::robust();
+            run_emulated_session_with(
+                &mut scratch,
+                &mut out,
+                &mut b,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &net,
+            );
+            assert_eq!(fresh, out);
         }
     }
 

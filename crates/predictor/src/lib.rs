@@ -489,6 +489,29 @@ impl<P: Predictor> ErrorTracked<P> {
     pub fn inner(&self) -> &P {
         &self.inner
     }
+
+    /// Like [`new`](Self::new), but reuses `errors` as the backing ring so a
+    /// session driver can recycle one allocation across sessions. The buffer
+    /// is cleared (and grown to at least `window` capacity), making this
+    /// behaviorally identical to `new`.
+    pub fn with_buffer(inner: P, window: usize, mut errors: VecDeque<f64>) -> Self {
+        assert!(window > 0, "window must be positive");
+        errors.clear();
+        if errors.capacity() < window {
+            errors.reserve(window - errors.capacity());
+        }
+        Self {
+            inner,
+            window,
+            errors,
+        }
+    }
+
+    /// Decomposes the wrapper, handing back the inner predictor and the
+    /// error ring for reuse via [`with_buffer`](Self::with_buffer).
+    pub fn into_parts(self) -> (P, VecDeque<f64>) {
+        (self.inner, self.errors)
+    }
 }
 
 impl<P: Predictor> Predictor for ErrorTracked<P> {

@@ -31,5 +31,8 @@ pub mod timeline;
 
 pub use config::{LiveConfig, RobustBound, SimConfig, StartupPolicy};
 pub use metrics::{ChunkRecord, SessionResult};
-pub use session::run_session;
+pub use session::{
+    run_session, run_session_core, run_session_with, ChunkDownloader, SessionScratch,
+    TraceDownloader,
+};
 pub use timeline::{ascii_chart, buffer_timeline, TimelinePoint};

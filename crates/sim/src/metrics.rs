@@ -55,7 +55,7 @@ impl ChunkRecord {
 }
 
 /// The outcome of one simulated streaming session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SessionResult {
     /// Controller name ("RobustMPC", "BB", …).
     pub algorithm: String,

@@ -1,12 +1,91 @@
 //! The simulation loop.
+//!
+//! [`run_session_core`] is the single stepping loop shared by the pure
+//! simulator and `abr-net`'s emulated player: per chunk it hints the oracle,
+//! asks the controller for a level, obtains the download time from a
+//! [`ChunkDownloader`], and advances the buffer/QoE state. The downloader is
+//! the only thing that differs between paths — the simulator integrates the
+//! trace directly ([`TraceDownloader`]), the emulated player pushes real
+//! HTTP bytes through a shaped link. Everything above the downloader
+//! (robust bounds, startup policy, live pacing, records) is therefore
+//! exercised identically by both, which is what makes the
+//! emulator-vs-simulator parity tests meaningful.
+//!
+//! [`SessionScratch`] owns the per-session rings (low-buffer history,
+//! predictor error window) and, combined with writing into a caller-owned
+//! [`SessionResult`], lets grid drivers run thousands of sessions without
+//! per-session allocations.
 
 use crate::config::{SimConfig, StartupPolicy};
 use crate::metrics::{ChunkRecord, SessionResult};
 use abr_core::{advance_buffer, BitrateController, ControllerContext};
 use abr_predictor::{ErrorTracked, Predictor};
-use abr_trace::Trace;
-use abr_video::{QoeBreakdown, Video};
+use abr_trace::{Trace, TraceCursor};
+use abr_video::{LevelIdx, QoeBreakdown, Video};
 use std::collections::VecDeque;
+
+/// Produces the wall-clock seconds a chunk download takes. Implementations
+/// are stateful: calls arrive in chunk order with non-decreasing
+/// `start_secs`, so they may keep a [`TraceCursor`] (or a socket) warm.
+pub trait ChunkDownloader {
+    /// Seconds to fetch chunk `index` at `level` (`size_kbits` kilobits)
+    /// starting at `start_secs`. Must be finite and positive.
+    fn download_secs(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        size_kbits: f64,
+        start_secs: f64,
+    ) -> f64;
+}
+
+/// The simulator's downloader: exact piecewise integration of the trace,
+/// with a monotone cursor so each call resumes where the last one left off.
+#[derive(Debug)]
+pub struct TraceDownloader<'a> {
+    trace: &'a Trace,
+    cursor: TraceCursor,
+}
+
+impl<'a> TraceDownloader<'a> {
+    /// Creates a downloader over `trace` with a fresh cursor.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self {
+            trace,
+            cursor: TraceCursor::new(),
+        }
+    }
+}
+
+impl ChunkDownloader for TraceDownloader<'_> {
+    fn download_secs(
+        &mut self,
+        _index: usize,
+        _level: LevelIdx,
+        size_kbits: f64,
+        start_secs: f64,
+    ) -> f64 {
+        self.trace
+            .time_to_download_at(&mut self.cursor, size_kbits, start_secs)
+    }
+}
+
+/// Reusable per-session buffers. A grid worker keeps one `SessionScratch`
+/// and threads it through every session it runs; after the first session
+/// warms the capacities up, steady-state sessions allocate nothing (proven
+/// by `tests/no_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    low_buffer_history: VecDeque<bool>,
+    errors: VecDeque<f64>,
+}
+
+impl SessionScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Runs one streaming session: `controller` adapts `video` over `trace`
 /// using `predictor` for throughput forecasts.
@@ -40,27 +119,78 @@ pub fn run_session<P: Predictor>(
     video: &Video,
     cfg: &SimConfig,
 ) -> SessionResult {
+    let mut scratch = SessionScratch::new();
+    let mut out = SessionResult::default();
+    run_session_with(&mut scratch, &mut out, controller, predictor, trace, video, cfg);
+    out
+}
+
+/// [`run_session`] writing into caller-owned buffers: `scratch` and `out`
+/// are cleared and refilled, retaining their allocations across sessions.
+pub fn run_session_with<P: Predictor>(
+    scratch: &mut SessionScratch,
+    out: &mut SessionResult,
+    controller: &mut dyn BitrateController,
+    predictor: P,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+) {
+    let mut downloader = TraceDownloader::new(trace);
+    run_session_core(
+        scratch,
+        out,
+        controller,
+        predictor,
+        &mut downloader,
+        trace,
+        video,
+        cfg,
+    );
+}
+
+/// The shared stepping loop behind both the simulator and the emulated
+/// player. `trace` supplies the oracle hint (the true upcoming mean
+/// throughput); `downloader` supplies per-chunk download times.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
+    scratch: &mut SessionScratch,
+    out: &mut SessionResult,
+    controller: &mut dyn BitrateController,
+    predictor: P,
+    downloader: &mut D,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+) {
     assert!(
         cfg.buffer_max_secs >= video.chunk_secs(),
         "buffer must hold at least one chunk"
     );
     controller.reset();
-    let mut predictor = ErrorTracked::new(predictor, cfg.error_window);
+    let mut predictor = ErrorTracked::with_buffer(
+        predictor,
+        cfg.error_window,
+        std::mem::take(&mut scratch.errors),
+    );
 
     let mut qoe = QoeBreakdown::default();
-    let mut records = Vec::with_capacity(video.num_chunks());
+    out.records.clear();
+    out.records.reserve(video.num_chunks());
     let mut now = 0.0_f64; // wall clock
     let mut buffer = 0.0_f64; // B_k
     let mut prev_level = None;
     let mut startup_secs = 0.0_f64;
     let mut last_throughput = None;
-    let mut low_buffer_history: VecDeque<bool> =
-        VecDeque::with_capacity(cfg.low_buffer_window_chunks);
+    let low_buffer_history = &mut scratch.low_buffer_history;
+    low_buffer_history.clear();
+    let mut hint_cursor = TraceCursor::new();
 
     for k in 0..video.num_chunks() {
         // Oracle predictors get the true mean upcoming throughput.
         let horizon_end = now + cfg.hint_horizon_secs.max(video.chunk_secs());
-        let truth = trace.integrate_kbits(now, horizon_end) / (horizon_end - now);
+        let truth =
+            trace.integrate_kbits_at(&mut hint_cursor, now, horizon_end) / (horizon_end - now);
         if truth > 0.0 {
             predictor.hint_future(truth);
         }
@@ -117,10 +247,11 @@ pub fn run_session<P: Predictor>(
             None => 0.0,
         };
 
-        // Download through the trace (exact piecewise integration).
+        // Download (the simulator integrates the trace; the emulated path
+        // pushes real HTTP bytes through a shaped link).
         let size_kbits = video.chunk_size_kbits(k, level);
         let dl_start = now + availability_wait;
-        let download_secs = trace.time_to_download(size_kbits, dl_start);
+        let download_secs = downloader.download_secs(k, level, size_kbits, dl_start);
         assert!(
             download_secs.is_finite() && download_secs > 0.0,
             "download of {size_kbits} kbits never completes at t={dl_start}"
@@ -141,7 +272,7 @@ pub fn run_session<P: Predictor>(
         }
 
         qoe.push_chunk(&cfg.weights, video.ladder().kbps(level), step.rebuffer_secs);
-        records.push(ChunkRecord {
+        out.records.push(ChunkRecord {
             index: k,
             level,
             bitrate_kbps: video.ladder().kbps(level),
@@ -170,13 +301,13 @@ pub fn run_session<P: Predictor>(
     }
 
     qoe.set_startup(&cfg.weights, startup_secs);
-    SessionResult {
-        algorithm: controller.name().to_string(),
-        records,
-        startup_secs,
-        total_secs: now,
-        qoe,
-    }
+    out.algorithm.clear();
+    out.algorithm.push_str(controller.name());
+    out.startup_secs = startup_secs;
+    out.total_secs = now;
+    out.qoe = qoe;
+    // Hand the predictor's error ring back for the next session.
+    scratch.errors = predictor.into_parts().1;
 }
 
 #[cfg(test)]
@@ -486,6 +617,53 @@ mod tests {
             vod.total_rebuffer_secs()
         );
         assert!(live.total_rebuffer_secs() > 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_sessions() {
+        // One SessionScratch/SessionResult pair threaded through a mixed bag
+        // of sessions must reproduce exactly what fresh-allocation runs
+        // produce, byte for byte.
+        let v = envivio_video();
+        let traces = [
+            Trace::constant(1200.0, 60.0).unwrap(),
+            Trace::new(vec![(20.0, 2500.0), (10.0, 700.0), (15.0, 0.0), (20.0, 1800.0)]).unwrap(),
+            Trace::new(vec![(30.0, 600.0), (30.0, 3000.0)]).unwrap(),
+        ];
+        let mut scratch = SessionScratch::new();
+        let mut out = SessionResult::default();
+        for trace in &traces {
+            for bound in [
+                crate::config::RobustBound::MaxError,
+                crate::config::RobustBound::MeanError,
+            ] {
+                let mut config = cfg();
+                config.robust_bound = bound;
+                let mut a = Mpc::robust();
+                let fresh =
+                    run_session(&mut a, HarmonicMean::paper_default(), trace, &v, &config);
+                let mut b = Mpc::robust();
+                run_session_with(
+                    &mut scratch,
+                    &mut out,
+                    &mut b,
+                    HarmonicMean::paper_default(),
+                    trace,
+                    &v,
+                    &config,
+                );
+                assert_eq!(fresh, out);
+                assert_eq!(
+                    fresh.qoe.qoe.to_bits(),
+                    out.qoe.qoe.to_bits(),
+                    "reused-scratch QoE drifted"
+                );
+                for (x, y) in fresh.records.iter().zip(&out.records) {
+                    assert_eq!(x.download_secs.to_bits(), y.download_secs.to_bits());
+                    assert_eq!(x.buffer_after_secs.to_bits(), y.buffer_after_secs.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

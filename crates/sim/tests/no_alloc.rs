@@ -1,0 +1,121 @@
+//! Proves the session engine is allocation-free in steady state: after one
+//! warm-up session has sized the scratch rings and the output buffers,
+//! further `run_session_with` calls perform zero heap allocations.
+//!
+//! Uses allocation-free components (BufferBased/RateBased controllers, the
+//! `LastSample` predictor) so the only possible allocations are the session
+//! engine's own — which is exactly what the test pins to zero.
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator cannot interfere with any other test.
+
+use abr_baselines::{BufferBased, RateBased};
+use abr_predictor::LastSample;
+use abr_sim::{run_session_with, SessionResult, SessionScratch, SimConfig};
+use abr_trace::Trace;
+use abr_video::envivio_video;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so measured sections from concurrently
+/// running tests would pollute each other; this lock serializes them.
+static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn steady_state_sessions_do_not_allocate() {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let traces = [
+        Trace::constant(1400.0, 60.0).unwrap(),
+        Trace::new(vec![(20.0, 2500.0), (10.0, 700.0), (20.0, 1800.0)]).unwrap(),
+        Trace::new(vec![(30.0, 600.0), (5.0, 0.0), (30.0, 3000.0)]).unwrap(),
+    ];
+    let mut bb = BufferBased::paper_default();
+    let mut rb = RateBased::paper_default();
+    let mut scratch = SessionScratch::new();
+    let mut out = SessionResult::default();
+
+    // Warm-up: size the records vec, algorithm string, and scratch rings.
+    for trace in &traces {
+        run_session_with(
+            &mut scratch,
+            &mut out,
+            &mut bb,
+            LastSample::new(),
+            trace,
+            &video,
+            &cfg,
+        );
+        run_session_with(
+            &mut scratch,
+            &mut out,
+            &mut rb,
+            LastSample::new(),
+            trace,
+            &video,
+            &cfg,
+        );
+    }
+
+    let (allocs, chunks) = allocations(|| {
+        let mut chunks = 0usize;
+        for _ in 0..20 {
+            for trace in &traces {
+                run_session_with(
+                    &mut scratch,
+                    &mut out,
+                    &mut bb,
+                    LastSample::new(),
+                    trace,
+                    &video,
+                    &cfg,
+                );
+                chunks += out.records.len();
+                run_session_with(
+                    &mut scratch,
+                    &mut out,
+                    &mut rb,
+                    LastSample::new(),
+                    trace,
+                    &video,
+                    &cfg,
+                );
+                chunks += out.records.len();
+            }
+        }
+        chunks
+    });
+    assert_eq!(chunks, 20 * traces.len() * 2 * video.num_chunks());
+    assert_eq!(allocs, 0, "steady-state sessions must not allocate");
+}

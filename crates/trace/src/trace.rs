@@ -96,7 +96,9 @@ impl TraceScanCache {
 ///
 /// Segments may have zero throughput (outages); construction only fails if
 /// *all* segments are zero, because then no download could ever finish.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Serialize, Deserialize)]
+#[serde(from = "TraceWire")]
 pub struct Trace {
     /// Segment durations in seconds (all positive).
     durations: Vec<f64>,
@@ -104,6 +106,120 @@ pub struct Trace {
     kbps: Vec<f64>,
     /// Cached total duration of one cycle.
     total_secs: f64,
+    /// Construction-time scan index (see [`TraceIndex`]); rebuilt on
+    /// deserialization, never serialized.
+    #[serde(skip)]
+    index: TraceIndex,
+}
+
+/// The serialized shape of a [`Trace`]: exactly the fields the pre-index
+/// format wrote, so on-disk traces round-trip unchanged. Deserialization
+/// goes through this mirror and rebuilds the scan index.
+#[derive(Deserialize)]
+#[serde(rename = "Trace")]
+struct TraceWire {
+    durations: Vec<f64>,
+    kbps: Vec<f64>,
+    total_secs: f64,
+}
+
+impl From<TraceWire> for Trace {
+    fn from(w: TraceWire) -> Self {
+        let index = TraceIndex::build(&w.durations, &w.kbps);
+        Trace {
+            durations: w.durations,
+            kbps: w.kbps,
+            total_secs: w.total_secs,
+            index,
+        }
+    }
+}
+
+/// Construction-time index over a trace's segments: the left-to-right
+/// running duration sums (`prefix_secs[i] = d_0 + … + d_i`, bit-for-bit the
+/// `pos` values the naive scans accumulate) and the one-cycle volume
+/// (`cycle_kbits = Σ d_i·c_i`, summed in segment order — the exact value
+/// the naive scans recompute on every call).
+///
+/// The prefix array turns the "walk segments from position 0 until the
+/// request window begins" part of [`Trace::integrate_kbits`] and
+/// [`Trace::time_to_download`] into a binary search, and a [`TraceCursor`]
+/// into an amortized O(1) pointer bump; because the partial sums carry the
+/// same bits a naive walk would, the indexed kernels return byte-identical
+/// results (proven by the differential proptests below against the
+/// preserved [`Trace::naive_integrate_kbits`] /
+/// [`Trace::naive_time_to_download`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+struct TraceIndex {
+    prefix_secs: Vec<f64>,
+    cycle_kbits: f64,
+}
+
+impl TraceIndex {
+    fn build(durations: &[f64], kbps: &[f64]) -> Self {
+        let mut prefix_secs = Vec::with_capacity(durations.len());
+        let mut acc = 0.0_f64;
+        for d in durations {
+            acc += d;
+            prefix_secs.push(acc);
+        }
+        let cycle_kbits = durations.iter().zip(kbps).map(|(d, c)| d * c).sum();
+        Self {
+            prefix_secs,
+            cycle_kbits,
+        }
+    }
+}
+
+/// A monotone scan cursor for the indexed trace kernels.
+///
+/// Streaming sessions advance a wall clock that only moves forward, so the
+/// in-cycle start position of consecutive [`Trace::integrate_kbits_at`] /
+/// [`Trace::time_to_download_at`] calls usually advances too (wrapping at
+/// each cycle boundary). The cursor remembers the last located segment and
+/// resumes the search there: forward motion is an amortized O(1) pointer
+/// bump, a backward jump (cycle wrap, or reuse against a different start
+/// time) falls back to the O(log n) binary search. Results are bit-identical
+/// to the cursor-less calls for any query order.
+///
+/// A cursor is tied to the trace it last scanned only by its segment
+/// position; [`reset`](TraceCursor::reset) it (or just use a fresh one —
+/// construction is allocation-free) when switching traces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceCursor {
+    /// Partition point of `last_rem` in the prefix array.
+    seg: usize,
+    /// The in-cycle position the cursor is parked at.
+    last_rem: f64,
+}
+
+impl TraceCursor {
+    /// A cursor parked at the cycle start.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-parks the cursor at the cycle start (for reuse across traces).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// First segment index whose running end-position lies strictly past
+    /// `rem` — the same answer `prefix.partition_point(|&p| p <= rem)`
+    /// gives, reached by bumping forward from the previous location when
+    /// the query moved forward.
+    fn locate(&mut self, prefix: &[f64], rem: f64) -> usize {
+        if rem < self.last_rem || self.seg > prefix.len() {
+            // Backward jump (cycle wrap or cursor reuse): re-search.
+            self.seg = prefix.partition_point(|&p| p <= rem);
+        } else {
+            while self.seg < prefix.len() && prefix[self.seg] <= rem {
+                self.seg += 1;
+            }
+        }
+        self.last_rem = rem;
+        self.seg
+    }
 }
 
 impl Trace {
@@ -128,10 +244,12 @@ impl Trace {
             return Err(TraceError::AllZero);
         }
         let total_secs = durations.iter().sum();
+        let index = TraceIndex::build(&durations, &kbps);
         Ok(Self {
             durations,
             kbps,
             total_secs,
+            index,
         })
     }
 
@@ -179,8 +297,146 @@ impl Trace {
     }
 
     /// Kilobits deliverable over the window `[t0, t1]` (cyclic integration
-    /// of `C_t`).
+    /// of `C_t`). O(log n) via the construction-time index; bit-identical
+    /// to [`naive_integrate_kbits`](Self::naive_integrate_kbits).
     pub fn integrate_kbits(&self, t0: f64, t1: f64) -> f64 {
+        let mut cursor = TraceCursor::new();
+        self.integrate_kbits_at(&mut cursor, t0, t1)
+    }
+
+    /// [`integrate_kbits`](Self::integrate_kbits) resuming the segment
+    /// search from `cursor` — amortized O(1) when consecutive `t0`s move
+    /// forward, as a session's wall clock does. `cursor` must only have
+    /// been used with this trace (or be fresh / reset).
+    pub fn integrate_kbits_at(&self, cursor: &mut TraceCursor, t0: f64, t1: f64) -> f64 {
+        assert!(t0 >= 0.0 && t1 >= t0, "invalid window [{t0}, {t1}]");
+        let full_cycles = ((t1 - t0) / self.total_secs).floor();
+        let kbits = full_cycles * self.index.cycle_kbits;
+        let rem_start = t0 % self.total_secs;
+        let rem = (t1 - t0) - full_cycles * self.total_secs;
+        let start = cursor.locate(&self.index.prefix_secs, rem_start);
+        self.integrate_from(start, rem_start, kbits, rem)
+    }
+
+    /// The tail of the integration walk, entered at segment `start` (the
+    /// first whose running end-position exceeds `rem_start`). From there it
+    /// is the naive loop verbatim — same position arithmetic, same bits.
+    fn integrate_from(&self, start: usize, rem_start: f64, mut kbits: f64, mut rem: f64) -> f64 {
+        let prefix = &self.index.prefix_secs;
+        let nseg = self.durations.len();
+        // The naive walk reaches segment `start` carrying `pos` equal to the
+        // running sum of the skipped durations — exactly `prefix[start-1]`.
+        let mut pos = if start == 0 { 0.0 } else { prefix[start - 1] };
+        let mut cursor = rem_start;
+        let mut i = if start == nseg { 0 } else { start };
+        while rem > 1e-12 {
+            let d = self.durations[i];
+            let c = self.kbps[i];
+            i += 1;
+            if i == nseg {
+                i = 0;
+            }
+            let seg_end = pos + d;
+            if cursor < seg_end {
+                let take = (seg_end - cursor).min(rem);
+                kbits += take * c;
+                rem -= take;
+                cursor += take;
+            }
+            pos = seg_end;
+        }
+        kbits
+    }
+
+    /// Time in seconds to deliver `kbits` kilobits starting at time `t0`
+    /// (inverse of [`integrate_kbits`](Self::integrate_kbits)).
+    ///
+    /// O(log n) via the construction-time index; bit-identical to
+    /// [`naive_time_to_download`](Self::naive_time_to_download).
+    ///
+    /// Returns `f64::INFINITY` only in the impossible-by-invariant case of an
+    /// all-zero trace; zero-rate segments simply stall the transfer until the
+    /// next non-zero segment.
+    pub fn time_to_download(&self, kbits: f64, t0: f64) -> f64 {
+        let mut cursor = TraceCursor::new();
+        self.time_to_download_at(&mut cursor, kbits, t0)
+    }
+
+    /// [`time_to_download`](Self::time_to_download) resuming the segment
+    /// search from `cursor` — amortized O(1) along a forward-moving clock.
+    /// `cursor` must only have been used with this trace (or be fresh /
+    /// reset).
+    pub fn time_to_download_at(&self, cursor: &mut TraceCursor, kbits: f64, t0: f64) -> f64 {
+        assert!(kbits >= 0.0 && kbits.is_finite(), "invalid volume {kbits}");
+        assert!(t0 >= 0.0 && t0.is_finite(), "invalid start time {t0}");
+        if kbits == 0.0 {
+            return 0.0;
+        }
+        let cycle_kbits = self.index.cycle_kbits;
+        if cycle_kbits <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Skip whole cycles first so huge transfers stay O(segments).
+        let full_cycles = (kbits / cycle_kbits).floor();
+        let remaining = kbits - full_cycles * cycle_kbits;
+        let elapsed = full_cycles * self.total_secs;
+        let rem_start = t0 % self.total_secs;
+        let start = cursor.locate(&self.index.prefix_secs, rem_start);
+        self.time_to_download_from(start, rem_start, remaining, elapsed)
+    }
+
+    /// The tail of the download-time walk, entered at segment `start`. The
+    /// iteration budget deducts the skipped segments so it matches the
+    /// naive scan's `.take(2 * nseg + 2)` cap exactly.
+    fn time_to_download_from(
+        &self,
+        start: usize,
+        rem_start: f64,
+        mut remaining: f64,
+        mut elapsed: f64,
+    ) -> f64 {
+        let prefix = &self.index.prefix_secs;
+        let nseg = self.durations.len();
+        let mut pos = if start == 0 { 0.0 } else { prefix[start - 1] };
+        let mut cursor = rem_start;
+        let mut i = if start == nseg { 0 } else { start };
+        let mut budget = 2 * nseg + 2 - start;
+        while budget > 0 && remaining > 1e-12 {
+            budget -= 1;
+            let d = self.durations[i];
+            let c = self.kbps[i];
+            i += 1;
+            if i == nseg {
+                i = 0;
+            }
+            let seg_end = pos + d;
+            if cursor < seg_end {
+                let avail_secs = seg_end - cursor;
+                let seg_kbits = avail_secs * c;
+                if seg_kbits >= remaining && c > 0.0 {
+                    elapsed += remaining / c;
+                    remaining = 0.0;
+                    break;
+                }
+                remaining -= seg_kbits;
+                elapsed += avail_secs;
+                cursor = seg_end;
+            }
+            pos = seg_end;
+        }
+        if remaining > 1e-12 {
+            // Only reachable when every remaining segment in the cycle is
+            // zero-rate but the cycle as a whole is not (cannot happen: we
+            // scanned two full cycles above). Defensive fallback.
+            return f64::INFINITY;
+        }
+        elapsed
+    }
+
+    /// The pre-index integration scan, retained verbatim as the differential
+    /// oracle for [`integrate_kbits`](Self::integrate_kbits): it re-sums the
+    /// cycle volume and walks segments from position 0 on every call.
+    pub fn naive_integrate_kbits(&self, t0: f64, t1: f64) -> f64 {
         assert!(t0 >= 0.0 && t1 >= t0, "invalid window [{t0}, {t1}]");
         let full_cycles = ((t1 - t0) / self.total_secs).floor();
         let cycle_kbits: f64 = self
@@ -210,13 +466,9 @@ impl Trace {
         kbits
     }
 
-    /// Time in seconds to deliver `kbits` kilobits starting at time `t0`
-    /// (inverse of [`integrate_kbits`](Self::integrate_kbits)).
-    ///
-    /// Returns `f64::INFINITY` only in the impossible-by-invariant case of an
-    /// all-zero trace; zero-rate segments simply stall the transfer until the
-    /// next non-zero segment.
-    pub fn time_to_download(&self, kbits: f64, t0: f64) -> f64 {
+    /// The pre-index download-time scan, retained verbatim as the
+    /// differential oracle for [`time_to_download`](Self::time_to_download).
+    pub fn naive_time_to_download(&self, kbits: f64, t0: f64) -> f64 {
         assert!(kbits >= 0.0 && kbits.is_finite(), "invalid volume {kbits}");
         assert!(t0 >= 0.0 && t0.is_finite(), "invalid start time {t0}");
         if kbits == 0.0 {
@@ -264,9 +516,6 @@ impl Trace {
             pos = seg_end;
         }
         if remaining > 1e-12 {
-            // Only reachable when every remaining segment in the cycle is
-            // zero-rate but the cycle as a whole is not (cannot happen: we
-            // scanned two full cycles above). Defensive fallback.
             return f64::INFINITY;
         }
         elapsed
@@ -446,10 +695,15 @@ impl Trace {
     /// Returns a new trace with every throughput multiplied by `factor > 0`.
     pub fn scaled(&self, factor: f64) -> Trace {
         assert!(factor > 0.0 && factor.is_finite(), "bad scale {factor}");
+        let kbps: Vec<f64> = self.kbps.iter().map(|c| c * factor).collect();
+        let index = TraceIndex::build(&self.durations, &kbps);
         Trace {
             durations: self.durations.clone(),
-            kbps: self.kbps.iter().map(|c| c * factor).collect(),
+            kbps,
+            // Durations are untouched, so the cached cycle length carries
+            // over bit-for-bit (and matches the rebuilt prefix sums).
             total_secs: self.total_secs,
+            index,
         }
     }
 
@@ -460,10 +714,15 @@ impl Trace {
         let mut kbps = self.kbps.clone();
         durations.extend_from_slice(&other.durations);
         kbps.extend_from_slice(&other.kbps);
+        let index = TraceIndex::build(&durations, &kbps);
         Trace {
+            // Keep the historical `a.total + b.total` association rather
+            // than re-summing all durations: the two can differ in the last
+            // bit, and every existing scan keys off this cached value.
             total_secs: self.total_secs + other.total_secs,
             durations,
             kbps,
+            index,
         }
     }
 
@@ -691,7 +950,122 @@ mod tests {
         assert_eq!(out, plain);
     }
 
+    #[test]
+    fn cursor_reuse_matches_fresh_cursor() {
+        let t = steps();
+        let mut cur = TraceCursor::new();
+        // Forward-moving, wrapping, then backward-jumping starts.
+        let starts = [0.0, 3.0, 9.5, 10.0, 22.0, 29.99, 31.0, 2.0, 58.0, 58.0];
+        for &t0 in &starts {
+            let a = t.integrate_kbits_at(&mut cur, t0, t0 + 7.3);
+            let b = t.integrate_kbits(t0, t0 + 7.3);
+            assert_eq!(a.to_bits(), b.to_bits(), "integrate t0={t0}");
+            let a = t.time_to_download_at(&mut cur, 4_321.0, t0);
+            let b = t.time_to_download(4_321.0, t0);
+            assert_eq!(a.to_bits(), b.to_bits(), "ttd t0={t0}");
+        }
+    }
+
+    #[test]
+    fn cursor_reset_allows_switching_traces() {
+        let a = steps();
+        let b = Trace::new(vec![(3.0, 250.0), (7.0, 4_000.0)]).unwrap();
+        let mut cur = TraceCursor::new();
+        let _ = a.time_to_download_at(&mut cur, 9_000.0, 25.0);
+        cur.reset();
+        let got = b.time_to_download_at(&mut cur, 2_000.0, 4.0);
+        assert_eq!(got.to_bits(), b.time_to_download(2_000.0, 4.0).to_bits());
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let t = steps();
+        let json = serde_json::to_string(&t).unwrap();
+        // The wire format carries exactly the pre-index fields.
+        assert!(json.contains("durations") && json.contains("kbps") && json.contains("total_secs"));
+        assert!(!json.contains("index") && !json.contains("prefix"));
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // The rebuilt index drives identical kernel results.
+        assert_eq!(
+            back.time_to_download(12_345.0, 17.0).to_bits(),
+            t.time_to_download(12_345.0, 17.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn scaled_and_concat_rebuild_index() {
+        let a = steps();
+        let s = a.scaled(1.7);
+        assert_eq!(
+            s.time_to_download(9_999.0, 13.0).to_bits(),
+            s.naive_time_to_download(9_999.0, 13.0).to_bits()
+        );
+        let b = Trace::new(vec![(2.5, 0.0), (4.5, 800.0)]).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(
+            c.integrate_kbits(11.0, 52.0).to_bits(),
+            c.naive_integrate_kbits(11.0, 52.0).to_bits()
+        );
+        assert_eq!(
+            c.time_to_download(31_000.0, 36.9).to_bits(),
+            c.naive_time_to_download(31_000.0, 36.9).to_bits()
+        );
+    }
+
     proptest! {
+        /// Indexed `integrate_kbits` is bit-identical to the retained naive
+        /// scan on random traces (including zero-rate outage segments),
+        /// random start times and multi-cycle windows.
+        #[test]
+        fn indexed_integrate_matches_naive_bits(
+            segs in proptest::collection::vec((0.1f64..8.0, 0.0f64..5_000.0), 1..12),
+            t0 in 0.0f64..200.0,
+            len in 0.0f64..300.0,
+        ) {
+            prop_assume!(segs.iter().any(|&(_, c)| c > 0.0));
+            let t = Trace::new(segs).unwrap();
+            let a = t.integrate_kbits(t0, t0 + len);
+            let b = t.naive_integrate_kbits(t0, t0 + len);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+
+        /// Indexed `time_to_download` is bit-identical to the retained naive
+        /// scan, including volumes spanning many cycles and volumes a
+        /// zero-heavy cycle stalls on.
+        #[test]
+        fn indexed_download_time_matches_naive_bits(
+            segs in proptest::collection::vec((0.1f64..8.0, 0.0f64..5_000.0), 1..12),
+            t0 in 0.0f64..200.0,
+            kbits in 0.0f64..500_000.0,
+        ) {
+            prop_assume!(segs.iter().any(|&(_, c)| c > 0.0));
+            let t = Trace::new(segs).unwrap();
+            let a = t.time_to_download(kbits, t0);
+            let b = t.naive_time_to_download(kbits, t0);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+
+        /// A single cursor reused across an arbitrary (not necessarily
+        /// monotone) query sequence returns exactly what fresh cursors do.
+        #[test]
+        fn cursor_sequence_matches_fresh_bits(
+            segs in proptest::collection::vec((0.1f64..8.0, 0.0f64..5_000.0), 1..12),
+            queries in proptest::collection::vec((0.0f64..120.0, 0.0f64..60_000.0), 1..25),
+        ) {
+            prop_assume!(segs.iter().any(|&(_, c)| c > 0.0));
+            let t = Trace::new(segs).unwrap();
+            let mut cur = TraceCursor::new();
+            for &(t0, kbits) in &queries {
+                let a = t.time_to_download_at(&mut cur, kbits, t0);
+                let b = t.naive_time_to_download(kbits, t0);
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+                let a = t.integrate_kbits_at(&mut cur, t0, t0 + kbits / 1_000.0);
+                let b = t.naive_integrate_kbits(t0, t0 + kbits / 1_000.0);
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
         /// Integration over [a,b] + [b,c] equals integration over [a,c].
         #[test]
         fn integrate_additive(

@@ -12,15 +12,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== differential gate: indexed trace kernels vs naive oracles =="
+# The indexed/cursor'd scan layer must stay bit-identical to the preserved
+# naive scans (proptests in abr-trace), and the session engine's steady
+# state must stay off the allocator (counting-allocator test in abr-sim).
+cargo test -p abr-trace -q
+cargo test -p abr-sim -q --test no_alloc
+
 if [[ "${1:-}" != "quick" ]]; then
   echo "== release build =="
   cargo build --release --workspace
 
-  echo "== harness smoke: OPT cache parity =="
-  # The full report must be byte-identical with the OPT cache on and off.
-  # The §7.4 overhead section (wall-clock microbenchmarks + the cache's own
-  # stats) and the run-info footer (elapsed) describe the run rather than
-  # the results, so those sections are stripped before comparing.
+  echo "== harness smoke: OPT + table cache parity =="
+  # The full report must be byte-identical with the OPT cache on and off,
+  # and with the FastMPC table cache on and off. The §7.4 overhead section
+  # (wall-clock microbenchmarks + the caches' own stats) and the run-info
+  # footer (elapsed) describe the run rather than the results, so those
+  # sections are stripped before comparing.
   smoke_dir="$(mktemp -d)"
   trap 'rm -rf "$smoke_dir"' EXIT
   filter_report() {
@@ -29,8 +37,11 @@ if [[ "${1:-}" != "quick" ]]; then
   ./target/release/abr_harness all --traces 5 --quick \
     | filter_report > "$smoke_dir/full_report.cached.txt"
   ./target/release/abr_harness all --traces 5 --quick --no-opt-cache \
-    | filter_report > "$smoke_dir/full_report.nocache.txt"
-  diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.nocache.txt"
+    | filter_report > "$smoke_dir/full_report.no_opt_cache.txt"
+  ./target/release/abr_harness all --traces 5 --quick --no-table-cache \
+    | filter_report > "$smoke_dir/full_report.no_table_cache.txt"
+  diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.no_opt_cache.txt"
+  diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.no_table_cache.txt"
   echo "cache on/off reports identical"
 fi
 
