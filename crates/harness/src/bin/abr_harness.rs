@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -31,7 +31,9 @@ commands:
   overhead  per-decision CPU cost and table memory (§7.4)
   ablation  design-choice ablations (predictors, robust bound, MDP, binning)
   multi     multi-player shared-bottleneck fairness (§8 extension)
-  all       everything above
+  robustness fault-rate sweep: QoE + retry/waste accounting under injected
+             connection resets, truncation, stalls, 404/503 and jitter
+  all       everything above except robustness
 
 options:
   --traces N   traces per dataset (default 100)
@@ -49,7 +51,16 @@ options:
   --no-table-cache
                disable the shared FastMPC table cache (each experiment
                generates its own decision tables; results are identical,
-               only slower)";
+               only slower)
+  --fault-rate R
+               inject faults into every emulated session at rate R in
+               [0, 1] (R/5 per fault kind); also pins the robustness
+               sweep to that single rate. R = 0 arms the layer but never
+               fires — output is byte-identical to omitting the flag
+  --fault-seed S
+               base seed for fault streams (default 7), independent of
+               --seed so fault schedules and predictor noise can be
+               varied separately";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -95,6 +106,24 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
             }
             "--no-opt-cache" => opts.no_opt_cache = true,
             "--no-table-cache" => opts.no_table_cache = true,
+            "--fault-rate" => {
+                let r: f64 = it
+                    .next()
+                    .ok_or("--fault-rate needs a value")?
+                    .parse()
+                    .map_err(|_| "--fault-rate must be a number".to_string())?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err("--fault-rate must be in [0, 1]".into());
+                }
+                opts.fault_rate = Some(r);
+            }
+            "--fault-seed" => {
+                opts.fault_seed = it
+                    .next()
+                    .ok_or("--fault-seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--fault-seed must be an integer".to_string())?;
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -121,6 +150,7 @@ fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
         "overhead" => experiments::overhead::run(opts),
         "ablation" => experiments::ablation::run(opts),
         "multi" => experiments::multiplayer::run(opts),
+        "robustness" => experiments::robustness::run(opts),
         "all" => {
             let mut out = String::new();
             // Share the expensive dataset evaluations between Figures 8,
@@ -206,6 +236,30 @@ mod tests {
     }
 
     #[test]
+    fn parses_fault_flags() {
+        let (_, opts) = parse(&args(&["robustness"])).unwrap();
+        assert!(opts.fault_rate.is_none());
+        assert_eq!(opts.fault_seed, 7);
+
+        let (cmd, opts) = parse(&args(&[
+            "robustness",
+            "--fault-rate",
+            "0.1",
+            "--fault-seed",
+            "99",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "robustness");
+        assert_eq!(opts.fault_rate, Some(0.1));
+        assert_eq!(opts.fault_seed, 99);
+
+        assert!(parse(&args(&["robustness", "--fault-rate"])).is_err());
+        assert!(parse(&args(&["robustness", "--fault-rate", "1.5"])).is_err());
+        assert!(parse(&args(&["robustness", "--fault-rate", "-0.1"])).is_err());
+        assert!(parse(&args(&["robustness", "--fault-seed", "x"])).is_err());
+    }
+
+    #[test]
     fn defaults_apply() {
         let (cmd, opts) = parse(&args(&["table1"])).unwrap();
         assert_eq!(cmd, "table1");
@@ -255,6 +309,16 @@ fn main() {
     // cache-on / cache-off runs.
     abr_harness::set_opt_cache_enabled(!opts.no_opt_cache);
     abr_harness::set_table_cache_enabled(!opts.no_table_cache);
+    // Arm fault injection for every emulated session in the run. At rate 0
+    // the armed layer never fires and output stays byte-identical to a run
+    // without the flag; the robustness experiment builds its own per-rate
+    // specs either way.
+    if let Some(rate) = opts.fault_rate {
+        abr_harness::set_fault_spec(Some(abr_harness::FaultSpec::for_rate(
+            rate,
+            opts.fault_seed,
+        )));
+    }
     if let Some(path) = &opts.opt_cache_path {
         if opts.no_opt_cache {
             eprintln!("error: --opt-cache and --no-opt-cache are mutually exclusive");

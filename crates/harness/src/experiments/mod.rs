@@ -12,6 +12,7 @@ pub mod fig8;
 pub mod levels;
 pub mod multiplayer;
 pub mod overhead;
+pub mod robustness;
 pub mod table1;
 
 use std::path::PathBuf;
@@ -41,6 +42,14 @@ pub struct ExpOptions {
     /// generates its own decision tables from scratch). Set from
     /// `--no-table-cache`.
     pub no_table_cache: bool,
+    /// Fault rate for the emulated path (`--fault-rate`). `None` leaves
+    /// every experiment fault-free; the `robustness` experiment sweeps its
+    /// own grid unless this pins a single rate.
+    pub fault_rate: Option<f64>,
+    /// Base seed for fault streams (`--fault-seed`), independent of the
+    /// predictor seed so the two sources of randomness can be varied
+    /// separately.
+    pub fault_seed: u64,
 }
 
 impl Default for ExpOptions {
@@ -54,6 +63,8 @@ impl Default for ExpOptions {
             opt_cache_path: None,
             no_opt_cache: false,
             no_table_cache: false,
+            fault_rate: None,
+            fault_seed: 7,
         }
     }
 }

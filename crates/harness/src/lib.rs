@@ -18,7 +18,8 @@
 //! abr-harness table1    # FastMPC table sizes, full vs run-length coded
 //! abr-harness levels    # bitrate-ladder granularity sweep (§7.3, unshown)
 //! abr-harness overhead  # per-decision CPU cost + table memory (§7.4)
-//! abr-harness all       # everything above
+//! abr-harness robustness # fault-rate sweep on the emulated path
+//! abr-harness all       # everything above except robustness
 //! ```
 //!
 //! Output is aligned text (the same rows/series the paper plots) plus CSV
@@ -35,8 +36,8 @@ pub mod runner;
 
 pub use registry::{Algo, PredictorSpec};
 pub use runner::{
-    default_opt_cache, default_table_cache, evaluate_dataset, fastmpc_table, global_opt_cache,
-    global_table_cache, opt_cache_enabled, opt_results, run_algo_session, run_algo_session_with,
-    set_opt_cache_enabled, set_table_cache_enabled, table_cache_enabled, EvalConfig, EvalOutcome,
-    TraceEval,
+    default_fault_spec, default_opt_cache, default_table_cache, evaluate_dataset, fastmpc_table,
+    global_opt_cache, global_table_cache, opt_cache_enabled, opt_results, run_algo_session,
+    run_algo_session_with, set_fault_spec, set_opt_cache_enabled, set_table_cache_enabled,
+    table_cache_enabled, EvalConfig, EvalOutcome, FaultSpec, TraceEval,
 };

@@ -3,13 +3,16 @@
 
 use crate::registry::{Algo, PredictorSpec};
 use abr_fastmpc::{FastMpcTable, TableCache, TableConfig};
-use abr_net::{run_emulated_session_with, NetConfig};
+use abr_net::{
+    run_emulated_session_faulted_with, run_emulated_session_with, FaultConfig, FaultPlan,
+    NetConfig, RetryPolicy,
+};
 use abr_offline::{OfflineConfig, OfflineResult, OptCache};
 use abr_sim::{run_session_with, SessionResult, SessionScratch, SimConfig};
 use abr_trace::Trace;
 use abr_video::{QoeWeights, Video};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Whether [`EvalConfig::paper_default`] attaches the process-wide OPT
 /// cache. On by default; the CLI's `--no-opt-cache` flag clears it.
@@ -85,6 +88,58 @@ pub fn default_table_cache() -> Option<Arc<TableCache>> {
     }
 }
 
+/// Deterministic fault injection for the emulated path: per-request odds,
+/// the retry policy, and a base seed mixed with each session's seed so
+/// every (trace, algorithm) cell draws an independent, reproducible fault
+/// stream.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Per-request fault odds.
+    pub config: FaultConfig,
+    /// Timeout/retry/backoff policy the player survives faults with.
+    pub policy: RetryPolicy,
+    /// Base fault seed (independent of the predictor seed).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A spec firing each fault kind with `rate / 5` probability plus a
+    /// little request jitter, under the hostile-network retry policy. At
+    /// `rate == 0` the plan never fires, jitter is zero, and the policy
+    /// imposes no timeout, so sessions are byte-identical to the
+    /// fault-free path.
+    pub fn for_rate(rate: f64, seed: u64) -> Self {
+        let mut config = FaultConfig::uniform(rate);
+        let policy = if rate > 0.0 {
+            config.jitter_max_secs = 0.03;
+            RetryPolicy::hostile()
+        } else {
+            RetryPolicy::no_timeout()
+        };
+        FaultSpec {
+            config,
+            policy,
+            seed,
+        }
+    }
+}
+
+/// The process-wide fault spec attached by [`EvalConfig::paper_default`].
+/// `None` (the default) runs fault-free; the CLI's `--fault-rate` flag
+/// installs one.
+static FAULT_SPEC: Mutex<Option<FaultSpec>> = Mutex::new(None);
+
+/// Installs (or clears) the fault spec [`EvalConfig::paper_default`]
+/// attaches. Explicitly-set `faults` fields are unaffected.
+pub fn set_fault_spec(spec: Option<FaultSpec>) {
+    *FAULT_SPEC.lock().expect("fault spec lock") = spec;
+}
+
+/// The fault spec [`EvalConfig::paper_default`] currently attaches.
+pub fn default_fault_spec() -> Option<FaultSpec> {
+    FAULT_SPEC.lock().expect("fault spec lock").clone()
+}
+
 /// The FastMPC table for `(video, buffer, weights, levels)`, through `cache`
 /// when one is attached (each distinct table generated once per process) or
 /// by a direct generation otherwise. Every experiment that needs a table
@@ -135,6 +190,10 @@ pub struct EvalConfig {
     /// consults it before generating). `None` generates from scratch every
     /// time; tables are bit-identical either way, only wall-clock differs.
     pub table_cache: Option<Arc<TableCache>>,
+    /// Fault injection for the emulated path (`None` = fault-free). Only
+    /// consulted when `emulated` is set; the analytic simulator has no
+    /// request/response layer to fault.
+    pub faults: Option<FaultSpec>,
 }
 
 impl EvalConfig {
@@ -150,6 +209,7 @@ impl EvalConfig {
             seed: 42,
             opt_cache: default_opt_cache(),
             table_cache: default_table_cache(),
+            faults: default_fault_spec(),
         }
     }
 
@@ -286,16 +346,31 @@ pub fn run_algo_session_with(
     let mut controller = algo.build(table, cfg.weights(), cfg.horizon);
     let predictor = spec.build(seed);
     if cfg.emulated {
-        run_emulated_session_with(
-            scratch,
-            out,
-            controller.as_mut(),
-            predictor,
-            trace,
-            video,
-            &cfg.sim,
-            &cfg.net,
-        );
+        if let Some(spec) = &cfg.faults {
+            run_emulated_session_faulted_with(
+                scratch,
+                out,
+                controller.as_mut(),
+                predictor,
+                trace,
+                video,
+                &cfg.sim,
+                &cfg.net,
+                FaultPlan::new(spec.seed ^ seed, spec.config.clone()),
+                &spec.policy,
+            );
+        } else {
+            run_emulated_session_with(
+                scratch,
+                out,
+                controller.as_mut(),
+                predictor,
+                trace,
+                video,
+                &cfg.sim,
+                &cfg.net,
+            );
+        }
     } else {
         run_session_with(
             scratch,
@@ -527,9 +602,68 @@ mod tests {
         let cfg = EvalConfig {
             emulated: true,
             fastmpc_levels: 12,
+            faults: None,
             ..EvalConfig::paper_default()
         };
         let out = evaluate_dataset(&[Algo::Bb], &traces, &video, &cfg);
         assert!(!out.traces.is_empty());
+    }
+
+    #[test]
+    fn zero_rate_fault_spec_is_bit_identical_to_fault_free() {
+        // The acceptance bar for the whole fault layer: arming it at rate
+        // zero must not move a single bit of any result.
+        let video = envivio_video();
+        let traces = Dataset::Fcc.generate(21, 2);
+        let plain_cfg = EvalConfig {
+            emulated: true,
+            fastmpc_levels: 12,
+            faults: None,
+            ..EvalConfig::paper_default()
+        };
+        let armed_cfg = EvalConfig {
+            faults: Some(FaultSpec::for_rate(0.0, 7)),
+            ..plain_cfg.clone()
+        };
+        let plain = evaluate_dataset(&[Algo::Rb, Algo::Bb], &traces, &video, &plain_cfg);
+        let armed = evaluate_dataset(&[Algo::Rb, Algo::Bb], &traces, &video, &armed_cfg);
+        assert_eq!(plain.traces.len(), armed.traces.len());
+        for (p, a) in plain.traces.iter().zip(&armed.traces) {
+            for (ps, as_) in p.sessions.iter().zip(&a.sessions) {
+                assert_eq!(ps.qoe.qoe.to_bits(), as_.qoe.qoe.to_bits());
+                assert_eq!(ps.records.len(), as_.records.len());
+                assert_eq!(ps.total_retries(), 0);
+                assert_eq!(as_.total_retries(), 0);
+                for (pr, ar) in ps.records.iter().zip(&as_.records) {
+                    assert_eq!(pr.download_secs.to_bits(), ar.download_secs.to_bits());
+                    assert_eq!(pr.throughput_kbps.to_bits(), ar.throughput_kbps.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_grid_is_deterministic_and_finite() {
+        let video = envivio_video();
+        let traces = Dataset::Fcc.generate(27, 2);
+        let cfg = EvalConfig {
+            emulated: true,
+            fastmpc_levels: 12,
+            faults: Some(FaultSpec::for_rate(0.3, 99)),
+            ..EvalConfig::paper_default()
+        };
+        let a = evaluate_dataset(&[Algo::RobustMpc], &traces, &video, &cfg);
+        let b = evaluate_dataset(&[Algo::RobustMpc], &traces, &video, &cfg);
+        assert_eq!(a.traces.len(), b.traces.len());
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            let (sx, sy) = (&x.sessions[0], &y.sessions[0]);
+            assert!(sx.qoe.qoe.is_finite());
+            assert_eq!(sx.qoe.qoe.to_bits(), sy.qoe.qoe.to_bits());
+            assert_eq!(sx.total_retries(), sy.total_retries());
+            assert_eq!(
+                sx.total_wasted_kbits().to_bits(),
+                sy.total_wasted_kbits().to_bits()
+            );
+        }
     }
 }

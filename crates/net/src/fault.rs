@@ -1,0 +1,453 @@
+//! Deterministic fault injection for the emulated DASH stack.
+//!
+//! The paper's testbed (§7) runs over the real Internet's failure modes —
+//! stalled transfers, connection resets, server errors — which bandwidth
+//! traces alone don't capture. This module schedules such faults *per
+//! request*, fully deterministically: a [`FaultPlan`] built from a `u64`
+//! seed draws exactly three uniforms per request (fault kind, body
+//! fraction, RTT jitter) from a splitmix64 generator, so the same seed
+//! always produces the same fault sequence regardless of what the player
+//! does with it. [`RetryPolicy`] is the player-side counterpart: per-request
+//! timeout, bounded retries with exponential backoff, optional bitrate
+//! downshift on re-request, and a graceful session abort after too many
+//! consecutive failures.
+//!
+//! Everything here is pure scheduling — the faults are *enacted* by
+//! [`ShapedLink::transfer_faulted`](crate::ShapedLink::transfer_faulted)
+//! (link-level kinds) and
+//! [`ChunkServer::handle_faulted`](crate::ChunkServer::handle_faulted)
+//! (HTTP-level kinds), and survived by the retry loop in
+//! [`EmulatedDownloader`](crate::EmulatedDownloader).
+
+/// The splitmix64 generator (Steele et al.): tiny, statistically fine for
+/// fault scheduling, and dependency-free. Every call advances the state by
+/// the golden-ratio increment and scrambles it, so streams from different
+/// seeds are uncorrelated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// What goes wrong with one request. The `body_fraction` kinds carry the
+/// point (as a fraction of the response's wire bytes) at which the link
+/// gives out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The peer resets the connection mid-body: the transfer ends early
+    /// with only `body_fraction` of the bytes delivered.
+    ConnectionReset {
+        /// Fraction of the wire bytes delivered before the reset, `[0, 1)`.
+        body_fraction: f64,
+    },
+    /// The body is truncated mid-transfer (short write / broken proxy):
+    /// same delivery shape as a reset, but the client sees a short body
+    /// rather than an error — its parser must catch it.
+    Truncate {
+        /// Fraction of the wire bytes delivered before the cut, `[0, 1)`.
+        body_fraction: f64,
+    },
+    /// The transfer stalls indefinitely after `body_fraction` of the bytes:
+    /// only the player's timeout ends it.
+    Stall {
+        /// Fraction of the wire bytes delivered before the stall, `[0, 1)`.
+        body_fraction: f64,
+    },
+    /// The origin answers `404 Not Found`.
+    NotFound,
+    /// The origin answers `503 Service Unavailable`.
+    ServiceUnavailable,
+}
+
+/// The fault assignment for one request: at most one [`FaultKind`], plus
+/// added RTT jitter (applied to the request's upstream propagation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// The scheduled fault, if any.
+    pub kind: Option<FaultKind>,
+    /// Extra one-way delay for this request, seconds (0 when jitter is
+    /// disabled).
+    pub jitter_secs: f64,
+}
+
+impl Fault {
+    /// A clean request: no fault, no jitter.
+    pub fn none() -> Self {
+        Self {
+            kind: None,
+            jitter_secs: 0.0,
+        }
+    }
+}
+
+/// Per-request fault probabilities and jitter amplitude. Probabilities are
+/// independent per request; their sum must not exceed 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of a mid-body connection reset.
+    pub reset_prob: f64,
+    /// Probability of a mid-body truncation.
+    pub truncate_prob: f64,
+    /// Probability of an indefinite stall.
+    pub stall_prob: f64,
+    /// Probability of an HTTP 404.
+    pub not_found_prob: f64,
+    /// Probability of an HTTP 503.
+    pub unavailable_prob: f64,
+    /// Upper bound of the per-request uniform RTT jitter, seconds.
+    pub jitter_max_secs: f64,
+}
+
+impl FaultConfig {
+    /// All probabilities zero: the plan never schedules a fault.
+    pub fn disabled() -> Self {
+        Self {
+            reset_prob: 0.0,
+            truncate_prob: 0.0,
+            stall_prob: 0.0,
+            not_found_prob: 0.0,
+            unavailable_prob: 0.0,
+            jitter_max_secs: 0.0,
+        }
+    }
+
+    /// Total per-request fault rate `rate` spread evenly across the five
+    /// kinds, no jitter.
+    pub fn uniform(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate {rate} not in [0, 1]");
+        let p = rate / 5.0;
+        Self {
+            reset_prob: p,
+            truncate_prob: p,
+            stall_prob: p,
+            not_found_prob: p,
+            unavailable_prob: p,
+            jitter_max_secs: 0.0,
+        }
+    }
+
+    /// Sum of the five fault probabilities.
+    pub fn total_prob(&self) -> f64 {
+        self.reset_prob
+            + self.truncate_prob
+            + self.stall_prob
+            + self.not_found_prob
+            + self.unavailable_prob
+    }
+
+    /// True when no fault and no jitter can ever be scheduled.
+    pub fn is_disabled(&self) -> bool {
+        self.total_prob() == 0.0 && self.jitter_max_secs == 0.0
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("reset_prob", self.reset_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("stall_prob", self.stall_prob),
+            ("not_found_prob", self.not_found_prob),
+            ("unavailable_prob", self.unavailable_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} {p} not in [0, 1]");
+        }
+        assert!(
+            self.total_prob() <= 1.0 + 1e-12,
+            "fault probabilities sum to {} > 1",
+            self.total_prob()
+        );
+        assert!(
+            self.jitter_max_secs.is_finite() && self.jitter_max_secs >= 0.0,
+            "invalid jitter bound {}",
+            self.jitter_max_secs
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PlanMode {
+    Random(SplitMix64),
+    Scripted { faults: Vec<Fault>, next: usize },
+}
+
+/// A deterministic per-request fault schedule.
+///
+/// In random mode ([`FaultPlan::new`]) each request consumes exactly three
+/// uniforms — kind, body fraction, jitter — whether or not a fault fires,
+/// so the fault stream depends only on the seed and the *number* of
+/// requests made, never on their outcomes. Scripted mode
+/// ([`FaultPlan::scripted`]) replays a fixed fault list (clean afterwards)
+/// for exact-math unit tests.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    mode: PlanMode,
+}
+
+impl FaultPlan {
+    /// A random plan drawing from `seed` with per-request odds `config`.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            mode: PlanMode::Random(SplitMix64::new(seed)),
+        }
+    }
+
+    /// A scripted plan: request `i` gets `faults[i]`; every request past
+    /// the script is clean.
+    pub fn scripted(faults: Vec<Fault>) -> Self {
+        Self {
+            config: FaultConfig::disabled(),
+            mode: PlanMode::Scripted { faults, next: 0 },
+        }
+    }
+
+    /// The plan's fault odds (all-zero for scripted plans).
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True when the plan can schedule a stall, which only a finite
+    /// [`RetryPolicy::timeout_secs`] can end.
+    pub fn requires_timeout(&self) -> bool {
+        match &self.mode {
+            PlanMode::Random(_) => self.config.stall_prob > 0.0,
+            PlanMode::Scripted { faults, .. } => faults
+                .iter()
+                .any(|f| matches!(f.kind, Some(FaultKind::Stall { .. }))),
+        }
+    }
+
+    /// The fault assignment for the next request.
+    pub fn next_fault(&mut self) -> Fault {
+        match &mut self.mode {
+            PlanMode::Scripted { faults, next } => {
+                let f = faults.get(*next).copied().unwrap_or_else(Fault::none);
+                *next += 1;
+                f
+            }
+            PlanMode::Random(rng) => {
+                // Always three draws, so the stream stays aligned across
+                // configs with the same seed.
+                let u_kind = rng.next_f64();
+                let u_frac = rng.next_f64();
+                let u_jitter = rng.next_f64();
+                let c = &self.config;
+                let mut edge = 0.0;
+                let mut hits = |p: f64| {
+                    edge += p;
+                    u_kind < edge
+                };
+                let kind = if hits(c.reset_prob) {
+                    Some(FaultKind::ConnectionReset { body_fraction: u_frac })
+                } else if hits(c.truncate_prob) {
+                    Some(FaultKind::Truncate { body_fraction: u_frac })
+                } else if hits(c.stall_prob) {
+                    Some(FaultKind::Stall { body_fraction: u_frac })
+                } else if hits(c.not_found_prob) {
+                    Some(FaultKind::NotFound)
+                } else if hits(c.unavailable_prob) {
+                    Some(FaultKind::ServiceUnavailable)
+                } else {
+                    None
+                };
+                Fault {
+                    kind,
+                    jitter_secs: u_jitter * c.jitter_max_secs,
+                }
+            }
+        }
+    }
+}
+
+/// How the player survives faults: per-attempt timeout, bounded retries
+/// with exponential backoff, optional bitrate downshift on re-request, and
+/// a session abort once failures pile up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-attempt deadline, seconds (`f64::INFINITY` = never time out;
+    /// required finite if the plan can stall).
+    pub timeout_secs: f64,
+    /// Re-requests allowed per chunk before the session aborts.
+    pub max_retries: u32,
+    /// First backoff wait, seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied per consecutive failure.
+    pub backoff_factor: f64,
+    /// Cap on any single backoff wait, seconds.
+    pub backoff_max_secs: f64,
+    /// Re-request one ladder level lower per failed attempt (never below
+    /// level 0).
+    pub downshift_on_retry: bool,
+    /// Abort the session after this many consecutive failed attempts,
+    /// counted across chunks.
+    pub max_consecutive_failures: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::no_timeout()
+    }
+}
+
+impl RetryPolicy {
+    /// Retries without a deadline — safe only against plans that cannot
+    /// stall ([`FaultPlan::requires_timeout`] is false).
+    pub fn no_timeout() -> Self {
+        Self {
+            timeout_secs: f64::INFINITY,
+            max_retries: 4,
+            backoff_base_secs: 0.25,
+            backoff_factor: 2.0,
+            backoff_max_secs: 4.0,
+            downshift_on_retry: true,
+            max_consecutive_failures: 12,
+        }
+    }
+
+    /// The policy for hostile links: a 30 s per-attempt deadline on top of
+    /// the default retry budget.
+    pub fn hostile() -> Self {
+        Self {
+            timeout_secs: 30.0,
+            ..Self::no_timeout()
+        }
+    }
+
+    /// Backoff wait before the attempt following `prior_failures` failures
+    /// of the current chunk: `base * factor^prior`, capped at
+    /// [`backoff_max_secs`](Self::backoff_max_secs).
+    pub fn backoff_secs(&self, prior_failures: u32) -> f64 {
+        (self.backoff_base_secs * self.backoff_factor.powi(prior_failures as i32))
+            .min(self.backoff_max_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_reproducible_and_seed_sensitive() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut c = SplitMix64::new(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        // Uniforms live in [0, 1).
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn uniform_config_splits_rate_evenly() {
+        let c = FaultConfig::uniform(0.2);
+        assert!((c.total_prob() - 0.2).abs() < 1e-12);
+        assert!((c.reset_prob - 0.04).abs() < 1e-12);
+        assert!(!c.is_disabled());
+        assert!(FaultConfig::disabled().is_disabled());
+        assert!(FaultConfig::uniform(0.0).is_disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn uniform_rejects_out_of_range_rate() {
+        FaultConfig::uniform(1.5);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let cfg = FaultConfig {
+            jitter_max_secs: 0.05,
+            ..FaultConfig::uniform(0.6)
+        };
+        let mut a = FaultPlan::new(9, cfg.clone());
+        let mut b = FaultPlan::new(9, cfg.clone());
+        let mut c = FaultPlan::new(10, cfg);
+        let fa: Vec<Fault> = (0..200).map(|_| a.next_fault()).collect();
+        let fb: Vec<Fault> = (0..200).map(|_| b.next_fault()).collect();
+        let fc: Vec<Fault> = (0..200).map(|_| c.next_fault()).collect();
+        assert_eq!(fa, fb);
+        assert_ne!(fa, fc);
+        // A 60 % rate over 200 requests fires plenty of faults of several
+        // kinds, with fractions in [0, 1) and jitter within the bound.
+        let fired = fa.iter().filter(|f| f.kind.is_some()).count();
+        assert!((60..180).contains(&fired), "{fired} faults fired");
+        for f in &fa {
+            assert!((0.0..=0.05).contains(&f.jitter_secs));
+            if let Some(
+                FaultKind::ConnectionReset { body_fraction }
+                | FaultKind::Truncate { body_fraction }
+                | FaultKind::Stall { body_fraction },
+            ) = f.kind
+            {
+                assert!((0.0..1.0).contains(&body_fraction));
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let mut p = FaultPlan::new(123, FaultConfig::disabled());
+        for _ in 0..500 {
+            assert_eq!(p.next_fault(), Fault::none());
+        }
+        assert!(!p.requires_timeout());
+    }
+
+    #[test]
+    fn scripted_plan_replays_then_goes_clean() {
+        let script = vec![
+            Fault { kind: Some(FaultKind::NotFound), jitter_secs: 0.0 },
+            Fault::none(),
+            Fault { kind: Some(FaultKind::Stall { body_fraction: 0.5 }), jitter_secs: 0.01 },
+        ];
+        let mut p = FaultPlan::scripted(script.clone());
+        assert!(p.requires_timeout());
+        assert_eq!(p.next_fault(), script[0]);
+        assert_eq!(p.next_fault(), script[1]);
+        assert_eq!(p.next_fault(), script[2]);
+        assert_eq!(p.next_fault(), Fault::none());
+        assert_eq!(p.next_fault(), Fault::none());
+    }
+
+    #[test]
+    fn backoff_grows_geometrically_then_caps() {
+        let p = RetryPolicy::no_timeout();
+        assert_eq!(p.backoff_secs(0), 0.25);
+        assert_eq!(p.backoff_secs(1), 0.5);
+        assert_eq!(p.backoff_secs(2), 1.0);
+        assert_eq!(p.backoff_secs(3), 2.0);
+        assert_eq!(p.backoff_secs(4), 4.0);
+        assert_eq!(p.backoff_secs(5), 4.0, "capped");
+        assert_eq!(p.backoff_secs(200), 4.0, "overflow-safe at the cap");
+        assert!(RetryPolicy::hostile().timeout_secs.is_finite());
+        assert!(RetryPolicy::default().timeout_secs.is_infinite());
+    }
+}

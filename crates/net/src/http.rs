@@ -190,6 +190,20 @@ impl Response {
         }
     }
 
+    /// A `503 Service Unavailable` (the overloaded-origin fault).
+    pub fn service_unavailable() -> Self {
+        let body = Bytes::from_static(b"service unavailable");
+        Self {
+            status: 503,
+            reason: "Service Unavailable".into(),
+            headers: vec![
+                ("content-type".into(), "text/plain".into()),
+                ("content-length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
     /// Value of a header (case-insensitive), if present.
     pub fn header(&self, name: &str) -> Option<&str> {
         header(&self.headers, name)
@@ -348,6 +362,19 @@ impl<'a> ChunkServer<'a> {
         Response::not_found()
     }
 
+    /// [`handle`](Self::handle) under a scheduled fault: the HTTP-level
+    /// kinds replace the origin's answer (a 404 as if the chunk vanished,
+    /// a 503 as if the origin buckled); every other kind — including the
+    /// link-level ones, which corrupt delivery rather than routing — is
+    /// answered normally.
+    pub fn handle_faulted(&self, req: &Request, fault: &crate::fault::Fault) -> Response {
+        match fault.kind {
+            Some(crate::fault::FaultKind::NotFound) => Response::not_found(),
+            Some(crate::fault::FaultKind::ServiceUnavailable) => Response::service_unavailable(),
+            _ => self.handle(req),
+        }
+    }
+
     /// Handles one keep-alive connection to completion.
     pub fn serve_connection(&self, stream: TcpStream) -> Result<(), HttpError> {
         let mut writer = stream.try_clone()?;
@@ -484,6 +511,45 @@ mod tests {
         let mut post = Request::get("/manifest.mpd");
         post.method = "POST".into();
         assert_eq!(server.handle(&post).status, 404);
+    }
+
+    #[test]
+    fn service_unavailable_round_trips() {
+        let resp = Response::service_unavailable();
+        assert_eq!(resp.status, 503);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn faulted_handler_overrides_only_http_kinds() {
+        use crate::fault::{Fault, FaultKind};
+        let server = ChunkServer::new(envivio_video());
+        let req = Request::get("/video/2/7.m4s");
+        let clean = server.handle(&req);
+        assert_eq!(clean.status, 200);
+        let with = |kind| Fault { kind: Some(kind), jitter_secs: 0.0 };
+        assert_eq!(
+            server.handle_faulted(&req, &with(FaultKind::NotFound)).status,
+            404
+        );
+        assert_eq!(
+            server
+                .handle_faulted(&req, &with(FaultKind::ServiceUnavailable))
+                .status,
+            503
+        );
+        // Link-level kinds and clean requests are routed normally.
+        for fault in [
+            Fault::none(),
+            with(FaultKind::ConnectionReset { body_fraction: 0.5 }),
+            with(FaultKind::Truncate { body_fraction: 0.5 }),
+            with(FaultKind::Stall { body_fraction: 0.5 }),
+        ] {
+            assert_eq!(server.handle_faulted(&req, &fault), clean);
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   through an in-memory transport whose transfer times follow the shaped
 //!   link in virtual time, with the same controller/predictor interface as
 //!   `abr-sim`. Also a real-socket player used by integration tests.
+//! * [`fault`] — seeded, deterministic per-request fault injection
+//!   (resets, truncation, stalls, 404/503, RTT jitter) plus the
+//!   [`fault::RetryPolicy`] the player survives them with.
 //!
 //! The simulation path (`abr-sim`) and this emulation path implement the
 //! same streaming semantics through entirely different mechanisms; the
@@ -31,14 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod http;
 pub mod link;
 pub mod mpd;
 pub mod multiplayer;
 pub mod player;
 
-pub use link::{ShapedLink, TokenBucket};
-pub use multiplayer::{jain_index, run_shared_session, SharedOutcome, SharedPlayer};
+pub use fault::{Fault, FaultConfig, FaultKind, FaultPlan, RetryPolicy};
+pub use link::{FaultedTransfer, ShapedLink, TokenBucket};
+pub use multiplayer::{
+    jain_index, run_shared_session, run_shared_session_faulted, SharedFaults, SharedOutcome,
+    SharedPlayer,
+};
 pub use player::{
-    run_emulated_session, run_emulated_session_with, EmulatedDownloader, NetConfig,
+    run_emulated_session, run_emulated_session_faulted, run_emulated_session_faulted_with,
+    run_emulated_session_with, EmulatedDownloader, NetConfig,
 };

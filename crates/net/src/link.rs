@@ -2,8 +2,24 @@
 //! emulation path's stand-in for `tc` shaping) and a token bucket for
 //! real-time shaping.
 
+use crate::fault::{Fault, FaultKind};
 use abr_trace::{Trace, TraceCursor};
 use std::borrow::Cow;
+
+/// Outcome of a transfer that may have been cut short by a fault or a
+/// deadline: when it ended, how many bytes arrived, and whether the full
+/// body made it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedTransfer {
+    /// Virtual time at which the transfer ended (completion, fault, or
+    /// deadline — whichever came first).
+    pub end_secs: f64,
+    /// Bytes delivered to the client by `end_secs`.
+    pub delivered_bytes: usize,
+    /// True iff every byte arrived (necessarily false under any
+    /// link-level fault kind).
+    pub completed: bool,
+}
 
 /// A unidirectional link whose deliverable bandwidth follows a throughput
 /// trace, with a fixed one-way latency. All scheduling is in virtual time:
@@ -72,6 +88,93 @@ impl<'a> ShapedLink<'a> {
         start_secs
             + self.latency_secs
             + self.trace.time_to_download_at(cursor, kbits, start_secs)
+    }
+
+    /// [`transfer`](Self::transfer) under a scheduled [`Fault`] and a
+    /// client deadline. `start_secs` is the instant the request reaches
+    /// the origin — the caller applies `fault.jitter_secs` *before* this
+    /// call, since jitter delays the request, not the body.
+    ///
+    /// Link-level kinds (reset / truncate / stall) cut delivery at
+    /// `body_fraction` of the wire bytes; HTTP-level kinds (404 / 503) and
+    /// clean requests deliver their full (small or large) body, so for a
+    /// clean fault with an infinite deadline this is bit-identical to
+    /// [`transfer`](Self::transfer). The deadline caps every branch: a
+    /// stall *only* ends at the deadline (the transfer never finishes on
+    /// its own), so stalls require a finite one.
+    pub fn transfer_faulted(
+        &self,
+        bytes: usize,
+        start_secs: f64,
+        fault: &Fault,
+        deadline_secs: f64,
+    ) -> FaultedTransfer {
+        let cut = |fraction: f64| (bytes as f64 * fraction.clamp(0.0, 1.0)).floor() as usize;
+        match fault.kind {
+            None | Some(FaultKind::NotFound) | Some(FaultKind::ServiceUnavailable) => {
+                let full_end = self.transfer(bytes, start_secs);
+                if full_end <= deadline_secs {
+                    FaultedTransfer {
+                        end_secs: full_end,
+                        delivered_bytes: bytes,
+                        completed: true,
+                    }
+                } else {
+                    FaultedTransfer {
+                        end_secs: deadline_secs,
+                        delivered_bytes: self.bytes_by(start_secs, deadline_secs, bytes),
+                        completed: false,
+                    }
+                }
+            }
+            Some(FaultKind::Stall { body_fraction }) => {
+                assert!(
+                    deadline_secs.is_finite(),
+                    "a stalled transfer only ends at a finite deadline"
+                );
+                let cutoff = cut(body_fraction);
+                FaultedTransfer {
+                    end_secs: deadline_secs,
+                    delivered_bytes: self.bytes_by(start_secs, deadline_secs, cutoff),
+                    completed: false,
+                }
+            }
+            Some(
+                FaultKind::ConnectionReset { body_fraction }
+                | FaultKind::Truncate { body_fraction },
+            ) => {
+                let cutoff = cut(body_fraction);
+                let cut_kbits = cutoff as f64 * 8.0 / 1000.0;
+                let cut_end = start_secs
+                    + self.latency_secs
+                    + self.trace.time_to_download(cut_kbits, start_secs);
+                if cut_end <= deadline_secs {
+                    FaultedTransfer {
+                        end_secs: cut_end,
+                        delivered_bytes: cutoff,
+                        completed: false,
+                    }
+                } else {
+                    FaultedTransfer {
+                        end_secs: deadline_secs,
+                        delivered_bytes: self.bytes_by(start_secs, deadline_secs, cutoff),
+                        completed: false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes delivered by time `t` to a transfer entering the link at
+    /// `start_secs`, capped at `cap` (the propagation delay passes no
+    /// bytes).
+    fn bytes_by(&self, start_secs: f64, t: f64, cap: usize) -> usize {
+        let window_end = t - self.latency_secs;
+        if window_end <= start_secs {
+            return 0;
+        }
+        let kbits = self.trace.integrate_kbits(start_secs, window_end);
+        ((kbits * 1000.0 / 8.0).floor() as usize).min(cap)
     }
 
     /// Average throughput the link would deliver to a transfer of `bytes`
@@ -206,6 +309,92 @@ mod tests {
         let link = ShapedLink::new(t, 0.02);
         assert!((link.transfer(0, 5.0) - 5.02).abs() < 1e-12);
         assert_eq!(link.effective_kbps(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn faulted_transfer_clean_matches_plain_transfer() {
+        let t = Trace::new(vec![(10.0, 1000.0), (10.0, 2000.0)]).unwrap();
+        let link = ShapedLink::new(t, 0.03);
+        for (bytes, start) in [(1_000_000usize, 0.0), (40_000, 7.5), (0, 3.0)] {
+            let plain = link.transfer(bytes, start);
+            let faulted =
+                link.transfer_faulted(bytes, start, &Fault::none(), f64::INFINITY);
+            assert_eq!(plain.to_bits(), faulted.end_secs.to_bits());
+            assert_eq!(faulted.delivered_bytes, bytes);
+            assert!(faulted.completed);
+        }
+    }
+
+    #[test]
+    fn faulted_transfer_deadline_cuts_a_clean_transfer() {
+        // 1000 kbps, no latency: 1,000,000 bytes = 8000 kbits takes 8 s.
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let link = ShapedLink::new(t, 0.0);
+        let ft = link.transfer_faulted(1_000_000, 0.0, &Fault::none(), 2.0);
+        assert!(!ft.completed);
+        assert_eq!(ft.end_secs, 2.0);
+        // 2 s at 1000 kbps = 2000 kbits = 250,000 bytes.
+        assert_eq!(ft.delivered_bytes, 250_000);
+    }
+
+    #[test]
+    fn reset_cuts_at_the_body_fraction() {
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let link = ShapedLink::new(t, 0.0);
+        let fault = Fault {
+            kind: Some(FaultKind::ConnectionReset { body_fraction: 0.25 }),
+            jitter_secs: 0.0,
+        };
+        let ft = link.transfer_faulted(1_000_000, 0.0, &fault, f64::INFINITY);
+        assert!(!ft.completed);
+        assert_eq!(ft.delivered_bytes, 250_000);
+        // 250,000 bytes = 2000 kbits at 1000 kbps = 2 s.
+        assert!((ft.end_secs - 2.0).abs() < 1e-9, "{}", ft.end_secs);
+        // A deadline before the cut point wins.
+        let early = link.transfer_faulted(1_000_000, 0.0, &fault, 1.0);
+        assert_eq!(early.end_secs, 1.0);
+        assert_eq!(early.delivered_bytes, 125_000);
+        assert!(!early.completed);
+    }
+
+    #[test]
+    fn stall_only_ends_at_the_deadline() {
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let link = ShapedLink::new(t, 0.0);
+        let fault = Fault {
+            kind: Some(FaultKind::Stall { body_fraction: 0.1 }),
+            jitter_secs: 0.0,
+        };
+        let ft = link.transfer_faulted(1_000_000, 0.0, &fault, 5.0);
+        assert_eq!(ft.end_secs, 5.0);
+        // The stall froze delivery at 10 % = 100,000 bytes well before 5 s.
+        assert_eq!(ft.delivered_bytes, 100_000);
+        assert!(!ft.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite deadline")]
+    fn stall_without_deadline_panics() {
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let link = ShapedLink::new(t, 0.0);
+        let fault = Fault {
+            kind: Some(FaultKind::Stall { body_fraction: 0.5 }),
+            jitter_secs: 0.0,
+        };
+        link.transfer_faulted(1000, 0.0, &fault, f64::INFINITY);
+    }
+
+    #[test]
+    fn latency_delays_first_faulted_byte() {
+        // 1 s latency: at t=1.5 only 0.5 s of serialization has happened.
+        let t = Trace::constant(1600.0, 60.0).unwrap();
+        let link = ShapedLink::new(t, 1.0);
+        let ft = link.transfer_faulted(1_000_000, 0.0, &Fault::none(), 1.5);
+        // 0.5 s at 1600 kbps = 800 kbits = 100,000 bytes.
+        assert_eq!(ft.delivered_bytes, 100_000);
+        // Before the latency elapses, nothing at all has arrived.
+        let ft0 = link.transfer_faulted(1_000_000, 0.0, &Fault::none(), 0.9);
+        assert_eq!(ft0.delivered_bytes, 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! and returns one [`SessionResult`] per player plus link accounting.
 //! [`jain_index`] quantifies bitrate fairness.
 
+use crate::fault::{FaultConfig, FaultKind, FaultPlan, RetryPolicy};
 use abr_core::{advance_buffer, BitrateController, ControllerContext};
 use abr_predictor::{ErrorTracked, Predictor};
 use abr_sim::{ChunkRecord, SessionResult, SimConfig, StartupPolicy};
@@ -67,13 +68,50 @@ pub struct SharedOutcome {
     pub span_secs: f64,
 }
 
+/// Fault injection for a shared-bottleneck run: per-request odds, the
+/// retry policy every player follows, and the base seed (player `i` draws
+/// from an independent stream derived from it).
+#[derive(Debug, Clone)]
+pub struct SharedFaults {
+    /// Per-request fault odds, shared by all players.
+    pub config: FaultConfig,
+    /// Timeout/retry/backoff policy, shared by all players.
+    pub policy: RetryPolicy,
+    /// Base seed; player `i` uses `seed ^ i · φ64`.
+    pub seed: u64,
+}
+
+impl SharedFaults {
+    fn plan_for(&self, player: usize) -> FaultPlan {
+        let seed = self.seed ^ (player as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        FaultPlan::new(seed, self.config.clone())
+    }
+}
+
 enum FlowState {
     /// Waiting to issue the next request at the given time.
     IdleUntil(f64),
-    /// Downloading chunk `k` at `level` with `remaining_kbits` to go.
+    /// Downloading chunk `k` at `level` with `remaining_kbits` to go. A
+    /// flow only joins the active share set once `started <= now` (jitter
+    /// defers it); `fault_at_kbits`/`deadline` are infinite on the
+    /// fault-free path so its arithmetic is untouched.
     Downloading {
         started: f64,
         remaining_kbits: f64,
+        /// Delivered kilobits at which a link-level fault fires.
+        fault_at_kbits: f64,
+        /// The fault at `fault_at_kbits` is a stall (else reset/truncate).
+        stall: bool,
+        /// This attempt's timeout instant.
+        deadline: f64,
+        /// Kilobits delivered to this attempt so far.
+        got_kbits: f64,
+    },
+    /// The transfer stalled: no bytes flow (the flow leaves the share set)
+    /// until the deadline declares the attempt dead.
+    Stalled {
+        /// When the player's timeout fires.
+        deadline: f64,
     },
     Finished,
 }
@@ -91,6 +129,21 @@ struct PlayerRt {
     startup_secs: f64,
     qoe: QoeBreakdown,
     records: Vec<ChunkRecord>,
+    // Fault state (inert when `plan` is None).
+    plan: Option<FaultPlan>,
+    decided_level: abr_video::LevelIdx,
+    retrying: bool,
+    attempt_failures: u32,
+    consecutive_failures: u32,
+    pending_retries: u32,
+    pending_wasted_kbits: f64,
+    pending_fault_delay: f64,
+    chunk_started: f64,
+    attempt_issue: f64,
+    aborted: bool,
+    abort_secs: f64,
+    abort_retries: u32,
+    abort_wasted_kbits: f64,
 }
 
 /// Runs `players` against a shared bottleneck following `trace`.
@@ -104,14 +157,37 @@ pub fn run_shared_session(
     video: &Video,
     cfg: &SimConfig,
 ) -> SharedOutcome {
+    run_shared_session_faulted(players, trace, video, cfg, None)
+}
+
+/// [`run_shared_session`] over a hostile bottleneck: when `faults` is set,
+/// every player's requests draw from an independent deterministic fault
+/// stream and survive via the shared [`RetryPolicy`]. With `faults` at
+/// `None` this *is* `run_shared_session` — the fault bookkeeping sits
+/// entirely outside the fault-free arithmetic.
+pub fn run_shared_session_faulted(
+    players: Vec<SharedPlayer>,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    faults: Option<&SharedFaults>,
+) -> SharedOutcome {
     assert!(!players.is_empty(), "need at least one player");
     assert!(
         matches!(cfg.startup, StartupPolicy::FirstChunk),
         "shared sessions support the FirstChunk startup policy only"
     );
+    if let Some(f) = faults {
+        assert!(
+            f.config.stall_prob == 0.0 || f.policy.timeout_secs.is_finite(),
+            "a plan that can stall needs a finite RetryPolicy::timeout_secs"
+        );
+    }
+    let policy = faults.map_or_else(RetryPolicy::no_timeout, |f| f.policy.clone());
     let mut rts: Vec<PlayerRt> = players
         .into_iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
             let mut controller = p.controller;
             controller.reset();
             PlayerRt {
@@ -127,6 +203,20 @@ pub fn run_shared_session(
                 startup_secs: 0.0,
                 qoe: QoeBreakdown::default(),
                 records: Vec::with_capacity(video.num_chunks()),
+                plan: faults.map(|f| f.plan_for(i)),
+                decided_level: video.ladder().lowest(),
+                retrying: false,
+                attempt_failures: 0,
+                consecutive_failures: 0,
+                pending_retries: 0,
+                pending_wasted_kbits: 0.0,
+                pending_fault_delay: 0.0,
+                chunk_started: 0.0,
+                attempt_issue: 0.0,
+                aborted: false,
+                abort_secs: 0.0,
+                abort_retries: 0,
+                abort_wasted_kbits: 0.0,
             }
         })
         .collect();
@@ -139,11 +229,21 @@ pub fn run_shared_session(
     for _ in 0..max_events {
         // Wake any idle players whose time has come: issue their next
         // request (decision happens at issue time, per the paper's fixed
-        // chunk-boundary decision model).
+        // chunk-boundary decision model). Then declare dead any attempt
+        // whose timeout has passed — stalled or still (too slowly)
+        // downloading.
         for i in 0..rts.len() {
             let wake = matches!(rts[i].state, FlowState::IdleUntil(t) if t <= now + 1e-12);
             if wake {
-                start_next_download(&mut rts[i], video, cfg, now);
+                start_next_download(&mut rts[i], video, cfg, &policy, now);
+            }
+            let timed_out = match rts[i].state {
+                FlowState::Stalled { deadline } => deadline <= now + 1e-12,
+                FlowState::Downloading { deadline, .. } => deadline <= now + 1e-12,
+                _ => false,
+            };
+            if timed_out {
+                fail_attempt(&mut rts[i], cfg, &policy, now);
             }
         }
 
@@ -151,20 +251,33 @@ pub fn run_shared_session(
             break;
         }
 
+        // Only flows whose (possibly jitter-deferred) attempt has begun
+        // share the link.
         let active: Vec<usize> = rts
             .iter()
             .enumerate()
-            .filter(|(_, p)| matches!(p.state, FlowState::Downloading { .. }))
+            .filter(
+                |(_, p)| matches!(p.state, FlowState::Downloading { started, .. } if started <= now + 1e-12),
+            )
             .map(|(i, _)| i)
             .collect();
 
-        // Next trace rate change and next idle wake-up bound the step.
+        // Next trace rate change, idle wake-up, deferred attempt start,
+        // and timeout deadline bound the step.
         let mut next_event = trace.next_boundary_after(now);
         for p in &rts {
-            if let FlowState::IdleUntil(t) = p.state {
-                if t > now + 1e-12 {
-                    next_event = next_event.min(t);
+            match p.state {
+                FlowState::IdleUntil(t) if t > now + 1e-12 => next_event = next_event.min(t),
+                FlowState::Downloading { started, deadline, .. } => {
+                    if started > now + 1e-12 {
+                        next_event = next_event.min(started);
+                    }
+                    if deadline.is_finite() {
+                        next_event = next_event.min(deadline);
+                    }
                 }
+                FlowState::Stalled { deadline } => next_event = next_event.min(deadline),
+                _ => {}
             }
         }
 
@@ -177,11 +290,21 @@ pub fn run_shared_session(
         // Equal share of the current capacity per active flow.
         let rate = trace.kbps_at(now) / active.len() as f64;
         if rate > 0.0 {
-            // Earliest completion under the constant share also bounds the
-            // step.
+            // Earliest completion (or fault point) under the constant
+            // share also bounds the step.
             for &i in &active {
-                if let FlowState::Downloading { remaining_kbits, .. } = rts[i].state {
+                if let FlowState::Downloading {
+                    remaining_kbits,
+                    fault_at_kbits,
+                    got_kbits,
+                    ..
+                } = rts[i].state
+                {
                     next_event = next_event.min(now + remaining_kbits / rate);
+                    if fault_at_kbits.is_finite() {
+                        next_event =
+                            next_event.min(now + (fault_at_kbits - got_kbits).max(0.0) / rate);
+                    }
                 }
             }
         }
@@ -192,18 +315,52 @@ pub fn run_shared_session(
             if let FlowState::Downloading {
                 started,
                 remaining_kbits,
+                fault_at_kbits,
+                stall,
+                deadline,
+                got_kbits,
             } = rts[i].state
             {
                 let got = rate * dt;
-                delivered += got.min(remaining_kbits);
-                let left = remaining_kbits - got;
-                if left <= 1e-9 {
-                    complete_chunk(&mut rts[i], video, cfg, started, next_event);
+                if fault_at_kbits.is_finite() && got_kbits + got + 1e-9 >= fault_at_kbits {
+                    // The scheduled fault point arrives no later than
+                    // completion (the fraction is clamped to the body): the
+                    // attempt dies here, or hangs until the deadline if it
+                    // is a stall. Bytes up to the fault point stay wasted.
+                    let frozen = fault_at_kbits.min(got_kbits + got);
+                    delivered += (frozen - got_kbits).max(0.0);
+                    let p = &mut rts[i];
+                    if stall {
+                        p.pending_wasted_kbits += frozen;
+                        p.state = FlowState::Stalled { deadline };
+                    } else {
+                        // Park the frozen byte count in the state so
+                        // fail_attempt banks it exactly once.
+                        p.state = FlowState::Downloading {
+                            started,
+                            remaining_kbits,
+                            fault_at_kbits,
+                            stall,
+                            deadline,
+                            got_kbits: frozen,
+                        };
+                        fail_attempt(p, cfg, &policy, next_event);
+                    }
                 } else {
-                    rts[i].state = FlowState::Downloading {
-                        started,
-                        remaining_kbits: left,
-                    };
+                    delivered += got.min(remaining_kbits);
+                    let left = remaining_kbits - got;
+                    if left <= 1e-9 {
+                        complete_chunk(&mut rts[i], video, cfg, started, next_event);
+                    } else {
+                        rts[i].state = FlowState::Downloading {
+                            started,
+                            remaining_kbits: left,
+                            fault_at_kbits,
+                            stall,
+                            deadline,
+                            got_kbits: got_kbits + got,
+                        };
+                    }
                 }
             }
         }
@@ -224,6 +381,10 @@ pub fn run_shared_session(
                 startup_secs: p.startup_secs,
                 total_secs: now,
                 qoe: p.qoe,
+                aborted: p.aborted,
+                abort_secs: p.abort_secs,
+                abort_retries: p.abort_retries,
+                abort_wasted_kbits: p.abort_wasted_kbits,
             }
         })
         .collect();
@@ -236,36 +397,128 @@ pub fn run_shared_session(
     }
 }
 
-fn start_next_download(p: &mut PlayerRt, video: &Video, cfg: &SimConfig, now: f64) {
+fn start_next_download(
+    p: &mut PlayerRt,
+    video: &Video,
+    cfg: &SimConfig,
+    policy: &RetryPolicy,
+    now: f64,
+) {
     if p.chunk >= video.num_chunks() {
         p.state = FlowState::Finished;
         return;
     }
-    let prediction = p.predictor.predict();
-    let ctx = ControllerContext {
-        chunk_index: p.chunk,
-        buffer_secs: p.buffer,
-        prev_level: p.prev_level,
-        prediction_kbps: prediction,
-        robust_lower_kbps: p.predictor.robust_lower_bound(),
-        last_throughput_kbps: p.last_throughput,
-        recent_low_buffer: p.low_buffer.iter().any(|&b| b),
-        startup: p.chunk == 0,
-        video,
-        buffer_max_secs: cfg.buffer_max_secs,
+    if p.retrying {
+        // A re-request re-issues the same chunk without consulting the
+        // controller, downshifted one level per failure if the policy
+        // says so.
+        p.retrying = false;
+        p.level = if policy.downshift_on_retry {
+            abr_video::LevelIdx(
+                p.decided_level
+                    .get()
+                    .saturating_sub(p.attempt_failures as usize),
+            )
+        } else {
+            p.decided_level
+        };
+    } else {
+        let prediction = p.predictor.predict();
+        let ctx = ControllerContext {
+            chunk_index: p.chunk,
+            buffer_secs: p.buffer,
+            prev_level: p.prev_level,
+            prediction_kbps: prediction,
+            robust_lower_kbps: p.predictor.robust_lower_bound(),
+            last_throughput_kbps: p.last_throughput,
+            recent_low_buffer: p.low_buffer.iter().any(|&b| b),
+            startup: p.chunk == 0,
+            video,
+            buffer_max_secs: cfg.buffer_max_secs,
+        };
+        let decision = p.controller.decide(&ctx);
+        p.level = decision.level;
+        p.decided_level = decision.level;
+        p.chunk_started = now;
+        p.pending_retries = 0;
+        p.pending_wasted_kbits = 0.0;
+        p.pending_fault_delay = 0.0;
+        p.attempt_failures = 0;
+    }
+    p.attempt_issue = now;
+    let size_kbits = video.chunk_size_kbits(p.chunk, p.level);
+    let (started, fault_at_kbits, stall, deadline) = match p.plan.as_mut() {
+        None => (now, f64::INFINITY, false, f64::INFINITY),
+        Some(plan) => {
+            let fault = plan.next_fault();
+            let deadline = now + fault.jitter_secs + policy.timeout_secs;
+            let (at, stall) = match fault.kind {
+                None => (f64::INFINITY, false),
+                Some(
+                    FaultKind::ConnectionReset { body_fraction }
+                    | FaultKind::Truncate { body_fraction },
+                ) => (size_kbits * body_fraction.clamp(0.0, 1.0), false),
+                Some(FaultKind::Stall { body_fraction }) => {
+                    (size_kbits * body_fraction.clamp(0.0, 1.0), true)
+                }
+                // HTTP-level faults kill the request before any video byte
+                // flows.
+                Some(FaultKind::NotFound | FaultKind::ServiceUnavailable) => (0.0, false),
+            };
+            (now + fault.jitter_secs, at, stall, deadline)
+        }
     };
-    let decision = p.controller.decide(&ctx);
-    p.level = decision.level;
     p.state = FlowState::Downloading {
-        started: now,
-        remaining_kbits: video.chunk_size_kbits(p.chunk, p.level),
+        started,
+        remaining_kbits: size_kbits,
+        fault_at_kbits,
+        stall,
+        deadline,
+        got_kbits: 0.0,
     };
 }
 
+/// The current attempt is dead (fault, timeout, or stall deadline): charge
+/// it, then either back off and retry or abort the session.
+fn fail_attempt(p: &mut PlayerRt, cfg: &SimConfig, policy: &RetryPolicy, now: f64) {
+    if let FlowState::Stalled { .. } | FlowState::Downloading { .. } = p.state {
+        if let FlowState::Downloading { got_kbits, .. } = p.state {
+            // Whatever arrived on this attempt is wasted. Stalls banked
+            // their bytes when they froze (the Stalled state carries none).
+            p.pending_wasted_kbits += got_kbits;
+        }
+        p.attempt_failures += 1;
+        p.consecutive_failures += 1;
+        p.pending_fault_delay += now - p.attempt_issue;
+        if p.attempt_failures > policy.max_retries
+            || p.consecutive_failures >= policy.max_consecutive_failures
+        {
+            let elapsed = now - p.chunk_started;
+            if p.chunk == 0 {
+                p.startup_secs = elapsed;
+            } else {
+                p.qoe
+                    .push_rebuffer(&cfg.weights, (elapsed - p.buffer).max(0.0));
+            }
+            p.aborted = true;
+            p.abort_secs = elapsed;
+            p.abort_retries = p.pending_retries;
+            p.abort_wasted_kbits = p.pending_wasted_kbits;
+            p.state = FlowState::Finished;
+        } else {
+            let backoff = policy.backoff_secs(p.attempt_failures - 1);
+            p.pending_fault_delay += backoff;
+            p.pending_retries += 1;
+            p.retrying = true;
+            p.state = FlowState::IdleUntil(now + backoff);
+        }
+    }
+}
+
 fn complete_chunk(p: &mut PlayerRt, video: &Video, cfg: &SimConfig, started: f64, now: f64) {
-    let download_secs = (now - started).max(1e-9);
+    let download_secs = (now - p.chunk_started).max(1e-9);
     let size_kbits = video.chunk_size_kbits(p.chunk, p.level);
-    let throughput = size_kbits / download_secs;
+    let throughput = size_kbits / (now - p.attempt_issue).max(1e-9);
     let mut step = advance_buffer(p.buffer, download_secs, video.chunk_secs(), cfg.buffer_max_secs);
     if p.chunk == 0 {
         p.startup_secs = download_secs;
@@ -286,11 +539,14 @@ fn complete_chunk(p: &mut PlayerRt, video: &Video, cfg: &SimConfig, started: f64
         download_secs,
         rebuffer_secs: step.rebuffer_secs,
         wait_secs: step.wait_secs,
-            availability_wait_secs: 0.0,
+        availability_wait_secs: 0.0,
         buffer_before_secs: p.buffer,
         buffer_after_secs: step.next_buffer_secs,
         throughput_kbps: throughput,
         prediction_kbps: prediction,
+        retries: p.pending_retries,
+        wasted_kbits: p.pending_wasted_kbits,
+        fault_delay_secs: p.pending_fault_delay,
     });
     if p.low_buffer.len() == cfg.low_buffer_window_chunks {
         p.low_buffer.pop_front();
@@ -301,6 +557,12 @@ fn complete_chunk(p: &mut PlayerRt, video: &Video, cfg: &SimConfig, started: f64
     p.buffer = step.next_buffer_secs;
     p.prev_level = Some(p.level);
     p.chunk += 1;
+    p.pending_retries = 0;
+    p.pending_wasted_kbits = 0.0;
+    p.pending_fault_delay = 0.0;
+    p.attempt_failures = 0;
+    p.consecutive_failures = 0;
+    p.retrying = false;
     p.state = if p.chunk >= video.num_chunks() {
         FlowState::Finished
     } else {
@@ -479,5 +741,127 @@ mod tests {
             "link accounting {} vs session accounting {session_total}",
             shared.delivered_kbits
         );
+    }
+
+    fn hostile_faults(seed: u64) -> SharedFaults {
+        SharedFaults {
+            config: FaultConfig::uniform(0.25),
+            policy: RetryPolicy::hostile(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn faulted_shared_run_is_deterministic_and_finite() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::new(vec![(40.0, 2500.0), (40.0, 1200.0)]).unwrap();
+        let faults = hostile_faults(11);
+        let run = |_: ()| {
+            run_shared_session_faulted(
+                vec![
+                    player(Box::new(BufferBased::paper_default()), 0.0),
+                    player(Box::new(RateBased::paper_default()), 3.0),
+                ],
+                &trace,
+                &video,
+                &cfg,
+                Some(&faults),
+            )
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        for (sa, sb) in a.sessions.iter().zip(&b.sessions) {
+            assert!(sa.qoe.qoe.is_finite());
+            assert_eq!(sa.qoe.qoe.to_bits(), sb.qoe.qoe.to_bits());
+            assert_eq!(sa.records.len(), sb.records.len());
+            assert_eq!(sa.aborted, sb.aborted);
+            assert_eq!(sa.total_retries(), sb.total_retries());
+            assert_eq!(
+                sa.total_wasted_kbits().to_bits(),
+                sb.total_wasted_kbits().to_bits()
+            );
+            for (ra, rb) in sa.records.iter().zip(&sb.records) {
+                assert_eq!(ra.level, rb.level);
+                assert_eq!(ra.download_secs.to_bits(), rb.download_secs.to_bits());
+                assert_eq!(ra.wasted_kbits.to_bits(), rb.wasted_kbits.to_bits());
+            }
+        }
+        // A quarter of requests faulted: some retry traffic must show up
+        // somewhere across both players.
+        let activity: u32 = a.sessions.iter().map(|s| s.total_retries()).sum();
+        assert!(activity > 0, "hostile plan produced no retries");
+    }
+
+    #[test]
+    fn faulted_players_with_different_seeds_diverge() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(3000.0, 60.0).unwrap();
+        let run = |seed| {
+            run_shared_session_faulted(
+                vec![player(Box::new(BufferBased::paper_default()), 0.0)],
+                &trace,
+                &video,
+                &cfg,
+                Some(&hostile_faults(seed)),
+            )
+        };
+        let a = run(5);
+        let b = run(6);
+        let fingerprint = |o: &SharedOutcome| {
+            (
+                o.sessions[0].total_retries(),
+                o.sessions[0].total_wasted_kbits().to_bits(),
+                o.sessions[0].records.len(),
+            )
+        };
+        assert_ne!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "different seeds should schedule different faults"
+        );
+    }
+
+    #[test]
+    fn shared_fault_accounting_lands_in_records() {
+        // All-stall plan with a single retry budget: the session aborts and
+        // every wasted byte / retry is accounted on the result.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(2000.0, 60.0).unwrap();
+        let faults = SharedFaults {
+            config: FaultConfig {
+                stall_prob: 1.0,
+                ..FaultConfig::disabled()
+            },
+            policy: RetryPolicy {
+                timeout_secs: 2.0,
+                max_retries: 1,
+                ..RetryPolicy::hostile()
+            },
+            seed: 3,
+        };
+        let out = run_shared_session_faulted(
+            vec![player(Box::new(BufferBased::paper_default()), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+            Some(&faults),
+        );
+        let s = &out.sessions[0];
+        assert!(s.aborted, "all requests stall: the session must abort");
+        assert!(s.records.is_empty());
+        // Two attempts, each timed out after 2 s, one backoff in between.
+        assert_eq!(s.abort_retries, 1);
+        let expected = 2.0 + faults.policy.backoff_secs(0) + 2.0;
+        assert!(
+            (s.abort_secs - expected).abs() < 0.1,
+            "abort after {} (expected ~{expected})",
+            s.abort_secs
+        );
+        assert!(s.abort_wasted_kbits > 0.0, "stalled bytes must be wasted");
+        assert!(s.qoe.qoe.is_finite());
     }
 }

@@ -15,13 +15,15 @@
 //! stream), and runs in wall-clock time — integration tests use
 //! short videos.
 
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::http::{chunk_bytes, ChunkServer, HttpClient, HttpError, Request, Response};
 use crate::link::{ShapedLink, TokenBucket};
 use crate::mpd;
 use abr_core::{advance_buffer, BitrateController, ControllerContext};
 use abr_predictor::{ErrorTracked, Predictor};
 use abr_sim::{
-    run_session_core, ChunkDownloader, ChunkRecord, SessionResult, SessionScratch, SimConfig,
+    run_session_core, ChunkDownloader, ChunkRecord, DownloadOutcome, SessionResult,
+    SessionScratch, SimConfig,
 };
 use abr_trace::{Trace, TraceCursor};
 use abr_video::{LevelIdx, QoeBreakdown, Video};
@@ -67,6 +69,16 @@ pub struct EmulatedDownloader<'a> {
     req: Request,
     req_bytes: Vec<u8>,
     resp_bytes: Vec<u8>,
+    faults: Option<FaultState>,
+}
+
+/// The fault-injection state a downloader carries: the schedule, the
+/// survival policy, and the consecutive-failure count that persists across
+/// chunks.
+struct FaultState {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    consecutive_failures: u32,
 }
 
 impl<'a> EmulatedDownloader<'a> {
@@ -80,6 +92,136 @@ impl<'a> EmulatedDownloader<'a> {
             req: Request::get(""),
             req_bytes: Vec::new(),
             resp_bytes: Vec::new(),
+            faults: None,
+        }
+    }
+
+    /// [`new`](Self::new) with a fault schedule and a retry policy. Plans
+    /// that can stall require a finite per-attempt timeout — otherwise the
+    /// session would hang in virtual time.
+    pub fn with_faults(
+        video: &'a Video,
+        trace: &'a Trace,
+        net: &NetConfig,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> Self {
+        assert!(
+            !plan.requires_timeout() || policy.timeout_secs.is_finite(),
+            "a plan that can stall needs a finite RetryPolicy::timeout_secs"
+        );
+        let mut d = Self::new(video, trace, net);
+        d.faults = Some(FaultState {
+            plan,
+            policy,
+            consecutive_failures: 0,
+        });
+        d
+    }
+
+    /// The faulted download loop: attempt, and on failure back off and
+    /// re-request (downshifted if the policy says so) until the chunk
+    /// lands or the budget runs out.
+    fn run_attempts(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        start_secs: f64,
+        fs: &mut FaultState,
+    ) -> DownloadOutcome {
+        let mut failures: u32 = 0;
+        let mut retries: u32 = 0;
+        let mut wasted_kbits = 0.0_f64;
+        let mut fault_delay = 0.0_f64;
+        let mut now = start_secs;
+        loop {
+            let req_level = if fs.policy.downshift_on_retry {
+                LevelIdx(level.get().saturating_sub(failures as usize))
+            } else {
+                level
+            };
+            let fault = fs.plan.next_fault();
+            let attempt_start = now;
+            let deadline = attempt_start + fs.policy.timeout_secs;
+
+            // The HTTP exchange, same framing dance as the clean path, but
+            // the origin answers through the fault filter.
+            self.req.path.clear();
+            write!(self.req.path, "/video/{}/{index}.m4s", req_level.get())
+                .expect("writing to a String cannot fail");
+            self.req_bytes.clear();
+            self.req
+                .write_to(&mut self.req_bytes)
+                .expect("serializing to memory cannot fail");
+            let parsed_req = Request::read_from(&mut Cursor::new(&self.req_bytes[..]))
+                .expect("we produced well-formed bytes")
+                .expect("request present");
+            let response = self.server.handle_faulted(&parsed_req, &fault);
+            self.resp_bytes.clear();
+            response
+                .write_to(&mut self.resp_bytes)
+                .expect("serializing to memory cannot fail");
+            // Jitter delays the request on its way up; the body is then
+            // paced (and possibly cut) by the link.
+            let request_arrives =
+                attempt_start + self.link.latency_secs() + fault.jitter_secs;
+            let ft = self.link.transfer_faulted(
+                self.resp_bytes.len(),
+                request_arrives,
+                &fault,
+                deadline,
+            );
+
+            if ft.completed && response.status == 200 {
+                // The client re-parses the delivered bytes.
+                let parsed = Response::read_from(&mut Cursor::new(&self.resp_bytes[..]))
+                    .expect("well-formed response bytes");
+                let expected_bytes = chunk_bytes(self.video, index, req_level);
+                assert_eq!(parsed.body.len(), expected_bytes, "body size mismatch");
+                fs.consecutive_failures = 0;
+                let delivered_kbits = self.video.chunk_size_kbits(index, req_level);
+                return DownloadOutcome {
+                    secs: ft.end_secs - start_secs,
+                    delivered_level: req_level,
+                    delivered_kbits,
+                    throughput_kbps: delivered_kbits / (ft.end_secs - attempt_start),
+                    retries,
+                    wasted_kbits,
+                    fault_delay_secs: fault_delay,
+                    aborted: false,
+                };
+            }
+
+            // Failed attempt. A short delivery exercises the client parser
+            // (it must error, never panic) exactly like a real broken read.
+            if ft.delivered_bytes < self.resp_bytes.len() {
+                let _ = Response::read_from(&mut Cursor::new(
+                    &self.resp_bytes[..ft.delivered_bytes],
+                ));
+            }
+            wasted_kbits += ft.delivered_bytes as f64 * 8.0 / 1000.0;
+            failures += 1;
+            fs.consecutive_failures += 1;
+            fault_delay += ft.end_secs - attempt_start;
+            now = ft.end_secs;
+            if failures > fs.policy.max_retries
+                || fs.consecutive_failures >= fs.policy.max_consecutive_failures
+            {
+                return DownloadOutcome {
+                    secs: now - start_secs,
+                    delivered_level: req_level,
+                    delivered_kbits: 0.0,
+                    throughput_kbps: 0.0,
+                    retries,
+                    wasted_kbits,
+                    fault_delay_secs: fault_delay,
+                    aborted: true,
+                };
+            }
+            let backoff = fs.policy.backoff_secs(failures - 1);
+            now += backoff;
+            fault_delay += backoff;
+            retries += 1;
         }
     }
 }
@@ -123,6 +265,29 @@ impl ChunkDownloader for EmulatedDownloader<'_> {
         assert_eq!(parsed.body.len(), expected_bytes, "body size mismatch");
         // ------------------------------------------------------------------
         done - start_secs
+    }
+
+    fn download_outcome(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        size_kbits: f64,
+        start_secs: f64,
+    ) -> DownloadOutcome {
+        match self.faults.take() {
+            // No fault state: the provided-method equivalent, so the
+            // unarmed downloader stays bit-identical to the pre-fault path.
+            None => DownloadOutcome::clean(
+                level,
+                size_kbits,
+                self.download_secs(index, level, size_kbits, start_secs),
+            ),
+            Some(mut fs) => {
+                let out = self.run_attempts(index, level, start_secs, &mut fs);
+                self.faults = Some(fs);
+                out
+            }
+        }
     }
 }
 
@@ -171,6 +336,67 @@ pub fn run_emulated_session_with<P: Predictor>(
     net: &NetConfig,
 ) {
     let mut downloader = EmulatedDownloader::new(video, trace, net);
+    run_session_core(
+        scratch,
+        out,
+        controller,
+        predictor,
+        &mut downloader,
+        trace,
+        video,
+        cfg,
+    );
+}
+
+/// [`run_emulated_session`] over a hostile link: `plan` schedules faults
+/// per request, `policy` governs timeout/retry/backoff/abort. Fault
+/// accounting (retries, wasted kilobits, delay lost to failures) lands in
+/// the per-chunk records; an exhausted retry budget ends the session early
+/// with the abort fields set.
+pub fn run_emulated_session_faulted<P: Predictor>(
+    controller: &mut dyn BitrateController,
+    predictor: P,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    net: &NetConfig,
+    plan: FaultPlan,
+    policy: &RetryPolicy,
+) -> SessionResult {
+    let mut scratch = SessionScratch::new();
+    let mut out = SessionResult::default();
+    run_emulated_session_faulted_with(
+        &mut scratch,
+        &mut out,
+        controller,
+        predictor,
+        trace,
+        video,
+        cfg,
+        net,
+        plan,
+        policy,
+    );
+    out
+}
+
+/// [`run_emulated_session_faulted`] writing into caller-owned buffers,
+/// retaining their allocations across sessions.
+#[allow(clippy::too_many_arguments)]
+pub fn run_emulated_session_faulted_with<P: Predictor>(
+    scratch: &mut SessionScratch,
+    out: &mut SessionResult,
+    controller: &mut dyn BitrateController,
+    predictor: P,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    net: &NetConfig,
+    plan: FaultPlan,
+    policy: &RetryPolicy,
+) {
+    let mut downloader =
+        EmulatedDownloader::with_faults(video, trace, net, plan, policy.clone());
     run_session_core(
         scratch,
         out,
@@ -331,6 +557,9 @@ pub fn run_real_session<P: Predictor>(
             buffer_after_secs: step.next_buffer_secs,
             throughput_kbps: throughput,
             prediction_kbps: prediction,
+            retries: 0,
+            wasted_kbits: 0.0,
+            fault_delay_secs: 0.0,
         });
 
         if low_buffer_history.len() == cfg.low_buffer_window_chunks {
@@ -350,17 +579,336 @@ pub fn run_real_session<P: Predictor>(
         startup_secs,
         total_secs: session_start.elapsed().as_secs_f64(),
         qoe,
+        ..SessionResult::default()
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultConfig, FaultKind};
     use abr_baselines::{BufferBased, RateBased};
-    use abr_core::Mpc;
+    use abr_core::{Decision, Mpc};
     use abr_predictor::HarmonicMean;
     use abr_trace::Dataset;
     use abr_video::envivio_video;
+
+    /// A controller that always requests the same level.
+    struct Fixed(LevelIdx);
+    impl BitrateController for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn decide(&mut self, _ctx: &ControllerContext<'_>) -> Decision {
+            Decision::level(self.0)
+        }
+    }
+
+    fn stall(body_fraction: f64) -> Fault {
+        Fault {
+            kind: Some(FaultKind::Stall { body_fraction }),
+            jitter_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn armed_but_disabled_faults_are_bit_identical_to_plain() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let net = NetConfig::typical();
+        for trace in Dataset::Fcc.generate(17, 2) {
+            let mut a = Mpc::robust();
+            let plain = run_emulated_session(
+                &mut a,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &net,
+            );
+            let mut b = Mpc::robust();
+            let armed = run_emulated_session_faulted(
+                &mut b,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &net,
+                FaultPlan::new(5, FaultConfig::disabled()),
+                &RetryPolicy::no_timeout(),
+            );
+            assert_eq!(plain, armed);
+            assert_eq!(plain.qoe.qoe.to_bits(), armed.qoe.qoe.to_bits());
+            for (x, y) in plain.records.iter().zip(&armed.records) {
+                assert_eq!(x.download_secs.to_bits(), y.download_secs.to_bits());
+                assert_eq!(x.throughput_kbps.to_bits(), y.throughput_kbps.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn service_unavailable_then_success_counts_wasted_bytes_once() {
+        // Chunk 0 gets a 503 on its first attempt, everything else is
+        // clean: the 503's full wire bytes are wasted exactly once, one
+        // retry is recorded, and the re-request downshifts one level.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(1000.0, 600.0).unwrap();
+        let plan = FaultPlan::scripted(vec![Fault {
+            kind: Some(FaultKind::ServiceUnavailable),
+            jitter_secs: 0.0,
+        }]);
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_emulated_session_faulted(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+            plan,
+            &RetryPolicy::no_timeout(),
+        );
+        assert_eq!(r.records.len(), video.num_chunks());
+        assert!(!r.aborted);
+        let mut wire = Vec::new();
+        Response::service_unavailable().write_to(&mut wire).unwrap();
+        let expected_kbits = wire.len() as f64 * 8.0 / 1000.0;
+        assert_eq!(r.records[0].retries, 1);
+        assert_eq!(
+            r.records[0].wasted_kbits.to_bits(),
+            expected_kbits.to_bits(),
+            "503 wire bytes wasted exactly once"
+        );
+        assert_eq!(r.records[0].level, LevelIdx(1), "re-request downshifted");
+        for rec in &r.records[1..] {
+            assert_eq!(rec.retries, 0);
+            assert_eq!(rec.wasted_kbits, 0.0);
+            assert_eq!(rec.fault_delay_secs, 0.0);
+            assert_eq!(rec.level, LevelIdx(2));
+        }
+        assert_eq!(r.total_retries(), 1);
+        assert!((r.total_wasted_kbits() - expected_kbits).abs() < 1e-12);
+        assert!(r.qoe.qoe.is_finite());
+    }
+
+    #[test]
+    fn timeout_fires_exactly_at_the_deadline_tick() {
+        // A stalled first attempt ends at attempt_start + timeout on the
+        // dot. The timeout also polices honest-but-slow attempts: on a
+        // 1000 kbps link with a 2 s budget, the level-1 re-request
+        // (3000 kbits) cannot finish either, so the chunk lands at level 0
+        // on the third attempt. Every quantity is dyadic, so equality is
+        // exact.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(1000.0, 600.0).unwrap();
+        let plan = FaultPlan::scripted(vec![stall(0.5)]);
+        let policy = RetryPolicy {
+            timeout_secs: 2.0,
+            ..RetryPolicy::no_timeout()
+        };
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_emulated_session_faulted(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+            plan,
+            &policy,
+        );
+        assert_eq!(r.records[0].retries, 2);
+        // Two timed-out attempts (2 s each) plus the first two backoffs.
+        assert_eq!(r.records[0].fault_delay_secs, 2.0 + 0.25 + 2.0 + 0.5);
+        // Each dead attempt's 2 s window at 1000 kbps delivered exactly
+        // 2000 kbits (short of the 50 % stall point, short of the level-1
+        // body) — all of it wasted.
+        assert_eq!(r.records[0].wasted_kbits, 4000.0);
+        assert_eq!(r.records[0].level, LevelIdx(0), "two downshifts");
+        assert!(!r.aborted);
+    }
+
+    #[test]
+    fn no_downshift_policy_keeps_the_requested_level() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(1000.0, 600.0).unwrap();
+        let plan = FaultPlan::scripted(vec![Fault {
+            kind: Some(FaultKind::NotFound),
+            jitter_secs: 0.0,
+        }]);
+        let policy = RetryPolicy {
+            downshift_on_retry: false,
+            ..RetryPolicy::no_timeout()
+        };
+        let mut c = Fixed(LevelIdx(3));
+        let r = run_emulated_session_faulted(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+            plan,
+            &policy,
+        );
+        assert_eq!(r.records[0].retries, 1);
+        assert_eq!(r.records[0].level, LevelIdx(3));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_aborts_with_exact_accounting() {
+        // Every attempt stalls: 5 attempts x 2 s timeouts plus backoffs
+        // 0.25 + 0.5 + 1 + 2 = 13.75 s burned, then the session aborts.
+        // The link is fast enough (4 Mbps) that clean level-2 chunks beat
+        // the 2 s timeout — only scripted stalls fail.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(4000.0, 600.0).unwrap();
+        let policy = RetryPolicy {
+            timeout_secs: 2.0,
+            ..RetryPolicy::no_timeout()
+        };
+        let expect_secs = 5.0 * 2.0 + (0.25 + 0.5 + 1.0 + 2.0);
+
+        // Aborting on chunk 0 under FirstChunk startup: the burned time is
+        // the startup delay, not a rebuffer.
+        let plan = FaultPlan::new(
+            3,
+            FaultConfig {
+                stall_prob: 1.0,
+                ..FaultConfig::disabled()
+            },
+        );
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_emulated_session_faulted(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+            plan,
+            &policy,
+        );
+        assert!(r.aborted);
+        assert!(r.records.is_empty());
+        assert_eq!(r.abort_secs, expect_secs);
+        assert_eq!(r.abort_retries, 4);
+        assert_eq!(r.startup_secs, expect_secs);
+        assert_eq!(r.qoe.total_rebuffer_secs, 0.0);
+        assert!(r.qoe.qoe.is_finite());
+
+        // Aborting mid-session: the burned time first drains the buffer
+        // (4 s at steady state on this link), the rest is one rebuffer.
+        let plan = FaultPlan::scripted(vec![
+            Fault::none(),
+            Fault::none(),
+            Fault::none(),
+            stall(0.0),
+            stall(0.0),
+            stall(0.0),
+            stall(0.0),
+            stall(0.0),
+        ]);
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_emulated_session_faulted(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+            plan,
+            &policy,
+        );
+        assert!(r.aborted);
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.abort_secs, expect_secs);
+        assert_eq!(r.abort_retries, 4);
+        assert_eq!(r.abort_wasted_kbits, 0.0, "stalls at 0 % deliver nothing");
+        let buffer_before = r.records[2].buffer_after_secs;
+        assert!((r.qoe.total_rebuffer_secs - (expect_secs - buffer_before)).abs() < 1e-9);
+        assert_eq!(r.qoe.rebuffer_events, 1);
+        assert!(r.qoe.qoe.is_finite());
+    }
+
+    #[test]
+    fn consecutive_failure_cap_aborts_before_retry_budget() {
+        // Every request stalls, but the per-chunk retry budget is huge:
+        // the consecutive-failure cap trips first.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(1000.0, 600.0).unwrap();
+        let policy = RetryPolicy {
+            timeout_secs: 1.0,
+            max_retries: 100,
+            max_consecutive_failures: 3,
+            ..RetryPolicy::no_timeout()
+        };
+        let plan = FaultPlan::new(
+            11,
+            FaultConfig {
+                stall_prob: 1.0,
+                ..FaultConfig::disabled()
+            },
+        );
+        let mut c = Fixed(LevelIdx(2));
+        let r = run_emulated_session_faulted(
+            &mut c,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+            plan,
+            &policy,
+        );
+        assert!(r.aborted);
+        assert!(r.records.is_empty());
+        assert_eq!(r.abort_retries, 2, "3 attempts = 2 retries before the cap");
+    }
+
+    #[test]
+    fn faulted_sessions_all_finish_finite_for_every_controller() {
+        // The acceptance bar: under a hostile mix of every fault kind, no
+        // controller panics or hangs, and QoE stays finite.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let net = NetConfig::typical();
+        let config = FaultConfig {
+            jitter_max_secs: 0.05,
+            ..FaultConfig::uniform(0.4)
+        };
+        let trace = Dataset::Fcc.generate(23, 1).remove(0);
+        let mut algos: Vec<Box<dyn BitrateController>> = vec![
+            Box::new(RateBased::paper_default()),
+            Box::new(BufferBased::paper_default()),
+            Box::new(Mpc::paper_default()),
+            Box::new(Mpc::robust()),
+        ];
+        for (i, a) in algos.iter_mut().enumerate() {
+            let r = run_emulated_session_faulted(
+                a.as_mut(),
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &net,
+                FaultPlan::new(100 + i as u64, config.clone()),
+                &RetryPolicy::hostile(),
+            );
+            assert!(r.qoe.qoe.is_finite(), "{} produced non-finite QoE", r.algorithm);
+            assert!(r.aborted || r.records.len() == video.num_chunks());
+            assert!(r.total_secs.is_finite() && r.total_secs > 0.0);
+            for rec in &r.records {
+                assert!(rec.download_secs.is_finite() && rec.download_secs > 0.0);
+                assert!(rec.wasted_kbits >= 0.0);
+            }
+        }
+    }
 
     #[test]
     fn emulated_matches_simulator_at_zero_latency() {

@@ -1,0 +1,113 @@
+//! Differential determinism properties of the fault-injection layer.
+//!
+//! Two guarantees carry the whole robustness methodology:
+//!
+//! 1. **Reproducibility** — the same fault seed replays the exact same
+//!    session, down to the bit pattern of every float in every record.
+//! 2. **Invisibility when disabled** — an armed-but-never-firing fault
+//!    layer is byte-identical to the fault-free code path, so enabling
+//!    the feature cannot perturb any existing result.
+
+use abr_baselines::{BufferBased, RateBased};
+use abr_net::{
+    run_emulated_session, run_emulated_session_faulted, FaultConfig, FaultPlan, NetConfig,
+    RetryPolicy,
+};
+use abr_predictor::HarmonicMean;
+use abr_sim::{SessionResult, SimConfig};
+use abr_trace::Dataset;
+use abr_video::envivio_video;
+use proptest::prelude::*;
+
+fn faulted_run(trace_seed: u64, fault_seed: u64, rate: f64, jitter: f64) -> SessionResult {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let trace = Dataset::Fcc.generate(trace_seed, 1).remove(0);
+    let mut config = FaultConfig::uniform(rate);
+    config.jitter_max_secs = jitter;
+    let mut c = BufferBased::paper_default();
+    run_emulated_session_faulted(
+        &mut c,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &cfg,
+        &NetConfig::typical(),
+        FaultPlan::new(fault_seed, config),
+        &RetryPolicy::hostile(),
+    )
+}
+
+/// Every bit of observable session state, for exact comparison.
+fn fingerprint(r: &SessionResult) -> Vec<u64> {
+    let mut v = vec![
+        r.qoe.qoe.to_bits(),
+        r.startup_secs.to_bits(),
+        r.total_secs.to_bits(),
+        r.records.len() as u64,
+        u64::from(r.aborted),
+        r.abort_secs.to_bits(),
+        u64::from(r.abort_retries),
+        r.abort_wasted_kbits.to_bits(),
+    ];
+    for rec in &r.records {
+        v.push(rec.level.get() as u64);
+        v.push(rec.download_secs.to_bits());
+        v.push(rec.throughput_kbps.to_bits());
+        v.push(rec.rebuffer_secs.to_bits());
+        v.push(u64::from(rec.retries));
+        v.push(rec.wasted_kbits.to_bits());
+        v.push(rec.fault_delay_secs.to_bits());
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same (trace, fault seed, rate) replays bit-identically.
+    #[test]
+    fn same_seed_replays_bit_identically(
+        trace_seed in 0u64..1000,
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+    ) {
+        let a = faulted_run(trace_seed, fault_seed, rate, 0.03);
+        let b = faulted_run(trace_seed, fault_seed, rate, 0.03);
+        prop_assert!(a.qoe.qoe.is_finite());
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// A disabled plan under a no-timeout policy is byte-identical to the
+    /// plain fault-free player, whatever the fault seed.
+    #[test]
+    fn disabled_plan_matches_fault_free_path(
+        trace_seed in 0u64..1000,
+        fault_seed in any::<u64>(),
+    ) {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Dataset::Fcc.generate(trace_seed, 1).remove(0);
+        let mut a = RateBased::paper_default();
+        let plain = run_emulated_session(
+            &mut a,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::typical(),
+        );
+        let mut b = RateBased::paper_default();
+        let armed = run_emulated_session_faulted(
+            &mut b,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::typical(),
+            FaultPlan::new(fault_seed, FaultConfig::disabled()),
+            &RetryPolicy::no_timeout(),
+        );
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&armed));
+    }
+}

@@ -37,6 +37,17 @@ pub struct ChunkRecord {
     pub throughput_kbps: f64,
     /// The predictor's forecast in effect for this decision, if any.
     pub prediction_kbps: Option<f64>,
+    /// Re-requests this chunk needed before it was delivered (0 on the
+    /// fault-free path).
+    #[serde(default)]
+    pub retries: u32,
+    /// Kilobits received on failed attempts and thrown away.
+    #[serde(default)]
+    pub wasted_kbits: f64,
+    /// Seconds of `download_secs` lost to failed attempts and backoff
+    /// waits (0 on the fault-free path).
+    #[serde(default)]
+    pub fault_delay_secs: f64,
 }
 
 impl ChunkRecord {
@@ -67,6 +78,21 @@ pub struct SessionResult {
     pub total_secs: f64,
     /// Accumulated QoE terms (Eq. 5).
     pub qoe: QoeBreakdown,
+    /// The player gave up: a chunk's retry budget was exhausted (or too
+    /// many consecutive attempts failed) and the session ended early. The
+    /// abandoned chunk has no [`ChunkRecord`]; its accounting lands in the
+    /// `abort_*` fields below.
+    #[serde(default)]
+    pub aborted: bool,
+    /// Wall-clock seconds burned failing on the abandoned chunk.
+    #[serde(default)]
+    pub abort_secs: f64,
+    /// Re-requests burned on the abandoned chunk.
+    #[serde(default)]
+    pub abort_retries: u32,
+    /// Kilobits received for the abandoned chunk and thrown away.
+    #[serde(default)]
+    pub abort_wasted_kbits: f64,
 }
 
 impl SessionResult {
@@ -78,6 +104,24 @@ impl SessionResult {
     /// Number of chunks that incurred any rebuffering.
     pub fn rebuffer_events(&self) -> usize {
         self.records.iter().filter(|r| r.rebuffer_secs > 1e-9).count()
+    }
+
+    /// Total re-requests across the session, including those burned on an
+    /// aborted chunk.
+    pub fn total_retries(&self) -> u32 {
+        self.records.iter().map(|r| r.retries).sum::<u32>() + self.abort_retries
+    }
+
+    /// Total kilobits received on failed attempts and thrown away,
+    /// including the aborted chunk's.
+    pub fn total_wasted_kbits(&self) -> f64 {
+        self.records.iter().map(|r| r.wasted_kbits).sum::<f64>() + self.abort_wasted_kbits
+    }
+
+    /// Total seconds lost to failed attempts and backoff waits, including
+    /// the time burned failing on an aborted chunk.
+    pub fn total_fault_delay_secs(&self) -> f64 {
+        self.records.iter().map(|r| r.fault_delay_secs).sum::<f64>() + self.abort_secs
     }
 
     /// Average per-chunk bitrate, kbps (Figures 9/10, left panels).
@@ -142,6 +186,9 @@ mod tests {
             buffer_after_secs: 8.0,
             throughput_kbps: actual,
             prediction_kbps: pred,
+            retries: 0,
+            wasted_kbits: 0.0,
+            fault_delay_secs: 0.0,
         }
     }
 
@@ -173,6 +220,7 @@ mod tests {
             startup_secs: 1.0,
             total_secs: 3.0,
             qoe,
+            ..SessionResult::default()
         };
         assert!((s.total_rebuffer_secs() - 0.5).abs() < 1e-12);
         assert_eq!(s.rebuffer_events(), 1);
@@ -180,5 +228,30 @@ mod tests {
         assert!((s.overestimate_fraction().unwrap() - 0.5).abs() < 1e-12);
         assert!((s.avg_bitrate_kbps() - 350.0).abs() < 1e-12);
         assert_eq!(s.avg_bitrate_change_kbps(), 0.0);
+    }
+
+    #[test]
+    fn fault_aggregates_include_the_aborted_chunk() {
+        let mut r0 = record(None, 1000.0, 0.0);
+        r0.retries = 2;
+        r0.wasted_kbits = 80.0;
+        r0.fault_delay_secs = 1.5;
+        let s = SessionResult {
+            algorithm: "test".into(),
+            records: vec![r0],
+            aborted: true,
+            abort_secs: 12.0,
+            abort_retries: 4,
+            abort_wasted_kbits: 20.0,
+            ..SessionResult::default()
+        };
+        assert_eq!(s.total_retries(), 6);
+        assert!((s.total_wasted_kbits() - 100.0).abs() < 1e-12);
+        assert!((s.total_fault_delay_secs() - 13.5).abs() < 1e-12);
+        // The fault-free default stays all-zero.
+        let clean = SessionResult::default();
+        assert!(!clean.aborted);
+        assert_eq!(clean.total_retries(), 0);
+        assert_eq!(clean.total_wasted_kbits(), 0.0);
     }
 }

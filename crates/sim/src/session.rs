@@ -24,6 +24,50 @@ use abr_trace::{Trace, TraceCursor};
 use abr_video::{LevelIdx, QoeBreakdown, Video};
 use std::collections::VecDeque;
 
+/// Everything a [`ChunkDownloader`] reports about one chunk fetch. On the
+/// fault-free path this is just [`DownloadOutcome::clean`]; a fault-injecting
+/// downloader can additionally report retries, wasted bytes, delay lost to
+/// failed attempts, a bitrate downshift (`delivered_level` below the
+/// requested level), or a session abort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownloadOutcome {
+    /// Wall-clock seconds from the request until the chunk (or the abort)
+    /// landed, including failed attempts and backoff waits.
+    pub secs: f64,
+    /// Ladder level actually delivered (== the requested level unless the
+    /// downloader downshifted on a re-request).
+    pub delivered_level: LevelIdx,
+    /// Size of the delivered chunk, kilobits (0 when `aborted`).
+    pub delivered_kbits: f64,
+    /// Throughput of the *successful* attempt, kbps — what the predictor
+    /// should observe (0 when `aborted`).
+    pub throughput_kbps: f64,
+    /// Re-requests before the chunk was delivered (or the abort).
+    pub retries: u32,
+    /// Kilobits received on failed attempts and thrown away.
+    pub wasted_kbits: f64,
+    /// Seconds of `secs` lost to failed attempts and backoff waits.
+    pub fault_delay_secs: f64,
+    /// The downloader gave up on this chunk; the session ends here.
+    pub aborted: bool,
+}
+
+impl DownloadOutcome {
+    /// A fault-free outcome: the requested chunk arrived in `secs`.
+    pub fn clean(level: LevelIdx, size_kbits: f64, secs: f64) -> Self {
+        Self {
+            secs,
+            delivered_level: level,
+            delivered_kbits: size_kbits,
+            throughput_kbps: size_kbits / secs,
+            retries: 0,
+            wasted_kbits: 0.0,
+            fault_delay_secs: 0.0,
+            aborted: false,
+        }
+    }
+}
+
 /// Produces the wall-clock seconds a chunk download takes. Implementations
 /// are stateful: calls arrive in chunk order with non-decreasing
 /// `start_secs`, so they may keep a [`TraceCursor`] (or a socket) warm.
@@ -37,6 +81,24 @@ pub trait ChunkDownloader {
         size_kbits: f64,
         start_secs: f64,
     ) -> f64;
+
+    /// Full outcome of fetching chunk `index`. The default wraps
+    /// [`download_secs`](Self::download_secs) in a clean outcome, so
+    /// fault-free downloaders stay bit-identical to the pre-fault loop;
+    /// fault-injecting downloaders override this instead.
+    fn download_outcome(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        size_kbits: f64,
+        start_secs: f64,
+    ) -> DownloadOutcome {
+        DownloadOutcome::clean(
+            level,
+            size_kbits,
+            self.download_secs(index, level, size_kbits, start_secs),
+        )
+    }
 }
 
 /// The simulator's downloader: exact piecewise integration of the trace,
@@ -177,6 +239,10 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
     let mut qoe = QoeBreakdown::default();
     out.records.clear();
     out.records.reserve(video.num_chunks());
+    out.aborted = false;
+    out.abort_secs = 0.0;
+    out.abort_retries = 0;
+    out.abort_wasted_kbits = 0.0;
     let mut now = 0.0_f64; // wall clock
     let mut buffer = 0.0_f64; // B_k
     let mut prev_level = None;
@@ -251,12 +317,31 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
         // pushes real HTTP bytes through a shaped link).
         let size_kbits = video.chunk_size_kbits(k, level);
         let dl_start = now + availability_wait;
-        let download_secs = downloader.download_secs(k, level, size_kbits, dl_start);
+        let outcome = downloader.download_outcome(k, level, size_kbits, dl_start);
+        if outcome.aborted {
+            // Retry budget exhausted: the chunk never arrived. The time
+            // burned failing drains the buffer like a slow download — past
+            // the buffer it is rebuffering (or startup delay for chunk 0) —
+            // and the session ends here.
+            let elapsed = availability_wait + outcome.secs;
+            if k == 0 && matches!(cfg.startup, StartupPolicy::FirstChunk) {
+                startup_secs = elapsed;
+            } else {
+                qoe.push_rebuffer(&cfg.weights, (elapsed - buffer).max(0.0));
+            }
+            now += elapsed;
+            out.aborted = true;
+            out.abort_secs = outcome.secs;
+            out.abort_retries = outcome.retries;
+            out.abort_wasted_kbits = outcome.wasted_kbits;
+            break;
+        }
+        let download_secs = outcome.secs;
         assert!(
             download_secs.is_finite() && download_secs > 0.0,
             "download of {size_kbits} kbits never completes at t={dl_start}"
         );
-        let throughput = size_kbits / download_secs;
+        let throughput = outcome.throughput_kbps;
 
         let mut step = advance_buffer(
             buffer,
@@ -271,12 +356,16 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
             step.rebuffer_secs = 0.0;
         }
 
-        qoe.push_chunk(&cfg.weights, video.ladder().kbps(level), step.rebuffer_secs);
+        qoe.push_chunk(
+            &cfg.weights,
+            video.ladder().kbps(outcome.delivered_level),
+            step.rebuffer_secs,
+        );
         out.records.push(ChunkRecord {
             index: k,
-            level,
-            bitrate_kbps: video.ladder().kbps(level),
-            size_kbits,
+            level: outcome.delivered_level,
+            bitrate_kbps: video.ladder().kbps(outcome.delivered_level),
+            size_kbits: outcome.delivered_kbits,
             start_secs: dl_start,
             download_secs,
             rebuffer_secs: step.rebuffer_secs,
@@ -286,6 +375,9 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
             buffer_after_secs: step.next_buffer_secs,
             throughput_kbps: throughput,
             prediction_kbps: prediction,
+            retries: outcome.retries,
+            wasted_kbits: outcome.wasted_kbits,
+            fault_delay_secs: outcome.fault_delay_secs,
         });
 
         // Bookkeeping for the next iteration.
@@ -297,7 +389,7 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
         last_throughput = Some(throughput);
         now += availability_wait + download_secs + step.wait_secs;
         buffer = step.next_buffer_secs;
-        prev_level = Some(level);
+        prev_level = Some(outcome.delivered_level);
     }
 
     qoe.set_startup(&cfg.weights, startup_secs);
@@ -664,6 +756,126 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Wraps [`TraceDownloader`] but reports a fault-laden abort at one
+    /// chosen chunk index — the sim-side stand-in for a hostile network.
+    struct AbortAt<'a> {
+        inner: TraceDownloader<'a>,
+        at: usize,
+        abort_secs: f64,
+    }
+    impl ChunkDownloader for AbortAt<'_> {
+        fn download_secs(
+            &mut self,
+            index: usize,
+            level: LevelIdx,
+            size_kbits: f64,
+            start_secs: f64,
+        ) -> f64 {
+            self.inner.download_secs(index, level, size_kbits, start_secs)
+        }
+        fn download_outcome(
+            &mut self,
+            index: usize,
+            level: LevelIdx,
+            size_kbits: f64,
+            start_secs: f64,
+        ) -> DownloadOutcome {
+            if index == self.at {
+                DownloadOutcome {
+                    secs: self.abort_secs,
+                    delivered_level: level,
+                    delivered_kbits: 0.0,
+                    throughput_kbps: 0.0,
+                    retries: 3,
+                    wasted_kbits: 42.0,
+                    fault_delay_secs: self.abort_secs,
+                    aborted: true,
+                }
+            } else {
+                DownloadOutcome::clean(
+                    level,
+                    size_kbits,
+                    self.download_secs(index, level, size_kbits, start_secs),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn abort_truncates_session_with_rebuffer_accounting() {
+        let v = envivio_video();
+        let t = Trace::constant(1000.0, 60.0).unwrap();
+        let config = cfg();
+        // Plain run, to learn the buffer level going into chunk 5.
+        let mut c = Fixed(LevelIdx(2));
+        let plain = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        let buffer_before = plain.records[5].buffer_before_secs;
+
+        let abort_secs = 12.5;
+        let mut downloader = AbortAt {
+            inner: TraceDownloader::new(&t),
+            at: 5,
+            abort_secs,
+        };
+        let mut scratch = SessionScratch::new();
+        let mut out = SessionResult::default();
+        let mut c2 = Fixed(LevelIdx(2));
+        run_session_core(
+            &mut scratch,
+            &mut out,
+            &mut c2,
+            HarmonicMean::paper_default(),
+            &mut downloader,
+            &t,
+            &v,
+            &config,
+        );
+        assert_eq!(out.records.len(), 5, "session stops at the aborted chunk");
+        assert!(out.aborted);
+        assert_eq!(out.abort_secs, abort_secs);
+        assert_eq!(out.abort_retries, 3);
+        assert_eq!(out.abort_wasted_kbits, 42.0);
+        assert_eq!(out.total_retries(), 3);
+        // The first 5 chunks are untouched by the abort.
+        for (a, b) in out.records.iter().zip(&plain.records) {
+            assert_eq!(a, b);
+        }
+        // Rebuffer: the failed 12.5 s drained the buffer, the rest stalled
+        // playback. One extra rebuffer event, charged at mu + mu_event.
+        let expect_rebuf = (abort_secs - buffer_before).max(0.0);
+        assert!(expect_rebuf > 0.0, "test should exercise a real stall");
+        let plain5: f64 = plain.records[..5].iter().map(|r| r.rebuffer_secs).sum();
+        assert!(
+            (out.qoe.total_rebuffer_secs - (plain5 + expect_rebuf)).abs() < 1e-9,
+            "rebuffer {} vs expected {}",
+            out.qoe.total_rebuffer_secs,
+            plain5 + expect_rebuf
+        );
+        assert!(out.qoe.qoe.is_finite());
+        // An aborted *first* chunk under FirstChunk startup is startup
+        // delay, not rebuffering.
+        let mut first = AbortAt {
+            inner: TraceDownloader::new(&t),
+            at: 0,
+            abort_secs,
+        };
+        let mut c3 = Fixed(LevelIdx(2));
+        run_session_core(
+            &mut scratch,
+            &mut out,
+            &mut c3,
+            HarmonicMean::paper_default(),
+            &mut first,
+            &t,
+            &v,
+            &config,
+        );
+        assert!(out.aborted);
+        assert!(out.records.is_empty());
+        assert_eq!(out.startup_secs, abort_secs);
+        assert_eq!(out.qoe.total_rebuffer_secs, 0.0);
     }
 
     #[test]

@@ -210,6 +210,20 @@ impl QoeBreakdown {
         self.last_kbps = Some(kbps);
     }
 
+    /// Adds rebuffering that is not attached to a delivered chunk — the
+    /// stall a player sits through before giving up on a session, for
+    /// example. Scores the `mu` term (plus the per-event penalty) with no
+    /// quality contribution; a zero duration is a no-op.
+    pub fn push_rebuffer(&mut self, w: &QoeWeights, rebuffer_secs: f64) {
+        debug_assert!(rebuffer_secs >= 0.0, "negative rebuffer time");
+        if rebuffer_secs <= 0.0 {
+            return;
+        }
+        self.total_rebuffer_secs += rebuffer_secs;
+        self.rebuffer_events += 1;
+        self.qoe -= w.mu * rebuffer_secs + w.mu_event;
+    }
+
     /// Sets the startup delay term (replaces any previous value).
     pub fn set_startup(&mut self, w: &QoeWeights, startup_secs: f64) {
         debug_assert!(startup_secs >= 0.0, "negative startup time");
@@ -335,6 +349,23 @@ mod tests {
         for p in QoePreference::ALL {
             assert_eq!(QoeWeights::preset(p).mu_event, 0.0);
         }
+    }
+
+    #[test]
+    fn push_rebuffer_scores_only_the_rebuffer_terms() {
+        let mut w = QoeWeights::balanced();
+        w.mu_event = 100.0;
+        let mut acc = QoeBreakdown::default();
+        acc.push_chunk(&w, 1000.0, 0.0);
+        acc.push_rebuffer(&w, 2.0);
+        assert!((acc.qoe - (1000.0 - 3000.0 * 2.0 - 100.0)).abs() < 1e-9);
+        assert_eq!(acc.rebuffer_events, 1);
+        assert!((acc.total_rebuffer_secs - 2.0).abs() < 1e-12);
+        // Quality accounting untouched: still one chunk, no switches.
+        assert_eq!(acc.chunks, 1);
+        // Zero duration is a no-op, not an event.
+        acc.push_rebuffer(&w, 0.0);
+        assert_eq!(acc.rebuffer_events, 1);
     }
 
     #[test]

@@ -43,6 +43,23 @@ if [[ "${1:-}" != "quick" ]]; then
   diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.no_opt_cache.txt"
   diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.no_table_cache.txt"
   echo "cache on/off reports identical"
+
+  echo "== fault-matrix smoke: zero-rate invisibility + robustness determinism =="
+  # Arming the fault layer at rate 0 must leave every experiment byte-for-byte
+  # identical to the plain run (the armed-but-idle plan may not perturb a
+  # single float), and the robustness sweep must replay bit-identically under
+  # a fixed --fault-seed. A second seed exercises a different fault stream to
+  # completion as a no-panic/no-hang gate.
+  ./target/release/abr_harness all --traces 5 --quick --fault-rate 0 --fault-seed 7 \
+    | filter_report > "$smoke_dir/full_report.rate0.txt"
+  diff -u "$smoke_dir/full_report.cached.txt" "$smoke_dir/full_report.rate0.txt"
+  ./target/release/abr_harness robustness --traces 5 --quick --fault-seed 7 \
+    --out "$smoke_dir/rob_a" > /dev/null
+  ./target/release/abr_harness robustness --traces 5 --quick --fault-seed 7 \
+    --out "$smoke_dir/rob_b" > /dev/null
+  diff -u "$smoke_dir/rob_a/robustness.csv" "$smoke_dir/rob_b/robustness.csv"
+  ./target/release/abr_harness robustness --traces 5 --quick --fault-seed 99 > /dev/null
+  echo "fault-matrix smoke passed"
 fi
 
 echo "== benches compile =="

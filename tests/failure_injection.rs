@@ -3,6 +3,10 @@
 
 use mpc_dash::baselines::{BufferBased, DashJs, Festive, RateBased};
 use mpc_dash::core::{BitrateController, Mpc, MdpConfig, MdpController, MdpPolicy, ThroughputChain};
+use mpc_dash::net::{
+    run_emulated_session, run_emulated_session_faulted, FaultConfig, FaultPlan, NetConfig,
+    RetryPolicy,
+};
 use mpc_dash::predictor::HarmonicMean;
 use mpc_dash::sim::{run_session, SimConfig};
 use mpc_dash::trace::{Dataset, Trace};
@@ -91,6 +95,110 @@ fn extreme_vbr_is_handled_by_every_controller() {
         );
         assert_eq!(r.records.len(), 65, "{}", r.algorithm);
         assert!(r.qoe.qoe.is_finite());
+    }
+}
+
+#[test]
+fn mid_session_outage_is_survivable_on_the_emulated_path() {
+    // The emulated twin of the outage test above: real HTTP messages
+    // through the shaped link must survive the same 25 s of darkness with
+    // the same invariants — every chunk delivered, finite QoE.
+    let video = envivio_video();
+    let trace = Trace::new(vec![(40.0, 2500.0), (25.0, 0.0), (60.0, 2500.0)]).unwrap();
+    let cfg = SimConfig::paper_default();
+    for mut c in all_controllers() {
+        let r = run_emulated_session(
+            c.as_mut(),
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::parity(),
+        );
+        assert_eq!(r.records.len(), 65, "{}", r.algorithm);
+        assert!(r.qoe.qoe.is_finite(), "{}", r.algorithm);
+        assert!(
+            r.total_secs >= 65.0,
+            "{}: session too fast ({:.1}s) to have crossed the outage",
+            r.algorithm,
+            r.total_secs
+        );
+        // No faults were injected, so the fault accounting must be silent.
+        assert_eq!(r.total_retries(), 0, "{}", r.algorithm);
+        assert_eq!(r.total_wasted_kbits(), 0.0, "{}", r.algorithm);
+        assert!(!r.aborted, "{}", r.algorithm);
+    }
+}
+
+#[test]
+fn armed_but_disabled_fault_layer_is_invisible() {
+    // Threading a fault plan that never fires through the outage scenario
+    // must reproduce the plain emulated run bit for bit.
+    let video = envivio_video();
+    let trace = Trace::new(vec![(40.0, 2500.0), (25.0, 0.0), (60.0, 2500.0)]).unwrap();
+    let cfg = SimConfig::paper_default();
+    let mut a = Mpc::robust();
+    let plain = run_emulated_session(
+        &mut a,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &cfg,
+        &NetConfig::parity(),
+    );
+    let mut b = Mpc::robust();
+    let armed = run_emulated_session_faulted(
+        &mut b,
+        HarmonicMean::paper_default(),
+        &trace,
+        &video,
+        &cfg,
+        &NetConfig::parity(),
+        FaultPlan::new(123, FaultConfig::disabled()),
+        &RetryPolicy::no_timeout(),
+    );
+    assert_eq!(plain.records.len(), armed.records.len());
+    assert_eq!(plain.qoe.qoe.to_bits(), armed.qoe.qoe.to_bits());
+    for (p, f) in plain.records.iter().zip(&armed.records) {
+        assert_eq!(p.level, f.level);
+        assert_eq!(p.download_secs.to_bits(), f.download_secs.to_bits());
+        assert_eq!(p.throughput_kbps.to_bits(), f.throughput_kbps.to_bits());
+        assert_eq!(p.rebuffer_secs.to_bits(), f.rebuffer_secs.to_bits());
+    }
+}
+
+#[test]
+fn injected_faults_degrade_but_never_break_the_emulated_session() {
+    // A genuinely hostile network: every fault kind armed at a high rate
+    // plus request jitter. Every controller must still finish every chunk
+    // or abort cleanly — finite QoE, no panic, no hang.
+    let video = envivio_video();
+    let trace = Trace::new(vec![(60.0, 3000.0), (30.0, 1200.0)]).unwrap();
+    let cfg = SimConfig::paper_default();
+    let mut config = FaultConfig::uniform(0.4);
+    config.jitter_max_secs = 0.05;
+    for (i, mut c) in all_controllers().into_iter().enumerate() {
+        let r = run_emulated_session_faulted(
+            c.as_mut(),
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &NetConfig::typical(),
+            FaultPlan::new(0xFA_u64 + i as u64, config.clone()),
+            &RetryPolicy::hostile(),
+        );
+        assert!(r.qoe.qoe.is_finite(), "{}", r.algorithm);
+        if !r.aborted {
+            assert_eq!(r.records.len(), 65, "{}", r.algorithm);
+        }
+        // At a 40 % fault rate across 65 chunks, the retry machinery
+        // cannot have stayed idle.
+        assert!(
+            r.total_retries() > 0 || r.aborted,
+            "{}: no retries at 40% fault rate",
+            r.algorithm
+        );
     }
 }
 
