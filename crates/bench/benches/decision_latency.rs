@@ -1,0 +1,76 @@
+//! `decision_latency`: what outsourcing a decision over a socket costs.
+//!
+//! Two measurements of the same FastMPC decision: the raw in-process table
+//! lookup, and the full loopback round-trip through the `abr-serve`
+//! decision service (HTTP framing, session-store lock, predictor update,
+//! lookup, reply). The gap is the price of centralising ABR control, and
+//! the serve-bench harness experiment reports the same quantity under
+//! concurrent load.
+
+use abr_bench::{ctx, video};
+use abr_core::BitrateController;
+use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use abr_serve::{Backend, DecisionRequest, DecisionServer, LastChunk, ServeClient, SessionSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_decision_latency(c: &mut Criterion) {
+    let video = video();
+    let mut group = c.benchmark_group("decision_latency");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // Baseline: the bare table lookup, no sockets anywhere.
+    let table = Arc::new(FastMpcTable::generate(
+        &video,
+        30.0,
+        TableConfig::paper_default(),
+    ));
+    let mut fastmpc = FastMpc::new(Arc::clone(&table));
+    let mut i = 0usize;
+    group.bench_function("in_process_fastmpc", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(fastmpc.decide(&ctx(&video, i)))
+        })
+    });
+
+    // The same decision as a loopback HTTP round-trip. Sessions are finite
+    // (one decision per chunk), so the driver re-registers a fresh session
+    // whenever the current one is exhausted; registration happens at most
+    // once per `video.num_chunks()` iterations and reuses the server's cached
+    // table, so it stays in the measurement noise.
+    let mut handle = DecisionServer::spawn(2).expect("bind loopback server");
+    let spec = SessionSpec::paper_default(Backend::FastMpc, video.clone());
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    let mut sid = client.register(&spec).expect("register");
+    let mut chunk = 0usize;
+    group.bench_function("loopback_round_trip", |b| {
+        b.iter(|| {
+            if chunk == video.num_chunks() {
+                sid = client.register(&spec).expect("register");
+                chunk = 0;
+            }
+            let req = DecisionRequest {
+                sid,
+                chunk,
+                buffer_secs: 12.0,
+                last: (chunk > 0).then_some(LastChunk {
+                    level: 0,
+                    throughput_kbps: 1200.0,
+                    download_secs: 1.0,
+                }),
+            };
+            chunk += 1;
+            black_box(client.decision(&req).expect("decision"))
+        })
+    });
+    drop(client);
+    handle.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_latency);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -33,7 +33,11 @@ commands:
   multi     multi-player shared-bottleneck fairness (§8 extension)
   robustness fault-rate sweep: QoE + retry/waste accounting under injected
              connection resets, truncation, stalls, 404/503 and jitter
-  all       everything above except robustness
+  serve-bench
+             closed-loop load on the abr-serve decision service: concurrent
+             remote players, latency quantiles, decisions/sec, and a
+             bit-identical differential check against in-process sessions
+  all       everything above except robustness and serve-bench
 
 options:
   --traces N   traces per dataset (default 100)
@@ -60,7 +64,16 @@ options:
   --fault-seed S
                base seed for fault streams (default 7), independent of
                --seed so fault schedules and predictor noise can be
-               varied separately";
+               varied separately
+  --sessions N
+               serve-bench: concurrent load-generator sessions per backend
+               (default 64, must be positive)
+  --workers N  serve-bench: decision-server worker threads (default 4,
+               must be positive)
+  --backend NAME
+               serve-bench: benchmark a single backend (fastmpc, robustmpc,
+               mpc, bb, rb, festive, dash.js, bola) instead of the default
+               sweep";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -124,6 +137,36 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                     .parse()
                     .map_err(|_| "--fault-seed must be an integer".to_string())?;
             }
+            "--sessions" => {
+                opts.sessions = it
+                    .next()
+                    .ok_or("--sessions needs a value")?
+                    .parse()
+                    .map_err(|_| "--sessions must be a positive integer".to_string())?;
+                if opts.sessions == 0 {
+                    return Err("--sessions must be positive".into());
+                }
+            }
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?;
+                if opts.workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--backend" => {
+                let name = it.next().ok_or("--backend needs a value")?;
+                if abr_serve::Backend::parse(name).is_none() {
+                    return Err(format!(
+                        "--backend: unknown backend '{name}' (expected one of \
+                         fastmpc, robustmpc, mpc, bb, rb, festive, dash.js, bola)"
+                    ));
+                }
+                opts.backend = Some(name.clone());
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -151,6 +194,7 @@ fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
         "ablation" => experiments::ablation::run(opts),
         "multi" => experiments::multiplayer::run(opts),
         "robustness" => experiments::robustness::run(opts),
+        "serve-bench" => experiments::serve_bench::run(opts),
         "all" => {
             let mut out = String::new();
             // Share the expensive dataset evaluations between Figures 8,
@@ -257,6 +301,35 @@ mod tests {
         assert!(parse(&args(&["robustness", "--fault-rate", "1.5"])).is_err());
         assert!(parse(&args(&["robustness", "--fault-rate", "-0.1"])).is_err());
         assert!(parse(&args(&["robustness", "--fault-seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_bench_flags() {
+        let (cmd, opts) = parse(&args(&["serve-bench"])).unwrap();
+        assert_eq!(cmd, "serve-bench");
+        assert_eq!(opts.sessions, 64);
+        assert_eq!(opts.workers, 4);
+        assert!(opts.backend.is_none());
+
+        let (_, opts) = parse(&args(&[
+            "serve-bench",
+            "--sessions",
+            "256",
+            "--workers",
+            "8",
+            "--backend",
+            "FastMPC",
+        ]))
+        .unwrap();
+        assert_eq!(opts.sessions, 256);
+        assert_eq!(opts.workers, 8);
+        assert_eq!(opts.backend.as_deref(), Some("FastMPC"));
+
+        assert!(parse(&args(&["serve-bench", "--sessions", "0"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--sessions", "-3"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--workers", "0"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--workers"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--backend", "hal9000"])).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod levels;
 pub mod multiplayer;
 pub mod overhead;
 pub mod robustness;
+pub mod serve_bench;
 pub mod table1;
 
 use std::path::PathBuf;
@@ -50,6 +51,15 @@ pub struct ExpOptions {
     /// predictor seed so the two sources of randomness can be varied
     /// separately.
     pub fault_seed: u64,
+    /// Concurrent load-generator sessions for `serve-bench`
+    /// (`--sessions`, must be positive).
+    pub sessions: usize,
+    /// Decision-server worker threads for `serve-bench` (`--workers`,
+    /// must be positive).
+    pub workers: usize,
+    /// Restricts `serve-bench` to one backend (`--backend`); `None`
+    /// sweeps the benchmark set.
+    pub backend: Option<String>,
 }
 
 impl Default for ExpOptions {
@@ -65,6 +75,9 @@ impl Default for ExpOptions {
             no_table_cache: false,
             fault_rate: None,
             fault_seed: 7,
+            sessions: 64,
+            workers: 4,
+            backend: None,
         }
     }
 }

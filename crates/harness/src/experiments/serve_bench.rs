@@ -1,0 +1,133 @@
+//! `serve-bench`: the decision service under closed-loop load.
+//!
+//! Spins up the `abr-serve` decision server on loopback, then drives
+//! `--sessions` concurrent trace-driven players through it per backend —
+//! every per-chunk decision is a real socket round-trip. Reports decision
+//! throughput and exact client-observed latency quantiles, and enforces
+//! the differential guarantee: each remote session's decision sequence
+//! must be bit-identical to the in-process `run_session` twin. Any
+//! mismatch panics the experiment, which is exactly what the CI smoke
+//! wants.
+
+use super::ExpOptions;
+use crate::report::{fmt_num, write_csv, Table};
+use abr_serve::{run_load, Backend, DecisionServer, LoadOptions};
+
+/// Backends benchmarked when `--backend` does not pin one: the table
+/// lookup, both online MPC solves, and two baselines as a floor.
+pub const BENCH_BACKENDS: [Backend; 5] = [
+    Backend::FastMpc,
+    Backend::RobustMpc,
+    Backend::Mpc,
+    Backend::Bb,
+    Backend::Rb,
+];
+
+/// The backends a given options set sweeps.
+pub fn backends(opts: &ExpOptions) -> Result<Vec<Backend>, String> {
+    match &opts.backend {
+        Some(name) => Backend::parse(name)
+            .map(|b| vec![b])
+            .ok_or_else(|| format!("unknown backend '{name}'")),
+        None if opts.quick => Ok(vec![Backend::FastMpc, Backend::RobustMpc]),
+        None => Ok(BENCH_BACKENDS.to_vec()),
+    }
+}
+
+/// Runs the benchmark and renders the report table (plus
+/// `serve_bench.csv`).
+pub fn run(opts: &ExpOptions) -> String {
+    let backends = backends(opts).expect("--backend validated at parse time");
+    let mut handle = DecisionServer::spawn(opts.workers).expect("bind loopback server");
+    let mut t = Table::new(
+        "serve-bench: closed-loop decision service, remote vs in-process differential",
+        &[
+            "backend",
+            "sessions",
+            "decisions",
+            "dec/s",
+            "mean (us)",
+            "p50 (us)",
+            "p90 (us)",
+            "p99 (us)",
+            "p99.9 (us)",
+            "mismatches",
+        ],
+    );
+    for backend in backends {
+        let mut load = LoadOptions::new(opts.sessions);
+        load.backend = backend;
+        load.seed = opts.seed;
+        let report = run_load(handle.addr(), &load);
+        assert_eq!(
+            report.mismatches, 0,
+            "differential gate: {backend} remote decisions diverged from \
+             the in-process twin:\n{}",
+            report.mismatch_details.join("\n")
+        );
+        t.row(vec![
+            backend.token().to_string(),
+            report.sessions.to_string(),
+            report.decisions.to_string(),
+            fmt_num(report.decisions_per_sec),
+            fmt_num(report.mean_us),
+            fmt_num(report.p50_us),
+            fmt_num(report.p90_us),
+            fmt_num(report.p99_us),
+            fmt_num(report.p999_us),
+            report.mismatches.to_string(),
+        ]);
+    }
+    let tables_cached = handle.service().store().tables().len();
+    handle.shutdown();
+    write_csv(opts.out.as_deref(), "serve_bench", &t).expect("csv write");
+    let mut s = t.render();
+    s.push_str(&format!(
+        "{} worker threads; every remote decision sequence verified \
+         bit-identical to its in-process twin ({} FastMPC table(s) \
+         generated server-side, shared across sessions). Latency is the \
+         client-observed loopback round-trip.\n\n",
+        opts.workers, tables_cached
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_smoke() {
+        let opts = ExpOptions {
+            sessions: 4,
+            workers: 2,
+            quick: true,
+            ..ExpOptions::default()
+        };
+        let s = run(&opts);
+        assert!(s.contains("serve-bench"));
+        assert!(s.contains("fastmpc"));
+        assert!(s.contains("robustmpc"));
+        assert!(s.contains("2 worker threads"));
+    }
+
+    #[test]
+    fn backend_flag_pins_the_sweep() {
+        let pinned = ExpOptions {
+            backend: Some("bola".into()),
+            ..ExpOptions::default()
+        };
+        assert_eq!(backends(&pinned).unwrap(), vec![Backend::Bola]);
+        let bad = ExpOptions {
+            backend: Some("hal9000".into()),
+            ..ExpOptions::default()
+        };
+        assert!(backends(&bad).is_err());
+        assert_eq!(backends(&ExpOptions::default()).unwrap().len(), 5);
+        let quick = ExpOptions {
+            quick: true,
+            ..ExpOptions::default()
+        };
+        assert_eq!(backends(&quick).unwrap().len(), 2);
+    }
+}

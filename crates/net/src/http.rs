@@ -3,10 +3,15 @@
 //! `Read + Write` transport — real `TcpStream`s in the integration tests,
 //! in-memory buffers in the emulation path.
 //!
-//! Scope is exactly what DASH streaming needs (the paper's client issues
-//! plain `GET`s against a node.js static server): `GET` requests, `200/404`
+//! Scope is what DASH streaming plus the `abr-serve` decision service need
+//! (the paper's client issues plain `GET`s against a node.js static server;
+//! the FastMPC deployment of Section 6 POSTs player state to the server):
+//! `GET`/`POST` requests with `Content-Length` bodies, `200/400/404`
 //! responses, byte-exact bodies. The parser is strict about framing —
-//! malformed input yields an error, never a panic.
+//! malformed input yields an error, never a panic — and hardened for
+//! server use: a malformed request line, oversized headers, or a `POST`
+//! without `Content-Length` are [`HttpError::Malformed`], which connection
+//! loops answer with a `400` instead of dying.
 
 use crate::mpd;
 use abr_video::{LevelIdx, Video};
@@ -55,11 +60,26 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
+/// Longest accepted request/status/header line, bytes. Anything longer is
+/// malformed input, not a legitimate message from this workspace.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Cap on the total size of a header block, bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Cap on a *request* body (`POST` payloads are small manifests and
+/// key-value state reports). Response bodies — video chunks — are not
+/// subject to this limit.
+pub const MAX_REQUEST_BODY_BYTES: usize = 1024 * 1024;
+
 fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
     let mut line = String::new();
     let n = r.read_line(&mut line)?;
     if n == 0 {
         return Ok(None);
+    }
+    if n > MAX_LINE_BYTES {
+        return Err(HttpError::Malformed(format!("line exceeds {MAX_LINE_BYTES} bytes")));
     }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
@@ -69,16 +89,37 @@ fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
 
 fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
     let mut headers = Vec::new();
+    let mut total = 0usize;
     loop {
         let line = read_line(r)?.ok_or(HttpError::ConnectionClosed)?;
         if line.is_empty() {
             return Ok(headers);
+        }
+        total += line.len() + 2;
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "headers exceed {MAX_HEADER_BYTES} bytes"
+            )));
         }
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed(format!("header line '{line}'")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+}
+
+/// Reads exactly `len` body bytes.
+fn read_body(r: &mut impl BufRead, len: usize) -> Result<Bytes, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let n = r.read(&mut body[got..])?;
+        if n == 0 {
+            return Err(HttpError::TruncatedBody { expected: len, got });
+        }
+        got += n;
+    }
+    Ok(Bytes::from(body))
 }
 
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -89,7 +130,8 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-/// An HTTP request (we only ever need `GET`, but the framing is general).
+/// An HTTP request: `GET`s for chunks and manifests, `POST`s with
+/// `Content-Length` bodies for the decision service.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method, e.g. `GET`.
@@ -98,6 +140,8 @@ pub struct Request {
     pub path: String,
     /// Headers as lowercase-name/value pairs.
     pub headers: Vec<(String, String)>,
+    /// The body (empty for bodyless requests).
+    pub body: Bytes,
 }
 
 impl Request {
@@ -107,6 +151,21 @@ impl Request {
             method: "GET".to_string(),
             path: path.to_string(),
             headers: vec![("connection".into(), "keep-alive".into())],
+            body: Bytes::new(),
+        }
+    }
+
+    /// A `POST` of `body` to `path` (keep-alive, `Content-Length` framed).
+    pub fn post(path: &str, body: Bytes, content_type: &str) -> Self {
+        Self {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: vec![
+                ("connection".into(), "keep-alive".into()),
+                ("content-type".into(), content_type.into()),
+                ("content-length".into(), body.len().to_string()),
+            ],
+            body,
         }
     }
 
@@ -122,12 +181,19 @@ impl Request {
             write!(w, "{n}: {v}\r\n")?;
         }
         write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
         w.flush()?;
         Ok(())
     }
 
     /// Parses a request from a transport. `Ok(None)` on clean EOF before
     /// the first byte (keep-alive peer went away).
+    ///
+    /// Server hardening: a garbled request line, a header block over
+    /// [`MAX_HEADER_BYTES`], a body over [`MAX_REQUEST_BODY_BYTES`] and a
+    /// `POST`/`PUT` without `Content-Length` (the body would be unframed,
+    /// poisoning keep-alive) all yield [`HttpError::Malformed`], which a
+    /// serving loop maps to `400` without tearing the worker down.
     pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
         let line = match read_line(r)? {
             None => return Ok(None),
@@ -141,10 +207,31 @@ impl Request {
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::Malformed(format!("version '{version}'")));
         }
+        let headers = read_headers(r)?;
+        let body = match header(&headers, "content-length") {
+            Some(v) => {
+                let len: usize = v
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("content-length '{v}'")))?;
+                if len > MAX_REQUEST_BODY_BYTES {
+                    return Err(HttpError::Malformed(format!(
+                        "request body of {len} bytes exceeds {MAX_REQUEST_BODY_BYTES}"
+                    )));
+                }
+                read_body(r, len)?
+            }
+            None if matches!(method, "POST" | "PUT") => {
+                return Err(HttpError::Malformed(format!(
+                    "{method} without content-length"
+                )));
+            }
+            None => Bytes::new(),
+        };
         Ok(Some(Request {
             method: method.to_string(),
             path: path.to_string(),
-            headers: read_headers(r)?,
+            headers,
+            body,
         }))
     }
 }
@@ -204,6 +291,22 @@ impl Response {
         }
     }
 
+    /// A `400 Bad Request` describing what was wrong with the input — the
+    /// answer a hardened server gives to malformed framing instead of
+    /// killing its worker.
+    pub fn bad_request(what: &str) -> Self {
+        let body = Bytes::from(format!("bad request: {what}"));
+        Self {
+            status: 400,
+            reason: "Bad Request".into(),
+            headers: vec![
+                ("content-type".into(), "text/plain".into()),
+                ("content-length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
     /// Value of a header (case-insensitive), if present.
     pub fn header(&self, name: &str) -> Option<&str> {
         header(&self.headers, name)
@@ -241,20 +344,12 @@ impl Response {
             .unwrap_or("0")
             .parse()
             .map_err(|_| HttpError::Malformed("content-length".into()))?;
-        let mut body = vec![0u8; len];
-        let mut got = 0;
-        while got < len {
-            let n = r.read(&mut body[got..])?;
-            if n == 0 {
-                return Err(HttpError::TruncatedBody { expected: len, got });
-            }
-            got += n;
-        }
+        let body = read_body(r, len)?;
         Ok(Response {
             status,
             reason: reason.to_string(),
             headers,
-            body: Bytes::from(body),
+            body,
         })
     }
 }
@@ -375,14 +470,26 @@ impl<'a> ChunkServer<'a> {
         }
     }
 
-    /// Handles one keep-alive connection to completion.
+    /// Handles one keep-alive connection to completion. Malformed input is
+    /// answered with a `400` and the connection is closed (framing can no
+    /// longer be trusted) — the serving thread itself survives.
     pub fn serve_connection(&self, stream: TcpStream) -> Result<(), HttpError> {
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
-        while let Some(req) = Request::read_from(&mut reader)? {
-            self.handle(&req).write_to(&mut writer)?;
-            if req.header("connection") == Some("close") {
-                break;
+        loop {
+            match Request::read_from(&mut reader) {
+                Ok(None) => break,
+                Ok(Some(req)) => {
+                    self.handle(&req).write_to(&mut writer)?;
+                    if req.header("connection") == Some("close") {
+                        break;
+                    }
+                }
+                Err(HttpError::Malformed(what)) => {
+                    let _ = Response::bad_request(&what).write_to(&mut writer);
+                    break;
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -405,7 +512,17 @@ impl<T: Read + Write> HttpClient<T> {
 
     /// Issues a `GET` and reads the full response.
     pub fn get(&mut self, path: &str) -> Result<Response, HttpError> {
-        Request::get(path).write_to(self.reader.get_mut())?;
+        self.send(&Request::get(path))
+    }
+
+    /// `POST`s `body` to `path` and reads the full response.
+    pub fn post(&mut self, path: &str, body: Bytes, content_type: &str) -> Result<Response, HttpError> {
+        self.send(&Request::post(path, body, content_type))
+    }
+
+    /// Sends any request and reads the full response.
+    pub fn send(&mut self, req: &Request) -> Result<Response, HttpError> {
+        req.write_to(self.reader.get_mut())?;
         Response::read_from(&mut self.reader)
     }
 }
@@ -436,6 +553,101 @@ mod tests {
         resp.write_to(&mut buf).unwrap();
         let back = Response::read_from(&mut Cursor::new(buf)).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn post_round_trip_carries_body() {
+        let req = Request::post("/decision", Bytes::from_static(b"sid 1\nchunk 0\n"), "text/plain");
+        let back = round_trip_request(&req);
+        assert_eq!(req, back);
+        assert_eq!(back.body.as_ref(), b"sid 1\nchunk 0\n");
+        assert_eq!(back.header("content-length"), Some("14"));
+    }
+
+    #[test]
+    fn post_without_content_length_is_malformed() {
+        let raw = b"POST /session HTTP/1.1\r\nconnection: keep-alive\r\n\r\nbody".to_vec();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(ref w) if w.contains("content-length")), "{err:?}");
+    }
+
+    #[test]
+    fn get_without_content_length_has_empty_body() {
+        let raw = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+        let req = Request::read_from(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_header_block_is_malformed() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..4 {
+            raw.extend_from_slice(format!("x-{i}: {}\r\n", "v".repeat(7000)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(ref w) if w.contains("headers exceed")), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_request_line_is_malformed() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend_from_slice("x".repeat(MAX_LINE_BYTES).as_bytes());
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_request_body_is_malformed() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_REQUEST_BODY_BYTES + 1
+        )
+        .into_bytes();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(ref w) if w.contains("exceeds")), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_request_body_detected() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc".to_vec();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::TruncatedBody { expected: 10, got: 3 }));
+    }
+
+    #[test]
+    fn bad_request_describes_the_problem() {
+        let resp = Response::bad_request("POST without content-length");
+        assert_eq!(resp.status, 400);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back.status, 400);
+        assert!(String::from_utf8_lossy(&back.body).contains("content-length"));
+    }
+
+    #[test]
+    fn malformed_request_over_tcp_gets_400_and_server_survives() {
+        use std::io::Write as _;
+        let addr = ChunkServer::spawn(envivio_video()).unwrap();
+        // Garbage on the first connection: expect a 400 answer, not silence.
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(b"NOT-HTTP-AT-ALL\r\n\r\n").unwrap();
+        bad.flush().unwrap();
+        let resp = Response::read_from(&mut BufReader::new(&mut bad)).unwrap();
+        assert_eq!(resp.status, 400);
+        drop(bad);
+        // A POST without content-length is also a 400.
+        let mut bad2 = TcpStream::connect(addr).unwrap();
+        bad2.write_all(b"POST /x HTTP/1.1\r\n\r\n").unwrap();
+        bad2.flush().unwrap();
+        let resp2 = Response::read_from(&mut BufReader::new(&mut bad2)).unwrap();
+        assert_eq!(resp2.status, 400);
+        drop(bad2);
+        // The server still serves well-formed requests afterwards.
+        let mut client = HttpClient::new(TcpStream::connect(addr).unwrap());
+        assert_eq!(client.get("/manifest.mpd").unwrap().status, 200);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! [`Video`] this workspace can express. Parsing is hand-rolled (tag/attr
 //! scanning) to stay dependency-free and is strict: structural problems are
 //! reported as [`MpdError`], never panics.
+//!
+//! Segment sizes and durations are written with Rust's shortest
+//! round-trip-exact `f64` formatting, so `parse(generate(v))` reproduces
+//! every chunk size bit-for-bit. The decision service relies on this: a
+//! session registered over the wire must solve the exact same MPC problem
+//! as its in-process twin.
 
 use abr_video::{Ladder, Video, VideoBuilder};
 
@@ -52,7 +58,7 @@ pub fn generate(video: &Video) -> String {
     ));
     out.push_str(" <Period>\n");
     out.push_str(&format!(
-        "  <AdaptationSet mimeType=\"video/mp4\" segmentDuration=\"{:.6}\" \
+        "  <AdaptationSet mimeType=\"video/mp4\" segmentDuration=\"{}\" \
          segmentCount=\"{}\">\n",
         video.chunk_secs(),
         video.num_chunks()
@@ -68,7 +74,7 @@ pub fn generate(video: &Video) -> String {
             if k > 0 {
                 out.push(' ');
             }
-            out.push_str(&format!("{:.3}", video.chunk_size_kbits(k, level)));
+            out.push_str(&format!("{}", video.chunk_size_kbits(k, level)));
         }
         out.push_str("</SegmentSizes>\n");
         out.push_str("   </Representation>\n");
@@ -182,14 +188,14 @@ mod tests {
         let doc = generate(&v);
         let back = parse(&doc).unwrap();
         assert_eq!(back.num_chunks(), 65);
-        assert!((back.chunk_secs() - 4.0).abs() < 1e-9);
+        assert_eq!(back.chunk_secs().to_bits(), 4.0f64.to_bits());
         assert_eq!(back.ladder().len(), 5);
-        for k in [0, 32, 64] {
+        for k in 0..65 {
             for l in 0..5 {
-                assert!(
-                    (back.chunk_size_kbits(k, LevelIdx(l)) - v.chunk_size_kbits(k, LevelIdx(l)))
-                        .abs()
-                        < 1e-3
+                assert_eq!(
+                    back.chunk_size_kbits(k, LevelIdx(l)).to_bits(),
+                    v.chunk_size_kbits(k, LevelIdx(l)).to_bits(),
+                    "chunk {k} level {l}"
                 );
             }
         }
@@ -205,10 +211,9 @@ mod tests {
         let back = parse(&generate(&v)).unwrap();
         for k in 0..7 {
             for l in 0..2 {
-                assert!(
-                    (back.chunk_size_kbits(k, LevelIdx(l)) - v.chunk_size_kbits(k, LevelIdx(l)))
-                        .abs()
-                        < 1e-3,
+                assert_eq!(
+                    back.chunk_size_kbits(k, LevelIdx(l)).to_bits(),
+                    v.chunk_size_kbits(k, LevelIdx(l)).to_bits(),
                     "chunk {k} level {l}"
                 );
             }

@@ -1,0 +1,138 @@
+//! MPD manifest round-trip and rejection coverage.
+//!
+//! `abr-serve` registers sessions by shipping the video as a manifest, so
+//! `parse(generate(v))` must reproduce every chunk size bit-for-bit — the
+//! remote MPC solve has to see the exact floats the in-process twin sees.
+
+use abr_net::mpd::{generate, parse, MpdError};
+use abr_video::{envivio_video, presets, Ladder, LevelIdx, Video, VideoBuilder};
+
+use proptest::prelude::*;
+
+fn assert_bit_identical(v: &Video) {
+    let back = parse(&generate(v)).expect("generated manifest must parse");
+    assert_eq!(back.num_chunks(), v.num_chunks());
+    assert_eq!(back.ladder().len(), v.ladder().len());
+    assert_eq!(back.chunk_secs().to_bits(), v.chunk_secs().to_bits());
+    for l in 0..v.ladder().len() {
+        for k in 0..v.num_chunks() {
+            assert_eq!(
+                back.chunk_size_kbits(k, LevelIdx(l)).to_bits(),
+                v.chunk_size_kbits(k, LevelIdx(l)).to_bits(),
+                "chunk {k} level {l}"
+            );
+        }
+    }
+}
+
+#[test]
+fn envivio_round_trips_exactly() {
+    assert_bit_identical(&envivio_video());
+}
+
+#[test]
+fn presets_round_trip_exactly() {
+    assert_bit_identical(&presets::hd_catalogue());
+    assert_bit_identical(&presets::low_latency_live());
+    assert_bit_identical(&presets::vbr_film());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_vbr_videos_round_trip_exactly(
+        base in 200.0f64..4000.0,
+        steps in proptest::collection::vec(1.05f64..2.0, 1..5),
+        chunks in 1usize..40,
+        chunk_secs in 0.5f64..10.0,
+        wobble in 0.5f64..1.5,
+    ) {
+        let mut kbps = vec![base];
+        for s in &steps {
+            kbps.push(kbps.last().unwrap() * s);
+        }
+        let ladder = Ladder::new(kbps).unwrap();
+        let v = VideoBuilder::new(ladder)
+            .chunks(chunks)
+            .chunk_secs(chunk_secs)
+            .vbr(move |k| 0.6 + wobble * 0.4 * ((k * 2654435761) % 97) as f64 / 97.0);
+        assert_bit_identical(&v);
+    }
+}
+
+#[test]
+fn malformed_manifests_are_rejected() {
+    // Not an MPD at all.
+    assert_eq!(parse("hello world").unwrap_err(), MpdError::MissingTag("MPD"));
+    assert_eq!(parse("<foo/>").unwrap_err(), MpdError::MissingTag("MPD"));
+    // MPD but no adaptation set.
+    assert_eq!(
+        parse("<MPD></MPD>").unwrap_err(),
+        MpdError::MissingTag("AdaptationSet")
+    );
+    // Missing required attributes.
+    assert_eq!(
+        parse("<MPD><AdaptationSet segmentCount=\"2\"></AdaptationSet></MPD>").unwrap_err(),
+        MpdError::MissingAttr("segmentDuration")
+    );
+    assert_eq!(
+        parse("<MPD><AdaptationSet segmentDuration=\"4\"></AdaptationSet></MPD>").unwrap_err(),
+        MpdError::MissingAttr("segmentCount")
+    );
+    // Zero / non-positive dimensions.
+    assert!(matches!(
+        parse("<MPD><AdaptationSet segmentDuration=\"4\" segmentCount=\"0\"></AdaptationSet></MPD>"),
+        Err(MpdError::BadValue(_))
+    ));
+    assert!(matches!(
+        parse("<MPD><AdaptationSet segmentDuration=\"-1\" segmentCount=\"2\"></AdaptationSet></MPD>"),
+        Err(MpdError::BadValue(_))
+    ));
+    // Unparseable numbers.
+    assert!(matches!(
+        parse(
+            "<MPD><AdaptationSet segmentDuration=\"4\" segmentCount=\"1\">\
+             <Representation id=\"0\" bandwidth=\"fast\">\
+             <SegmentSizes>100</SegmentSizes></Representation></AdaptationSet></MPD>"
+        ),
+        Err(MpdError::BadValue(_))
+    ));
+    assert!(matches!(
+        parse(
+            "<MPD><AdaptationSet segmentDuration=\"4\" segmentCount=\"1\">\
+             <Representation id=\"0\" bandwidth=\"500000\">\
+             <SegmentSizes>big</SegmentSizes></Representation></AdaptationSet></MPD>"
+        ),
+        Err(MpdError::BadValue(_))
+    ));
+    // Unterminated SegmentSizes.
+    assert!(matches!(
+        parse(
+            "<MPD><AdaptationSet segmentDuration=\"4\" segmentCount=\"1\">\
+             <Representation id=\"0\" bandwidth=\"500000\">\
+             <SegmentSizes>100</Representation></AdaptationSet></MPD>"
+        ),
+        Err(MpdError::MissingTag("/SegmentSizes"))
+    ));
+    // Size-count mismatch across representations.
+    assert!(matches!(
+        parse(
+            "<MPD><AdaptationSet segmentDuration=\"4\" segmentCount=\"2\">\
+             <Representation id=\"0\" bandwidth=\"500000\">\
+             <SegmentSizes>100 200 300</SegmentSizes></Representation></AdaptationSet></MPD>"
+        ),
+        Err(MpdError::Inconsistent(_))
+    ));
+    // Ladder must be strictly increasing.
+    assert!(matches!(
+        parse(
+            "<MPD><AdaptationSet segmentDuration=\"4\" segmentCount=\"1\">\
+             <Representation id=\"0\" bandwidth=\"900000\">\
+             <SegmentSizes>3600</SegmentSizes></Representation>\
+             <Representation id=\"1\" bandwidth=\"500000\">\
+             <SegmentSizes>2000</SegmentSizes></Representation></AdaptationSet></MPD>"
+        ),
+        Err(MpdError::Inconsistent(_))
+    ));
+}

@@ -1,0 +1,181 @@
+//! Client side: a typed wrapper over the keep-alive HTTP client, and
+//! [`RemoteController`] — a [`BitrateController`] that outsources every
+//! decision to a running decision server over a real socket.
+//!
+//! `RemoteController` is what makes the load generator *closed-loop*: the
+//! emulated player's simulation loop calls `decide` exactly as it would an
+//! in-process controller, and the call becomes a `POST /decision`
+//! round-trip carrying the player's observed state. Per-call round-trip
+//! latencies are recorded for the benchmark report.
+
+use crate::proto::{DecisionReply, DecisionRequest, LastChunk, ProtoError, SessionSpec};
+use abr_core::{BitrateController, ControllerContext, Decision};
+use abr_net::http::{HttpClient, HttpError};
+use abr_video::LevelIdx;
+use bytes::Bytes;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Client-side failures talking to the decision server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or framing failure.
+    Http(HttpError),
+    /// The server answered with a non-200 status.
+    Status(u16, String),
+    /// The response body did not decode.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Http(e) => write!(f, "http: {e}"),
+            ServeError::Status(code, body) => write!(f, "server said {code}: {body}"),
+            ServeError::Proto(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<HttpError> for ServeError {
+    fn from(e: HttpError) -> Self {
+        ServeError::Http(e)
+    }
+}
+
+/// A typed connection to the decision server (one keep-alive socket).
+pub struct ServeClient {
+    http: HttpClient<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a decision server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { http: HttpClient::new(stream) })
+    }
+
+    fn post_ok(&mut self, path: &str, body: String) -> Result<String, ServeError> {
+        let resp = self.http.post(path, Bytes::from(body), "text/plain")?;
+        let text = String::from_utf8_lossy(&resp.body).into_owned();
+        if resp.status != 200 {
+            return Err(ServeError::Status(resp.status, text.trim().to_string()));
+        }
+        Ok(text)
+    }
+
+    /// Registers a session; returns its id.
+    pub fn register(&mut self, spec: &SessionSpec) -> Result<u64, ServeError> {
+        let body = self.post_ok("/session", spec.encode())?;
+        body.trim()
+            .strip_prefix("sid ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ServeError::Proto(ProtoError::Bad(format!("sid reply {body:?}"))))
+    }
+
+    /// Requests the decision for one chunk.
+    pub fn decision(&mut self, req: &DecisionRequest) -> Result<DecisionReply, ServeError> {
+        let body = self.post_ok("/decision", req.encode())?;
+        DecisionReply::decode(&body).map_err(ServeError::Proto)
+    }
+
+    /// Retires a session.
+    pub fn close_session(&mut self, sid: u64) -> Result<(), ServeError> {
+        self.post_ok("/close", format!("sid {sid}\n")).map(|_| ())
+    }
+
+    /// Fetches the plain-text metrics page.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let resp = self.http.get("/metrics")?;
+        let text = String::from_utf8_lossy(&resp.body).into_owned();
+        if resp.status != 200 {
+            return Err(ServeError::Status(resp.status, text));
+        }
+        Ok(text)
+    }
+}
+
+/// A [`BitrateController`] whose `decide` is a network round-trip to the
+/// decision server. Panics on transport or protocol failure — in the load
+/// generator that is exactly the loud failure the differential gate wants.
+pub struct RemoteController {
+    client: ServeClient,
+    sid: u64,
+    latencies_nanos: Vec<u64>,
+}
+
+impl RemoteController {
+    /// Connects and registers `spec`, returning a controller ready to
+    /// drive a session.
+    pub fn register(addr: SocketAddr, spec: &SessionSpec) -> Result<Self, ServeError> {
+        let mut client = ServeClient::connect(addr).map_err(HttpError::Io)?;
+        let sid = client.register(spec)?;
+        Ok(Self { client, sid, latencies_nanos: Vec::new() })
+    }
+
+    /// The server-assigned session id.
+    pub fn sid(&self) -> u64 {
+        self.sid
+    }
+
+    /// Round-trip latencies of every decision so far, nanoseconds.
+    pub fn latencies_nanos(&self) -> &[u64] {
+        &self.latencies_nanos
+    }
+
+    /// Closes the remote session, returning the recorded latencies.
+    pub fn finish(mut self) -> Result<Vec<u64>, ServeError> {
+        self.client.close_session(self.sid)?;
+        Ok(std::mem::take(&mut self.latencies_nanos))
+    }
+}
+
+impl BitrateController for RemoteController {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
+        let last = (ctx.chunk_index > 0).then(|| {
+            let level = ctx
+                .prev_level
+                .expect("chunk > 0 implies a previous level");
+            let throughput_kbps = ctx
+                .last_throughput_kbps
+                .expect("chunk > 0 implies a measured throughput");
+            LastChunk {
+                level: level.get(),
+                throughput_kbps,
+                // Reconstruct the wall-clock download time from what the
+                // session loop exposes; reported for the server's logs,
+                // not used in the control state.
+                download_secs: ctx.video.chunk_size_kbits(ctx.chunk_index - 1, level)
+                    / throughput_kbps,
+            }
+        });
+        let req = DecisionRequest {
+            sid: self.sid,
+            chunk: ctx.chunk_index,
+            buffer_secs: ctx.buffer_secs,
+            last,
+        };
+        let start = Instant::now();
+        let reply = self
+            .client
+            .decision(&req)
+            .unwrap_or_else(|e| panic!("remote decision for chunk {} failed: {e}", ctx.chunk_index));
+        self.latencies_nanos.push(start.elapsed().as_nanos() as u64);
+        Decision {
+            level: LevelIdx(reply.level),
+            startup_wait_secs: reply.startup_wait_secs,
+        }
+    }
+
+    fn reset(&mut self) {
+        // Sessions are single-use: run_session resets at start, which must
+        // not disturb the server-side state registered for this session.
+    }
+}

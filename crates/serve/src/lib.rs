@@ -1,0 +1,48 @@
+//! `abr-serve` — the concurrent ABR decision service.
+//!
+//! Section 6 of the paper deploys FastMPC by moving the MPC computation
+//! server-side: "the client sends its state to the server in each HTTP
+//! request and receives the bitrate decision". This crate builds that
+//! deployment shape for *every* controller in the workspace:
+//!
+//! * [`server`] — a multi-threaded HTTP/1.1 service on `abr-net`'s
+//!   substrate: `POST /session` registers a session (backend, predictor,
+//!   QoE knobs, and the video as a DASH manifest), `POST /decision` maps a
+//!   reported player state to the next bitrate, `GET /metrics` exposes
+//!   plain-text counters. An eager acceptor thread plus a fixed worker
+//!   pool; FastMPC tables come from one process-wide
+//!   [`abr_fastmpc::TableCache`], so a thousand sessions on the same video
+//!   generate the table exactly once.
+//! * [`store`] — per-session control state in a sharded, mutexed map. The
+//!   state update replays `abr_sim::run_session_core`'s bookkeeping from
+//!   the client's reports, which is what makes remote decisions
+//!   *bit-identical* to in-process ones.
+//! * [`client`] — [`RemoteController`]: a `BitrateController` whose
+//!   `decide` is a real socket round-trip, pluggable into any driver.
+//! * [`loadgen`] — the closed-loop load generator: K concurrent
+//!   trace-driven sessions, exact client-observed latency quantiles, and
+//!   the remote-vs-in-process differential check.
+//!
+//! The differential guarantee is the crate's spine: `tests/differential.rs`
+//! and the `serve-bench` harness gate assert that every remote session's
+//! decision sequence equals the in-process `run_session` sequence for the
+//! same (trace, video, controller, seed) — bit for bit, including QoE.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use backend::{Backend, PredictorKind};
+pub use client::{RemoteController, ServeClient, ServeError};
+pub use loadgen::{run_load, LoadOptions, LoadReport};
+pub use metrics::{exact_quantile_us, LatencyHistogram, Metrics};
+pub use proto::{DecisionReply, DecisionRequest, LastChunk, ProtoError, SessionSpec};
+pub use server::{AbrService, DecisionServer, ServerHandle};
+pub use store::{DecideError, SessionState, SessionStore};

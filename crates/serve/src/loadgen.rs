@@ -1,0 +1,240 @@
+//! The closed-loop load generator.
+//!
+//! [`run_load`] spawns one OS thread per session. Every thread connects to
+//! the decision server, registers, and drives a full trace-driven
+//! `abr_sim::run_session` whose controller is a [`RemoteController`] — so
+//! every per-chunk decision is a real socket round-trip carrying the
+//! player's state, and each reply feeds straight back into the simulation
+//! loop (closed loop, not replayed requests).
+//!
+//! The correctness anchor: with `verify` on (the default), each thread
+//! also runs the identical session with the real in-process controller and
+//! compares the two outcomes — every chunk record and the final QoE must
+//! match *bit for bit*. Any divergence counts as a mismatch; the harness
+//! and CI gate assert zero.
+
+use crate::backend::{Backend, PredictorKind};
+use crate::client::RemoteController;
+use crate::metrics::exact_quantile_us;
+use crate::proto::SessionSpec;
+use abr_sim::run_session;
+use abr_trace::{Dataset, Trace};
+use abr_video::envivio_video;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Concurrent sessions to run (one thread + one socket each).
+    pub sessions: usize,
+    /// Decision backend every session registers.
+    pub backend: Backend,
+    /// Predictor every session registers (and the twin runs).
+    pub predictor: PredictorKind,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Run the in-process twin and compare bit-for-bit.
+    pub verify: bool,
+}
+
+impl LoadOptions {
+    /// Defaults: FastMPC, harmonic prediction, verification on.
+    pub fn new(sessions: usize) -> Self {
+        Self {
+            sessions,
+            backend: Backend::FastMpc,
+            predictor: PredictorKind::Harmonic,
+            seed: 42,
+            verify: true,
+        }
+    }
+}
+
+/// What one load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Backend exercised.
+    pub backend: Backend,
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Total remote decisions served.
+    pub decisions: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Aggregate decision throughput.
+    pub decisions_per_sec: f64,
+    /// Client-observed round-trip latency, exact quantiles (microseconds).
+    pub mean_us: f64,
+    /// Median round-trip.
+    pub p50_us: f64,
+    /// 90th percentile round-trip.
+    pub p90_us: f64,
+    /// 99th percentile round-trip.
+    pub p99_us: f64,
+    /// 99.9th percentile round-trip.
+    pub p999_us: f64,
+    /// Sessions whose remote decision sequence diverged from the
+    /// in-process twin (must be zero; listed in `mismatch_details`).
+    pub mismatches: usize,
+    /// One line per diverging session.
+    pub mismatch_details: Vec<String>,
+}
+
+/// Runs `opts.sessions` concurrent closed-loop sessions against the
+/// server at `addr`.
+///
+/// # Panics
+///
+/// Panics if any session thread fails (connection refused, protocol
+/// error) — load generation is a test harness, and silent partial runs
+/// would corrupt the differential guarantee.
+pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
+    let video = envivio_video();
+    let sim_cfg = SessionSpec::paper_default(opts.backend, video.clone()).sim_config();
+    let traces: Vec<Trace> = Dataset::Fcc.generate(opts.seed, opts.sessions);
+    // The twin's FastMPC table, generated once and shared by every thread
+    // (mirrors the server's process-wide cache).
+    let table = opts.backend.needs_table().then(|| {
+        let mut cfg = abr_fastmpc::TableConfig::with_levels(
+            video.ladder().len(),
+            sim_cfg.buffer_max_secs,
+        );
+        cfg.weights = sim_cfg.weights.clone();
+        std::sync::Arc::new(abr_fastmpc::FastMpcTable::generate(
+            &video,
+            sim_cfg.buffer_max_secs,
+            cfg,
+        ))
+    });
+
+    struct SessionOutcome {
+        latencies_nanos: Vec<u64>,
+        decisions: u64,
+        mismatch: Option<String>,
+    }
+
+    let started = Instant::now();
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                let video = &video;
+                let sim_cfg = &sim_cfg;
+                let table = table.as_ref();
+                scope.spawn(move || {
+                    let mut spec = SessionSpec::paper_default(opts.backend, video.clone());
+                    spec.predictor = opts.predictor;
+                    let mut remote = RemoteController::register(addr, &spec)
+                        .unwrap_or_else(|e| panic!("session {i}: register failed: {e}"));
+                    let remote_result = run_session(
+                        &mut remote,
+                        opts.predictor.build(),
+                        trace,
+                        video,
+                        sim_cfg,
+                    );
+                    let latencies_nanos = remote
+                        .finish()
+                        .unwrap_or_else(|e| panic!("session {i}: close failed: {e}"));
+                    let decisions = remote_result.records.len() as u64;
+
+                    let mismatch = opts.verify.then(|| {
+                        let mut local =
+                            opts.backend.build(table, &sim_cfg.weights, spec.horizon);
+                        let local_result = run_session(
+                            local.as_mut(),
+                            opts.predictor.build(),
+                            trace,
+                            video,
+                            sim_cfg,
+                        );
+                        diff_sessions(i, &remote_result, &local_result)
+                    });
+                    SessionOutcome {
+                        latencies_nanos,
+                        decisions,
+                        mismatch: mismatch.flatten(),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_nanos.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let decisions: u64 = outcomes.iter().map(|o| o.decisions).sum();
+    let mismatch_details: Vec<String> =
+        outcomes.into_iter().filter_map(|o| o.mismatch).collect();
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1_000.0
+    };
+
+    LoadReport {
+        backend: opts.backend,
+        sessions: opts.sessions,
+        decisions,
+        elapsed_secs,
+        decisions_per_sec: decisions as f64 / elapsed_secs.max(1e-9),
+        mean_us,
+        p50_us: exact_quantile_us(&latencies, 0.50),
+        p90_us: exact_quantile_us(&latencies, 0.90),
+        p99_us: exact_quantile_us(&latencies, 0.99),
+        p999_us: exact_quantile_us(&latencies, 0.999),
+        mismatches: mismatch_details.len(),
+        mismatch_details,
+    }
+}
+
+/// Compares a remote session against its in-process twin; `None` when
+/// bit-identical, otherwise one line describing the first divergence.
+fn diff_sessions(
+    session: usize,
+    remote: &abr_sim::SessionResult,
+    local: &abr_sim::SessionResult,
+) -> Option<String> {
+    if remote.records.len() != local.records.len() {
+        return Some(format!(
+            "session {session}: {} remote chunks vs {} local",
+            remote.records.len(),
+            local.records.len()
+        ));
+    }
+    for (r, l) in remote.records.iter().zip(&local.records) {
+        if r.level != l.level {
+            return Some(format!(
+                "session {session}: chunk {} level {:?} remote vs {:?} local",
+                r.index, r.level, l.level
+            ));
+        }
+        if r.buffer_after_secs.to_bits() != l.buffer_after_secs.to_bits()
+            || r.download_secs.to_bits() != l.download_secs.to_bits()
+        {
+            return Some(format!(
+                "session {session}: chunk {} state drifted (buffer {} vs {})",
+                r.index, r.buffer_after_secs, l.buffer_after_secs
+            ));
+        }
+    }
+    if remote.qoe.qoe.to_bits() != local.qoe.qoe.to_bits() {
+        return Some(format!(
+            "session {session}: QoE {} remote vs {} local",
+            remote.qoe.qoe, local.qoe.qoe
+        ));
+    }
+    if remote.total_secs.to_bits() != local.total_secs.to_bits() {
+        return Some(format!(
+            "session {session}: wall clock {} remote vs {} local",
+            remote.total_secs, local.total_secs
+        ));
+    }
+    None
+}

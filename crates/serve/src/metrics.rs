@@ -1,0 +1,222 @@
+//! Service counters and latency accounting for `GET /metrics`.
+//!
+//! Per-backend decision latency is kept in fixed log2 buckets (lock-free
+//! atomics on the hot path); `GET /metrics` renders bucket-resolution
+//! quantiles. The load generator computes its *exact* client-observed
+//! quantiles separately from raw samples — the server-side histogram is
+//! operational visibility, not the benchmark's source of truth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 40;
+
+/// Lock-free log2-bucketed latency histogram (microsecond domain).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let idx = (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_nanos.load(Ordering::Relaxed) as f64 / n as f64 / 1_000.0
+    }
+
+    /// Bucket-resolution quantile in microseconds: the upper edge of the
+    /// bucket holding the `q`-quantile sample (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return (1u64 << idx) as f64 / 1_000.0;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) as f64 / 1_000.0
+    }
+}
+
+/// Exact quantile over raw nanosecond samples (the load generator's path).
+/// `samples` must be sorted ascending; `q` in [0, 1].
+pub fn exact_quantile_us(samples: &[u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).max(1);
+    samples[rank - 1] as f64 / 1_000.0
+}
+
+/// One backend's counters.
+#[derive(Debug, Default)]
+pub struct BackendStats {
+    /// Decisions served.
+    pub decisions: AtomicU64,
+    /// Decision-handling latency (service time, not network time).
+    pub latency: LatencyHistogram,
+}
+
+/// Process-wide service counters.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Sessions ever registered.
+    pub sessions_registered: AtomicU64,
+    /// Sessions explicitly closed.
+    pub sessions_closed: AtomicU64,
+    /// Requests refused with a 4xx.
+    pub rejected: AtomicU64,
+    backends: [(&'static str, BackendStats); 8],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters covering every backend.
+    pub fn new() -> Self {
+        Self {
+            sessions_registered: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            backends: crate::backend::Backend::ALL
+                .map(|b| (b.token(), BackendStats::default())),
+        }
+    }
+
+    /// The stats bucket for a backend token.
+    pub fn backend(&self, token: &str) -> &BackendStats {
+        self.backends
+            .iter()
+            .find(|(t, _)| *t == token)
+            .map(|(_, s)| s)
+            .expect("every Backend token has a stats slot")
+    }
+
+    /// Renders the `GET /metrics` plain-text body.
+    pub fn render(&self, live_sessions: usize, cached_tables: usize) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "sessions_registered {}\n",
+            self.sessions_registered.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "sessions_closed {}\n",
+            self.sessions_closed.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("sessions_live {live_sessions}\n"));
+        out.push_str(&format!("fastmpc_tables_cached {cached_tables}\n"));
+        out.push_str(&format!(
+            "requests_rejected {}\n",
+            self.rejected.load(Ordering::Relaxed)
+        ));
+        let total: u64 = self
+            .backends
+            .iter()
+            .map(|(_, s)| s.decisions.load(Ordering::Relaxed))
+            .sum();
+        out.push_str(&format!("decisions_total {total}\n"));
+        for (token, stats) in &self.backends {
+            let n = stats.decisions.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "decisions{{backend={token}}} {n}\n\
+                 decision_mean_us{{backend={token}}} {:.1}\n\
+                 decision_p50_us{{backend={token}}} {:.1}\n\
+                 decision_p99_us{{backend={token}}} {:.1}\n",
+                stats.latency.mean_us(),
+                stats.latency.quantile_us(0.50),
+                stats.latency.quantile_us(0.99),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_track_bucket_edges() {
+        let h = LatencyHistogram::new();
+        // 90 samples at ~1us, 10 at ~1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 >= 1.0 && p50 <= 3.0, "p50 {p50}");
+        assert!(p99 >= 1_000.0 && p99 <= 3_000.0, "p99 {p99}");
+        assert!(h.mean_us() > 90.0 && h.mean_us() < 120.0, "{}", h.mean_us());
+    }
+
+    #[test]
+    fn exact_quantiles_are_exact() {
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 1_000).collect();
+        assert_eq!(exact_quantile_us(&samples, 0.5), 500.0);
+        assert_eq!(exact_quantile_us(&samples, 0.99), 990.0);
+        assert_eq!(exact_quantile_us(&samples, 0.999), 999.0);
+        assert_eq!(exact_quantile_us(&samples, 1.0), 1000.0);
+        assert_eq!(exact_quantile_us(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn metrics_render_includes_active_backends_only() {
+        let m = Metrics::new();
+        m.sessions_registered.fetch_add(3, Ordering::Relaxed);
+        m.backend("fastmpc").decisions.fetch_add(7, Ordering::Relaxed);
+        m.backend("fastmpc").latency.record(2_000);
+        let text = m.render(2, 1);
+        assert!(text.contains("sessions_registered 3"));
+        assert!(text.contains("sessions_live 2"));
+        assert!(text.contains("decisions{backend=fastmpc} 7"));
+        assert!(!text.contains("backend=bola"), "idle backends stay out:\n{text}");
+    }
+}

@@ -1,0 +1,489 @@
+//! The wire protocol of the decision service.
+//!
+//! Three POST endpoints, all carrying plain-text bodies of `key value`
+//! lines (one per line, `\n`-separated):
+//!
+//! * `POST /session` — register a session. The body carries the backend,
+//!   predictor, MPC horizon, the session-accounting knobs of
+//!   [`abr_sim::SimConfig`], the QoE weights, and — after a line reading
+//!   just `manifest` — the video as a DASH MPD document. Response body:
+//!   `sid <id>`.
+//! * `POST /decision` — request the bitrate for one chunk. The client
+//!   reports its chunk index, current buffer level and (for every chunk
+//!   after the first) the level, measured throughput and download time of
+//!   the chunk that just finished. Response body: `level <idx>` plus an
+//!   optional `startup_wait <secs>` line.
+//! * `POST /close` — retire a session (`sid <id>`).
+//!
+//! All floats are encoded with Rust's shortest round-trip-exact `f64`
+//! formatting and decoded with `str::parse`, so every value crosses the
+//! wire bit-for-bit — the foundation of the remote-vs-in-process
+//! differential guarantee.
+
+use crate::backend::{Backend, PredictorKind};
+use abr_net::mpd;
+use abr_sim::{RobustBound, SimConfig};
+use abr_video::{QoeWeights, QualityFn, Video};
+
+/// Errors decoding a protocol body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// A required key was missing.
+    Missing(&'static str),
+    /// A value failed to parse.
+    Bad(String),
+    /// The manifest failed to parse.
+    Manifest(String),
+    /// A feature the wire format cannot express.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Missing(k) => write!(f, "missing field {k}"),
+            ProtoError::Bad(what) => write!(f, "bad field: {what}"),
+            ProtoError::Manifest(what) => write!(f, "bad manifest: {what}"),
+            ProtoError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Everything `POST /session` registers.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Decision backend (controller family).
+    pub backend: Backend,
+    /// Throughput predictor maintained server-side.
+    pub predictor: PredictorKind,
+    /// MPC look-ahead horizon, chunks.
+    pub horizon: usize,
+    /// Buffer capacity `B_max`, seconds.
+    pub buffer_max_secs: f64,
+    /// Robust lower-bound statistic.
+    pub robust_bound: RobustBound,
+    /// Prediction-error tracking window, chunks.
+    pub error_window: usize,
+    /// Low-buffer flag threshold, seconds.
+    pub low_buffer_threshold_secs: f64,
+    /// Low-buffer history window, chunks.
+    pub low_buffer_window_chunks: usize,
+    /// QoE weights (drive the MPC objective and the FastMPC table).
+    pub weights: QoeWeights,
+    /// The video, registered via its manifest.
+    pub video: Video,
+}
+
+impl SessionSpec {
+    /// A spec with the paper's session-accounting defaults for `backend`
+    /// over `video`.
+    pub fn paper_default(backend: Backend, video: Video) -> Self {
+        let sim = SimConfig::paper_default();
+        Self {
+            backend,
+            predictor: PredictorKind::Harmonic,
+            horizon: 5,
+            buffer_max_secs: sim.buffer_max_secs,
+            robust_bound: sim.robust_bound,
+            error_window: sim.error_window,
+            low_buffer_threshold_secs: sim.low_buffer_threshold_secs,
+            low_buffer_window_chunks: sim.low_buffer_window_chunks,
+            weights: sim.weights,
+            video,
+        }
+    }
+
+    /// The [`SimConfig`] an in-process twin must run with to match this
+    /// session decision-for-decision (VOD, first-chunk startup).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            buffer_max_secs: self.buffer_max_secs,
+            weights: self.weights.clone(),
+            error_window: self.error_window,
+            robust_bound: self.robust_bound,
+            low_buffer_threshold_secs: self.low_buffer_threshold_secs,
+            low_buffer_window_chunks: self.low_buffer_window_chunks,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    /// Encodes the registration body.
+    pub fn encode(&self) -> String {
+        let w = &self.weights;
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!("backend {}\n", self.backend.token()));
+        out.push_str(&format!("predictor {}\n", self.predictor.encode()));
+        out.push_str(&format!("horizon {}\n", self.horizon));
+        out.push_str(&format!("buffer_max {}\n", self.buffer_max_secs));
+        out.push_str(&format!(
+            "robust_bound {}\n",
+            match self.robust_bound {
+                RobustBound::MaxError => "max",
+                RobustBound::MeanError => "mean",
+            }
+        ));
+        out.push_str(&format!("error_window {}\n", self.error_window));
+        out.push_str(&format!(
+            "low_buffer_threshold {}\n",
+            self.low_buffer_threshold_secs
+        ));
+        out.push_str(&format!(
+            "low_buffer_window {}\n",
+            self.low_buffer_window_chunks
+        ));
+        out.push_str(&format!("lambda {}\n", w.lambda));
+        out.push_str(&format!("mu {}\n", w.mu));
+        out.push_str(&format!("mu_s {}\n", w.mu_s));
+        out.push_str(&format!("mu_event {}\n", w.mu_event));
+        out.push_str(&encode_quality(&w.quality));
+        out.push_str("manifest\n");
+        out.push_str(&mpd::generate(&self.video));
+        out
+    }
+
+    /// Decodes a registration body.
+    pub fn decode(body: &str) -> Result<Self, ProtoError> {
+        let (fields, manifest) = split_fields(body)?;
+        let manifest = manifest.ok_or(ProtoError::Missing("manifest"))?;
+        let video =
+            mpd::parse(manifest).map_err(|e| ProtoError::Manifest(e.to_string()))?;
+        let backend_tok = lookup(&fields, "backend")?;
+        let backend = Backend::parse(backend_tok)
+            .ok_or_else(|| ProtoError::Bad(format!("unknown backend {backend_tok:?}")))?;
+        let predictor = PredictorKind::decode(lookup(&fields, "predictor")?)?;
+        let robust_bound = match lookup(&fields, "robust_bound")? {
+            "max" => RobustBound::MaxError,
+            "mean" => RobustBound::MeanError,
+            other => return Err(ProtoError::Bad(format!("robust_bound {other:?}"))),
+        };
+        let spec = Self {
+            backend,
+            predictor,
+            horizon: parse_field(&fields, "horizon")?,
+            buffer_max_secs: parse_field(&fields, "buffer_max")?,
+            robust_bound,
+            error_window: parse_field(&fields, "error_window")?,
+            low_buffer_threshold_secs: parse_field(&fields, "low_buffer_threshold")?,
+            low_buffer_window_chunks: parse_field(&fields, "low_buffer_window")?,
+            weights: QoeWeights {
+                lambda: parse_field(&fields, "lambda")?,
+                mu: parse_field(&fields, "mu")?,
+                mu_s: parse_field(&fields, "mu_s")?,
+                mu_event: parse_field(&fields, "mu_event")?,
+                quality: decode_quality(lookup(&fields, "quality")?)?,
+            },
+            video,
+        };
+        if spec.horizon == 0 {
+            return Err(ProtoError::Bad("horizon must be positive".into()));
+        }
+        if !(spec.buffer_max_secs >= spec.video.chunk_secs()) {
+            return Err(ProtoError::Bad(
+                "buffer_max must hold at least one chunk".into(),
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+fn encode_quality(q: &QualityFn) -> String {
+    match q {
+        QualityFn::Identity => "quality identity\n".to_string(),
+        QualityFn::Log { r0, scale } => format!("quality log {r0} {scale}\n"),
+        QualityFn::Saturating { cap_kbps } => format!("quality saturating {cap_kbps}\n"),
+        other => {
+            // Callers registering exotic quality maps get a clear decode
+            // failure server-side instead of a silently different QoE.
+            format!("quality unsupported {other:?}\n")
+        }
+    }
+}
+
+fn decode_quality(v: &str) -> Result<QualityFn, ProtoError> {
+    let mut parts = v.split_whitespace();
+    match parts.next() {
+        Some("identity") => Ok(QualityFn::Identity),
+        Some("log") => Ok(QualityFn::Log {
+            r0: parse_f64(parts.next(), "quality log r0")?,
+            scale: parse_f64(parts.next(), "quality log scale")?,
+        }),
+        Some("saturating") => Ok(QualityFn::Saturating {
+            cap_kbps: parse_f64(parts.next(), "quality saturating cap")?,
+        }),
+        other => Err(ProtoError::Unsupported(format!("quality {other:?}"))),
+    }
+}
+
+/// What the client reports about the chunk that just finished downloading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LastChunk {
+    /// Ladder level that was delivered.
+    pub level: usize,
+    /// Measured throughput of the download, kbps.
+    pub throughput_kbps: f64,
+    /// Wall-clock download time, seconds.
+    pub download_secs: f64,
+}
+
+/// One `POST /decision` body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRequest {
+    /// Session id from registration.
+    pub sid: u64,
+    /// Index of the chunk about to be requested.
+    pub chunk: usize,
+    /// Current buffer level, seconds.
+    pub buffer_secs: f64,
+    /// Outcome of chunk `chunk - 1`; required for every chunk after the
+    /// first, forbidden for chunk 0.
+    pub last: Option<LastChunk>,
+}
+
+impl DecisionRequest {
+    /// Encodes the request body.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "sid {}\nchunk {}\nbuffer {}\n",
+            self.sid, self.chunk, self.buffer_secs
+        );
+        if let Some(last) = &self.last {
+            out.push_str(&format!(
+                "last_level {}\nlast_tput {}\nlast_dl {}\n",
+                last.level, last.throughput_kbps, last.download_secs
+            ));
+        }
+        out
+    }
+
+    /// Decodes a request body.
+    pub fn decode(body: &str) -> Result<Self, ProtoError> {
+        let (fields, _) = split_fields(body)?;
+        let chunk: usize = parse_field(&fields, "chunk")?;
+        let last = match lookup(&fields, "last_level") {
+            Ok(level) => Some(LastChunk {
+                level: level
+                    .parse()
+                    .map_err(|_| ProtoError::Bad("last_level".into()))?,
+                throughput_kbps: parse_field(&fields, "last_tput")?,
+                download_secs: parse_field(&fields, "last_dl")?,
+            }),
+            Err(_) => None,
+        };
+        if chunk == 0 && last.is_some() {
+            return Err(ProtoError::Bad("chunk 0 cannot report a last chunk".into()));
+        }
+        if chunk > 0 && last.is_none() {
+            return Err(ProtoError::Missing("last_level"));
+        }
+        Ok(Self {
+            sid: parse_field(&fields, "sid")?,
+            chunk,
+            buffer_secs: parse_field(&fields, "buffer")?,
+            last,
+        })
+    }
+}
+
+/// One `POST /decision` response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionReply {
+    /// The level to request next.
+    pub level: usize,
+    /// MPC's startup-wait directive, when the backend issues one.
+    pub startup_wait_secs: Option<f64>,
+}
+
+impl DecisionReply {
+    /// Encodes the response body.
+    pub fn encode(&self) -> String {
+        match self.startup_wait_secs {
+            Some(w) => format!("level {}\nstartup_wait {w}\n", self.level),
+            None => format!("level {}\n", self.level),
+        }
+    }
+
+    /// Decodes a response body.
+    pub fn decode(body: &str) -> Result<Self, ProtoError> {
+        let (fields, _) = split_fields(body)?;
+        let startup_wait_secs = match lookup(&fields, "startup_wait") {
+            Ok(v) => Some(v.parse().map_err(|_| ProtoError::Bad("startup_wait".into()))?),
+            Err(_) => None,
+        };
+        Ok(Self {
+            level: parse_field(&fields, "level")?,
+            startup_wait_secs,
+        })
+    }
+}
+
+/// Splits a body into `key value` fields, stopping at a bare `manifest`
+/// line; the remainder (if any) is returned as the manifest document.
+fn split_fields(body: &str) -> Result<(Vec<(&str, &str)>, Option<&str>), ProtoError> {
+    let mut fields = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (line, after) = match rest.split_once('\n') {
+            Some((l, a)) => (l, a),
+            None => (rest, ""),
+        };
+        let line = line.trim_end_matches('\r');
+        if line == "manifest" {
+            return Ok((fields, Some(after)));
+        }
+        if !line.is_empty() {
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| ProtoError::Bad(format!("line {line:?}")))?;
+            fields.push((key, value));
+        }
+        rest = after;
+    }
+    Ok((fields, None))
+}
+
+fn lookup<'a>(fields: &[(&'a str, &'a str)], key: &'static str) -> Result<&'a str, ProtoError> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or(ProtoError::Missing(key))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    fields: &[(&str, &str)],
+    key: &'static str,
+) -> Result<T, ProtoError> {
+    lookup(fields, key)?
+        .parse()
+        .map_err(|_| ProtoError::Bad(key.to_string()))
+}
+
+fn parse_f64(v: Option<&str>, what: &str) -> Result<f64, ProtoError> {
+    v.ok_or_else(|| ProtoError::Bad(what.to_string()))?
+        .parse()
+        .map_err(|_| ProtoError::Bad(what.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_video::envivio_video;
+
+    #[test]
+    fn session_spec_round_trips_bit_exactly() {
+        let mut spec = SessionSpec::paper_default(Backend::RobustMpc, envivio_video());
+        spec.buffer_max_secs = 29.734_561_209_871_23;
+        spec.low_buffer_threshold_secs = 7.000_000_000_000_001;
+        spec.weights.mu = 2999.999_999_999_998;
+        spec.predictor = PredictorKind::Ewma(0.648_297_134_665_43);
+        let back = SessionSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(back.backend, Backend::RobustMpc);
+        assert_eq!(back.predictor, spec.predictor);
+        assert_eq!(back.horizon, spec.horizon);
+        assert_eq!(back.buffer_max_secs.to_bits(), spec.buffer_max_secs.to_bits());
+        assert_eq!(
+            back.low_buffer_threshold_secs.to_bits(),
+            spec.low_buffer_threshold_secs.to_bits()
+        );
+        assert_eq!(back.weights.mu.to_bits(), spec.weights.mu.to_bits());
+        assert_eq!(back.video.num_chunks(), spec.video.num_chunks());
+        for k in 0..spec.video.num_chunks() {
+            for l in 0..spec.video.ladder().len() {
+                assert_eq!(
+                    back.video
+                        .chunk_size_kbits(k, abr_video::LevelIdx(l))
+                        .to_bits(),
+                    spec.video
+                        .chunk_size_kbits(k, abr_video::LevelIdx(l))
+                        .to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_round_trips_bit_exactly() {
+        let req = DecisionRequest {
+            sid: 17,
+            chunk: 9,
+            buffer_secs: 13.482_910_476_123_456,
+            last: Some(LastChunk {
+                level: 3,
+                throughput_kbps: 1523.456_789_012_345_6,
+                download_secs: 3.141_592_653_589_793,
+            }),
+        };
+        let back = DecisionRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.sid, 17);
+        assert_eq!(back.chunk, 9);
+        assert_eq!(back.buffer_secs.to_bits(), req.buffer_secs.to_bits());
+        let (a, b) = (back.last.unwrap(), req.last.unwrap());
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.throughput_kbps.to_bits(), b.throughput_kbps.to_bits());
+        assert_eq!(a.download_secs.to_bits(), b.download_secs.to_bits());
+
+        let reply = DecisionReply {
+            level: 4,
+            startup_wait_secs: Some(0.123_456_789_012_345_68),
+        };
+        let back = DecisionReply::decode(&reply.encode()).unwrap();
+        assert_eq!(back.level, 4);
+        assert_eq!(
+            back.startup_wait_secs.unwrap().to_bits(),
+            reply.startup_wait_secs.unwrap().to_bits()
+        );
+        assert_eq!(
+            DecisionReply::decode("level 2\n").unwrap(),
+            DecisionReply { level: 2, startup_wait_secs: None }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_requests() {
+        assert!(matches!(
+            DecisionRequest::decode("sid 1\nchunk 0\nbuffer 0\nlast_level 1\nlast_tput 5\nlast_dl 1\n"),
+            Err(ProtoError::Bad(_))
+        ));
+        assert!(matches!(
+            DecisionRequest::decode("sid 1\nchunk 3\nbuffer 0\n"),
+            Err(ProtoError::Missing("last_level"))
+        ));
+        assert!(matches!(
+            DecisionRequest::decode("sid 1\nbuffer 0\n"),
+            Err(ProtoError::Missing("chunk"))
+        ));
+        assert!(matches!(
+            DecisionRequest::decode("garbage-no-space\n"),
+            Err(ProtoError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_specs() {
+        let good = SessionSpec::paper_default(Backend::Rb, envivio_video()).encode();
+        assert!(matches!(
+            SessionSpec::decode(&good.replace("backend rb", "backend hal9000")),
+            Err(ProtoError::Bad(_))
+        ));
+        assert!(matches!(
+            SessionSpec::decode(&good.replace("horizon 5", "horizon 0")),
+            Err(ProtoError::Bad(_))
+        ));
+        assert!(matches!(
+            SessionSpec::decode(&good.replace("quality identity", "quality cubic")),
+            Err(ProtoError::Unsupported(_))
+        ));
+        // A chopped-off manifest must fail cleanly (cut mid-body so the
+        // size list is visibly truncated, not just missing closing tags).
+        let cut = &good[..good.len() / 2];
+        assert!(SessionSpec::decode(cut).is_err());
+        // No manifest at all.
+        let no_manifest: String = good.lines().take(12).map(|l| format!("{l}\n")).collect();
+        assert!(matches!(
+            SessionSpec::decode(&no_manifest),
+            Err(ProtoError::Missing("manifest"))
+        ));
+    }
+}

@@ -1,0 +1,427 @@
+//! The multi-threaded decision server.
+//!
+//! A dedicated acceptor thread drains the kernel accept queue eagerly into
+//! an unbounded in-process connection queue, so hundreds of simultaneous
+//! connects never overflow the listen backlog; a fixed pool of worker
+//! threads pops connections and serves them keep-alive, one request per
+//! round-trip, through [`AbrService`]. Malformed HTTP gets a `400` and the
+//! connection is dropped — the worker itself always survives and moves to
+//! the next connection.
+
+use crate::metrics::Metrics;
+use crate::proto::{DecisionRequest, SessionSpec};
+use crate::store::{DecideError, SessionStore};
+use abr_net::http::{HttpError, Request, Response};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Request router and session logic, independent of any transport.
+pub struct AbrService {
+    store: SessionStore,
+    metrics: Metrics,
+}
+
+impl AbrService {
+    /// A fresh service with a `shards`-way sharded session store.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            store: SessionStore::new(shards),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The session store.
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn reject(&self, resp: Response) -> Response {
+        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        resp
+    }
+
+    /// Routes one request to a response.
+    pub fn handle(&self, req: &Request) -> Response {
+        let body = || String::from_utf8_lossy(&req.body).into_owned();
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/session") => match SessionSpec::decode(&body()) {
+                Ok(spec) => {
+                    let sid = self.store.register(spec);
+                    self.metrics.sessions_registered.fetch_add(1, Ordering::Relaxed);
+                    Response::ok(Bytes::from(format!("sid {sid}\n")), "text/plain")
+                }
+                Err(e) => self.reject(Response::bad_request(&e.to_string())),
+            },
+            ("POST", "/decision") => {
+                let parsed = match DecisionRequest::decode(&body()) {
+                    Ok(p) => p,
+                    Err(e) => return self.reject(Response::bad_request(&e.to_string())),
+                };
+                let start = Instant::now();
+                let outcome = self.store.with_session(parsed.sid, |session| {
+                    (session.backend_token(), session.decide(&parsed))
+                });
+                match outcome {
+                    Ok((token, Ok(reply))) => {
+                        let stats = self.metrics.backend(token);
+                        stats.decisions.fetch_add(1, Ordering::Relaxed);
+                        stats.latency.record(start.elapsed().as_nanos() as u64);
+                        Response::ok(Bytes::from(reply.encode()), "text/plain")
+                    }
+                    Ok((_, Err(e))) => self.reject(decide_error_response(&e)),
+                    Err(e) => self.reject(decide_error_response(&e)),
+                }
+            }
+            ("POST", "/close") => match parse_close_sid(&body()) {
+                Some(sid) if self.store.remove(sid) => {
+                    self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    Response::ok(Bytes::from(format!("closed {sid}\n")), "text/plain")
+                }
+                Some(sid) => {
+                    self.reject(decide_error_response(&DecideError::UnknownSession(sid)))
+                }
+                None => self.reject(Response::bad_request("close needs `sid N`")),
+            },
+            ("GET", "/metrics") => Response::ok(
+                Bytes::from(
+                    self.metrics
+                        .render(self.store.len(), self.store.tables().len()),
+                ),
+                "text/plain",
+            ),
+            _ => self.reject(Response::not_found()),
+        }
+    }
+}
+
+fn parse_close_sid(body: &str) -> Option<u64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix("sid "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn decide_error_response(e: &DecideError) -> Response {
+    let status = match e {
+        DecideError::UnknownSession(_) => 404,
+        DecideError::OutOfOrder { .. } => 409,
+        DecideError::SessionComplete => 410,
+        DecideError::BadLevel(_) => 400,
+    };
+    let mut resp = Response::ok(Bytes::from(format!("error: {e}\n")), "text/plain");
+    resp.status = status;
+    resp
+}
+
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.queue.lock().unwrap().push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self.ready.wait(queue).unwrap();
+        }
+    }
+}
+
+/// A running decision server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<AbrService>,
+    conns: Arc<ConnQueue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Spawns the decision server.
+pub struct DecisionServer;
+
+impl DecisionServer {
+    /// Binds a loopback listener and starts `workers` worker threads (at
+    /// least 1) plus the acceptor.
+    pub fn spawn(workers: usize) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let workers = workers.max(1);
+        // Shard the store by worker count so independent sessions served in
+        // parallel rarely share a lock.
+        let service = Arc::new(AbrService::new(workers * 4));
+        let conns = Arc::new(ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if conns.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = stream.set_nodelay(true);
+                        // Backstop against a peer that connects and goes
+                        // silent forever.
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+                        conns.push(stream);
+                    }
+                }
+            })
+        };
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let conns = Arc::clone(&conns);
+                std::thread::spawn(move || {
+                    while let Some(stream) = conns.pop() {
+                        let _ = serve_connection(&service, stream);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr,
+            service,
+            conns,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, a `connection:
+/// close` is exchanged, or the request stream turns malformed.
+fn serve_connection(service: &AbrService, stream: TcpStream) -> Result<(), HttpError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        match Request::read_from(&mut reader) {
+            Ok(None) => return Ok(()), // peer closed cleanly
+            Ok(Some(req)) => {
+                let close = req.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                let resp = service.handle(&req);
+                resp.write_to(&mut writer)?;
+                if close {
+                    return Ok(());
+                }
+            }
+            Err(HttpError::Malformed(what)) => {
+                let _ = Response::bad_request(&what).write_to(&mut writer);
+                return Ok(());
+            }
+            Err(HttpError::TruncatedBody { expected, got }) => {
+                let _ = Response::bad_request(&format!(
+                    "truncated body: {got} of {expected} bytes"
+                ))
+                .write_to(&mut writer);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service, for in-process inspection (metrics, store).
+    pub fn service(&self) -> &AbrService {
+        &self.service
+    }
+
+    /// Stops the acceptor and workers, waiting for them to exit.
+    pub fn shutdown(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.conns.stop.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking accept with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        self.conns.ready.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use abr_net::http::HttpClient;
+    use abr_video::envivio_video;
+
+    fn client(handle: &ServerHandle) -> HttpClient<TcpStream> {
+        HttpClient::new(TcpStream::connect(handle.addr()).unwrap())
+    }
+
+    #[test]
+    fn registers_decides_and_reports_metrics() {
+        let handle = DecisionServer::spawn(2).unwrap();
+        let mut c = client(&handle);
+        let spec = SessionSpec::paper_default(Backend::Bb, envivio_video());
+        let resp = c
+            .post("/session", Bytes::from(spec.encode()), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let sid: u64 = String::from_utf8_lossy(&resp.body)
+            .trim()
+            .strip_prefix("sid ")
+            .unwrap()
+            .parse()
+            .unwrap();
+
+        let req = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None };
+        let resp = c
+            .post("/decision", Bytes::from(req.encode()), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).starts_with("level "));
+
+        let metrics = c.get("/metrics").unwrap();
+        let text = String::from_utf8_lossy(&metrics.body).into_owned();
+        assert!(text.contains("sessions_registered 1"), "{text}");
+        assert!(text.contains("decisions{backend=bb} 1"), "{text}");
+
+        let resp = c
+            .post("/close", Bytes::from(format!("sid {sid}\n")), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(handle.service().store().is_empty());
+    }
+
+    #[test]
+    fn protocol_errors_map_to_statuses() {
+        let handle = DecisionServer::spawn(1).unwrap();
+        let mut c = client(&handle);
+        // Unknown endpoint.
+        assert_eq!(c.get("/nope").unwrap().status, 404);
+        // Garbage registration.
+        assert_eq!(
+            c.post("/session", Bytes::from_static(b"nonsense"), "text/plain")
+                .unwrap()
+                .status,
+            400
+        );
+        // Decision for a session that does not exist.
+        let req = DecisionRequest { sid: 777, chunk: 0, buffer_secs: 0.0, last: None };
+        assert_eq!(
+            c.post("/decision", Bytes::from(req.encode()), "text/plain")
+                .unwrap()
+                .status,
+            404
+        );
+        // Out-of-order chunk on a real session.
+        let spec = SessionSpec::paper_default(Backend::Rb, envivio_video());
+        let resp = c.post("/session", Bytes::from(spec.encode()), "text/plain").unwrap();
+        let sid: u64 = String::from_utf8_lossy(&resp.body)
+            .trim()
+            .strip_prefix("sid ")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let skip = DecisionRequest {
+            sid,
+            chunk: 3,
+            buffer_secs: 1.0,
+            last: Some(crate::proto::LastChunk {
+                level: 0,
+                throughput_kbps: 500.0,
+                download_secs: 1.0,
+            }),
+        };
+        assert_eq!(
+            c.post("/decision", Bytes::from(skip.encode()), "text/plain")
+                .unwrap()
+                .status,
+            409
+        );
+        // Closing twice: second close is a 404.
+        assert_eq!(
+            c.post("/close", Bytes::from(format!("sid {sid}\n")), "text/plain")
+                .unwrap()
+                .status,
+            200
+        );
+        assert_eq!(
+            c.post("/close", Bytes::from(format!("sid {sid}\n")), "text/plain")
+                .unwrap()
+                .status,
+            404
+        );
+        // The worker survived all of that.
+        assert_eq!(c.get("/metrics").unwrap().status, 200);
+    }
+
+    #[test]
+    fn malformed_http_gets_400_and_workers_survive() {
+        use std::io::Write as _;
+        let handle = DecisionServer::spawn(1).unwrap();
+        let mut bad = TcpStream::connect(handle.addr()).unwrap();
+        bad.write_all(b"POST /decision HTTP/1.1\r\n\r\n").unwrap();
+        let resp = Response::read_from(&mut BufReader::new(&mut bad)).unwrap();
+        assert_eq!(resp.status, 400);
+        drop(bad);
+        // Same (only) worker serves the next connection fine.
+        let mut c = client(&handle);
+        assert_eq!(c.get("/metrics").unwrap().status, 200);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_threads() {
+        let mut handle = DecisionServer::spawn(3).unwrap();
+        let mut c = client(&handle);
+        assert_eq!(c.get("/metrics").unwrap().status, 200);
+        // Release the keep-alive connection so its worker can drain before
+        // shutdown joins the pool.
+        drop(c);
+        handle.shutdown();
+        handle.shutdown();
+        assert!(TcpStream::connect(handle.addr()).is_err() || {
+            // The OS may accept briefly after close on some platforms; a
+            // subsequent request must fail either way.
+            let mut c = HttpClient::new(TcpStream::connect(handle.addr()).unwrap());
+            c.get("/metrics").is_err()
+        });
+    }
+}

@@ -1,0 +1,347 @@
+//! Server-side session state and the sharded store that holds it.
+//!
+//! [`SessionState::decide`] replicates `abr_sim::run_session_core`'s
+//! per-chunk control state exactly, shifted by half a step: the simulator
+//! does its post-download bookkeeping (low-buffer history, predictor
+//! observation, previous-level update) at the *end* of chunk `k-1`, while
+//! the server replays the identical bookkeeping at the *start* of the
+//! request for chunk `k`, from the client's report of chunk `k-1`'s
+//! outcome. Because every controller/predictor is deterministic and every
+//! float crosses the wire bit-for-bit, the resulting
+//! [`ControllerContext`] — and therefore the decision — is bit-identical
+//! to the in-process run. The differential tests in this crate enforce
+//! that claim.
+//!
+//! Sessions live in [`SessionStore`]: N independently mutexed shards keyed
+//! by session id, so concurrent workers serving different sessions almost
+//! never contend on the same lock.
+
+use crate::proto::{DecisionReply, DecisionRequest, SessionSpec};
+use abr_core::{BitrateController, ControllerContext};
+use abr_fastmpc::TableCache;
+use abr_predictor::{ErrorTracked, Predictor};
+use abr_sim::RobustBound;
+use abr_video::{LevelIdx, Video};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Why a decision request was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecideError {
+    /// No session with that id.
+    UnknownSession(u64),
+    /// The client skipped or repeated a chunk.
+    OutOfOrder {
+        /// The chunk index the server expected next.
+        expected: usize,
+        /// The chunk index the client asked about.
+        got: usize,
+    },
+    /// Every chunk of the video has already been decided.
+    SessionComplete,
+    /// The reported last-chunk level is off the ladder.
+    BadLevel(usize),
+}
+
+impl std::fmt::Display for DecideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecideError::UnknownSession(sid) => write!(f, "unknown session {sid}"),
+            DecideError::OutOfOrder { expected, got } => {
+                write!(f, "out of order: expected chunk {expected}, got {got}")
+            }
+            DecideError::SessionComplete => write!(f, "session complete"),
+            DecideError::BadLevel(l) => write!(f, "level {l} off the ladder"),
+        }
+    }
+}
+
+impl std::error::Error for DecideError {}
+
+/// One registered session's control state.
+pub struct SessionState {
+    backend_token: &'static str,
+    controller: Box<dyn BitrateController>,
+    predictor: ErrorTracked<Box<dyn Predictor>>,
+    video: Video,
+    buffer_max_secs: f64,
+    robust_bound: RobustBound,
+    low_buffer_threshold_secs: f64,
+    low_buffer_window_chunks: usize,
+    low_buffer_history: VecDeque<bool>,
+    next_chunk: usize,
+    /// Buffer level the client reported at the previous decision — the
+    /// value `run_session_core` pushes into the low-buffer history when it
+    /// finishes that chunk.
+    prev_buffer_secs: f64,
+    prev_level: Option<LevelIdx>,
+    last_throughput: Option<f64>,
+}
+
+impl SessionState {
+    /// Builds the state for a freshly registered session. FastMPC tables
+    /// come from `tables`, the shared process-wide cache, so N sessions on
+    /// the same (video, config) generate the table exactly once.
+    pub fn new(spec: SessionSpec, tables: &TableCache) -> Self {
+        let table = spec.backend.needs_table().then(|| {
+            let mut cfg = abr_fastmpc::TableConfig::with_levels(
+                spec.video.ladder().len(),
+                spec.buffer_max_secs,
+            );
+            cfg.weights = spec.weights.clone();
+            tables.ensure(&spec.video, spec.buffer_max_secs, &cfg)
+        });
+        let mut controller = spec
+            .backend
+            .build(table.as_ref(), &spec.weights, spec.horizon);
+        // Mirror run_session_core's reset-at-session-start.
+        controller.reset();
+        Self {
+            backend_token: spec.backend.token(),
+            controller,
+            predictor: ErrorTracked::new(spec.predictor.build(), spec.error_window),
+            video: spec.video,
+            buffer_max_secs: spec.buffer_max_secs,
+            robust_bound: spec.robust_bound,
+            low_buffer_threshold_secs: spec.low_buffer_threshold_secs,
+            low_buffer_window_chunks: spec.low_buffer_window_chunks,
+            low_buffer_history: VecDeque::new(),
+            next_chunk: 0,
+            prev_buffer_secs: 0.0,
+            prev_level: None,
+            last_throughput: None,
+        }
+    }
+
+    /// Wire token of this session's backend (feeds per-backend metrics).
+    pub fn backend_token(&self) -> &'static str {
+        self.backend_token
+    }
+
+    /// Decides the bitrate for `req.chunk`, replaying the bookkeeping of
+    /// the chunk the client just finished first.
+    pub fn decide(&mut self, req: &DecisionRequest) -> Result<DecisionReply, DecideError> {
+        if self.next_chunk >= self.video.num_chunks() {
+            return Err(DecideError::SessionComplete);
+        }
+        if req.chunk != self.next_chunk {
+            return Err(DecideError::OutOfOrder {
+                expected: self.next_chunk,
+                got: req.chunk,
+            });
+        }
+
+        // Post-download bookkeeping of chunk k-1, exactly as
+        // run_session_core performs it before looping to chunk k.
+        if let Some(last) = &req.last {
+            if last.level >= self.video.ladder().len() {
+                return Err(DecideError::BadLevel(last.level));
+            }
+            if self.low_buffer_history.len() == self.low_buffer_window_chunks {
+                self.low_buffer_history.pop_front();
+            }
+            self.low_buffer_history
+                .push_back(self.prev_buffer_secs < self.low_buffer_threshold_secs);
+            self.predictor.observe(last.throughput_kbps);
+            self.last_throughput = Some(last.throughput_kbps);
+            self.prev_level = Some(LevelIdx(last.level));
+        }
+
+        let prediction = self.predictor.predict();
+        let robust_lower = match self.robust_bound {
+            RobustBound::MaxError => self.predictor.robust_lower_bound(),
+            RobustBound::MeanError => {
+                prediction.map(|p| p / (1.0 + self.predictor.mean_error()))
+            }
+        };
+        let ctx = ControllerContext {
+            chunk_index: req.chunk,
+            buffer_secs: req.buffer_secs,
+            prev_level: self.prev_level,
+            prediction_kbps: prediction,
+            robust_lower_kbps: robust_lower,
+            last_throughput_kbps: self.last_throughput,
+            recent_low_buffer: self.low_buffer_history.iter().any(|&b| b),
+            startup: req.chunk == 0,
+            video: &self.video,
+            buffer_max_secs: self.buffer_max_secs,
+        };
+        let decision = self.controller.decide(&ctx);
+        debug_assert!(
+            decision.level.get() < self.video.ladder().len(),
+            "{} chose out-of-range level",
+            self.controller.name()
+        );
+
+        self.prev_buffer_secs = req.buffer_secs;
+        self.next_chunk += 1;
+        Ok(DecisionReply {
+            level: decision.level.get(),
+            startup_wait_secs: decision.startup_wait_secs,
+        })
+    }
+}
+
+/// Sharded session store: session ids map to shards round-robin, each
+/// shard behind its own mutex.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<u64, SessionState>>>,
+    next_id: AtomicU64,
+    tables: Arc<TableCache>,
+}
+
+impl SessionStore {
+    /// A store with `shards` independent locks (at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+            tables: Arc::new(TableCache::new()),
+        }
+    }
+
+    fn shard(&self, sid: u64) -> &Mutex<HashMap<u64, SessionState>> {
+        &self.shards[(sid % self.shards.len() as u64) as usize]
+    }
+
+    /// Registers a session; returns its id.
+    pub fn register(&self, spec: SessionSpec) -> u64 {
+        let state = SessionState::new(spec, &self.tables);
+        let sid = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shard(sid).lock().unwrap().insert(sid, state);
+        sid
+    }
+
+    /// Runs `f` on session `sid` while holding only that shard's lock.
+    pub fn with_session<R>(
+        &self,
+        sid: u64,
+        f: impl FnOnce(&mut SessionState) -> R,
+    ) -> Result<R, DecideError> {
+        let mut shard = self.shard(sid).lock().unwrap();
+        match shard.get_mut(&sid) {
+            Some(state) => Ok(f(state)),
+            None => Err(DecideError::UnknownSession(sid)),
+        }
+    }
+
+    /// Retires session `sid`; true if it existed.
+    pub fn remove(&self, sid: u64) -> bool {
+        self.shard(sid).lock().unwrap().remove(&sid).is_some()
+    }
+
+    /// Live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared FastMPC table cache (for stats reporting).
+    pub fn tables(&self) -> &Arc<TableCache> {
+        &self.tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::proto::LastChunk;
+    use abr_video::envivio_video;
+
+    fn store() -> SessionStore {
+        SessionStore::new(4)
+    }
+
+    fn first_request(sid: u64) -> DecisionRequest {
+        DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None }
+    }
+
+    #[test]
+    fn sessions_step_in_chunk_order() {
+        let s = store();
+        let sid = s.register(SessionSpec::paper_default(Backend::Bb, envivio_video()));
+        let r0 = s.with_session(sid, |st| st.decide(&first_request(sid))).unwrap().unwrap();
+        assert!(r0.level < 5);
+        // Repeating chunk 0 is out of order.
+        let err = s.with_session(sid, |st| st.decide(&first_request(sid))).unwrap();
+        assert_eq!(err, Err(DecideError::OutOfOrder { expected: 1, got: 0 }));
+        // Chunk 1 with a report goes through.
+        let req = DecisionRequest {
+            sid,
+            chunk: 1,
+            buffer_secs: 4.0,
+            last: Some(LastChunk { level: r0.level, throughput_kbps: 900.0, download_secs: 2.0 }),
+        };
+        s.with_session(sid, |st| st.decide(&req)).unwrap().unwrap();
+    }
+
+    #[test]
+    fn bad_level_and_unknown_session_are_rejected() {
+        let s = store();
+        let sid = s.register(SessionSpec::paper_default(Backend::Rb, envivio_video()));
+        assert!(matches!(
+            s.with_session(99_999, |_| ()),
+            Err(DecideError::UnknownSession(99_999))
+        ));
+        s.with_session(sid, |st| st.decide(&first_request(sid)).unwrap()).unwrap();
+        let req = DecisionRequest {
+            sid,
+            chunk: 1,
+            buffer_secs: 4.0,
+            last: Some(LastChunk { level: 42, throughput_kbps: 900.0, download_secs: 2.0 }),
+        };
+        assert_eq!(
+            s.with_session(sid, |st| st.decide(&req)).unwrap(),
+            Err(DecideError::BadLevel(42))
+        );
+    }
+
+    #[test]
+    fn exhausted_sessions_report_complete_and_remove_retires() {
+        let video = envivio_video();
+        let n = video.num_chunks();
+        let s = store();
+        let sid = s.register(SessionSpec::paper_default(Backend::Bb, video));
+        let mut level = s
+            .with_session(sid, |st| st.decide(&first_request(sid)).unwrap().level)
+            .unwrap();
+        for k in 1..n {
+            let req = DecisionRequest {
+                sid,
+                chunk: k,
+                buffer_secs: 10.0,
+                last: Some(LastChunk { level, throughput_kbps: 1200.0, download_secs: 1.0 }),
+            };
+            level = s.with_session(sid, |st| st.decide(&req).unwrap().level).unwrap();
+        }
+        let req = DecisionRequest {
+            sid,
+            chunk: n,
+            buffer_secs: 10.0,
+            last: Some(LastChunk { level, throughput_kbps: 1200.0, download_secs: 1.0 }),
+        };
+        assert_eq!(
+            s.with_session(sid, |st| st.decide(&req)).unwrap(),
+            Err(DecideError::SessionComplete)
+        );
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(sid));
+        assert!(!s.remove(sid));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fastmpc_sessions_share_one_table() {
+        let s = store();
+        for _ in 0..4 {
+            s.register(SessionSpec::paper_default(Backend::FastMpc, envivio_video()));
+        }
+        assert_eq!(s.tables().len(), 1, "same config must reuse one table");
+    }
+}

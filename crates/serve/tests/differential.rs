@@ -1,0 +1,99 @@
+//! The remote-vs-in-process differential gate.
+//!
+//! Acceptance criterion of the decision service: a session that outsources
+//! every decision over a real socket must receive the *bit-identical*
+//! decision sequence (and therefore QoE) that the in-process controller
+//! produces for the same (trace, video, controller, seed).
+
+use abr_serve::{Backend, DecisionServer, LoadOptions, PredictorKind, run_load};
+
+/// The headline gate: 256 concurrent FastMPC sessions on loopback, every
+/// one verified bit-for-bit against its in-process twin.
+#[test]
+fn fastmpc_256_concurrent_sessions_bit_identical() {
+    let handle = DecisionServer::spawn(8).unwrap();
+    let mut opts = LoadOptions::new(256);
+    opts.backend = Backend::FastMpc;
+    let report = run_load(handle.addr(), &opts);
+    assert_eq!(report.sessions, 256);
+    assert_eq!(
+        report.mismatches, 0,
+        "remote decisions diverged:\n{}",
+        report.mismatch_details.join("\n")
+    );
+    assert_eq!(report.decisions, 256 * 65, "every chunk decided remotely");
+    assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+    // All sessions used the same video/config: the server must have
+    // generated exactly one FastMPC table.
+    assert_eq!(handle.service().store().tables().len(), 1);
+}
+
+/// Every backend stays bit-identical, not just the table-lookup path.
+#[test]
+fn all_backends_bit_identical_under_concurrency() {
+    let handle = DecisionServer::spawn(4).unwrap();
+    for backend in Backend::ALL {
+        let mut opts = LoadOptions::new(8);
+        opts.backend = backend;
+        opts.seed = 1234;
+        let report = run_load(handle.addr(), &opts);
+        assert_eq!(
+            report.mismatches,
+            0,
+            "{backend} diverged:\n{}",
+            report.mismatch_details.join("\n")
+        );
+        assert_eq!(report.decisions, 8 * 65);
+    }
+}
+
+/// The robust lower bound and error tracking also replicate: RobustMPC
+/// with a non-default predictor exercises the error-window machinery.
+#[test]
+fn robustmpc_with_alternate_predictors_bit_identical() {
+    let handle = DecisionServer::spawn(2).unwrap();
+    for predictor in [
+        PredictorKind::Harmonic,
+        PredictorKind::Sliding(8),
+        PredictorKind::Ewma(0.6),
+        PredictorKind::Last,
+        PredictorKind::Ar1(10),
+        PredictorKind::CrossSession { prior_kbps: 1800.0, weight: 2.5 },
+    ] {
+        let mut opts = LoadOptions::new(4);
+        opts.backend = Backend::RobustMpc;
+        opts.predictor = predictor;
+        opts.seed = 7;
+        let report = run_load(handle.addr(), &opts);
+        assert_eq!(
+            report.mismatches,
+            0,
+            "{predictor:?} diverged:\n{}",
+            report.mismatch_details.join("\n")
+        );
+    }
+}
+
+/// Sequential sessions on one server interleaved with concurrent ones:
+/// session state must be fully isolated per sid.
+#[test]
+fn sessions_are_isolated() {
+    let handle = DecisionServer::spawn(2).unwrap();
+    // Two waves against the same server; the second must be as clean as
+    // the first (no state bleed between sids, counters only grow).
+    let mut opts = LoadOptions::new(16);
+    opts.backend = Backend::Mpc;
+    let first = run_load(handle.addr(), &opts);
+    let second = run_load(handle.addr(), &opts);
+    assert_eq!(first.mismatches, 0);
+    assert_eq!(second.mismatches, 0);
+    assert!(handle.service().store().is_empty(), "sessions closed");
+    assert_eq!(
+        handle
+            .service()
+            .metrics()
+            .sessions_registered
+            .load(std::sync::atomic::Ordering::Relaxed),
+        32
+    );
+}

@@ -60,6 +60,15 @@ if [[ "${1:-}" != "quick" ]]; then
   diff -u "$smoke_dir/rob_a/robustness.csv" "$smoke_dir/rob_b/robustness.csv"
   ./target/release/abr_harness robustness --traces 5 --quick --fault-seed 99 > /dev/null
   echo "fault-matrix smoke passed"
+
+  echo "== serve-bench smoke: remote decisions bit-identical to in-process =="
+  # Every remote player's decision sequence is diffed against an in-process
+  # run_session twin inside the experiment; any divergence panics, so a clean
+  # exit IS the differential gate. Quick mode sweeps FastMPC + RobustMPC.
+  ./target/release/abr_harness serve-bench --sessions 16 --workers 2 --quick \
+    --out "$smoke_dir/serve" > /dev/null
+  test -s "$smoke_dir/serve/serve_bench.csv"
+  echo "serve-bench differential gate passed"
 fi
 
 echo "== benches compile =="
