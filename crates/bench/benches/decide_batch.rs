@@ -1,0 +1,57 @@
+//! The columnar decision kernel: per-decision cost of `decide_batch` as
+//! the batch grows, against the scalar `decide` loop it must bit-match.
+//!
+//! Throughput is reported in elements (decisions), so the interesting
+//! number is how far below the scalar per-decision cost the batched curve
+//! drops once the bin-grouped table pass amortizes across the batch.
+
+use abr_bench::{ctx, video};
+use abr_core::BitrateController;
+use abr_fastmpc::{FastMpc, FastMpcTable, TableConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_decide_batch(c: &mut Criterion) {
+    let video = video();
+    let table = Arc::new(FastMpcTable::generate(
+        &video,
+        30.0,
+        TableConfig::paper_default(),
+    ));
+    let mut group = c.benchmark_group("decide_batch");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for n in [1usize, 8, 64, 256] {
+        let ctxs: Vec<_> = (0..n).map(|i| ctx(&video, i)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        // The columnar kernel: one bin-grouped table pass per batch,
+        // reusing the controller's retained scratch (steady state
+        // allocates nothing).
+        let mut batched = FastMpc::new(Arc::clone(&table));
+        let mut out = Vec::with_capacity(n);
+        group.bench_with_input(BenchmarkId::new("FastMPC-batch", n), &n, |b, _| {
+            b.iter(|| {
+                batched.decide_batch(black_box(&ctxs), &mut out);
+                black_box(out.len())
+            })
+        });
+
+        // The scalar baseline the kernel must bit-match: n independent
+        // binary-searched lookups through the same controller.
+        let mut scalar = FastMpc::new(Arc::clone(&table));
+        group.bench_with_input(BenchmarkId::new("FastMPC-scalar", n), &n, |b, _| {
+            b.iter(|| {
+                for context in &ctxs {
+                    black_box(scalar.decide(black_box(context)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide_batch);
+criterion_main!(benches);

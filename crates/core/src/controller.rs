@@ -88,6 +88,24 @@ pub trait BitrateController: Send {
     /// Chooses the level for the chunk described by `ctx`.
     fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision;
 
+    /// Decides a whole batch of *independent* contexts (distinct sessions
+    /// stepped in lockstep), writing one [`Decision`] per context into `out`
+    /// positionally.
+    ///
+    /// The contract is bit-identity: `decide_batch(ctxs)` must equal
+    /// `ctxs.map(|c| decide(c))` exactly. The default does literally that —
+    /// correct for every controller, including stateful ones, because the
+    /// per-context work is unchanged. Table-driven controllers (FastMPC)
+    /// override it with a columnar kernel that amortizes lookups across the
+    /// batch without changing any output bit.
+    fn decide_batch(&mut self, ctxs: &[ControllerContext<'_>], out: &mut Vec<Decision>) {
+        out.clear();
+        out.reserve(ctxs.len());
+        for ctx in ctxs {
+            out.push(self.decide(ctx));
+        }
+    }
+
     /// Clears internal history so the controller can start a fresh session.
     fn reset(&mut self) {}
 }
@@ -99,6 +117,10 @@ impl<T: BitrateController + ?Sized> BitrateController for Box<T> {
 
     fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
         (**self).decide(ctx)
+    }
+
+    fn decide_batch(&mut self, ctxs: &[ControllerContext<'_>], out: &mut Vec<Decision>) {
+        (**self).decide_batch(ctxs, out)
     }
 
     fn reset(&mut self) {
@@ -163,5 +185,26 @@ mod tests {
         assert_eq!(b.name(), "fixed");
         assert_eq!(b.decide(&ctx(&v)).level, LevelIdx(3));
         b.reset();
+    }
+
+    #[test]
+    fn default_decide_batch_equals_mapped_decide() {
+        let v = envivio_video();
+        let contexts: Vec<ControllerContext<'_>> = (0..7)
+            .map(|i| ControllerContext {
+                chunk_index: i,
+                buffer_secs: i as f64,
+                ..ctx(&v)
+            })
+            .collect();
+        let mut a = Fixed(LevelIdx(2));
+        let mut batched = Vec::new();
+        a.decide_batch(&contexts, &mut batched);
+        let mut b = Fixed(LevelIdx(2));
+        let scalar: Vec<Decision> = contexts.iter().map(|c| b.decide(c)).collect();
+        assert_eq!(batched, scalar);
+        // `out` is cleared and refilled, not appended to.
+        a.decide_batch(&contexts[..2], &mut batched);
+        assert_eq!(batched.len(), 2);
     }
 }

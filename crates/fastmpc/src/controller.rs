@@ -1,6 +1,6 @@
 //! The online FastMPC controller: a table lookup per decision.
 
-use crate::table::FastMpcTable;
+use crate::table::{DecisionBatch, FastMpcTable};
 use abr_core::{BitrateController, ControllerContext, Decision};
 use std::sync::Arc;
 
@@ -16,6 +16,9 @@ pub struct FastMpc {
     table: Arc<FastMpcTable>,
     robust: bool,
     name: &'static str,
+    /// Columnar scratch for `decide_batch`; retained across batches so the
+    /// steady state allocates nothing.
+    batch: DecisionBatch,
 }
 
 impl FastMpc {
@@ -25,6 +28,7 @@ impl FastMpc {
             table,
             robust: false,
             name: "FastMPC",
+            batch: DecisionBatch::new(),
         }
     }
 
@@ -34,6 +38,7 @@ impl FastMpc {
             table,
             robust: true,
             name: "RobustFastMPC",
+            batch: DecisionBatch::new(),
         }
     }
 
@@ -68,6 +73,34 @@ impl BitrateController for FastMpc {
             .prev_level
             .unwrap_or_else(|| ctx.video.ladder().lowest());
         Decision::level(self.table.lookup(ctx.buffer_secs, prev, throughput))
+    }
+
+    fn decide_batch(&mut self, ctxs: &[ControllerContext<'_>], out: &mut Vec<Decision>) {
+        // Columnarize: exactly the per-context state mapping of `decide`
+        // (robust-vs-raw throughput, first-chunk fallback), then one
+        // bin-grouped table pass instead of N binary searches.
+        self.batch.clear();
+        for ctx in ctxs {
+            debug_assert_eq!(
+                self.table.config().buffer_bins.hi, ctx.buffer_max_secs,
+                "table generated for a different buffer capacity"
+            );
+            let throughput = if self.robust {
+                ctx.robust_or_prediction()
+            } else {
+                ctx.prediction_or_floor()
+            };
+            let prev = ctx
+                .prev_level
+                .unwrap_or_else(|| ctx.video.ladder().lowest());
+            self.batch.push(ctx.chunk_index, ctx.buffer_secs, prev, throughput);
+        }
+        self.table.decide_batch(&mut self.batch);
+        out.clear();
+        out.reserve(ctxs.len());
+        for i in 0..self.batch.len() {
+            out.push(Decision::level(self.batch.level(i)));
+        }
     }
 }
 

@@ -1,0 +1,94 @@
+//! Proves the batched decision kernel is allocation-free in steady state:
+//! after one warm-up batch has sized the columns and scratch (flat indices,
+//! argsort order, output levels), further `decide_batch` calls on a reused
+//! [`DecisionBatch`] perform zero heap allocations — the property that lets
+//! the harness grid and the bulk decision endpoint run one batch per tick
+//! without allocator traffic.
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator cannot interfere with any other test.
+
+use abr_fastmpc::{DecisionBatch, FastMpcTable, TableConfig};
+use abr_video::{envivio_video, LevelIdx};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so measured sections from concurrently
+/// running tests would pollute each other; this lock serializes them.
+static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+/// Deterministic probe state for slot `i` of round `round` — varied enough
+/// to touch many table rows, cheap enough to compute with no allocation.
+fn probe(round: usize, i: usize) -> (usize, f64, LevelIdx, f64) {
+    let chunk = (round * 7 + i) % 60;
+    let buffer = ((i * 13 + round * 5) % 31) as f64;
+    let prev = LevelIdx((i + round) % 5);
+    let thr = 150.0 + ((i * 37 + round * 101) % 9000) as f64;
+    (chunk, buffer, prev, thr)
+}
+
+#[test]
+fn steady_state_batches_do_not_allocate() {
+    let video = envivio_video();
+    let table = FastMpcTable::generate(&video, 30.0, TableConfig::with_levels(25, 30.0));
+    let mut batch = DecisionBatch::new();
+    const BATCH: usize = 256;
+
+    // Warm-up: size every column and the sort scratch at the working batch
+    // size.
+    batch.clear();
+    for i in 0..BATCH {
+        let (chunk, buffer, prev, thr) = probe(0, i);
+        batch.push(chunk, buffer, prev, thr);
+    }
+    table.decide_batch(&mut batch);
+
+    let (allocs, decided) = allocations(|| {
+        let mut decided = 0usize;
+        for round in 1..=20 {
+            batch.clear();
+            for i in 0..BATCH {
+                let (chunk, buffer, prev, thr) = probe(round, i);
+                batch.push(chunk, buffer, prev, thr);
+            }
+            table.decide_batch(&mut batch);
+            for i in 0..batch.len() {
+                decided += usize::from(batch.level(i).get() < 5);
+            }
+        }
+        decided
+    });
+    assert_eq!(decided, 20 * BATCH, "every probe must yield a valid level");
+    assert_eq!(allocs, 0, "steady-state batches must not allocate");
+}

@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -73,7 +73,14 @@ options:
   --backend NAME
                serve-bench: benchmark a single backend (fastmpc, robustmpc,
                mpc, bb, rb, festive, dash.js, bola) instead of the default
-               sweep";
+               sweep
+  --batch-size N
+               decisions resolved per batch (must be positive): grid
+               experiments step N sessions in lockstep through the columnar
+               decide_batch kernel, and serve-bench coalesces N virtual
+               sessions per bulk POST /decisions request. Defaults to the
+               ABR_BATCH environment variable if set, else 1 (the scalar
+               path). Results are bit-identical at every size";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -156,6 +163,17 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                 if opts.workers == 0 {
                     return Err("--workers must be positive".into());
                 }
+            }
+            "--batch-size" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--batch-size needs a value")?
+                    .parse()
+                    .map_err(|_| "--batch-size must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--batch-size must be positive".into());
+                }
+                opts.batch = Some(n);
             }
             "--backend" => {
                 let name = it.next().ok_or("--backend needs a value")?;
@@ -333,6 +351,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_size_flag() {
+        let (_, opts) = parse(&args(&["fig8"])).unwrap();
+        assert!(opts.batch.is_none());
+
+        let (_, opts) = parse(&args(&["fig8", "--batch-size", "64"])).unwrap();
+        assert_eq!(opts.batch, Some(64));
+
+        let (_, opts) = parse(&args(&["serve-bench", "--batch-size", "1"])).unwrap();
+        assert_eq!(opts.batch, Some(1));
+
+        assert!(parse(&args(&["fig8", "--batch-size"])).is_err());
+        assert!(parse(&args(&["fig8", "--batch-size", "0"])).is_err());
+        assert!(parse(&args(&["fig8", "--batch-size", "-4"])).is_err());
+        assert!(parse(&args(&["fig8", "--batch-size", "many"])).is_err());
+        // usize overflow is rejected with the same error style.
+        assert!(parse(&args(&["fig8", "--batch-size", "99999999999999999999999999"])).is_err());
+    }
+
+    #[test]
     fn defaults_apply() {
         let (cmd, opts) = parse(&args(&["table1"])).unwrap();
         assert_eq!(cmd, "table1");
@@ -376,6 +413,12 @@ fn main() {
     };
     // Applies to every parallel section: trace grids and table generation.
     abr_par::set_max_threads(opts.threads);
+    // Decide the batch-size policy before any experiment builds an
+    // EvalConfig. Unset leaves the ABR_BATCH-then-scalar fallback in
+    // place; results are bit-identical at every size.
+    if let Some(batch) = opts.batch {
+        abr_harness::set_batch_size(batch);
+    }
     // Decide the OPT-cache policy before any experiment builds an
     // EvalConfig; preload persisted results if a cache file was given.
     // Cache chatter goes to stderr so stdout stays byte-comparable across

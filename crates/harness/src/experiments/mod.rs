@@ -60,6 +60,13 @@ pub struct ExpOptions {
     /// Restricts `serve-bench` to one backend (`--backend`); `None`
     /// sweeps the benchmark set.
     pub backend: Option<String>,
+    /// Decision batch size (`--batch-size`, must be positive): grid
+    /// experiments step this many sessions in lockstep through the
+    /// columnar `decide_batch` kernel, and `serve-bench` coalesces this
+    /// many virtual sessions per bulk `POST /decisions` request. `None`
+    /// falls back to the `ABR_BATCH` environment variable, then to 1 (the
+    /// scalar path). Results are bit-identical at every size.
+    pub batch: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -78,6 +85,7 @@ impl Default for ExpOptions {
             sessions: 64,
             workers: 4,
             backend: None,
+            batch: None,
         }
     }
 }

@@ -38,12 +38,14 @@ pub fn backends(opts: &ExpOptions) -> Result<Vec<Backend>, String> {
 /// `serve_bench.csv`).
 pub fn run(opts: &ExpOptions) -> String {
     let backends = backends(opts).expect("--backend validated at parse time");
+    let batch = opts.batch.unwrap_or_else(crate::default_batch_size);
     let mut handle = DecisionServer::spawn(opts.workers).expect("bind loopback server");
     let mut t = Table::new(
         "serve-bench: closed-loop decision service, remote vs in-process differential",
         &[
             "backend",
             "sessions",
+            "batch",
             "decisions",
             "dec/s",
             "mean (us)",
@@ -58,6 +60,7 @@ pub fn run(opts: &ExpOptions) -> String {
         let mut load = LoadOptions::new(opts.sessions);
         load.backend = backend;
         load.seed = opts.seed;
+        load.batch = batch;
         let report = run_load(handle.addr(), &load);
         assert_eq!(
             report.mismatches, 0,
@@ -68,6 +71,7 @@ pub fn run(opts: &ExpOptions) -> String {
         t.row(vec![
             backend.token().to_string(),
             report.sessions.to_string(),
+            report.batch.to_string(),
             report.decisions.to_string(),
             fmt_num(report.decisions_per_sec),
             fmt_num(report.mean_us),
@@ -86,7 +90,10 @@ pub fn run(opts: &ExpOptions) -> String {
         "{} worker threads; every remote decision sequence verified \
          bit-identical to its in-process twin ({} FastMPC table(s) \
          generated server-side, shared across sessions). Latency is the \
-         client-observed loopback round-trip.\n\n",
+         client-observed loopback round-trip; at batch > 1 the proxy \
+         coalesces that many sessions per bulk POST /decisions request \
+         and the per-decision latency is the request round-trip divided \
+         by its decision count.\n\n",
         opts.workers, tables_cached
     ));
     s
@@ -109,6 +116,24 @@ mod tests {
         assert!(s.contains("fastmpc"));
         assert!(s.contains("robustmpc"));
         assert!(s.contains("2 worker threads"));
+    }
+
+    #[test]
+    fn serve_bench_bulk_smoke() {
+        // Same closed loop, but 4 virtual sessions coalesced per bulk
+        // POST /decisions request; the differential gate inside run()
+        // still verifies every decision against the in-process twin.
+        let opts = ExpOptions {
+            sessions: 4,
+            workers: 2,
+            quick: true,
+            batch: Some(4),
+            backend: Some("fastmpc".into()),
+            ..ExpOptions::default()
+        };
+        let s = run(&opts);
+        assert!(s.contains("serve-bench"));
+        assert!(s.contains("fastmpc"));
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub mod runner;
 
 pub use registry::{Algo, PredictorSpec};
 pub use runner::{
-    default_fault_spec, default_opt_cache, default_table_cache, evaluate_dataset, fastmpc_table,
-    global_opt_cache, global_table_cache, opt_cache_enabled, opt_results, run_algo_session,
-    run_algo_session_with, set_fault_spec, set_opt_cache_enabled, set_table_cache_enabled,
-    table_cache_enabled, EvalConfig, EvalOutcome, FaultSpec, TraceEval,
+    default_batch_size, default_fault_spec, default_opt_cache, default_table_cache,
+    evaluate_dataset, fastmpc_table, global_opt_cache, global_table_cache, opt_cache_enabled,
+    opt_results, run_algo_session, run_algo_session_with, set_batch_size, set_fault_spec,
+    set_opt_cache_enabled, set_table_cache_enabled, table_cache_enabled, EvalConfig, EvalOutcome,
+    FaultSpec, TraceEval,
 };

@@ -11,7 +11,8 @@
 //! malformed input yields an error, never a panic — and hardened for
 //! server use: a malformed request line, oversized headers, or a `POST`
 //! without `Content-Length` are [`HttpError::Malformed`], which connection
-//! loops answer with a `400` instead of dying.
+//! loops answer with a `400` instead of dying; a body over the (per-server
+//! configurable) cap is [`HttpError::BodyTooLarge`], answered with `413`.
 
 use crate::mpd;
 use abr_video::{LevelIdx, Video};
@@ -35,6 +36,15 @@ pub enum HttpError {
         /// Bytes actually received.
         got: usize,
     },
+    /// Declared `Content-Length` exceeds the request-body cap. Unlike
+    /// [`Malformed`](Self::Malformed) this is well-formed framing with an
+    /// oversized payload, so servers answer `413`, not `400`.
+    BodyTooLarge {
+        /// Bytes the header declared.
+        len: usize,
+        /// The cap in force.
+        cap: usize,
+    },
     /// The peer closed the connection before a complete message arrived.
     ConnectionClosed,
 }
@@ -46,6 +56,9 @@ impl std::fmt::Display for HttpError {
             HttpError::Malformed(what) => write!(f, "malformed http: {what}"),
             HttpError::TruncatedBody { expected, got } => {
                 write!(f, "truncated body: expected {expected} bytes, got {got}")
+            }
+            HttpError::BodyTooLarge { len, cap } => {
+                write!(f, "request body of {len} bytes exceeds the {cap}-byte cap")
             }
             HttpError::ConnectionClosed => write!(f, "connection closed"),
         }
@@ -190,11 +203,25 @@ impl Request {
     /// the first byte (keep-alive peer went away).
     ///
     /// Server hardening: a garbled request line, a header block over
-    /// [`MAX_HEADER_BYTES`], a body over [`MAX_REQUEST_BODY_BYTES`] and a
-    /// `POST`/`PUT` without `Content-Length` (the body would be unframed,
-    /// poisoning keep-alive) all yield [`HttpError::Malformed`], which a
-    /// serving loop maps to `400` without tearing the worker down.
+    /// [`MAX_HEADER_BYTES`] and a `POST`/`PUT` without `Content-Length`
+    /// (the body would be unframed, poisoning keep-alive) all yield
+    /// [`HttpError::Malformed`], which a serving loop maps to `400`
+    /// without tearing the worker down. A body over
+    /// [`MAX_REQUEST_BODY_BYTES`] is [`HttpError::BodyTooLarge`] — the
+    /// framing is fine, the payload is not — which maps to `413`.
     pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+        Self::read_from_with_cap(r, MAX_REQUEST_BODY_BYTES)
+    }
+
+    /// [`read_from`](Self::read_from) with an explicit request-body cap,
+    /// for servers whose expected payloads are far from the default —
+    /// the bulk decision endpoint raises it, a chunk origin could lower
+    /// it. A declared `Content-Length` of exactly `cap` bytes is
+    /// accepted; `cap + 1` is [`HttpError::BodyTooLarge`].
+    pub fn read_from_with_cap(
+        r: &mut impl BufRead,
+        cap: usize,
+    ) -> Result<Option<Request>, HttpError> {
         let line = match read_line(r)? {
             None => return Ok(None),
             Some(l) => l,
@@ -213,10 +240,8 @@ impl Request {
                 let len: usize = v
                     .parse()
                     .map_err(|_| HttpError::Malformed(format!("content-length '{v}'")))?;
-                if len > MAX_REQUEST_BODY_BYTES {
-                    return Err(HttpError::Malformed(format!(
-                        "request body of {len} bytes exceeds {MAX_REQUEST_BODY_BYTES}"
-                    )));
+                if len > cap {
+                    return Err(HttpError::BodyTooLarge { len, cap });
                 }
                 read_body(r, len)?
             }
@@ -299,6 +324,24 @@ impl Response {
         Self {
             status: 400,
             reason: "Bad Request".into(),
+            headers: vec![
+                ("content-type".into(), "text/plain".into()),
+                ("content-length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// A `413 Payload Too Large` naming the declared size and the cap it
+    /// broke — the answer to a well-framed request whose body the server
+    /// refuses to buffer.
+    pub fn payload_too_large(len: usize, cap: usize) -> Self {
+        let body = Bytes::from(format!(
+            "payload too large: {len} bytes declared, cap is {cap}"
+        ));
+        Self {
+            status: 413,
+            reason: "Payload Too Large".into(),
             headers: vec![
                 ("content-type".into(), "text/plain".into()),
                 ("content-length".into(), body.len().to_string()),
@@ -471,8 +514,9 @@ impl<'a> ChunkServer<'a> {
     }
 
     /// Handles one keep-alive connection to completion. Malformed input is
-    /// answered with a `400` and the connection is closed (framing can no
-    /// longer be trusted) — the serving thread itself survives.
+    /// answered with a `400`, an over-cap body with a `413`, and the
+    /// connection is closed (the unread body would poison keep-alive
+    /// framing) — the serving thread itself survives.
     pub fn serve_connection(&self, stream: TcpStream) -> Result<(), HttpError> {
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
@@ -487,6 +531,10 @@ impl<'a> ChunkServer<'a> {
                 }
                 Err(HttpError::Malformed(what)) => {
                     let _ = Response::bad_request(&what).write_to(&mut writer);
+                    break;
+                }
+                Err(HttpError::BodyTooLarge { len, cap }) => {
+                    let _ = Response::payload_too_large(len, cap).write_to(&mut writer);
                     break;
                 }
                 Err(e) => return Err(e),
@@ -599,14 +647,80 @@ mod tests {
     }
 
     #[test]
-    fn oversized_request_body_is_malformed() {
+    fn oversized_request_body_is_body_too_large() {
         let raw = format!(
             "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
             MAX_REQUEST_BODY_BYTES + 1
         )
         .into_bytes();
         let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
-        assert!(matches!(err, HttpError::Malformed(ref w) if w.contains("exceeds")), "{err:?}");
+        assert!(
+            matches!(
+                err,
+                HttpError::BodyTooLarge {
+                    len,
+                    cap: MAX_REQUEST_BODY_BYTES,
+                } if len == MAX_REQUEST_BODY_BYTES + 1
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn body_cap_is_inclusive_and_configurable() {
+        let at_cap = |len: usize| {
+            format!("POST /x HTTP/1.1\r\ncontent-length: {len}\r\n\r\n{}", "b".repeat(len))
+                .into_bytes()
+        };
+        // Exactly cap bytes pass; one more is rejected as too large, with
+        // the custom cap reported.
+        let req = Request::read_from_with_cap(&mut Cursor::new(at_cap(16)), 16)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body.len(), 16);
+        let err = Request::read_from_with_cap(&mut Cursor::new(at_cap(17)), 16).unwrap_err();
+        assert!(
+            matches!(err, HttpError::BodyTooLarge { len: 17, cap: 16 }),
+            "{err:?}"
+        );
+        // The default entry point enforces the default cap.
+        let req = Request::read_from(&mut Cursor::new(at_cap(MAX_REQUEST_BODY_BYTES)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body.len(), MAX_REQUEST_BODY_BYTES);
+    }
+
+    #[test]
+    fn payload_too_large_response_round_trips() {
+        let resp = Response::payload_too_large(2_000_000, MAX_REQUEST_BODY_BYTES);
+        assert_eq!(resp.status, 413);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back.status, 413);
+        let body = String::from_utf8_lossy(&back.body).to_string();
+        assert!(body.contains("2000000"), "{body}");
+        assert!(body.contains(&MAX_REQUEST_BODY_BYTES.to_string()), "{body}");
+    }
+
+    #[test]
+    fn oversized_body_over_tcp_gets_413_and_server_survives() {
+        use std::io::Write as _;
+        let addr = ChunkServer::spawn(envivio_video()).unwrap();
+        let mut big = TcpStream::connect(addr).unwrap();
+        let head = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_REQUEST_BODY_BYTES + 1
+        );
+        big.write_all(head.as_bytes()).unwrap();
+        big.flush().unwrap();
+        let resp = Response::read_from(&mut BufReader::new(&mut big)).unwrap();
+        assert_eq!(resp.status, 413);
+        drop(big);
+        // The worker pool is intact: a well-formed request still succeeds.
+        let mut client = HttpClient::new(TcpStream::connect(addr).unwrap());
+        assert_eq!(client.get("/manifest.mpd").unwrap().status, 200);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! round-trip carrying the player's observed state. Per-call round-trip
 //! latencies are recorded for the benchmark report.
 
-use crate::proto::{DecisionReply, DecisionRequest, LastChunk, ProtoError, SessionSpec};
+use crate::proto::{
+    decode_bulk_reply, encode_bulk, BulkSlot, DecisionReply, DecisionRequest, ProtoError,
+    SessionSpec,
+};
 use abr_core::{BitrateController, ControllerContext, Decision};
 use abr_net::http::{HttpClient, HttpError};
 use abr_video::LevelIdx;
@@ -82,6 +85,23 @@ impl ServeClient {
         DecisionReply::decode(&body).map_err(ServeError::Proto)
     }
 
+    /// Requests decisions for a whole batch of sessions in one
+    /// `POST /decisions` round-trip. Slots are positional: `slots[i]`
+    /// answers `reqs[i]`, carrying either the decision or the (status,
+    /// message) refusal the scalar endpoint would have returned.
+    pub fn decisions(&mut self, reqs: &[DecisionRequest]) -> Result<Vec<BulkSlot>, ServeError> {
+        let body = self.post_ok("/decisions", encode_bulk(reqs))?;
+        let slots = decode_bulk_reply(&body).map_err(ServeError::Proto)?;
+        if slots.len() != reqs.len() {
+            return Err(ServeError::Proto(ProtoError::Bad(format!(
+                "{} requests but {} reply slots",
+                reqs.len(),
+                slots.len()
+            ))));
+        }
+        Ok(slots)
+    }
+
     /// Retires a session.
     pub fn close_session(&mut self, sid: u64) -> Result<(), ServeError> {
         self.post_ok("/close", format!("sid {sid}\n")).map(|_| ())
@@ -139,29 +159,7 @@ impl BitrateController for RemoteController {
     }
 
     fn decide(&mut self, ctx: &ControllerContext<'_>) -> Decision {
-        let last = (ctx.chunk_index > 0).then(|| {
-            let level = ctx
-                .prev_level
-                .expect("chunk > 0 implies a previous level");
-            let throughput_kbps = ctx
-                .last_throughput_kbps
-                .expect("chunk > 0 implies a measured throughput");
-            LastChunk {
-                level: level.get(),
-                throughput_kbps,
-                // Reconstruct the wall-clock download time from what the
-                // session loop exposes; reported for the server's logs,
-                // not used in the control state.
-                download_secs: ctx.video.chunk_size_kbits(ctx.chunk_index - 1, level)
-                    / throughput_kbps,
-            }
-        });
-        let req = DecisionRequest {
-            sid: self.sid,
-            chunk: ctx.chunk_index,
-            buffer_secs: ctx.buffer_secs,
-            last,
-        };
+        let req = DecisionRequest::from_context(self.sid, ctx);
         let start = Instant::now();
         let reply = self
             .client

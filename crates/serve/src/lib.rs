@@ -8,7 +8,9 @@
 //! * [`server`] — a multi-threaded HTTP/1.1 service on `abr-net`'s
 //!   substrate: `POST /session` registers a session (backend, predictor,
 //!   QoE knobs, and the video as a DASH manifest), `POST /decision` maps a
-//!   reported player state to the next bitrate, `GET /metrics` exposes
+//!   reported player state to the next bitrate, `POST /decisions` answers
+//!   a whole batch of session states in one round-trip (positional slots,
+//!   per-slot errors), `GET /metrics` exposes
 //!   plain-text counters. An eager acceptor thread plus a fixed worker
 //!   pool; FastMPC tables come from one process-wide
 //!   [`abr_fastmpc::TableCache`], so a thousand sessions on the same video
@@ -21,7 +23,9 @@
 //!   `decide` is a real socket round-trip, pluggable into any driver.
 //! * [`loadgen`] — the closed-loop load generator: K concurrent
 //!   trace-driven sessions, exact client-observed latency quantiles, and
-//!   the remote-vs-in-process differential check.
+//!   the remote-vs-in-process differential check. With `batch > 1` it
+//!   becomes an aggregating proxy, coalescing a group of sessions into
+//!   one bulk request per chunk tick.
 //!
 //! The differential guarantee is the crate's spine: `tests/differential.rs`
 //! and the `serve-bench` harness gate assert that every remote session's
@@ -43,6 +47,9 @@ pub use backend::{Backend, PredictorKind};
 pub use client::{RemoteController, ServeClient, ServeError};
 pub use loadgen::{run_load, LoadOptions, LoadReport};
 pub use metrics::{exact_quantile_us, LatencyHistogram, Metrics};
-pub use proto::{DecisionReply, DecisionRequest, LastChunk, ProtoError, SessionSpec};
+pub use proto::{
+    decode_bulk, decode_bulk_reply, encode_bulk, encode_bulk_reply, BulkSlot, DecisionReply,
+    DecisionRequest, LastChunk, ProtoError, SessionSpec,
+};
 pub use server::{AbrService, DecisionServer, ServerHandle};
 pub use store::{DecideError, SessionState, SessionStore};

@@ -7,20 +7,31 @@
 //! player's state, and each reply feeds straight back into the simulation
 //! loop (closed loop, not replayed requests).
 //!
-//! The correctness anchor: with `verify` on (the default), each thread
-//! also runs the identical session with the real in-process controller and
-//! compares the two outcomes — every chunk record and the final QoE must
+//! With `batch > 1` the generator becomes an *aggregating proxy*: each
+//! thread drives a group of that many virtual sessions in lockstep via
+//! [`abr_sim::SessionStepper`] and coalesces the group's per-chunk state
+//! into one bulk `POST /decisions` request, so the per-decision wire cost
+//! is the round-trip divided by the group's decision count.
+//!
+//! The correctness anchor: with `verify` on (the default), each session —
+//! scalar or batched — is also run with the real in-process controller and
+//! the two outcomes compared: every chunk record and the final QoE must
 //! match *bit for bit*. Any divergence counts as a mismatch; the harness
 //! and CI gate assert zero.
 
 use crate::backend::{Backend, PredictorKind};
-use crate::client::RemoteController;
+use crate::client::{RemoteController, ServeClient};
 use crate::metrics::exact_quantile_us;
-use crate::proto::SessionSpec;
-use abr_sim::run_session;
+use crate::proto::{DecisionRequest, SessionSpec};
+use abr_core::Decision;
+use abr_fastmpc::FastMpcTable;
+use abr_sim::{
+    run_session, SessionResult, SessionScratch, SessionStepper, SimConfig, TraceDownloader,
+};
 use abr_trace::{Dataset, Trace};
-use abr_video::envivio_video;
+use abr_video::{envivio_video, LevelIdx, Video};
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Load-generator configuration.
@@ -36,10 +47,17 @@ pub struct LoadOptions {
     pub seed: u64,
     /// Run the in-process twin and compare bit-for-bit.
     pub verify: bool,
+    /// Virtual sessions coalesced per bulk `POST /decisions` request.
+    /// 1 (the default) keeps the one-thread-per-session scalar mode;
+    /// `K > 1` groups K sessions per thread, stepped in lockstep with one
+    /// bulk request per chunk tick. Decisions are bit-identical either
+    /// way — only the wire cost changes.
+    pub batch: usize,
 }
 
 impl LoadOptions {
-    /// Defaults: FastMPC, harmonic prediction, verification on.
+    /// Defaults: FastMPC, harmonic prediction, verification on, scalar
+    /// requests.
     pub fn new(sessions: usize) -> Self {
         Self {
             sessions,
@@ -47,6 +65,7 @@ impl LoadOptions {
             predictor: PredictorKind::Harmonic,
             seed: 42,
             verify: true,
+            batch: 1,
         }
     }
 }
@@ -58,6 +77,8 @@ pub struct LoadReport {
     pub backend: Backend,
     /// Sessions completed.
     pub sessions: usize,
+    /// Sessions coalesced per bulk request (1 = scalar `/decision` mode).
+    pub batch: usize,
     /// Total remote decisions served.
     pub decisions: u64,
     /// Wall-clock seconds for the whole run.
@@ -108,60 +129,77 @@ pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
         ))
     });
 
-    struct SessionOutcome {
-        latencies_nanos: Vec<u64>,
-        decisions: u64,
-        mismatch: Option<String>,
-    }
-
+    let batch = opts.batch.max(1);
     let started = Instant::now();
-    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = traces
-            .iter()
-            .enumerate()
-            .map(|(i, trace)| {
-                let video = &video;
-                let sim_cfg = &sim_cfg;
-                let table = table.as_ref();
-                scope.spawn(move || {
-                    let mut spec = SessionSpec::paper_default(opts.backend, video.clone());
-                    spec.predictor = opts.predictor;
-                    let mut remote = RemoteController::register(addr, &spec)
-                        .unwrap_or_else(|e| panic!("session {i}: register failed: {e}"));
-                    let remote_result = run_session(
-                        &mut remote,
-                        opts.predictor.build(),
-                        trace,
-                        video,
-                        sim_cfg,
-                    );
-                    let latencies_nanos = remote
-                        .finish()
-                        .unwrap_or_else(|e| panic!("session {i}: close failed: {e}"));
-                    let decisions = remote_result.records.len() as u64;
-
-                    let mismatch = opts.verify.then(|| {
-                        let mut local =
-                            opts.backend.build(table, &sim_cfg.weights, spec.horizon);
-                        let local_result = run_session(
-                            local.as_mut(),
+    let outcomes: Vec<SessionOutcome> = if batch > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = traces
+                .chunks(batch)
+                .enumerate()
+                .map(|(g, group)| {
+                    let video = &video;
+                    let sim_cfg = &sim_cfg;
+                    let table = table.as_ref();
+                    scope.spawn(move || {
+                        drive_group(addr, opts, video, sim_cfg, table, g * batch, group)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = traces
+                .iter()
+                .enumerate()
+                .map(|(i, trace)| {
+                    let video = &video;
+                    let sim_cfg = &sim_cfg;
+                    let table = table.as_ref();
+                    scope.spawn(move || {
+                        let mut spec =
+                            SessionSpec::paper_default(opts.backend, video.clone());
+                        spec.predictor = opts.predictor;
+                        let mut remote = RemoteController::register(addr, &spec)
+                            .unwrap_or_else(|e| panic!("session {i}: register failed: {e}"));
+                        let remote_result = run_session(
+                            &mut remote,
                             opts.predictor.build(),
                             trace,
                             video,
                             sim_cfg,
                         );
-                        diff_sessions(i, &remote_result, &local_result)
-                    });
-                    SessionOutcome {
-                        latencies_nanos,
-                        decisions,
-                        mismatch: mismatch.flatten(),
-                    }
+                        let latencies_nanos = remote
+                            .finish()
+                            .unwrap_or_else(|e| panic!("session {i}: close failed: {e}"));
+                        let decisions = remote_result.records.len() as u64;
+
+                        let mismatch = opts.verify.then(|| {
+                            let mut local =
+                                opts.backend.build(table, &sim_cfg.weights, spec.horizon);
+                            let local_result = run_session(
+                                local.as_mut(),
+                                opts.predictor.build(),
+                                trace,
+                                video,
+                                sim_cfg,
+                            );
+                            diff_sessions(i, &remote_result, &local_result)
+                        });
+                        SessionOutcome {
+                            latencies_nanos,
+                            decisions,
+                            mismatch: mismatch.flatten(),
+                        }
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
     let elapsed_secs = started.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = outcomes
@@ -181,6 +219,7 @@ pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
     LoadReport {
         backend: opts.backend,
         sessions: opts.sessions,
+        batch,
         decisions,
         elapsed_secs,
         decisions_per_sec: decisions as f64 / elapsed_secs.max(1e-9),
@@ -192,6 +231,144 @@ pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
         mismatches: mismatch_details.len(),
         mismatch_details,
     }
+}
+
+/// What one virtual session contributed to the aggregate report.
+struct SessionOutcome {
+    latencies_nanos: Vec<u64>,
+    decisions: u64,
+    mismatch: Option<String>,
+}
+
+/// Drives one group of virtual sessions in lockstep over a single
+/// connection: every chunk tick coalesces the group's live sessions into
+/// one bulk `POST /decisions` round-trip, and each recorded per-decision
+/// latency is that round-trip divided by the tick's decision count.
+///
+/// Sessions in a group start together but finish independently (traces
+/// differ), so late ticks naturally carry fewer requests — exactly the
+/// ragged tail the bulk endpoint's positional slots are for.
+fn drive_group(
+    addr: SocketAddr,
+    opts: &LoadOptions,
+    video: &Video,
+    sim_cfg: &SimConfig,
+    table: Option<&Arc<FastMpcTable>>,
+    base: usize,
+    traces: &[Trace],
+) -> Vec<SessionOutcome> {
+    let mut client = ServeClient::connect(addr)
+        .unwrap_or_else(|e| panic!("group at session {base}: connect failed: {e}"));
+    let mut horizon = 0;
+    let sids: Vec<u64> = (0..traces.len())
+        .map(|j| {
+            let mut spec = SessionSpec::paper_default(opts.backend, video.clone());
+            spec.predictor = opts.predictor;
+            horizon = spec.horizon;
+            client
+                .register(&spec)
+                .unwrap_or_else(|e| panic!("session {}: register failed: {e}", base + j))
+        })
+        .collect();
+
+    let mut scratches: Vec<SessionScratch> =
+        traces.iter().map(|_| SessionScratch::new()).collect();
+    let mut outs: Vec<SessionResult> =
+        traces.iter().map(|_| SessionResult::default()).collect();
+    let mut latencies_nanos = Vec::new();
+    {
+        let mut steppers: Vec<_> = scratches
+            .iter_mut()
+            .zip(outs.iter_mut())
+            .zip(traces)
+            .map(|((scratch, out), trace)| {
+                SessionStepper::start(
+                    scratch,
+                    out,
+                    opts.predictor.build(),
+                    TraceDownloader::new(trace),
+                    trace,
+                    video,
+                    sim_cfg,
+                )
+            })
+            .collect();
+        loop {
+            let mut tick: Vec<_> = steppers
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, s)| !s.is_done())
+                .collect();
+            if tick.is_empty() {
+                break;
+            }
+            let reqs: Vec<DecisionRequest> = tick
+                .iter_mut()
+                .map(|(j, s)| DecisionRequest::from_context(sids[*j], &s.context()))
+                .collect();
+            let start = Instant::now();
+            let slots = client
+                .decisions(&reqs)
+                .unwrap_or_else(|e| panic!("bulk decision at session {base}: {e}"));
+            let per_decision_nanos = start.elapsed().as_nanos() as u64 / reqs.len() as u64;
+            for ((j, s), slot) in tick.iter_mut().zip(slots) {
+                let reply = slot.unwrap_or_else(|(status, msg)| {
+                    panic!("session {}: bulk slot refused: {status} {msg}", base + *j)
+                });
+                assert!(
+                    reply.level < video.ladder().len(),
+                    "bulk decision level {} off the ladder",
+                    reply.level
+                );
+                s.apply(Decision {
+                    level: LevelIdx(reply.level),
+                    startup_wait_secs: reply.startup_wait_secs,
+                });
+                latencies_nanos.push(per_decision_nanos);
+            }
+        }
+        for s in steppers {
+            // The scalar path's RemoteController names sessions "remote";
+            // keep the batched results byte-identical to it.
+            s.finish("remote");
+        }
+    }
+    for (j, &sid) in sids.iter().enumerate() {
+        client
+            .close_session(sid)
+            .unwrap_or_else(|e| panic!("session {}: close failed: {e}", base + j));
+    }
+
+    outs.into_iter()
+        .enumerate()
+        .map(|(j, remote_result)| {
+            let mismatch = opts
+                .verify
+                .then(|| {
+                    let mut local = opts.backend.build(table, &sim_cfg.weights, horizon);
+                    let local_result = run_session(
+                        local.as_mut(),
+                        opts.predictor.build(),
+                        &traces[j],
+                        video,
+                        sim_cfg,
+                    );
+                    diff_sessions(base + j, &remote_result, &local_result)
+                })
+                .flatten();
+            SessionOutcome {
+                // Latencies are per-request and shared by the whole group;
+                // attach them once so aggregation does not double-count.
+                latencies_nanos: if j == 0 {
+                    std::mem::take(&mut latencies_nanos)
+                } else {
+                    Vec::new()
+                },
+                decisions: remote_result.records.len() as u64,
+                mismatch,
+            }
+        })
+        .collect()
 }
 
 /// Compares a remote session against its in-process twin; `None` when

@@ -21,6 +21,7 @@
 //! differential guarantee.
 
 use crate::backend::{Backend, PredictorKind};
+use abr_core::ControllerContext;
 use abr_net::mpd;
 use abr_sim::{RobustBound, SimConfig};
 use abr_video::{QoeWeights, QualityFn, Video};
@@ -257,6 +258,33 @@ impl DecisionRequest {
         out
     }
 
+    /// Builds the request a client sends for the player state in `ctx`,
+    /// reconstructing the finished chunk's wall-clock download time from
+    /// its size and measured throughput (reported for the server's logs,
+    /// not used in the control state).
+    pub fn from_context(sid: u64, ctx: &ControllerContext<'_>) -> Self {
+        let last = (ctx.chunk_index > 0).then(|| {
+            let level = ctx
+                .prev_level
+                .expect("chunk > 0 implies a previous level");
+            let throughput_kbps = ctx
+                .last_throughput_kbps
+                .expect("chunk > 0 implies a measured throughput");
+            LastChunk {
+                level: level.get(),
+                throughput_kbps,
+                download_secs: ctx.video.chunk_size_kbits(ctx.chunk_index - 1, level)
+                    / throughput_kbps,
+            }
+        });
+        Self {
+            sid,
+            chunk: ctx.chunk_index,
+            buffer_secs: ctx.buffer_secs,
+            last,
+        }
+    }
+
     /// Decodes a request body.
     pub fn decode(body: &str) -> Result<Self, ProtoError> {
         let (fields, _) = split_fields(body)?;
@@ -316,6 +344,115 @@ impl DecisionReply {
             startup_wait_secs,
         })
     }
+}
+
+/// One positional slot of a bulk `POST /decisions` reply: the decision,
+/// or the per-slot refusal (`status`, single-line message) that the
+/// scalar `/decision` endpoint would have answered with.
+pub type BulkSlot = Result<DecisionReply, (u16, String)>;
+
+/// Encodes a bulk `POST /decisions` body: a `count N` line, then the `N`
+/// per-session request blocks separated by blank lines. Each block is
+/// exactly one [`DecisionRequest::encode`] body, so every float crosses
+/// the wire with the same bit-exact formatting as the scalar endpoint.
+pub fn encode_bulk(reqs: &[DecisionRequest]) -> String {
+    let mut out = String::with_capacity(16 + reqs.len() * 96);
+    out.push_str(&format!("count {}\n", reqs.len()));
+    for req in reqs {
+        out.push('\n');
+        out.push_str(&req.encode());
+    }
+    out
+}
+
+/// Decodes a bulk request body; the declared `count` must match the
+/// number of blocks.
+pub fn decode_bulk(body: &str) -> Result<Vec<DecisionRequest>, ProtoError> {
+    let (count, blocks) = split_blocks(body)?;
+    let reqs = blocks
+        .iter()
+        .map(|b| DecisionRequest::decode(b))
+        .collect::<Result<Vec<_>, _>>()?;
+    if reqs.len() != count {
+        return Err(ProtoError::Bad(format!(
+            "count {count} but {} request blocks",
+            reqs.len()
+        )));
+    }
+    Ok(reqs)
+}
+
+/// Encodes a bulk reply: `count N`, then one blank-line-separated block
+/// per slot — a [`DecisionReply::encode`] body, or a single
+/// `error <status> <message>` line for a refused slot. Slots are strictly
+/// positional: slot `i` answers request block `i`.
+pub fn encode_bulk_reply(slots: &[BulkSlot]) -> String {
+    let mut out = String::with_capacity(16 + slots.len() * 32);
+    out.push_str(&format!("count {}\n", slots.len()));
+    for slot in slots {
+        out.push('\n');
+        match slot {
+            Ok(reply) => out.push_str(&reply.encode()),
+            Err((status, message)) => out.push_str(&format!("error {status} {message}\n")),
+        }
+    }
+    out
+}
+
+/// Decodes a bulk reply body into positional slots.
+pub fn decode_bulk_reply(body: &str) -> Result<Vec<BulkSlot>, ProtoError> {
+    let (count, blocks) = split_blocks(body)?;
+    let mut slots = Vec::with_capacity(blocks.len());
+    for block in &blocks {
+        if let Some(rest) = block.strip_prefix("error ") {
+            let rest = rest.trim_end_matches('\n');
+            let (status, message) = rest
+                .split_once(' ')
+                .ok_or_else(|| ProtoError::Bad(format!("error slot {rest:?}")))?;
+            let status: u16 = status
+                .parse()
+                .map_err(|_| ProtoError::Bad(format!("error status {status:?}")))?;
+            slots.push(Err((status, message.to_string())));
+        } else {
+            slots.push(Ok(DecisionReply::decode(block)?));
+        }
+    }
+    if slots.len() != count {
+        return Err(ProtoError::Bad(format!(
+            "count {count} but {} reply blocks",
+            slots.len()
+        )));
+    }
+    Ok(slots)
+}
+
+/// Splits a bulk body into its declared count and blank-line-separated
+/// blocks (each block returned with its trailing newlines intact).
+fn split_blocks(body: &str) -> Result<(usize, Vec<String>), ProtoError> {
+    let mut lines = body.lines();
+    let count: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("count "))
+        .ok_or(ProtoError::Missing("count"))?
+        .trim()
+        .parse()
+        .map_err(|_| ProtoError::Bad("count".into()))?;
+    let mut blocks = Vec::with_capacity(count);
+    let mut block = String::new();
+    // The sentinel empty line flushes a final block with no trailing
+    // separator.
+    for line in lines.chain(std::iter::once("")) {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            if !block.is_empty() {
+                blocks.push(std::mem::take(&mut block));
+            }
+        } else {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    Ok((count, blocks))
 }
 
 /// Splits a body into `key value` fields, stopping at a bare `manifest`
@@ -485,5 +622,137 @@ mod tests {
             SessionSpec::decode(&no_manifest),
             Err(ProtoError::Missing("manifest"))
         ));
+    }
+
+    #[test]
+    fn bulk_request_round_trips_bit_exactly() {
+        let reqs = vec![
+            DecisionRequest { sid: 3, chunk: 0, buffer_secs: 0.0, last: None },
+            DecisionRequest {
+                sid: 9,
+                chunk: 17,
+                buffer_secs: 21.937_812_046_512_345,
+                last: Some(LastChunk {
+                    level: 4,
+                    throughput_kbps: 2_831.556_677_889_901,
+                    download_secs: 1.059_283_746_501_982_3,
+                }),
+            },
+            DecisionRequest { sid: 3, chunk: 1, buffer_secs: 4.0, last: Some(LastChunk {
+                level: 0,
+                throughput_kbps: 512.0,
+                download_secs: 2.734_375,
+            }) },
+        ];
+        let back = decode_bulk(&encode_bulk(&reqs)).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(&reqs) {
+            assert_eq!(a.sid, b.sid);
+            assert_eq!(a.chunk, b.chunk);
+            assert_eq!(a.buffer_secs.to_bits(), b.buffer_secs.to_bits());
+            match (&a.last, &b.last) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.level, y.level);
+                    assert_eq!(x.throughput_kbps.to_bits(), y.throughput_kbps.to_bits());
+                    assert_eq!(x.download_secs.to_bits(), y.download_secs.to_bits());
+                }
+                other => panic!("last mismatch: {other:?}"),
+            }
+        }
+        // The empty batch is legal and round-trips.
+        assert_eq!(decode_bulk(&encode_bulk(&[])).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bulk_reply_round_trips_with_positional_errors() {
+        let slots: Vec<BulkSlot> = vec![
+            Ok(DecisionReply { level: 3, startup_wait_secs: None }),
+            Err((404, "unknown session 77".to_string())),
+            Ok(DecisionReply {
+                level: 0,
+                startup_wait_secs: Some(0.728_501_962_348_715_6),
+            }),
+            Err((409, "out of order: expected chunk 4, got 9".to_string())),
+        ];
+        let back = decode_bulk_reply(&encode_bulk_reply(&slots)).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back[0], slots[0]);
+        assert_eq!(back[1], slots[1]);
+        assert_eq!(back[3], slots[3]);
+        let (a, b) = (back[2].as_ref().unwrap(), slots[2].as_ref().unwrap());
+        assert_eq!(a.level, b.level);
+        assert_eq!(
+            a.startup_wait_secs.unwrap().to_bits(),
+            b.startup_wait_secs.unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn bulk_decode_rejects_bad_framing() {
+        assert!(matches!(
+            decode_bulk("sid 1\nchunk 0\nbuffer 0\n"),
+            Err(ProtoError::Missing("count"))
+        ));
+        assert!(matches!(
+            decode_bulk("count two\n\nsid 1\nchunk 0\nbuffer 0\n"),
+            Err(ProtoError::Bad(_))
+        ));
+        // Declared count disagreeing with the block count.
+        assert!(matches!(
+            decode_bulk("count 2\n\nsid 1\nchunk 0\nbuffer 0\n"),
+            Err(ProtoError::Bad(_))
+        ));
+        assert!(matches!(
+            decode_bulk_reply("count 1\n\nerror notanumber nope\n"),
+            Err(ProtoError::Bad(_))
+        ));
+        assert!(matches!(
+            decode_bulk_reply("count 1\n\nerror 404\n"),
+            Err(ProtoError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn from_context_matches_the_remote_controller_shape() {
+        use abr_video::LevelIdx;
+        let video = envivio_video();
+        let ctx = ControllerContext {
+            chunk_index: 5,
+            buffer_secs: 11.25,
+            prev_level: Some(LevelIdx(2)),
+            prediction_kbps: Some(1500.0),
+            robust_lower_kbps: Some(1200.0),
+            last_throughput_kbps: Some(1421.875),
+            recent_low_buffer: false,
+            startup: false,
+            video: &video,
+            buffer_max_secs: 30.0,
+        };
+        let req = DecisionRequest::from_context(42, &ctx);
+        assert_eq!(req.sid, 42);
+        assert_eq!(req.chunk, 5);
+        assert_eq!(req.buffer_secs.to_bits(), 11.25f64.to_bits());
+        let last = req.last.unwrap();
+        assert_eq!(last.level, 2);
+        assert_eq!(last.throughput_kbps.to_bits(), 1421.875f64.to_bits());
+        assert_eq!(
+            last.download_secs.to_bits(),
+            (video.chunk_size_kbits(4, LevelIdx(2)) / 1421.875).to_bits()
+        );
+        // Chunk 0 carries no report.
+        let first = ControllerContext {
+            chunk_index: 0,
+            buffer_secs: 0.0,
+            prev_level: None,
+            prediction_kbps: None,
+            robust_lower_kbps: None,
+            last_throughput_kbps: None,
+            recent_low_buffer: false,
+            startup: true,
+            video: &video,
+            buffer_max_secs: 30.0,
+        };
+        assert!(DecisionRequest::from_context(1, &first).last.is_none());
     }
 }

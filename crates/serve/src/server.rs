@@ -9,9 +9,9 @@
 //! the next connection.
 
 use crate::metrics::Metrics;
-use crate::proto::{DecisionRequest, SessionSpec};
+use crate::proto::{decode_bulk, encode_bulk_reply, BulkSlot, DecisionRequest, SessionSpec};
 use crate::store::{DecideError, SessionStore};
-use abr_net::http::{HttpError, Request, Response};
+use abr_net::http::{HttpError, Request, Response, MAX_REQUEST_BODY_BYTES};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -83,6 +83,36 @@ impl AbrService {
                     Err(e) => self.reject(decide_error_response(&e)),
                 }
             }
+            ("POST", "/decisions") => {
+                let reqs = match decode_bulk(&body()) {
+                    Ok(r) => r,
+                    Err(e) => return self.reject(Response::bad_request(&e.to_string())),
+                };
+                let start = Instant::now();
+                let outcomes = self.store.decide_bulk(&reqs);
+                // One store pass served the whole batch; attribute the
+                // amortized per-decision service time to each slot.
+                let per_slot_nanos =
+                    start.elapsed().as_nanos() as u64 / outcomes.len().max(1) as u64;
+                let slots: Vec<BulkSlot> = outcomes
+                    .into_iter()
+                    .map(|(token, result)| match result {
+                        Ok(reply) => {
+                            let stats = self
+                                .metrics
+                                .backend(token.expect("successful decide names its backend"));
+                            stats.decisions.fetch_add(1, Ordering::Relaxed);
+                            stats.latency.record(per_slot_nanos);
+                            Ok(reply)
+                        }
+                        Err(e) => {
+                            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                            Err((decide_error_status(&e), e.to_string()))
+                        }
+                    })
+                    .collect();
+                Response::ok(Bytes::from(encode_bulk_reply(&slots)), "text/plain")
+            }
             ("POST", "/close") => match parse_close_sid(&body()) {
                 Some(sid) if self.store.remove(sid) => {
                     self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
@@ -111,15 +141,21 @@ fn parse_close_sid(body: &str) -> Option<u64> {
         .and_then(|v| v.trim().parse().ok())
 }
 
-fn decide_error_response(e: &DecideError) -> Response {
-    let status = match e {
+/// The status the scalar `/decision` endpoint answers with for `e` — and
+/// the status a bulk reply slot carries, so per-slot refusals and whole
+/// responses speak the same language.
+fn decide_error_status(e: &DecideError) -> u16 {
+    match e {
         DecideError::UnknownSession(_) => 404,
         DecideError::OutOfOrder { .. } => 409,
         DecideError::SessionComplete => 410,
         DecideError::BadLevel(_) => 400,
-    };
+    }
+}
+
+fn decide_error_response(e: &DecideError) -> Response {
     let mut resp = Response::ok(Bytes::from(format!("error: {e}\n")), "text/plain");
-    resp.status = status;
+    resp.status = decide_error_status(e);
     resp
 }
 
@@ -163,8 +199,17 @@ pub struct DecisionServer;
 
 impl DecisionServer {
     /// Binds a loopback listener and starts `workers` worker threads (at
-    /// least 1) plus the acceptor.
+    /// least 1) plus the acceptor, with the default request-body cap.
     pub fn spawn(workers: usize) -> std::io::Result<ServerHandle> {
+        Self::spawn_with_body_cap(workers, MAX_REQUEST_BODY_BYTES)
+    }
+
+    /// [`spawn`](Self::spawn) with an explicit request-body cap in bytes.
+    /// A request declaring a larger `Content-Length` is answered `413`
+    /// without buffering the body. Deployments coalescing very large
+    /// batches onto `POST /decisions` can raise the cap; a server exposed
+    /// beyond loopback would lower it.
+    pub fn spawn_with_body_cap(workers: usize, body_cap: usize) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let workers = workers.max(1);
@@ -201,7 +246,7 @@ impl DecisionServer {
                 let conns = Arc::clone(&conns);
                 std::thread::spawn(move || {
                     while let Some(stream) = conns.pop() {
-                        let _ = serve_connection(&service, stream);
+                        let _ = serve_connection(&service, stream, body_cap);
                     }
                 })
             })
@@ -218,12 +263,18 @@ impl DecisionServer {
 }
 
 /// Serves one keep-alive connection until the peer closes, a `connection:
-/// close` is exchanged, or the request stream turns malformed.
-fn serve_connection(service: &AbrService, stream: TcpStream) -> Result<(), HttpError> {
+/// close` is exchanged, or the request stream turns malformed. An
+/// over-cap body is answered `413` (and the connection dropped, since the
+/// unread body would poison keep-alive framing).
+fn serve_connection(
+    service: &AbrService,
+    stream: TcpStream,
+    body_cap: usize,
+) -> Result<(), HttpError> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        match Request::read_from(&mut reader) {
+        match Request::read_from_with_cap(&mut reader, body_cap) {
             Ok(None) => return Ok(()), // peer closed cleanly
             Ok(Some(req)) => {
                 let close = req.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
@@ -235,6 +286,10 @@ fn serve_connection(service: &AbrService, stream: TcpStream) -> Result<(), HttpE
             }
             Err(HttpError::Malformed(what)) => {
                 let _ = Response::bad_request(&what).write_to(&mut writer);
+                return Ok(());
+            }
+            Err(HttpError::BodyTooLarge { len, cap }) => {
+                let _ = Response::payload_too_large(len, cap).write_to(&mut writer);
                 return Ok(());
             }
             Err(HttpError::TruncatedBody { expected, got }) => {
@@ -403,6 +458,69 @@ mod tests {
         assert_eq!(resp.status, 400);
         drop(bad);
         // Same (only) worker serves the next connection fine.
+        let mut c = client(&handle);
+        assert_eq!(c.get("/metrics").unwrap().status, 200);
+    }
+
+    #[test]
+    fn bulk_endpoint_answers_positionally() {
+        use crate::proto::{decode_bulk_reply, encode_bulk};
+        let handle = DecisionServer::spawn(2).unwrap();
+        let mut c = client(&handle);
+        let spec = SessionSpec::paper_default(Backend::FastMpc, envivio_video());
+        let mut sids = Vec::new();
+        for _ in 0..3 {
+            let resp = c
+                .post("/session", Bytes::from(spec.encode()), "text/plain")
+                .unwrap();
+            let sid: u64 = String::from_utf8_lossy(&resp.body)
+                .trim()
+                .strip_prefix("sid ")
+                .unwrap()
+                .parse()
+                .unwrap();
+            sids.push(sid);
+        }
+        // Three live sessions plus one unknown sid in slot 2.
+        let reqs: Vec<DecisionRequest> = [sids[0], sids[1], 9_999, sids[2]]
+            .iter()
+            .map(|&sid| DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None })
+            .collect();
+        let resp = c
+            .post("/decisions", Bytes::from(encode_bulk(&reqs)), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let slots = decode_bulk_reply(&String::from_utf8_lossy(&resp.body)).unwrap();
+        assert_eq!(slots.len(), 4);
+        assert!(slots[0].is_ok() && slots[1].is_ok() && slots[3].is_ok());
+        let (status, msg) = slots[2].as_ref().unwrap_err();
+        assert_eq!(*status, 404);
+        assert!(msg.contains("9999"), "{msg}");
+        // Server-side metrics account the batch per slot: three decisions,
+        // one rejection.
+        let text = String::from_utf8_lossy(&c.get("/metrics").unwrap().body).into_owned();
+        assert!(text.contains("decisions{backend=fastmpc} 3"), "{text}");
+        assert!(text.contains("requests_rejected 1"), "{text}");
+        // Garbage bulk framing is a 400 for the whole request.
+        assert_eq!(
+            c.post("/decisions", Bytes::from_static(b"nonsense"), "text/plain")
+                .unwrap()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn body_cap_is_configurable_and_maps_to_413() {
+        let handle = DecisionServer::spawn_with_body_cap(1, 64).unwrap();
+        let mut c = client(&handle);
+        // A registration body is far over a 64-byte cap: 413, not 400.
+        let spec = SessionSpec::paper_default(Backend::Rb, envivio_video());
+        let resp = c
+            .post("/session", Bytes::from(spec.encode()), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 413);
+        // The worker survives and small requests still fit under the cap.
         let mut c = client(&handle);
         assert_eq!(c.get("/metrics").unwrap().status, 200);
     }

@@ -226,6 +226,39 @@ impl SessionStore {
         }
     }
 
+    /// Resolves a whole batch of decision requests in one store pass:
+    /// requests are grouped by shard and each touched shard's lock is
+    /// taken exactly once, instead of once per request. Results are
+    /// positional (`results[i]` answers `reqs[i]`); each carries the
+    /// session's backend token when the session exists. Within a shard,
+    /// requests resolve in batch order, so a batch may legally carry the
+    /// same session twice with ascending chunk indices.
+    pub fn decide_bulk(
+        &self,
+        reqs: &[DecisionRequest],
+    ) -> Vec<(Option<&'static str>, Result<DecisionReply, DecideError>)> {
+        let mut results: Vec<_> = reqs
+            .iter()
+            .map(|r| (None, Err(DecideError::UnknownSession(r.sid))))
+            .collect();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, req) in reqs.iter().enumerate() {
+            by_shard[(req.sid % self.shards.len() as u64) as usize].push(i);
+        }
+        for (shard, idxs) in self.shards.iter().zip(&by_shard) {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut shard = shard.lock().unwrap();
+            for &i in idxs {
+                if let Some(state) = shard.get_mut(&reqs[i].sid) {
+                    results[i] = (Some(state.backend_token()), state.decide(&reqs[i]));
+                }
+            }
+        }
+        results
+    }
+
     /// Retires session `sid`; true if it existed.
     pub fn remove(&self, sid: u64) -> bool {
         self.shard(sid).lock().unwrap().remove(&sid).is_some()
@@ -334,6 +367,50 @@ mod tests {
         assert!(s.remove(sid));
         assert!(!s.remove(sid));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn decide_bulk_is_positional_and_matches_scalar() {
+        let s = store();
+        // Two live sessions plus a scalar twin of the first.
+        let a = s.register(SessionSpec::paper_default(Backend::FastMpc, envivio_video()));
+        let b = s.register(SessionSpec::paper_default(Backend::Bb, envivio_video()));
+        let twin = s.register(SessionSpec::paper_default(Backend::FastMpc, envivio_video()));
+        let batch = [first_request(a), first_request(777), first_request(b)];
+        let results = s.decide_bulk(&batch);
+        assert_eq!(results.len(), 3);
+        let (token_a, ra) = &results[0];
+        assert_eq!(*token_a, Some("fastmpc"));
+        let ra = ra.clone().unwrap();
+        assert_eq!(results[1], (None, Err(DecideError::UnknownSession(777))));
+        assert_eq!(results[2].0, Some("bb"));
+        assert!(results[2].1.is_ok());
+        // Bulk resolution equals the scalar path bit-for-bit.
+        let scalar = s
+            .with_session(twin, |st| st.decide(&first_request(twin)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ra.level, scalar.level);
+        // A duplicate sid in one batch resolves in order: chunk 1 then an
+        // out-of-order repeat of chunk 1.
+        let next = DecisionRequest {
+            sid: a,
+            chunk: 1,
+            buffer_secs: 4.0,
+            last: Some(LastChunk {
+                level: ra.level,
+                throughput_kbps: 1100.0,
+                download_secs: 1.5,
+            }),
+        };
+        let results = s.decide_bulk(&[next, next]);
+        assert!(results[0].1.is_ok());
+        assert_eq!(
+            results[1].1,
+            Err(DecideError::OutOfOrder { expected: 2, got: 1 })
+        );
+        // The empty batch is a no-op.
+        assert!(s.decide_bulk(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The kernel-level batch differential: `decide_batch` must equal
+//! `map(decide)` bit-for-bit for every backend the service hosts.
+//!
+//! The closed-loop tests in `differential.rs` cover batches that arise
+//! from real sessions stepping in lockstep; this file sweeps *synthetic*
+//! controller contexts drawn from a seeded generator, so the comparison
+//! also covers state combinations a single trace family would rarely
+//! produce (deep buffers with low predictions, panic flags at high
+//! levels, ragged chunk indices within one batch, mixed videos).
+//!
+//! Deliberately deterministic — a fixed linear congruential generator
+//! rather than a property-testing framework — so a failure always prints
+//! a reproducible seed and the sweep costs the same on every run.
+
+use abr_core::{BitrateController, ControllerContext, Decision};
+use abr_fastmpc::{FastMpcTable, TableConfig};
+use abr_serve::Backend;
+use abr_video::{envivio_video, Ladder, LevelIdx, QoeWeights, Video, VideoBuilder};
+use std::sync::Arc;
+
+const BUFFER_MAX_SECS: f64 = 30.0;
+const HORIZON: usize = 5;
+
+/// Knuth's MMIX constants; returns a uniform draw in `[0, 1)`.
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// An owned controller context (the real one borrows the video).
+struct CtxSpec {
+    chunk_index: usize,
+    buffer_secs: f64,
+    prev_level: Option<usize>,
+    prediction_kbps: Option<f64>,
+    robust_lower_kbps: Option<f64>,
+    last_throughput_kbps: Option<f64>,
+    recent_low_buffer: bool,
+    startup: bool,
+}
+
+impl CtxSpec {
+    /// Draws a context that satisfies the driver invariants: chunk 0 is
+    /// the startup phase with nothing observed yet; later chunks carry a
+    /// previous level, a prediction, a robust lower bound at or below it,
+    /// and the previous chunk's measured throughput.
+    fn random(state: &mut u64, chunks: usize, levels: usize) -> Self {
+        let chunk_index = (lcg(state) * chunks as f64) as usize;
+        if chunk_index == 0 {
+            return Self {
+                chunk_index: 0,
+                buffer_secs: 0.0,
+                prev_level: None,
+                prediction_kbps: None,
+                robust_lower_kbps: None,
+                last_throughput_kbps: None,
+                recent_low_buffer: false,
+                startup: true,
+            };
+        }
+        let prediction = 200.0 + lcg(state) * 4800.0;
+        Self {
+            chunk_index,
+            buffer_secs: 0.5 + lcg(state) * (BUFFER_MAX_SECS - 1.0),
+            prev_level: Some((lcg(state) * levels as f64) as usize),
+            prediction_kbps: Some(prediction),
+            robust_lower_kbps: Some(prediction / (1.0 + lcg(state))),
+            last_throughput_kbps: Some(200.0 + lcg(state) * 5800.0),
+            recent_low_buffer: lcg(state) < 0.25,
+            startup: false,
+        }
+    }
+
+    fn materialize<'a>(&self, video: &'a Video) -> ControllerContext<'a> {
+        ControllerContext {
+            chunk_index: self.chunk_index,
+            buffer_secs: self.buffer_secs,
+            prev_level: self.prev_level.map(LevelIdx),
+            prediction_kbps: self.prediction_kbps,
+            robust_lower_kbps: self.robust_lower_kbps,
+            last_throughput_kbps: self.last_throughput_kbps,
+            recent_low_buffer: self.recent_low_buffer,
+            startup: self.startup,
+            video,
+            buffer_max_secs: BUFFER_MAX_SECS,
+        }
+    }
+}
+
+/// Same table recipe as the load generator's in-process twin.
+fn make_table(video: &Video, weights: &QoeWeights) -> Arc<FastMpcTable> {
+    let mut cfg = TableConfig::with_levels(video.ladder().len(), BUFFER_MAX_SECS);
+    cfg.weights = weights.clone();
+    Arc::new(FastMpcTable::generate(video, BUFFER_MAX_SECS, cfg))
+}
+
+/// Two freshly built controllers of the same backend see the same context
+/// stream — one through `decide`, one through `decide_batch` — and must
+/// emit identical bits. Fresh pairs per call keep stateful controllers
+/// (FESTIVE's switch history, dash.js rules) in lockstep.
+fn assert_batch_matches_scalar(
+    backend: Backend,
+    ctxs: &[ControllerContext<'_>],
+    table: &Arc<FastMpcTable>,
+    weights: &QoeWeights,
+    seed: u64,
+) {
+    let mut scalar = backend.build(Some(table), weights, HORIZON);
+    let mut batched = backend.build(Some(table), weights, HORIZON);
+    let expect: Vec<Decision> = ctxs.iter().map(|c| scalar.decide(c)).collect();
+    let mut got = Vec::new();
+    batched.decide_batch(ctxs, &mut got);
+    assert_eq!(got.len(), expect.len(), "{backend}: seed {seed:#x} batch length");
+    for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+        assert_eq!(
+            g.level, e.level,
+            "{backend}: seed {seed:#x} ctx {i} level diverged"
+        );
+        assert_eq!(
+            g.startup_wait_secs.map(f64::to_bits),
+            e.startup_wait_secs.map(f64::to_bits),
+            "{backend}: seed {seed:#x} ctx {i} startup wait diverged"
+        );
+    }
+}
+
+/// The sweep: every backend, several seeds, batch sizes from a singleton
+/// through well past the service's typical group size.
+#[test]
+fn decide_batch_matches_scalar_for_every_backend() {
+    let video = envivio_video();
+    let weights = QoeWeights::balanced();
+    let table = make_table(&video, &weights);
+    let chunks = video.num_chunks();
+    let levels = video.ladder().len();
+    for backend in Backend::ALL {
+        for (round, &n) in [1usize, 7, 64, 256].iter().enumerate() {
+            let mut seed = 0x5EED_0001 + round as u64 * 0x9E37_79B9;
+            let start_seed = seed;
+            let specs: Vec<CtxSpec> = (0..n)
+                .map(|_| CtxSpec::random(&mut seed, chunks, levels))
+                .collect();
+            let ctxs: Vec<ControllerContext<'_>> =
+                specs.iter().map(|s| s.materialize(&video)).collect();
+            assert_batch_matches_scalar(backend, &ctxs, &table, &weights, start_seed);
+        }
+    }
+}
+
+/// A batch whose contexts reference *different* videos: the server hosts
+/// many sessions, and nothing guarantees a bulk request is homogeneous.
+/// The kernel must read the ladder and chunk geometry per context, never
+/// from the batch's first element.
+#[test]
+fn decide_batch_handles_mixed_video_batches() {
+    let video_a = envivio_video();
+    // Same shape (5 levels, 65 chunks, 4 s) so one FastMPC table stays
+    // dimensionally valid, but a shifted ladder: any kernel that caches
+    // the first context's video would mis-anchor half the batch.
+    let video_b = VideoBuilder::new(
+        Ladder::new(vec![300.0, 700.0, 1200.0, 2100.0, 2800.0]).unwrap(),
+    )
+    .chunks(video_a.num_chunks())
+    .chunk_secs(4.0)
+    .cbr();
+    let weights = QoeWeights::balanced();
+    let table = make_table(&video_a, &weights);
+    let chunks = video_a.num_chunks();
+    let levels = video_a.ladder().len();
+    for backend in Backend::ALL {
+        let mut seed = 0xA17E_0002;
+        let start_seed = seed;
+        let specs: Vec<CtxSpec> = (0..96)
+            .map(|_| CtxSpec::random(&mut seed, chunks, levels))
+            .collect();
+        let ctxs: Vec<ControllerContext<'_>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.materialize(if i % 2 == 0 { &video_a } else { &video_b }))
+            .collect();
+        assert_batch_matches_scalar(backend, &ctxs, &table, &weights, start_seed);
+    }
+}
+
+/// Degenerate inputs: the empty batch clears the output, and a batch of
+/// identical contexts is as valid as a diverse one.
+#[test]
+fn decide_batch_edge_cases() {
+    let video = envivio_video();
+    let weights = QoeWeights::balanced();
+    let table = make_table(&video, &weights);
+    for backend in Backend::ALL {
+        let mut c = backend.build(Some(&table), &weights, HORIZON);
+        let mut out = vec![Decision::level(LevelIdx(3))];
+        c.decide_batch(&[], &mut out);
+        assert!(out.is_empty(), "{backend}: empty batch must clear output");
+
+        let mut seed = 0xD0_0003;
+        let spec = CtxSpec::random(&mut seed, video.num_chunks(), video.ladder().len());
+        let ctxs: Vec<ControllerContext<'_>> =
+            (0..32).map(|_| spec.materialize(&video)).collect();
+        assert_batch_matches_scalar(backend, &ctxs, &table, &weights, 0xD0_0003);
+    }
+}

@@ -74,6 +74,49 @@ fn robustmpc_with_alternate_predictors_bit_identical() {
     }
 }
 
+/// The bulk path's headline gate: 32 FastMPC sessions driven 8-to-a-group
+/// through `POST /decisions`, every one verified bit-for-bit against its
+/// in-process twin — same guarantee as the scalar path, 1/8th the
+/// round-trips.
+#[test]
+fn bulk_decisions_bit_identical() {
+    let handle = DecisionServer::spawn(4).unwrap();
+    let mut opts = LoadOptions::new(32);
+    opts.backend = Backend::FastMpc;
+    opts.batch = 8;
+    let report = run_load(handle.addr(), &opts);
+    assert_eq!(report.batch, 8);
+    assert_eq!(
+        report.mismatches, 0,
+        "bulk decisions diverged:\n{}",
+        report.mismatch_details.join("\n")
+    );
+    assert_eq!(report.decisions, 32 * 65, "every chunk decided remotely");
+    assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+    assert!(handle.service().store().is_empty(), "sessions closed");
+}
+
+/// Bulk requests stay bit-identical for every backend, including a group
+/// size that does not divide the session count (ragged last group).
+#[test]
+fn bulk_all_backends_bit_identical() {
+    let handle = DecisionServer::spawn(4).unwrap();
+    for backend in Backend::ALL {
+        let mut opts = LoadOptions::new(10);
+        opts.backend = backend;
+        opts.seed = 1234;
+        opts.batch = 4; // groups of 4, 4, 2
+        let report = run_load(handle.addr(), &opts);
+        assert_eq!(
+            report.mismatches,
+            0,
+            "{backend} diverged under bulk:\n{}",
+            report.mismatch_details.join("\n")
+        );
+        assert_eq!(report.decisions, 10 * 65);
+    }
+}
+
 /// Sequential sessions on one server interleaved with concurrent ones:
 /// session state must be fully isolated per sid.
 #[test]

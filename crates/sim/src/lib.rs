@@ -33,6 +33,6 @@ pub use config::{LiveConfig, RobustBound, SimConfig, StartupPolicy};
 pub use metrics::{ChunkRecord, SessionResult};
 pub use session::{
     run_session, run_session_core, run_session_with, ChunkDownloader, DownloadOutcome,
-    SessionScratch, TraceDownloader,
+    SessionScratch, SessionStepper, TraceDownloader,
 };
 pub use timeline::{ascii_chart, buffer_timeline, TimelinePoint};

@@ -15,10 +15,16 @@
 //! predictor error window) and, combined with writing into a caller-owned
 //! [`SessionResult`], lets grid drivers run thousands of sessions without
 //! per-session allocations.
+//!
+//! The loop itself is factored as [`SessionStepper`] — an explicit
+//! per-chunk state machine (`context` → decide → `apply`) — so drivers
+//! that batch decisions across many sessions (the harness's lockstep grid
+//! path, the load generator's aggregating proxy) can interleave sessions
+//! chunk by chunk while staying bit-identical to back-to-back runs.
 
 use crate::config::{SimConfig, StartupPolicy};
 use crate::metrics::{ChunkRecord, SessionResult};
-use abr_core::{advance_buffer, BitrateController, ControllerContext};
+use abr_core::{advance_buffer, BitrateController, ControllerContext, Decision};
 use abr_predictor::{ErrorTracked, Predictor};
 use abr_trace::{Trace, TraceCursor};
 use abr_video::{LevelIdx, QoeBreakdown, Video};
@@ -98,6 +104,31 @@ pub trait ChunkDownloader {
             size_kbits,
             self.download_secs(index, level, size_kbits, start_secs),
         )
+    }
+}
+
+impl<D: ChunkDownloader + ?Sized> ChunkDownloader for &mut D {
+    fn download_secs(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        size_kbits: f64,
+        start_secs: f64,
+    ) -> f64 {
+        (**self).download_secs(index, level, size_kbits, start_secs)
+    }
+
+    // Forwarded explicitly: falling back to the default would wrap
+    // `download_secs` in a clean outcome and silently drop the inner
+    // downloader's faults.
+    fn download_outcome(
+        &mut self,
+        index: usize,
+        level: LevelIdx,
+        size_kbits: f64,
+        start_secs: f64,
+    ) -> DownloadOutcome {
+        (**self).download_outcome(index, level, size_kbits, start_secs)
     }
 }
 
@@ -214,6 +245,11 @@ pub fn run_session_with<P: Predictor>(
 /// The shared stepping loop behind both the simulator and the emulated
 /// player. `trace` supplies the oracle hint (the true upcoming mean
 /// throughput); `downloader` supplies per-chunk download times.
+///
+/// This is [`SessionStepper`] driven by one controller to completion; grid
+/// drivers that interleave many sessions (the harness's lockstep batch
+/// path, the load generator's aggregating proxy) drive the stepper
+/// directly instead.
 #[allow(clippy::too_many_arguments)]
 pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
     scratch: &mut SessionScratch,
@@ -225,61 +261,10 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
     video: &Video,
     cfg: &SimConfig,
 ) {
-    assert!(
-        cfg.buffer_max_secs >= video.chunk_secs(),
-        "buffer must hold at least one chunk"
-    );
     controller.reset();
-    let mut predictor = ErrorTracked::with_buffer(
-        predictor,
-        cfg.error_window,
-        std::mem::take(&mut scratch.errors),
-    );
-
-    let mut qoe = QoeBreakdown::default();
-    out.records.clear();
-    out.records.reserve(video.num_chunks());
-    out.aborted = false;
-    out.abort_secs = 0.0;
-    out.abort_retries = 0;
-    out.abort_wasted_kbits = 0.0;
-    let mut now = 0.0_f64; // wall clock
-    let mut buffer = 0.0_f64; // B_k
-    let mut prev_level = None;
-    let mut startup_secs = 0.0_f64;
-    let mut last_throughput = None;
-    let low_buffer_history = &mut scratch.low_buffer_history;
-    low_buffer_history.clear();
-    let mut hint_cursor = TraceCursor::new();
-
-    for k in 0..video.num_chunks() {
-        // Oracle predictors get the true mean upcoming throughput.
-        let horizon_end = now + cfg.hint_horizon_secs.max(video.chunk_secs());
-        let truth =
-            trace.integrate_kbits_at(&mut hint_cursor, now, horizon_end) / (horizon_end - now);
-        if truth > 0.0 {
-            predictor.hint_future(truth);
-        }
-
-        let prediction = predictor.predict();
-        let robust_lower = match cfg.robust_bound {
-            crate::config::RobustBound::MaxError => predictor.robust_lower_bound(),
-            crate::config::RobustBound::MeanError => {
-                prediction.map(|p| p / (1.0 + predictor.mean_error()))
-            }
-        };
-        let ctx = ControllerContext {
-            chunk_index: k,
-            buffer_secs: buffer,
-            prev_level,
-            prediction_kbps: prediction,
-            robust_lower_kbps: robust_lower,
-            last_throughput_kbps: last_throughput,
-            recent_low_buffer: low_buffer_history.iter().any(|&b| b),
-            startup: k == 0,
-            video,
-            buffer_max_secs: cfg.buffer_max_secs,
-        };
+    let mut stepper = SessionStepper::start(scratch, out, predictor, downloader, trace, video, cfg);
+    while !stepper.is_done() {
+        let ctx = stepper.context();
         let decision = controller.decide(&ctx);
         let level = decision.level;
         assert!(
@@ -287,20 +272,178 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
             "{} chose out-of-range level {level:?}",
             controller.name()
         );
+        stepper.apply(decision);
+    }
+    stepper.finish(controller.name());
+}
+
+/// One streaming session, unrolled into explicit steps so callers can
+/// interleave many sessions: [`context`](Self::context) exposes the state
+/// the controller sees for the next chunk, [`apply`](Self::apply) plays
+/// out the chosen download, [`finish`](Self::finish) writes the epilogue.
+///
+/// The chunk-by-chunk state machine is exactly [`run_session_core`]'s loop
+/// — `run_session_core` *is* this stepper driven by a single controller —
+/// so a batch driver that calls `context`/`apply` per session per chunk is
+/// bit-identical to running the sessions back to back. The harness's
+/// lockstep batch path and the load generator's aggregating proxy both
+/// lean on that equivalence.
+///
+/// Protocol per chunk: `context()` (any number of times — the oracle hint
+/// is applied once and the prediction cached), then `apply(decision)`.
+/// `context`/`apply` must not be called once [`is_done`](Self::is_done)
+/// returns true. The caller is responsible for validating the decision's
+/// level (out-of-range panics inside `apply` on chunk-size lookup,
+/// without the controller name `run_session_core` includes).
+#[derive(Debug)]
+pub struct SessionStepper<'a, P: Predictor, D: ChunkDownloader> {
+    scratch: &'a mut SessionScratch,
+    out: &'a mut SessionResult,
+    predictor: ErrorTracked<P>,
+    downloader: D,
+    trace: &'a Trace,
+    video: &'a Video,
+    cfg: &'a SimConfig,
+    qoe: QoeBreakdown,
+    hint_cursor: TraceCursor,
+    k: usize,
+    now: f64,       // wall clock
+    buffer: f64,    // B_k
+    prev_level: Option<LevelIdx>,
+    startup_secs: f64,
+    last_throughput: Option<f64>,
+    // True once this chunk's oracle hint has been applied and the
+    // prediction cached; reset by `apply` so repeated `context()` calls
+    // within one chunk are idempotent.
+    hinted: bool,
+    prediction: Option<f64>,
+    robust_lower: Option<f64>,
+    aborted: bool,
+}
+
+impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
+    /// Begins a session: clears `scratch`/`out` (retaining capacity) and
+    /// wraps `predictor` in error tracking. Does **not** reset the
+    /// controller — the caller owns it (a batch driver shares one
+    /// controller across many steppers).
+    pub fn start(
+        scratch: &'a mut SessionScratch,
+        out: &'a mut SessionResult,
+        predictor: P,
+        downloader: D,
+        trace: &'a Trace,
+        video: &'a Video,
+        cfg: &'a SimConfig,
+    ) -> Self {
+        assert!(
+            cfg.buffer_max_secs >= video.chunk_secs(),
+            "buffer must hold at least one chunk"
+        );
+        let predictor = ErrorTracked::with_buffer(
+            predictor,
+            cfg.error_window,
+            std::mem::take(&mut scratch.errors),
+        );
+        out.records.clear();
+        out.records.reserve(video.num_chunks());
+        out.aborted = false;
+        out.abort_secs = 0.0;
+        out.abort_retries = 0;
+        out.abort_wasted_kbits = 0.0;
+        scratch.low_buffer_history.clear();
+        Self {
+            scratch,
+            out,
+            predictor,
+            downloader,
+            trace,
+            video,
+            cfg,
+            qoe: QoeBreakdown::default(),
+            hint_cursor: TraceCursor::new(),
+            k: 0,
+            now: 0.0,
+            buffer: 0.0,
+            prev_level: None,
+            startup_secs: 0.0,
+            last_throughput: None,
+            hinted: false,
+            prediction: None,
+            robust_lower: None,
+            aborted: false,
+        }
+    }
+
+    /// True once every chunk has played out (or the downloader aborted).
+    pub fn is_done(&self) -> bool {
+        self.aborted || self.k >= self.video.num_chunks()
+    }
+
+    /// Index of the chunk the next [`context`](Self::context)/
+    /// [`apply`](Self::apply) pair concerns.
+    pub fn chunk_index(&self) -> usize {
+        self.k
+    }
+
+    /// The controller's view of the session for the current chunk. The
+    /// first call per chunk feeds the oracle hint and caches the
+    /// prediction; further calls return the same context.
+    pub fn context(&mut self) -> ControllerContext<'a> {
+        assert!(!self.is_done(), "context() on a finished session");
+        if !self.hinted {
+            // Oracle predictors get the true mean upcoming throughput.
+            let horizon_end = self.now + self.cfg.hint_horizon_secs.max(self.video.chunk_secs());
+            let truth = self
+                .trace
+                .integrate_kbits_at(&mut self.hint_cursor, self.now, horizon_end)
+                / (horizon_end - self.now);
+            if truth > 0.0 {
+                self.predictor.hint_future(truth);
+            }
+            self.prediction = self.predictor.predict();
+            self.robust_lower = match self.cfg.robust_bound {
+                crate::config::RobustBound::MaxError => self.predictor.robust_lower_bound(),
+                crate::config::RobustBound::MeanError => self
+                    .prediction
+                    .map(|p| p / (1.0 + self.predictor.mean_error())),
+            };
+            self.hinted = true;
+        }
+        ControllerContext {
+            chunk_index: self.k,
+            buffer_secs: self.buffer,
+            prev_level: self.prev_level,
+            prediction_kbps: self.prediction,
+            robust_lower_kbps: self.robust_lower,
+            last_throughput_kbps: self.last_throughput,
+            recent_low_buffer: self.scratch.low_buffer_history.iter().any(|&b| b),
+            startup: self.k == 0,
+            video: self.video,
+            buffer_max_secs: self.cfg.buffer_max_secs,
+        }
+    }
+
+    /// Plays out the decided download for the current chunk and advances
+    /// buffer/QoE/clock state to the next.
+    pub fn apply(&mut self, decision: Decision) {
+        assert!(self.hinted, "apply() without a matching context()");
+        self.hinted = false;
+        let k = self.k;
+        let level = decision.level;
 
         // Startup: establish T_s and the equivalent initial buffer credit.
         if k == 0 {
-            match cfg.startup {
+            match self.cfg.startup {
                 StartupPolicy::FirstChunk => {} // handled after the download
                 StartupPolicy::Fixed(ts) => {
                     assert!(ts >= 0.0, "negative fixed startup delay");
-                    startup_secs = ts;
-                    buffer = ts.min(cfg.buffer_max_secs);
+                    self.startup_secs = ts;
+                    self.buffer = ts.min(self.cfg.buffer_max_secs);
                 }
                 StartupPolicy::Controller => {
                     let ts = decision.startup_wait_secs.unwrap_or(0.0);
-                    startup_secs = ts;
-                    buffer = ts.min(cfg.buffer_max_secs);
+                    self.startup_secs = ts;
+                    self.buffer = ts.min(self.cfg.buffer_max_secs);
                 }
             }
         }
@@ -308,33 +451,37 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
         // Live mode: the chunk may not exist yet — wait for the encoder.
         // The buffer keeps draining through the wait, exactly like a slow
         // download.
-        let availability_wait = match cfg.live {
-            Some(live) => (live.available_at(k, video.chunk_secs()) - now).max(0.0),
+        let availability_wait = match self.cfg.live {
+            Some(live) => (live.available_at(k, self.video.chunk_secs()) - self.now).max(0.0),
             None => 0.0,
         };
 
         // Download (the simulator integrates the trace; the emulated path
         // pushes real HTTP bytes through a shaped link).
-        let size_kbits = video.chunk_size_kbits(k, level);
-        let dl_start = now + availability_wait;
-        let outcome = downloader.download_outcome(k, level, size_kbits, dl_start);
+        let size_kbits = self.video.chunk_size_kbits(k, level);
+        let dl_start = self.now + availability_wait;
+        let outcome = self
+            .downloader
+            .download_outcome(k, level, size_kbits, dl_start);
         if outcome.aborted {
             // Retry budget exhausted: the chunk never arrived. The time
             // burned failing drains the buffer like a slow download — past
             // the buffer it is rebuffering (or startup delay for chunk 0) —
             // and the session ends here.
             let elapsed = availability_wait + outcome.secs;
-            if k == 0 && matches!(cfg.startup, StartupPolicy::FirstChunk) {
-                startup_secs = elapsed;
+            if k == 0 && matches!(self.cfg.startup, StartupPolicy::FirstChunk) {
+                self.startup_secs = elapsed;
             } else {
-                qoe.push_rebuffer(&cfg.weights, (elapsed - buffer).max(0.0));
+                self.qoe
+                    .push_rebuffer(&self.cfg.weights, (elapsed - self.buffer).max(0.0));
             }
-            now += elapsed;
-            out.aborted = true;
-            out.abort_secs = outcome.secs;
-            out.abort_retries = outcome.retries;
-            out.abort_wasted_kbits = outcome.wasted_kbits;
-            break;
+            self.now += elapsed;
+            self.out.aborted = true;
+            self.out.abort_secs = outcome.secs;
+            self.out.abort_retries = outcome.retries;
+            self.out.abort_wasted_kbits = outcome.wasted_kbits;
+            self.aborted = true;
+            return;
         }
         let download_secs = outcome.secs;
         assert!(
@@ -344,62 +491,71 @@ pub fn run_session_core<P: Predictor, D: ChunkDownloader + ?Sized>(
         let throughput = outcome.throughput_kbps;
 
         let mut step = advance_buffer(
-            buffer,
+            self.buffer,
             availability_wait + download_secs,
-            video.chunk_secs(),
-            cfg.buffer_max_secs,
+            self.video.chunk_secs(),
+            self.cfg.buffer_max_secs,
         );
-        if k == 0 && matches!(cfg.startup, StartupPolicy::FirstChunk) {
+        if k == 0 && matches!(self.cfg.startup, StartupPolicy::FirstChunk) {
             // Playback starts when this chunk lands: the time to get it is
             // the startup delay, not a rebuffer.
-            startup_secs = availability_wait + download_secs;
+            self.startup_secs = availability_wait + download_secs;
             step.rebuffer_secs = 0.0;
         }
 
-        qoe.push_chunk(
-            &cfg.weights,
-            video.ladder().kbps(outcome.delivered_level),
+        self.qoe.push_chunk(
+            &self.cfg.weights,
+            self.video.ladder().kbps(outcome.delivered_level),
             step.rebuffer_secs,
         );
-        out.records.push(ChunkRecord {
+        self.out.records.push(ChunkRecord {
             index: k,
             level: outcome.delivered_level,
-            bitrate_kbps: video.ladder().kbps(outcome.delivered_level),
+            bitrate_kbps: self.video.ladder().kbps(outcome.delivered_level),
             size_kbits: outcome.delivered_kbits,
             start_secs: dl_start,
             download_secs,
             rebuffer_secs: step.rebuffer_secs,
             wait_secs: step.wait_secs,
             availability_wait_secs: availability_wait,
-            buffer_before_secs: buffer,
+            buffer_before_secs: self.buffer,
             buffer_after_secs: step.next_buffer_secs,
             throughput_kbps: throughput,
-            prediction_kbps: prediction,
+            prediction_kbps: self.prediction,
             retries: outcome.retries,
             wasted_kbits: outcome.wasted_kbits,
             fault_delay_secs: outcome.fault_delay_secs,
         });
 
         // Bookkeeping for the next iteration.
-        if low_buffer_history.len() == cfg.low_buffer_window_chunks {
-            low_buffer_history.pop_front();
+        if self.scratch.low_buffer_history.len() == self.cfg.low_buffer_window_chunks {
+            self.scratch.low_buffer_history.pop_front();
         }
-        low_buffer_history.push_back(buffer < cfg.low_buffer_threshold_secs);
-        predictor.observe(throughput);
-        last_throughput = Some(throughput);
-        now += availability_wait + download_secs + step.wait_secs;
-        buffer = step.next_buffer_secs;
-        prev_level = Some(outcome.delivered_level);
+        self.scratch
+            .low_buffer_history
+            .push_back(self.buffer < self.cfg.low_buffer_threshold_secs);
+        self.predictor.observe(throughput);
+        self.last_throughput = Some(throughput);
+        self.now += availability_wait + download_secs + step.wait_secs;
+        self.buffer = step.next_buffer_secs;
+        self.prev_level = Some(outcome.delivered_level);
+        self.k += 1;
     }
 
-    qoe.set_startup(&cfg.weights, startup_secs);
-    out.algorithm.clear();
-    out.algorithm.push_str(controller.name());
-    out.startup_secs = startup_secs;
-    out.total_secs = now;
-    out.qoe = qoe;
-    // Hand the predictor's error ring back for the next session.
-    scratch.errors = predictor.into_parts().1;
+    /// Writes the session epilogue (startup QoE term, algorithm name,
+    /// totals) into `out` and hands the predictor's error ring back to the
+    /// scratch for the next session.
+    pub fn finish(self, algorithm: &str) {
+        let mut qoe = self.qoe;
+        qoe.set_startup(&self.cfg.weights, self.startup_secs);
+        self.out.algorithm.clear();
+        self.out.algorithm.push_str(algorithm);
+        self.out.startup_secs = self.startup_secs;
+        self.out.total_secs = self.now;
+        self.out.qoe = qoe;
+        // Hand the predictor's error ring back for the next session.
+        self.scratch.errors = self.predictor.into_parts().1;
+    }
 }
 
 #[cfg(test)]
@@ -756,6 +912,122 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stepper_lockstep_interleaving_is_bit_identical() {
+        // Sessions advanced chunk-by-chunk in lockstep through one shared
+        // controller (batched decisions per tick) must equal the same
+        // sessions run back to back — the equivalence the harness batch
+        // path and the serve-side aggregating proxy rely on.
+        let v = envivio_video();
+        let config = cfg();
+        let traces = [
+            Trace::constant(1200.0, 60.0).unwrap(),
+            Trace::new(vec![(20.0, 2500.0), (10.0, 700.0), (20.0, 1800.0)]).unwrap(),
+            Trace::new(vec![(30.0, 600.0), (30.0, 3000.0)]).unwrap(),
+        ];
+        let sequential: Vec<SessionResult> = traces
+            .iter()
+            .map(|t| {
+                let mut c = Mpc::robust();
+                run_session(&mut c, HarmonicMean::paper_default(), t, &v, &config)
+            })
+            .collect();
+
+        let mut shared = Mpc::robust();
+        shared.reset();
+        let mut scratches: Vec<SessionScratch> =
+            traces.iter().map(|_| SessionScratch::new()).collect();
+        let mut outs: Vec<SessionResult> =
+            traces.iter().map(|_| SessionResult::default()).collect();
+        {
+            let mut steppers: Vec<_> = scratches
+                .iter_mut()
+                .zip(outs.iter_mut())
+                .zip(traces.iter())
+                .map(|((scratch, out), t)| {
+                    SessionStepper::start(
+                        scratch,
+                        out,
+                        HarmonicMean::paper_default(),
+                        TraceDownloader::new(t),
+                        t,
+                        &v,
+                        &config,
+                    )
+                })
+                .collect();
+            let mut decisions = Vec::new();
+            while steppers.iter().any(|s| !s.is_done()) {
+                let mut live: Vec<_> =
+                    steppers.iter_mut().filter(|s| !s.is_done()).collect();
+                let ctxs: Vec<ControllerContext> =
+                    live.iter_mut().map(|s| s.context()).collect();
+                shared.decide_batch(&ctxs, &mut decisions);
+                assert_eq!(decisions.len(), live.len());
+                for (s, d) in live.iter_mut().zip(decisions.iter()) {
+                    assert!(d.level.get() < v.ladder().len());
+                    s.apply(*d);
+                }
+            }
+            let name = shared.name();
+            for s in steppers {
+                s.finish(name);
+            }
+        }
+        for (seq, lock) in sequential.iter().zip(&outs) {
+            assert_eq!(seq, lock);
+            assert_eq!(
+                seq.qoe.qoe.to_bits(),
+                lock.qoe.qoe.to_bits(),
+                "lockstep QoE drifted"
+            );
+            for (x, y) in seq.records.iter().zip(&lock.records) {
+                assert_eq!(x.download_secs.to_bits(), y.download_secs.to_bits());
+                assert_eq!(x.buffer_after_secs.to_bits(), y.buffer_after_secs.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_context_is_idempotent_within_a_chunk() {
+        // Repeated context() calls before apply() must return the same
+        // view — the oracle hint is applied once per chunk, not per call.
+        let v = envivio_video();
+        let t = Trace::new(vec![(20.0, 2500.0), (10.0, 700.0), (20.0, 1800.0)]).unwrap();
+        let config = cfg();
+        let mut c = Fixed(LevelIdx(2));
+        let reference = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+
+        let mut scratch = SessionScratch::new();
+        let mut out = SessionResult::default();
+        let mut stepper = SessionStepper::start(
+            &mut scratch,
+            &mut out,
+            HarmonicMean::paper_default(),
+            TraceDownloader::new(&t),
+            &t,
+            &v,
+            &config,
+        );
+        while !stepper.is_done() {
+            let first = stepper.context();
+            let second = stepper.context();
+            assert_eq!(first.chunk_index, second.chunk_index);
+            assert_eq!(
+                first.prediction_kbps.map(f64::to_bits),
+                second.prediction_kbps.map(f64::to_bits)
+            );
+            assert_eq!(
+                first.robust_lower_kbps.map(f64::to_bits),
+                second.robust_lower_kbps.map(f64::to_bits)
+            );
+            assert_eq!(first.chunk_index, stepper.chunk_index());
+            stepper.apply(Decision::level(LevelIdx(2)));
+        }
+        stepper.finish("fixed");
+        assert_eq!(reference, out);
     }
 
     /// Wraps [`TraceDownloader`] but reports a fault-laden abort at one

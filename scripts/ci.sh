@@ -61,14 +61,31 @@ if [[ "${1:-}" != "quick" ]]; then
   ./target/release/abr_harness robustness --traces 5 --quick --fault-seed 99 > /dev/null
   echo "fault-matrix smoke passed"
 
+  echo "== batch-equivalence gate: lockstep grid vs scalar =="
+  # The batched decision path (SessionStepper lockstep + decide_batch) must
+  # leave every experiment byte-for-byte identical to the scalar per-session
+  # loop — same floats, same tables, same CSVs. Both sides pin the flag so
+  # an inherited ABR_BATCH cannot skew the comparison.
+  ./target/release/abr_harness all --traces 5 --quick --batch-size 1 \
+    | filter_report > "$smoke_dir/full_report.batch1.txt"
+  ./target/release/abr_harness all --traces 5 --quick --batch-size 64 \
+    | filter_report > "$smoke_dir/full_report.batch64.txt"
+  diff -u "$smoke_dir/full_report.batch1.txt" "$smoke_dir/full_report.batch64.txt"
+  echo "batch-equivalence gate passed"
+
   echo "== serve-bench smoke: remote decisions bit-identical to in-process =="
   # Every remote player's decision sequence is diffed against an in-process
   # run_session twin inside the experiment; any divergence panics, so a clean
   # exit IS the differential gate. Quick mode sweeps FastMPC + RobustMPC.
+  # The second run drives the same sessions through bulk POST /decisions
+  # (8 sessions coalesced per request) under the same zero-mismatch bar.
   ./target/release/abr_harness serve-bench --sessions 16 --workers 2 --quick \
     --out "$smoke_dir/serve" > /dev/null
   test -s "$smoke_dir/serve/serve_bench.csv"
-  echo "serve-bench differential gate passed"
+  ./target/release/abr_harness serve-bench --sessions 16 --workers 2 --quick \
+    --batch-size 8 --out "$smoke_dir/serve_bulk" > /dev/null
+  test -s "$smoke_dir/serve_bulk/serve_bench.csv"
+  echo "serve-bench differential gates passed (scalar + bulk)"
 fi
 
 echo "== benches compile =="
