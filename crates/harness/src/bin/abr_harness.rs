@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -37,7 +37,13 @@ commands:
              closed-loop load on the abr-serve decision service: concurrent
              remote players, latency quantiles, decisions/sec, and a
              bit-identical differential check against in-process sessions
-  all       everything above except robustness and serve-bench
+  serve-scale
+             sessions-vs-latency scaling curve for the event-driven serve
+             engine: sweeps concurrent sessions (256 -> 50k by default)
+             through the multiplexed load generator and writes
+             serve_scale.csv
+  all       everything above except robustness, serve-bench and
+             serve-scale
 
 options:
   --traces N   traces per dataset (default 100)
@@ -80,7 +86,23 @@ options:
                decide_batch kernel, and serve-bench coalesces N virtual
                sessions per bulk POST /decisions request. Defaults to the
                ABR_BATCH environment variable if set, else 1 (the scalar
-               path). Results are bit-identical at every size";
+               path). Results are bit-identical at every size
+  --event-loops N
+               run the serve benchmarks on the event-driven engine with N
+               epoll loop threads (must be positive). serve-bench defaults
+               to the threaded engine; serve-scale defaults to 2 loops.
+               Incompatible with --batch-size > 1 (the multiplexed
+               generator pipelines scalar /decision requests)
+  --max-conns N
+               open-connection cap for the event-driven server (default
+               16384, must be positive); excess accepts are shed
+  --scale-sessions LIST
+               serve-scale: comma-separated session counts to sweep
+               (e.g. 256,1024,4096; each must be positive)
+  --decisions-out PATH
+               serve benchmarks: record every session's decision sequence
+               to PATH, one line per session — byte-identical across
+               server engines for the same seed (the CI report-diff gate)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -185,11 +207,60 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                 }
                 opts.backend = Some(name.clone());
             }
+            "--event-loops" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--event-loops needs a value")?
+                    .parse()
+                    .map_err(|_| "--event-loops must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--event-loops must be positive".into());
+                }
+                opts.event_loops = Some(n);
+            }
+            "--max-conns" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-conns needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-conns must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--max-conns must be positive".into());
+                }
+                opts.max_conns = n;
+            }
+            "--scale-sessions" => {
+                let list = it.next().ok_or("--scale-sessions needs a value")?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                let sessions = parsed.map_err(|_| {
+                    "--scale-sessions must be a comma-separated list of positive integers"
+                        .to_string()
+                })?;
+                if sessions.is_empty() || sessions.contains(&0) {
+                    return Err(
+                        "--scale-sessions entries must all be positive".into()
+                    );
+                }
+                opts.scale_sessions = Some(sessions);
+            }
+            "--decisions-out" => {
+                opts.decisions_out = Some(PathBuf::from(
+                    it.next().ok_or("--decisions-out needs a value")?,
+                ));
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if opts.event_loops.is_some() && opts.batch.is_some_and(|b| b > 1) {
+        return Err(
+            "--event-loops cannot be combined with --batch-size > 1 (the \
+             multiplexed generator pipelines scalar /decision requests)"
+                .into(),
+        );
     }
     Ok((cmd.ok_or("no command given")?, opts))
 }
@@ -213,6 +284,7 @@ fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
         "multi" => experiments::multiplayer::run(opts),
         "robustness" => experiments::robustness::run(opts),
         "serve-bench" => experiments::serve_bench::run(opts),
+        "serve-scale" => experiments::serve_scale::run(opts),
         "all" => {
             let mut out = String::new();
             // Share the expensive dataset evaluations between Figures 8,
@@ -367,6 +439,71 @@ mod tests {
         assert!(parse(&args(&["fig8", "--batch-size", "many"])).is_err());
         // usize overflow is rejected with the same error style.
         assert!(parse(&args(&["fig8", "--batch-size", "99999999999999999999999999"])).is_err());
+    }
+
+    #[test]
+    fn parses_event_engine_flags() {
+        let (_, opts) = parse(&args(&["serve-bench"])).unwrap();
+        assert!(opts.event_loops.is_none());
+        assert_eq!(opts.max_conns, 16 * 1024);
+        assert!(opts.scale_sessions.is_none());
+        assert!(opts.decisions_out.is_none());
+
+        let (_, opts) = parse(&args(&[
+            "serve-scale",
+            "--event-loops",
+            "3",
+            "--max-conns",
+            "2048",
+            "--scale-sessions",
+            "256,1024,4096",
+            "--decisions-out",
+            "/tmp/dec.txt",
+        ]))
+        .unwrap();
+        assert_eq!(opts.event_loops, Some(3));
+        assert_eq!(opts.max_conns, 2048);
+        assert_eq!(opts.scale_sessions, Some(vec![256, 1024, 4096]));
+        assert_eq!(
+            opts.decisions_out.as_deref().unwrap().to_str().unwrap(),
+            "/tmp/dec.txt"
+        );
+
+        // Same rejection style as --sessions / --workers.
+        assert!(parse(&args(&["serve-bench", "--event-loops", "0"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--event-loops", "-2"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--event-loops", "many"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--event-loops"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--max-conns", "0"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--max-conns", "-1"])).is_err());
+        assert!(parse(&args(&["serve-scale", "--scale-sessions", ""])).is_err());
+        assert!(parse(&args(&["serve-scale", "--scale-sessions", "256,0,1024"])).is_err());
+        assert!(parse(&args(&["serve-scale", "--scale-sessions", "256,,512"])).is_err());
+        assert!(parse(&args(&["serve-scale", "--scale-sessions", "lots"])).is_err());
+        assert!(parse(&args(&["serve-scale", "--decisions-out"])).is_err());
+    }
+
+    #[test]
+    fn event_loops_reject_bulk_batches() {
+        // The multiplexed generator is scalar-pipelined; coalesced bulk
+        // batches belong to the threaded path.
+        assert!(parse(&args(&[
+            "serve-bench",
+            "--event-loops",
+            "2",
+            "--batch-size",
+            "8"
+        ]))
+        .is_err());
+        // batch 1 is the scalar path and composes fine.
+        assert!(parse(&args(&[
+            "serve-bench",
+            "--event-loops",
+            "2",
+            "--batch-size",
+            "1"
+        ]))
+        .is_ok());
     }
 
     #[test]

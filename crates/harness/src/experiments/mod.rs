@@ -14,6 +14,7 @@ pub mod multiplayer;
 pub mod overhead;
 pub mod robustness;
 pub mod serve_bench;
+pub mod serve_scale;
 pub mod table1;
 
 use std::path::PathBuf;
@@ -67,6 +68,20 @@ pub struct ExpOptions {
     /// falls back to the `ABR_BATCH` environment variable, then to 1 (the
     /// scalar path). Results are bit-identical at every size.
     pub batch: Option<usize>,
+    /// Event-loop threads for the event-driven serve engine
+    /// (`--event-loops`, must be positive). `None` keeps `serve-bench`
+    /// on the threaded engine; `serve-scale` defaults to 2.
+    pub event_loops: Option<usize>,
+    /// Open-connection cap for the event-driven server (`--max-conns`,
+    /// must be positive).
+    pub max_conns: usize,
+    /// Session counts for the `serve-scale` sweep (`--scale-sessions`,
+    /// comma-separated positive integers); `None` uses the default
+    /// 256→50k grid (64, 256 under `--quick`).
+    pub scale_sessions: Option<Vec<usize>>,
+    /// Record every session's decision sequence to this file
+    /// (`--decisions-out`), for byte-diffing runs across server engines.
+    pub decisions_out: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -86,6 +101,10 @@ impl Default for ExpOptions {
             workers: 4,
             backend: None,
             batch: None,
+            event_loops: None,
+            max_conns: 16 * 1024,
+            scale_sessions: None,
+            decisions_out: None,
         }
     }
 }

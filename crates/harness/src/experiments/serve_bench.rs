@@ -11,7 +11,11 @@
 
 use super::ExpOptions;
 use crate::report::{fmt_num, write_csv, Table};
-use abr_serve::{run_load, Backend, DecisionServer, LoadOptions};
+use abr_serve::{
+    run_load, run_mux_load, Backend, DecisionServer, EventConfig, EventHandle, EventServer,
+    LoadOptions, LoadReport, MuxOptions, ServerHandle,
+};
+use std::net::SocketAddr;
 
 /// Backends benchmarked when `--backend` does not pin one: the table
 /// lookup, both online MPC solves, and two baselines as a floor.
@@ -34,12 +38,83 @@ pub fn backends(opts: &ExpOptions) -> Result<Vec<Backend>, String> {
     }
 }
 
+/// Which server engine a run drives, carrying its handle for shutdown.
+pub enum Engine {
+    /// The thread-per-connection server from [`abr_serve::server`].
+    Threaded(ServerHandle),
+    /// The epoll readiness-loop server from [`abr_serve::event`].
+    Event(EventHandle),
+}
+
+impl Engine {
+    /// Spawns the engine `opts` selects: event-driven when
+    /// `--event-loops` is set, threaded otherwise.
+    pub fn spawn(opts: &ExpOptions) -> Engine {
+        match opts.event_loops {
+            Some(loops) => Engine::Event(
+                EventServer::spawn(EventConfig {
+                    loops,
+                    max_conns: opts.max_conns,
+                    ..EventConfig::default()
+                })
+                .expect("bind loopback event server"),
+            ),
+            None => Engine::Threaded(
+                DecisionServer::spawn(opts.workers).expect("bind loopback server"),
+            ),
+        }
+    }
+
+    /// The engine's loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            Engine::Threaded(h) => h.addr(),
+            Engine::Event(h) => h.addr(),
+        }
+    }
+
+    /// FastMPC tables cached server-side so far.
+    pub fn tables_cached(&self) -> usize {
+        match self {
+            Engine::Threaded(h) => h.service().store().tables().len(),
+            Engine::Event(h) => h.service().store().tables().len(),
+        }
+    }
+
+    /// Shuts the engine down, joining its threads.
+    pub fn shutdown(&mut self) {
+        match self {
+            Engine::Threaded(h) => h.shutdown(),
+            Engine::Event(h) => h.shutdown(),
+        }
+    }
+
+    fn describe(&self, opts: &ExpOptions) -> String {
+        match self {
+            Engine::Threaded(_) => format!("threaded engine, {} worker threads", opts.workers),
+            Engine::Event(_) => format!(
+                "event-driven engine, {} epoll loops, {} max conns",
+                opts.event_loops.unwrap_or_default(),
+                opts.max_conns
+            ),
+        }
+    }
+}
+
 /// Runs the benchmark and renders the report table (plus
 /// `serve_bench.csv`).
 pub fn run(opts: &ExpOptions) -> String {
     let backends = backends(opts).expect("--backend validated at parse time");
     let batch = opts.batch.unwrap_or_else(crate::default_batch_size);
-    let mut handle = DecisionServer::spawn(opts.workers).expect("bind loopback server");
+    // The multiplexed generator pipelines scalar /decision requests; it
+    // carries the event engine and the decision-sequence recorder.
+    let use_mux = opts.event_loops.is_some() || opts.decisions_out.is_some();
+    assert!(
+        !(use_mux && batch > 1),
+        "--event-loops / --decisions-out use the multiplexed generator, \
+         which does not coalesce bulk batches (got batch {batch})"
+    );
+    let mut engine = Engine::spawn(opts);
     let mut t = Table::new(
         "serve-bench: closed-loop decision service, remote vs in-process differential",
         &[
@@ -56,12 +131,25 @@ pub fn run(opts: &ExpOptions) -> String {
             "mismatches",
         ],
     );
+    let mut decision_lines: Vec<String> = Vec::new();
     for backend in backends {
-        let mut load = LoadOptions::new(opts.sessions);
-        load.backend = backend;
-        load.seed = opts.seed;
-        load.batch = batch;
-        let report = run_load(handle.addr(), &load);
+        let report: LoadReport = if use_mux {
+            let mut load = MuxOptions::new(opts.sessions);
+            load.backend = backend;
+            load.seed = opts.seed;
+            let mux = run_mux_load(engine.addr(), &load);
+            if opts.decisions_out.is_some() {
+                decision_lines.push(format!("backend {}", backend.token()));
+                decision_lines.extend(mux.sequences);
+            }
+            mux.report
+        } else {
+            let mut load = LoadOptions::new(opts.sessions);
+            load.backend = backend;
+            load.seed = opts.seed;
+            load.batch = batch;
+            run_load(engine.addr(), &load)
+        };
         assert_eq!(
             report.mismatches, 0,
             "differential gate: {backend} remote decisions diverged from \
@@ -82,19 +170,24 @@ pub fn run(opts: &ExpOptions) -> String {
             report.mismatches.to_string(),
         ]);
     }
-    let tables_cached = handle.service().store().tables().len();
-    handle.shutdown();
+    let tables_cached = engine.tables_cached();
+    let engine_desc = engine.describe(opts);
+    engine.shutdown();
+    if let Some(path) = &opts.decisions_out {
+        let mut body = decision_lines.join("\n");
+        body.push('\n');
+        std::fs::write(path, body).expect("write --decisions-out file");
+    }
     write_csv(opts.out.as_deref(), "serve_bench", &t).expect("csv write");
     let mut s = t.render();
     s.push_str(&format!(
-        "{} worker threads; every remote decision sequence verified \
-         bit-identical to its in-process twin ({} FastMPC table(s) \
-         generated server-side, shared across sessions). Latency is the \
-         client-observed loopback round-trip; at batch > 1 the proxy \
-         coalesces that many sessions per bulk POST /decisions request \
-         and the per-decision latency is the request round-trip divided \
-         by its decision count.\n\n",
-        opts.workers, tables_cached
+        "{engine_desc}; every remote decision sequence verified \
+         bit-identical to its in-process twin ({tables_cached} FastMPC \
+         table(s) generated server-side, shared across sessions). Latency \
+         is the client-observed loopback round-trip; at batch > 1 the \
+         proxy coalesces that many sessions per bulk POST /decisions \
+         request and the per-decision latency is the request round-trip \
+         divided by its decision count.\n\n",
     ));
     s
 }
@@ -134,6 +227,53 @@ mod tests {
         let s = run(&opts);
         assert!(s.contains("serve-bench"));
         assert!(s.contains("fastmpc"));
+    }
+
+    #[test]
+    fn serve_bench_event_engine_smoke() {
+        let opts = ExpOptions {
+            sessions: 6,
+            event_loops: Some(2),
+            backend: Some("fastmpc".into()),
+            quick: true,
+            ..ExpOptions::default()
+        };
+        let s = run(&opts);
+        assert!(s.contains("serve-bench"));
+        assert!(s.contains("fastmpc"));
+        assert!(s.contains("event-driven engine, 2 epoll loops"));
+    }
+
+    #[test]
+    fn decision_sequences_byte_identical_across_engines() {
+        // The report-diff gate in miniature: drive the threaded and the
+        // event-driven engine with the same seed and assert the recorded
+        // decision-sequence files are byte-identical.
+        let dir = std::env::temp_dir();
+        let old_path = dir.join(format!("abr_dec_old_{}.txt", std::process::id()));
+        let new_path = dir.join(format!("abr_dec_new_{}.txt", std::process::id()));
+        let base = ExpOptions {
+            sessions: 6,
+            workers: 2,
+            backend: Some("rb".into()),
+            quick: true,
+            ..ExpOptions::default()
+        };
+        run(&ExpOptions {
+            decisions_out: Some(old_path.clone()),
+            ..base.clone()
+        });
+        run(&ExpOptions {
+            event_loops: Some(2),
+            decisions_out: Some(new_path.clone()),
+            ..base
+        });
+        let old = std::fs::read(&old_path).unwrap();
+        let new = std::fs::read(&new_path).unwrap();
+        assert!(!old.is_empty());
+        assert_eq!(old, new, "decision sequences diverged across engines");
+        let _ = std::fs::remove_file(&old_path);
+        let _ = std::fs::remove_file(&new_path);
     }
 
     #[test]

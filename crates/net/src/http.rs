@@ -397,6 +397,418 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental parsing — the event-driven front end
+// ---------------------------------------------------------------------------
+
+/// Outcome of one incremental parse step ([`RequestParser::next_request`] /
+/// [`ResponseParser::next_response`]).
+#[derive(Debug)]
+pub enum ParseStep<T> {
+    /// A complete message was parsed and consumed from the buffer. Call
+    /// again — pipelined keep-alive peers may have buffered another.
+    Complete(T),
+    /// The buffered bytes are a valid (possibly empty) message prefix;
+    /// feed more when the socket becomes readable.
+    Incomplete,
+    /// Parse failure. When `recoverable`, the parser has already moved
+    /// past the offending input (skipping the declared body, or resyncing
+    /// to the next line/blank line) and the connection can keep serving —
+    /// answer 400/413 and continue. Otherwise the framing is poisoned and
+    /// the connection must close after the error response drains.
+    Failed {
+        /// What went wrong — the same [`HttpError`] the one-shot parser
+        /// reports for this input.
+        error: HttpError,
+        /// Whether the parser resynced and the connection may live on.
+        recoverable: bool,
+    },
+}
+
+/// Post-error resynchronisation: what to discard before parsing resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resync {
+    None,
+    /// Discard this many declared-but-refused body bytes (413 path).
+    Body(usize),
+    /// Discard through the next `\n` (over-long line: the rest of the
+    /// line is garbage, whatever follows it may be a fresh request).
+    ToNewline,
+    /// Discard through the next blank line (runaway header block).
+    /// `all_cr` carries the blank-line detector state across feeds.
+    ToBlankLine {
+        /// Whether the current line's bytes so far are all `\r`.
+        all_cr: bool,
+    },
+}
+
+/// Progress of the head-completeness scan (find the blank line that
+/// terminates the request/status line + headers), kept across feeds so
+/// trickled input is scanned once, not re-scanned per byte.
+#[derive(Debug, Clone, Copy)]
+struct HeadScan {
+    /// Next unexamined byte, relative to the unconsumed buffer start.
+    idx: usize,
+    /// Content bytes in the current line so far (terminator excluded).
+    line_len: usize,
+    /// Whether every content byte of the current line is `\r` — the
+    /// one-shot parser strips all trailing `\r`/`\n`, so "blank line"
+    /// means *all-`\r'` content*, and this scan matches it exactly.
+    all_cr: bool,
+    /// Total head bytes scanned.
+    total: usize,
+}
+
+impl HeadScan {
+    fn new() -> Self {
+        Self { idx: 0, line_len: 0, all_cr: true, total: 0 }
+    }
+}
+
+/// Hard ceiling on buffered head bytes before the scan gives up: the
+/// one-shot parser is guaranteed to have rejected the block by this point
+/// (`MAX_HEADER_BYTES` of accounted headers plus one `MAX_LINE_BYTES`
+/// line in flight), so the guard never fires on input the one-shot
+/// parser would accept.
+const HEAD_SCAN_LIMIT: usize = MAX_HEADER_BYTES + MAX_LINE_BYTES + 4;
+
+/// The shared incremental machinery: byte buffer, head scan, resync.
+#[derive(Debug)]
+struct Incremental {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+    scan: HeadScan,
+    /// `(head_len, total_len)` once the head is complete and the body
+    /// length known — avoids re-parsing the head while a body trickles in.
+    pending: Option<(usize, usize)>,
+    resync: Resync,
+}
+
+impl Incremental {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            scan: HeadScan::new(),
+            pending: None,
+            resync: Resync::None,
+        }
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes.
+    fn avail(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// No partial message, no pending resync: EOF here is a clean close.
+    fn is_clean(&self) -> bool {
+        self.avail() == 0 && self.resync == Resync::None
+    }
+
+    /// Reclaims the consumed prefix. Scan/pending offsets are relative to
+    /// `pos`, so dropping the prefix never invalidates them.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 8 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Runs any pending resync against the buffer. Returns `true` when
+    /// resync is finished and normal parsing may resume.
+    fn run_resync(&mut self) -> bool {
+        match self.resync {
+            Resync::None => true,
+            Resync::Body(remaining) => {
+                let take = remaining.min(self.avail());
+                self.pos += take;
+                if take == remaining {
+                    self.resync = Resync::None;
+                    true
+                } else {
+                    self.resync = Resync::Body(remaining - take);
+                    false
+                }
+            }
+            Resync::ToNewline => {
+                match self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        self.pos += i + 1;
+                        self.resync = Resync::None;
+                        true
+                    }
+                    None => {
+                        self.pos = self.buf.len();
+                        false
+                    }
+                }
+            }
+            Resync::ToBlankLine { mut all_cr } => {
+                while self.pos < self.buf.len() {
+                    let b = self.buf[self.pos];
+                    self.pos += 1;
+                    match b {
+                        b'\n' if all_cr => {
+                            self.resync = Resync::None;
+                            return true;
+                        }
+                        b'\n' => all_cr = true,
+                        b'\r' => {}
+                        _ => all_cr = false,
+                    }
+                }
+                self.resync = Resync::ToBlankLine { all_cr };
+                false
+            }
+        }
+    }
+
+    /// Advances the head scan. `Ok(Some(head_len))` once the terminating
+    /// blank line is buffered; `Ok(None)` to wait for more bytes; `Err`
+    /// when a size cap proves the head can never become valid (the
+    /// one-shot parser is guaranteed to reject such a head too).
+    fn scan_head(&mut self) -> Result<Option<usize>, HttpError> {
+        while self.pos + self.scan.idx < self.buf.len() {
+            let b = self.buf[self.pos + self.scan.idx];
+            self.scan.idx += 1;
+            self.scan.total += 1;
+            if b == b'\n' {
+                if self.scan.all_cr {
+                    return Ok(Some(self.scan.idx));
+                }
+                self.scan.line_len = 0;
+                self.scan.all_cr = true;
+            } else {
+                self.scan.line_len += 1;
+                if b != b'\r' {
+                    self.scan.all_cr = false;
+                }
+                if self.scan.line_len > MAX_LINE_BYTES {
+                    return Err(HttpError::Malformed(format!(
+                        "line exceeds {MAX_LINE_BYTES} bytes"
+                    )));
+                }
+            }
+            if self.scan.total > HEAD_SCAN_LIMIT {
+                return Err(HttpError::Malformed(format!(
+                    "headers exceed {MAX_HEADER_BYTES} bytes"
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Marks `consumed` bytes done and resets per-message state.
+    fn consume(&mut self, consumed: usize) {
+        self.pos += consumed;
+        self.scan = HeadScan::new();
+        self.pending = None;
+        self.compact();
+    }
+
+    /// Enters a recoverable-failure resync, dropping everything scanned.
+    fn fail_into(&mut self, resync: Resync) {
+        self.pos += self.scan.idx;
+        self.scan = HeadScan::new();
+        self.pending = None;
+        self.resync = resync;
+        self.compact();
+    }
+}
+
+/// Incremental request parser for non-blocking connections: feed whatever
+/// bytes the socket yields, pull zero or more complete [`Request`]s.
+///
+/// Parsing is *delegated*: once the head is complete, the buffered bytes
+/// go through [`Request::read_from_with_cap`] itself, so every accepted
+/// or rejected message is byte-for-byte identical to what the one-shot
+/// parser would produce — the incremental layer only decides *when*
+/// enough bytes have arrived, never *how* they parse. The head scan's
+/// size guards fire only on input the one-shot parser is already
+/// guaranteed to reject, with the same error text.
+#[derive(Debug)]
+pub struct RequestParser {
+    inner: Incremental,
+    cap: usize,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser enforcing the default [`MAX_REQUEST_BODY_BYTES`] cap.
+    pub fn new() -> Self {
+        Self::with_cap(MAX_REQUEST_BODY_BYTES)
+    }
+
+    /// A parser with an explicit request-body cap (mirrors
+    /// [`Request::read_from_with_cap`]).
+    pub fn with_cap(cap: usize) -> Self {
+        Self { inner: Incremental::new(), cap }
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inner.feed(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete message.
+    pub fn buffered(&self) -> usize {
+        self.inner.avail()
+    }
+
+    /// True when no partial message is buffered — EOF now is a clean
+    /// keep-alive close, not a truncation.
+    pub fn is_clean(&self) -> bool {
+        self.inner.is_clean()
+    }
+
+    /// Attempts to parse the next buffered request. Call in a loop after
+    /// each [`feed`](Self::feed) until it stops returning
+    /// [`ParseStep::Complete`].
+    pub fn next_request(&mut self) -> ParseStep<Request> {
+        if !self.inner.run_resync() {
+            return ParseStep::Incomplete;
+        }
+        let head_len = match self.inner.pending {
+            Some((head_len, total)) => {
+                if self.inner.avail() < total {
+                    return ParseStep::Incomplete;
+                }
+                head_len
+            }
+            None => match self.inner.scan_head() {
+                Ok(Some(h)) => h,
+                Ok(None) => return ParseStep::Incomplete,
+                Err(error) => {
+                    // Over-long line: resync to the next line. Runaway
+                    // header block: resync to the next blank line. Either
+                    // way the connection survives with a 400.
+                    let resync = if let HttpError::Malformed(ref w) = error {
+                        if w.starts_with("line exceeds") {
+                            Resync::ToNewline
+                        } else {
+                            Resync::ToBlankLine { all_cr: self.inner.scan.all_cr }
+                        }
+                    } else {
+                        Resync::ToNewline
+                    };
+                    self.inner.fail_into(resync);
+                    return ParseStep::Failed { error, recoverable: true };
+                }
+            },
+        };
+        let mut cur = std::io::Cursor::new(&self.inner.buf[self.inner.pos..]);
+        match Request::read_from_with_cap(&mut cur, self.cap) {
+            Ok(Some(req)) => {
+                let consumed = cur.position() as usize;
+                self.inner.consume(consumed);
+                ParseStep::Complete(req)
+            }
+            // A complete head cannot re-read as EOF; defensively wait.
+            Ok(None) => ParseStep::Incomplete,
+            Err(HttpError::TruncatedBody { expected, .. }) => {
+                // Head done, body still in flight: remember the exact
+                // byte count so trickling bodies re-parse nothing.
+                self.inner.pending = Some((head_len, head_len + expected));
+                ParseStep::Incomplete
+            }
+            Err(HttpError::ConnectionClosed) => ParseStep::Incomplete,
+            Err(error @ HttpError::BodyTooLarge { len, .. }) => {
+                // Well-framed, oversized: skip the declared body and the
+                // connection survives with a 413.
+                self.inner.scan.idx = head_len;
+                self.inner.fail_into(Resync::Body(len));
+                ParseStep::Failed { error, recoverable: true }
+            }
+            Err(error) => ParseStep::Failed { error, recoverable: false },
+        }
+    }
+}
+
+/// Incremental response parser — the load generator's side of the same
+/// contract: delegation to [`Response::read_from`] once the head (and
+/// then the declared body) is buffered. Responses come from our own
+/// server, so any parse failure is terminal for the connection
+/// (`recoverable` is always `false`).
+#[derive(Debug)]
+pub struct ResponseParser {
+    inner: Incremental,
+}
+
+impl Default for ResponseParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseParser {
+    /// A fresh parser.
+    pub fn new() -> Self {
+        Self { inner: Incremental::new() }
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inner.feed(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete message.
+    pub fn buffered(&self) -> usize {
+        self.inner.avail()
+    }
+
+    /// True when no partial message is buffered.
+    pub fn is_clean(&self) -> bool {
+        self.inner.is_clean()
+    }
+
+    /// Attempts to parse the next buffered response.
+    pub fn next_response(&mut self) -> ParseStep<Response> {
+        let cap_err = |error| ParseStep::Failed { error, recoverable: false };
+        let inner = &mut self.inner;
+        let head_len = match inner.pending {
+            Some((head_len, total)) => {
+                if inner.avail() < total {
+                    return ParseStep::Incomplete;
+                }
+                head_len
+            }
+            None => match inner.scan_head() {
+                Ok(Some(h)) => h,
+                Ok(None) => return ParseStep::Incomplete,
+                Err(error) => return cap_err(error),
+            },
+        };
+        let mut cur = std::io::Cursor::new(&inner.buf[inner.pos..]);
+        match Response::read_from(&mut cur) {
+            Ok(resp) => {
+                let consumed = cur.position() as usize;
+                inner.consume(consumed);
+                ParseStep::Complete(resp)
+            }
+            Err(HttpError::TruncatedBody { expected, .. }) => {
+                inner.pending = Some((head_len, head_len + expected));
+                ParseStep::Incomplete
+            }
+            Err(HttpError::ConnectionClosed) => ParseStep::Incomplete,
+            Err(error) => cap_err(error),
+        }
+    }
+}
+
 /// Size in bytes of chunk `k` at `level` as served over HTTP.
 pub fn chunk_bytes(video: &Video, k: usize, level: LevelIdx) -> usize {
     (video.chunk_size_kbits(k, level) * 1000.0 / 8.0).ceil() as usize
@@ -895,6 +1307,278 @@ mod tests {
         let v = envivio_video();
         // 350 kbps * 4 s = 1400 kbits = 175,000 bytes exactly.
         assert_eq!(chunk_bytes(&v, 0, LevelIdx(0)), 175_000);
+    }
+
+    mod incremental {
+        use super::super::*;
+        use std::io::Cursor;
+
+        fn complete(step: ParseStep<Request>) -> Request {
+            match step {
+                ParseStep::Complete(r) => r,
+                other => panic!("expected Complete, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn byte_at_a_time_matches_one_shot() {
+            let mut wire = Vec::new();
+            Request::post("/decision", Bytes::from_static(b"sid 1\nchunk 0\n"), "text/plain")
+                .write_to(&mut wire)
+                .unwrap();
+            let expect = Request::read_from(&mut Cursor::new(wire.clone()))
+                .unwrap()
+                .unwrap();
+            let mut p = RequestParser::new();
+            let mut got = None;
+            for (i, b) in wire.iter().enumerate() {
+                p.feed(std::slice::from_ref(b));
+                match p.next_request() {
+                    ParseStep::Complete(r) => {
+                        assert_eq!(i, wire.len() - 1, "completed early at byte {i}");
+                        got = Some(r);
+                    }
+                    ParseStep::Incomplete => assert!(i < wire.len() - 1),
+                    ParseStep::Failed { error, .. } => panic!("failed at byte {i}: {error}"),
+                }
+            }
+            assert_eq!(got.unwrap(), expect);
+            assert!(p.is_clean());
+        }
+
+        #[test]
+        fn pipelined_requests_parse_in_order() {
+            let mut wire = Vec::new();
+            for k in 0..3 {
+                Request::post(
+                    &format!("/decision/{k}"),
+                    Bytes::from(format!("chunk {k}\n")),
+                    "text/plain",
+                )
+                .write_to(&mut wire)
+                .unwrap();
+            }
+            Request::get("/metrics").write_to(&mut wire).unwrap();
+            let mut p = RequestParser::new();
+            p.feed(&wire);
+            for k in 0..3 {
+                let r = complete(p.next_request());
+                assert_eq!(r.path, format!("/decision/{k}"));
+                assert_eq!(r.body.as_ref(), format!("chunk {k}\n").as_bytes());
+            }
+            assert_eq!(complete(p.next_request()).path, "/metrics");
+            assert!(matches!(p.next_request(), ParseStep::Incomplete));
+            assert!(p.is_clean());
+        }
+
+        #[test]
+        fn split_across_body_boundary() {
+            let mut wire = Vec::new();
+            Request::post("/x", Bytes::from_static(b"0123456789"), "text/plain")
+                .write_to(&mut wire)
+                .unwrap();
+            // Split mid-body: head + 4 body bytes, then the rest.
+            let cut = wire.len() - 6;
+            let mut p = RequestParser::new();
+            p.feed(&wire[..cut]);
+            assert!(matches!(p.next_request(), ParseStep::Incomplete));
+            assert!(!p.is_clean());
+            p.feed(&wire[cut..]);
+            let r = complete(p.next_request());
+            assert_eq!(r.body.as_ref(), b"0123456789");
+        }
+
+        #[test]
+        fn body_too_large_is_recoverable() {
+            let mut wire =
+                format!("POST /big HTTP/1.1\r\ncontent-length: 64\r\n\r\n{}", "b".repeat(64))
+                    .into_bytes();
+            Request::get("/after").write_to(&mut wire).unwrap();
+            let mut p = RequestParser::with_cap(16);
+            p.feed(&wire);
+            match p.next_request() {
+                ParseStep::Failed { error, recoverable } => {
+                    assert!(matches!(error, HttpError::BodyTooLarge { len: 64, cap: 16 }));
+                    assert!(recoverable);
+                }
+                other => panic!("{other:?}"),
+            }
+            // The declared body was skipped; the next request parses.
+            assert_eq!(complete(p.next_request()).path, "/after");
+        }
+
+        #[test]
+        fn body_too_large_resyncs_across_trickled_body() {
+            let head = b"POST /big HTTP/1.1\r\ncontent-length: 64\r\n\r\n";
+            let mut p = RequestParser::with_cap(16);
+            p.feed(head);
+            assert!(matches!(
+                p.next_request(),
+                ParseStep::Failed { recoverable: true, .. }
+            ));
+            // Refused body arrives in dribs; parser discards silently.
+            for _ in 0..4 {
+                p.feed(&[b'b'; 16]);
+                if let ParseStep::Complete(r) = p.next_request() {
+                    panic!("phantom request {r:?}");
+                }
+            }
+            let mut after = Vec::new();
+            Request::get("/after").write_to(&mut after).unwrap();
+            p.feed(&after);
+            assert_eq!(complete(p.next_request()).path, "/after");
+        }
+
+        #[test]
+        fn overlong_line_is_recoverable_and_resyncs() {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(b"GET /");
+            wire.extend_from_slice("x".repeat(2 * MAX_LINE_BYTES).as_bytes());
+            wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+            let mut after = Vec::new();
+            Request::get("/after").write_to(&mut after).unwrap();
+            wire.extend_from_slice(&after);
+            let mut p = RequestParser::new();
+            p.feed(&wire);
+            match p.next_request() {
+                ParseStep::Failed { error, recoverable } => {
+                    assert!(
+                        matches!(error, HttpError::Malformed(ref w) if w.contains("line exceeds")),
+                        "{error:?}"
+                    );
+                    assert!(recoverable);
+                }
+                other => panic!("{other:?}"),
+            }
+            // Resynced to the next line; the stray "\r\n" blank line after
+            // the overlong request line reads as an empty request line —
+            // malformed, but the parser must not hang or panic.
+            match p.next_request() {
+                ParseStep::Failed { error, .. } => {
+                    assert!(matches!(error, HttpError::Malformed(_)))
+                }
+                ParseStep::Complete(r) => assert_eq!(r.path, "/after"),
+                ParseStep::Incomplete => panic!("stuck"),
+            }
+        }
+
+        #[test]
+        fn runaway_headers_are_recoverable_and_resync_to_blank_line() {
+            let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+            // Many sub-cap lines, blank line far beyond the head limit.
+            for i in 0..8 {
+                wire.extend_from_slice(
+                    format!("x-{i}: {}\r\n", "v".repeat(MAX_LINE_BYTES - 64)).as_bytes(),
+                );
+            }
+            wire.extend_from_slice(b"\r\n");
+            let mut after = Vec::new();
+            Request::get("/after").write_to(&mut after).unwrap();
+            wire.extend_from_slice(&after);
+            let mut p = RequestParser::new();
+            p.feed(&wire);
+            match p.next_request() {
+                ParseStep::Failed { error, recoverable } => {
+                    assert!(
+                        matches!(error, HttpError::Malformed(ref w) if w.contains("headers exceed")),
+                        "{error:?}"
+                    );
+                    assert!(recoverable);
+                }
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(complete(p.next_request()).path, "/after");
+        }
+
+        #[test]
+        fn garbage_request_line_is_terminal() {
+            let mut p = RequestParser::new();
+            p.feed(b"NOT-HTTP-AT-ALL\r\n\r\n");
+            match p.next_request() {
+                ParseStep::Failed { error, recoverable } => {
+                    assert!(matches!(error, HttpError::Malformed(_)));
+                    assert!(!recoverable);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+
+        #[test]
+        fn post_without_content_length_is_terminal() {
+            let mut p = RequestParser::new();
+            p.feed(b"POST /x HTTP/1.1\r\n\r\n");
+            match p.next_request() {
+                ParseStep::Failed { error, recoverable } => {
+                    assert!(
+                        matches!(error, HttpError::Malformed(ref w) if w.contains("content-length"))
+                    );
+                    assert!(!recoverable);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+
+        #[test]
+        fn response_parser_matches_one_shot_bytewise() {
+            let resp = Response::ok(Bytes::from_static(b"level 3\nstartup 0.0\n"), "text/plain");
+            let mut wire = Vec::new();
+            resp.write_to(&mut wire).unwrap();
+            let expect = Response::read_from(&mut Cursor::new(wire.clone())).unwrap();
+            let mut p = ResponseParser::new();
+            let mut got = None;
+            for (i, b) in wire.iter().enumerate() {
+                p.feed(std::slice::from_ref(b));
+                match p.next_response() {
+                    ParseStep::Complete(r) => {
+                        assert_eq!(i, wire.len() - 1);
+                        got = Some(r);
+                    }
+                    ParseStep::Incomplete => {}
+                    ParseStep::Failed { error, .. } => panic!("byte {i}: {error}"),
+                }
+            }
+            assert_eq!(got.unwrap(), expect);
+            assert!(p.is_clean());
+        }
+
+        #[test]
+        fn pipelined_responses_parse_in_order() {
+            let mut wire = Vec::new();
+            for k in 0..4 {
+                Response::ok(Bytes::from(format!("level {k}\n")), "text/plain")
+                    .write_to(&mut wire)
+                    .unwrap();
+            }
+            let mut p = ResponseParser::new();
+            p.feed(&wire);
+            for k in 0..4 {
+                match p.next_response() {
+                    ParseStep::Complete(r) => {
+                        assert_eq!(r.body.as_ref(), format!("level {k}\n").as_bytes())
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            assert!(matches!(p.next_response(), ParseStep::Incomplete));
+        }
+
+        #[test]
+        fn zero_length_body_and_keep_alive_boundary() {
+            // A GET (no body) followed immediately by a POST with an empty
+            // body: both boundaries are head-only.
+            let mut wire = Vec::new();
+            Request::get("/a").write_to(&mut wire).unwrap();
+            Request::post("/b", Bytes::new(), "text/plain")
+                .write_to(&mut wire)
+                .unwrap();
+            let mut p = RequestParser::new();
+            p.feed(&wire);
+            assert_eq!(complete(p.next_request()).path, "/a");
+            let b = complete(p.next_request());
+            assert_eq!(b.path, "/b");
+            assert!(b.body.is_empty());
+            assert!(p.is_clean());
+        }
     }
 
     mod fuzz {

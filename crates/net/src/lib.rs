@@ -24,6 +24,9 @@
 //! * [`fault`] — seeded, deterministic per-request fault injection
 //!   (resets, truncation, stalls, 404/503, RTT jitter) plus the
 //!   [`fault::RetryPolicy`] the player survives them with.
+//! * [`poll`] — raw-syscall `epoll`/`eventfd`/`accept4` wrappers and
+//!   non-blocking fd I/O, the readiness substrate for `abr-serve`'s
+//!   event-driven server and multiplexed load generator.
 //!
 //! The simulation path (`abr-sim`) and this emulation path implement the
 //! same streaming semantics through entirely different mechanisms; the
@@ -31,7 +34,10 @@
 //! evidence this reproduction has (the paper similarly cross-validates its
 //! simulator against testbed results).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `poll` module opts back in with a
+// module-scoped allow — it is the single place raw syscalls live. Every
+// other module stays unsafe-free, enforced at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
@@ -40,6 +46,7 @@ pub mod link;
 pub mod mpd;
 pub mod multiplayer;
 pub mod player;
+pub mod poll;
 
 pub use fault::{Fault, FaultConfig, FaultKind, FaultPlan, RetryPolicy};
 pub use link::{FaultedTransfer, ShapedLink, TokenBucket};

@@ -1,0 +1,572 @@
+//! Thin raw-syscall wrappers for Linux readiness-based I/O: `epoll`,
+//! `eventfd`, `accept4`, and non-blocking `read`/`write` on raw fds.
+//!
+//! The workspace takes no external dependencies, and `std` exposes neither
+//! `epoll` nor `eventfd`, so the handful of syscalls an event loop needs
+//! are issued directly via inline assembly (x86_64 and aarch64). This is
+//! the only module in the workspace that contains `unsafe`; everything it
+//! exports is a safe wrapper whose invariants are local:
+//!
+//! * every syscall here is memory-safe for any argument values (the kernel
+//!   validates fds and flags and answers `EBADF`/`EINVAL`);
+//! * the only pointers passed cross the boundary with their correct
+//!   lengths, derived from Rust slices that outlive the call;
+//! * raw fds are wrapped in [`OwnedFd`]-style RAII ([`Epoll`], [`EventFd`])
+//!   or returned as plain `i32`s whose ownership the caller tracks
+//!   explicitly (accepted sockets, closed via [`close`]).
+//!
+//! Errors come back as `std::io::Error` built from the raw negative-errno
+//! return, so callers match on `ErrorKind` exactly as they would with std
+//! I/O. `WouldBlock` is surfaced as `Ok(None)` from the read/write/accept
+//! wrappers — the readiness loop's common case, not an error.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+// ---------------------------------------------------------------------------
+// Raw syscall plumbing (x86_64 + aarch64 Linux).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const SETSOCKOPT: usize = 54;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const ACCEPT4: usize = 288;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
+    pub const SETSOCKOPT: usize = 208;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const ACCEPT4: usize = 242;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+/// Issues a raw syscall with up to 6 arguments, returning the kernel's raw
+/// result (negative values are `-errno`).
+///
+/// # Safety
+///
+/// Pointer-typed arguments must point to live memory of the size the
+/// syscall expects for the duration of the call.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") nr as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack)
+    );
+    ret
+}
+
+/// aarch64 variant of [`syscall6`].
+///
+/// # Safety
+///
+/// Same contract as the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "svc 0",
+        inlateout("x8") nr as isize => _,
+        inlateout("x0") a1 as isize => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x5") a6,
+        options(nostack)
+    );
+    ret
+}
+
+/// Maps a raw syscall return to `io::Result<usize>`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// `Ok(Some(n))` on success, `Ok(None)` on `EAGAIN`/`EWOULDBLOCK` — the
+/// readiness loop's "try again later", not a failure.
+fn check_nonblocking(ret: isize) -> io::Result<Option<usize>> {
+    const EAGAIN: isize = 11;
+    const EINTR: isize = 4;
+    match ret {
+        r if r >= 0 => Ok(Some(r as usize)),
+        r if r == -EAGAIN => Ok(None),
+        // A signal landing mid-call is indistinguishable from "nothing
+        // ready yet" for a non-blocking fd; the loop simply retries.
+        r if r == -EINTR => Ok(None),
+        r => Err(io::Error::from_raw_os_error(-r as i32)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll
+// ---------------------------------------------------------------------------
+
+/// Readiness: the fd has bytes to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept more outgoing bytes.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup: the peer closed both directions (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// The peer shut down its writing half (must be requested).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLL_CLOEXEC: usize = 0x80000;
+
+/// One readiness notification: the event mask and the caller's token.
+///
+/// Matches the kernel's `struct epoll_event` layout (packed on x86_64,
+/// naturally aligned elsewhere), so a `&mut [Event]` is passed to
+/// `epoll_wait` directly.
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub struct Event {
+    events: u32,
+    token: u64,
+}
+
+impl Event {
+    /// The readiness mask (`EPOLLIN | ...`).
+    pub fn readiness(&self) -> u32 {
+        // A packed field cannot be borrowed; copy it out.
+        let e = self.events;
+        e
+    }
+
+    /// The token registered with the fd.
+    pub fn token(&self) -> u64 {
+        let t = self.token;
+        t
+    }
+
+    /// Whether the fd is readable (or has an accept pending).
+    pub fn readable(&self) -> bool {
+        self.readiness() & EPOLLIN != 0
+    }
+
+    /// Whether the fd is writable.
+    pub fn writable(&self) -> bool {
+        self.readiness() & EPOLLOUT != 0
+    }
+
+    /// Whether the kernel flagged an error or hangup (connection dead or
+    /// half-closed by the peer).
+    pub fn closed(&self) -> bool {
+        self.readiness() & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// An epoll instance. Closes its fd on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Self> {
+        let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+        Ok(Self { fd: fd as RawFd })
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = Event { events: interest, token };
+        let ptr = if op == EPOLL_CTL_DEL { 0 } else { &mut ev as *mut Event as usize };
+        // Safety: `ev` lives across the call; DEL ignores the pointer.
+        check(unsafe { syscall6(nr::EPOLL_CTL, self.fd as usize, op, fd as usize, ptr, 0, 0) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` for `interest`, tagging readiness events with
+    /// `token`.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest mask (and token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (-1 = forever) for readiness, filling
+    /// `events` from the front. Returns how many events arrived (0 on
+    /// timeout, also 0 if a signal interrupted the wait).
+    pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // Safety: the events buffer outlives the call and its length is
+        // passed alongside; the null sigmask makes this plain epoll_wait.
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT,
+                self.fd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0, // sigmask: none
+                8, // sigsetsize (ignored with a null mask on Linux)
+            )
+        };
+        match check_nonblocking(ret)? {
+            Some(n) => Ok(n),
+            None => Ok(0),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        let _ = close(self.fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventfd — the cross-thread wakeup primitive
+// ---------------------------------------------------------------------------
+
+/// A non-blocking `eventfd`: one loop registers it in its epoll, other
+/// threads [`signal`](Self::signal) it to force a wakeup. Closes on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+    pub fn new() -> io::Result<Self> {
+        const EFD_CLOEXEC: usize = 0x80000;
+        const EFD_NONBLOCK: usize = 0x800;
+        let fd = check(unsafe {
+            syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0)
+        })?;
+        Ok(Self { fd: fd as RawFd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes whoever is polling this fd (adds 1 to the counter).
+    pub fn signal(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // Safety: 8 bytes of a live u64.
+        let ret = unsafe {
+            syscall6(nr::WRITE, self.fd as usize, &one as *const u64 as usize, 8, 0, 0, 0)
+        };
+        // A full counter (EAGAIN) still leaves the fd readable — the wakeup
+        // is already pending, so that outcome is success too.
+        check_nonblocking(ret).map(|_| ())
+    }
+
+    /// Consumes all pending signals so the next epoll wait can sleep.
+    pub fn drain(&self) -> io::Result<()> {
+        let mut buf = 0u64;
+        // Safety: 8 bytes of a live u64.
+        let ret = unsafe {
+            syscall6(nr::READ, self.fd as usize, &mut buf as *mut u64 as usize, 8, 0, 0, 0)
+        };
+        check_nonblocking(ret).map(|_| ())
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        let _ = close(self.fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket syscalls
+// ---------------------------------------------------------------------------
+
+/// `accept4(listener, NULL, NULL, SOCK_NONBLOCK | SOCK_CLOEXEC)`:
+/// `Ok(Some(fd))` with the accepted socket already non-blocking,
+/// `Ok(None)` when the accept queue is empty. The caller owns the fd and
+/// must [`close`] it.
+pub fn accept4(listener: RawFd) -> io::Result<Option<RawFd>> {
+    const SOCK_NONBLOCK: usize = 0x800;
+    const SOCK_CLOEXEC: usize = 0x80000;
+    const ECONNABORTED: i32 = 103;
+    // Safety: null addr/addrlen are explicitly allowed by accept4.
+    let ret = unsafe {
+        syscall6(
+            nr::ACCEPT4,
+            listener as usize,
+            0,
+            0,
+            SOCK_NONBLOCK | SOCK_CLOEXEC,
+            0,
+            0,
+        )
+    };
+    match check_nonblocking(ret) {
+        Ok(Some(fd)) => Ok(Some(fd as RawFd)),
+        Ok(None) => Ok(None),
+        // The peer gave up between SYN and accept: not a listener problem.
+        Err(e) if e.raw_os_error() == Some(ECONNABORTED) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Non-blocking read: `Ok(Some(0))` is EOF, `Ok(None)` is "would block".
+pub fn read(fd: RawFd, buf: &mut [u8]) -> io::Result<Option<usize>> {
+    // Safety: the buffer is a live slice and its exact length is passed.
+    let ret = unsafe {
+        syscall6(nr::READ, fd as usize, buf.as_mut_ptr() as usize, buf.len(), 0, 0, 0)
+    };
+    check_nonblocking(ret)
+}
+
+/// Non-blocking write: `Ok(Some(n))` wrote `n <= buf.len()` bytes,
+/// `Ok(None)` is "would block" (socket send buffer full).
+pub fn write(fd: RawFd, buf: &[u8]) -> io::Result<Option<usize>> {
+    // Safety: the buffer is a live slice and its exact length is passed.
+    let ret = unsafe {
+        syscall6(nr::WRITE, fd as usize, buf.as_ptr() as usize, buf.len(), 0, 0, 0)
+    };
+    check_nonblocking(ret)
+}
+
+/// Closes a raw fd owned by the caller.
+pub fn close(fd: RawFd) -> io::Result<()> {
+    check(unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) }).map(|_| ())
+}
+
+/// Sets `TCP_NODELAY` on a raw socket fd (decision requests are tiny and
+/// latency-bound; Nagle would serialize them behind ACKs).
+pub fn set_tcp_nodelay(fd: RawFd) -> io::Result<()> {
+    const IPPROTO_TCP: usize = 6;
+    const TCP_NODELAY: usize = 1;
+    let one: i32 = 1;
+    // Safety: 4 bytes of a live i32, length passed alongside.
+    check(unsafe {
+        syscall6(
+            nr::SETSOCKOPT,
+            fd as usize,
+            IPPROTO_TCP,
+            TCP_NODELAY,
+            &one as *const i32 as usize,
+            4,
+            0,
+        )
+    })
+    .map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+        let mut events = [Event::default(); 8];
+
+        // Nothing to read yet: the wait times out empty.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].readable());
+
+        // Level-triggered: unread bytes keep the fd ready.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+        let mut buf = [0u8; 16];
+        assert_eq!(read(server.as_raw_fd(), &mut buf).unwrap(), Some(4));
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_reports_peer_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 1).unwrap();
+        drop(client);
+        let mut events = [Event::default(); 4];
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].closed(), "mask {:#x}", events[0].readiness());
+        // And the read wrapper reports clean EOF.
+        let mut buf = [0u8; 8];
+        assert_eq!(read(server.as_raw_fd(), &mut buf).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn modify_and_delete_change_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        // Writable-only interest on an idle socket: immediately ready.
+        ep.add(server.as_raw_fd(), EPOLLOUT, 3).unwrap();
+        let mut events = [Event::default(); 4];
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable());
+
+        // Switch to read-only interest: no longer ready until bytes arrive.
+        ep.modify(server.as_raw_fd(), EPOLLIN, 4).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        client.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 4);
+
+        // Deregister: readiness stops being reported at all.
+        ep.delete(server.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn accept4_yields_nonblocking_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Empty queue: None, not an error.
+        assert_eq!(accept4(listener.as_raw_fd()).unwrap(), None);
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        // The connect may take a moment to land in the accept queue.
+        let fd = loop {
+            if let Some(fd) = accept4(listener.as_raw_fd()).unwrap() {
+                break fd;
+            }
+            std::thread::yield_now();
+        };
+        // The accepted socket is already non-blocking: a read with no data
+        // answers WouldBlock (None), not a hang.
+        let mut buf = [0u8; 8];
+        assert_eq!(read(fd, &mut buf).unwrap(), None);
+        client.write_all(b"hi").unwrap();
+        loop {
+            match read(fd, &mut buf).unwrap() {
+                Some(n) => {
+                    assert_eq!(&buf[..n], b"hi");
+                    break;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(write(fd, b"ok").unwrap(), Some(2));
+        let mut back = [0u8; 2];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ok");
+        set_tcp_nodelay(fd).unwrap();
+        close(fd).unwrap();
+        // Double close is an error (EBADF), proving the fd was released.
+        assert!(close(fd).is_err());
+    }
+
+    #[test]
+    fn eventfd_wakes_a_waiting_epoll() {
+        let ef = EventFd::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(ef.fd(), EPOLLIN, 99).unwrap();
+        let mut events = [Event::default(); 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        // Signal from another thread while this one waits.
+        std::thread::scope(|s| {
+            s.spawn(|| ef.signal().unwrap());
+            let n = ep.wait(&mut events, 2000).unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(events[0].token(), 99);
+        });
+        // Drained, the wakeup stops firing; signal twice, drain once
+        // (the counter coalesces), and it is quiet again.
+        ef.drain().unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        ef.signal().unwrap();
+        ef.signal().unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+        ef.drain().unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_to_a_full_socket_would_block() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let fd = server.as_raw_fd();
+        // Stuff the send buffer until the kernel pushes back.
+        let chunk = vec![0u8; 64 * 1024];
+        let mut saw_block = false;
+        for _ in 0..10_000 {
+            match write(fd, &chunk).unwrap() {
+                Some(_) => {}
+                None => {
+                    saw_block = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_block, "send buffer never filled");
+    }
+}

@@ -1,0 +1,295 @@
+//! Differential coverage for the incremental HTTP parsers.
+//!
+//! The event-driven server sees request streams in arbitrary fragments —
+//! whatever the kernel hands each `read` — so the incremental parser must
+//! produce *exactly* the message sequence the one-shot `abr_net::http`
+//! parser produces on the whole stream, for every possible byte-wise
+//! split. That equivalence is the contract this suite pins: valid
+//! pipelined keep-alive streams, the malformed-request corpus, and the
+//! size-cap paths (400/413 with the connection surviving).
+
+use abr_net::http::{
+    HttpError, ParseStep, Request, RequestParser, Response, ResponseParser, MAX_LINE_BYTES,
+};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Reads the full message sequence with the one-shot parser: complete
+/// requests until EOF or the first error.
+fn one_shot_requests(wire: &[u8]) -> (Vec<Request>, Option<String>) {
+    let mut cur = Cursor::new(wire);
+    let mut msgs = Vec::new();
+    loop {
+        match Request::read_from(&mut cur) {
+            Ok(Some(req)) => msgs.push(req),
+            Ok(None) => return (msgs, None),
+            Err(e) => return (msgs, Some(e.to_string())),
+        }
+    }
+}
+
+/// Feeds `wire` to the incremental parser in the given fragments and
+/// drains everything it produces: complete requests until the first
+/// failure (or until input runs out).
+fn incremental_requests(wire: &[u8], cuts: &[usize]) -> (Vec<Request>, Option<String>) {
+    let mut p = RequestParser::new();
+    let mut msgs = Vec::new();
+    let mut err = None;
+    let mut prev = 0;
+    for &cut in cuts {
+        p.feed(&wire[prev..cut]);
+        prev = cut;
+        loop {
+            match p.next_request() {
+                ParseStep::Complete(req) => msgs.push(req),
+                ParseStep::Incomplete => break,
+                ParseStep::Failed { error, .. } => {
+                    if err.is_none() {
+                        err = Some(error.to_string());
+                    }
+                    return (msgs, err);
+                }
+            }
+        }
+    }
+    p.feed(&wire[prev..]);
+    loop {
+        match p.next_request() {
+            ParseStep::Complete(req) => msgs.push(req),
+            ParseStep::Incomplete => break,
+            ParseStep::Failed { error, .. } => {
+                if err.is_none() {
+                    err = Some(error.to_string());
+                }
+                break;
+            }
+        }
+    }
+    (msgs, err)
+}
+
+/// Sorted, deduped cut points inside `len`.
+fn cut_points(len: usize, raw: &[proptest::sample::Index]) -> Vec<usize> {
+    let mut cuts: Vec<usize> = raw.iter().map(|i| i.index(len.max(1))).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+/// The malformed inputs the one-shot tests already pin — every one has a
+/// complete head, so the incremental parser must report the *identical*
+/// error regardless of how the bytes are split.
+const MALFORMED_CORPUS: &[&[u8]] = &[
+    b"NOT-HTTP-AT-ALL\r\n\r\n",
+    b"GET / SPDY/9\r\n\r\n",
+    b"POST /x HTTP/1.1\r\n\r\n",
+    b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+    b"POST /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+    b"GARBAGE\r\n\r\n",
+    b"\r\nGET / HTTP/1.1\r\n\r\n",
+];
+
+proptest! {
+    /// Any byte-wise split of a valid pipelined request stream parses to
+    /// exactly the one-shot message sequence.
+    #[test]
+    fn any_split_of_valid_stream_matches_one_shot(
+        reqs in proptest::collection::vec(
+            (any::<bool>(), "[a-z0-9/]{1,12}", proptest::collection::vec(any::<u8>(), 0..200)),
+            1..6,
+        ),
+        raw_cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..12),
+    ) {
+        let mut wire = Vec::new();
+        for (is_post, path, body) in &reqs {
+            let path = format!("/{path}");
+            let req = if *is_post {
+                Request::post(&path, Bytes::from(body.clone()), "application/octet-stream")
+            } else {
+                Request::get(&path)
+            };
+            req.write_to(&mut wire).unwrap();
+        }
+        let cuts = cut_points(wire.len(), &raw_cuts);
+        let (expect, expect_err) = one_shot_requests(&wire);
+        let (got, got_err) = incremental_requests(&wire, &cuts);
+        prop_assert_eq!(expect_err, None::<String>);
+        prop_assert_eq!(got_err, None::<String>);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Same for the malformed corpus: the error (and any requests parsed
+    /// before it) must match the one-shot parser exactly, split-invariant.
+    #[test]
+    fn any_split_of_malformed_corpus_matches_one_shot(
+        corpus_idx in 0usize..MALFORMED_CORPUS.len(),
+        prefix_valid in any::<bool>(),
+        raw_cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+    ) {
+        let mut wire = Vec::new();
+        if prefix_valid {
+            // A good request in front: it must parse before the error.
+            Request::post("/ok", Bytes::from_static(b"fine"), "text/plain")
+                .write_to(&mut wire)
+                .unwrap();
+        }
+        wire.extend_from_slice(MALFORMED_CORPUS[corpus_idx]);
+        let cuts = cut_points(wire.len(), &raw_cuts);
+        let (expect, expect_err) = one_shot_requests(&wire);
+        let (got, got_err) = incremental_requests(&wire, &cuts);
+        prop_assert!(expect_err.is_some());
+        prop_assert_eq!(got_err, expect_err);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Response streams: any split parses to the one-shot sequence.
+    #[test]
+    fn any_split_of_response_stream_matches_one_shot(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..6),
+        raw_cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..12),
+    ) {
+        let mut wire = Vec::new();
+        let mut expect = Vec::new();
+        for body in &bodies {
+            let resp = Response::ok(Bytes::from(body.clone()), "application/octet-stream");
+            resp.write_to(&mut wire).unwrap();
+            expect.push(resp);
+        }
+        let cuts = cut_points(wire.len(), &raw_cuts);
+        let mut p = ResponseParser::new();
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&wire.len())) {
+            p.feed(&wire[prev..cut]);
+            prev = cut;
+            loop {
+                match p.next_response() {
+                    ParseStep::Complete(r) => got.push(r),
+                    ParseStep::Incomplete => break,
+                    ParseStep::Failed { error, .. } => {
+                        prop_assert!(false, "failed: {}", error);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert!(p.is_clean());
+    }
+
+    /// A body over the cap yields 413 semantics (`BodyTooLarge`) at any
+    /// split, and the connection survives: the next request on the same
+    /// parser still parses.
+    #[test]
+    fn oversized_body_survives_at_any_split(
+        over in 1usize..600,
+        raw_cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+    ) {
+        const CAP: usize = 256;
+        let len = CAP + over;
+        let mut wire =
+            format!("POST /big HTTP/1.1\r\ncontent-length: {len}\r\n\r\n{}", "b".repeat(len))
+                .into_bytes();
+        Request::get("/after").write_to(&mut wire).unwrap();
+        let cuts = cut_points(wire.len(), &raw_cuts);
+        let mut p = RequestParser::with_cap(CAP);
+        let mut prev = 0;
+        let mut saw_413 = false;
+        let mut after = None;
+        for &cut in cuts.iter().chain(std::iter::once(&wire.len())) {
+            p.feed(&wire[prev..cut]);
+            prev = cut;
+            loop {
+                match p.next_request() {
+                    ParseStep::Complete(req) => after = Some(req),
+                    ParseStep::Incomplete => break,
+                    ParseStep::Failed { error, recoverable } => {
+                        prop_assert!(
+                            matches!(error, HttpError::BodyTooLarge { .. }),
+                            "{}", error
+                        );
+                        prop_assert!(recoverable);
+                        saw_413 = true;
+                    }
+                }
+            }
+        }
+        prop_assert!(saw_413);
+        let after = after.expect("request after the 413 must parse");
+        prop_assert_eq!(after.path.as_str(), "/after");
+        prop_assert!(p.is_clean());
+    }
+
+    /// An over-long request line yields a recoverable 400 at any split;
+    /// the parser resyncs and keeps consuming without phantom requests.
+    #[test]
+    fn overlong_line_survives_at_any_split(
+        extra in 1usize..200,
+        raw_cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"GET /");
+        wire.extend_from_slice("x".repeat(MAX_LINE_BYTES + extra).as_bytes());
+        wire.extend_from_slice(b" HTTP/1.1\r\n");
+        let mut after = Vec::new();
+        Request::get("/after").write_to(&mut after).unwrap();
+        wire.extend_from_slice(&after);
+        let cuts = cut_points(wire.len(), &raw_cuts);
+        let mut p = RequestParser::new();
+        let mut prev = 0;
+        let mut saw_400 = false;
+        let mut parsed = Vec::new();
+        for &cut in cuts.iter().chain(std::iter::once(&wire.len())) {
+            p.feed(&wire[prev..cut]);
+            prev = cut;
+            loop {
+                match p.next_request() {
+                    ParseStep::Complete(req) => parsed.push(req),
+                    ParseStep::Incomplete => break,
+                    ParseStep::Failed { error, recoverable } => {
+                        prop_assert!(
+                            matches!(error, HttpError::Malformed(ref w) if w.contains("line exceeds")),
+                            "{}", error
+                        );
+                        prop_assert!(recoverable);
+                        saw_400 = true;
+                    }
+                }
+            }
+        }
+        prop_assert!(saw_400);
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].path.as_str(), "/after");
+        prop_assert!(p.is_clean());
+    }
+
+    /// A truncated stream (any prefix of a valid stream) never errors and
+    /// never invents a message beyond what its bytes contain.
+    #[test]
+    fn prefixes_never_invent_messages(
+        body_len in 0usize..200,
+        take in any::<proptest::sample::Index>(),
+    ) {
+        let mut wire = Vec::new();
+        Request::post("/x", Bytes::from(vec![7u8; body_len]), "text/plain")
+            .write_to(&mut wire)
+            .unwrap();
+        let take = take.index(wire.len() + 1);
+        let mut p = RequestParser::new();
+        p.feed(&wire[..take]);
+        match p.next_request() {
+            ParseStep::Complete(req) => {
+                prop_assert_eq!(take, wire.len());
+                prop_assert_eq!(req.body.len(), body_len);
+                prop_assert!(p.is_clean());
+            }
+            ParseStep::Incomplete => {
+                prop_assert!(take < wire.len());
+                prop_assert_eq!(p.is_clean(), take == 0);
+            }
+            ParseStep::Failed { error, .. } => {
+                prop_assert!(false, "prefix failed: {}", error);
+            }
+        }
+    }
+}

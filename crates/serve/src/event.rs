@@ -1,0 +1,846 @@
+//! The event-driven decision server: N readiness loops, non-blocking
+//! connection state machines, tens of thousands of live sessions.
+//!
+//! The thread-per-connection server in [`crate::server`] tops out around
+//! a few hundred concurrent sessions — each connection pins an OS thread
+//! through every blocking read. This module replaces that shape with the
+//! classic readiness architecture on `abr_net::poll`'s raw epoll
+//! wrappers:
+//!
+//! * **N event-loop threads**, each owning one `epoll` instance and an
+//!   exclusive set of connections. Loop 0 also owns the (non-blocking)
+//!   listener; accepted sockets are distributed round-robin, crossing
+//!   loops through a mutexed mailbox plus an `eventfd` wakeup. After the
+//!   handoff a connection is touched by exactly one thread — no
+//!   per-connection locks anywhere.
+//! * **A per-connection state machine**: an incremental
+//!   [`RequestParser`] absorbs whatever bytes each readable event
+//!   yields (partial heads, split bodies, pipelined keep-alive bursts),
+//!   complete requests dispatch into the shared [`AbrService`] (same
+//!   sharded store, same FastMPC table cache as the blocking server),
+//!   and responses accumulate in an output buffer drained on
+//!   writability.
+//! * **Backpressure**: a connection whose peer stops reading accumulates
+//!   response bytes; past a high-water mark the loop stops *reading*
+//!   from it (interest drops `EPOLLIN`) until the kernel drains the
+//!   queue below the low-water mark — a slow consumer throttles itself,
+//!   not the loop.
+//! * **FD hygiene**: idle connections are closed on a deadline sweep,
+//!   `EPOLLERR`/`EPOLLHUP`/`ECONNRESET` tear down the one connection
+//!   (never the loop), and shutdown releases the listener first, then
+//!   drains buffered responses for a bounded window before closing
+//!   everything.
+//!
+//! The protocol, the session semantics, and the bit-identity contract
+//! are unchanged: both servers route through [`AbrService::handle`], so
+//! a decision sequence observed through this server is byte-identical
+//! to one observed through the blocking server — CI diffs them.
+
+use crate::metrics::LoopStats;
+use crate::server::AbrService;
+use abr_net::http::{
+    HttpError, ParseStep, RequestParser, Response, MAX_REQUEST_BODY_BYTES,
+};
+use abr_net::poll::{self, Epoll, Event, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`EventServer::spawn`].
+#[derive(Debug, Clone)]
+pub struct EventConfig {
+    /// Event-loop threads (at least 1). Loop 0 owns the listener.
+    pub loops: usize,
+    /// Global cap on simultaneously open connections; sockets accepted
+    /// beyond it are closed immediately.
+    pub max_conns: usize,
+    /// Request-body cap in bytes (mirrors the blocking server's).
+    pub body_cap: usize,
+    /// Connections with no traffic for this long are closed by the
+    /// sweep. Protects the fd budget from peers that connect and stall.
+    pub idle_timeout: Duration,
+    /// Session-store shards.
+    pub shards: usize,
+}
+
+impl EventConfig {
+    /// Defaults with `loops` event-loop threads.
+    pub fn with_loops(loops: usize) -> Self {
+        Self { loops, ..Self::default() }
+    }
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        Self {
+            loops: 2,
+            max_conns: 16 * 1024,
+            body_cap: MAX_REQUEST_BODY_BYTES,
+            idle_timeout: Duration::from_secs(60),
+            shards: 16,
+        }
+    }
+}
+
+/// Spawns the event-driven decision server.
+pub struct EventServer;
+
+impl EventServer {
+    /// Starts the server with `cfg`, binding a loopback listener.
+    pub fn spawn(cfg: EventConfig) -> io::Result<EventHandle> {
+        Self::spawn_with_service(cfg, None)
+    }
+
+    /// [`spawn`](Self::spawn), optionally sharing an existing service
+    /// (so two transports can front one session store in tests).
+    pub fn spawn_with_service(
+        cfg: EventConfig,
+        service: Option<Arc<AbrService>>,
+    ) -> io::Result<EventHandle> {
+        let cfg = EventConfig { loops: cfg.loops.max(1), ..cfg };
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service = service.unwrap_or_else(|| Arc::new(AbrService::new(cfg.shards)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let open_total = Arc::new(AtomicUsize::new(0));
+        let stats: Vec<Arc<LoopStats>> =
+            (0..cfg.loops).map(|_| Arc::new(LoopStats::default())).collect();
+        service.metrics().attach_loops(stats.clone());
+        let wakers: Vec<Arc<EventFd>> = (0..cfg.loops)
+            .map(|_| EventFd::new().map(Arc::new))
+            .collect::<io::Result<_>>()?;
+        let mailboxes: Vec<Arc<Mutex<Vec<RawFd>>>> =
+            (0..cfg.loops).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+
+        let mut listener = Some(listener);
+        let threads = (0..cfg.loops)
+            .map(|me| {
+                let worker = LoopWorker {
+                    me,
+                    cfg: cfg.clone(),
+                    listener: listener.take().filter(|_| me == 0),
+                    service: Arc::clone(&service),
+                    stats: Arc::clone(&stats[me]),
+                    stop: Arc::clone(&stop),
+                    open_total: Arc::clone(&open_total),
+                    wake: Arc::clone(&wakers[me]),
+                    wakers: wakers.clone(),
+                    mailboxes: mailboxes.clone(),
+                    rr: 0,
+                    conns: Vec::new(),
+                    gens: Vec::new(),
+                    free: Vec::new(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("abr-evloop-{me}"))
+                    .spawn(move || worker.run())
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(EventHandle {
+            addr,
+            service,
+            stop,
+            wakers,
+            mailboxes,
+            threads,
+        })
+    }
+}
+
+/// A running event-driven server; dropping the handle shuts it down.
+pub struct EventHandle {
+    addr: SocketAddr,
+    service: Arc<AbrService>,
+    stop: Arc<AtomicBool>,
+    wakers: Vec<Arc<EventFd>>,
+    mailboxes: Vec<Arc<Mutex<Vec<RawFd>>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl EventHandle {
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service, for in-process inspection (metrics, store).
+    pub fn service(&self) -> &AbrService {
+        &self.service
+    }
+
+    /// Graceful shutdown: signals every loop, which release the listener
+    /// immediately (the port frees before this returns), drain buffered
+    /// responses for a bounded window, then close their connections.
+    /// Idempotent; joins all loop threads.
+    pub fn shutdown(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        for w in &self.wakers {
+            let _ = w.signal();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Sockets handed off but never collected by their target loop.
+        for mb in &self.mailboxes {
+            for fd in mb.lock().unwrap().drain(..) {
+                let _ = poll::close(fd);
+            }
+        }
+    }
+}
+
+impl Drop for EventHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Epoll token of the listener (loop 0 only).
+const TOK_LISTEN: u64 = u64::MAX;
+/// Epoll token of the loop's wakeup eventfd.
+const TOK_WAKE: u64 = u64::MAX - 1;
+
+/// Stop reading from a connection once this many response bytes are
+/// queued unsent (slow-consumer backpressure)...
+const HIGH_WATER: usize = 256 * 1024;
+/// ...and resume reading once the queue drains below this.
+const LOW_WATER: usize = 64 * 1024;
+
+/// One non-blocking connection owned by exactly one loop.
+struct Conn {
+    fd: RawFd,
+    /// Token-reuse guard: bumped every time this slot is reassigned, so
+    /// readiness events from a previous occupant are ignored.
+    gen: u32,
+    parser: RequestParser,
+    /// Buffered response bytes awaiting the socket.
+    out: Vec<u8>,
+    /// Sent prefix of `out`.
+    out_pos: usize,
+    last_active: Instant,
+    /// Close once `out` fully drains (peer EOF, `connection: close`, or
+    /// unrecoverable parse failure).
+    close_after_flush: bool,
+    /// Reading paused by the backpressure high-water mark.
+    paused: bool,
+    /// Interest mask currently registered with epoll.
+    interest: u32,
+}
+
+struct LoopWorker {
+    me: usize,
+    cfg: EventConfig,
+    listener: Option<TcpListener>,
+    service: Arc<AbrService>,
+    stats: Arc<LoopStats>,
+    stop: Arc<AtomicBool>,
+    open_total: Arc<AtomicUsize>,
+    wake: Arc<EventFd>,
+    wakers: Vec<Arc<EventFd>>,
+    mailboxes: Vec<Arc<Mutex<Vec<RawFd>>>>,
+    /// Round-robin distribution cursor (loop 0 only).
+    rr: usize,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation, bumped on close so readiness events queued
+    /// for a previous occupant never reach the slot's next connection.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl LoopWorker {
+    fn run(mut self) {
+        let Ok(epoll) = Epoll::new() else { return };
+        if epoll.add(self.wake.fd(), EPOLLIN, TOK_WAKE).is_err() {
+            return;
+        }
+        if let Some(l) = &self.listener {
+            if epoll.add(l.as_raw_fd(), EPOLLIN, TOK_LISTEN).is_err() {
+                return;
+            }
+        }
+        let mut events = vec![Event::default(); 1024];
+        let mut last_sweep = Instant::now();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let timeout_ms = if drain_deadline.is_some() { 10 } else { 250 };
+            let n = match epoll.wait(&mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            for ev in events.iter().take(n).copied() {
+                match ev.token() {
+                    TOK_WAKE => {
+                        let _ = self.wake.drain();
+                        self.collect_mailbox(&epoll, drain_deadline.is_some());
+                    }
+                    TOK_LISTEN => self.accept_ready(&epoll),
+                    token => self.conn_ready(&epoll, token, ev, drain_deadline.is_some()),
+                }
+            }
+            if self.stop.load(Ordering::Acquire) && drain_deadline.is_none() {
+                // Graceful shutdown, phase 1: stop accepting — dropping
+                // the listener releases the port right away — then give
+                // buffered responses a bounded window to drain.
+                self.listener = None;
+                self.collect_mailbox(&epoll, true);
+                drain_deadline = Some(Instant::now() + Duration::from_secs(1));
+            }
+            if let Some(deadline) = drain_deadline {
+                let pending = self
+                    .conns
+                    .iter()
+                    .flatten()
+                    .any(|c| c.out_pos < c.out.len());
+                if !pending || Instant::now() >= deadline {
+                    break;
+                }
+            } else if last_sweep.elapsed() >= Duration::from_secs(1) {
+                self.sweep_idle(&epoll);
+                last_sweep = Instant::now();
+            }
+        }
+        // Phase 2: everything still open goes down with the loop.
+        for slot in 0..self.conns.len() {
+            self.close_conn(&epoll, slot);
+        }
+    }
+
+    // -- accept / distribute ------------------------------------------------
+
+    fn accept_ready(&mut self, epoll: &Epoll) {
+        let Some(listener_fd) = self.listener.as_ref().map(|l| l.as_raw_fd()) else {
+            return;
+        };
+        loop {
+            match poll::accept4(listener_fd) {
+                Ok(Some(fd)) => {
+                    if self.open_total.load(Ordering::Relaxed) >= self.cfg.max_conns
+                        || self.stop.load(Ordering::Acquire)
+                    {
+                        let _ = poll::close(fd);
+                        continue;
+                    }
+                    let _ = poll::set_tcp_nodelay(fd);
+                    self.open_total.fetch_add(1, Ordering::Relaxed);
+                    self.stats.accepts.fetch_add(1, Ordering::Relaxed);
+                    let target = self.rr % self.cfg.loops;
+                    self.rr += 1;
+                    if target == self.me {
+                        self.register_conn(epoll, fd);
+                    } else {
+                        self.mailboxes[target].lock().unwrap().push(fd);
+                        let _ = self.wakers[target].signal();
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn collect_mailbox(&mut self, epoll: &Epoll, draining: bool) {
+        let handoff: Vec<RawFd> =
+            std::mem::take(&mut *self.mailboxes[self.me].lock().unwrap());
+        for fd in handoff {
+            if draining {
+                let _ = poll::close(fd);
+                self.open_total.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                self.register_conn(epoll, fd);
+            }
+        }
+    }
+
+    fn register_conn(&mut self, epoll: &Epoll, fd: RawFd) {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let gen = self.gens[slot];
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if epoll.add(fd, interest, token(slot, gen)).is_err() {
+            let _ = poll::close(fd);
+            self.free.push(slot);
+            self.open_total.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            fd,
+            gen,
+            parser: RequestParser::with_cap(self.cfg.body_cap),
+            out: Vec::new(),
+            out_pos: 0,
+            last_active: Instant::now(),
+            close_after_flush: false,
+            paused: false,
+            interest,
+        });
+        self.stats.open_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, epoll: &Epoll, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = epoll.delete(conn.fd);
+        let _ = poll::close(conn.fd);
+        self.gens[slot] = conn.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+        self.open_total.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    // -- per-connection events ----------------------------------------------
+
+    fn conn_ready(&mut self, epoll: &Epoll, tok: u64, ev: Event, draining: bool) {
+        let slot = (tok & 0xffff_ffff) as usize;
+        let gen = (tok >> 32) as u32;
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+            return; // stale event for an already-closed slot
+        };
+        if conn.gen != gen {
+            return; // slot was recycled; event belongs to the old socket
+        }
+        if ev.readiness() & (EPOLLERR | EPOLLHUP) != 0 {
+            // Peer reset or kernel error: this connection is done; the
+            // loop itself is untouched.
+            self.close_conn(epoll, slot);
+            return;
+        }
+        if ev.writable() && !self.flush(epoll, slot) {
+            return; // closed while flushing
+        }
+        if (ev.readable() || ev.readiness() & EPOLLRDHUP != 0) && !draining {
+            self.read_ready(epoll, slot);
+        }
+    }
+
+    fn read_ready(&mut self, epoll: &Epoll, slot: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let conn = match self.conns[slot].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            match poll::read(conn.fd, &mut buf) {
+                Ok(Some(0)) => {
+                    // Clean EOF. Anything still owed (buffered responses)
+                    // is flushed first; a half-received request is
+                    // abandoned with the connection.
+                    if conn.parser.is_clean() && conn.out_pos >= conn.out.len() {
+                        self.close_conn(epoll, slot);
+                    } else {
+                        conn.close_after_flush = true;
+                        self.flush(epoll, slot);
+                    }
+                    return;
+                }
+                Ok(Some(n)) => {
+                    conn.last_active = Instant::now();
+                    conn.parser.feed(&buf[..n]);
+                    if !self.process_requests(slot) {
+                        // `connection: close` or a poisoned stream: flush
+                        // what we owe and close.
+                        self.flush(epoll, slot);
+                        return;
+                    }
+                    let conn = self.conns[slot].as_mut().expect("conn alive");
+                    if conn.out.len() - conn.out_pos > HIGH_WATER {
+                        break; // backpressure: stop reading, go flush
+                    }
+                    if n < buf.len() {
+                        break; // kernel buffer drained
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // ECONNRESET and friends: drop the connection only.
+                    self.close_conn(epoll, slot);
+                    return;
+                }
+            }
+        }
+        if let Some(conn) = self.conns[slot].as_ref() {
+            if conn.parser.buffered() > 0 {
+                // The byte stream paused mid-message; the state machine
+                // holds the partial request until the next readable event.
+                self.stats.partial_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.flush(epoll, slot);
+    }
+
+    /// Drains every complete pipelined request through the service.
+    /// Returns `false` when the connection should close after flushing
+    /// (close requested or the request stream is unrecoverable).
+    fn process_requests(&mut self, slot: usize) -> bool {
+        loop {
+            let step = match self.conns[slot].as_mut() {
+                Some(c) => c.parser.next_request(),
+                None => return false,
+            };
+            match step {
+                ParseStep::Complete(req) => {
+                    let close = req
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    let resp = self.service.handle(&req);
+                    let conn = self.conns[slot].as_mut().expect("conn alive");
+                    let _ = resp.write_to(&mut conn.out);
+                    if close {
+                        conn.close_after_flush = true;
+                        return false;
+                    }
+                }
+                ParseStep::Incomplete => return true,
+                ParseStep::Failed { error, recoverable } => {
+                    let resp = match &error {
+                        HttpError::BodyTooLarge { len, cap } => {
+                            Response::payload_too_large(*len, *cap)
+                        }
+                        HttpError::Malformed(what) => Response::bad_request(what),
+                        other => Response::bad_request(&other.to_string()),
+                    };
+                    let conn = self.conns[slot].as_mut().expect("conn alive");
+                    let _ = resp.write_to(&mut conn.out);
+                    if !recoverable {
+                        conn.close_after_flush = true;
+                        return false;
+                    }
+                    // Recoverable (size caps): the parser already
+                    // resynced; keep serving this connection.
+                }
+            }
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts. Returns
+    /// `false` if the connection was closed (fatal error, or
+    /// close-after-flush completed).
+    fn flush(&mut self, epoll: &Epoll, slot: usize) -> bool {
+        let conn = match self.conns[slot].as_mut() {
+            Some(c) => c,
+            None => return false,
+        };
+        while conn.out_pos < conn.out.len() {
+            let remaining = conn.out.len() - conn.out_pos;
+            match poll::write(conn.fd, &conn.out[conn.out_pos..]) {
+                Ok(Some(n)) => {
+                    conn.out_pos += n;
+                    conn.last_active = Instant::now();
+                    if n < remaining {
+                        self.stats.short_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Ok(None) => {
+                    // Kernel send queue full: wait for writability.
+                    self.stats.short_writes.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(_) => {
+                    self.close_conn(epoll, slot);
+                    return false;
+                }
+            }
+        }
+        if conn.out_pos >= conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            // A burst can balloon the buffer; don't pin that memory for
+            // the connection's lifetime.
+            if conn.out.capacity() > HIGH_WATER {
+                conn.out = Vec::new();
+            }
+            if conn.close_after_flush {
+                self.close_conn(epoll, slot);
+                return false;
+            }
+        }
+        self.update_interest(epoll, slot);
+        true
+    }
+
+    /// Recomputes the epoll interest mask from connection state:
+    /// `EPOLLIN` unless paused by backpressure, `EPOLLOUT` while output
+    /// is pending, `EPOLLRDHUP` always.
+    fn update_interest(&mut self, epoll: &Epoll, slot: usize) {
+        let conn = match self.conns[slot].as_mut() {
+            Some(c) => c,
+            None => return,
+        };
+        let pending = conn.out.len() - conn.out_pos;
+        if conn.paused {
+            if pending < LOW_WATER {
+                conn.paused = false;
+            }
+        } else if pending > HIGH_WATER {
+            conn.paused = true;
+        }
+        let mut want = EPOLLRDHUP;
+        if !conn.paused {
+            want |= EPOLLIN;
+        }
+        if pending > 0 {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            if epoll.modify(conn.fd, want, token(slot, conn.gen)).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn sweep_idle(&mut self, epoll: &Epoll) {
+        let deadline = self.cfg.idle_timeout;
+        for slot in 0..self.conns.len() {
+            let expired = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| c.last_active.elapsed() > deadline);
+            if expired {
+                self.close_conn(epoll, slot);
+            }
+        }
+    }
+}
+
+fn token(slot: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::proto::{DecisionRequest, SessionSpec};
+    use abr_net::http::{HttpClient, Request, Response};
+    use abr_video::envivio_video;
+    use bytes::Bytes;
+    use std::io::{BufReader, Read as _, Write as _};
+    use std::net::TcpStream;
+
+    fn quick_cfg() -> EventConfig {
+        EventConfig { loops: 2, ..EventConfig::default() }
+    }
+
+    fn client(handle: &EventHandle) -> HttpClient<TcpStream> {
+        HttpClient::new(TcpStream::connect(handle.addr()).unwrap())
+    }
+
+    fn register(c: &mut HttpClient<TcpStream>, backend: Backend) -> u64 {
+        let spec = SessionSpec::paper_default(backend, envivio_video());
+        let resp = c
+            .post("/session", Bytes::from(spec.encode()), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        String::from_utf8_lossy(&resp.body)
+            .trim()
+            .strip_prefix("sid ")
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn registers_decides_and_reports_loop_metrics() {
+        let handle = EventServer::spawn(quick_cfg()).unwrap();
+        let mut c = client(&handle);
+        let sid = register(&mut c, Backend::Bb);
+        let req = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None };
+        let resp = c
+            .post("/decision", Bytes::from(req.encode()), "text/plain")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).starts_with("level "));
+
+        let text = String::from_utf8_lossy(&c.get("/metrics").unwrap().body).into_owned();
+        assert!(text.contains("sessions_registered 1"), "{text}");
+        assert!(text.contains("decisions{backend=bb} 1"), "{text}");
+        // Event-loop observability: the accept and the open connection
+        // are visible per loop.
+        assert!(text.contains("loop_accepts{loop=0} 1"), "{text}");
+        assert!(text.contains("conns_open 1"), "{text}");
+        assert!(text.contains("loop_wakeups{loop=0}"), "{text}");
+    }
+
+    #[test]
+    fn pipelined_requests_answered_in_order() {
+        let handle = EventServer::spawn(quick_cfg()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Three pipelined requests in one write: a registration between
+        // two metrics probes.
+        let spec = SessionSpec::paper_default(Backend::Rb, envivio_video());
+        let mut wire = Vec::new();
+        Request::get("/metrics").write_to(&mut wire).unwrap();
+        Request::post("/session", Bytes::from(spec.encode()), "text/plain")
+            .write_to(&mut wire)
+            .unwrap();
+        Request::get("/metrics").write_to(&mut wire).unwrap();
+        stream.write_all(&wire).unwrap();
+        let mut reader = BufReader::new(stream);
+        let first = Response::read_from(&mut reader).unwrap();
+        let second = Response::read_from(&mut reader).unwrap();
+        let third = Response::read_from(&mut reader).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(second.status, 200);
+        assert!(String::from_utf8_lossy(&second.body).starts_with("sid "));
+        assert_eq!(third.status, 200);
+        // The third response observes the registration made by the
+        // second request — strict in-order processing.
+        assert!(
+            String::from_utf8_lossy(&third.body).contains("sessions_registered 1"),
+            "{}",
+            String::from_utf8_lossy(&third.body)
+        );
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_loops_survive() {
+        let handle = EventServer::spawn(quick_cfg()).unwrap();
+        let mut bad = TcpStream::connect(handle.addr()).unwrap();
+        bad.write_all(b"NOT-HTTP-AT-ALL\r\n\r\n").unwrap();
+        let resp = Response::read_from(&mut BufReader::new(&mut bad)).unwrap();
+        assert_eq!(resp.status, 400);
+        // The poisoned connection is closed by the server...
+        let mut probe = [0u8; 1];
+        bad.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(bad.read(&mut probe).unwrap(), 0);
+        // ...while fresh connections keep being served.
+        let mut c = client(&handle);
+        assert_eq!(c.get("/metrics").unwrap().status, 200);
+    }
+
+    #[test]
+    fn oversized_body_gets_413_and_the_connection_survives() {
+        let cfg = EventConfig { body_cap: 256, ..quick_cfg() };
+        let handle = EventServer::spawn(cfg).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let body = "x".repeat(512);
+        stream
+            .write_all(
+                format!("POST /session HTTP/1.1\r\ncontent-length: 512\r\n\r\n{body}")
+                    .as_bytes(),
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let resp = Response::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status, 413);
+        // Unlike the blocking server, the same connection keeps working:
+        // the parser skipped the refused body and resynced.
+        let mut wire = Vec::new();
+        Request::get("/metrics").write_to(&mut wire).unwrap();
+        stream.write_all(&wire).unwrap();
+        let resp = Response::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn idle_connections_are_closed_on_deadline() {
+        let cfg = EventConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..quick_cfg()
+        };
+        let handle = EventServer::spawn(cfg).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Never send a byte: the sweep must reap us (sweep cadence is
+        // 1 s, so allow a few seconds).
+        let mut probe = [0u8; 1];
+        let n = stream.read(&mut probe).unwrap();
+        assert_eq!(n, 0, "server should close the idle connection");
+    }
+
+    #[test]
+    fn abrupt_peer_reset_kills_only_that_connection() {
+        let handle = EventServer::spawn(quick_cfg()).unwrap();
+        for _ in 0..4 {
+            // Request, then vanish without reading the response: closing
+            // with unread data pending makes the kernel send RST, which
+            // the loop must absorb as a single-connection death.
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut wire = Vec::new();
+            Request::get("/metrics").write_to(&mut wire).unwrap();
+            stream.write_all(&wire).unwrap();
+            drop(stream);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let mut c = client(&handle);
+        assert_eq!(c.get("/metrics").unwrap().status, 200);
+    }
+
+    #[test]
+    fn max_conns_cap_sheds_excess_connections() {
+        let cfg = EventConfig { max_conns: 2, ..quick_cfg() };
+        let handle = EventServer::spawn(cfg).unwrap();
+        let mut keep: Vec<TcpStream> = Vec::new();
+        let mut shed = 0;
+        for _ in 0..6 {
+            let mut s = TcpStream::connect(handle.addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut wire = Vec::new();
+            Request::get("/metrics").write_to(&mut wire).unwrap();
+            s.write_all(&wire).unwrap();
+            match Response::read_from(&mut BufReader::new(s.try_clone().unwrap())) {
+                Ok(resp) => {
+                    assert_eq!(resp.status, 200);
+                    keep.push(s);
+                }
+                Err(_) => shed += 1, // closed by the cap before answering
+            }
+        }
+        assert!(shed >= 4, "cap 2 must shed most of 6 connections, shed {shed}");
+        assert!(!keep.is_empty(), "some connections must be served");
+    }
+
+    #[test]
+    fn shutdown_releases_the_listener_port() {
+        let mut handle = EventServer::spawn(quick_cfg()).unwrap();
+        let addr = handle.addr();
+        {
+            let mut c = client(&handle);
+            assert_eq!(c.get("/metrics").unwrap().status, 200);
+            // Client closes first, so no server-side TIME_WAIT lingers on
+            // the port.
+        }
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        // The exact port can be bound again: the listener fd was released.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "rebind failed: {:?}", rebind.err());
+        // And the old server no longer answers.
+        drop(rebind);
+        assert!(TcpStream::connect(addr).is_err() || {
+            let mut c = HttpClient::new(TcpStream::connect(addr).unwrap());
+            c.get("/metrics").is_err()
+        });
+    }
+
+    #[test]
+    fn connections_spread_across_loops() {
+        let cfg = EventConfig { loops: 2, ..EventConfig::default() };
+        let handle = EventServer::spawn(cfg).unwrap();
+        let mut clients: Vec<_> = (0..4).map(|_| client(&handle)).collect();
+        for c in &mut clients {
+            assert_eq!(c.get("/metrics").unwrap().status, 200);
+        }
+        let text =
+            String::from_utf8_lossy(&clients[0].get("/metrics").unwrap().body).into_owned();
+        assert!(text.contains("conns_open 4"), "{text}");
+        // Round-robin distribution: both loops own connections.
+        assert!(text.contains("loop_open_conns{loop=0} 2"), "{text}");
+        assert!(text.contains("loop_open_conns{loop=1} 2"), "{text}");
+    }
+}

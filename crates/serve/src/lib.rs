@@ -19,6 +19,11 @@
 //!   state update replays `abr_sim::run_session_core`'s bookkeeping from
 //!   the client's reports, which is what makes remote decisions
 //!   *bit-identical* to in-process ones.
+//! * [`event`] — the event-driven server: N epoll readiness loops with
+//!   non-blocking per-connection state machines (incremental parsing,
+//!   buffered writes, backpressure, idle reaping). Same [`AbrService`],
+//!   same wire protocol, same bit-identity contract as [`server`], but
+//!   scaling to tens of thousands of concurrent connections.
 //! * [`client`] — [`RemoteController`]: a `BitrateController` whose
 //!   `decide` is a real socket round-trip, pluggable into any driver.
 //! * [`loadgen`] — the closed-loop load generator: K concurrent
@@ -26,6 +31,10 @@
 //!   the remote-vs-in-process differential check. With `batch > 1` it
 //!   becomes an aggregating proxy, coalescing a group of sessions into
 //!   one bulk request per chunk tick.
+//! * [`muxload`] — the multiplexed load generator: a few loop threads
+//!   drive thousands of virtual closed-loop sessions over a bounded pool
+//!   of pipelined keep-alive connections, recording exact latency samples
+//!   and the full decision sequence for differential verification.
 //!
 //! The differential guarantee is the crate's spine: `tests/differential.rs`
 //! and the `serve-bench` harness gate assert that every remote session's
@@ -37,16 +46,20 @@
 
 pub mod backend;
 pub mod client;
+pub mod event;
 pub mod loadgen;
 pub mod metrics;
+pub mod muxload;
 pub mod proto;
 pub mod server;
 pub mod store;
 
 pub use backend::{Backend, PredictorKind};
 pub use client::{RemoteController, ServeClient, ServeError};
+pub use event::{EventConfig, EventHandle, EventServer};
 pub use loadgen::{run_load, LoadOptions, LoadReport};
-pub use metrics::{exact_quantile_us, LatencyHistogram, Metrics};
+pub use metrics::{exact_quantile_us, LatencyHistogram, LoopStats, Metrics};
+pub use muxload::{run_mux_load, MuxOptions};
 pub use proto::{
     decode_bulk, decode_bulk_reply, encode_bulk, encode_bulk_reply, BulkSlot, DecisionReply,
     DecisionRequest, LastChunk, ProtoError, SessionSpec,

@@ -373,7 +373,9 @@ fn drive_group(
 
 /// Compares a remote session against its in-process twin; `None` when
 /// bit-identical, otherwise one line describing the first divergence.
-fn diff_sessions(
+/// Shared with [`crate::muxload`] — both generators enforce the same
+/// contract.
+pub(crate) fn diff_sessions(
     session: usize,
     remote: &abr_sim::SessionResult,
     local: &abr_sim::SessionResult,

@@ -7,6 +7,7 @@
 //! operational visibility, not the benchmark's source of truth.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 const BUCKETS: usize = 40;
 
@@ -94,6 +95,25 @@ pub struct BackendStats {
     pub latency: LatencyHistogram,
 }
 
+/// One event loop's observability counters (all lock-free atomics; the
+/// loop thread is the only writer, `GET /metrics` the reader).
+#[derive(Debug, Default)]
+pub struct LoopStats {
+    /// Times the loop's `epoll_wait` returned (including timeouts).
+    pub wakeups: AtomicU64,
+    /// Connections this loop accepted (only the listener-owning loop
+    /// accepts; the others show 0).
+    pub accepts: AtomicU64,
+    /// Reads that left an incomplete request buffered — the byte stream
+    /// paused mid-message and the state machine carried it across.
+    pub partial_reads: AtomicU64,
+    /// Writes that could not drain the full response buffer (kernel
+    /// send-queue pushback; the remainder waits for writability).
+    pub short_writes: AtomicU64,
+    /// Connections currently owned by this loop.
+    pub open_conns: AtomicU64,
+}
+
 /// Process-wide service counters.
 #[derive(Debug)]
 pub struct Metrics {
@@ -104,6 +124,7 @@ pub struct Metrics {
     /// Requests refused with a 4xx.
     pub rejected: AtomicU64,
     backends: [(&'static str, BackendStats); 8],
+    loops: OnceLock<Vec<Arc<LoopStats>>>,
 }
 
 impl Default for Metrics {
@@ -121,7 +142,15 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             backends: crate::backend::Backend::ALL
                 .map(|b| (b.token(), BackendStats::default())),
+            loops: OnceLock::new(),
         }
+    }
+
+    /// Attaches the event loops' counters so `render` can expose them.
+    /// Called once by the event-driven server at spawn; a second call
+    /// (another server sharing the service) is ignored.
+    pub fn attach_loops(&self, loops: Vec<Arc<LoopStats>>) {
+        let _ = self.loops.set(loops);
     }
 
     /// The stats bucket for a backend token.
@@ -171,6 +200,27 @@ impl Metrics {
                 stats.latency.quantile_us(0.99),
             ));
         }
+        if let Some(loops) = self.loops.get() {
+            let open_total: u64 = loops
+                .iter()
+                .map(|l| l.open_conns.load(Ordering::Relaxed))
+                .sum();
+            out.push_str(&format!("conns_open {open_total}\n"));
+            for (i, l) in loops.iter().enumerate() {
+                out.push_str(&format!(
+                    "loop_wakeups{{loop={i}}} {}\n\
+                     loop_accepts{{loop={i}}} {}\n\
+                     loop_partial_reads{{loop={i}}} {}\n\
+                     loop_short_writes{{loop={i}}} {}\n\
+                     loop_open_conns{{loop={i}}} {}\n",
+                    l.wakeups.load(Ordering::Relaxed),
+                    l.accepts.load(Ordering::Relaxed),
+                    l.partial_reads.load(Ordering::Relaxed),
+                    l.short_writes.load(Ordering::Relaxed),
+                    l.open_conns.load(Ordering::Relaxed),
+                ));
+            }
+        }
         out
     }
 }
@@ -205,6 +255,29 @@ mod tests {
         assert_eq!(exact_quantile_us(&samples, 0.999), 999.0);
         assert_eq!(exact_quantile_us(&samples, 1.0), 1000.0);
         assert_eq!(exact_quantile_us(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn loop_stats_render_per_loop_lines() {
+        let m = Metrics::new();
+        // No loops attached: the event-loop section is absent entirely.
+        assert!(!m.render(0, 0).contains("conns_open"));
+        let loops: Vec<Arc<LoopStats>> =
+            (0..2).map(|_| Arc::new(LoopStats::default())).collect();
+        loops[0].wakeups.fetch_add(5, Ordering::Relaxed);
+        loops[0].accepts.fetch_add(3, Ordering::Relaxed);
+        loops[1].partial_reads.fetch_add(2, Ordering::Relaxed);
+        loops[1].short_writes.fetch_add(1, Ordering::Relaxed);
+        loops[0].open_conns.fetch_add(2, Ordering::Relaxed);
+        loops[1].open_conns.fetch_add(1, Ordering::Relaxed);
+        m.attach_loops(loops);
+        let text = m.render(0, 0);
+        assert!(text.contains("conns_open 3"), "{text}");
+        assert!(text.contains("loop_wakeups{loop=0} 5"), "{text}");
+        assert!(text.contains("loop_accepts{loop=0} 3"), "{text}");
+        assert!(text.contains("loop_partial_reads{loop=1} 2"), "{text}");
+        assert!(text.contains("loop_short_writes{loop=1} 1"), "{text}");
+        assert!(text.contains("loop_open_conns{loop=1} 1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! The multiplexed load generator.
+//!
+//! [`crate::loadgen`] spends one OS thread and one socket per session —
+//! honest, but it cannot take the event-driven server anywhere near its
+//! capacity: a few hundred threads in, the *client* becomes the
+//! bottleneck. [`run_mux_load`] is the symmetric rewrite: a few event-loop
+//! threads multiplex thousands of virtual closed-loop sessions over a
+//! bounded pool of pipelined keep-alive connections.
+//!
+//! Each loop thread owns a disjoint slice of sessions *and* the
+//! connections they ride on, so there is no cross-thread session state.
+//! A virtual session is a small state machine —
+//! register → decide… → close — driven by [`abr_sim::SessionStepper`];
+//! its requests are serialized onto its connection's output buffer, and a
+//! per-connection FIFO matches pipelined responses back to the sessions
+//! that asked. Latency is measured from enqueue to response parse: the
+//! full client-observed cost, queueing included.
+//!
+//! Two properties carry over from the scalar generator unchanged:
+//!
+//! * **Bit-identity**: every virtual session is re-run in process after
+//!   the timed window and diffed chunk-by-chunk (`to_bits` on every
+//!   float). Twin verification is *deferred* — the measured window
+//!   contains only wire traffic, unlike the legacy generator which
+//!   interleaved twin computation with the drive.
+//! * **Engine independence**: the generator speaks the same protocol as
+//!   both servers, so CI can drive the threaded and the event-driven
+//!   engine with the same seed and byte-diff the recorded decision
+//!   sequences.
+
+use crate::backend::{Backend, PredictorKind};
+use crate::loadgen::{diff_sessions, LoadReport};
+use crate::metrics::exact_quantile_us;
+use crate::proto::{DecisionReply, DecisionRequest, SessionSpec};
+use abr_core::Decision;
+use abr_net::http::{ParseStep, Request, ResponseParser};
+use abr_net::poll::{self, Epoll, Event, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use abr_predictor::Predictor;
+use abr_sim::{
+    run_session, ChunkDownloader, SessionResult, SessionScratch, SessionStepper, TraceDownloader,
+};
+use abr_trace::{Dataset, Trace};
+use abr_video::{envivio_video, LevelIdx};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Multiplexed-load configuration.
+#[derive(Debug, Clone)]
+pub struct MuxOptions {
+    /// Virtual closed-loop sessions to run.
+    pub sessions: usize,
+    /// Decision backend every session registers.
+    pub backend: Backend,
+    /// Predictor every session registers (and the twin runs).
+    pub predictor: PredictorKind,
+    /// Trace-generation seed (same seed ⇒ same traces as `run_load`).
+    pub seed: u64,
+    /// Run the in-process twins (after the timed window) and diff.
+    pub verify: bool,
+    /// Connections in the pool; 0 picks `min(sessions, 1024)`.
+    pub conns: usize,
+    /// Client event-loop threads.
+    pub loops: usize,
+}
+
+impl MuxOptions {
+    /// Defaults matching [`crate::LoadOptions::new`]: FastMPC, harmonic
+    /// prediction, seed 42, verification on; auto connection pool, two
+    /// loop threads.
+    pub fn new(sessions: usize) -> Self {
+        Self {
+            sessions,
+            backend: Backend::FastMpc,
+            predictor: PredictorKind::Harmonic,
+            seed: 42,
+            verify: true,
+            conns: 0,
+            loops: 2,
+        }
+    }
+
+    fn effective_conns(&self) -> usize {
+        if self.conns == 0 {
+            self.sessions.clamp(1, 1024)
+        } else {
+            self.conns.min(self.sessions.max(1))
+        }
+    }
+}
+
+/// What a multiplexed run produced: the standard report plus one line per
+/// session pinning its full decision sequence (for cross-engine diffs).
+#[derive(Debug, Clone)]
+pub struct MuxReport {
+    /// Aggregate throughput/latency/mismatch report (same shape as the
+    /// scalar generator's, `batch` = 1).
+    pub report: LoadReport,
+    /// `session {i}: <levels> qoe <bits> total <bits>` — one line per
+    /// session, in session order. Byte-identical across server engines
+    /// for the same seed.
+    pub sequences: Vec<String>,
+}
+
+/// Runs `opts.sessions` virtual sessions against the server at `addr`
+/// over a multiplexed connection pool.
+///
+/// # Panics
+///
+/// Panics on any connection failure, protocol violation, or refused
+/// request — like the scalar generator, this is a test harness, and a
+/// silent partial run would corrupt the differential guarantee.
+pub fn run_mux_load(addr: SocketAddr, opts: &MuxOptions) -> MuxReport {
+    let video = envivio_video();
+    let sim_cfg = SessionSpec::paper_default(opts.backend, video.clone()).sim_config();
+    let traces: Vec<Trace> = Dataset::Fcc.generate(opts.seed, opts.sessions);
+    let loops = opts.loops.max(1).min(opts.sessions.max(1));
+    let conns = opts.effective_conns();
+
+    // Partition sessions (and their share of the pool) across loop
+    // threads: each thread is fully independent.
+    let per = opts.sessions.div_ceil(loops);
+    let started = Instant::now();
+    let mut shards: Vec<ThreadOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .chunks(per.max(1))
+            .enumerate()
+            .map(|(t, slice)| {
+                let video = &video;
+                let sim_cfg = &sim_cfg;
+                let conns_t = (conns.div_ceil(loops)).clamp(1, slice.len());
+                scope.spawn(move || {
+                    drive_mux(addr, opts, video, sim_cfg, t * per, slice, conns_t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    // Twin verification runs *after* the timed window, parallel over the
+    // same partition.
+    let mismatch_details: Vec<String> = if opts.verify {
+        let table = opts.backend.needs_table().then(|| {
+            let mut cfg = abr_fastmpc::TableConfig::with_levels(
+                video.ladder().len(),
+                sim_cfg.buffer_max_secs,
+            );
+            cfg.weights = sim_cfg.weights.clone();
+            Arc::new(abr_fastmpc::FastMpcTable::generate(
+                &video,
+                sim_cfg.buffer_max_secs,
+                cfg,
+            ))
+        });
+        let horizon = SessionSpec::paper_default(opts.backend, video.clone()).horizon;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    let video = &video;
+                    let sim_cfg = &sim_cfg;
+                    let table = table.as_ref();
+                    scope.spawn(move || {
+                        let mut found = Vec::new();
+                        for (i, remote_result) in
+                            shard.outs.iter().enumerate()
+                        {
+                            let mut local =
+                                opts.backend.build(table, &sim_cfg.weights, horizon);
+                            let local_result = run_session(
+                                local.as_mut(),
+                                opts.predictor.build(),
+                                &shard.traces[i],
+                                video,
+                                sim_cfg,
+                            );
+                            if let Some(d) = diff_sessions(
+                                shard.base + i,
+                                remote_result,
+                                &local_result,
+                            ) {
+                                found.push(d);
+                            }
+                        }
+                        found
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    } else {
+        Vec::new()
+    };
+
+    let mut latencies: Vec<u64> = shards
+        .iter_mut()
+        .flat_map(|s| std::mem::take(&mut s.latencies_nanos))
+        .collect();
+    latencies.sort_unstable();
+    let decisions: u64 = shards
+        .iter()
+        .map(|s| s.outs.iter().map(|o| o.records.len() as u64).sum::<u64>())
+        .sum();
+    let sequences: Vec<String> = shards
+        .iter()
+        .flat_map(|s| {
+            s.outs.iter().enumerate().map(move |(i, out)| {
+                let levels: Vec<String> =
+                    out.records.iter().map(|r| r.level.0.to_string()).collect();
+                format!(
+                    "session {}: {} qoe {:016x} total {:016x}",
+                    s.base + i,
+                    levels.join(" "),
+                    out.qoe.qoe.to_bits(),
+                    out.total_secs.to_bits(),
+                )
+            })
+        })
+        .collect();
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1_000.0
+    };
+
+    MuxReport {
+        report: LoadReport {
+            backend: opts.backend,
+            sessions: opts.sessions,
+            batch: 1,
+            decisions,
+            elapsed_secs,
+            decisions_per_sec: decisions as f64 / elapsed_secs.max(1e-9),
+            mean_us,
+            p50_us: exact_quantile_us(&latencies, 0.50),
+            p90_us: exact_quantile_us(&latencies, 0.90),
+            p99_us: exact_quantile_us(&latencies, 0.99),
+            p999_us: exact_quantile_us(&latencies, 0.999),
+            mismatches: mismatch_details.len(),
+            mismatch_details,
+        },
+        sequences,
+    }
+}
+
+/// One loop thread's output, carried back for deferred verification.
+struct ThreadOut {
+    base: usize,
+    traces: Vec<Trace>,
+    outs: Vec<SessionResult>,
+    latencies_nanos: Vec<u64>,
+}
+
+/// What a pipelined request is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Register,
+    Decide,
+    Close,
+}
+
+struct Inflight {
+    session: usize,
+    kind: Kind,
+    sent_at: Instant,
+}
+
+/// One pipelined keep-alive connection and the FIFO matching its
+/// responses back to sessions.
+struct MuxConn {
+    /// `None` once every session on this connection has finished and the
+    /// socket was closed (client closes first — this also frees a worker
+    /// on the thread-per-connection engine for still-queued connections).
+    stream: Option<TcpStream>,
+    parser: ResponseParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    inflight: VecDeque<Inflight>,
+    /// Sessions still riding this connection.
+    live: usize,
+    /// Currently registered interest (always `EPOLLIN`, plus `EPOLLOUT`
+    /// while `out` has unsent bytes).
+    interest: u32,
+}
+
+/// Virtual-session wire state (the simulation state lives in the
+/// stepper of the same index).
+struct VSession {
+    conn: usize,
+    sid: u64,
+    done: bool,
+}
+
+/// Drives `traces.len()` virtual sessions (global indices starting at
+/// `base`) over `n_conns` connections on one event loop.
+fn drive_mux(
+    addr: SocketAddr,
+    opts: &MuxOptions,
+    video: &abr_video::Video,
+    sim_cfg: &abr_sim::SimConfig,
+    base: usize,
+    traces: &[Trace],
+    n_conns: usize,
+) -> ThreadOut {
+    let n = traces.len();
+    let epoll = Epoll::new().expect("epoll_create1");
+    let mut conns: Vec<MuxConn> = (0..n_conns)
+        .map(|c| {
+            let stream = TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("conn {c} at base {base}: connect: {e}"));
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            epoll
+                .add(stream.as_raw_fd(), EPOLLIN, c as u64)
+                .expect("epoll add");
+            MuxConn {
+                stream: Some(stream),
+                parser: ResponseParser::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                inflight: VecDeque::new(),
+                live: 0,
+                interest: EPOLLIN,
+            }
+        })
+        .collect();
+    let mut sessions: Vec<VSession> = (0..n)
+        .map(|i| VSession { conn: i % n_conns, sid: 0, done: false })
+        .collect();
+    for s in &sessions {
+        conns[s.conn].live += 1;
+    }
+
+    let mut scratches: Vec<SessionScratch> = traces.iter().map(|_| SessionScratch::new()).collect();
+    let mut outs: Vec<SessionResult> = traces.iter().map(|_| SessionResult::default()).collect();
+    let mut latencies_nanos: Vec<u64> = Vec::new();
+    {
+        let mut steppers: Vec<_> = scratches
+            .iter_mut()
+            .zip(outs.iter_mut())
+            .zip(traces)
+            .map(|((scratch, out), trace)| {
+                SessionStepper::start(
+                    scratch,
+                    out,
+                    opts.predictor.build(),
+                    TraceDownloader::new(trace),
+                    trace,
+                    video,
+                    sim_cfg,
+                )
+            })
+            .collect();
+
+        // Kick off every session: pipeline the registrations.
+        for i in 0..n {
+            let mut spec = SessionSpec::paper_default(opts.backend, video.clone());
+            spec.predictor = opts.predictor;
+            enqueue(
+                &mut conns[sessions[i].conn],
+                i,
+                Kind::Register,
+                &Request::post("/session", Bytes::from(spec.encode()), "text/plain"),
+            );
+        }
+        for c in 0..n_conns {
+            flush(&epoll, &mut conns[c], c, base);
+        }
+
+        let mut finished = 0usize;
+        let mut events = vec![Event::default(); 256];
+        let mut buf = vec![0u8; 64 * 1024];
+        while finished < n {
+            let n_ev = epoll.wait(&mut events, 1_000).expect("epoll wait");
+            for ev in events.iter().take(n_ev).copied() {
+                let c = ev.token() as usize;
+                let Some(fd) = conns[c].stream.as_ref().map(|s| s.as_raw_fd()) else {
+                    continue; // already closed earlier in this batch
+                };
+                if ev.readiness() & (EPOLLERR | EPOLLHUP) != 0 {
+                    panic!("conn {c} at base {base}: peer error/hangup mid-run");
+                }
+                if ev.writable() {
+                    flush(&epoll, &mut conns[c], c, base);
+                }
+                if ev.readable() {
+                    loop {
+                        match poll::read(fd, &mut buf) {
+                            Ok(Some(0)) => {
+                                panic!("conn {c} at base {base}: server closed mid-run")
+                            }
+                            Ok(Some(got)) => {
+                                conns[c].parser.feed(&buf[..got]);
+                                finished += drain_responses(
+                                    &mut conns[c],
+                                    &mut sessions,
+                                    &mut steppers,
+                                    &mut latencies_nanos,
+                                    base,
+                                );
+                                if got < buf.len() {
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => panic!("conn {c} at base {base}: read: {e}"),
+                        }
+                    }
+                    flush(&epoll, &mut conns[c], c, base);
+                }
+                // Every session on this connection done and every
+                // response consumed: close it now. Client-closes-first
+                // keeps the server side out of TIME_WAIT, and on the
+                // thread-per-connection engine it releases the worker for
+                // connections still waiting in its accept queue.
+                if conns[c].live == 0 && conns[c].inflight.is_empty() {
+                    if let Some(s) = conns[c].stream.take() {
+                        let _ = epoll.delete(s.as_raw_fd());
+                    }
+                }
+            }
+        }
+
+        for s in steppers {
+            // Same label the scalar path uses, keeping results
+            // byte-identical across generators.
+            s.finish("remote");
+        }
+    }
+
+    ThreadOut {
+        base,
+        traces: traces.to_vec(),
+        outs,
+        latencies_nanos,
+    }
+}
+
+/// Serializes `req` onto the connection and records who is waiting.
+fn enqueue(conn: &mut MuxConn, session: usize, kind: Kind, req: &Request) {
+    req.write_to(&mut conn.out).expect("serialize into Vec");
+    conn.inflight.push_back(Inflight {
+        session,
+        kind,
+        sent_at: Instant::now(),
+    });
+}
+
+/// Writes as much buffered output as the socket accepts, keeping
+/// `EPOLLOUT` interest registered exactly while bytes remain.
+fn flush(epoll: &Epoll, conn: &mut MuxConn, c: usize, base: usize) {
+    let Some(fd) = conn.stream.as_ref().map(|s| s.as_raw_fd()) else {
+        return;
+    };
+    while conn.out_pos < conn.out.len() {
+        match poll::write(fd, &conn.out[conn.out_pos..]) {
+            Ok(Some(k)) => conn.out_pos += k,
+            Ok(None) => break,
+            Err(e) => panic!("conn {c} at base {base}: write: {e}"),
+        }
+    }
+    if conn.out_pos >= conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    let want = if conn.out_pos < conn.out.len() {
+        EPOLLIN | EPOLLOUT
+    } else {
+        EPOLLIN
+    };
+    if want != conn.interest && epoll.modify(fd, want, c as u64).is_ok() {
+        conn.interest = want;
+    }
+}
+
+/// Drains every complete pipelined response, advancing the owning
+/// sessions' state machines. Returns how many sessions finished.
+fn drain_responses<P: Predictor, D: ChunkDownloader>(
+    conn: &mut MuxConn,
+    sessions: &mut [VSession],
+    steppers: &mut [SessionStepper<'_, P, D>],
+    latencies_nanos: &mut Vec<u64>,
+    base: usize,
+) -> usize {
+    let mut newly_done = 0;
+    loop {
+        let resp = match conn.parser.next_response() {
+            ParseStep::Complete(r) => r,
+            ParseStep::Incomplete => return newly_done,
+            ParseStep::Failed { error, .. } => {
+                panic!("response stream at base {base} poisoned: {error}")
+            }
+        };
+        let waiter = conn
+            .inflight
+            .pop_front()
+            .unwrap_or_else(|| panic!("unsolicited response at base {base}"));
+        let i = waiter.session;
+        if resp.status != 200 {
+            panic!(
+                "session {}: {} refused: {} {}",
+                base + i,
+                match waiter.kind {
+                    Kind::Register => "register",
+                    Kind::Decide => "decide",
+                    Kind::Close => "close",
+                },
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+        match waiter.kind {
+            Kind::Register => {
+                let body = String::from_utf8_lossy(&resp.body);
+                sessions[i].sid = body
+                    .trim()
+                    .strip_prefix("sid ")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        panic!("session {}: bad register reply {body:?}", base + i)
+                    });
+                advance(conn, sessions, steppers, i);
+            }
+            Kind::Decide => {
+                latencies_nanos.push(waiter.sent_at.elapsed().as_nanos() as u64);
+                let body = String::from_utf8_lossy(&resp.body);
+                let reply = DecisionReply::decode(&body)
+                    .unwrap_or_else(|e| panic!("session {}: bad reply: {e}", base + i));
+                steppers[i].apply(Decision {
+                    level: LevelIdx(reply.level),
+                    startup_wait_secs: reply.startup_wait_secs,
+                });
+                advance(conn, sessions, steppers, i);
+            }
+            Kind::Close => {
+                sessions[i].done = true;
+                conn.live -= 1;
+                newly_done += 1;
+            }
+        }
+    }
+}
+
+/// Sends the session's next request: another decision while the trace
+/// has chunks left, the close otherwise.
+fn advance<P: Predictor, D: ChunkDownloader>(
+    conn: &mut MuxConn,
+    sessions: &mut [VSession],
+    steppers: &mut [SessionStepper<'_, P, D>],
+    i: usize,
+) {
+    if steppers[i].is_done() {
+        let body = format!("sid {}\n", sessions[i].sid);
+        enqueue(
+            conn,
+            i,
+            Kind::Close,
+            &Request::post("/close", Bytes::from(body), "text/plain"),
+        );
+    } else {
+        let req = DecisionRequest::from_context(sessions[i].sid, &steppers[i].context());
+        enqueue(
+            conn,
+            i,
+            Kind::Decide,
+            &Request::post("/decision", Bytes::from(req.encode()), "text/plain"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventConfig, EventServer};
+    use crate::server::DecisionServer;
+
+    #[test]
+    fn mux_load_against_event_server_is_bit_identical() {
+        let handle = EventServer::spawn(EventConfig {
+            loops: 2,
+            ..EventConfig::default()
+        })
+        .unwrap();
+        let mut opts = MuxOptions::new(48);
+        opts.backend = Backend::Bb;
+        opts.conns = 6;
+        let report = run_mux_load(handle.addr(), &opts);
+        assert_eq!(report.report.sessions, 48);
+        assert_eq!(
+            report.report.mismatches, 0,
+            "{:#?}",
+            report.report.mismatch_details
+        );
+        assert!(report.report.decisions > 0);
+        assert_eq!(report.sequences.len(), 48);
+    }
+
+    #[test]
+    fn decision_sequences_are_identical_across_server_engines() {
+        // The cross-engine contract in miniature: same seed, one run
+        // against the threaded server, one against the event-driven
+        // server — the recorded decision sequences must be byte-equal.
+        let mut threaded = DecisionServer::spawn(4).unwrap();
+        let event = EventServer::spawn(EventConfig {
+            loops: 2,
+            ..EventConfig::default()
+        })
+        .unwrap();
+        let mut opts = MuxOptions::new(16);
+        opts.backend = Backend::Rb;
+        opts.conns = 4;
+        opts.verify = false;
+        let a = run_mux_load(threaded.addr(), &opts);
+        let b = run_mux_load(event.addr(), &opts);
+        assert_eq!(a.sequences, b.sequences);
+        threaded.shutdown();
+    }
+
+    #[test]
+    fn single_connection_pipelines_many_sessions() {
+        let handle = EventServer::spawn(EventConfig {
+            loops: 1,
+            ..EventConfig::default()
+        })
+        .unwrap();
+        let mut opts = MuxOptions::new(8);
+        opts.backend = Backend::Bola;
+        opts.conns = 1;
+        opts.loops = 1;
+        let report = run_mux_load(handle.addr(), &opts);
+        assert_eq!(report.report.mismatches, 0);
+        assert!(report.report.p50_us > 0.0);
+    }
+}

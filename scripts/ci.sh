@@ -86,6 +86,28 @@ if [[ "${1:-}" != "quick" ]]; then
     --batch-size 8 --out "$smoke_dir/serve_bulk" > /dev/null
   test -s "$smoke_dir/serve_bulk/serve_bench.csv"
   echo "serve-bench differential gates passed (scalar + bulk)"
+
+  echo "== event-engine smoke: 512 multiplexed sessions, zero mismatches =="
+  # The epoll readiness-loop server under the multiplexed load generator:
+  # 512 virtual closed-loop sessions pipelined over a bounded connection
+  # pool, every one verified bit-identical to its in-process twin after
+  # the timed window. A divergence panics, so a clean exit is the gate.
+  ./target/release/abr_harness serve-bench --sessions 512 --event-loops 2 \
+    --backend fastmpc --quick --out "$smoke_dir/serve_event" > /dev/null
+  test -s "$smoke_dir/serve_event/serve_bench.csv"
+  echo "event-engine smoke passed"
+
+  echo "== report-diff gate: engines produce byte-identical decision sequences =="
+  # Drive the thread-per-connection engine and the event-driven engine with
+  # the same seed and record every session's full decision sequence (levels
+  # plus QoE/wall-clock bit patterns). The two files must be byte-equal:
+  # the transport rewrite may not move a single decision.
+  ./target/release/abr_harness serve-bench --sessions 64 --workers 2 --quick \
+    --backend fastmpc --decisions-out "$smoke_dir/decisions_threaded.txt" > /dev/null
+  ./target/release/abr_harness serve-bench --sessions 64 --event-loops 2 --quick \
+    --backend fastmpc --decisions-out "$smoke_dir/decisions_event.txt" > /dev/null
+  diff -u "$smoke_dir/decisions_threaded.txt" "$smoke_dir/decisions_event.txt"
+  echo "report-diff gate passed: engines byte-identical"
 fi
 
 echo "== benches compile =="
