@@ -1,0 +1,102 @@
+//! Tiered table catalog: what each tier of a FastMPC lookup costs.
+//!
+//! The `TableStore` serves a decision from one of three places — the hot
+//! tier (an owned table behind an `Arc`), the warm tier (a zero-copy
+//! `TableView` over mmap'd bytes), or a cold generation (the offline
+//! enumeration). The first two must be within the same order of
+//! magnitude for the bounded catalog to stay near the unbounded cache's
+//! throughput; the third is the cost eviction-without-a-warm-tier pays
+//! on every refault.
+
+use abr_bench::{ctx, video};
+use abr_fastmpc::{FastMpcTable, TableConfig, TableStore, TableStoreConfig, TableView};
+use abr_net::mmap::Mmap;
+use abr_video::LevelIdx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_table_tier(c: &mut Criterion) {
+    let video = video();
+    let cfg = TableConfig::paper_default();
+    let table = Arc::new(FastMpcTable::generate(&video, 30.0, cfg.clone()));
+
+    // Warm-tier fixture: the table's own binary serialization, mmap'd
+    // back exactly as the store's spill path leaves it on disk.
+    let dir = std::env::temp_dir().join(format!("abr-table-tier-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let path = dir.join("bench.fmpc");
+    std::fs::write(&path, table.to_bytes()).expect("spill table");
+    let view = TableView::new(Mmap::open(&path).expect("mmap table")).expect("validate table");
+
+    let mut group = c.benchmark_group("table_tier_lookup");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let mut i = 0usize;
+    group.bench_function("hot_owned", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let c = ctx(&video, i);
+            black_box(table.lookup(
+                c.buffer_secs,
+                c.prev_level.unwrap_or(LevelIdx(0)),
+                c.prediction_kbps.unwrap_or(0.0),
+            ))
+        })
+    });
+
+    let mut i = 0usize;
+    group.bench_function("warm_mmap_view", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let c = ctx(&video, i);
+            black_box(view.lookup(
+                c.buffer_secs,
+                c.prev_level.unwrap_or(LevelIdx(0)),
+                c.prediction_kbps.unwrap_or(0.0),
+            ))
+        })
+    });
+
+    // The full store path on a guaranteed hot hit: key hash + tier probe
+    // on top of the raw lookup above.
+    let store = TableStore::with_config(TableStoreConfig::default());
+    store.ensure(&video, 30.0, &cfg);
+    let mut i = 0usize;
+    group.bench_function("store_hot_hit", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let c = ctx(&video, i);
+            let handle = store.ensure(&video, 30.0, &cfg);
+            black_box(handle.lookup(
+                c.buffer_secs,
+                c.prev_level.unwrap_or(LevelIdx(0)),
+                c.prediction_kbps.unwrap_or(0.0),
+            ))
+        })
+    });
+    group.finish();
+
+    // Cold generation is milliseconds, not nanoseconds — its own group so
+    // the sample budget fits.
+    let mut cold = c.benchmark_group("table_tier_generate");
+    cold.measurement_time(Duration::from_secs(5));
+    cold.sample_size(10);
+    cold.bench_function("cold_generate", |b| {
+        b.iter(|| {
+            black_box(FastMpcTable::generate(
+                black_box(&video),
+                30.0,
+                cfg.clone(),
+            ))
+        })
+    });
+    cold.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_table_tier);
+criterion_main!(benches);

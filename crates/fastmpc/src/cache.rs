@@ -18,10 +18,10 @@
 //! returns exactly the bytes a fresh generation would produce.
 
 use crate::table::{FastMpcTable, TableConfig};
+use abr_par::OnceMap;
 use abr_video::{LevelIdx, QualityFn, Video};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 // 128-bit FNV-1a, matching `abr_offline::cache`: cheap, dependency-free,
 // and wide enough that collisions across a handful of cached tables are
@@ -127,24 +127,17 @@ pub struct TableCacheStats {
 ///
 /// [`ensure`](TableCache::ensure) returns the cached table for an instance,
 /// generating it on first request. Concurrent requests for the *same*
-/// missing instance are serialized per key so each distinct instance is
-/// generated exactly once per process — the `generates` counter equals the
-/// number of entries, which the overhead report surfaces as the
-/// exactly-once check.
+/// missing instance are serialized per key (via [`abr_par::OnceMap`]) so
+/// each distinct instance is generated exactly once per process — the
+/// `generates` counter equals the number of entries, which the overhead
+/// report surfaces as the exactly-once check. Hits are lock-free: a reader
+/// of a populated key never waits behind a generation in flight for any
+/// key, its own included.
 #[derive(Debug, Default)]
 pub struct TableCache {
-    map: Mutex<HashMap<u128, Arc<OnceSlot>>>,
+    map: OnceMap<u128, FastMpcTable>,
     generates: AtomicU64,
     hits: AtomicU64,
-}
-
-/// One cache slot: generation happens inside the slot's lock so two
-/// threads racing on the same key run one generation, not two, while
-/// generations for *different* keys proceed in parallel (the outer map
-/// lock is never held across a generation).
-#[derive(Debug, Default)]
-struct OnceSlot {
-    table: Mutex<Option<Arc<FastMpcTable>>>,
 }
 
 impl TableCache {
@@ -155,12 +148,12 @@ impl TableCache {
 
     /// Number of distinct tables cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("table cache poisoned").len()
+        self.map.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 
     /// Snapshot of the cache counters.
@@ -177,23 +170,19 @@ impl TableCache {
     /// a fresh [`FastMpcTable::generate`].
     pub fn ensure(&self, video: &Video, buffer_max_secs: f64, cfg: &TableConfig) -> Arc<FastMpcTable> {
         let key = table_key(video, buffer_max_secs, cfg);
-        let slot = {
-            let mut map = self.map.lock().expect("table cache poisoned");
-            Arc::clone(map.entry(key).or_default())
-        };
-        let mut table = slot.table.lock().expect("table slot poisoned");
-        match &*table {
-            Some(t) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(t)
-            }
-            None => {
-                let t = Arc::new(FastMpcTable::generate(video, buffer_max_secs, cfg.clone()));
-                self.generates.fetch_add(1, Ordering::Relaxed);
-                *table = Some(Arc::clone(&t));
-                t
-            }
+        self.ensure_with(key, || FastMpcTable::generate(video, buffer_max_secs, cfg.clone()))
+    }
+
+    /// [`ensure`](Self::ensure) with the key precomputed and the generator
+    /// abstracted — the seam the tests use to park a generation mid-flight.
+    fn ensure_with(&self, key: u128, gen: impl FnOnce() -> FastMpcTable) -> Arc<FastMpcTable> {
+        let (table, generated) = self.map.get_or_init(key, gen);
+        if generated {
+            self.generates.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        table
     }
 }
 
@@ -246,6 +235,38 @@ mod tests {
             assert_ne!(base_key, table_key(&video, 30.0, cfg), "{what}");
         }
         assert_ne!(base_key, table_key(&video, 29.0, &base), "buffer cap");
+    }
+
+    #[test]
+    fn hit_completes_while_another_key_generates() {
+        // The miss-storm head-of-line fix: with the old per-slot mutex a
+        // populated key's readers could queue behind lock traffic; now a
+        // hit is lock-free and must complete while a *different* key's
+        // generation is parked mid-flight.
+        let video = envivio_video();
+        let cache = Arc::new(TableCache::new());
+        let hot = cache.ensure(&video, 30.0, &small_cfg(30.0));
+        let hot_key = table_key(&video, 30.0, &small_cfg(30.0));
+        let cold_key = hot_key.wrapping_add(1);
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let cache2 = Arc::clone(&cache);
+        let video2 = video.clone();
+        let generator = std::thread::spawn(move || {
+            cache2.ensure_with(cold_key, move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap(); // hold the generation open
+                FastMpcTable::generate(&video2, 20.0, small_cfg(20.0))
+            })
+        });
+        started_rx.recv().unwrap(); // the cold key is now mid-generation
+        let again = cache.ensure(&video, 30.0, &small_cfg(30.0));
+        assert!(Arc::ptr_eq(&hot, &again), "hit served while cold key generates");
+        release_tx.send(()).unwrap();
+        generator.join().unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.generates, 2);
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

@@ -207,6 +207,115 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Byte-offset layout of a validated `FMPC` buffer: everything
+/// [`FastMpcTable::from_bytes`] would copy out, located in place instead.
+///
+/// Produced only by [`parse`], which runs the complete validation suite —
+/// a `Layout` therefore certifies that `starts_off..values_off` holds
+/// `runs` little-endian `u32` run starts (strictly increasing from 0, all
+/// below `len`) and `values_off..values_off + runs` holds run values below
+/// `num_levels`, so index arithmetic against these offsets cannot read out
+/// of bounds or yield an out-of-ladder decision. This is the validated-
+/// prefix invariant the zero-copy [`crate::TableView`] relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Layout {
+    pub cfg: TableConfig,
+    pub num_levels: usize,
+    pub buffer_max_secs: f64,
+    pub len: u32,
+    pub runs: usize,
+    pub starts_off: usize,
+    pub values_off: usize,
+}
+
+/// Validates an encoded table and returns its [`Layout`]. This is *the*
+/// decoder: [`FastMpcTable::from_bytes`] materializes vectors from the
+/// layout, the zero-copy [`crate::TableView`] reads through it in place —
+/// both accept and reject exactly the same byte strings by construction.
+pub(crate) fn parse(bytes: &[u8]) -> Result<Layout, CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let buffer_bins = r.bins()?;
+    let throughput_bins = r.bins()?;
+    let horizon = r.u32()? as usize;
+    if horizon == 0 {
+        return Err(CodecError::Invalid("horizon must be positive"));
+    }
+    let lambda = r.finite("QoE weight not finite")?;
+    let mu = r.finite("QoE weight not finite")?;
+    let mu_s = r.finite("QoE weight not finite")?;
+    let mu_event = r.finite("QoE weight not finite")?;
+    let quality = r.quality()?;
+    let num_levels = r.u32()? as usize;
+    if num_levels == 0 || num_levels > u8::MAX as usize {
+        return Err(CodecError::Invalid("ladder size out of range"));
+    }
+    let buffer_max_secs = r.finite("buffer capacity not finite")?;
+    if buffer_max_secs <= 0.0 {
+        return Err(CodecError::Invalid("buffer capacity must be positive"));
+    }
+    let len = r.u32()?;
+    let runs = r.u32()? as usize;
+    let expected = buffer_bins
+        .count
+        .checked_mul(num_levels)
+        .and_then(|n| n.checked_mul(throughput_bins.count))
+        .ok_or(CodecError::Invalid("table dimensions overflow"))?;
+    if len as usize != expected {
+        return Err(CodecError::Invalid("length does not match dimensions"));
+    }
+    if runs > len as usize || (len > 0 && runs == 0) {
+        return Err(CodecError::Invalid("run count out of range"));
+    }
+    let starts_off = r.pos;
+    let starts = r.take(runs.checked_mul(4).ok_or(CodecError::Truncated)?)?;
+    let values_off = r.pos;
+    let values = r.take(runs)?;
+    if r.pos != bytes.len() {
+        return Err(CodecError::Truncated);
+    }
+    let start_at =
+        |i: usize| u32::from_le_bytes(starts[4 * i..4 * i + 4].try_into().unwrap());
+    if runs > 0 && start_at(0) != 0 {
+        return Err(CodecError::Invalid("first run must start at 0"));
+    }
+    if (1..runs).any(|i| start_at(i - 1) >= start_at(i)) {
+        return Err(CodecError::Invalid("run starts must strictly increase"));
+    }
+    if runs > 0 && start_at(runs - 1) >= len {
+        return Err(CodecError::Invalid("run starts past the end"));
+    }
+    if values.iter().any(|&v| v as usize >= num_levels) {
+        return Err(CodecError::Invalid("decision exceeds ladder"));
+    }
+    Ok(Layout {
+        cfg: TableConfig {
+            buffer_bins,
+            throughput_bins,
+            horizon,
+            weights: QoeWeights {
+                lambda,
+                mu,
+                mu_s,
+                mu_event,
+                quality,
+            },
+        },
+        num_levels,
+        buffer_max_secs,
+        len,
+        runs,
+        starts_off,
+        values_off,
+    })
+}
+
 impl FastMpcTable {
     /// Serializes to the compact binary format described in the
     /// [module docs](self).
@@ -258,84 +367,20 @@ impl FastMpcTable {
     }
 
     /// Decodes a table produced by [`FastMpcTable::to_bytes`], validating
-    /// every structural invariant.
+    /// every structural invariant (via [`parse`], shared with the
+    /// zero-copy [`crate::TableView`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
-        let mut r = Reader::new(bytes);
-        if r.take(4)? != MAGIC {
-            return Err(CodecError::BadMagic);
-        }
-        let version = r.u16()?;
-        if version != VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
-        }
-        let buffer_bins = r.bins()?;
-        let throughput_bins = r.bins()?;
-        let horizon = r.u32()? as usize;
-        if horizon == 0 {
-            return Err(CodecError::Invalid("horizon must be positive"));
-        }
-        let lambda = r.finite("QoE weight not finite")?;
-        let mu = r.finite("QoE weight not finite")?;
-        let mu_s = r.finite("QoE weight not finite")?;
-        let mu_event = r.finite("QoE weight not finite")?;
-        let quality = r.quality()?;
-        let num_levels = r.u32()? as usize;
-        if num_levels == 0 || num_levels > u8::MAX as usize {
-            return Err(CodecError::Invalid("ladder size out of range"));
-        }
-        let buffer_max_secs = r.finite("buffer capacity not finite")?;
-        if buffer_max_secs <= 0.0 {
-            return Err(CodecError::Invalid("buffer capacity must be positive"));
-        }
-        let len = r.u32()?;
-        let runs = r.u32()? as usize;
-        let expected = buffer_bins
-            .count
-            .checked_mul(num_levels)
-            .and_then(|n| n.checked_mul(throughput_bins.count))
-            .ok_or(CodecError::Invalid("table dimensions overflow"))?;
-        if len as usize != expected {
-            return Err(CodecError::Invalid("length does not match dimensions"));
-        }
-        if runs > len as usize || (len > 0 && runs == 0) {
-            return Err(CodecError::Invalid("run count out of range"));
-        }
-        let mut starts = Vec::with_capacity(runs);
-        for _ in 0..runs {
-            starts.push(r.u32()?);
-        }
-        let values = r.take(runs)?.to_vec();
-        if r.pos != bytes.len() {
-            return Err(CodecError::Truncated);
-        }
-        if starts.first().is_some_and(|&s| s != 0) {
-            return Err(CodecError::Invalid("first run must start at 0"));
-        }
-        if !starts.windows(2).all(|w| w[0] < w[1]) {
-            return Err(CodecError::Invalid("run starts must strictly increase"));
-        }
-        if starts.last().is_some_and(|&s| s >= len) {
-            return Err(CodecError::Invalid("run starts past the end"));
-        }
-        if values.iter().any(|&v| v as usize >= num_levels) {
-            return Err(CodecError::Invalid("decision exceeds ladder"));
-        }
+        let l = parse(bytes)?;
+        let starts = bytes[l.starts_off..l.values_off]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let values = bytes[l.values_off..l.values_off + l.runs].to_vec();
         Ok(Self {
-            cfg: TableConfig {
-                buffer_bins,
-                throughput_bins,
-                horizon,
-                weights: QoeWeights {
-                    lambda,
-                    mu,
-                    mu_s,
-                    mu_event,
-                    quality,
-                },
-            },
-            num_levels,
-            buffer_max_secs,
-            decisions: Rle::from_parts(starts, values, len),
+            cfg: l.cfg,
+            num_levels: l.num_levels,
+            buffer_max_secs: l.buffer_max_secs,
+            decisions: Rle::from_parts(starts, values, l.len),
         })
     }
 }

@@ -1,19 +1,22 @@
 //! The online FastMPC controller: a table lookup per decision.
 
+use crate::store::TableHandle;
 use crate::table::{DecisionBatch, FastMpcTable};
 use abr_core::{BitrateController, ControllerContext, Decision};
 use std::sync::Arc;
 
 /// FastMPC bitrate controller — wraps a pre-generated decision table.
 ///
-/// The table is shared via `Arc`, mirroring deployment: one table artifact
-/// serves every player session. The optional robust mode feeds the lookup
-/// the RobustMPC throughput lower bound instead of the raw prediction —
-/// because RobustMPC *is* regular MPC on the lower bound (Theorem 1), the
-/// same table serves both.
+/// The table is shared via a [`TableHandle`], mirroring deployment: one
+/// table artifact serves every player session, whether it lives in memory
+/// (hot tier) or is mmap'd zero-copy from disk (warm tier — the tiers
+/// decide identically, bit for bit). The optional robust mode feeds the
+/// lookup the RobustMPC throughput lower bound instead of the raw
+/// prediction — because RobustMPC *is* regular MPC on the lower bound
+/// (Theorem 1), the same table serves both.
 #[derive(Debug, Clone)]
 pub struct FastMpc {
-    table: Arc<FastMpcTable>,
+    table: TableHandle,
     robust: bool,
     name: &'static str,
     /// Columnar scratch for `decide_batch`; retained across batches so the
@@ -24,6 +27,17 @@ pub struct FastMpc {
 impl FastMpc {
     /// FastMPC with the raw throughput prediction (name "FastMPC").
     pub fn new(table: Arc<FastMpcTable>) -> Self {
+        Self::from_handle(TableHandle::Owned(table))
+    }
+
+    /// FastMPC driven by the robust lower bound (name "RobustFastMPC").
+    pub fn robust(table: Arc<FastMpcTable>) -> Self {
+        Self::robust_handle(TableHandle::Owned(table))
+    }
+
+    /// [`new`](Self::new) over a handle from either tier of a
+    /// [`TableStore`](crate::TableStore).
+    pub fn from_handle(table: TableHandle) -> Self {
         Self {
             table,
             robust: false,
@@ -32,8 +46,8 @@ impl FastMpc {
         }
     }
 
-    /// FastMPC driven by the robust lower bound (name "RobustFastMPC").
-    pub fn robust(table: Arc<FastMpcTable>) -> Self {
+    /// [`robust`](Self::robust) over a handle from either tier.
+    pub fn robust_handle(table: TableHandle) -> Self {
         Self {
             table,
             robust: true,
@@ -48,8 +62,8 @@ impl FastMpc {
         self
     }
 
-    /// The underlying table.
-    pub fn table(&self) -> &FastMpcTable {
+    /// The underlying table handle.
+    pub fn handle(&self) -> &TableHandle {
         &self.table
     }
 }

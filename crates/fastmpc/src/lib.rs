@@ -35,6 +35,12 @@
 //! to the sequential reference. Tables ship either as JSON
 //! ([`FastMpcTable::to_json`]) or as the compact binary format
 //! ([`FastMpcTable::to_bytes`], [`codec`]).
+//!
+//! Fleet-scale catalogs do not fit every table in memory: the tiered
+//! [`TableStore`] bounds the resident (hot) set under a byte budget,
+//! spills evictees to disk, and serves them back zero-copy as mmap'd
+//! [`TableView`]s — with per-key exactly-once generation stampede control
+//! (see [`store`] and [`view`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,11 +50,15 @@ pub mod cache;
 pub mod codec;
 mod controller;
 mod rle;
+pub mod store;
 mod table;
+pub mod view;
 
 pub use bins::BinSpec;
 pub use cache::{table_key, TableCache, TableCacheStats};
 pub use codec::CodecError;
 pub use controller::FastMpc;
 pub use rle::Rle;
+pub use store::{TableHandle, TableStore, TableStoreConfig, TableStoreStats};
 pub use table::{DecisionBatch, FastMpcTable, GenMode, TableConfig};
+pub use view::TableView;

@@ -77,19 +77,19 @@ pub struct DecisionBatch {
     /// Chunk index `k` per probe — unused by the table (the steady-state
     /// table is chunk-independent) but carried so non-tabular batch
     /// consumers see the same columnar view.
-    chunk_index: Vec<u32>,
+    pub(crate) chunk_index: Vec<u32>,
     /// Buffer occupancy `B_k` per probe, seconds.
-    buffer_secs: Vec<f64>,
+    pub(crate) buffer_secs: Vec<f64>,
     /// Previous level `R_{k-1}` per probe.
-    prev_level: Vec<u8>,
+    pub(crate) prev_level: Vec<u8>,
     /// Predicted throughput per probe, kbps.
-    throughput_kbps: Vec<f64>,
+    pub(crate) throughput_kbps: Vec<f64>,
     /// Output column: the decided level per probe.
-    levels: Vec<u8>,
+    pub(crate) levels: Vec<u8>,
     /// Scratch: flattened table index per probe.
-    flat: Vec<u32>,
+    pub(crate) flat: Vec<u32>,
     /// Scratch: probe visit order (ascending flat index).
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
 }
 
 impl DecisionBatch {

@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH] [--table-budget-mb MB] [--catalog-videos N] [--zipf-alpha A]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -42,8 +42,13 @@ commands:
              engine: sweeps concurrent sessions (256 -> 50k by default)
              through the multiplexed load generator and writes
              serve_scale.csv
-  all       everything above except robustness, serve-bench and
-             serve-scale
+  catalog-bench
+             tiered table catalog under a synthesized many-video fleet:
+             Zipf(alpha) sessions through the event engine, sweeping the
+             hot-tier byte budget against the unbounded baseline and
+             writing catalog_bench.csv
+  all       everything above except robustness, serve-bench, serve-scale
+             and catalog-bench
 
 options:
   --traces N   traces per dataset (default 100)
@@ -102,7 +107,18 @@ options:
   --decisions-out PATH
                serve benchmarks: record every session's decision sequence
                to PATH, one line per session — byte-identical across
-               server engines for the same seed (the CI report-diff gate)";
+               server engines for the same seed (the CI report-diff gate)
+  --table-budget-mb MB
+               catalog-bench: pin the hot-tier byte budget to MB MiB
+               (positive, at most 65536; rejected at run time if smaller
+               than one decision table) instead of sweeping the default
+               budget ladder derived from the measured working set
+  --catalog-videos N
+               catalog-bench: synthesized catalog size (default 10000,
+               positive, at most 1000000); --quick trims the catalog to 64
+  --zipf-alpha A
+               catalog-bench: Zipf popularity exponent in [0, 10]
+               (default 1.0; 0 is a uniform catalog)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -249,6 +265,39 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                     it.next().ok_or("--decisions-out needs a value")?,
                 ));
             }
+            "--table-budget-mb" => {
+                let mb: f64 = it
+                    .next()
+                    .ok_or("--table-budget-mb needs a value")?
+                    .parse()
+                    .map_err(|_| "--table-budget-mb must be a number".to_string())?;
+                if !mb.is_finite() || mb <= 0.0 || mb > 65536.0 {
+                    return Err("--table-budget-mb must be in (0, 65536]".into());
+                }
+                opts.table_budget_mb = Some(mb);
+            }
+            "--catalog-videos" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--catalog-videos needs a value")?
+                    .parse()
+                    .map_err(|_| "--catalog-videos must be a positive integer".to_string())?;
+                if n == 0 || n > 1_000_000 {
+                    return Err("--catalog-videos must be in [1, 1000000]".into());
+                }
+                opts.catalog_videos = n;
+            }
+            "--zipf-alpha" => {
+                let a: f64 = it
+                    .next()
+                    .ok_or("--zipf-alpha needs a value")?
+                    .parse()
+                    .map_err(|_| "--zipf-alpha must be a number".to_string())?;
+                if !a.is_finite() || !(0.0..=10.0).contains(&a) {
+                    return Err("--zipf-alpha must be in [0, 10]".into());
+                }
+                opts.zipf_alpha = a;
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -285,6 +334,7 @@ fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
         "robustness" => experiments::robustness::run(opts),
         "serve-bench" => experiments::serve_bench::run(opts),
         "serve-scale" => experiments::serve_scale::run(opts),
+        "catalog-bench" => experiments::catalog_bench::run(opts),
         "all" => {
             let mut out = String::new();
             // Share the expensive dataset evaluations between Figures 8,
@@ -481,6 +531,52 @@ mod tests {
         assert!(parse(&args(&["serve-scale", "--scale-sessions", "256,,512"])).is_err());
         assert!(parse(&args(&["serve-scale", "--scale-sessions", "lots"])).is_err());
         assert!(parse(&args(&["serve-scale", "--decisions-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_catalog_bench_flags() {
+        let (cmd, opts) = parse(&args(&["catalog-bench"])).unwrap();
+        assert_eq!(cmd, "catalog-bench");
+        assert!(opts.table_budget_mb.is_none());
+        assert_eq!(opts.catalog_videos, 10_000);
+        assert_eq!(opts.zipf_alpha, 1.0);
+
+        let (_, opts) = parse(&args(&[
+            "catalog-bench",
+            "--table-budget-mb",
+            "32.5",
+            "--catalog-videos",
+            "50000",
+            "--zipf-alpha",
+            "0.8",
+        ]))
+        .unwrap();
+        assert_eq!(opts.table_budget_mb, Some(32.5));
+        assert_eq!(opts.catalog_videos, 50_000);
+        assert_eq!(opts.zipf_alpha, 0.8);
+
+        // Same rejection style as --sessions / --fault-rate.
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb", "0"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb", "-4"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb", "inf"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb", "nan"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb", "65537"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--table-budget-mb", "lots"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--catalog-videos"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--catalog-videos", "0"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--catalog-videos", "-1"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--catalog-videos", "1000001"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--catalog-videos", "many"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--zipf-alpha"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--zipf-alpha", "-0.1"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--zipf-alpha", "10.5"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--zipf-alpha", "nan"])).is_err());
+        assert!(parse(&args(&["catalog-bench", "--zipf-alpha", "steep"])).is_err());
+
+        // alpha = 0 (uniform) is a legal corner.
+        let (_, opts) = parse(&args(&["catalog-bench", "--zipf-alpha", "0"])).unwrap();
+        assert_eq!(opts.zipf_alpha, 0.0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! index mapping experiments to paper artifacts lives in DESIGN.md.
 
 pub mod ablation;
+pub mod catalog_bench;
 pub mod fig11;
 pub mod fig12;
 pub mod fig7;
@@ -82,6 +83,16 @@ pub struct ExpOptions {
     /// Record every session's decision sequence to this file
     /// (`--decisions-out`), for byte-diffing runs across server engines.
     pub decisions_out: Option<PathBuf>,
+    /// Hot-tier byte budget in MiB for `catalog-bench`
+    /// (`--table-budget-mb`, positive and at most 65536). `None` sweeps
+    /// the default budget ladder derived from the measured working set.
+    pub table_budget_mb: Option<f64>,
+    /// Catalog size for `catalog-bench` (`--catalog-videos`, positive and
+    /// at most 1,000,000); `--quick` trims the catalog to 64.
+    pub catalog_videos: usize,
+    /// Zipf popularity exponent for `catalog-bench` (`--zipf-alpha`, in
+    /// `[0, 10]`; 0 is uniform).
+    pub zipf_alpha: f64,
 }
 
 impl Default for ExpOptions {
@@ -105,6 +116,9 @@ impl Default for ExpOptions {
             max_conns: 16 * 1024,
             scale_sessions: None,
             decisions_out: None,
+            table_budget_mb: None,
+            catalog_videos: 10_000,
+            zipf_alpha: 1.0,
         }
     }
 }

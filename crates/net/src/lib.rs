@@ -26,7 +26,10 @@
 //!   [`fault::RetryPolicy`] the player survives them with.
 //! * [`poll`] — raw-syscall `epoll`/`eventfd`/`accept4` wrappers and
 //!   non-blocking fd I/O, the readiness substrate for `abr-serve`'s
-//!   event-driven server and multiplexed load generator.
+//!   event-driven server and multiplexed load generator;
+//! * [`mmap`] — read-only memory-mapped files over the same raw-syscall
+//!   plumbing, the zero-copy substrate for `abr-fastmpc`'s warm table
+//!   tier.
 //!
 //! The simulation path (`abr-sim`) and this emulation path implement the
 //! same streaming semantics through entirely different mechanisms; the
@@ -34,15 +37,16 @@
 //! evidence this reproduction has (the paper similarly cross-validates its
 //! simulator against testbed results).
 
-// `deny` rather than `forbid`: the `poll` module opts back in with a
-// module-scoped allow — it is the single place raw syscalls live. Every
-// other module stays unsafe-free, enforced at compile time.
+// `deny` rather than `forbid`: the `poll` and `mmap` modules opt back in
+// with a module-scoped allow — they are the only places raw syscalls live.
+// Every other module stays unsafe-free, enforced at compile time.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
 pub mod http;
 pub mod link;
+pub mod mmap;
 pub mod mpd;
 pub mod multiplayer;
 pub mod player;

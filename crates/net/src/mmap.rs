@@ -1,0 +1,213 @@
+//! Read-only memory-mapped files via raw `mmap`/`munmap` syscalls.
+//!
+//! The warm tier of `abr-fastmpc`'s tiered table store serves decision
+//! tables straight from on-disk `FMPC` binaries without copying them into
+//! owned vectors. `std` exposes no `mmap`, and the workspace takes no
+//! external dependencies, so the two syscalls are issued through the same
+//! inline-assembly plumbing as [`crate::poll`] ([`poll::syscall6`] is
+//! shared; the per-arch numbers live here). Everything else — opening the
+//! file and reading its length — goes through ordinary `std::fs`, keeping
+//! the unsafe surface to exactly two calls.
+//!
+//! Safety argument for the mapping itself:
+//!
+//! * the kernel validates every argument to `mmap`; on success the
+//!   returned address is a live, page-aligned, `len`-byte readable region
+//!   that stays valid until `munmap` — which only [`Mmap::drop`] issues;
+//! * the mapping is `MAP_PRIVATE` + `PROT_READ`: no alias of the slice is
+//!   ever writable through this process, so `&[u8]` derived from it obeys
+//!   Rust's shared-reference contract as long as the underlying file is
+//!   not truncated while mapped (documented on [`Mmap::open`]; the table
+//!   store's spill files are written once and never rewritten in place);
+//! * a zero-length file maps nothing: the slice is empty and no syscall
+//!   is issued (Linux rejects `mmap` with `len == 0`).
+
+#![allow(unsafe_code)]
+
+use crate::poll::syscall6;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::fd::AsRawFd;
+use std::path::Path;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const MMAP: usize = 9;
+    pub const MUNMAP: usize = 11;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const MMAP: usize = 222;
+    pub const MUNMAP: usize = 215;
+}
+
+const PROT_READ: usize = 0x1;
+const MAP_PRIVATE: usize = 0x02;
+
+/// The highest `-errno` the kernel returns; `mmap` results in
+/// `[-4095, -1]` are errors, anything else is a mapped address.
+const MAX_ERRNO: isize = 4095;
+
+/// A read-only memory mapping of a whole file, unmapped on drop.
+///
+/// Dereferences to `&[u8]` covering the file's bytes at `open` time. The
+/// mapping is private, so later writes by other processes may or may not
+/// be visible — but the table store never rewrites a spill file in place,
+/// it writes to a temp name and renames, so an open mapping always sees
+/// the bytes that were validated against it.
+#[derive(Debug)]
+pub struct Mmap {
+    /// Base address of the mapping; dangling (never dereferenced) when
+    /// `len == 0`.
+    ptr: *const u8,
+    len: usize,
+}
+
+// Safety: the mapping is immutable for its whole lifetime (PROT_READ,
+// private), so shared access from any thread is sound, and unmapping is
+// confined to `Drop`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only in its entirety.
+    ///
+    /// The caller must not truncate the file while the mapping is alive —
+    /// faulting a page past a shrunken end raises `SIGBUS`, which no user
+    /// -space check can catch after the fact. Write-once-and-rename file
+    /// management (what the table store's warm tier does) satisfies this.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Self { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 });
+        }
+        // Safety: no pointer arguments cross the boundary (addr hint 0);
+        // the fd is live for the duration of the call. The kernel
+        // validates everything else.
+        let ret = unsafe {
+            syscall6(
+                nr::MMAP,
+                0,
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd() as usize,
+                0,
+            )
+        };
+        if (-MAX_ERRNO..0).contains(&ret) {
+            return Err(io::Error::from_raw_os_error(-ret as i32));
+        }
+        // The fd can be closed immediately (File drops here): a mapping
+        // keeps its own reference to the underlying inode.
+        Ok(Self { ptr: ret as *const u8, len })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // Safety: `ptr` is the base of a live PROT_READ mapping of
+        // exactly `len` bytes (kernel-guaranteed), unmapped only in Drop,
+        // and never writable through this process.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // Safety: `ptr`/`len` describe exactly the region mmap
+            // returned, and no `&[u8]` borrowed from it can outlive
+            // `self`. An munmap failure leaks the pages, nothing worse.
+            let _ = unsafe { syscall6(nr::MUNMAP, self.ptr as usize, self.len, 0, 0, 0, 0) };
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("abr_mmap_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.as_ref(), &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Mmap::open(Path::new("/nonexistent/abr_mmap_test")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn mapping_survives_many_concurrent_readers() {
+        let path = temp_path("concurrent");
+        let payload = vec![7u8; 1 << 20];
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = std::sync::Arc::new(Mmap::open(&path).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let map = std::sync::Arc::clone(&map);
+                s.spawn(move || {
+                    assert!(map.iter().all(|&b| b == 7));
+                });
+            }
+        });
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -3,9 +3,11 @@
 //!
 //! The workspace takes no external dependencies, and `std` exposes neither
 //! `epoll` nor `eventfd`, so the handful of syscalls an event loop needs
-//! are issued directly via inline assembly (x86_64 and aarch64). This is
-//! the only module in the workspace that contains `unsafe`; everything it
-//! exports is a safe wrapper whose invariants are local:
+//! are issued directly via inline assembly (x86_64 and aarch64). Together
+//! with the sibling [`crate::mmap`] module (which borrows [`syscall6`] for
+//! `mmap`/`munmap`), this is the only place in the workspace that contains
+//! `unsafe`; everything it exports is a safe wrapper whose invariants are
+//! local:
 //!
 //! * every syscall here is memory-safe for any argument values (the kernel
 //!   validates fds and flags and answers `EBADF`/`EINVAL`);
@@ -63,7 +65,7 @@ mod nr {
 /// Pointer-typed arguments must point to live memory of the size the
 /// syscall expects for the duration of the call.
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+pub(crate) unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
     let ret: isize;
     std::arch::asm!(
         "syscall",
@@ -87,7 +89,7 @@ unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: us
 ///
 /// Same contract as the x86_64 variant.
 #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
-unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+pub(crate) unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
     let ret: isize;
     std::arch::asm!(
         "svc 0",

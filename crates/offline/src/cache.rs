@@ -18,13 +18,14 @@
 //! bytes a fresh solve would produce.
 
 use crate::{optimal_qoe, optimal_qoe_discrete, OfflineConfig, OfflineResult};
+use abr_par::OnceMap;
 use abr_trace::Trace;
 use abr_video::{LevelIdx, QualityFn, Video};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which solver a cached result came from (part of the cache key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +153,7 @@ pub struct OptCacheStats {
 /// the overhead report surfaces as the exactly-once check.
 #[derive(Debug, Default)]
 pub struct OptCache {
-    map: Mutex<HashMap<u128, Arc<OfflineResult>>>,
+    map: OnceMap<u128, OfflineResult>,
     solves: AtomicU64,
     hits: AtomicU64,
     preloaded: AtomicU64,
@@ -166,12 +167,12 @@ impl OptCache {
 
     /// Number of distinct problems cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("opt cache poisoned").len()
+        self.map.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 
     /// Snapshot of the cache counters.
@@ -210,13 +211,10 @@ impl OptCache {
             .collect();
         // Indices of the first occurrence of each missing key.
         let mut missing: Vec<usize> = Vec::new();
-        {
-            let map = self.map.lock().expect("opt cache poisoned");
-            let mut queued = HashSet::new();
-            for (i, k) in keys.iter().enumerate() {
-                if !map.contains_key(k) && queued.insert(*k) {
-                    missing.push(i);
-                }
+        let mut queued = HashSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            if self.map.get(k).is_none() && queued.insert(*k) {
+                missing.push(i);
             }
         }
         if !missing.is_empty() {
@@ -227,17 +225,17 @@ impl OptCache {
                     OptMode::Discrete => optimal_qoe_discrete(t, video, cfg),
                 })
             });
-            let mut map = self.map.lock().expect("opt cache poisoned");
             for (j, res) in solved.into_iter().enumerate() {
-                map.insert(keys[missing[j]], res);
+                // First writer wins: a racing batch that beat us to this
+                // key keeps its (bit-identical) result.
+                self.map.insert(keys[missing[j]], res);
             }
             self.solves.fetch_add(missing.len() as u64, Ordering::Relaxed);
         }
         self.hits
             .fetch_add((keys.len() - missing.len()) as u64, Ordering::Relaxed);
-        let map = self.map.lock().expect("opt cache poisoned");
         keys.iter()
-            .map(|k| Arc::clone(map.get(k).expect("filled above")))
+            .map(|k| self.map.get(k).expect("filled above"))
             .collect()
     }
 
@@ -256,9 +254,8 @@ impl OptCache {
     /// Serializes every cached entry to the compact validating binary
     /// format (entries sorted by key, so equal caches produce equal bytes).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let map = self.map.lock().expect("opt cache poisoned");
-        let mut entries: Vec<(&u128, &Arc<OfflineResult>)> = map.iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
+        let mut entries: Vec<(u128, Arc<OfflineResult>)> = self.map.snapshot();
+        entries.sort_by_key(|(k, _)| *k);
         let mut w = Writer::default();
         w.out.extend_from_slice(&MAGIC);
         w.u16(VERSION);
@@ -328,15 +325,13 @@ impl OptCache {
         if r.pos != bytes.len() {
             return Err(CacheCodecError::Truncated);
         }
-        let mut map = self.map.lock().expect("opt cache poisoned");
         let mut added = 0usize;
         for (key, res) in decoded {
-            if let std::collections::hash_map::Entry::Vacant(e) = map.entry(key) {
-                e.insert(Arc::new(res));
+            // First writer wins: in-process solves are never overwritten.
+            if self.map.insert(key, Arc::new(res)) {
                 added += 1;
             }
         }
-        drop(map);
         self.preloaded.fetch_add(added as u64, Ordering::Relaxed);
         Ok(added)
     }

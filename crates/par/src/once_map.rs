@@ -1,0 +1,279 @@
+//! A concurrent memo map with exactly-once initialization per key.
+//!
+//! Both FastMPC table memoization (`abr-fastmpc`) and the offline-OPT
+//! cache (`abr-offline`) need the same shape: many threads race to the
+//! same content-hash key, the first one computes an expensive value, the
+//! rest wait for *that key only*, and every later lookup is a cheap hit.
+//! Each crate used to carry a private copy of this pattern; [`OnceMap`]
+//! is the shared generalization.
+//!
+//! Concurrency contract:
+//!
+//! * **Hits never wait behind a generation.** [`get`](OnceMap::get) and
+//!   the fast path of [`get_or_init`](OnceMap::get_or_init) take only a
+//!   shared read lock on the key directory plus a lock-free
+//!   `OnceLock::get` — no per-key mutex, so a reader hitting a populated
+//!   key proceeds even while some other key (or a racing miss on the
+//!   same key) is mid-generation.
+//! * **Misses initialize exactly once per key.** Racing callers of
+//!   `get_or_init` serialize on that key's private gate; one runs the
+//!   closure, the rest receive its value. Different keys generate in
+//!   parallel — a miss storm on one key never blocks progress on
+//!   another.
+//! * **A panicking initializer poisons nothing.** The gate is recovered
+//!   and the next caller simply retries the initialization.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// One key's state: the write-once value plus the generation gate that
+/// serializes racing initializers. Hit paths only touch `ready`.
+#[derive(Debug)]
+struct Slot<V> {
+    ready: OnceLock<Arc<V>>,
+    gate: Mutex<()>,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Self {
+            ready: OnceLock::new(),
+            gate: Mutex::new(()),
+        }
+    }
+}
+
+/// A concurrent map whose values are initialized exactly once per key.
+///
+/// Values are shared out as `Arc<V>`; the map never hands two different
+/// values for one key (unless the key is [`remove`](OnceMap::remove)d in
+/// between, which resets the exactly-once epoch for that key).
+#[derive(Debug)]
+pub struct OnceMap<K, V> {
+    map: RwLock<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for OnceMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> OnceMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The populated value for `key`, if initialization has completed.
+    /// Never blocks behind an in-flight generation (of this key or any
+    /// other).
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let map = self.map.read().unwrap_or_else(|p| p.into_inner());
+        map.get(key).and_then(|slot| slot.ready.get().cloned())
+    }
+
+    /// Returns the value for `key`, running `init` to create it if no
+    /// caller has before. The boolean is `true` iff *this* call ran
+    /// `init`; racing callers on the same key block until the winner's
+    /// value is ready and receive `false`.
+    pub fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        let slot = self.slot(key);
+        if let Some(v) = slot.ready.get() {
+            return (Arc::clone(v), false);
+        }
+        // Miss path: racing initializers of this key serialize here;
+        // every other key's slot is untouched.
+        let _gate = slot.gate.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(v) = slot.ready.get() {
+            return (Arc::clone(v), false); // lost the race, value is ready
+        }
+        let value = Arc::new(init());
+        let _ = slot.ready.set(Arc::clone(&value));
+        (value, true)
+    }
+
+    /// Populates `key` with an already-computed value unless a value is
+    /// present; returns `true` iff this call populated it. Used by
+    /// preload/merge paths where the value arrives from disk rather than
+    /// an initializer closure.
+    pub fn insert(&self, key: K, value: Arc<V>) -> bool {
+        let slot = self.slot(key);
+        let _gate = slot.gate.lock().unwrap_or_else(|p| p.into_inner());
+        slot.ready.set(value).is_ok()
+    }
+
+    /// Removes `key`, returning its value if one was populated. In-flight
+    /// initializations of the removed epoch run to completion but their
+    /// value is no longer visible; a subsequent `get_or_init` starts a
+    /// fresh epoch (callers relying on exactly-once must re-check their
+    /// own tiers after winning the new epoch's gate).
+    pub fn remove(&self, key: &K) -> Option<Arc<V>> {
+        let mut map = self.map.write().unwrap_or_else(|p| p.into_inner());
+        map.remove(key).and_then(|slot| slot.ready.get().cloned())
+    }
+
+    /// Populated entries (keys whose initialization completed).
+    pub fn len(&self) -> usize {
+        let map = self.map.read().unwrap_or_else(|p| p.into_inner());
+        map.values().filter(|s| s.ready.get().is_some()).count()
+    }
+
+    /// Whether no entry is populated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every populated `(key, value)` pair.
+    pub fn snapshot(&self) -> Vec<(K, Arc<V>)> {
+        let map = self.map.read().unwrap_or_else(|p| p.into_inner());
+        map.iter()
+            .filter_map(|(k, slot)| slot.ready.get().map(|v| (k.clone(), Arc::clone(v))))
+            .collect()
+    }
+
+    /// The (possibly fresh) slot for `key`. Fast path is a shared read
+    /// lock; the exclusive lock is taken only to insert a new slot.
+    fn slot(&self, key: K) -> Arc<Slot<V>> {
+        {
+            let map = self.map.read().unwrap_or_else(|p| p.into_inner());
+            if let Some(slot) = map.get(&key) {
+                return Arc::clone(slot);
+            }
+        }
+        let mut map = self.map.write().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Slot::new())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn initializes_exactly_once_per_key() {
+        let m: OnceMap<u32, u32> = OnceMap::new();
+        let runs = AtomicUsize::new(0);
+        let (a, ran_a) = m.get_or_init(7, || {
+            runs.fetch_add(1, Ordering::Relaxed);
+            70
+        });
+        let (b, ran_b) = m.get_or_init(7, || {
+            runs.fetch_add(1, Ordering::Relaxed);
+            71
+        });
+        assert!(ran_a && !ran_b);
+        assert_eq!((*a, *b), (70, 70));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&7).as_deref(), Some(&70));
+        assert_eq!(m.get(&8), None);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_run_one_init() {
+        let m: Arc<OnceMap<u8, u64>> = Arc::new(OnceMap::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let winners = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                let runs = Arc::clone(&runs);
+                let winners = &winners;
+                s.spawn(move || {
+                    let (v, ran) = m.get_or_init(3, || {
+                        runs.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        42
+                    });
+                    assert_eq!(*v, 42);
+                    if ran {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn hit_completes_while_another_key_generates() {
+        // The head-of-line property: key 1 is populated; key 2's
+        // generation is parked on a channel. A hit on key 1 (and a
+        // racing generation of key 3) must complete while key 2 is still
+        // in flight.
+        let m: Arc<OnceMap<u8, String>> = Arc::new(OnceMap::new());
+        m.get_or_init(1, || "hot".to_string());
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let m2 = Arc::clone(&m);
+        let generator = std::thread::spawn(move || {
+            m2.get_or_init(2, move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap(); // hold the generation open
+                "slow".to_string()
+            })
+        });
+        started_rx.recv().unwrap(); // key 2 is now mid-generation
+        assert_eq!(m.get(&1).unwrap().as_str(), "hot");
+        let (v, ran) = m.get_or_init(1, || unreachable!("key 1 is populated"));
+        assert!(!ran);
+        assert_eq!(v.as_str(), "hot");
+        let (v3, ran3) = m.get_or_init(3, || "parallel".to_string());
+        assert!(ran3, "other keys generate while key 2 is blocked");
+        assert_eq!(v3.as_str(), "parallel");
+        release_tx.send(()).unwrap();
+        let (v2, ran2) = generator.join().unwrap();
+        assert!(ran2);
+        assert_eq!(v2.as_str(), "slow");
+    }
+
+    #[test]
+    fn insert_is_first_writer_wins() {
+        let m: OnceMap<u8, u8> = OnceMap::new();
+        assert!(m.insert(1, Arc::new(10)));
+        assert!(!m.insert(1, Arc::new(99)));
+        assert_eq!(m.get(&1).as_deref(), Some(&10));
+        m.get_or_init(2, || 20);
+        assert!(!m.insert(2, Arc::new(99)));
+        let mut snap = m.snapshot();
+        snap.sort_by_key(|(k, _)| *k);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(*snap[0].1, 10);
+        assert_eq!(*snap[1].1, 20);
+    }
+
+    #[test]
+    fn remove_resets_the_epoch() {
+        let m: OnceMap<u8, u8> = OnceMap::new();
+        assert_eq!(m.remove(&5), None);
+        m.get_or_init(5, || 50);
+        assert_eq!(m.remove(&5).as_deref(), Some(&50));
+        assert!(m.is_empty());
+        let (v, ran) = m.get_or_init(5, || 51);
+        assert!(ran, "removal starts a fresh exactly-once epoch");
+        assert_eq!(*v, 51);
+    }
+
+    #[test]
+    fn panicking_initializer_does_not_wedge_the_key() {
+        let m: Arc<OnceMap<u8, u8>> = Arc::new(OnceMap::new());
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            m2.get_or_init(9, || panic!("initializer died"));
+        })
+        .join();
+        assert_eq!(m.get(&9), None);
+        let (v, ran) = m.get_or_init(9, || 90);
+        assert!(ran, "the next caller retries after a panic");
+        assert_eq!(*v, 90);
+        assert_eq!(m.len(), 1);
+    }
+}

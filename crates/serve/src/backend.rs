@@ -11,10 +11,9 @@
 use crate::proto::ProtoError;
 use abr_baselines::{Bola, BufferBased, DashJs, Festive, RateBased};
 use abr_core::{BitrateController, Mpc, MpcConfig};
-use abr_fastmpc::{FastMpc, FastMpcTable};
+use abr_fastmpc::{FastMpc, TableHandle};
 use abr_predictor::{Ar1, CrossSession, Ewma, HarmonicMean, LastSample, Predictor, SlidingMean};
 use abr_video::QoeWeights;
-use std::sync::Arc;
 
 /// Controller families the service hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,9 +85,12 @@ impl Backend {
     }
 
     /// Builds a fresh controller; same recipe as the harness registry.
+    /// FastMPC accepts a table from either tier of the
+    /// [`abr_fastmpc::TableStore`] — hot (owned) or warm (mmap'd view) —
+    /// since the two decide bit-identically.
     pub fn build(
         self,
-        table: Option<&Arc<FastMpcTable>>,
+        table: Option<&TableHandle>,
         weights: &QoeWeights,
         horizon: usize,
     ) -> Box<dyn BitrateController> {
@@ -104,9 +106,9 @@ impl Backend {
             Backend::Festive => Box::new(Festive::paper_default()),
             Backend::DashJs => Box::new(DashJs::paper_default()),
             Backend::Bola => Box::new(Bola::reference_default()),
-            Backend::FastMpc => Box::new(FastMpc::new(Arc::clone(
-                table.expect("FastMPC backend requires a decision table"),
-            ))),
+            Backend::FastMpc => Box::new(FastMpc::from_handle(
+                table.expect("FastMPC backend requires a decision table").clone(),
+            )),
             Backend::RobustMpc => Box::new(Mpc::new(mpc_cfg(true))),
             Backend::Mpc => Box::new(Mpc::new(mpc_cfg(false))),
         }
@@ -200,6 +202,7 @@ impl PredictorKind {
 mod tests {
     use super::*;
     use abr_video::envivio_video;
+    use std::sync::Arc;
 
     #[test]
     fn tokens_round_trip() {
@@ -234,7 +237,9 @@ mod tests {
             let mut cfg =
                 abr_fastmpc::TableConfig::with_levels(video.ladder().len(), 30.0);
             cfg.weights = weights.clone();
-            Arc::new(FastMpcTable::generate(&video, 30.0, cfg))
+            TableHandle::Owned(Arc::new(abr_fastmpc::FastMpcTable::generate(
+                &video, 30.0, cfg,
+            )))
         };
         let expect = [
             (Backend::Rb, "RB"),

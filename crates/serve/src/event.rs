@@ -65,6 +65,9 @@ pub struct EventConfig {
     pub idle_timeout: Duration,
     /// Session-store shards.
     pub shards: usize,
+    /// Tiered table-store sizing (hot-tier byte budget, warm spill dir).
+    /// The default is unbounded and memory-only.
+    pub tables: abr_fastmpc::TableStoreConfig,
 }
 
 impl EventConfig {
@@ -82,6 +85,7 @@ impl Default for EventConfig {
             body_cap: MAX_REQUEST_BODY_BYTES,
             idle_timeout: Duration::from_secs(60),
             shards: 16,
+            tables: abr_fastmpc::TableStoreConfig::default(),
         }
     }
 }
@@ -105,7 +109,9 @@ impl EventServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let service = service.unwrap_or_else(|| Arc::new(AbrService::new(cfg.shards)));
+        let service = service.unwrap_or_else(|| {
+            Arc::new(AbrService::with_table_config(cfg.shards, cfg.tables.clone()))
+        });
         let stop = Arc::new(AtomicBool::new(false));
         let open_total = Arc::new(AtomicUsize::new(0));
         let stats: Vec<Arc<LoopStats>> =

@@ -13,8 +13,10 @@
 //!   per-slot errors), `GET /metrics` exposes
 //!   plain-text counters. An eager acceptor thread plus a fixed worker
 //!   pool; FastMPC tables come from one process-wide
-//!   [`abr_fastmpc::TableCache`], so a thousand sessions on the same video
-//!   generate the table exactly once.
+//!   [`abr_fastmpc::TableStore`] — a tiered catalog with a bounded hot
+//!   tier and an mmap'd warm tier — so a thousand sessions on the same
+//!   video generate the table exactly once, and a million-video fleet
+//!   stays inside a fixed memory budget.
 //! * [`store`] — per-session control state in a sharded, mutexed map. The
 //!   state update replays `abr_sim::run_session_core`'s bookkeeping from
 //!   the client's reports, which is what makes remote decisions
@@ -59,7 +61,7 @@ pub use client::{RemoteController, ServeClient, ServeError};
 pub use event::{EventConfig, EventHandle, EventServer};
 pub use loadgen::{run_load, LoadOptions, LoadReport};
 pub use metrics::{exact_quantile_us, LatencyHistogram, LoopStats, Metrics};
-pub use muxload::{run_mux_load, MuxOptions};
+pub use muxload::{run_mux_load, MuxCatalog, MuxOptions};
 pub use proto::{
     decode_bulk, decode_bulk_reply, encode_bulk, encode_bulk_reply, BulkSlot, DecisionReply,
     DecisionRequest, LastChunk, ProtoError, SessionSpec,

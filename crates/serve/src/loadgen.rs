@@ -24,7 +24,7 @@ use crate::client::{RemoteController, ServeClient};
 use crate::metrics::exact_quantile_us;
 use crate::proto::{DecisionRequest, SessionSpec};
 use abr_core::Decision;
-use abr_fastmpc::FastMpcTable;
+use abr_fastmpc::TableHandle;
 use abr_sim::{
     run_session, SessionResult, SessionScratch, SessionStepper, SimConfig, TraceDownloader,
 };
@@ -122,11 +122,11 @@ pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
             sim_cfg.buffer_max_secs,
         );
         cfg.weights = sim_cfg.weights.clone();
-        std::sync::Arc::new(abr_fastmpc::FastMpcTable::generate(
+        TableHandle::Owned(Arc::new(abr_fastmpc::FastMpcTable::generate(
             &video,
             sim_cfg.buffer_max_secs,
             cfg,
-        ))
+        )))
     });
 
     let batch = opts.batch.max(1);
@@ -253,7 +253,7 @@ fn drive_group(
     opts: &LoadOptions,
     video: &Video,
     sim_cfg: &SimConfig,
-    table: Option<&Arc<FastMpcTable>>,
+    table: Option<&TableHandle>,
     base: usize,
     traces: &[Trace],
 ) -> Vec<SessionOutcome> {

@@ -6,6 +6,7 @@
 //! quantiles separately from raw samples — the server-side histogram is
 //! operational visibility, not the benchmark's source of truth.
 
+use abr_fastmpc::TableStoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -162,8 +163,11 @@ impl Metrics {
             .expect("every Backend token has a stats slot")
     }
 
-    /// Renders the `GET /metrics` plain-text body.
-    pub fn render(&self, live_sessions: usize, cached_tables: usize) -> String {
+    /// Renders the `GET /metrics` plain-text body. `tables` is the
+    /// session store's [`TableStoreStats`] snapshot: `fastmpc_tables_cached`
+    /// keeps its historical meaning (hot-tier residents), and the tier
+    /// counters get their own `table_*` lines.
+    pub fn render(&self, live_sessions: usize, tables: &TableStoreStats) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
             "sessions_registered {}\n",
@@ -174,7 +178,12 @@ impl Metrics {
             self.sessions_closed.load(Ordering::Relaxed)
         ));
         out.push_str(&format!("sessions_live {live_sessions}\n"));
-        out.push_str(&format!("fastmpc_tables_cached {cached_tables}\n"));
+        out.push_str(&format!("fastmpc_tables_cached {}\n", tables.hot_entries));
+        out.push_str(&format!("table_hot_hits {}\n", tables.hot_hits));
+        out.push_str(&format!("table_warm_hits {}\n", tables.warm_hits));
+        out.push_str(&format!("table_generates {}\n", tables.generates));
+        out.push_str(&format!("table_evictions {}\n", tables.evictions));
+        out.push_str(&format!("table_hot_bytes {}\n", tables.hot_bytes));
         out.push_str(&format!(
             "requests_rejected {}\n",
             self.rejected.load(Ordering::Relaxed)
@@ -261,7 +270,7 @@ mod tests {
     fn loop_stats_render_per_loop_lines() {
         let m = Metrics::new();
         // No loops attached: the event-loop section is absent entirely.
-        assert!(!m.render(0, 0).contains("conns_open"));
+        assert!(!m.render(0, &TableStoreStats::default()).contains("conns_open"));
         let loops: Vec<Arc<LoopStats>> =
             (0..2).map(|_| Arc::new(LoopStats::default())).collect();
         loops[0].wakeups.fetch_add(5, Ordering::Relaxed);
@@ -271,7 +280,7 @@ mod tests {
         loops[0].open_conns.fetch_add(2, Ordering::Relaxed);
         loops[1].open_conns.fetch_add(1, Ordering::Relaxed);
         m.attach_loops(loops);
-        let text = m.render(0, 0);
+        let text = m.render(0, &TableStoreStats::default());
         assert!(text.contains("conns_open 3"), "{text}");
         assert!(text.contains("loop_wakeups{loop=0} 5"), "{text}");
         assert!(text.contains("loop_accepts{loop=0} 3"), "{text}");
@@ -286,10 +295,38 @@ mod tests {
         m.sessions_registered.fetch_add(3, Ordering::Relaxed);
         m.backend("fastmpc").decisions.fetch_add(7, Ordering::Relaxed);
         m.backend("fastmpc").latency.record(2_000);
-        let text = m.render(2, 1);
+        let tables = TableStoreStats {
+            hot_entries: 1,
+            hot_bytes: 4096,
+            hot_hits: 5,
+            warm_hits: 2,
+            generates: 1,
+            evictions: 3,
+        };
+        let text = m.render(2, &tables);
         assert!(text.contains("sessions_registered 3"));
         assert!(text.contains("sessions_live 2"));
         assert!(text.contains("decisions{backend=fastmpc} 7"));
         assert!(!text.contains("backend=bola"), "idle backends stay out:\n{text}");
+    }
+
+    #[test]
+    fn table_tier_counters_render_their_own_lines() {
+        let m = Metrics::new();
+        let tables = TableStoreStats {
+            hot_entries: 7,
+            hot_bytes: 123_456,
+            hot_hits: 40,
+            warm_hits: 9,
+            generates: 16,
+            evictions: 11,
+        };
+        let text = m.render(0, &tables);
+        assert!(text.contains("fastmpc_tables_cached 7"), "{text}");
+        assert!(text.contains("table_hot_hits 40"), "{text}");
+        assert!(text.contains("table_warm_hits 9"), "{text}");
+        assert!(text.contains("table_generates 16"), "{text}");
+        assert!(text.contains("table_evictions 11"), "{text}");
+        assert!(text.contains("table_hot_bytes 123456"), "{text}");
     }
 }

@@ -40,13 +40,33 @@ use abr_sim::{
     run_session, ChunkDownloader, SessionResult, SessionScratch, SessionStepper, TraceDownloader,
 };
 use abr_trace::{Dataset, Trace};
-use abr_video::{envivio_video, LevelIdx};
+use abr_video::{envivio_video, LevelIdx, Video};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A video catalog driven through the multiplexed generator: each virtual
+/// session plays one catalog entry (the harness assigns entries by a Zipf
+/// draw for the catalog benchmark). Without a catalog every session plays
+/// the paper's Envivio video, as before.
+#[derive(Debug, Clone)]
+pub struct MuxCatalog {
+    /// The distinct videos.
+    pub videos: Vec<Video>,
+    /// `assignment[i]` is the index into [`videos`](Self::videos) that
+    /// session `i` plays; must cover every session.
+    pub assignment: Vec<usize>,
+}
+
+impl MuxCatalog {
+    /// The video session `i` plays.
+    fn video(&self, i: usize) -> &Video {
+        &self.videos[self.assignment[i]]
+    }
+}
 
 /// Multiplexed-load configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +85,9 @@ pub struct MuxOptions {
     pub conns: usize,
     /// Client event-loop threads.
     pub loops: usize,
+    /// Per-session video assignment; `None` plays the Envivio video
+    /// everywhere.
+    pub catalog: Option<Arc<MuxCatalog>>,
 }
 
 impl MuxOptions {
@@ -80,6 +103,15 @@ impl MuxOptions {
             verify: true,
             conns: 0,
             loops: 2,
+            catalog: None,
+        }
+    }
+
+    /// The video session `i` plays under this configuration.
+    fn video_of<'a>(&'a self, default: &'a Video, i: usize) -> &'a Video {
+        match &self.catalog {
+            Some(c) => c.video(i),
+            None => default,
         }
     }
 
@@ -115,6 +147,19 @@ pub struct MuxReport {
 /// silent partial run would corrupt the differential guarantee.
 pub fn run_mux_load(addr: SocketAddr, opts: &MuxOptions) -> MuxReport {
     let video = envivio_video();
+    if let Some(catalog) = &opts.catalog {
+        assert!(
+            catalog.assignment.len() >= opts.sessions,
+            "catalog assigns {} sessions, run asks for {}",
+            catalog.assignment.len(),
+            opts.sessions
+        );
+        assert!(
+            catalog.assignment.iter().all(|&v| v < catalog.videos.len()),
+            "catalog assignment indexes past its {} videos",
+            catalog.videos.len()
+        );
+    }
     let sim_cfg = SessionSpec::paper_default(opts.backend, video.clone()).sim_config();
     let traces: Vec<Trace> = Dataset::Fcc.generate(opts.seed, opts.sessions);
     let loops = opts.loops.max(1).min(opts.sessions.max(1));
@@ -142,20 +187,11 @@ pub fn run_mux_load(addr: SocketAddr, opts: &MuxOptions) -> MuxReport {
     let elapsed_secs = started.elapsed().as_secs_f64();
 
     // Twin verification runs *after* the timed window, parallel over the
-    // same partition.
+    // same partition. The twins' tables come from a client-side unbounded
+    // store, so a catalog run generates each distinct video's table once
+    // no matter how its sessions are spread across shards.
     let mismatch_details: Vec<String> = if opts.verify {
-        let table = opts.backend.needs_table().then(|| {
-            let mut cfg = abr_fastmpc::TableConfig::with_levels(
-                video.ladder().len(),
-                sim_cfg.buffer_max_secs,
-            );
-            cfg.weights = sim_cfg.weights.clone();
-            Arc::new(abr_fastmpc::FastMpcTable::generate(
-                &video,
-                sim_cfg.buffer_max_secs,
-                cfg,
-            ))
-        });
+        let tables = abr_fastmpc::TableStore::new();
         let horizon = SessionSpec::paper_default(opts.backend, video.clone()).horizon;
         std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -163,19 +199,31 @@ pub fn run_mux_load(addr: SocketAddr, opts: &MuxOptions) -> MuxReport {
                 .map(|shard| {
                     let video = &video;
                     let sim_cfg = &sim_cfg;
-                    let table = table.as_ref();
+                    let tables = &tables;
                     scope.spawn(move || {
                         let mut found = Vec::new();
                         for (i, remote_result) in
                             shard.outs.iter().enumerate()
                         {
-                            let mut local =
-                                opts.backend.build(table, &sim_cfg.weights, horizon);
+                            let session_video = opts.video_of(video, shard.base + i);
+                            let table = opts.backend.needs_table().then(|| {
+                                let mut cfg = abr_fastmpc::TableConfig::with_levels(
+                                    session_video.ladder().len(),
+                                    sim_cfg.buffer_max_secs,
+                                );
+                                cfg.weights = sim_cfg.weights.clone();
+                                tables.ensure(session_video, sim_cfg.buffer_max_secs, &cfg)
+                            });
+                            let mut local = opts.backend.build(
+                                table.as_ref(),
+                                &sim_cfg.weights,
+                                horizon,
+                            );
                             let local_result = run_session(
                                 local.as_mut(),
                                 opts.predictor.build(),
                                 &shard.traces[i],
-                                video,
+                                session_video,
                                 sim_cfg,
                             );
                             if let Some(d) = diff_sessions(
@@ -346,14 +394,15 @@ fn drive_mux(
             .iter_mut()
             .zip(outs.iter_mut())
             .zip(traces)
-            .map(|((scratch, out), trace)| {
+            .enumerate()
+            .map(|(i, ((scratch, out), trace))| {
                 SessionStepper::start(
                     scratch,
                     out,
                     opts.predictor.build(),
                     TraceDownloader::new(trace),
                     trace,
-                    video,
+                    opts.video_of(video, base + i),
                     sim_cfg,
                 )
             })
@@ -361,7 +410,10 @@ fn drive_mux(
 
         // Kick off every session: pipeline the registrations.
         for i in 0..n {
-            let mut spec = SessionSpec::paper_default(opts.backend, video.clone());
+            let mut spec = SessionSpec::paper_default(
+                opts.backend,
+                opts.video_of(video, base + i).clone(),
+            );
             spec.predictor = opts.predictor;
             enqueue(
                 &mut conns[sessions[i].conn],
@@ -621,6 +673,43 @@ mod tests {
         let b = run_mux_load(event.addr(), &opts);
         assert_eq!(a.sequences, b.sequences);
         threaded.shutdown();
+    }
+
+    #[test]
+    fn catalog_sessions_verify_and_generate_each_table_once() {
+        use abr_video::{Ladder, VideoBuilder};
+        // Three small distinct videos; 12 sessions spread across them.
+        let videos: Vec<Video> = (0..3u32)
+            .map(|v| {
+                let levels = (0..4 + v as usize)
+                    .map(|l| 300.0 * (v as f64 + 1.0) * 1.6f64.powi(l as i32))
+                    .collect();
+                VideoBuilder::new(Ladder::new(levels).unwrap())
+                    .chunks(12)
+                    .chunk_secs(4.0)
+                    .cbr()
+            })
+            .collect();
+        let assignment: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let handle = EventServer::spawn(EventConfig {
+            loops: 1,
+            ..EventConfig::default()
+        })
+        .unwrap();
+        let mut opts = MuxOptions::new(12);
+        opts.backend = Backend::FastMpc;
+        opts.conns = 3;
+        opts.loops = 1;
+        opts.catalog = Some(Arc::new(MuxCatalog { videos, assignment }));
+        let report = run_mux_load(handle.addr(), &opts);
+        assert_eq!(
+            report.report.mismatches, 0,
+            "{:#?}",
+            report.report.mismatch_details
+        );
+        let stats = handle.service().store().tables().stats();
+        assert_eq!(stats.generates, 3, "one generation per distinct video: {stats:?}");
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

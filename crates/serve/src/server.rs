@@ -28,10 +28,17 @@ pub struct AbrService {
 }
 
 impl AbrService {
-    /// A fresh service with a `shards`-way sharded session store.
+    /// A fresh service with a `shards`-way sharded session store and an
+    /// unbounded, memory-only table store.
     pub fn new(shards: usize) -> Self {
+        Self::with_table_config(shards, abr_fastmpc::TableStoreConfig::default())
+    }
+
+    /// [`new`](Self::new) with an explicit tiered-table-store budget and
+    /// spill policy.
+    pub fn with_table_config(shards: usize, tables: abr_fastmpc::TableStoreConfig) -> Self {
         Self {
-            store: SessionStore::new(shards),
+            store: SessionStore::with_table_config(shards, tables),
             metrics: Metrics::new(),
         }
     }
@@ -126,7 +133,7 @@ impl AbrService {
             ("GET", "/metrics") => Response::ok(
                 Bytes::from(
                     self.metrics
-                        .render(self.store.len(), self.store.tables().len()),
+                        .render(self.store.len(), &self.store.tables().stats()),
                 ),
                 "text/plain",
             ),

@@ -18,7 +18,7 @@
 
 use crate::proto::{DecisionReply, DecisionRequest, SessionSpec};
 use abr_core::{BitrateController, ControllerContext};
-use abr_fastmpc::TableCache;
+use abr_fastmpc::{TableStore, TableStoreConfig};
 use abr_predictor::{ErrorTracked, Predictor};
 use abr_sim::RobustBound;
 use abr_video::{LevelIdx, Video};
@@ -81,9 +81,11 @@ pub struct SessionState {
 
 impl SessionState {
     /// Builds the state for a freshly registered session. FastMPC tables
-    /// come from `tables`, the shared process-wide cache, so N sessions on
-    /// the same (video, config) generate the table exactly once.
-    pub fn new(spec: SessionSpec, tables: &TableCache) -> Self {
+    /// come from `tables`, the shared process-wide tiered store, so N
+    /// sessions on the same (video, config) generate the table exactly
+    /// once — and an evicted table comes back zero-copy from the warm
+    /// tier instead of being regenerated.
+    pub fn new(spec: SessionSpec, tables: &TableStore) -> Self {
         let table = spec.backend.needs_table().then(|| {
             let mut cfg = abr_fastmpc::TableConfig::with_levels(
                 spec.video.ladder().len(),
@@ -188,16 +190,23 @@ impl SessionState {
 pub struct SessionStore {
     shards: Vec<Mutex<HashMap<u64, SessionState>>>,
     next_id: AtomicU64,
-    tables: Arc<TableCache>,
+    tables: Arc<TableStore>,
 }
 
 impl SessionStore {
-    /// A store with `shards` independent locks (at least 1).
+    /// A store with `shards` independent locks (at least 1) and an
+    /// unbounded, memory-only table store.
     pub fn new(shards: usize) -> Self {
+        Self::with_table_config(shards, TableStoreConfig::default())
+    }
+
+    /// [`new`](Self::new) with an explicit table-store budget and spill
+    /// policy (the million-video-fleet configuration).
+    pub fn with_table_config(shards: usize, tables: TableStoreConfig) -> Self {
         Self {
             shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
             next_id: AtomicU64::new(1),
-            tables: Arc::new(TableCache::new()),
+            tables: Arc::new(TableStore::with_config(tables)),
         }
     }
 
@@ -274,8 +283,8 @@ impl SessionStore {
         self.len() == 0
     }
 
-    /// The shared FastMPC table cache (for stats reporting).
-    pub fn tables(&self) -> &Arc<TableCache> {
+    /// The shared FastMPC table store (for stats reporting).
+    pub fn tables(&self) -> &Arc<TableStore> {
         &self.tables
     }
 }
@@ -420,5 +429,36 @@ mod tests {
             s.register(SessionSpec::paper_default(Backend::FastMpc, envivio_video()));
         }
         assert_eq!(s.tables().len(), 1, "same config must reuse one table");
+        let stats = s.tables().stats();
+        assert_eq!(stats.generates, 1, "exactly one generation for one config");
+        assert_eq!(stats.hot_hits, 3, "later registrations hit the hot tier");
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn bounded_store_keeps_serving_after_eviction() {
+        // A budget of ~one table forces the second registration's table to
+        // evict the first; both sessions must still decide, and the first
+        // config's return regenerates (no warm dir here) exactly once more.
+        let probe = {
+            let mut cfg = abr_fastmpc::TableConfig::with_levels(5, 30.0);
+            cfg.weights =
+                SessionSpec::paper_default(Backend::FastMpc, envivio_video()).weights;
+            abr_fastmpc::FastMpcTable::generate(&envivio_video(), 30.0, cfg)
+                .binary_size_bytes()
+        };
+        let s = SessionStore::with_table_config(
+            2,
+            TableStoreConfig { hot_budget_bytes: probe + probe / 2, warm_dir: None },
+        );
+        let a = s.register(SessionSpec::paper_default(Backend::FastMpc, envivio_video()));
+        let mut other = SessionSpec::paper_default(Backend::FastMpc, envivio_video());
+        other.buffer_max_secs = 24.0; // different table config => different key
+        let b = s.register(other);
+        assert!(s.tables().stats().evictions >= 1, "budget must evict");
+        for sid in [a, b] {
+            s.with_session(sid, |st| st.decide(&first_request(sid)).unwrap())
+                .unwrap();
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! a reproducible seed and the sweep costs the same on every run.
 
 use abr_core::{BitrateController, ControllerContext, Decision};
-use abr_fastmpc::{FastMpcTable, TableConfig};
+use abr_fastmpc::{FastMpcTable, TableConfig, TableHandle};
 use abr_serve::Backend;
 use abr_video::{envivio_video, Ladder, LevelIdx, QoeWeights, Video, VideoBuilder};
 use std::sync::Arc;
@@ -90,10 +90,10 @@ impl CtxSpec {
 }
 
 /// Same table recipe as the load generator's in-process twin.
-fn make_table(video: &Video, weights: &QoeWeights) -> Arc<FastMpcTable> {
+fn make_table(video: &Video, weights: &QoeWeights) -> TableHandle {
     let mut cfg = TableConfig::with_levels(video.ladder().len(), BUFFER_MAX_SECS);
     cfg.weights = weights.clone();
-    Arc::new(FastMpcTable::generate(video, BUFFER_MAX_SECS, cfg))
+    TableHandle::Owned(Arc::new(FastMpcTable::generate(video, BUFFER_MAX_SECS, cfg)))
 }
 
 /// Two freshly built controllers of the same backend see the same context
@@ -103,7 +103,7 @@ fn make_table(video: &Video, weights: &QoeWeights) -> Arc<FastMpcTable> {
 fn assert_batch_matches_scalar(
     backend: Backend,
     ctxs: &[ControllerContext<'_>],
-    table: &Arc<FastMpcTable>,
+    table: &TableHandle,
     weights: &QoeWeights,
     seed: u64,
 ) {

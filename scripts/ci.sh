@@ -97,6 +97,20 @@ if [[ "${1:-}" != "quick" ]]; then
   test -s "$smoke_dir/serve_event/serve_bench.csv"
   echo "event-engine smoke passed"
 
+  echo "== catalog smoke: 512 sessions, 64-video Zipf catalog, exactly-once tables =="
+  # The tiered table catalog under a fleet-shaped workload: 512 concurrent
+  # sessions Zipf-assigned across a 64-video catalog, swept against the
+  # unbounded baseline and a bounded hot tier with an mmap'd warm tier.
+  # The experiment itself asserts (a) every session bit-identical to its
+  # in-process twin and (b) exactly one table generation per distinct
+  # video at every budget — eviction must refill from the warm tier, not
+  # regenerate. A divergence or a double generation panics, so a clean
+  # exit is the gate.
+  ./target/release/abr_harness catalog-bench --sessions 512 --quick \
+    --out "$smoke_dir/catalog" > /dev/null
+  test -s "$smoke_dir/catalog/catalog_bench.csv"
+  echo "catalog smoke passed: exactly-once generation under 512 sessions"
+
   echo "== report-diff gate: engines produce byte-identical decision sequences =="
   # Drive the thread-per-connection engine and the event-driven engine with
   # the same seed and record every session's full decision sequence (levels
