@@ -1,0 +1,85 @@
+//! Shared-bottleneck fairness benchmarks: the fleet-scale multiplayer
+//! engine at increasing player counts, and the coordinator's joint
+//! allocation pass itself — the per-decision cost a grouped `abr-serve`
+//! deployment pays on top of the scalar backend.
+
+use abr_baselines::BufferBased;
+use abr_bench::video;
+use abr_net::multiplayer::{run_shared_session, SharedPlayer};
+use abr_predictor::HarmonicMean;
+use abr_serve::{CoordinatorConfig, DecisionRequest, FairnessCoordinator, LastChunk};
+use abr_sim::SimConfig;
+use abr_trace::Dataset;
+use abr_video::QualityFn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Whole shared-link sessions at fleet sizes: wall-clock per full run of
+/// N buffer-based players over one scaled FCC trace.
+fn bench_fleet_engine(c: &mut Criterion) {
+    let video = video();
+    let cfg = SimConfig::paper_default();
+    let mut group = c.benchmark_group("fairness_fleet");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for n in [16usize, 64, 256] {
+        let trace = Dataset::Fcc.generate(9, 1).remove(0).scaled(1.2 * n as f64);
+        group.bench_function(format!("{n}_players_bb"), |b| {
+            b.iter(|| {
+                let players = (0..n)
+                    .map(|i| SharedPlayer {
+                        controller: Box::new(BufferBased::paper_default()),
+                        predictor: Box::new(HarmonicMean::paper_default()),
+                        start_offset_secs: (i % 16) as f64 * 0.5,
+                    })
+                    .collect();
+                black_box(run_shared_session(players, &trace, &video, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The allocator alone: one `observe_and_allocate` round against a warm
+/// group — the marginal server-side cost of a coordinated decision.
+fn bench_allocation_pass(c: &mut Criterion) {
+    let video = video();
+    let mut group = c.benchmark_group("fairness_allocate");
+    group.measurement_time(Duration::from_secs(2));
+    for n in [8u64, 64, 256] {
+        let coord = FairnessCoordinator::new(CoordinatorConfig::default());
+        for sid in 0..n {
+            coord.join("link", sid, &video, &QualityFn::Identity);
+            // Warm every member with an observation so the whole group is
+            // eligible and the greedy climb runs at full width.
+            let _ = coord.observe_and_allocate(&DecisionRequest {
+                sid,
+                chunk: 3,
+                buffer_secs: 12.0,
+                last: Some(LastChunk {
+                    level: 2,
+                    throughput_kbps: 1500.0 + sid as f64,
+                    download_secs: 2.5,
+                }),
+            });
+        }
+        let req = DecisionRequest {
+            sid: 0,
+            chunk: 4,
+            buffer_secs: 11.0,
+            last: Some(LastChunk {
+                level: 2,
+                throughput_kbps: 1600.0,
+                download_secs: 2.4,
+            }),
+        };
+        group.bench_function(format!("{n}_members"), |b| {
+            b.iter(|| black_box(coord.observe_and_allocate(black_box(&req))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_engine, bench_allocation_pass);
+criterion_main!(benches);

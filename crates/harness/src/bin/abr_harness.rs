@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH] [--table-budget-mb MB] [--catalog-videos N] [--zipf-alpha A]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH] [--table-budget-mb MB] [--catalog-videos N] [--zipf-alpha A] [--players N] [--bottlenecks N] [--fairness-alpha A]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -47,8 +47,12 @@ commands:
              Zipf(alpha) sessions through the event engine, sweeping the
              hot-tier byte budget against the unbounded baseline and
              writing catalog_bench.csv
-  all       everything above except robustness, serve-bench, serve-scale
-             and catalog-bench
+  fairness  shared-bottleneck fleets: coordinated vs uncoordinated players
+             over faulted links, with bit-exact reference-loop and served
+             wire-replay twins (a twin mismatch aborts the run), writing
+             fairness.csv and fairness_cdf.csv
+  all       everything above except robustness, serve-bench, serve-scale,
+             catalog-bench and fairness
 
 options:
   --traces N   traces per dataset (default 100)
@@ -118,7 +122,16 @@ options:
                positive, at most 1000000); --quick trims the catalog to 64
   --zipf-alpha A
                catalog-bench: Zipf popularity exponent in [0, 10]
-               (default 1.0; 0 is a uniform catalog)";
+               (default 1.0; 0 is a uniform catalog)
+  --players N  fairness: players per shared bottleneck (positive); omit to
+               sweep the default grid (8 and 64; 4 and 16 under --quick)
+  --bottlenecks N
+               fairness: independent bottleneck groups per cell (default 4,
+               positive), each a shared-link run over its own trace and
+               fault stream
+  --fairness-alpha A
+               fairness: weight of the coordinator's fairness term (finite,
+               non-negative, default 1.0; 0 is pure efficiency)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -298,6 +311,39 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                 }
                 opts.zipf_alpha = a;
             }
+            "--players" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--players needs a value")?
+                    .parse()
+                    .map_err(|_| "--players must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--players must be positive".into());
+                }
+                opts.players = Some(n);
+            }
+            "--bottlenecks" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--bottlenecks needs a value")?
+                    .parse()
+                    .map_err(|_| "--bottlenecks must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--bottlenecks must be positive".into());
+                }
+                opts.bottlenecks = n;
+            }
+            "--fairness-alpha" => {
+                let a: f64 = it
+                    .next()
+                    .ok_or("--fairness-alpha needs a value")?
+                    .parse()
+                    .map_err(|_| "--fairness-alpha must be a number".to_string())?;
+                if !a.is_finite() || a < 0.0 {
+                    return Err("--fairness-alpha must be finite and non-negative".into());
+                }
+                opts.fairness_alpha = a;
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
@@ -335,6 +381,7 @@ fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
         "serve-bench" => experiments::serve_bench::run(opts),
         "serve-scale" => experiments::serve_scale::run(opts),
         "catalog-bench" => experiments::catalog_bench::run(opts),
+        "fairness" => experiments::fairness::run(opts),
         "all" => {
             let mut out = String::new();
             // Share the expensive dataset evaluations between Figures 8,
@@ -577,6 +624,46 @@ mod tests {
         // alpha = 0 (uniform) is a legal corner.
         let (_, opts) = parse(&args(&["catalog-bench", "--zipf-alpha", "0"])).unwrap();
         assert_eq!(opts.zipf_alpha, 0.0);
+    }
+
+    #[test]
+    fn parses_fairness_flags() {
+        let (cmd, opts) = parse(&args(&["fairness"])).unwrap();
+        assert_eq!(cmd, "fairness");
+        assert!(opts.players.is_none());
+        assert_eq!(opts.bottlenecks, 4);
+        assert_eq!(opts.fairness_alpha, 1.0);
+
+        let (_, opts) = parse(&args(&[
+            "fairness",
+            "--players",
+            "64",
+            "--bottlenecks",
+            "8",
+            "--fairness-alpha",
+            "2.5",
+        ]))
+        .unwrap();
+        assert_eq!(opts.players, Some(64));
+        assert_eq!(opts.bottlenecks, 8);
+        assert_eq!(opts.fairness_alpha, 2.5);
+
+        assert!(parse(&args(&["fairness", "--players"])).is_err());
+        assert!(parse(&args(&["fairness", "--players", "0"])).is_err());
+        assert!(parse(&args(&["fairness", "--players", "-4"])).is_err());
+        assert!(parse(&args(&["fairness", "--players", "many"])).is_err());
+        assert!(parse(&args(&["fairness", "--bottlenecks"])).is_err());
+        assert!(parse(&args(&["fairness", "--bottlenecks", "0"])).is_err());
+        assert!(parse(&args(&["fairness", "--bottlenecks", "-1"])).is_err());
+        assert!(parse(&args(&["fairness", "--fairness-alpha"])).is_err());
+        assert!(parse(&args(&["fairness", "--fairness-alpha", "-0.1"])).is_err());
+        assert!(parse(&args(&["fairness", "--fairness-alpha", "inf"])).is_err());
+        assert!(parse(&args(&["fairness", "--fairness-alpha", "nan"])).is_err());
+        assert!(parse(&args(&["fairness", "--fairness-alpha", "fair"])).is_err());
+
+        // alpha = 0 (pure efficiency) is a legal corner.
+        let (_, opts) = parse(&args(&["fairness", "--fairness-alpha", "0"])).unwrap();
+        assert_eq!(opts.fairness_alpha, 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 pub mod ablation;
 pub mod catalog_bench;
+pub mod fairness;
 pub mod fig11;
 pub mod fig12;
 pub mod fig7;
@@ -93,6 +94,18 @@ pub struct ExpOptions {
     /// Zipf popularity exponent for `catalog-bench` (`--zipf-alpha`, in
     /// `[0, 10]`; 0 is uniform).
     pub zipf_alpha: f64,
+    /// Players per shared bottleneck for the `fairness` experiment
+    /// (`--players`, must be positive); `None` sweeps the default grid
+    /// (8 and 64; 4 and 16 under `--quick`).
+    pub players: Option<usize>,
+    /// Independent bottleneck groups per fairness cell (`--bottlenecks`,
+    /// must be positive). Each group is one shared-link run over its own
+    /// trace and fault stream.
+    pub bottlenecks: usize,
+    /// Weight of the coordinator's fairness term (`--fairness-alpha`,
+    /// finite and non-negative): 0 is pure efficiency, larger values
+    /// approach max-min fairness.
+    pub fairness_alpha: f64,
 }
 
 impl Default for ExpOptions {
@@ -119,6 +132,9 @@ impl Default for ExpOptions {
             table_budget_mb: None,
             catalog_videos: 10_000,
             zipf_alpha: 1.0,
+            players: None,
+            bottlenecks: 4,
+            fairness_alpha: 1.0,
         }
     }
 }

@@ -55,8 +55,8 @@ pub mod poll;
 pub use fault::{Fault, FaultConfig, FaultKind, FaultPlan, RetryPolicy};
 pub use link::{FaultedTransfer, ShapedLink, TokenBucket};
 pub use multiplayer::{
-    jain_index, run_shared_session, run_shared_session_faulted, SharedFaults, SharedOutcome,
-    SharedPlayer,
+    bitrate_instability, jain_index, link_utilization, oscillation_count, qoe_jain,
+    run_shared_session, run_shared_session_faulted, SharedFaults, SharedOutcome, SharedPlayer,
 };
 pub use player::{
     run_emulated_session, run_emulated_session_faulted, run_emulated_session_faulted_with,

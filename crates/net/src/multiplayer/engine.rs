@@ -1,0 +1,360 @@
+//! Fleet-scale shared-bottleneck engine.
+//!
+//! Same virtual timeline, same per-player transitions, same floats as the
+//! [`reference`](super::reference) loop — but the three O(n) scans the
+//! reference performs per event are replaced with indexes:
+//!
+//! - a **timer heap** of `(time, player, gen)` entries holds every idle
+//!   wake-up, deferred attempt start, and timeout deadline, so the due set
+//!   and the next timer bound cost O(log n) instead of a sweep;
+//! - an ordered **downloading set** yields the active share set by walking
+//!   only flows that are actually downloading (at ON/OFF steady state most
+//!   of a fleet is OFF filling buffers, so this is far below n);
+//! - a **finished counter** replaces the all-finished scan.
+//!
+//! Bit-identity with the reference is load-bearing — published numbers are
+//! defined by that loop — and two details carry it:
+//!
+//! 1. **No spurious events.** A stale timer surviving a state change could
+//!    split one `dt` step into two; `(r−a)−b ≠ r−(a+b)` in floats, so even
+//!    a no-op extra step changes results. Every state transition bumps the
+//!    player's generation counter, and heap entries are only trusted when
+//!    their generation matches; stale entries are dropped lazily on pop.
+//! 2. **Same order everywhere.** Due players are processed in ascending
+//!    index order (the reference's `for i in 0..n` sweep), and the active
+//!    set iterates ascending so `delivered` accumulates in the reference's
+//!    exact order.
+//!
+//! `tests/multiplayer_differential.rs` pins the two loops against each
+//! other — same seeds, same schedules, bit-identical outcomes.
+
+use super::rt::{
+    build_runtimes, complete_chunk, fail_attempt, finalize, start_next_download, FlowState,
+    PlayerRt,
+};
+use super::{SharedFaults, SharedOutcome, SharedPlayer};
+use crate::fault::RetryPolicy;
+use abr_sim::SimConfig;
+use abr_trace::Trace;
+use abr_video::Video;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeSet, BinaryHeap};
+
+#[derive(Clone, Copy, PartialEq)]
+struct Timer {
+    time: f64,
+    player: usize,
+    gen: u64,
+}
+
+impl Eq for Timer {}
+
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.player.cmp(&other.player))
+            .then_with(|| self.gen.cmp(&other.gen))
+    }
+}
+
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Scheduling state alongside the player runtimes.
+struct Scheduler {
+    /// Min-heap of pending timers; entries whose `gen` no longer matches
+    /// the player's current generation are stale and dropped on pop.
+    heap: BinaryHeap<Reverse<Timer>>,
+    /// Current generation per player; bumped on every state transition.
+    gen: Vec<u64>,
+    /// Players currently in `FlowState::Downloading`, ascending.
+    downloading: BTreeSet<usize>,
+    /// Mirror of `downloading` membership for O(1) transition checks.
+    in_downloading: Vec<bool>,
+    finished: usize,
+    done: Vec<bool>,
+    /// Valid-but-due entries set aside while peeking for the next future
+    /// timer; re-queued immediately (processed next iteration, exactly as
+    /// the reference leaves them for its next sweep).
+    stash: Vec<Reverse<Timer>>,
+}
+
+impl Scheduler {
+    fn new(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(4 * n),
+            gen: vec![0; n],
+            downloading: BTreeSet::new(),
+            in_downloading: vec![false; n],
+            finished: 0,
+            done: vec![false; n],
+            stash: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, player: usize, time: f64) {
+        if time.is_finite() {
+            self.heap.push(Reverse(Timer {
+                time,
+                player,
+                gen: self.gen[player],
+            }));
+        }
+    }
+
+    /// Re-index player `i` after a state transition: invalidate its old
+    /// timers, schedule the new state's timers, and maintain the
+    /// downloading set and finished count.
+    fn resync(&mut self, i: usize, state: &FlowState) {
+        self.gen[i] += 1;
+        match *state {
+            FlowState::IdleUntil(t) => self.push(i, t),
+            FlowState::Downloading {
+                started, deadline, ..
+            } => {
+                self.push(i, started);
+                self.push(i, deadline);
+            }
+            FlowState::Stalled { deadline } => self.push(i, deadline),
+            FlowState::Finished => {}
+        }
+        let dl = matches!(state, FlowState::Downloading { .. });
+        if dl != self.in_downloading[i] {
+            if dl {
+                self.downloading.insert(i);
+            } else {
+                self.downloading.remove(&i);
+            }
+            self.in_downloading[i] = dl;
+        }
+        if matches!(state, FlowState::Finished) && !self.done[i] {
+            self.done[i] = true;
+            self.finished += 1;
+        }
+    }
+
+    /// Drains every timer due at `now` into `due` (deduplicated,
+    /// ascending player index). Stale entries are consumed here too — a
+    /// due player whose condition no longer holds is a no-op in the
+    /// reference sweep as well.
+    fn drain_due(&mut self, now: f64, due: &mut Vec<usize>) {
+        due.clear();
+        while let Some(&Reverse(t)) = self.heap.peek() {
+            if t.time > now + 1e-12 {
+                break;
+            }
+            self.heap.pop();
+            due.push(t.player);
+        }
+        due.sort_unstable();
+        due.dedup();
+    }
+
+    /// Earliest *valid* timer strictly after `now` — the heap's share of
+    /// the reference's next-event scan. Valid entries that are already due
+    /// (pushed while processing this very iteration, e.g. a zero-backoff
+    /// retry) are kept for the next iteration's due drain, never treated
+    /// as future events.
+    fn next_timer_after(&mut self, now: f64) -> f64 {
+        let mut next = f64::INFINITY;
+        while let Some(&Reverse(t)) = self.heap.peek() {
+            if t.gen != self.gen[t.player] {
+                self.heap.pop();
+                continue;
+            }
+            if t.time <= now + 1e-12 {
+                let e = self.heap.pop().unwrap();
+                self.stash.push(e);
+                continue;
+            }
+            next = t.time;
+            break;
+        }
+        for e in self.stash.drain(..) {
+            self.heap.push(e);
+        }
+        next
+    }
+}
+
+/// [`super::run_shared_session_faulted`] on the indexed event queue:
+/// O(active + log n) per event instead of O(n), bit-identical outcomes.
+pub(super) fn run_shared_session_faulted(
+    players: Vec<SharedPlayer>,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    faults: Option<&SharedFaults>,
+) -> SharedOutcome {
+    let (mut rts, policy) = build_runtimes(players, video, cfg, faults);
+    let n = rts.len();
+    let mut sched = Scheduler::new(n);
+    for (i, p) in rts.iter().enumerate() {
+        // Initial states are IdleUntil(start offset); seed their wake-ups.
+        if let FlowState::IdleUntil(t) = p.state {
+            sched.push(i, t);
+        }
+    }
+
+    let mut now = 0.0_f64;
+    let mut delivered = 0.0_f64;
+    let mut due: Vec<usize> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    // Same hard cap and convergence contract as the reference loop.
+    let max_events = 200 * n * video.num_chunks();
+    for _ in 0..max_events {
+        // Wake-ups and timeouts due now, in ascending player order —
+        // the players for whom the reference's wake/timeout sweep would
+        // do anything this iteration.
+        sched.drain_due(now, &mut due);
+        for &i in &due {
+            let wake = matches!(rts[i].state, FlowState::IdleUntil(t) if t <= now + 1e-12);
+            if wake {
+                start_next_download(&mut rts[i], video, cfg, &policy, now);
+                sched.resync(i, &rts[i].state);
+            }
+            let timed_out = match rts[i].state {
+                FlowState::Stalled { deadline } => deadline <= now + 1e-12,
+                FlowState::Downloading { deadline, .. } => deadline <= now + 1e-12,
+                _ => false,
+            };
+            if timed_out {
+                fail_attempt(&mut rts[i], cfg, &policy, now);
+                sched.resync(i, &rts[i].state);
+            }
+        }
+
+        if sched.finished == n {
+            break;
+        }
+
+        // Active share set: downloading flows whose (possibly
+        // jitter-deferred) attempt has begun, ascending.
+        active.clear();
+        active.extend(sched.downloading.iter().copied().filter(
+            |&i| matches!(rts[i].state, FlowState::Downloading { started, .. } if started <= now + 1e-12),
+        ));
+
+        // Next trace rate change plus the earliest pending timer bound the
+        // step — the heap stands in for the reference's per-player scan.
+        let mut next_event = trace.next_boundary_after(now);
+        next_event = next_event.min(sched.next_timer_after(now));
+
+        if active.is_empty() {
+            // Nothing downloading: jump to the next wake-up.
+            now = next_event;
+            continue;
+        }
+
+        // Equal share of the current capacity per active flow.
+        let rate = trace.kbps_at(now) / active.len() as f64;
+        if rate > 0.0 {
+            // Earliest completion (or fault point) under the constant
+            // share also bounds the step.
+            for &i in &active {
+                if let FlowState::Downloading {
+                    remaining_kbits,
+                    fault_at_kbits,
+                    got_kbits,
+                    ..
+                } = rts[i].state
+                {
+                    next_event = next_event.min(now + remaining_kbits / rate);
+                    if fault_at_kbits.is_finite() {
+                        next_event =
+                            next_event.min(now + (fault_at_kbits - got_kbits).max(0.0) / rate);
+                    }
+                }
+            }
+        }
+        let dt = (next_event - now).max(1e-9);
+
+        // Progress all active downloads by dt at the shared rate.
+        for &i in &active {
+            progress_flow(
+                &mut rts[i], i, &mut sched, &mut delivered, rate, dt, video, cfg, &policy,
+                next_event,
+            );
+        }
+        now = next_event;
+    }
+    assert!(
+        sched.finished == n,
+        "shared session did not converge (scheduling bug)"
+    );
+
+    finalize(rts, cfg, trace, now, delivered)
+}
+
+/// One flow's share of the progress step — the reference's progress-loop
+/// body verbatim, plus scheduler resyncs on the state transitions (and
+/// only on transitions: the in-place `got_kbits` update keeps its timers).
+#[allow(clippy::too_many_arguments)]
+fn progress_flow(
+    p: &mut PlayerRt,
+    i: usize,
+    sched: &mut Scheduler,
+    delivered: &mut f64,
+    rate: f64,
+    dt: f64,
+    video: &Video,
+    cfg: &SimConfig,
+    policy: &RetryPolicy,
+    next_event: f64,
+) {
+    if let FlowState::Downloading {
+        started,
+        remaining_kbits,
+        fault_at_kbits,
+        stall,
+        deadline,
+        got_kbits,
+    } = p.state
+    {
+        let got = rate * dt;
+        if fault_at_kbits.is_finite() && got_kbits + got + 1e-9 >= fault_at_kbits {
+            // The scheduled fault point arrives no later than completion:
+            // the attempt dies here, or hangs until the deadline if it is
+            // a stall. Bytes up to the fault point stay wasted.
+            let frozen = fault_at_kbits.min(got_kbits + got);
+            *delivered += (frozen - got_kbits).max(0.0);
+            if stall {
+                p.pending_wasted_kbits += frozen;
+                p.state = FlowState::Stalled { deadline };
+            } else {
+                // Park the frozen byte count in the state so fail_attempt
+                // banks it exactly once.
+                p.state = FlowState::Downloading {
+                    started,
+                    remaining_kbits,
+                    fault_at_kbits,
+                    stall,
+                    deadline,
+                    got_kbits: frozen,
+                };
+                fail_attempt(p, cfg, policy, next_event);
+            }
+            sched.resync(i, &p.state);
+        } else {
+            *delivered += got.min(remaining_kbits);
+            let left = remaining_kbits - got;
+            if left <= 1e-9 {
+                complete_chunk(p, video, cfg, started, next_event);
+                sched.resync(i, &p.state);
+            } else {
+                p.state = FlowState::Downloading {
+                    started,
+                    remaining_kbits: left,
+                    fault_at_kbits,
+                    stall,
+                    deadline,
+                    got_kbits: got_kbits + got,
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Metric kernels for multi-player runs, after Yin et al., "On the
+//! Efficiency and Fairness of Multiplayer HTTP-based Adaptive Video
+//! Streaming": Jain fairness over allocations (and over QoE, shifted to be
+//! scale-safe for negative scores), link utilization, and bitrate
+//! oscillation/instability under competition.
+//!
+//! Pure functions over slices — no simulator types — so the harness, the
+//! serve coordinator, and the tests can all use them on raw series.
+
+/// Jain's fairness index over a set of allocations: `(Σx)² / (n·Σx²)`,
+/// 1.0 = perfectly fair, `1/n` = one player takes everything.
+///
+/// ```
+/// use abr_net::jain_index;
+/// assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+/// assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// Jain index over QoE scores. QoE is an interval scale (rebuffering makes
+/// it negative), and Jain on raw negatives is meaningless — `(Σx)²` of
+/// `[-1, 1]` is 0 — so when any score is negative the whole set is shifted
+/// to put the minimum at zero first. All-equal scores (including all-equal
+/// negatives) are perfectly fair: 1.0.
+pub fn qoe_jain(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min < 0.0 {
+        let shifted: Vec<f64> = xs.iter().map(|x| x - min).collect();
+        jain_index(&shifted)
+    } else {
+        jain_index(xs)
+    }
+}
+
+/// Number of bitrate-level switches in a decision sequence: adjacent
+/// unequal pairs. The multiplayer paper's "instability count".
+pub fn oscillation_count(levels: &[usize]) -> usize {
+    levels.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// Relative bitrate instability of one player's chunk series:
+/// `Σ|b[k+1] − b[k]| / Σ b[k]` — 0.0 for a constant (or empty) series,
+/// larger the more the player oscillates relative to what it streams.
+pub fn bitrate_instability(kbps: &[f64]) -> f64 {
+    let denom: f64 = kbps.iter().sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let switched: f64 = kbps.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+    switched / denom
+}
+
+/// Link utilization: fraction of the bottleneck's integrated capacity that
+/// carried useful (or wasted-but-transferred) video bytes. 0.0 when the
+/// link had no capacity at all over the window.
+pub fn link_utilization(delivered_kbits: f64, capacity_kbits: f64) -> f64 {
+    if capacity_kbits <= 0.0 {
+        return 0.0;
+    }
+    delivered_kbits / capacity_kbits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_basics() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(jain_index(&[]) == 1.0);
+        let mixed = jain_index(&[2.0, 1.0]);
+        assert!(mixed > 0.5 && mixed < 1.0);
+    }
+
+    #[test]
+    fn jain_index_hand_computed() {
+        // x = [4, 2]: (4+2)² / (2·(16+4)) = 36/40 = 0.9.
+        assert!((jain_index(&[4.0, 2.0]) - 0.9).abs() < 1e-12);
+        // x = [3, 1, 0]: 16 / (3·10) = 8/15.
+        assert!((jain_index(&[3.0, 1.0, 0.0]) - 8.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerates() {
+        // One player is trivially fair.
+        assert_eq!(jain_index(&[123.4]), 1.0);
+        // Zero throughput everywhere: nobody is being favored.
+        assert_eq!(jain_index(&[0.0, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn qoe_jain_shifts_negative_scores() {
+        // Raw Jain on [-1, 1] would be 0 (sum is 0); shifted to [0, 2] it is
+        // 4 / (2·4) = 0.5.
+        assert!((qoe_jain(&[-1.0, 1.0]) - 0.5).abs() < 1e-12);
+        // All-equal negative scores are perfectly fair.
+        assert_eq!(qoe_jain(&[-3.0, -3.0, -3.0]), 1.0);
+        // Non-negative input takes the plain Jain path bit-for-bit.
+        assert_eq!(
+            qoe_jain(&[4.0, 2.0]).to_bits(),
+            jain_index(&[4.0, 2.0]).to_bits()
+        );
+        // Degenerates.
+        assert_eq!(qoe_jain(&[]), 1.0);
+        assert_eq!(qoe_jain(&[-7.0]), 1.0);
+    }
+
+    #[test]
+    fn oscillation_count_hand_computed() {
+        assert_eq!(oscillation_count(&[]), 0);
+        assert_eq!(oscillation_count(&[2]), 0);
+        assert_eq!(oscillation_count(&[2, 2, 2, 2]), 0);
+        // 1→2, 2→1, 1→1 (no), 1→4: three switches.
+        assert_eq!(oscillation_count(&[1, 2, 1, 1, 4]), 3);
+        assert_eq!(oscillation_count(&[0, 1, 0, 1]), 3);
+    }
+
+    #[test]
+    fn bitrate_instability_hand_computed() {
+        assert_eq!(bitrate_instability(&[]), 0.0);
+        assert_eq!(bitrate_instability(&[750.0]), 0.0);
+        assert_eq!(bitrate_instability(&[750.0, 750.0, 750.0]), 0.0);
+        // |1200−300| + |1200−1200| = 900 over Σ = 2700: 1/3.
+        assert!((bitrate_instability(&[300.0, 1200.0, 1200.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // |1200−300| + |300−1200| = 1800 over Σ = 1800: 1.
+        assert!((bitrate_instability(&[300.0, 1200.0, 300.0]) - 1.0).abs() < 1e-12);
+        // Zero throughput series never divides by zero.
+        assert_eq!(bitrate_instability(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn link_utilization_hand_computed() {
+        assert!((link_utilization(500.0, 1000.0) - 0.5).abs() < 1e-12);
+        assert_eq!(link_utilization(0.0, 1000.0), 0.0);
+        // Dead link: utilization is defined as 0, not NaN/inf.
+        assert_eq!(link_utilization(500.0, 0.0), 0.0);
+        assert_eq!(link_utilization(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,486 @@
+//! Multiple players sharing a bottleneck link — the extension the paper's
+//! Section 8 sketches ("a natural question is to extend these insights to
+//! multiple players and interaction with cross traffic").
+//!
+//! The model is the standard one from the FESTIVE line of work: `N` players
+//! stream (the same video) through one bottleneck whose capacity `C(t)`
+//! follows a throughput trace; at any instant the active downloads share
+//! the capacity **equally** (idealized TCP fair share), so a player
+//! downloading alone gets `C(t)` while `k` concurrent downloads get
+//! `C(t)/k` each. Players that pause (full buffer, or between decisions)
+//! free their share for the others — which is exactly the ON/OFF dynamic
+//! that makes multi-player adaptation interesting: a player's *observed*
+//! per-chunk throughput depends on everyone else's schedule, so throughput
+//! estimates are biased, and aggressive algorithms can starve timid ones.
+//!
+//! [`run_shared_session`] advances all players in one event-driven virtual
+//! timeline (events: chunk completions, idle wake-ups, timeouts, trace
+//! rate changes) and returns one [`SessionResult`](abr_sim::SessionResult)
+//! per player plus link accounting and the multiplayer fairness metrics
+//! ([`jain_index`], [`qoe_jain`], [`link_utilization`],
+//! [`bitrate_instability`], [`oscillation_count`]).
+//!
+//! Two schedulers, one timeline: the [`engine`] module runs the indexed
+//! fleet-scale loop (timer heap + downloading set, O(active + log n) per
+//! event) that all public entry points use, and [`reference`] preserves
+//! the original O(n)-per-event small-N loop as the differential oracle —
+//! `tests/multiplayer_differential.rs` pins the two bit-identical.
+
+mod engine;
+pub mod metrics;
+pub mod reference;
+mod rt;
+
+pub use metrics::{
+    bitrate_instability, jain_index, link_utilization, oscillation_count, qoe_jain,
+};
+
+use crate::fault::{FaultConfig, FaultPlan, RetryPolicy};
+use abr_core::BitrateController;
+use abr_predictor::Predictor;
+use abr_sim::{SessionResult, SimConfig};
+use abr_trace::Trace;
+use abr_video::Video;
+
+/// One player's slot in the shared session.
+pub struct SharedPlayer {
+    /// The adaptation algorithm.
+    pub controller: Box<dyn BitrateController>,
+    /// The throughput predictor (fed per-flow observed throughput).
+    pub predictor: Box<dyn Predictor>,
+    /// When this player joins the bottleneck, seconds.
+    pub start_offset_secs: f64,
+}
+
+/// Outcome of a shared-bottleneck run.
+pub struct SharedOutcome {
+    /// One result per player, in input order.
+    pub sessions: Vec<SessionResult>,
+    /// Jain fairness index over the players' average bitrates.
+    pub bitrate_fairness: f64,
+    /// Jain fairness index over the players' QoE scores (shifted to be
+    /// scale-safe when rebuffering drives scores negative).
+    pub qoe_fairness: f64,
+    /// Fraction of the link's integrated capacity actually transferred.
+    pub utilization: f64,
+    /// Per-player bitrate-switch counts, in input order.
+    pub oscillations: Vec<usize>,
+    /// Per-player relative bitrate instability (`Σ|Δb| / Σb`), in input
+    /// order.
+    pub instabilities: Vec<f64>,
+    /// Total kilobits delivered across all players.
+    pub delivered_kbits: f64,
+    /// Wall-clock span of the whole run, seconds.
+    pub span_secs: f64,
+}
+
+/// Fault injection for a shared-bottleneck run: per-request odds, the
+/// retry policy every player follows, and the base seed (player `i` draws
+/// from an independent stream derived from it).
+#[derive(Debug, Clone)]
+pub struct SharedFaults {
+    /// Per-request fault odds, shared by all players.
+    pub config: FaultConfig,
+    /// Timeout/retry/backoff policy, shared by all players.
+    pub policy: RetryPolicy,
+    /// Base seed; player `i` uses `seed ^ i · φ64`.
+    pub seed: u64,
+}
+
+impl SharedFaults {
+    pub(crate) fn plan_for(&self, player: usize) -> FaultPlan {
+        let seed = self.seed ^ (player as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        FaultPlan::new(seed, self.config.clone())
+    }
+}
+
+/// Runs `players` against a shared bottleneck following `trace`.
+///
+/// All players stream `video` under `cfg` (only the `FirstChunk` startup
+/// policy is supported in the shared setting). Returns per-player results
+/// and fairness accounting.
+pub fn run_shared_session(
+    players: Vec<SharedPlayer>,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+) -> SharedOutcome {
+    run_shared_session_faulted(players, trace, video, cfg, None)
+}
+
+/// [`run_shared_session`] over a hostile bottleneck: when `faults` is set,
+/// every player's requests draw from an independent deterministic fault
+/// stream and survive via the shared [`RetryPolicy`]. With `faults` at
+/// `None` this *is* `run_shared_session` — the fault bookkeeping sits
+/// entirely outside the fault-free arithmetic.
+pub fn run_shared_session_faulted(
+    players: Vec<SharedPlayer>,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    faults: Option<&SharedFaults>,
+) -> SharedOutcome {
+    engine::run_shared_session_faulted(players, trace, video, cfg, faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_baselines::{BufferBased, RateBased};
+    use abr_core::{ControllerContext, Mpc};
+    use abr_predictor::HarmonicMean;
+    use abr_video::{envivio_video, LevelIdx};
+
+    fn player(
+        controller: Box<dyn BitrateController>,
+        offset: f64,
+    ) -> SharedPlayer {
+        SharedPlayer {
+            controller,
+            predictor: Box::new(HarmonicMean::paper_default()),
+            start_offset_secs: offset,
+        }
+    }
+
+    #[test]
+    fn single_player_matches_solo_simulator() {
+        // With one player the shared bottleneck degenerates to the plain
+        // simulator: identical decisions and QoE.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::new(vec![(30.0, 2200.0), (30.0, 900.0)]).unwrap();
+        let shared = run_shared_session(
+            vec![player(Box::new(Mpc::robust()), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let mut solo_ctrl = Mpc::robust();
+        let solo = abr_sim::run_session(
+            &mut solo_ctrl,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+        );
+        let s = &shared.sessions[0];
+        assert_eq!(s.records.len(), 65);
+        let rel = (s.qoe.qoe - solo.qoe.qoe).abs() / solo.qoe.qoe.abs().max(1.0);
+        // The solo simulator also hints oracle predictors and computes
+        // integrals identically; harmonic-mean prediction makes the paths
+        // equivalent up to float noise.
+        assert!(
+            rel < 1e-6,
+            "shared(1) {} vs solo {}",
+            s.qoe.qoe,
+            solo.qoe.qoe
+        );
+        assert!((shared.bitrate_fairness - 1.0).abs() < 1e-12);
+        assert!((shared.qoe_fairness - 1.0).abs() < 1e-12);
+        assert!(shared.utilization > 0.0 && shared.utilization <= 1.0 + 1e-9);
+        assert_eq!(shared.oscillations.len(), 1);
+        assert_eq!(shared.instabilities.len(), 1);
+    }
+
+    #[test]
+    fn two_identical_players_share_fairly() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(4000.0, 60.0).unwrap();
+        let shared = run_shared_session(
+            vec![
+                player(Box::new(BufferBased::paper_default()), 0.0),
+                player(Box::new(BufferBased::paper_default()), 0.0),
+            ],
+            &trace,
+            &video,
+            &cfg,
+        );
+        assert!(shared.bitrate_fairness > 0.98, "{}", shared.bitrate_fairness);
+        for s in &shared.sessions {
+            assert_eq!(s.records.len(), 65);
+            // 2000 kbps fair share: nobody should average above it long-run
+            // by much, nor collapse to the floor.
+            let avg = s.avg_bitrate_kbps();
+            assert!((350.0..=2300.0).contains(&avg), "avg {avg}");
+        }
+    }
+
+    #[test]
+    fn contention_lowers_observed_throughput() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(3000.0, 60.0).unwrap();
+        // Fixed-level controllers isolate the bandwidth accounting.
+        struct Fixed;
+        impl BitrateController for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn decide(&mut self, _ctx: &ControllerContext<'_>) -> abr_core::Decision {
+                abr_core::Decision::level(LevelIdx(2))
+            }
+        }
+        let solo = run_shared_session(
+            vec![player(Box::new(Fixed), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let duo = run_shared_session(
+            vec![player(Box::new(Fixed), 0.0), player(Box::new(Fixed), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let solo_thr = solo.sessions[0].records[1].throughput_kbps;
+        let duo_thr = duo.sessions[0].records[1].throughput_kbps;
+        assert!((solo_thr - 3000.0).abs() < 1.0, "{solo_thr}");
+        // With both flows active the early chunks see ~half the link.
+        assert!(
+            duo_thr < 2000.0,
+            "expected contention to bite: {duo_thr} kbps"
+        );
+    }
+
+    #[test]
+    fn on_off_dynamics_let_late_joiner_in() {
+        // Player 1 fills its buffer and goes ON/OFF; a late joiner must
+        // still complete and get a reasonable share.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(3000.0, 60.0).unwrap();
+        let shared = run_shared_session(
+            vec![
+                player(Box::new(RateBased::paper_default()), 0.0),
+                player(Box::new(RateBased::paper_default()), 40.0),
+            ],
+            &trace,
+            &video,
+            &cfg,
+        );
+        assert_eq!(shared.sessions[1].records.len(), 65);
+        assert!(shared.sessions[1].avg_bitrate_kbps() > 350.0);
+        assert!(shared.bitrate_fairness > 0.8, "{}", shared.bitrate_fairness);
+    }
+
+    #[test]
+    fn delivered_volume_matches_sessions() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(5000.0, 60.0).unwrap();
+        let shared = run_shared_session(
+            vec![
+                player(Box::new(BufferBased::paper_default()), 0.0),
+                player(Box::new(RateBased::paper_default()), 5.0),
+            ],
+            &trace,
+            &video,
+            &cfg,
+        );
+        let session_total: f64 = shared
+            .sessions
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .map(|r| r.size_kbits)
+            .sum();
+        assert!(
+            (shared.delivered_kbits - session_total).abs() < 1e-3 * session_total,
+            "link accounting {} vs session accounting {session_total}",
+            shared.delivered_kbits
+        );
+    }
+
+    fn hostile_faults(seed: u64) -> SharedFaults {
+        SharedFaults {
+            config: FaultConfig::uniform(0.25),
+            policy: RetryPolicy::hostile(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn faulted_shared_run_is_deterministic_and_finite() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::new(vec![(40.0, 2500.0), (40.0, 1200.0)]).unwrap();
+        let faults = hostile_faults(11);
+        let run = |_: ()| {
+            run_shared_session_faulted(
+                vec![
+                    player(Box::new(BufferBased::paper_default()), 0.0),
+                    player(Box::new(RateBased::paper_default()), 3.0),
+                ],
+                &trace,
+                &video,
+                &cfg,
+                Some(&faults),
+            )
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        for (sa, sb) in a.sessions.iter().zip(&b.sessions) {
+            assert!(sa.qoe.qoe.is_finite());
+            assert_eq!(sa.qoe.qoe.to_bits(), sb.qoe.qoe.to_bits());
+            assert_eq!(sa.records.len(), sb.records.len());
+            assert_eq!(sa.aborted, sb.aborted);
+            assert_eq!(sa.total_retries(), sb.total_retries());
+            assert_eq!(
+                sa.total_wasted_kbits().to_bits(),
+                sb.total_wasted_kbits().to_bits()
+            );
+            for (ra, rb) in sa.records.iter().zip(&sb.records) {
+                assert_eq!(ra.level, rb.level);
+                assert_eq!(ra.download_secs.to_bits(), rb.download_secs.to_bits());
+                assert_eq!(ra.wasted_kbits.to_bits(), rb.wasted_kbits.to_bits());
+            }
+        }
+        // A quarter of requests faulted: some retry traffic must show up
+        // somewhere across both players.
+        let activity: u32 = a.sessions.iter().map(|s| s.total_retries()).sum();
+        assert!(activity > 0, "hostile plan produced no retries");
+    }
+
+    #[test]
+    fn faulted_players_with_different_seeds_diverge() {
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(3000.0, 60.0).unwrap();
+        let run = |seed| {
+            run_shared_session_faulted(
+                vec![player(Box::new(BufferBased::paper_default()), 0.0)],
+                &trace,
+                &video,
+                &cfg,
+                Some(&hostile_faults(seed)),
+            )
+        };
+        let a = run(5);
+        let b = run(6);
+        let fingerprint = |o: &SharedOutcome| {
+            (
+                o.sessions[0].total_retries(),
+                o.sessions[0].total_wasted_kbits().to_bits(),
+                o.sessions[0].records.len(),
+            )
+        };
+        assert_ne!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "different seeds should schedule different faults"
+        );
+    }
+
+    #[test]
+    fn shared_fault_accounting_lands_in_records() {
+        // All-stall plan with a single retry budget: the session aborts and
+        // every wasted byte / retry is accounted on the result.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(2000.0, 60.0).unwrap();
+        let faults = SharedFaults {
+            config: FaultConfig {
+                stall_prob: 1.0,
+                ..FaultConfig::disabled()
+            },
+            policy: RetryPolicy {
+                timeout_secs: 2.0,
+                max_retries: 1,
+                ..RetryPolicy::hostile()
+            },
+            seed: 3,
+        };
+        let out = run_shared_session_faulted(
+            vec![player(Box::new(BufferBased::paper_default()), 0.0)],
+            &trace,
+            &video,
+            &cfg,
+            Some(&faults),
+        );
+        let s = &out.sessions[0];
+        assert!(s.aborted, "all requests stall: the session must abort");
+        assert!(s.records.is_empty());
+        // Two attempts, each timed out after 2 s, one backoff in between.
+        assert_eq!(s.abort_retries, 1);
+        let expected = 2.0 + faults.policy.backoff_secs(0) + 2.0;
+        assert!(
+            (s.abort_secs - expected).abs() < 0.1,
+            "abort after {} (expected ~{expected})",
+            s.abort_secs
+        );
+        assert!(s.abort_wasted_kbits > 0.0, "stalled bytes must be wasted");
+        assert!(s.qoe.qoe.is_finite());
+    }
+
+    #[test]
+    fn scaled_engine_matches_reference_on_mixed_faulted_run() {
+        // Spot check of the differential contract (the proptest sweeps the
+        // space): a faulted 4-player mixed-controller run must come out of
+        // the indexed engine and the preserved reference loop bit-identical.
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::new(vec![(25.0, 3500.0), (20.0, 1400.0), (30.0, 2600.0)]).unwrap();
+        let faults = hostile_faults(17);
+        let make_players = || {
+            vec![
+                player(Box::new(Mpc::robust()), 0.0),
+                player(Box::new(BufferBased::paper_default()), 2.5),
+                player(Box::new(RateBased::paper_default()), 7.0),
+                player(Box::new(BufferBased::paper_default()), 11.0),
+            ]
+        };
+        let fast =
+            run_shared_session_faulted(make_players(), &trace, &video, &cfg, Some(&faults));
+        let slow = reference::run_shared_session_faulted(
+            make_players(),
+            &trace,
+            &video,
+            &cfg,
+            Some(&faults),
+        );
+        assert_eq!(fast.span_secs.to_bits(), slow.span_secs.to_bits());
+        assert_eq!(fast.delivered_kbits.to_bits(), slow.delivered_kbits.to_bits());
+        assert_eq!(fast.bitrate_fairness.to_bits(), slow.bitrate_fairness.to_bits());
+        assert_eq!(fast.qoe_fairness.to_bits(), slow.qoe_fairness.to_bits());
+        assert_eq!(fast.utilization.to_bits(), slow.utilization.to_bits());
+        assert_eq!(fast.oscillations, slow.oscillations);
+        for (a, b) in fast.sessions.iter().zip(&slow.sessions) {
+            assert_eq!(a.qoe.qoe.to_bits(), b.qoe.qoe.to_bits());
+            assert_eq!(a.records.len(), b.records.len());
+            for (ra, rb) in a.records.iter().zip(&b.records) {
+                assert_eq!(ra.level, rb.level);
+                assert_eq!(ra.start_secs.to_bits(), rb.start_secs.to_bits());
+                assert_eq!(ra.download_secs.to_bits(), rb.download_secs.to_bits());
+                assert_eq!(ra.throughput_kbps.to_bits(), rb.throughput_kbps.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_engine_handles_a_large_fleet() {
+        // 256 players on one link: the indexed engine must converge, keep
+        // the link busy, and account every delivered kilobit. (The
+        // reference loop at this size is exactly what the rewrite retires.)
+        let video = envivio_video();
+        let cfg = SimConfig::paper_default();
+        let trace = Trace::constant(200_000.0, 60.0).unwrap();
+        let players: Vec<SharedPlayer> = (0..256)
+            .map(|i| player(Box::new(BufferBased::paper_default()), (i % 16) as f64 * 0.5))
+            .collect();
+        let out = run_shared_session(players, &trace, &video, &cfg);
+        assert_eq!(out.sessions.len(), 256);
+        for s in &out.sessions {
+            assert_eq!(s.records.len(), 65, "every player must finish");
+        }
+        assert!(out.utilization > 0.1, "utilization {}", out.utilization);
+        assert!(out.bitrate_fairness > 0.9, "{}", out.bitrate_fairness);
+        let session_total: f64 = out
+            .sessions
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .map(|r| r.size_kbits)
+            .sum();
+        assert!((out.delivered_kbits - session_total).abs() < 1e-3 * session_total);
+    }
+}

@@ -1,0 +1,182 @@
+//! The original small-N shared-bottleneck loop, preserved verbatim as the
+//! differential oracle for the scaled [`engine`](super::engine).
+//!
+//! Every iteration scans all `n` players three times (wake/timeout sweep,
+//! active-set build, next-event scan) — O(n) per event, which is fine for
+//! the handfuls of players the published multiplayer tables use and
+//! hopeless for fleets. The scaled engine replaces the scans with a timer
+//! heap + active-set index and is pinned bit-identical to this loop by
+//! `tests/multiplayer_differential.rs`; any change here invalidates that
+//! contract and the published numbers with it.
+
+use super::rt::{
+    build_runtimes, complete_chunk, fail_attempt, finalize, start_next_download, FlowState,
+};
+use super::{SharedFaults, SharedOutcome, SharedPlayer};
+use abr_sim::SimConfig;
+use abr_trace::Trace;
+use abr_video::Video;
+
+/// [`super::run_shared_session_faulted`] on the preserved O(n)-per-event
+/// reference loop. Same contract, same outcome, different scheduler.
+pub fn run_shared_session_faulted(
+    players: Vec<SharedPlayer>,
+    trace: &Trace,
+    video: &Video,
+    cfg: &SimConfig,
+    faults: Option<&SharedFaults>,
+) -> SharedOutcome {
+    let (mut rts, policy) = build_runtimes(players, video, cfg, faults);
+
+    let mut now = 0.0_f64;
+    let mut delivered = 0.0_f64;
+    // Hard cap: no run needs more than this many events (chunks x players
+    // x trace boundaries is generous); guards against scheduling bugs.
+    let max_events = 200 * rts.len() * video.num_chunks();
+    for _ in 0..max_events {
+        // Wake any idle players whose time has come: issue their next
+        // request (decision happens at issue time, per the paper's fixed
+        // chunk-boundary decision model). Then declare dead any attempt
+        // whose timeout has passed — stalled or still (too slowly)
+        // downloading.
+        for i in 0..rts.len() {
+            let wake = matches!(rts[i].state, FlowState::IdleUntil(t) if t <= now + 1e-12);
+            if wake {
+                start_next_download(&mut rts[i], video, cfg, &policy, now);
+            }
+            let timed_out = match rts[i].state {
+                FlowState::Stalled { deadline } => deadline <= now + 1e-12,
+                FlowState::Downloading { deadline, .. } => deadline <= now + 1e-12,
+                _ => false,
+            };
+            if timed_out {
+                fail_attempt(&mut rts[i], cfg, &policy, now);
+            }
+        }
+
+        if rts.iter().all(|p| matches!(p.state, FlowState::Finished)) {
+            break;
+        }
+
+        // Only flows whose (possibly jitter-deferred) attempt has begun
+        // share the link.
+        let active: Vec<usize> = rts
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, p)| matches!(p.state, FlowState::Downloading { started, .. } if started <= now + 1e-12),
+            )
+            .map(|(i, _)| i)
+            .collect();
+
+        // Next trace rate change, idle wake-up, deferred attempt start,
+        // and timeout deadline bound the step.
+        let mut next_event = trace.next_boundary_after(now);
+        for p in &rts {
+            match p.state {
+                FlowState::IdleUntil(t) if t > now + 1e-12 => next_event = next_event.min(t),
+                FlowState::Downloading { started, deadline, .. } => {
+                    if started > now + 1e-12 {
+                        next_event = next_event.min(started);
+                    }
+                    if deadline.is_finite() {
+                        next_event = next_event.min(deadline);
+                    }
+                }
+                FlowState::Stalled { deadline } => next_event = next_event.min(deadline),
+                _ => {}
+            }
+        }
+
+        if active.is_empty() {
+            // Nothing downloading: jump to the next wake-up.
+            now = next_event;
+            continue;
+        }
+
+        // Equal share of the current capacity per active flow.
+        let rate = trace.kbps_at(now) / active.len() as f64;
+        if rate > 0.0 {
+            // Earliest completion (or fault point) under the constant
+            // share also bounds the step.
+            for &i in &active {
+                if let FlowState::Downloading {
+                    remaining_kbits,
+                    fault_at_kbits,
+                    got_kbits,
+                    ..
+                } = rts[i].state
+                {
+                    next_event = next_event.min(now + remaining_kbits / rate);
+                    if fault_at_kbits.is_finite() {
+                        next_event =
+                            next_event.min(now + (fault_at_kbits - got_kbits).max(0.0) / rate);
+                    }
+                }
+            }
+        }
+        let dt = (next_event - now).max(1e-9);
+
+        // Progress all active downloads by dt at the shared rate.
+        for &i in &active {
+            if let FlowState::Downloading {
+                started,
+                remaining_kbits,
+                fault_at_kbits,
+                stall,
+                deadline,
+                got_kbits,
+            } = rts[i].state
+            {
+                let got = rate * dt;
+                if fault_at_kbits.is_finite() && got_kbits + got + 1e-9 >= fault_at_kbits {
+                    // The scheduled fault point arrives no later than
+                    // completion (the fraction is clamped to the body): the
+                    // attempt dies here, or hangs until the deadline if it
+                    // is a stall. Bytes up to the fault point stay wasted.
+                    let frozen = fault_at_kbits.min(got_kbits + got);
+                    delivered += (frozen - got_kbits).max(0.0);
+                    let p = &mut rts[i];
+                    if stall {
+                        p.pending_wasted_kbits += frozen;
+                        p.state = FlowState::Stalled { deadline };
+                    } else {
+                        // Park the frozen byte count in the state so
+                        // fail_attempt banks it exactly once.
+                        p.state = FlowState::Downloading {
+                            started,
+                            remaining_kbits,
+                            fault_at_kbits,
+                            stall,
+                            deadline,
+                            got_kbits: frozen,
+                        };
+                        fail_attempt(p, cfg, &policy, next_event);
+                    }
+                } else {
+                    delivered += got.min(remaining_kbits);
+                    let left = remaining_kbits - got;
+                    if left <= 1e-9 {
+                        complete_chunk(&mut rts[i], video, cfg, started, next_event);
+                    } else {
+                        rts[i].state = FlowState::Downloading {
+                            started,
+                            remaining_kbits: left,
+                            fault_at_kbits,
+                            stall,
+                            deadline,
+                            got_kbits: got_kbits + got,
+                        };
+                    }
+                }
+            }
+        }
+        now = next_event;
+    }
+    assert!(
+        rts.iter().all(|p| matches!(p.state, FlowState::Finished)),
+        "shared session did not converge (scheduling bug)"
+    );
+
+    finalize(rts, cfg, trace, now, delivered)
+}

@@ -1,0 +1,371 @@
+//! Per-player runtime shared by both shared-bottleneck engines.
+//!
+//! The [`reference`](super::reference) loop and the scaled
+//! [`engine`](super::engine) differ only in *how they find the next event*;
+//! everything a player does when an event fires — issuing a request,
+//! charging a dead attempt, completing a chunk — lives here and is executed
+//! by both engines, so the differential proptest pins the scheduling layer
+//! alone.
+
+use super::metrics::{bitrate_instability, jain_index, link_utilization, oscillation_count, qoe_jain};
+use super::{SharedFaults, SharedOutcome, SharedPlayer};
+use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
+use abr_core::{advance_buffer, BitrateController, ControllerContext};
+use abr_predictor::{ErrorTracked, Predictor};
+use abr_sim::{ChunkRecord, SessionResult, SimConfig, StartupPolicy};
+use abr_trace::Trace;
+use abr_video::{QoeBreakdown, Video};
+use std::collections::VecDeque;
+
+pub(crate) enum FlowState {
+    /// Waiting to issue the next request at the given time.
+    IdleUntil(f64),
+    /// Downloading chunk `k` at `level` with `remaining_kbits` to go. A
+    /// flow only joins the active share set once `started <= now` (jitter
+    /// defers it); `fault_at_kbits`/`deadline` are infinite on the
+    /// fault-free path so its arithmetic is untouched.
+    Downloading {
+        started: f64,
+        remaining_kbits: f64,
+        /// Delivered kilobits at which a link-level fault fires.
+        fault_at_kbits: f64,
+        /// The fault at `fault_at_kbits` is a stall (else reset/truncate).
+        stall: bool,
+        /// This attempt's timeout instant.
+        deadline: f64,
+        /// Kilobits delivered to this attempt so far.
+        got_kbits: f64,
+    },
+    /// The transfer stalled: no bytes flow (the flow leaves the share set)
+    /// until the deadline declares the attempt dead.
+    Stalled {
+        /// When the player's timeout fires.
+        deadline: f64,
+    },
+    Finished,
+}
+
+pub(crate) struct PlayerRt {
+    pub(crate) controller: Box<dyn BitrateController>,
+    pub(crate) predictor: ErrorTracked<Box<dyn Predictor>>,
+    pub(crate) state: FlowState,
+    pub(crate) chunk: usize,
+    pub(crate) level: abr_video::LevelIdx,
+    pub(crate) buffer: f64,
+    pub(crate) prev_level: Option<abr_video::LevelIdx>,
+    pub(crate) last_throughput: Option<f64>,
+    pub(crate) low_buffer: VecDeque<bool>,
+    pub(crate) startup_secs: f64,
+    pub(crate) qoe: QoeBreakdown,
+    pub(crate) records: Vec<ChunkRecord>,
+    // Fault state (inert when `plan` is None).
+    pub(crate) plan: Option<FaultPlan>,
+    pub(crate) decided_level: abr_video::LevelIdx,
+    pub(crate) retrying: bool,
+    pub(crate) attempt_failures: u32,
+    pub(crate) consecutive_failures: u32,
+    pub(crate) pending_retries: u32,
+    pub(crate) pending_wasted_kbits: f64,
+    pub(crate) pending_fault_delay: f64,
+    pub(crate) chunk_started: f64,
+    pub(crate) attempt_issue: f64,
+    pub(crate) aborted: bool,
+    pub(crate) abort_secs: f64,
+    pub(crate) abort_retries: u32,
+    pub(crate) abort_wasted_kbits: f64,
+}
+
+/// Validates the run configuration and builds the per-player runtimes in
+/// input order. Shared verbatim by both engines so their initial states are
+/// identical by construction.
+pub(crate) fn build_runtimes(
+    players: Vec<SharedPlayer>,
+    video: &Video,
+    cfg: &SimConfig,
+    faults: Option<&SharedFaults>,
+) -> (Vec<PlayerRt>, RetryPolicy) {
+    assert!(!players.is_empty(), "need at least one player");
+    assert!(
+        matches!(cfg.startup, StartupPolicy::FirstChunk),
+        "shared sessions support the FirstChunk startup policy only"
+    );
+    if let Some(f) = faults {
+        assert!(
+            f.config.stall_prob == 0.0 || f.policy.timeout_secs.is_finite(),
+            "a plan that can stall needs a finite RetryPolicy::timeout_secs"
+        );
+    }
+    let policy = faults.map_or_else(RetryPolicy::no_timeout, |f| f.policy.clone());
+    let rts = players
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut controller = p.controller;
+            controller.reset();
+            PlayerRt {
+                controller,
+                predictor: ErrorTracked::new(p.predictor, cfg.error_window),
+                state: FlowState::IdleUntil(p.start_offset_secs.max(0.0)),
+                chunk: 0,
+                level: video.ladder().lowest(),
+                buffer: 0.0,
+                prev_level: None,
+                last_throughput: None,
+                low_buffer: VecDeque::with_capacity(cfg.low_buffer_window_chunks),
+                startup_secs: 0.0,
+                qoe: QoeBreakdown::default(),
+                records: Vec::with_capacity(video.num_chunks()),
+                plan: faults.map(|f| f.plan_for(i)),
+                decided_level: video.ladder().lowest(),
+                retrying: false,
+                attempt_failures: 0,
+                consecutive_failures: 0,
+                pending_retries: 0,
+                pending_wasted_kbits: 0.0,
+                pending_fault_delay: 0.0,
+                chunk_started: 0.0,
+                attempt_issue: 0.0,
+                aborted: false,
+                abort_secs: 0.0,
+                abort_retries: 0,
+                abort_wasted_kbits: 0.0,
+            }
+        })
+        .collect();
+    (rts, policy)
+}
+
+pub(crate) fn start_next_download(
+    p: &mut PlayerRt,
+    video: &Video,
+    cfg: &SimConfig,
+    policy: &RetryPolicy,
+    now: f64,
+) {
+    if p.chunk >= video.num_chunks() {
+        p.state = FlowState::Finished;
+        return;
+    }
+    if p.retrying {
+        // A re-request re-issues the same chunk without consulting the
+        // controller, downshifted one level per failure if the policy
+        // says so.
+        p.retrying = false;
+        p.level = if policy.downshift_on_retry {
+            abr_video::LevelIdx(
+                p.decided_level
+                    .get()
+                    .saturating_sub(p.attempt_failures as usize),
+            )
+        } else {
+            p.decided_level
+        };
+    } else {
+        let prediction = p.predictor.predict();
+        let ctx = ControllerContext {
+            chunk_index: p.chunk,
+            buffer_secs: p.buffer,
+            prev_level: p.prev_level,
+            prediction_kbps: prediction,
+            robust_lower_kbps: p.predictor.robust_lower_bound(),
+            last_throughput_kbps: p.last_throughput,
+            recent_low_buffer: p.low_buffer.iter().any(|&b| b),
+            startup: p.chunk == 0,
+            video,
+            buffer_max_secs: cfg.buffer_max_secs,
+        };
+        let decision = p.controller.decide(&ctx);
+        p.level = decision.level;
+        p.decided_level = decision.level;
+        p.chunk_started = now;
+        p.pending_retries = 0;
+        p.pending_wasted_kbits = 0.0;
+        p.pending_fault_delay = 0.0;
+        p.attempt_failures = 0;
+    }
+    p.attempt_issue = now;
+    let size_kbits = video.chunk_size_kbits(p.chunk, p.level);
+    let (started, fault_at_kbits, stall, deadline) = match p.plan.as_mut() {
+        None => (now, f64::INFINITY, false, f64::INFINITY),
+        Some(plan) => {
+            let fault = plan.next_fault();
+            let deadline = now + fault.jitter_secs + policy.timeout_secs;
+            let (at, stall) = match fault.kind {
+                None => (f64::INFINITY, false),
+                Some(
+                    FaultKind::ConnectionReset { body_fraction }
+                    | FaultKind::Truncate { body_fraction },
+                ) => (size_kbits * body_fraction.clamp(0.0, 1.0), false),
+                Some(FaultKind::Stall { body_fraction }) => {
+                    (size_kbits * body_fraction.clamp(0.0, 1.0), true)
+                }
+                // HTTP-level faults kill the request before any video byte
+                // flows.
+                Some(FaultKind::NotFound | FaultKind::ServiceUnavailable) => (0.0, false),
+            };
+            (now + fault.jitter_secs, at, stall, deadline)
+        }
+    };
+    p.state = FlowState::Downloading {
+        started,
+        remaining_kbits: size_kbits,
+        fault_at_kbits,
+        stall,
+        deadline,
+        got_kbits: 0.0,
+    };
+}
+
+/// The current attempt is dead (fault, timeout, or stall deadline): charge
+/// it, then either back off and retry or abort the session.
+pub(crate) fn fail_attempt(p: &mut PlayerRt, cfg: &SimConfig, policy: &RetryPolicy, now: f64) {
+    if let FlowState::Stalled { .. } | FlowState::Downloading { .. } = p.state {
+        if let FlowState::Downloading { got_kbits, .. } = p.state {
+            // Whatever arrived on this attempt is wasted. Stalls banked
+            // their bytes when they froze (the Stalled state carries none).
+            p.pending_wasted_kbits += got_kbits;
+        }
+        p.attempt_failures += 1;
+        p.consecutive_failures += 1;
+        p.pending_fault_delay += now - p.attempt_issue;
+        if p.attempt_failures > policy.max_retries
+            || p.consecutive_failures >= policy.max_consecutive_failures
+        {
+            let elapsed = now - p.chunk_started;
+            if p.chunk == 0 {
+                p.startup_secs = elapsed;
+            } else {
+                p.qoe
+                    .push_rebuffer(&cfg.weights, (elapsed - p.buffer).max(0.0));
+            }
+            p.aborted = true;
+            p.abort_secs = elapsed;
+            p.abort_retries = p.pending_retries;
+            p.abort_wasted_kbits = p.pending_wasted_kbits;
+            p.state = FlowState::Finished;
+        } else {
+            let backoff = policy.backoff_secs(p.attempt_failures - 1);
+            p.pending_fault_delay += backoff;
+            p.pending_retries += 1;
+            p.retrying = true;
+            p.state = FlowState::IdleUntil(now + backoff);
+        }
+    }
+}
+
+pub(crate) fn complete_chunk(
+    p: &mut PlayerRt,
+    video: &Video,
+    cfg: &SimConfig,
+    started: f64,
+    now: f64,
+) {
+    let download_secs = (now - p.chunk_started).max(1e-9);
+    let size_kbits = video.chunk_size_kbits(p.chunk, p.level);
+    let throughput = size_kbits / (now - p.attempt_issue).max(1e-9);
+    let mut step = advance_buffer(p.buffer, download_secs, video.chunk_secs(), cfg.buffer_max_secs);
+    if p.chunk == 0 {
+        p.startup_secs = download_secs;
+        step.rebuffer_secs = 0.0;
+    }
+    let prediction = p.predictor.predict();
+    p.qoe.push_chunk(
+        &cfg.weights,
+        video.ladder().kbps(p.level),
+        step.rebuffer_secs,
+    );
+    p.records.push(ChunkRecord {
+        index: p.chunk,
+        level: p.level,
+        bitrate_kbps: video.ladder().kbps(p.level),
+        size_kbits,
+        start_secs: started,
+        download_secs,
+        rebuffer_secs: step.rebuffer_secs,
+        wait_secs: step.wait_secs,
+        availability_wait_secs: 0.0,
+        buffer_before_secs: p.buffer,
+        buffer_after_secs: step.next_buffer_secs,
+        throughput_kbps: throughput,
+        prediction_kbps: prediction,
+        retries: p.pending_retries,
+        wasted_kbits: p.pending_wasted_kbits,
+        fault_delay_secs: p.pending_fault_delay,
+    });
+    if p.low_buffer.len() == cfg.low_buffer_window_chunks {
+        p.low_buffer.pop_front();
+    }
+    p.low_buffer.push_back(p.buffer < cfg.low_buffer_threshold_secs);
+    p.predictor.observe(throughput);
+    p.last_throughput = Some(throughput);
+    p.buffer = step.next_buffer_secs;
+    p.prev_level = Some(p.level);
+    p.chunk += 1;
+    p.pending_retries = 0;
+    p.pending_wasted_kbits = 0.0;
+    p.pending_fault_delay = 0.0;
+    p.attempt_failures = 0;
+    p.consecutive_failures = 0;
+    p.retrying = false;
+    p.state = if p.chunk >= video.num_chunks() {
+        FlowState::Finished
+    } else {
+        FlowState::IdleUntil(now + step.wait_secs)
+    };
+}
+
+/// Folds the finished runtimes into a [`SharedOutcome`], attaching the
+/// multi-player fairness/efficiency/stability metrics. Shared by both
+/// engines so the differential test can compare outcomes field-for-field.
+pub(crate) fn finalize(
+    rts: Vec<PlayerRt>,
+    cfg: &SimConfig,
+    trace: &Trace,
+    now: f64,
+    delivered: f64,
+) -> SharedOutcome {
+    let sessions: Vec<SessionResult> = rts
+        .into_iter()
+        .map(|mut p| {
+            p.qoe.set_startup(&cfg.weights, p.startup_secs);
+            SessionResult {
+                algorithm: p.controller.name().to_string(),
+                records: p.records,
+                startup_secs: p.startup_secs,
+                total_secs: now,
+                qoe: p.qoe,
+                aborted: p.aborted,
+                abort_secs: p.abort_secs,
+                abort_retries: p.abort_retries,
+                abort_wasted_kbits: p.abort_wasted_kbits,
+            }
+        })
+        .collect();
+    let bitrates: Vec<f64> = sessions.iter().map(|s| s.avg_bitrate_kbps()).collect();
+    let qoes: Vec<f64> = sessions.iter().map(|s| s.qoe.qoe).collect();
+    let oscillations: Vec<usize> = sessions
+        .iter()
+        .map(|s| {
+            let levels: Vec<usize> = s.records.iter().map(|r| r.level.get()).collect();
+            oscillation_count(&levels)
+        })
+        .collect();
+    let instabilities: Vec<f64> = sessions
+        .iter()
+        .map(|s| {
+            let kbps: Vec<f64> = s.records.iter().map(|r| r.bitrate_kbps).collect();
+            bitrate_instability(&kbps)
+        })
+        .collect();
+    let capacity_kbits = trace.integrate_kbits(0.0, now);
+    SharedOutcome {
+        bitrate_fairness: jain_index(&bitrates),
+        qoe_fairness: qoe_jain(&qoes),
+        utilization: link_utilization(delivered, capacity_kbits),
+        oscillations,
+        instabilities,
+        delivered_kbits: delivered,
+        span_secs: now,
+        sessions,
+    }
+}

@@ -1,0 +1,185 @@
+//! Differential proptest: the fleet-scale multiplayer engine must be
+//! bit-identical to the preserved reference loop for small N — same seeds,
+//! same schedules, same floats — so scaling the scheduler can't silently
+//! move any published multiplayer number.
+//!
+//! Every generated scenario (1..=8 players, mixed controllers, staggered
+//! joins, multi-segment traces, fault layer on or off) runs through both
+//! `abr_net::run_shared_session_faulted` (the indexed engine) and
+//! `abr_net::multiplayer::reference::run_shared_session_faulted` (the
+//! original O(n)-per-event loop) and compares outcomes field-for-field
+//! with `to_bits` on every float.
+
+use abr_core::{BitrateController, Mpc};
+use abr_baselines::{BufferBased, Festive, RateBased};
+use abr_net::multiplayer::reference;
+use abr_net::{
+    run_shared_session_faulted, FaultConfig, RetryPolicy, SharedFaults, SharedOutcome,
+    SharedPlayer,
+};
+use abr_predictor::HarmonicMean;
+use abr_sim::SimConfig;
+use abr_trace::Trace;
+use abr_video::envivio_video;
+use proptest::prelude::*;
+
+fn controller(kind: u8) -> Box<dyn BitrateController> {
+    match kind % 4 {
+        0 => Box::new(BufferBased::paper_default()),
+        1 => Box::new(RateBased::paper_default()),
+        2 => Box::new(Festive::paper_default()),
+        _ => Box::new(Mpc::robust()),
+    }
+}
+
+fn players(specs: &[(u8, f64)]) -> Vec<SharedPlayer> {
+    specs
+        .iter()
+        .map(|&(kind, offset)| SharedPlayer {
+            controller: controller(kind),
+            predictor: Box::new(HarmonicMean::paper_default()),
+            start_offset_secs: offset,
+        })
+        .collect()
+}
+
+/// Field-for-field bit comparison of two outcomes.
+fn assert_bit_identical(fast: &SharedOutcome, slow: &SharedOutcome) {
+    assert_eq!(fast.sessions.len(), slow.sessions.len());
+    assert_eq!(fast.span_secs.to_bits(), slow.span_secs.to_bits(), "span");
+    assert_eq!(
+        fast.delivered_kbits.to_bits(),
+        slow.delivered_kbits.to_bits(),
+        "delivered"
+    );
+    assert_eq!(
+        fast.bitrate_fairness.to_bits(),
+        slow.bitrate_fairness.to_bits()
+    );
+    assert_eq!(fast.qoe_fairness.to_bits(), slow.qoe_fairness.to_bits());
+    assert_eq!(fast.utilization.to_bits(), slow.utilization.to_bits());
+    assert_eq!(fast.oscillations, slow.oscillations);
+    for (ia, ib) in fast.instabilities.iter().zip(&slow.instabilities) {
+        assert_eq!(ia.to_bits(), ib.to_bits());
+    }
+    for (a, b) in fast.sessions.iter().zip(&slow.sessions) {
+        assert_eq!(a.algorithm, b.algorithm);
+        assert_eq!(a.qoe.qoe.to_bits(), b.qoe.qoe.to_bits());
+        assert_eq!(a.startup_secs.to_bits(), b.startup_secs.to_bits());
+        assert_eq!(a.aborted, b.aborted);
+        assert_eq!(a.abort_secs.to_bits(), b.abort_secs.to_bits());
+        assert_eq!(a.abort_retries, b.abort_retries);
+        assert_eq!(
+            a.abort_wasted_kbits.to_bits(),
+            b.abort_wasted_kbits.to_bits()
+        );
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.index, rb.index);
+            assert_eq!(ra.level, rb.level);
+            assert_eq!(ra.start_secs.to_bits(), rb.start_secs.to_bits());
+            assert_eq!(ra.download_secs.to_bits(), rb.download_secs.to_bits());
+            assert_eq!(ra.rebuffer_secs.to_bits(), rb.rebuffer_secs.to_bits());
+            assert_eq!(ra.wait_secs.to_bits(), rb.wait_secs.to_bits());
+            assert_eq!(
+                ra.buffer_after_secs.to_bits(),
+                rb.buffer_after_secs.to_bits()
+            );
+            assert_eq!(
+                ra.throughput_kbps.to_bits(),
+                rb.throughput_kbps.to_bits()
+            );
+            assert_eq!(
+                ra.prediction_kbps.map(f64::to_bits),
+                rb.prediction_kbps.map(f64::to_bits)
+            );
+            assert_eq!(ra.retries, rb.retries);
+            assert_eq!(ra.wasted_kbits.to_bits(), rb.wasted_kbits.to_bits());
+            assert_eq!(
+                ra.fault_delay_secs.to_bits(),
+                rb.fault_delay_secs.to_bits()
+            );
+        }
+    }
+}
+
+fn check(specs: &[(u8, f64)], segments: &[(f64, f64)], faults: Option<&SharedFaults>) {
+    let video = envivio_video();
+    let cfg = SimConfig::paper_default();
+    let trace = Trace::new(segments.to_vec()).unwrap();
+    let fast = run_shared_session_faulted(players(specs), &trace, &video, &cfg, faults);
+    let slow = reference::run_shared_session_faulted(players(specs), &trace, &video, &cfg, faults);
+    assert_bit_identical(&fast, &slow);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free fleets of 1..=8 mixed players, staggered joins, bumpy
+    /// multi-segment traces.
+    #[test]
+    fn engines_bit_identical_fault_free(
+        specs in proptest::collection::vec((0u8..4, 0.0f64..45.0), 1..9),
+        segments in proptest::collection::vec((8.0f64..40.0, 250.0f64..8000.0), 1..5),
+    ) {
+        check(&specs, &segments, None);
+    }
+
+    /// The same space with the fault layer armed: per-player derived seeds,
+    /// jitter-deferred starts, stalls, timeouts, retries, and aborts all go
+    /// through both schedulers.
+    #[test]
+    fn engines_bit_identical_faulted(
+        specs in proptest::collection::vec((0u8..4, 0.0f64..45.0), 1..9),
+        segments in proptest::collection::vec((8.0f64..40.0, 250.0f64..8000.0), 1..5),
+        rate in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        let faults = SharedFaults {
+            config: FaultConfig::uniform(rate),
+            policy: RetryPolicy::hostile(),
+            seed,
+        };
+        check(&specs, &segments, Some(&faults));
+    }
+
+    /// Degenerate timing: several players issuing at exactly the same
+    /// instant (identical offsets) keeps the due-event ordering honest.
+    #[test]
+    fn engines_bit_identical_synchronized_joins(
+        kinds in proptest::collection::vec(0u8..4, 2..9),
+        kbps in 400.0f64..6000.0,
+        seed in 0u64..10_000,
+    ) {
+        let specs: Vec<(u8, f64)> = kinds.into_iter().map(|k| (k, 0.0)).collect();
+        let faults = SharedFaults {
+            config: FaultConfig::uniform(0.2),
+            policy: RetryPolicy::hostile(),
+            seed,
+        };
+        check(&specs, &[(60.0, kbps)], Some(&faults));
+    }
+}
+
+/// An all-stall plan forces the Stalled state and its deadline events
+/// through both schedulers.
+#[test]
+fn engines_bit_identical_under_stall_storm() {
+    let faults = SharedFaults {
+        config: FaultConfig {
+            stall_prob: 0.6,
+            ..FaultConfig::disabled()
+        },
+        policy: RetryPolicy {
+            timeout_secs: 3.0,
+            ..RetryPolicy::hostile()
+        },
+        seed: 41,
+    };
+    let specs: Vec<(u8, f64)> = (0..6).map(|i| (i as u8, i as f64 * 1.5)).collect();
+    check(
+        &specs,
+        &[(30.0, 3200.0), (15.0, 900.0), (30.0, 2100.0)],
+        Some(&faults),
+    );
+}

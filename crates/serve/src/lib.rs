@@ -21,6 +21,12 @@
 //!   state update replays `abr_sim::run_session_core`'s bookkeeping from
 //!   the client's reports, which is what makes remote decisions
 //!   *bit-identical* to in-process ones.
+//! * [`coordinator`] — the shared-bottleneck fairness coordinator:
+//!   sessions declaring the same `bottleneck <id>` at registration are
+//!   jointly allocated (greedy marginal-utility climb under an estimated
+//!   capacity budget, with a configurable fairness term), while startup
+//!   chunks and under-strength groups fall back to the scalar backend
+//!   bit-exactly. Counters surface on `GET /metrics`.
 //! * [`event`] — the event-driven server: N epoll readiness loops with
 //!   non-blocking per-connection state machines (incremental parsing,
 //!   buffered writes, backpressure, idle reaping). Same [`AbrService`],
@@ -48,6 +54,7 @@
 
 pub mod backend;
 pub mod client;
+pub mod coordinator;
 pub mod event;
 pub mod loadgen;
 pub mod metrics;
@@ -58,6 +65,9 @@ pub mod store;
 
 pub use backend::{Backend, PredictorKind};
 pub use client::{RemoteController, ServeClient, ServeError};
+pub use coordinator::{
+    CoordinatedController, CoordinatorConfig, CoordinatorStats, FairnessCoordinator,
+};
 pub use event::{EventConfig, EventHandle, EventServer};
 pub use loadgen::{run_load, LoadOptions, LoadReport};
 pub use metrics::{exact_quantile_us, LatencyHistogram, LoopStats, Metrics};

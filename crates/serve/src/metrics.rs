@@ -6,6 +6,7 @@
 //! quantiles separately from raw samples — the server-side histogram is
 //! operational visibility, not the benchmark's source of truth.
 
+use crate::coordinator::CoordinatorStats;
 use abr_fastmpc::TableStoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -126,6 +127,7 @@ pub struct Metrics {
     pub rejected: AtomicU64,
     backends: [(&'static str, BackendStats); 8],
     loops: OnceLock<Vec<Arc<LoopStats>>>,
+    coordinator: OnceLock<Arc<CoordinatorStats>>,
 }
 
 impl Default for Metrics {
@@ -144,6 +146,7 @@ impl Metrics {
             backends: crate::backend::Backend::ALL
                 .map(|b| (b.token(), BackendStats::default())),
             loops: OnceLock::new(),
+            coordinator: OnceLock::new(),
         }
     }
 
@@ -152,6 +155,12 @@ impl Metrics {
     /// (another server sharing the service) is ignored.
     pub fn attach_loops(&self, loops: Vec<Arc<LoopStats>>) {
         let _ = self.loops.set(loops);
+    }
+
+    /// Attaches the fairness coordinator's counters so `render` can
+    /// expose them. Called once at service construction.
+    pub fn attach_coordinator(&self, stats: Arc<CoordinatorStats>) {
+        let _ = self.coordinator.set(stats);
     }
 
     /// The stats bucket for a backend token.
@@ -207,6 +216,22 @@ impl Metrics {
                 stats.latency.mean_us(),
                 stats.latency.quantile_us(0.50),
                 stats.latency.quantile_us(0.99),
+            ));
+        }
+        if let Some(c) = self.coordinator.get() {
+            out.push_str(&format!(
+                "coordinator_groups {}\n\
+                 coordinator_members {}\n\
+                 coordinator_joins {}\n\
+                 coordinator_leaves {}\n\
+                 decisions_coordinated {}\n\
+                 decisions_scalar_fallback {}\n",
+                c.groups.load(Ordering::Relaxed),
+                c.members.load(Ordering::Relaxed),
+                c.joins.load(Ordering::Relaxed),
+                c.leaves.load(Ordering::Relaxed),
+                c.coordinated.load(Ordering::Relaxed),
+                c.fallbacks.load(Ordering::Relaxed),
             ));
         }
         if let Some(loops) = self.loops.get() {
@@ -287,6 +312,27 @@ mod tests {
         assert!(text.contains("loop_partial_reads{loop=1} 2"), "{text}");
         assert!(text.contains("loop_short_writes{loop=1} 1"), "{text}");
         assert!(text.contains("loop_open_conns{loop=1} 1"), "{text}");
+    }
+
+    #[test]
+    fn coordinator_counters_render_when_attached() {
+        let m = Metrics::new();
+        assert!(!m.render(0, &TableStoreStats::default()).contains("coordinator_groups"));
+        let stats = Arc::new(CoordinatorStats::default());
+        stats.groups.fetch_add(2, Ordering::Relaxed);
+        stats.members.fetch_add(9, Ordering::Relaxed);
+        stats.joins.fetch_add(11, Ordering::Relaxed);
+        stats.leaves.fetch_add(2, Ordering::Relaxed);
+        stats.coordinated.fetch_add(140, Ordering::Relaxed);
+        stats.fallbacks.fetch_add(13, Ordering::Relaxed);
+        m.attach_coordinator(stats);
+        let text = m.render(0, &TableStoreStats::default());
+        assert!(text.contains("coordinator_groups 2"), "{text}");
+        assert!(text.contains("coordinator_members 9"), "{text}");
+        assert!(text.contains("coordinator_joins 11"), "{text}");
+        assert!(text.contains("coordinator_leaves 2"), "{text}");
+        assert!(text.contains("decisions_coordinated 140"), "{text}");
+        assert!(text.contains("decisions_scalar_fallback 13"), "{text}");
     }
 
     #[test]

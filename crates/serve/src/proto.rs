@@ -73,6 +73,10 @@ pub struct SessionSpec {
     pub low_buffer_window_chunks: usize,
     /// QoE weights (drive the MPC objective and the FastMPC table).
     pub weights: QoeWeights,
+    /// Shared-bottleneck group this session declares itself part of;
+    /// sessions with the same id are jointly allocated by the server's
+    /// fairness coordinator. `None` opts out of coordination entirely.
+    pub bottleneck: Option<String>,
     /// The video, registered via its manifest.
     pub video: Video,
 }
@@ -92,6 +96,7 @@ impl SessionSpec {
             low_buffer_threshold_secs: sim.low_buffer_threshold_secs,
             low_buffer_window_chunks: sim.low_buffer_window_chunks,
             weights: sim.weights,
+            bottleneck: None,
             video,
         }
     }
@@ -139,6 +144,9 @@ impl SessionSpec {
         out.push_str(&format!("mu_s {}\n", w.mu_s));
         out.push_str(&format!("mu_event {}\n", w.mu_event));
         out.push_str(&encode_quality(&w.quality));
+        if let Some(id) = &self.bottleneck {
+            out.push_str(&format!("bottleneck {id}\n"));
+        }
         out.push_str("manifest\n");
         out.push_str(&mpd::generate(&self.video));
         out
@@ -175,6 +183,7 @@ impl SessionSpec {
                 mu_event: parse_field(&fields, "mu_event")?,
                 quality: decode_quality(lookup(&fields, "quality")?)?,
             },
+            bottleneck: lookup(&fields, "bottleneck").ok().map(str::to_string),
             video,
         };
         if spec.horizon == 0 {
@@ -515,7 +524,9 @@ mod tests {
         spec.low_buffer_threshold_secs = 7.000_000_000_000_001;
         spec.weights.mu = 2999.999_999_999_998;
         spec.predictor = PredictorKind::Ewma(0.648_297_134_665_43);
+        spec.bottleneck = Some("cell-7".to_string());
         let back = SessionSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(back.bottleneck.as_deref(), Some("cell-7"));
         assert_eq!(back.backend, Backend::RobustMpc);
         assert_eq!(back.predictor, spec.predictor);
         assert_eq!(back.horizon, spec.horizon);
@@ -600,6 +611,8 @@ mod tests {
     #[test]
     fn decode_rejects_bad_specs() {
         let good = SessionSpec::paper_default(Backend::Rb, envivio_video()).encode();
+        // An ungrouped spec stays ungrouped across the wire.
+        assert!(SessionSpec::decode(&good).unwrap().bottleneck.is_none());
         assert!(matches!(
             SessionSpec::decode(&good.replace("backend rb", "backend hal9000")),
             Err(ProtoError::Bad(_))

@@ -8,6 +8,7 @@
 //! connection is dropped — the worker itself always survives and moves to
 //! the next connection.
 
+use crate::coordinator::{CoordinatorConfig, FairnessCoordinator};
 use crate::metrics::Metrics;
 use crate::proto::{decode_bulk, encode_bulk_reply, BulkSlot, DecisionRequest, SessionSpec};
 use crate::store::{DecideError, SessionStore};
@@ -25,6 +26,7 @@ use std::time::{Duration, Instant};
 pub struct AbrService {
     store: SessionStore,
     metrics: Metrics,
+    coordinator: FairnessCoordinator,
 }
 
 impl AbrService {
@@ -37,9 +39,23 @@ impl AbrService {
     /// [`new`](Self::new) with an explicit tiered-table-store budget and
     /// spill policy.
     pub fn with_table_config(shards: usize, tables: abr_fastmpc::TableStoreConfig) -> Self {
+        Self::with_coordinator_config(shards, tables, CoordinatorConfig::default())
+    }
+
+    /// [`with_table_config`](Self::with_table_config) with explicit
+    /// fairness-coordinator knobs.
+    pub fn with_coordinator_config(
+        shards: usize,
+        tables: abr_fastmpc::TableStoreConfig,
+        coordinator: CoordinatorConfig,
+    ) -> Self {
+        let coordinator = FairnessCoordinator::new(coordinator);
+        let metrics = Metrics::new();
+        metrics.attach_coordinator(Arc::clone(coordinator.stats()));
         Self {
             store: SessionStore::with_table_config(shards, tables),
-            metrics: Metrics::new(),
+            metrics,
+            coordinator,
         }
     }
 
@@ -53,6 +69,11 @@ impl AbrService {
         &self.metrics
     }
 
+    /// The shared-bottleneck fairness coordinator.
+    pub fn coordinator(&self) -> &FairnessCoordinator {
+        &self.coordinator
+    }
+
     fn reject(&self, resp: Response) -> Response {
         self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
         resp
@@ -64,7 +85,17 @@ impl AbrService {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/session") => match SessionSpec::decode(&body()) {
                 Ok(spec) => {
+                    // Group membership is established before the first
+                    // decision can arrive; the spec parts the coordinator
+                    // needs outlive the store's take-over of the spec.
+                    let group = spec
+                        .bottleneck
+                        .as_ref()
+                        .map(|id| (id.clone(), spec.video.clone(), spec.weights.quality.clone()));
                     let sid = self.store.register(spec);
+                    if let Some((id, video, quality)) = group {
+                        self.coordinator.join(&id, sid, &video, &quality);
+                    }
                     self.metrics.sessions_registered.fetch_add(1, Ordering::Relaxed);
                     Response::ok(Bytes::from(format!("sid {sid}\n")), "text/plain")
                 }
@@ -75,9 +106,13 @@ impl AbrService {
                     Ok(p) => p,
                     Err(e) => return self.reject(Response::bad_request(&e.to_string())),
                 };
+                // Joint allocation (group members only) happens before the
+                // shard lock; ungrouped deployments skip it via a lock-free
+                // membership check.
+                let over = self.coordinator.observe_and_allocate(&parsed);
                 let start = Instant::now();
                 let outcome = self.store.with_session(parsed.sid, |session| {
-                    (session.backend_token(), session.decide(&parsed))
+                    (session.backend_token(), session.decide_with(&parsed, over))
                 });
                 match outcome {
                     Ok((token, Ok(reply))) => {
@@ -95,8 +130,15 @@ impl AbrService {
                     Ok(r) => r,
                     Err(e) => return self.reject(Response::bad_request(&e.to_string())),
                 };
+                // Coordinator passes run in batch order, so a batch
+                // carrying several group-mates sees each one's report
+                // before the next allocation — same as scalar arrival.
+                let overrides: Vec<Option<usize>> = reqs
+                    .iter()
+                    .map(|r| self.coordinator.observe_and_allocate(r))
+                    .collect();
                 let start = Instant::now();
-                let outcomes = self.store.decide_bulk(&reqs);
+                let outcomes = self.store.decide_bulk_with(&reqs, &overrides);
                 // One store pass served the whole batch; attribute the
                 // amortized per-decision service time to each slot.
                 let per_slot_nanos =
@@ -122,6 +164,7 @@ impl AbrService {
             }
             ("POST", "/close") => match parse_close_sid(&body()) {
                 Some(sid) if self.store.remove(sid) => {
+                    self.coordinator.leave(sid);
                     self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                     Response::ok(Bytes::from(format!("closed {sid}\n")), "text/plain")
                 }

@@ -124,6 +124,20 @@ impl SessionState {
     /// Decides the bitrate for `req.chunk`, replaying the bookkeeping of
     /// the chunk the client just finished first.
     pub fn decide(&mut self, req: &DecisionRequest) -> Result<DecisionReply, DecideError> {
+        self.decide_with(req, None)
+    }
+
+    /// [`decide`](Self::decide) with an optional coordinator override:
+    /// `Some(level)` answers with the jointly allocated level instead of
+    /// consulting the scalar controller. All session bookkeeping
+    /// (ordering, low-buffer history, predictor observation) is identical
+    /// either way, so a session whose overrides are all `None` is
+    /// bit-exactly an uncoordinated session.
+    pub fn decide_with(
+        &mut self,
+        req: &DecisionRequest,
+        override_level: Option<usize>,
+    ) -> Result<DecisionReply, DecideError> {
         if self.next_chunk >= self.video.num_chunks() {
             return Err(DecideError::SessionComplete);
         }
@@ -169,7 +183,13 @@ impl SessionState {
             video: &self.video,
             buffer_max_secs: self.buffer_max_secs,
         };
-        let decision = self.controller.decide(&ctx);
+        let decision = match override_level {
+            Some(level) => abr_core::Decision {
+                level: LevelIdx(level.min(self.video.ladder().len() - 1)),
+                startup_wait_secs: None,
+            },
+            None => self.controller.decide(&ctx),
+        };
         debug_assert!(
             decision.level.get() < self.video.ladder().len(),
             "{} chose out-of-range level",
@@ -246,6 +266,18 @@ impl SessionStore {
         &self,
         reqs: &[DecisionRequest],
     ) -> Vec<(Option<&'static str>, Result<DecisionReply, DecideError>)> {
+        self.decide_bulk_with(reqs, &[])
+    }
+
+    /// [`decide_bulk`](Self::decide_bulk) with positional coordinator
+    /// overrides: `overrides[i]`, when present and `Some`, answers
+    /// `reqs[i]` with the jointly allocated level. An empty or short
+    /// slice means no override for the remaining slots.
+    pub fn decide_bulk_with(
+        &self,
+        reqs: &[DecisionRequest],
+        overrides: &[Option<usize>],
+    ) -> Vec<(Option<&'static str>, Result<DecisionReply, DecideError>)> {
         let mut results: Vec<_> = reqs
             .iter()
             .map(|r| (None, Err(DecideError::UnknownSession(r.sid))))
@@ -261,7 +293,9 @@ impl SessionStore {
             let mut shard = shard.lock().unwrap();
             for &i in idxs {
                 if let Some(state) = shard.get_mut(&reqs[i].sid) {
-                    results[i] = (Some(state.backend_token()), state.decide(&reqs[i]));
+                    let over = overrides.get(i).copied().flatten();
+                    results[i] =
+                        (Some(state.backend_token()), state.decide_with(&reqs[i], over));
                 }
             }
         }

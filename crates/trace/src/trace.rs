@@ -653,10 +653,35 @@ impl Trace {
         for d in &self.durations {
             acc += d;
             if acc > pos + 1e-12 {
-                return cycle_idx * self.total_secs + acc;
+                let b = cycle_idx * self.total_secs + acc;
+                // "Strictly after" must survive rounding: when `t` sits
+                // exactly on a boundary whose recomputed position collapses
+                // onto `t` (floor() picked the previous cycle and `pos`
+                // landed within the tolerance of the cycle end), returning
+                // `b == t` would stall event-driven callers that advance
+                // with `now = next_boundary_after(now)`. Skip to the next
+                // boundary instead.
+                if b > t {
+                    return b;
+                }
             }
         }
-        (cycle_idx + 1.0) * self.total_secs
+        let wrap = (cycle_idx + 1.0) * self.total_secs;
+        if wrap > t {
+            return wrap;
+        }
+        // Same rounding collapse at the cycle wrap itself: `t` is at (or
+        // has absorbed) the cycle end, so the answer is the first boundary
+        // of the following cycle.
+        let mut acc = 0.0;
+        for d in &self.durations {
+            acc += d;
+            let b = wrap + acc;
+            if b > t {
+                return b;
+            }
+        }
+        wrap + self.total_secs
     }
 
     /// Average throughput over one cycle, kbps (time-weighted).
@@ -857,6 +882,31 @@ mod tests {
         // Wraps cyclically.
         assert!((t.next_boundary_after(30.0) - 40.0).abs() < 1e-9);
         assert!((t.next_boundary_after(95.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_boundary_is_strictly_after_at_rounded_cycle_ends() {
+        // Regression: with this duration, fl(2T + T) lands on a float where
+        // floor(t/T) still picks cycle 2 and the fallback wrap boundary
+        // recomputes to exactly t — the pre-fix code returned t itself,
+        // livelocking event loops that advance with
+        // `now = next_boundary_after(now)` (found by the multiplayer
+        // differential harness). Every boundary must be strictly after t.
+        let t = Trace::new(vec![(22.512273293823903, 5198.980754919422)]).unwrap();
+        let mut now = 0.0_f64;
+        for _ in 0..1_000 {
+            let b = t.next_boundary_after(now);
+            assert!(b > now, "boundary {b} does not advance past {now}");
+            now = b;
+        }
+        // Multi-segment traces too: walk a bumpy cycle for many wraps.
+        let t = Trace::new(vec![(7.1000000000000005, 900.0), (11.3, 2400.0)]).unwrap();
+        let mut now = 0.0_f64;
+        for _ in 0..1_000 {
+            let b = t.next_boundary_after(now);
+            assert!(b > now, "boundary {b} does not advance past {now}");
+            now = b;
+        }
     }
 
     #[test]

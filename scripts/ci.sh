@@ -122,6 +122,31 @@ if [[ "${1:-}" != "quick" ]]; then
     --backend fastmpc --decisions-out "$smoke_dir/decisions_event.txt" > /dev/null
   diff -u "$smoke_dir/decisions_threaded.txt" "$smoke_dir/decisions_event.txt"
   echo "report-diff gate passed: engines byte-identical"
+
+  echo "== fairness smoke: 64 players / 4 bottlenecks, coordinated fleets =="
+  # Shared-bottleneck fleets through the scaled multiplayer engine with the
+  # fault layer armed. The experiment asserts 0 twin mismatches — every run
+  # is replayed decision-for-decision through a real AbrService (and links
+  # with <= 8 players additionally through the preserved small-N reference
+  # loop) — so a clean exit IS the differential gate. The grep sanity-checks
+  # the coordinator counters: joint allocations happened, and grouped
+  # decisions split cleanly into coordinated + scalar fallbacks.
+  ./target/release/abr_harness fairness --players 64 --bottlenecks 4 --quick \
+    --out "$smoke_dir/fairness_a" > "$smoke_dir/fairness_report.txt"
+  test -s "$smoke_dir/fairness_a/fairness.csv"
+  grep -Eq '[1-9][0-9]*/[0-9]+' "$smoke_dir/fairness_report.txt" \
+    || { echo "fairness smoke: no coordinated decisions recorded"; exit 1; }
+  echo "fairness smoke passed: 0 twin mismatches, coordinator counters sane"
+
+  echo "== fairness determinism gate: byte-identical CSV across processes =="
+  # Coordinated runs are a pure function of (seed, config): a second fresh
+  # process (different thread count to rule out scheduling effects) must
+  # reproduce results/fairness.csv byte for byte.
+  ./target/release/abr_harness fairness --players 64 --bottlenecks 4 --quick \
+    --threads 2 --out "$smoke_dir/fairness_b" > /dev/null
+  diff -u "$smoke_dir/fairness_a/fairness.csv" "$smoke_dir/fairness_b/fairness.csv"
+  diff -u "$smoke_dir/fairness_a/fairness_cdf.csv" "$smoke_dir/fairness_b/fairness_cdf.csv"
+  echo "fairness determinism gate passed"
 fi
 
 echo "== benches compile =="
