@@ -124,6 +124,7 @@ mod tests {
             startup: false,
             video,
             buffer_max_secs: 30.0,
+            live: None,
         }
     }
 

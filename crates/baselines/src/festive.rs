@@ -159,6 +159,7 @@ mod tests {
             startup: false,
             video,
             buffer_max_secs: 30.0,
+            live: None,
         }
     }
 

@@ -62,6 +62,7 @@ fn bench_decision_latency(c: &mut Criterion) {
                     throughput_kbps: 1200.0,
                     download_secs: 1.0,
                 }),
+                now_secs: None,
             };
             chunk += 1;
             black_box(client.decision(&req).expect("decision"))

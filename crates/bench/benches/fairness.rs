@@ -62,6 +62,7 @@ fn bench_allocation_pass(c: &mut Criterion) {
                     throughput_kbps: 1500.0 + sid as f64,
                     download_secs: 2.5,
                 }),
+                now_secs: None,
             });
         }
         let req = DecisionRequest {
@@ -73,6 +74,7 @@ fn bench_allocation_pass(c: &mut Criterion) {
                 throughput_kbps: 1600.0,
                 download_secs: 2.4,
             }),
+            now_secs: None,
         };
         group.bench_function(format!("{n}_members"), |b| {
             b.iter(|| black_box(coord.observe_and_allocate(black_box(&req))))

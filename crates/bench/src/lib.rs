@@ -30,5 +30,6 @@ pub fn ctx(video: &Video, i: usize) -> ControllerContext<'_> {
         startup: false,
         video,
         buffer_max_secs: 30.0,
+        live: None,
     }
 }

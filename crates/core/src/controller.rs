@@ -9,7 +9,7 @@
 //! the context (e.g. FESTIVE's switch counting) keep it internally and clear
 //! it in [`BitrateController::reset`].
 
-use abr_video::{LevelIdx, Video};
+use abr_video::{LevelIdx, LiveState, Video};
 
 /// Everything a controller may look at when choosing the bitrate of chunk
 /// `k` (the design space of Figure 4: buffer occupancy, throughput
@@ -37,8 +37,12 @@ pub struct ControllerContext<'a> {
     pub startup: bool,
     /// The video being streamed.
     pub video: &'a Video,
-    /// Buffer capacity `B_max` in seconds.
+    /// Buffer capacity `B_max` in seconds. In live mode the driver
+    /// presents the *effective* cap, `min(B_max, max_buffer_live)`.
     pub buffer_max_secs: f64,
+    /// Live-session state (chunk availability and live-edge latency) when
+    /// the driver runs a [`abr_video::LiveSchedule`]; `None` for VOD.
+    pub live: Option<LiveState>,
 }
 
 impl<'a> ControllerContext<'a> {
@@ -156,6 +160,7 @@ mod tests {
             startup: true,
             video,
             buffer_max_secs: 30.0,
+            live: None,
         }
     }
 

@@ -406,6 +406,7 @@ mod tests {
             startup: false,
             video: &video,
             buffer_max_secs: 30.0,
+            live: None,
         };
         let d = mdp.decide(&ctx);
         assert_eq!(d.level, policy.action(12.0, LevelIdx(2), 1600.0));

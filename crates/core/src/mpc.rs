@@ -36,10 +36,24 @@
 //! buffer credit `B_1 = T_s` (Eq. 10), so the startup optimizer grid-searches
 //! `T_s`, scoring each candidate as the horizon QoE from buffer `B + T_s`
 //! minus `μ_s · T_s`.
+//!
+//! **Live sessions** ([`optimize_first_live`]): when the driver runs a
+//! [`abr_video::LiveSchedule`], the horizon is truncated to the chunks that
+//! will have been released before the content the player already holds runs
+//! out ([`live_effective_horizon`]) — planning further enumerates levels for
+//! chunks that cannot exist when they would be needed. The rolled-forward
+//! model tracks wall-clock time: a chunk not yet released at its predicted
+//! fetch instant incurs an explicit *wait* (fetch-at-release; waiting any
+//! longer only drains buffer and raises latency, so the wait-vs-fetch
+//! decision is always "wait exactly until release, then fetch"), and each
+//! chunk's contribution is charged the latency QoE term
+//! `−w_lat · (live_edge − playhead)` at the latency held when the chunk
+//! lands. With `w_lat = 0` and every chunk already released, the live solve
+//! is bit-identical to the VOD solve.
 
 use crate::controller::{BitrateController, ControllerContext, Decision};
 use crate::model::advance_buffer;
-use abr_video::{LevelIdx, QoeWeights, Video};
+use abr_video::{LevelIdx, LiveState, QoeWeights, Video};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the MPC controller family.
@@ -488,6 +502,158 @@ pub fn optimize_first_batch(
     }
 }
 
+/// The number of horizon slots a live solve may actually plan over: `1 +`
+/// the count of future chunks that will have been released before the
+/// content the player already holds runs out (chunk `next + i` qualifies
+/// when `release_in + i·L ≤ buffer + L`; the `+ L` accounts for the chunk
+/// being planned in slot 0 playing while slot `i` waits).
+///
+/// Far behind the edge (`release_in` deeply negative — a DVR window or a
+/// lagging playhead) every chunk qualifies and the live solve degenerates
+/// to the full-horizon VOD solve; at the edge with a thin buffer this is
+/// 1–2 chunks, which is what makes the truncated solve strictly cheaper.
+pub fn live_effective_horizon(
+    horizon: usize,
+    chunk_secs: f64,
+    release_in_secs: f64,
+    buffer_secs: f64,
+) -> usize {
+    let mut h = 1;
+    while h < horizon && release_in_secs + h as f64 * chunk_secs <= buffer_secs + chunk_secs {
+        h += 1;
+    }
+    h
+}
+
+/// Live-solve constants threaded through [`dfs_live`] alongside the shared
+/// [`Search`] state.
+struct LiveExtra {
+    /// Seconds until the first planned chunk's release (negative: already
+    /// out), from the decision instant `tau = 0`.
+    release_in: f64,
+    /// The latency QoE weight `w_lat`.
+    w_lat: f64,
+}
+
+/// Admissible live bound: the VOD bound minus the *minimum* latency charge
+/// of the remaining chunks. In-plan latency never decreases (it grows with
+/// every rebuffer and is otherwise constant), so each of the
+/// `len − depth` remaining chunks pays at least `w_lat · lat`.
+#[inline]
+fn live_bound(
+    s: &Search<'_>,
+    x: &LiveExtra,
+    depth: usize,
+    buffer: f64,
+    prev_q: Option<f64>,
+    lat: f64,
+) -> f64 {
+    s.bound(depth, buffer, prev_q) - (s.len - depth) as f64 * x.w_lat * lat
+}
+
+/// The live depth-first branch-and-bound. Identical enumeration order and
+/// incumbent discipline to [`Search::dfs`], with two extensions: wall-clock
+/// tracking (`tau` seconds since the decision; a chunk not yet released at
+/// its fetch instant waits exactly until release), and a per-chunk latency
+/// charge `−w_lat · lat` at the latency held when the chunk lands
+/// (rebuffers freeze the playhead, so `lat` grows by each step's rebuffer).
+#[allow(clippy::too_many_arguments)]
+fn dfs_live(
+    s: &mut Search<'_>,
+    x: &LiveExtra,
+    depth: usize,
+    buffer: f64,
+    tau: f64,
+    lat: f64,
+    prev_q: Option<f64>,
+    qoe: f64,
+) {
+    if depth == s.len {
+        if qoe > s.best_qoe {
+            s.best_qoe = qoe;
+            s.best[..s.len].copy_from_slice(&s.current[..s.len]);
+        }
+        return;
+    }
+    if qoe + live_bound(s, x, depth, buffer, prev_q, lat) <= s.best_qoe {
+        return;
+    }
+    let k = s.start + depth;
+    let wait = (x.release_in + depth as f64 * s.chunk_secs - tau).max(0.0);
+    for li in (0..s.level_q.len()).rev() {
+        let level = LevelIdx(li);
+        let dl = s.video.chunk_size_kbits(k, level) / s.throughput;
+        // The forced wait drains buffer exactly like download time does.
+        let step = advance_buffer(buffer, wait + dl, s.video.chunk_secs(), s.buffer_max);
+        let q = s.level_q[li];
+        let switch = prev_q.map_or(0.0, |p| (q - p).abs());
+        let lat2 = lat + step.rebuffer_secs;
+        let gain = s.weights.chunk_contribution(q, switch, step.rebuffer_secs) - x.w_lat * lat2;
+        s.current[depth] = level;
+        dfs_live(
+            s,
+            x,
+            depth + 1,
+            step.next_buffer_secs,
+            tau + wait + dl + step.wait_secs,
+            lat2,
+            Some(q),
+            qoe + gain,
+        );
+    }
+}
+
+/// The live receding-horizon solve: truncates the horizon to
+/// [`live_effective_horizon`] — the explicit wait-vs-fetch decision is
+/// resolved *inside* the rolled-forward model, which waits exactly until
+/// each unreleased chunk's release before fetching it — and charges the
+/// latency term `−w_lat · (live_edge − playhead)` per chunk at the latency
+/// held when that chunk lands. Writes the plan into `scratch` like
+/// [`optimize_first_with`] and returns the first level plus the optimal
+/// live QoE.
+///
+/// With `w_lat = 0` and every horizon chunk already released the result is
+/// **bit-identical** to [`optimize_first_with`] at the same horizon: the
+/// waits are all `0.0`, `wait + dl` reproduces `dl` bitwise, and the
+/// latency charge multiplies by zero.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_first_live(
+    scratch: &mut HorizonScratch,
+    video: &Video,
+    start: usize,
+    horizon: usize,
+    buffer_secs: f64,
+    buffer_max_secs: f64,
+    prev_level: Option<LevelIdx>,
+    throughput_kbps: f64,
+    weights: &QoeWeights,
+    live: &LiveState,
+) -> (LevelIdx, f64) {
+    let h_eff = live_effective_horizon(
+        horizon,
+        video.chunk_secs(),
+        live.release_in_secs,
+        buffer_secs,
+    );
+    let prev_q = prev_level.map(|l| weights.q(video.ladder().kbps(l)));
+    let mut s = prepare(
+        scratch,
+        video,
+        start,
+        h_eff,
+        buffer_max_secs,
+        throughput_kbps,
+        weights,
+    );
+    let x = LiveExtra {
+        release_in: live.release_in_secs,
+        w_lat: weights.w_lat,
+    };
+    dfs_live(&mut s, &x, 0, buffer_secs, 0.0, live.latency_secs, prev_q, 0.0);
+    let qoe = s.best_qoe;
+    (scratch.best[0], qoe)
+}
+
 /// Exactly solves `QOE_MAX_STEADY(start .. start + horizon - 1)` for a
 /// constant predicted throughput: the optimal bitrate plan and its QoE.
 ///
@@ -586,6 +752,7 @@ pub fn optimize_startup(
 ///     startup: false,
 ///     video: &video,
 ///     buffer_max_secs: 30.0,
+///     live: None,
 /// };
 /// let decision = mpc.decide(&ctx);
 /// assert!(decision.level.get() < video.ladder().len());
@@ -646,6 +813,24 @@ impl BitrateController for Mpc {
         } else {
             ctx.prediction_or_floor()
         };
+        if let Some(live) = &ctx.live {
+            // Live session: availability-truncated horizon with the
+            // latency-aware objective. `ctx.buffer_max_secs` already holds
+            // the effective live cap (driver contract).
+            let (level, _) = optimize_first_live(
+                &mut self.scratch,
+                ctx.video,
+                ctx.chunk_index,
+                self.cfg.horizon,
+                ctx.buffer_secs,
+                ctx.buffer_max_secs,
+                ctx.prev_level,
+                throughput,
+                &self.cfg.weights,
+                live,
+            );
+            return Decision::level(level);
+        }
         if ctx.startup && self.cfg.optimize_startup {
             let (plan, ts) = optimize_startup(
                 ctx.video,
@@ -859,6 +1044,7 @@ mod tests {
             startup: true,
             video: &v,
             buffer_max_secs: 30.0,
+            live: None,
         };
         let d = mpc.decide(&ctx);
         assert!(d.startup_wait_secs.unwrap() > 0.0);
@@ -878,6 +1064,7 @@ mod tests {
             startup: false,
             video: &v,
             buffer_max_secs: 30.0,
+            live: None,
         };
         let mut regular = Mpc::paper_default();
         let mut robust = Mpc::robust();
@@ -996,6 +1183,169 @@ mod tests {
             );
             assert_eq!(batched[i], level, "probe {i} diverged");
         }
+    }
+
+    #[test]
+    fn effective_horizon_windows_on_buffered_content() {
+        // Far behind the edge: everything released, full horizon.
+        assert_eq!(live_effective_horizon(5, 4.0, -100.0, 10.0), 5);
+        // At the edge with an empty buffer: only the next chunk is worth
+        // planning (chunk 1 releases at 2 + 4 = 6 s > buffer + L = 4 s).
+        assert_eq!(live_effective_horizon(5, 4.0, 2.0, 0.0), 1);
+        // A fuller buffer pulls more future releases inside the window.
+        assert_eq!(live_effective_horizon(5, 4.0, 2.0, 8.0), 3);
+        assert_eq!(live_effective_horizon(5, 4.0, 0.0, 30.0), 5);
+        // Never exceeds the configured horizon, never drops below 1.
+        assert_eq!(live_effective_horizon(1, 4.0, -100.0, 30.0), 1);
+    }
+
+    #[test]
+    fn live_far_behind_edge_with_zero_weight_matches_vod_solve() {
+        let v = envivio_video();
+        let w = weights(); // w_lat = 0 in every preset
+        let live = LiveState {
+            now_secs: 500.0,
+            release_in_secs: -460.0,
+            latency_secs: 120.0,
+            max_buffer_secs: 30.0,
+        };
+        for (start, buffer, c, prev) in [
+            (0usize, 0.0, 300.0, None),
+            (10, 12.0, 1500.0, Some(LevelIdx(2))),
+            (40, 25.0, 4000.0, Some(LevelIdx(4))),
+        ] {
+            let mut s1 = HorizonScratch::new();
+            let (l_vod, q_vod) =
+                optimize_first_with(&mut s1, &v, start, 5, buffer, 30.0, prev, c, &w);
+            let mut s2 = HorizonScratch::new();
+            let (l_live, q_live) =
+                optimize_first_live(&mut s2, &v, start, 5, buffer, 30.0, prev, c, &w, &live);
+            assert_eq!(l_live, l_vod, "start={start} buffer={buffer} c={c}");
+            assert_eq!(q_live.to_bits(), q_vod.to_bits(), "QoE must be bit-identical");
+            assert_eq!(s2.plan(), s1.plan());
+        }
+    }
+
+    #[test]
+    fn at_edge_truncation_matches_manual_single_chunk_enumeration() {
+        let v = envivio_video();
+        let w = weights();
+        // Chunk releases in 2 s with an empty buffer: h_eff = 1 and every
+        // level rebuffers the wait plus its whole download.
+        let live = LiveState {
+            now_secs: 10.0,
+            release_in_secs: 2.0,
+            latency_secs: 6.0,
+            max_buffer_secs: 8.0,
+        };
+        let c = 1000.0;
+        let mut scratch = HorizonScratch::new();
+        let (level, qoe) = optimize_first_live(
+            &mut scratch,
+            &v,
+            10,
+            5,
+            0.0,
+            8.0,
+            Some(LevelIdx(0)),
+            c,
+            &w,
+            &live,
+        );
+        assert_eq!(scratch.plan().len(), 1, "horizon must truncate to 1");
+        let prev_q = w.q(v.ladder().kbps(LevelIdx(0)));
+        let mut best = f64::NEG_INFINITY;
+        let mut best_level = LevelIdx(0);
+        for li in 0..v.ladder().len() {
+            let q = w.q(v.ladder().kbps(LevelIdx(li)));
+            let dl = v.chunk_size_kbits(10, LevelIdx(li)) / c;
+            let rebuffer = 2.0 + dl; // wait + download on an empty buffer
+            let cand = w.chunk_contribution(q, (q - prev_q).abs(), rebuffer)
+                - w.w_lat * (6.0 + rebuffer);
+            if cand > best {
+                best = cand;
+                best_level = LevelIdx(li);
+            }
+        }
+        assert_eq!(level, best_level);
+        assert!((qoe - best).abs() < 1e-9, "{qoe} vs {best}");
+    }
+
+    #[test]
+    fn latency_weight_shifts_qoe_by_held_latency() {
+        let v = envivio_video();
+        let w = QoeWeights {
+            w_lat: 25.0,
+            ..weights()
+        };
+        let live_at = |lat: f64| LiveState {
+            now_secs: 100.0,
+            release_in_secs: -60.0,
+            latency_secs: lat,
+            max_buffer_secs: 30.0,
+        };
+        let solve = |lat: f64| {
+            let mut s = HorizonScratch::new();
+            optimize_first_live(
+                &mut s,
+                &v,
+                5,
+                5,
+                20.0,
+                30.0,
+                Some(LevelIdx(2)),
+                2000.0,
+                &w,
+                &live_at(lat),
+            )
+        };
+        let (l0, q0) = solve(0.0);
+        let (l9, q9) = solve(9.0);
+        // Buffer 20 s at 2000 kbps: no plan rebuffers, so latency stays
+        // constant in-plan and a latency offset shifts every plan's QoE by
+        // exactly w_lat · len · offset — the argmax is unchanged.
+        assert_eq!(l9, l0);
+        assert!((q0 - q9 - 25.0 * 5.0 * 9.0).abs() < 1e-9, "{q0} vs {q9}");
+    }
+
+    #[test]
+    fn controller_routes_live_context_through_the_live_solver() {
+        let v = envivio_video();
+        let live = LiveState {
+            now_secs: 42.0,
+            release_in_secs: 1.5,
+            latency_secs: 7.0,
+            max_buffer_secs: 10.0,
+        };
+        let ctx = ControllerContext {
+            chunk_index: 10,
+            buffer_secs: 4.0,
+            prev_level: Some(LevelIdx(1)),
+            prediction_kbps: Some(1800.0),
+            robust_lower_kbps: Some(1200.0),
+            last_throughput_kbps: None,
+            recent_low_buffer: false,
+            startup: false,
+            video: &v,
+            buffer_max_secs: 10.0,
+            live: Some(live),
+        };
+        let mut robust = Mpc::robust();
+        let got = robust.decide(&ctx).level;
+        let mut scratch = HorizonScratch::new();
+        let (want, _) = optimize_first_live(
+            &mut scratch,
+            &v,
+            10,
+            5,
+            4.0,
+            10.0,
+            Some(LevelIdx(1)),
+            1200.0,
+            &MpcConfig::paper_default().weights,
+            &live,
+        );
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -84,11 +84,13 @@ pub fn table_key(video: &Video, buffer_max_secs: f64, cfg: &TableConfig) -> u128
         h.byte(bins.log as u8);
     }
     h.len(cfg.horizon);
+    h.len(cfg.horizon_slices);
     let w = &cfg.weights;
     h.f64(w.lambda);
     h.f64(w.mu);
     h.f64(w.mu_s);
     h.f64(w.mu_event);
+    h.f64(w.w_lat);
     match &w.quality {
         QualityFn::Identity => h.byte(0),
         QualityFn::Log { r0, scale } => {

@@ -13,7 +13,8 @@
 //!
 //! ```text
 //! magic "FMPC" | version u16 | buffer BinSpec | throughput BinSpec
-//! | horizon u32 | lambda f64 | mu f64 | mu_s f64 | mu_event f64
+//! | horizon u32 | horizon_slices u32
+//! | lambda f64 | mu f64 | mu_s f64 | mu_event f64 | w_lat f64
 //! | QualityFn (tag u8 + payload) | num_levels u32 | buffer_max_secs f64
 //! | rle len u32 | run count u32 | starts [u32] | values [u8]
 //! ```
@@ -36,8 +37,10 @@ use std::fmt;
 
 /// Magic bytes opening every binary table.
 const MAGIC: [u8; 4] = *b"FMPC";
-/// Current format version.
-const VERSION: u16 = 1;
+/// Current format version. Version 2 added the live fields:
+/// `horizon_slices` after the horizon and the `w_lat` QoE weight after
+/// `mu_event`.
+const VERSION: u16 = 2;
 
 /// Why a byte buffer failed to decode as a [`FastMpcTable`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -247,10 +250,15 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Layout, CodecError> {
     if horizon == 0 {
         return Err(CodecError::Invalid("horizon must be positive"));
     }
+    let horizon_slices = r.u32()? as usize;
+    if horizon_slices == 0 || horizon_slices > horizon {
+        return Err(CodecError::Invalid("horizon slices out of range"));
+    }
     let lambda = r.finite("QoE weight not finite")?;
     let mu = r.finite("QoE weight not finite")?;
     let mu_s = r.finite("QoE weight not finite")?;
     let mu_event = r.finite("QoE weight not finite")?;
+    let w_lat = r.finite("QoE weight not finite")?;
     let quality = r.quality()?;
     let num_levels = r.u32()? as usize;
     if num_levels == 0 || num_levels > u8::MAX as usize {
@@ -266,6 +274,7 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Layout, CodecError> {
         .count
         .checked_mul(num_levels)
         .and_then(|n| n.checked_mul(throughput_bins.count))
+        .and_then(|n| n.checked_mul(horizon_slices))
         .ok_or(CodecError::Invalid("table dimensions overflow"))?;
     if len as usize != expected {
         return Err(CodecError::Invalid("length does not match dimensions"));
@@ -299,11 +308,13 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Layout, CodecError> {
             buffer_bins,
             throughput_bins,
             horizon,
+            horizon_slices,
             weights: QoeWeights {
                 lambda,
                 mu,
                 mu_s,
                 mu_event,
+                w_lat,
                 quality,
             },
         },
@@ -326,10 +337,12 @@ impl FastMpcTable {
         w.bins(&self.cfg.buffer_bins);
         w.bins(&self.cfg.throughput_bins);
         w.u32(self.cfg.horizon as u32);
+        w.u32(self.cfg.horizon_slices as u32);
         w.f64(self.cfg.weights.lambda);
         w.f64(self.cfg.weights.mu);
         w.f64(self.cfg.weights.mu_s);
         w.f64(self.cfg.weights.mu_event);
+        w.f64(self.cfg.weights.w_lat);
         w.quality(&self.cfg.weights.quality);
         w.u32(self.num_levels as u32);
         w.f64(self.buffer_max_secs);
@@ -351,12 +364,14 @@ impl FastMpcTable {
             QualityFn::Saturating { .. } => 8,
             QualityFn::Table { knots } => 4 + 16 * knots.len(),
         };
-        // magic + version, two BinSpecs, horizon, four weights, quality tag,
-        // num_levels, buffer_max, rle len + run count, then the runs.
+        // magic + version, two BinSpecs, horizon + slices, five weights,
+        // quality tag, num_levels, buffer_max, rle len + run count, then
+        // the runs.
         4 + 2
             + 2 * (4 + 8 + 8 + 1)
             + 4
-            + 4 * 8
+            + 4
+            + 5 * 8
             + 1
             + quality_payload
             + 4
@@ -445,6 +460,25 @@ mod tests {
             );
             let back = FastMpcTable::from_bytes(&t.to_bytes()).unwrap();
             assert_eq!(t, back);
+        }
+    }
+
+    #[test]
+    fn sliced_live_table_round_trips() {
+        let mut cfg = TableConfig::with_levels(8, 30.0).live_slices(3);
+        cfg.weights.w_lat = 0.05;
+        let t = FastMpcTable::generate_with(&envivio_video(), 30.0, cfg, GenMode::RunAware);
+        let bytes = t.to_bytes();
+        assert_eq!(bytes.len(), t.binary_size_bytes());
+        let back = FastMpcTable::from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.config().horizon_slices, 3);
+        assert_eq!(back.config().weights.w_lat, 0.05);
+        for h_eff in 1..=5 {
+            assert_eq!(
+                back.lookup_live(5.0, LevelIdx(1), 1200.0, h_eff),
+                t.lookup_live(5.0, LevelIdx(1), 1200.0, h_eff)
+            );
         }
     }
 

@@ -86,10 +86,35 @@ impl BitrateController for FastMpc {
         let prev = ctx
             .prev_level
             .unwrap_or_else(|| ctx.video.ladder().lowest());
+        if let Some(live) = &ctx.live {
+            // Live session: pick the slice enumerated for the
+            // availability-truncated horizon. The table approximates the
+            // live solver by its truncated-horizon VOD optimum (no in-plan
+            // latency term) — the latency penalty still lands in the
+            // session QoE accounting.
+            let h_eff = abr_core::mpc::live_effective_horizon(
+                self.table.config().horizon,
+                ctx.video.chunk_secs(),
+                live.release_in_secs,
+                ctx.buffer_secs,
+            );
+            return Decision::level(self.table.lookup_live(ctx.buffer_secs, prev, throughput, h_eff));
+        }
         Decision::level(self.table.lookup(ctx.buffer_secs, prev, throughput))
     }
 
     fn decide_batch(&mut self, ctxs: &[ControllerContext<'_>], out: &mut Vec<Decision>) {
+        // Live contexts carry a per-session slice dimension the columnar
+        // kernel does not model; resolve them scalar (identical result,
+        // just unamortized).
+        if ctxs.iter().any(|c| c.live.is_some()) {
+            out.clear();
+            out.reserve(ctxs.len());
+            for ctx in ctxs {
+                out.push(self.decide(ctx));
+            }
+            return;
+        }
         // Columnarize: exactly the per-context state mapping of `decide`
         // (robust-vs-raw throughput, first-chunk fallback), then one
         // bin-grouped table pass instead of N binary searches.
@@ -244,6 +269,7 @@ mod tests {
             startup: false,
             video: &video,
             buffer_max_secs: 30.0,
+            live: None,
         };
         let mut plain = FastMpc::new(t.clone());
         let mut robust = FastMpc::robust(t);

@@ -61,6 +61,25 @@ impl TableHandle {
         }
     }
 
+    /// Live lookup in the truncated-horizon slice; see
+    /// [`FastMpcTable::lookup_live`].
+    pub fn lookup_live(
+        &self,
+        buffer_secs: f64,
+        prev: LevelIdx,
+        throughput_kbps: f64,
+        effective_horizon: usize,
+    ) -> LevelIdx {
+        match self {
+            TableHandle::Owned(t) => {
+                t.lookup_live(buffer_secs, prev, throughput_kbps, effective_horizon)
+            }
+            TableHandle::Mapped(v) => {
+                v.lookup_live(buffer_secs, prev, throughput_kbps, effective_horizon)
+            }
+        }
+    }
+
     /// Batched lookup; see [`FastMpcTable::decide_batch`].
     pub fn decide_batch(&self, batch: &mut DecisionBatch) {
         match self {

@@ -31,6 +31,17 @@ pub enum GenMode {
     RunAware,
 }
 
+/// Serde default for [`TableConfig::horizon_slices`]: one slice (VOD).
+fn default_horizon_slices() -> usize {
+    1
+}
+
+/// True when a slice count is the VOD default (elided from JSON so VOD
+/// table artifacts keep their pre-live byte layout).
+fn is_one(v: &usize) -> bool {
+    *v == 1
+}
+
 /// Configuration of the FastMPC table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TableConfig {
@@ -40,6 +51,14 @@ pub struct TableConfig {
     pub throughput_bins: BinSpec,
     /// MPC look-ahead horizon.
     pub horizon: usize,
+    /// Number of truncated-horizon slices for live sessions: slice `s`
+    /// stores the optimum for an effective horizon of `horizon - s`
+    /// chunks, so a player at the live edge (where fewer chunks exist yet)
+    /// looks up the slice matching its availability-truncated horizon.
+    /// `1` — the default, elided from JSON — is the VOD table: the full
+    /// horizon only. Must satisfy `1 <= horizon_slices <= horizon`.
+    #[serde(default = "default_horizon_slices", skip_serializing_if = "is_one")]
+    pub horizon_slices: usize,
     /// QoE weights the offline solves optimize.
     pub weights: QoeWeights,
 }
@@ -59,8 +78,21 @@ impl TableConfig {
             buffer_bins: BinSpec::linear(levels, 0.0, buffer_max_secs),
             throughput_bins: BinSpec::log(levels, 100.0, 10_000.0),
             horizon: 5,
+            horizon_slices: 1,
             weights: QoeWeights::balanced(),
         }
+    }
+
+    /// Grows the table with truncated-horizon slices for live lookups:
+    /// every effective horizon in `[horizon - slices + 1, horizon]` gets
+    /// its own enumerated slice.
+    pub fn live_slices(mut self, slices: usize) -> Self {
+        assert!(
+            (1..=self.horizon).contains(&slices),
+            "need 1 <= slices <= horizon"
+        );
+        self.horizon_slices = slices;
+        self
     }
 }
 
@@ -173,6 +205,7 @@ fn row_sequential(
     video: &Video,
     buffer_max_secs: f64,
     cfg: &TableConfig,
+    horizon: usize,
     buffer: f64,
     prev: usize,
     row: &mut [u8],
@@ -183,7 +216,7 @@ fn row_sequential(
             scratch,
             video,
             0,
-            cfg.horizon,
+            horizon,
             buffer,
             buffer_max_secs,
             Some(LevelIdx(prev)),
@@ -211,6 +244,7 @@ fn row_run_aware(
     video: &Video,
     buffer_max_secs: f64,
     cfg: &TableConfig,
+    horizon: usize,
     buffer: f64,
     prev: usize,
     row: &mut [u8],
@@ -225,7 +259,7 @@ fn row_run_aware(
                     scratch,
                     video,
                     0,
-                    cfg.horizon,
+                    horizon,
                     buffer,
                     buffer_max_secs,
                     prev_level,
@@ -240,7 +274,7 @@ fn row_run_aware(
                     scratch,
                     video,
                     0,
-                    cfg.horizon,
+                    horizon,
                     buffer,
                     buffer_max_secs,
                     prev_level,
@@ -290,6 +324,7 @@ fn row_run_aware(
             video,
             buffer_max_secs,
             cfg,
+            horizon,
             buffer,
             prev,
             &mut reference,
@@ -326,15 +361,24 @@ impl FastMpcTable {
         );
         let num_levels = video.ladder().len();
         assert!(num_levels <= u8::MAX as usize, "ladder too large for u8 storage");
-        let n_rows = cfg.buffer_bins.count * num_levels;
+        assert!(
+            (1..=cfg.horizon).contains(&cfg.horizon_slices),
+            "need 1 <= horizon_slices <= horizon"
+        );
+        let slice_rows = cfg.buffer_bins.count * num_levels;
+        let n_rows = cfg.horizon_slices * slice_rows;
         let row_len = cfg.throughput_bins.count;
 
         let fill = match mode {
             GenMode::Sequential | GenMode::Parallel => row_sequential,
             GenMode::RunAware => row_run_aware,
         };
+        // Slice-major: slice `s` (effective horizon `horizon - s`) is a
+        // contiguous block of rows, so slice 0 is byte-identical to the
+        // single-slice (VOD) table over the same bins.
         let make_row = |r: usize| -> Vec<u8> {
-            let b = r / num_levels;
+            let s = r / slice_rows;
+            let b = (r % slice_rows) / num_levels;
             let prev = r % num_levels;
             let buffer = cfg.buffer_bins.centroid(b).min(buffer_max_secs);
             let mut scratch = HorizonScratch::new();
@@ -344,6 +388,7 @@ impl FastMpcTable {
                 video,
                 buffer_max_secs,
                 &cfg,
+                cfg.horizon - s,
                 buffer,
                 prev,
                 &mut row,
@@ -367,12 +412,38 @@ impl FastMpcTable {
     }
 
     /// Online lookup: bins the live state and retrieves the stored optimum
-    /// (binary search, no solving).
+    /// (binary search, no solving). Always resolves in slice 0 — the
+    /// full-horizon (VOD) slice — regardless of `horizon_slices`.
     pub fn lookup(&self, buffer_secs: f64, prev: LevelIdx, throughput_kbps: f64) -> LevelIdx {
         let b = self.cfg.buffer_bins.index_of(buffer_secs);
         let p = prev.get().min(self.num_levels - 1);
         let c = self.cfg.throughput_bins.index_of(throughput_kbps);
         let idx = (b * self.num_levels + p) * self.cfg.throughput_bins.count + c;
+        LevelIdx(self.decisions.get(idx) as usize)
+    }
+
+    /// Live lookup: resolves the probe in the slice enumerated for
+    /// `effective_horizon` look-ahead chunks (the availability-truncated
+    /// horizon of [`abr_core::mpc::live_effective_horizon`]), clamped to
+    /// the slices stored. With `horizon_slices == 1`, or an effective
+    /// horizon at the full look-ahead, this is exactly [`Self::lookup`].
+    pub fn lookup_live(
+        &self,
+        buffer_secs: f64,
+        prev: LevelIdx,
+        throughput_kbps: f64,
+        effective_horizon: usize,
+    ) -> LevelIdx {
+        let s = self
+            .cfg
+            .horizon
+            .saturating_sub(effective_horizon.max(1))
+            .min(self.cfg.horizon_slices - 1);
+        let b = self.cfg.buffer_bins.index_of(buffer_secs);
+        let p = prev.get().min(self.num_levels - 1);
+        let c = self.cfg.throughput_bins.index_of(throughput_kbps);
+        let grid = self.cfg.buffer_bins.count * self.num_levels * self.cfg.throughput_bins.count;
+        let idx = s * grid + (b * self.num_levels + p) * self.cfg.throughput_bins.count + c;
         LevelIdx(self.decisions.get(idx) as usize)
     }
 
@@ -570,6 +641,7 @@ mod tests {
             buffer_bins: BinSpec::linear(1, 0.0, 30.0),
             throughput_bins: BinSpec::log(1, 100.0, 10_000.0),
             horizon: 3,
+            horizon_slices: 1,
             weights: QoeWeights::balanced(),
         };
         let seq = FastMpcTable::generate_with(&video, 30.0, cfg.clone(), GenMode::Sequential);
@@ -610,6 +682,61 @@ mod tests {
                 t.decide_batch(&mut batch);
                 for (i, &(buffer, prev, thr)) in probes.iter().enumerate() {
                     prop_assert_eq!(batch.level(i), t.lookup(buffer, LevelIdx(prev), thr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_slice_zero_is_the_vod_table() {
+        // A sliced table's full-horizon slice must agree with the plain
+        // VOD table probe for probe, and lookup_live at the full horizon
+        // must collapse to lookup.
+        let video = envivio_video();
+        let vod = FastMpcTable::generate(&video, 30.0, TableConfig::with_levels(10, 30.0));
+        let sliced = FastMpcTable::generate(
+            &video,
+            30.0,
+            TableConfig::with_levels(10, 30.0).live_slices(4),
+        );
+        assert_eq!(sliced.num_entries(), 4 * vod.num_entries());
+        for (buffer, prev, thr) in
+            [(0.0, 0, 120.0), (9.0, 2, 1500.0), (22.0, 3, 4000.0), (30.0, 4, 9500.0)]
+        {
+            let want = vod.lookup(buffer, LevelIdx(prev), thr);
+            assert_eq!(sliced.lookup(buffer, LevelIdx(prev), thr), want);
+            assert_eq!(sliced.lookup_live(buffer, LevelIdx(prev), thr, 5), want);
+            // Horizons beyond the stored slices clamp to full-horizon.
+            assert_eq!(sliced.lookup_live(buffer, LevelIdx(prev), thr, 99), want);
+        }
+    }
+
+    #[test]
+    fn live_slices_match_exact_truncated_solves_at_centroids() {
+        let video = envivio_video();
+        let cfg = TableConfig::with_levels(10, 30.0).live_slices(5);
+        let table = FastMpcTable::generate(&video, 30.0, cfg.clone());
+        for h_eff in 1..=5usize {
+            for b in [0, 4, 9] {
+                for c in [0, 5, 9] {
+                    let buffer = cfg.buffer_bins.centroid(b);
+                    let thr = cfg.throughput_bins.centroid(c);
+                    let exact = optimize_horizon(
+                        &video,
+                        0,
+                        h_eff,
+                        buffer,
+                        30.0,
+                        Some(LevelIdx(2)),
+                        thr,
+                        &cfg.weights,
+                    )
+                    .first();
+                    assert_eq!(
+                        table.lookup_live(buffer, LevelIdx(2), thr, h_eff),
+                        exact,
+                        "h_eff={h_eff} bin (b={b}, c={c})"
+                    );
                 }
             }
         }

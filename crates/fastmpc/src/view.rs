@@ -107,6 +107,29 @@ impl<B: AsRef<[u8]>> TableView<B> {
         LevelIdx(self.value_at(self.run_of(idx as u32)) as usize)
     }
 
+    /// Live lookup in the truncated-horizon slice over the mapped bytes;
+    /// bit-identical to
+    /// [`FastMpcTable::lookup_live`](crate::FastMpcTable::lookup_live).
+    pub fn lookup_live(
+        &self,
+        buffer_secs: f64,
+        prev: LevelIdx,
+        throughput_kbps: f64,
+        effective_horizon: usize,
+    ) -> LevelIdx {
+        let s = self
+            .cfg
+            .horizon
+            .saturating_sub(effective_horizon.max(1))
+            .min(self.cfg.horizon_slices - 1);
+        let b = self.cfg.buffer_bins.index_of(buffer_secs);
+        let p = prev.get().min(self.num_levels - 1);
+        let c = self.cfg.throughput_bins.index_of(throughput_kbps);
+        let grid = self.cfg.buffer_bins.count * self.num_levels * self.cfg.throughput_bins.count;
+        let idx = s * grid + (b * self.num_levels + p) * self.cfg.throughput_bins.count + c;
+        LevelIdx(self.value_at(self.run_of(idx as u32)) as usize)
+    }
+
     /// Batched lookup over the mapped bytes; bit-identical to
     /// [`FastMpcTable::decide_batch`](crate::FastMpcTable::decide_batch).
     ///

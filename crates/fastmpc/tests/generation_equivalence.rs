@@ -46,6 +46,7 @@ proptest! {
             buffer_bins: BinSpec::linear(buffer_bins, 0.0, 30.0),
             throughput_bins: BinSpec::log(throughput_bins, 100.0, 10_000.0),
             horizon,
+            horizon_slices: 1,
             weights: QoeWeights::balanced(),
         };
         let seq = FastMpcTable::generate_with(&video, 30.0, cfg.clone(), GenMode::Sequential);
@@ -70,6 +71,7 @@ proptest! {
             buffer_bins: BinSpec::linear(bins, 0.0, 30.0),
             throughput_bins: BinSpec::log(bins, 100.0, 10_000.0),
             horizon,
+            horizon_slices: 1,
             weights: QoeWeights::balanced(),
         };
         let t = FastMpcTable::generate_with(&video, 30.0, cfg, GenMode::RunAware);

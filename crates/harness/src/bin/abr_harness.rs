@@ -13,7 +13,7 @@ use abr_trace::Dataset;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH] [--table-budget-mb MB] [--catalog-videos N] [--zipf-alpha A] [--players N] [--bottlenecks N] [--fairness-alpha A]
+const USAGE: &str = "usage: abr-harness <command> [--traces N] [--seed S] [--out DIR] [--quick] [--threads T] [--opt-cache PATH] [--no-opt-cache] [--no-table-cache] [--fault-rate R] [--fault-seed S] [--sessions N] [--workers N] [--backend NAME] [--batch-size N] [--event-loops N] [--max-conns N] [--scale-sessions LIST] [--decisions-out PATH] [--table-budget-mb MB] [--catalog-videos N] [--zipf-alpha A] [--players N] [--bottlenecks N] [--fairness-alpha A] [--live] [--encode-delay D] [--max-buffer-live B] [--latency-weight W]
 
 commands:
   fig7      dataset characteristics (3 CDF panels)
@@ -51,8 +51,12 @@ commands:
              over faulted links, with bit-exact reference-loop and served
              wire-replay twins (a twin mismatch aborts the run), writing
              fairness.csv and fairness_cdf.csv
+  live      live/low-latency frontier: {encode delay} x {live buffer cap}
+             x {BB, RobustMPC, FastMPC-live} over FCC and 3G traces with
+             the fault layer armed, writing live.csv, plus a live serve
+             leg through the event engine with bit-identical wire twins
   all       everything above except robustness, serve-bench, serve-scale,
-             catalog-bench and fairness
+             catalog-bench, fairness and live
 
 options:
   --traces N   traces per dataset (default 100)
@@ -131,7 +135,20 @@ options:
                fault stream
   --fairness-alpha A
                fairness: weight of the coordinator's fairness term (finite,
-               non-negative, default 1.0; 0 is pure efficiency)";
+               non-negative, default 1.0; 0 is pure efficiency)
+  --live       live mode opt-in; required by the three value flags below.
+               Without them the live experiment sweeps its default
+               regime grid
+  --encode-delay D
+               live: pin the encoder delay to D seconds past each chunk's
+               nominal end (finite, positive; requires --live)
+  --max-buffer-live B
+               live: pin the player-side live buffer cap to B seconds
+               (finite, positive; requires --live). Values below one
+               chunk duration are rejected at run time
+  --latency-weight W
+               live: latency QoE weight w_lat (finite, non-negative;
+               requires --live; 0 disables the latency term)";
 
 fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
     let mut cmd = None;
@@ -344,10 +361,55 @@ fn parse(args: &[String]) -> Result<(String, ExpOptions), String> {
                 }
                 opts.fairness_alpha = a;
             }
+            "--live" => opts.live = true,
+            "--encode-delay" => {
+                let d: f64 = it
+                    .next()
+                    .ok_or("--encode-delay needs a value")?
+                    .parse()
+                    .map_err(|_| "--encode-delay must be a number".to_string())?;
+                if !d.is_finite() || d <= 0.0 {
+                    return Err("--encode-delay must be finite and positive".into());
+                }
+                opts.encode_delay = Some(d);
+            }
+            "--max-buffer-live" => {
+                let b: f64 = it
+                    .next()
+                    .ok_or("--max-buffer-live needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-buffer-live must be a number".to_string())?;
+                if !b.is_finite() || b <= 0.0 {
+                    return Err("--max-buffer-live must be finite and positive".into());
+                }
+                opts.max_buffer_live = Some(b);
+            }
+            "--latency-weight" => {
+                let w: f64 = it
+                    .next()
+                    .ok_or("--latency-weight needs a value")?
+                    .parse()
+                    .map_err(|_| "--latency-weight must be a number".to_string())?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err("--latency-weight must be finite and non-negative".into());
+                }
+                opts.latency_weight = Some(w);
+            }
             other if !other.starts_with("--") && cmd.is_none() => {
                 cmd = Some(other.to_string());
             }
             other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !opts.live {
+        for (flag, set) in [
+            ("--encode-delay", opts.encode_delay.is_some()),
+            ("--max-buffer-live", opts.max_buffer_live.is_some()),
+            ("--latency-weight", opts.latency_weight.is_some()),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --live"));
+            }
         }
     }
     if opts.event_loops.is_some() && opts.batch.is_some_and(|b| b > 1) {
@@ -382,6 +444,7 @@ fn run_command(cmd: &str, opts: &ExpOptions) -> Result<String, String> {
         "serve-scale" => experiments::serve_scale::run(opts),
         "catalog-bench" => experiments::catalog_bench::run(opts),
         "fairness" => experiments::fairness::run(opts),
+        "live" => experiments::live::run(opts),
         "all" => {
             let mut out = String::new();
             // Share the expensive dataset evaluations between Figures 8,
@@ -664,6 +727,63 @@ mod tests {
         // alpha = 0 (pure efficiency) is a legal corner.
         let (_, opts) = parse(&args(&["fairness", "--fairness-alpha", "0"])).unwrap();
         assert_eq!(opts.fairness_alpha, 0.0);
+    }
+
+    #[test]
+    fn parses_live_flags() {
+        let (cmd, opts) = parse(&args(&["live"])).unwrap();
+        assert_eq!(cmd, "live");
+        assert!(!opts.live);
+        assert!(opts.encode_delay.is_none());
+        assert!(opts.max_buffer_live.is_none());
+        assert!(opts.latency_weight.is_none());
+
+        let (_, opts) = parse(&args(&["live", "--live"])).unwrap();
+        assert!(opts.live);
+
+        let (_, opts) = parse(&args(&[
+            "live",
+            "--live",
+            "--encode-delay",
+            "1.5",
+            "--max-buffer-live",
+            "12",
+            "--latency-weight",
+            "25",
+        ]))
+        .unwrap();
+        assert!(opts.live);
+        assert_eq!(opts.encode_delay, Some(1.5));
+        assert_eq!(opts.max_buffer_live, Some(12.0));
+        assert_eq!(opts.latency_weight, Some(25.0));
+
+        // w_lat = 0 (latency term disabled) is a legal corner.
+        let (_, opts) = parse(&args(&["live", "--live", "--latency-weight", "0"])).unwrap();
+        assert_eq!(opts.latency_weight, Some(0.0));
+
+        // Same rejection style as the other numeric flags.
+        assert!(parse(&args(&["live", "--live", "--encode-delay"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--encode-delay", "0"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--encode-delay", "-1"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--encode-delay", "inf"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--encode-delay", "nan"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--encode-delay", "slow"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--max-buffer-live"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--max-buffer-live", "0"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--max-buffer-live", "-8"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--max-buffer-live", "inf"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--max-buffer-live", "big"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--latency-weight"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--latency-weight", "-0.1"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--latency-weight", "inf"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--latency-weight", "nan"])).is_err());
+        assert!(parse(&args(&["live", "--live", "--latency-weight", "low"])).is_err());
+
+        // The value flags conflict with a missing --live opt-in.
+        let err = parse(&args(&["live", "--encode-delay", "1.5"])).unwrap_err();
+        assert!(err.contains("requires --live"), "{err}");
+        assert!(parse(&args(&["live", "--max-buffer-live", "12"])).is_err());
+        assert!(parse(&args(&["live", "--latency-weight", "25"])).is_err());
     }
 
     #[test]

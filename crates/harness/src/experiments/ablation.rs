@@ -516,7 +516,7 @@ pub fn run_modern(opts: &ExpOptions) -> String {
 /// Smaller offsets leave less room to buffer, so rebuffering rises and the
 /// conservative algorithms pull ahead.
 pub fn run_live(opts: &ExpOptions) -> String {
-    use abr_sim::LiveConfig;
+    use abr_video::LiveSchedule;
     let video = envivio_video();
     let traces = Dataset::Hsdpa.generate(opts.seed, opts.traces_capped(30));
     let mut t = Table::new(
@@ -534,8 +534,12 @@ pub fn run_live(opts: &ExpOptions) -> String {
             seed: opts.seed,
             ..EvalConfig::paper_default()
         };
-        cfg.sim.live = offset.map(|availability_offset_secs| LiveConfig {
-            availability_offset_secs,
+        // A session joining `offset` behind the edge sees chunk k release
+        // at (k+1)·L − offset, i.e. encode_delay = L − offset. No extra
+        // live buffer cap here — this table isolates availability gating.
+        cfg.sim.live = offset.map(|offset_secs: f64| LiveSchedule {
+            encode_delay_secs: video.chunk_secs() - offset_secs,
+            max_buffer_secs: cfg.sim.buffer_max_secs,
         });
         let mut row = vec![label.to_string()];
         for algo in [Algo::RobustMpc, Algo::Bb, Algo::Rb] {

@@ -231,6 +231,7 @@ fn wire_replay(
                 throughput_kbps: l.throughput_kbps,
                 download_secs: l.download_secs,
             }),
+            now_secs: None,
         };
         let resp = svc.handle(&Request::post(
             "/decision",

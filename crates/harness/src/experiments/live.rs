@@ -1,0 +1,376 @@
+//! `live`: the live/low-latency streaming frontier.
+//!
+//! Sweeps `{encode delay} × {live buffer cap} × {BB, RobustMPC,
+//! FastMPC-live}` over the FCC (broadband) and HSDPA (3G) trace models
+//! with the fault layer armed, through the emulated HTTP path — the same
+//! shared stepping core that paces chunk availability at the encoder's
+//! wall clock and skips chunks for catch-up when a stall pushes the
+//! playhead too far behind the edge. Each cell reports the raw live QoE
+//! (including the `−w_lat · latency` term every algorithm is scored
+//! with), rebuffering, playback latency, and catch-up skips; `live.csv`
+//! carries the grid.
+//!
+//! The MPC family plans with the same live information it is scored on:
+//! the availability-truncated horizon plus the latency term, and
+//! FastMPC-live looks its decisions up in the truncated-horizon table
+//! slices enumerated at the effective live buffer cap. BB only sees the
+//! tighter buffer cap — the frontier summary quantifies what latency-aware
+//! planning buys over buffer-based heuristics per regime.
+//!
+//! A second leg drives live sessions through the event-driven serve
+//! engine with the multiplexed load generator: every wire session must be
+//! bit-identical to its in-process twin (a mismatch aborts the run), and
+//! the server's live-latency histogram must have seen every decision
+//! (`live_serve.csv`).
+
+use super::ExpOptions;
+use crate::registry::{Algo, PredictorSpec};
+use crate::report::{fmt_num, write_csv, Table};
+use crate::runner::{par_map, run_algo_session, EvalConfig, FaultSpec};
+use abr_fastmpc::{FastMpcTable, TableConfig};
+use abr_serve::{run_mux_load, Backend, EventConfig, EventServer, MuxOptions};
+use abr_trace::stats::{median, percentile};
+use abr_trace::Dataset;
+use abr_video::{envivio_video, LiveSchedule, Video};
+use std::sync::Arc;
+
+/// Default encoder delays swept, seconds past each chunk's nominal end.
+/// Smaller delays put the player closer to the edge with less slack.
+pub const ENCODE_DELAYS: [f64; 2] = [0.5, 2.0];
+
+/// Default live buffer caps swept, seconds (the VOD `B_max` stays 30 s;
+/// the effective cap is the minimum of the two).
+pub const LIVE_CAPS: [f64; 2] = [8.0, 16.0];
+
+/// Default latency QoE weight `w_lat` when `--latency-weight` is absent:
+/// every second behind the edge costs this much QoE per chunk, which makes
+/// the latency term comparable to the switching penalty on the Envivio
+/// ladder without drowning the bitrate utility.
+pub const DEFAULT_LATENCY_WEIGHT: f64 = 10.0;
+
+/// Fault rate armed for the sweep when `--fault-rate` is absent.
+const DEFAULT_FAULT_RATE: f64 = 0.05;
+
+/// The encoder delays a given options set sweeps.
+pub fn encode_delays(opts: &ExpOptions) -> Vec<f64> {
+    match opts.encode_delay {
+        Some(d) => vec![d],
+        None if opts.quick => vec![2.0],
+        None => ENCODE_DELAYS.to_vec(),
+    }
+}
+
+/// The live buffer caps a given options set sweeps.
+pub fn live_caps(opts: &ExpOptions) -> Vec<f64> {
+    match opts.max_buffer_live {
+        Some(b) => vec![b],
+        None if opts.quick => vec![8.0],
+        None => LIVE_CAPS.to_vec(),
+    }
+}
+
+/// The latency weight in effect.
+pub fn latency_weight(opts: &ExpOptions) -> f64 {
+    opts.latency_weight.unwrap_or(DEFAULT_LATENCY_WEIGHT)
+}
+
+/// The FastMPC table for a live regime: truncated-horizon slices (one per
+/// effective horizon in `[1, horizon]`) enumerated at the *effective*
+/// buffer cap — the same table the serve path builds for a live session,
+/// so wire twins stay bit-identical.
+fn live_table(video: &Video, cfg: &EvalConfig, cap_secs: f64) -> Arc<FastMpcTable> {
+    let eff = cfg.sim.buffer_max_secs.min(cap_secs);
+    let mut tcfg = TableConfig::with_levels(cfg.fastmpc_levels, eff);
+    tcfg.weights = cfg.sim.weights.clone();
+    let slices = tcfg.horizon;
+    let tcfg = tcfg.live_slices(slices);
+    match &cfg.table_cache {
+        Some(cache) => cache.ensure(video, eff, &tcfg),
+        None => Arc::new(FastMpcTable::generate(video, eff, tcfg)),
+    }
+}
+
+/// Aggregates of one (dataset, regime, algorithm) cell.
+struct Cell {
+    median_qoe: f64,
+    mean_rebuf: f64,
+    median_lat: f64,
+    p95_lat: f64,
+    skips_per_session: f64,
+}
+
+/// Runs one cell: every trace through the emulated faulted path in live
+/// mode, one session per trace.
+fn run_cell(
+    algo: Algo,
+    table: Option<&Arc<FastMpcTable>>,
+    traces: &[abr_trace::Trace],
+    video: &Video,
+    cfg: &EvalConfig,
+) -> Cell {
+    let results: Vec<(f64, f64, f64, f64)> = par_map(traces.len(), |i| {
+        let r = run_algo_session(
+            algo,
+            table,
+            PredictorSpec::Harmonic,
+            cfg.seed ^ i as u64,
+            &traces[i],
+            video,
+            cfg,
+        );
+        (
+            r.qoe.qoe,
+            r.total_rebuffer_secs(),
+            r.mean_latency_secs().unwrap_or(f64::NAN),
+            r.skipped_chunks() as f64,
+        )
+    });
+    let qoe: Vec<f64> = results.iter().map(|x| x.0).collect();
+    let rebuf: Vec<f64> = results.iter().map(|x| x.1).collect();
+    let lat: Vec<f64> = results.iter().map(|x| x.2).filter(|x| x.is_finite()).collect();
+    let skips: f64 = results.iter().map(|x| x.3).sum::<f64>() / results.len().max(1) as f64;
+    Cell {
+        median_qoe: median(&qoe),
+        mean_rebuf: rebuf.iter().sum::<f64>() / rebuf.len().max(1) as f64,
+        median_lat: median(&lat),
+        p95_lat: percentile(&lat, 95.0),
+        skips_per_session: skips,
+    }
+}
+
+/// Runs the sweep plus the live serve leg and renders the report (also
+/// writing `live.csv` and `live_serve.csv` under `--out`).
+pub fn run(opts: &ExpOptions) -> String {
+    let video = envivio_video();
+    let delays = encode_delays(opts);
+    let caps = live_caps(opts);
+    let w_lat = latency_weight(opts);
+    let fault_rate = opts.fault_rate.unwrap_or(DEFAULT_FAULT_RATE);
+    let n_traces = opts.traces_capped(if opts.quick { 6 } else { 20 });
+    let datasets = [(Dataset::Fcc, "FCC"), (Dataset::Hsdpa, "HSDPA/3G")];
+    // Live MPC plans every path with the paper-order enumeration; RobustMPC
+    // is the representative (FastMPC-live is its table-compiled twin).
+    let algos = [
+        (Algo::Bb, "BB"),
+        (Algo::RobustMpc, "RobustMPC"),
+        (Algo::FastMpc, "FastMPC-live"),
+    ];
+
+    let mut t = Table::new(
+        "live/low-latency frontier: emulated path, faults armed",
+        &[
+            "dataset",
+            "encode_delay_s",
+            "max_buffer_live_s",
+            "algorithm",
+            "median_qoe",
+            "mean_rebuf_s",
+            "median_latency_s",
+            "p95_latency_s",
+            "skips_per_session",
+        ],
+    );
+    // (regime label, BB cell, RobustMPC cell) pairs for the frontier
+    // summary below.
+    let mut frontier: Vec<(String, Cell, Cell)> = Vec::new();
+
+    for (ds, ds_name) in datasets {
+        let traces = ds.generate(opts.seed, n_traces);
+        for &delay in &delays {
+            for &cap in &caps {
+                let mut cfg = EvalConfig {
+                    emulated: true,
+                    fastmpc_levels: if opts.quick { 12 } else { 30 },
+                    faults: Some(FaultSpec::for_rate(fault_rate, opts.fault_seed)),
+                    seed: opts.seed,
+                    ..EvalConfig::paper_default()
+                };
+                cfg.sim.live = Some(LiveSchedule {
+                    encode_delay_secs: delay,
+                    max_buffer_secs: cap,
+                });
+                // Every algorithm is scored on the same live QoE vector —
+                // the MPC family additionally plans with it.
+                cfg.sim.weights.w_lat = w_lat;
+                let table = live_table(&video, &cfg, cap);
+                let mut cells: Vec<Cell> = Vec::new();
+                for (algo, label) in algos {
+                    let tbl = algo.needs_table().then_some(&table);
+                    let cell = run_cell(algo, tbl, &traces, &video, &cfg);
+                    t.row(vec![
+                        ds_name.to_string(),
+                        fmt_num(delay),
+                        fmt_num(cap),
+                        label.to_string(),
+                        fmt_num(cell.median_qoe),
+                        fmt_num(cell.mean_rebuf),
+                        fmt_num(cell.median_lat),
+                        fmt_num(cell.p95_lat),
+                        fmt_num(cell.skips_per_session),
+                    ]);
+                    cells.push(cell);
+                }
+                let mpc = cells.remove(1);
+                let bb = cells.remove(0);
+                frontier.push((format!("{ds_name} d={delay} cap={cap}"), bb, mpc));
+            }
+        }
+    }
+    write_csv(opts.out.as_deref(), "live", &t).expect("csv write");
+
+    // The latency–QoE frontier: live-MPC dominates buffer-based in a
+    // regime when it is no worse on both axes and strictly better on one.
+    let mut summary = Table::new(
+        "live frontier: latency-aware MPC vs buffer-based",
+        &[
+            "regime",
+            "qoe BB",
+            "qoe live-MPC",
+            "latency BB",
+            "latency live-MPC",
+            "live-MPC dominates",
+        ],
+    );
+    let mut dominated = 0usize;
+    for (label, bb, mpc) in &frontier {
+        let dominates = mpc.median_qoe >= bb.median_qoe
+            && mpc.median_lat <= bb.median_lat
+            && (mpc.median_qoe > bb.median_qoe || mpc.median_lat < bb.median_lat);
+        dominated += usize::from(dominates);
+        summary.row(vec![
+            label.clone(),
+            fmt_num(bb.median_qoe),
+            fmt_num(mpc.median_qoe),
+            fmt_num(bb.median_lat),
+            fmt_num(mpc.median_lat),
+            dominates.to_string(),
+        ]);
+    }
+    write_csv(opts.out.as_deref(), "live_frontier", &summary).expect("csv write");
+
+    // Serve leg: live sessions through the event engine, each wire
+    // session verified bit-identical against its in-process twin, and the
+    // server-side latency histogram sanity-checked.
+    let serve_live = LiveSchedule {
+        encode_delay_secs: delays[0],
+        max_buffer_secs: caps[0],
+    };
+    let sessions = if opts.quick { 8 } else { 24 };
+    let loops = opts.event_loops.unwrap_or(2);
+    let mut twin = Table::new(
+        "live serve: event engine, wire twins + live latency histogram",
+        &[
+            "backend",
+            "sessions",
+            "decisions",
+            "mismatches",
+            "live_latency_count",
+            "live_p50_s",
+            "live_p99_s",
+        ],
+    );
+    for backend in [Backend::Bb, Backend::RobustMpc, Backend::FastMpc] {
+        let mut handle = EventServer::spawn(EventConfig {
+            loops,
+            max_conns: opts.max_conns,
+            ..EventConfig::default()
+        })
+        .expect("bind loopback event server");
+        let mut load = MuxOptions::new(sessions);
+        load.backend = backend;
+        load.seed = opts.seed;
+        load.conns = sessions.div_ceil(8).clamp(1, 16);
+        load.live = Some(serve_live);
+        load.latency_weight = w_lat;
+        let mux = run_mux_load(handle.addr(), &load);
+        let report = mux.report;
+        assert_eq!(
+            report.mismatches,
+            0,
+            "live wire-twin gate ({}):\n{}",
+            backend.token(),
+            report.mismatch_details.join("\n")
+        );
+        let hist = &handle.service().metrics().live_latency;
+        assert!(
+            hist.count() > 0,
+            "live decisions must land in the server's latency histogram"
+        );
+        // The recorder scales latency-seconds by 1e9 into the histogram's
+        // nanosecond domain, so `_us` readings are seconds * 1e6.
+        twin.row(vec![
+            backend.token().to_string(),
+            sessions.to_string(),
+            report.decisions.to_string(),
+            report.mismatches.to_string(),
+            hist.count().to_string(),
+            fmt_num(hist.quantile_us(0.50) / 1e6),
+            fmt_num(hist.quantile_us(0.99) / 1e6),
+        ]);
+        handle.shutdown();
+    }
+    write_csv(opts.out.as_deref(), "live_serve", &twin).expect("csv write");
+
+    let mut s = t.render();
+    s.push_str(&summary.render());
+    s.push_str(&format!(
+        "live-MPC dominates buffer-based on the latency-QoE frontier in \
+         {dominated}/{} regimes (w_lat {w_lat}, fault rate {fault_rate})\n\n",
+        frontier.len()
+    ));
+    s.push_str(&twin.render());
+    s.push_str(&format!(
+        "live serve leg: encode delay {} s, live cap {} s, {loops} epoll \
+         loop(s); every wire session bit-identical to its in-process twin\n\n",
+        serve_live.encode_delay_secs, serve_live.max_buffer_secs
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_honor_flags() {
+        let default = ExpOptions::default();
+        assert_eq!(encode_delays(&default), ENCODE_DELAYS.to_vec());
+        assert_eq!(live_caps(&default), LIVE_CAPS.to_vec());
+        assert_eq!(latency_weight(&default), DEFAULT_LATENCY_WEIGHT);
+
+        let quick = ExpOptions {
+            quick: true,
+            ..ExpOptions::default()
+        };
+        assert_eq!(encode_delays(&quick), vec![2.0]);
+        assert_eq!(live_caps(&quick), vec![8.0]);
+
+        let pinned = ExpOptions {
+            live: true,
+            encode_delay: Some(1.5),
+            max_buffer_live: Some(12.0),
+            latency_weight: Some(25.0),
+            ..ExpOptions::default()
+        };
+        assert_eq!(encode_delays(&pinned), vec![1.5]);
+        assert_eq!(live_caps(&pinned), vec![12.0]);
+        assert_eq!(latency_weight(&pinned), 25.0);
+    }
+
+    #[test]
+    fn live_smoke() {
+        let opts = ExpOptions {
+            traces: 2,
+            quick: true,
+            ..ExpOptions::default()
+        };
+        let s = run(&opts);
+        assert!(s.contains("live/low-latency frontier"), "{s}");
+        assert!(s.contains("FastMPC-live"), "{s}");
+        assert!(s.contains("RobustMPC"), "{s}");
+        assert!(s.contains("dominates buffer-based"), "{s}");
+        // The serve leg ran all three backends through the twin gate.
+        assert!(s.contains("wire twins"), "{s}");
+        assert!(s.contains("bit-identical to its in-process twin"), "{s}");
+    }
+}

@@ -12,6 +12,7 @@ pub mod fig12;
 pub mod fig7;
 pub mod fig8;
 pub mod levels;
+pub mod live;
 pub mod multiplayer;
 pub mod overhead;
 pub mod robustness;
@@ -106,6 +107,22 @@ pub struct ExpOptions {
     /// finite and non-negative): 0 is pure efficiency, larger values
     /// approach max-min fairness.
     pub fairness_alpha: f64,
+    /// Live mode opt-in (`--live`): required by the live value flags
+    /// below; with no value flags the `live` experiment sweeps its
+    /// default regime grid either way.
+    pub live: bool,
+    /// Pins the `live` experiment's encoder delay (`--encode-delay`,
+    /// seconds past each chunk's nominal end; finite and positive,
+    /// requires `--live`). `None` sweeps the default delays.
+    pub encode_delay: Option<f64>,
+    /// Pins the `live` experiment's player-side buffer cap
+    /// (`--max-buffer-live`, seconds; finite and positive, requires
+    /// `--live`). `None` sweeps the default caps.
+    pub max_buffer_live: Option<f64>,
+    /// Latency QoE weight `w_lat` for live sessions (`--latency-weight`,
+    /// finite and non-negative, requires `--live`); `None` uses the live
+    /// experiment's default.
+    pub latency_weight: Option<f64>,
 }
 
 impl Default for ExpOptions {
@@ -135,6 +152,10 @@ impl Default for ExpOptions {
             players: None,
             bottlenecks: 4,
             fairness_alpha: 1.0,
+            live: false,
+            encode_delay: None,
+            max_buffer_live: None,
+            latency_weight: None,
         }
     }
 }

@@ -86,6 +86,7 @@ pub fn run(opts: &ExpOptions) -> String {
                 startup: false,
                 video: &video,
                 buffer_max_secs: 30.0,
+                live: None,
             };
             std::hint::black_box(controller.decide(&ctx));
         }

@@ -173,6 +173,9 @@ pub(crate) fn start_next_download(
             startup: p.chunk == 0,
             video,
             buffer_max_secs: cfg.buffer_max_secs,
+            // Shared-bottleneck fleets are VOD sessions: live pacing is a
+            // single-player concern handled by the shared stepping core.
+            live: None,
         };
         let decision = p.controller.decide(&ctx);
         p.level = decision.level;
@@ -291,6 +294,8 @@ pub(crate) fn complete_chunk(
         retries: p.pending_retries,
         wasted_kbits: p.pending_wasted_kbits,
         fault_delay_secs: p.pending_fault_delay,
+        skipped: false,
+        latency_secs: 0.0,
     });
     if p.low_buffer.len() == cfg.low_buffer_window_chunks {
         p.low_buffer.pop_front();

@@ -516,6 +516,9 @@ pub fn run_real_session<P: Predictor>(
             startup: k == 0,
             video: &video,
             buffer_max_secs: cfg.buffer_max_secs,
+            // The real-socket player runs in wall-clock time against a VOD
+            // origin; live sessions go through the emulated/simulated core.
+            live: None,
         };
         let level = controller.decide(&ctx).level;
 
@@ -560,6 +563,8 @@ pub fn run_real_session<P: Predictor>(
             retries: 0,
             wasted_kbits: 0.0,
             fault_delay_secs: 0.0,
+            skipped: false,
+            latency_secs: 0.0,
         });
 
         if low_buffer_history.len() == cfg.low_buffer_window_chunks {
@@ -591,7 +596,7 @@ mod tests {
     use abr_core::{Decision, Mpc};
     use abr_predictor::HarmonicMean;
     use abr_trace::Dataset;
-    use abr_video::envivio_video;
+    use abr_video::{envivio_video, LiveSchedule};
 
     /// A controller that always requests the same level.
     struct Fixed(LevelIdx);
@@ -952,6 +957,114 @@ mod tests {
                 .filter(|(x, y)| x.level == y.level)
                 .count();
             assert!(same_levels >= 60, "only {same_levels}/65 decisions agree");
+        }
+    }
+
+    #[test]
+    fn live_emulated_tracks_simulator_at_zero_latency() {
+        // Live pacing lives in the shared stepping core, so the emulated
+        // path inherits availability gating, the latency-aware QoE term and
+        // catch-up skips verbatim; at zero link latency the two paths
+        // differ only by HTTP header bytes.
+        let video = envivio_video();
+        let mut cfg = SimConfig::paper_default();
+        cfg.weights.w_lat = 0.1;
+        cfg.live = Some(LiveSchedule {
+            encode_delay_secs: 0.0,
+            max_buffer_secs: 12.0,
+        });
+        for trace in Dataset::Fcc.generate(7, 2) {
+            let mut a = Mpc::robust();
+            let sim = abr_sim::run_session(
+                &mut a,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+            );
+            let mut b = Mpc::robust();
+            let emu = run_emulated_session(
+                &mut b,
+                HarmonicMean::paper_default(),
+                &trace,
+                &video,
+                &cfg,
+                &NetConfig::parity(),
+            );
+            // Both paths must account live latency through the same hook.
+            assert!(sim.qoe.total_latency_secs > 0.0);
+            assert!(emu.qoe.total_latency_secs > 0.0);
+            let rel = (sim.qoe.qoe - emu.qoe.qoe).abs() / sim.qoe.qoe.abs().max(1.0);
+            assert!(
+                rel < 0.02,
+                "sim {} vs emu {} (rel {rel})",
+                sim.qoe.qoe,
+                emu.qoe.qoe
+            );
+            let same_levels = sim
+                .records
+                .iter()
+                .zip(&emu.records)
+                .filter(|(x, y)| x.level == y.level)
+                .count();
+            let n = sim.records.len().min(emu.records.len());
+            assert!(
+                same_levels * 10 >= n * 9,
+                "only {same_levels}/{n} live decisions agree"
+            );
+            // The availability clock paces both paths identically: every
+            // non-skipped record lands at a positive live latency below the
+            // catch-up ceiling.
+            for rec in emu.records.iter().filter(|r| !r.skipped) {
+                assert!(rec.latency_secs > 0.0);
+                assert!(rec.latency_secs < 12.0 + 3.0 * video.chunk_secs());
+            }
+        }
+    }
+
+    #[test]
+    fn live_armed_but_disabled_faults_stay_bit_identical() {
+        // The fault layer's deadline machinery doubles as the live edge
+        // stall path; arming it with everything disabled must not perturb
+        // a live session by a single bit.
+        let video = envivio_video();
+        let mut cfg = SimConfig::paper_default();
+        cfg.weights.w_lat = 0.1;
+        cfg.live = Some(LiveSchedule {
+            encode_delay_secs: 2.0,
+            max_buffer_secs: 10.0,
+        });
+        let net = NetConfig::parity();
+        let trace = Dataset::Fcc.generate(29, 1).remove(0);
+        let mut a = Mpc::robust();
+        let plain = run_emulated_session(
+            &mut a,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &net,
+        );
+        let mut b = Mpc::robust();
+        let armed = run_emulated_session_faulted(
+            &mut b,
+            HarmonicMean::paper_default(),
+            &trace,
+            &video,
+            &cfg,
+            &net,
+            FaultPlan::new(5, FaultConfig::disabled()),
+            &RetryPolicy::no_timeout(),
+        );
+        assert_eq!(plain, armed);
+        assert_eq!(plain.qoe.qoe.to_bits(), armed.qoe.qoe.to_bits());
+        assert_eq!(
+            plain.qoe.total_latency_secs.to_bits(),
+            armed.qoe.total_latency_secs.to_bits()
+        );
+        for (x, y) in plain.records.iter().zip(&armed.records) {
+            assert_eq!(x.latency_secs.to_bits(), y.latency_secs.to_bits());
+            assert_eq!(x.skipped, y.skipped);
         }
     }
 

@@ -72,6 +72,7 @@ fn weights_strategy() -> impl Strategy<Value = QoeWeights> {
                 mu: 3000.0,
                 mu_s: 3000.0,
                 mu_event: 0.0,
+                w_lat: 0.0,
                 quality: QualityFn::Saturating { cap_kbps: 1200.0 },
             },
         };

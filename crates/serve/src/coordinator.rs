@@ -418,6 +418,7 @@ mod tests {
                 throughput_kbps: tput,
                 download_secs: dl,
             }),
+            now_secs: None,
         }
     }
 
@@ -426,7 +427,7 @@ mod tests {
         let c = coord();
         join(&c, 1);
         // Chunk 0: no observation yet -> scalar.
-        let first = DecisionRequest { sid: 1, chunk: 0, buffer_secs: 0.0, last: None };
+        let first = DecisionRequest { sid: 1, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None };
         assert_eq!(c.observe_and_allocate(&first), None);
         // Later chunks of a single-member group: still scalar.
         assert_eq!(c.observe_and_allocate(&report(1, 1, 8.0, 0, 2000.0, 0.7)), None);
@@ -538,6 +539,7 @@ mod tests {
             startup: true,
             video: &video,
             buffer_max_secs: 30.0,
+            live: None,
         };
         let d = a.decide(&ctx);
         assert!(d.level.get() < video.ladder().len());

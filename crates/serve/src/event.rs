@@ -665,7 +665,7 @@ mod tests {
         let handle = EventServer::spawn(quick_cfg()).unwrap();
         let mut c = client(&handle);
         let sid = register(&mut c, Backend::Bb);
-        let req = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None };
+        let req = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None };
         let resp = c
             .post("/decision", Bytes::from(req.encode()), "text/plain")
             .unwrap();

@@ -125,6 +125,13 @@ pub struct Metrics {
     pub sessions_closed: AtomicU64,
     /// Requests refused with a 4xx.
     pub rejected: AtomicU64,
+    /// Live playback latency reported at each live decision (the gap
+    /// between the live edge and the playhead, not a service time).
+    /// Recorded in nanoseconds of latency-seconds scaled by 1e9, so the
+    /// log2 histogram keeps sub-second resolution; rendered in seconds,
+    /// and only when at least one live decision was served — a pure-VOD
+    /// deployment's `/metrics` body is byte-identical to the pre-live one.
+    pub live_latency: LatencyHistogram,
     backends: [(&'static str, BackendStats); 8],
     loops: OnceLock<Vec<Arc<LoopStats>>>,
     coordinator: OnceLock<Arc<CoordinatorStats>>,
@@ -143,6 +150,7 @@ impl Metrics {
             sessions_registered: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            live_latency: LatencyHistogram::new(),
             backends: crate::backend::Backend::ALL
                 .map(|b| (b.token(), BackendStats::default())),
             loops: OnceLock::new(),
@@ -161,6 +169,13 @@ impl Metrics {
     /// expose them. Called once at service construction.
     pub fn attach_coordinator(&self, stats: Arc<CoordinatorStats>) {
         let _ = self.coordinator.set(stats);
+    }
+
+    /// Records one live decision's playback latency, seconds. Negative
+    /// samples (a playhead ahead of the edge cannot happen, but a defensive
+    /// clamp is cheap) count as zero.
+    pub fn record_live_latency(&self, latency_secs: f64) {
+        self.live_latency.record((latency_secs.max(0.0) * 1e9) as u64);
     }
 
     /// The stats bucket for a backend token.
@@ -216,6 +231,20 @@ impl Metrics {
                 stats.latency.mean_us(),
                 stats.latency.quantile_us(0.50),
                 stats.latency.quantile_us(0.99),
+            ));
+        }
+        let live_n = self.live_latency.count();
+        if live_n > 0 {
+            // Histogram "microseconds" are latency-seconds * 1e6 (the
+            // recorder scales seconds by 1e9 into the nanosecond domain).
+            out.push_str(&format!(
+                "live_latency_count {live_n}\n\
+                 live_latency_mean_secs {:.3}\n\
+                 live_latency_p50_secs {:.3}\n\
+                 live_latency_p99_secs {:.3}\n",
+                self.live_latency.mean_us() / 1e6,
+                self.live_latency.quantile_us(0.50) / 1e6,
+                self.live_latency.quantile_us(0.99) / 1e6,
             ));
         }
         if let Some(c) = self.coordinator.get() {
@@ -312,6 +341,34 @@ mod tests {
         assert!(text.contains("loop_partial_reads{loop=1} 2"), "{text}");
         assert!(text.contains("loop_short_writes{loop=1} 1"), "{text}");
         assert!(text.contains("loop_open_conns{loop=1} 1"), "{text}");
+    }
+
+    #[test]
+    fn live_latency_renders_only_after_a_live_decision() {
+        let m = Metrics::new();
+        // Pure-VOD metrics carry no live lines at all.
+        assert!(!m.render(0, &TableStoreStats::default()).contains("live_latency"));
+        m.record_live_latency(2.0);
+        m.record_live_latency(2.0);
+        m.record_live_latency(8.0);
+        let text = m.render(0, &TableStoreStats::default());
+        assert!(text.contains("live_latency_count 3"), "{text}");
+        // Bucket-resolution quantiles land within a power of two of the
+        // true values (2 s and 8 s).
+        let p50: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("live_latency_p50_secs "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let p99: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("live_latency_p99_secs "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(p50 >= 2.0 && p50 <= 5.0, "p50 {p50}");
+        assert!(p99 >= 8.0 && p99 <= 18.0, "p99 {p99}");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use abr_sim::{
     run_session, ChunkDownloader, SessionResult, SessionScratch, SessionStepper, TraceDownloader,
 };
 use abr_trace::{Dataset, Trace};
-use abr_video::{envivio_video, LevelIdx, Video};
+use abr_video::{envivio_video, LevelIdx, LiveSchedule, Video};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
@@ -88,6 +88,11 @@ pub struct MuxOptions {
     /// Per-session video assignment; `None` plays the Envivio video
     /// everywhere.
     pub catalog: Option<Arc<MuxCatalog>>,
+    /// Live availability schedule every session registers (and the twin
+    /// runs with); `None` drives VOD sessions, the pre-live wire exactly.
+    pub live: Option<LiveSchedule>,
+    /// QoE latency weight registered for live sessions; ignored for VOD.
+    pub latency_weight: f64,
 }
 
 impl MuxOptions {
@@ -104,7 +109,21 @@ impl MuxOptions {
             conns: 0,
             loops: 2,
             catalog: None,
+            live: None,
+            latency_weight: 0.0,
         }
+    }
+
+    /// The registration spec for one session over `video` — the same
+    /// knobs feed the in-process twin through [`SessionSpec::sim_config`].
+    fn spec_for(&self, video: Video) -> SessionSpec {
+        let mut spec = SessionSpec::paper_default(self.backend, video);
+        spec.predictor = self.predictor;
+        if let Some(live) = self.live {
+            spec.live = Some(live);
+            spec.weights.w_lat = self.latency_weight;
+        }
+        spec
     }
 
     /// The video session `i` plays under this configuration.
@@ -160,7 +179,7 @@ pub fn run_mux_load(addr: SocketAddr, opts: &MuxOptions) -> MuxReport {
             catalog.videos.len()
         );
     }
-    let sim_cfg = SessionSpec::paper_default(opts.backend, video.clone()).sim_config();
+    let sim_cfg = opts.spec_for(video.clone()).sim_config();
     let traces: Vec<Trace> = Dataset::Fcc.generate(opts.seed, opts.sessions);
     let loops = opts.loops.max(1).min(opts.sessions.max(1));
     let conns = opts.effective_conns();
@@ -207,12 +226,24 @@ pub fn run_mux_load(addr: SocketAddr, opts: &MuxOptions) -> MuxReport {
                         {
                             let session_video = opts.video_of(video, shard.base + i);
                             let table = opts.backend.needs_table().then(|| {
+                                // Mirror the server's table construction
+                                // exactly: live sessions run against the
+                                // effective (live-clamped) cap with the
+                                // full truncated-horizon slice range.
+                                let cap = match &sim_cfg.live {
+                                    Some(l) => sim_cfg.buffer_max_secs.min(l.max_buffer_secs),
+                                    None => sim_cfg.buffer_max_secs,
+                                };
                                 let mut cfg = abr_fastmpc::TableConfig::with_levels(
                                     session_video.ladder().len(),
-                                    sim_cfg.buffer_max_secs,
+                                    cap,
                                 );
                                 cfg.weights = sim_cfg.weights.clone();
-                                tables.ensure(session_video, sim_cfg.buffer_max_secs, &cfg)
+                                if sim_cfg.live.is_some() {
+                                    let slices = cfg.horizon;
+                                    cfg = cfg.live_slices(slices);
+                                }
+                                tables.ensure(session_video, cap, &cfg)
                             });
                             let mut local = opts.backend.build(
                                 table.as_ref(),
@@ -410,11 +441,7 @@ fn drive_mux(
 
         // Kick off every session: pipeline the registrations.
         for i in 0..n {
-            let mut spec = SessionSpec::paper_default(
-                opts.backend,
-                opts.video_of(video, base + i).clone(),
-            );
-            spec.predictor = opts.predictor;
+            let spec = opts.spec_for(opts.video_of(video, base + i).clone());
             enqueue(
                 &mut conns[sessions[i].conn],
                 i,
@@ -673,6 +700,39 @@ mod tests {
         let b = run_mux_load(event.addr(), &opts);
         assert_eq!(a.sequences, b.sequences);
         threaded.shutdown();
+    }
+
+    #[test]
+    fn live_mux_load_is_bit_identical_and_reports_latency() {
+        // The wire twin gate for live sessions: virtual live sessions
+        // through the event engine must replay bit-identically in process,
+        // and the server's /metrics must have seen their latencies.
+        let handle = EventServer::spawn(EventConfig {
+            loops: 2,
+            ..EventConfig::default()
+        })
+        .unwrap();
+        for backend in [Backend::RobustMpc, Backend::FastMpc, Backend::Bb] {
+            let mut opts = MuxOptions::new(12);
+            opts.backend = backend;
+            opts.conns = 4;
+            opts.live = Some(LiveSchedule {
+                encode_delay_secs: 2.0,
+                max_buffer_secs: 12.0,
+            });
+            opts.latency_weight = 0.1;
+            let report = run_mux_load(handle.addr(), &opts);
+            assert_eq!(
+                report.report.mismatches, 0,
+                "{backend:?}: {:#?}",
+                report.report.mismatch_details
+            );
+            assert_eq!(report.sequences.len(), 12);
+        }
+        assert!(
+            handle.service().metrics().live_latency.count() > 0,
+            "live decisions must feed the latency histogram"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::backend::{Backend, PredictorKind};
 use abr_core::ControllerContext;
 use abr_net::mpd;
 use abr_sim::{RobustBound, SimConfig};
-use abr_video::{QoeWeights, QualityFn, Video};
+use abr_video::{LiveSchedule, QoeWeights, QualityFn, Video};
 
 /// Errors decoding a protocol body.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +77,10 @@ pub struct SessionSpec {
     /// sessions with the same id are jointly allocated by the server's
     /// fairness coordinator. `None` opts out of coordination entirely.
     pub bottleneck: Option<String>,
+    /// Live availability schedule; `None` registers a VOD session. A live
+    /// session crosses the wire as `mode live` plus the schedule's two
+    /// knobs, and its decision requests must carry the wall clock (`now`).
+    pub live: Option<LiveSchedule>,
     /// The video, registered via its manifest.
     pub video: Video,
 }
@@ -97,15 +101,18 @@ impl SessionSpec {
             low_buffer_window_chunks: sim.low_buffer_window_chunks,
             weights: sim.weights,
             bottleneck: None,
+            live: None,
             video,
         }
     }
 
     /// The [`SimConfig`] an in-process twin must run with to match this
-    /// session decision-for-decision (VOD, first-chunk startup).
+    /// session decision-for-decision (first-chunk startup; live when the
+    /// spec is live).
     pub fn sim_config(&self) -> SimConfig {
         SimConfig {
             buffer_max_secs: self.buffer_max_secs,
+            live: self.live,
             weights: self.weights.clone(),
             error_window: self.error_window,
             robust_bound: self.robust_bound,
@@ -143,9 +150,19 @@ impl SessionSpec {
         out.push_str(&format!("mu {}\n", w.mu));
         out.push_str(&format!("mu_s {}\n", w.mu_s));
         out.push_str(&format!("mu_event {}\n", w.mu_event));
+        // Latency only matters to live sessions; omitting the zero keeps
+        // every VOD registration body byte-identical to the pre-live wire.
+        if w.w_lat != 0.0 {
+            out.push_str(&format!("w_lat {}\n", w.w_lat));
+        }
         out.push_str(&encode_quality(&w.quality));
         if let Some(id) = &self.bottleneck {
             out.push_str(&format!("bottleneck {id}\n"));
+        }
+        if let Some(live) = &self.live {
+            out.push_str("mode live\n");
+            out.push_str(&format!("encode_delay {}\n", live.encode_delay_secs));
+            out.push_str(&format!("max_buffer_live {}\n", live.max_buffer_secs));
         }
         out.push_str("manifest\n");
         out.push_str(&mpd::generate(&self.video));
@@ -167,6 +184,14 @@ impl SessionSpec {
             "mean" => RobustBound::MeanError,
             other => return Err(ProtoError::Bad(format!("robust_bound {other:?}"))),
         };
+        let live = match lookup(&fields, "mode") {
+            Ok("live") => Some(LiveSchedule {
+                encode_delay_secs: parse_field(&fields, "encode_delay")?,
+                max_buffer_secs: parse_field(&fields, "max_buffer_live")?,
+            }),
+            Ok(other) => return Err(ProtoError::Bad(format!("mode {other:?}"))),
+            Err(_) => None,
+        };
         let spec = Self {
             backend,
             predictor,
@@ -181,9 +206,14 @@ impl SessionSpec {
                 mu: parse_field(&fields, "mu")?,
                 mu_s: parse_field(&fields, "mu_s")?,
                 mu_event: parse_field(&fields, "mu_event")?,
+                w_lat: match lookup(&fields, "w_lat") {
+                    Ok(v) => v.parse().map_err(|_| ProtoError::Bad("w_lat".into()))?,
+                    Err(_) => 0.0,
+                },
                 quality: decode_quality(lookup(&fields, "quality")?)?,
             },
             bottleneck: lookup(&fields, "bottleneck").ok().map(str::to_string),
+            live,
             video,
         };
         if spec.horizon == 0 {
@@ -193,6 +223,16 @@ impl SessionSpec {
             return Err(ProtoError::Bad(
                 "buffer_max must hold at least one chunk".into(),
             ));
+        }
+        if let Some(live) = &spec.live {
+            if !(live.encode_delay_secs >= 0.0) || !live.encode_delay_secs.is_finite() {
+                return Err(ProtoError::Bad("encode_delay must be non-negative".into()));
+            }
+            if !(live.max_buffer_secs >= spec.video.chunk_secs()) {
+                return Err(ProtoError::Bad(
+                    "max_buffer_live must hold at least one chunk".into(),
+                ));
+            }
         }
         Ok(spec)
     }
@@ -249,6 +289,10 @@ pub struct DecisionRequest {
     /// Outcome of chunk `chunk - 1`; required for every chunk after the
     /// first, forbidden for chunk 0.
     pub last: Option<LastChunk>,
+    /// The client's session wall clock, seconds since playback start.
+    /// Required for live sessions (the server rebuilds the availability
+    /// state from it); omitted — and the line absent — for VOD.
+    pub now_secs: Option<f64>,
 }
 
 impl DecisionRequest {
@@ -258,6 +302,9 @@ impl DecisionRequest {
             "sid {}\nchunk {}\nbuffer {}\n",
             self.sid, self.chunk, self.buffer_secs
         );
+        if let Some(now) = self.now_secs {
+            out.push_str(&format!("now {now}\n"));
+        }
         if let Some(last) = &self.last {
             out.push_str(&format!(
                 "last_level {}\nlast_tput {}\nlast_dl {}\n",
@@ -291,6 +338,7 @@ impl DecisionRequest {
             chunk: ctx.chunk_index,
             buffer_secs: ctx.buffer_secs,
             last,
+            now_secs: ctx.live.as_ref().map(|l| l.now_secs),
         }
     }
 
@@ -314,11 +362,16 @@ impl DecisionRequest {
         if chunk > 0 && last.is_none() {
             return Err(ProtoError::Missing("last_level"));
         }
+        let now_secs = match lookup(&fields, "now") {
+            Ok(v) => Some(v.parse().map_err(|_| ProtoError::Bad("now".into()))?),
+            Err(_) => None,
+        };
         Ok(Self {
             sid: parse_field(&fields, "sid")?,
             chunk,
             buffer_secs: parse_field(&fields, "buffer")?,
             last,
+            now_secs,
         })
     }
 }
@@ -552,6 +605,60 @@ mod tests {
     }
 
     #[test]
+    fn live_spec_round_trips_and_vod_wire_is_unchanged() {
+        let mut spec = SessionSpec::paper_default(Backend::RobustMpc, envivio_video());
+        // A VOD spec encodes no live or latency lines at all.
+        let vod_body = spec.encode();
+        assert!(!vod_body.contains("mode "), "{vod_body}");
+        assert!(!vod_body.contains("w_lat "), "{vod_body}");
+        assert!(!vod_body.contains("now "), "{vod_body}");
+        spec.live = Some(LiveSchedule {
+            encode_delay_secs: 2.718_281_828_459_045,
+            max_buffer_secs: 11.999_999_999_999_998,
+        });
+        spec.weights.w_lat = 0.012_345_678_901_234_567;
+        let back = SessionSpec::decode(&spec.encode()).unwrap();
+        let live = back.live.unwrap();
+        assert_eq!(
+            live.encode_delay_secs.to_bits(),
+            spec.live.unwrap().encode_delay_secs.to_bits()
+        );
+        assert_eq!(
+            live.max_buffer_secs.to_bits(),
+            spec.live.unwrap().max_buffer_secs.to_bits()
+        );
+        assert_eq!(back.weights.w_lat.to_bits(), spec.weights.w_lat.to_bits());
+        assert!(back.sim_config().live.is_some());
+        // Live knobs are validated at decode time.
+        let body = spec.encode();
+        assert!(matches!(
+            SessionSpec::decode(&body.replace("mode live", "mode vr")),
+            Err(ProtoError::Bad(_))
+        ));
+        assert!(SessionSpec::decode(
+            &body.replace("encode_delay 2.718281828459045", "encode_delay -1")
+        )
+        .is_err());
+        assert!(SessionSpec::decode(
+            &body.replace("max_buffer_live 11.999999999999998", "max_buffer_live 0.5")
+        )
+        .is_err());
+        // The decision request carries the wall clock bit-exactly.
+        let req = DecisionRequest {
+            sid: 7,
+            chunk: 3,
+            buffer_secs: 4.25,
+            last: Some(LastChunk { level: 1, throughput_kbps: 900.0, download_secs: 2.0 }),
+            now_secs: Some(17.484_931_002_384_756),
+        };
+        let back = DecisionRequest::decode(&req.encode()).unwrap();
+        assert_eq!(
+            back.now_secs.unwrap().to_bits(),
+            req.now_secs.unwrap().to_bits()
+        );
+    }
+
+    #[test]
     fn decision_round_trips_bit_exactly() {
         let req = DecisionRequest {
             sid: 17,
@@ -562,6 +669,7 @@ mod tests {
                 throughput_kbps: 1523.456_789_012_345_6,
                 download_secs: 3.141_592_653_589_793,
             }),
+            now_secs: None,
         };
         let back = DecisionRequest::decode(&req.encode()).unwrap();
         assert_eq!(back.sid, 17);
@@ -640,7 +748,7 @@ mod tests {
     #[test]
     fn bulk_request_round_trips_bit_exactly() {
         let reqs = vec![
-            DecisionRequest { sid: 3, chunk: 0, buffer_secs: 0.0, last: None },
+            DecisionRequest { sid: 3, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None },
             DecisionRequest {
                 sid: 9,
                 chunk: 17,
@@ -650,12 +758,13 @@ mod tests {
                     throughput_kbps: 2_831.556_677_889_901,
                     download_secs: 1.059_283_746_501_982_3,
                 }),
+                now_secs: Some(68.123_456_789_012_34),
             },
             DecisionRequest { sid: 3, chunk: 1, buffer_secs: 4.0, last: Some(LastChunk {
                 level: 0,
                 throughput_kbps: 512.0,
                 download_secs: 2.734_375,
-            }) },
+            }), now_secs: None },
         ];
         let back = decode_bulk(&encode_bulk(&reqs)).unwrap();
         assert_eq!(back.len(), 3);
@@ -663,6 +772,7 @@ mod tests {
             assert_eq!(a.sid, b.sid);
             assert_eq!(a.chunk, b.chunk);
             assert_eq!(a.buffer_secs.to_bits(), b.buffer_secs.to_bits());
+            assert_eq!(a.now_secs.map(f64::to_bits), b.now_secs.map(f64::to_bits));
             match (&a.last, &b.last) {
                 (None, None) => {}
                 (Some(x), Some(y)) => {
@@ -741,6 +851,7 @@ mod tests {
             startup: false,
             video: &video,
             buffer_max_secs: 30.0,
+            live: None,
         };
         let req = DecisionRequest::from_context(42, &ctx);
         assert_eq!(req.sid, 42);
@@ -765,6 +876,7 @@ mod tests {
             startup: true,
             video: &video,
             buffer_max_secs: 30.0,
+            live: None,
         };
         assert!(DecisionRequest::from_context(1, &first).last.is_none());
     }

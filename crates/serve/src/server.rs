@@ -112,16 +112,23 @@ impl AbrService {
                 let over = self.coordinator.observe_and_allocate(&parsed);
                 let start = Instant::now();
                 let outcome = self.store.with_session(parsed.sid, |session| {
-                    (session.backend_token(), session.decide_with(&parsed, over))
+                    (
+                        session.backend_token(),
+                        session.decide_with(&parsed, over),
+                        session.last_live_latency_secs(),
+                    )
                 });
                 match outcome {
-                    Ok((token, Ok(reply))) => {
+                    Ok((token, Ok(reply), live_latency)) => {
                         let stats = self.metrics.backend(token);
                         stats.decisions.fetch_add(1, Ordering::Relaxed);
                         stats.latency.record(start.elapsed().as_nanos() as u64);
+                        if let Some(latency_secs) = live_latency {
+                            self.metrics.record_live_latency(latency_secs);
+                        }
                         Response::ok(Bytes::from(reply.encode()), "text/plain")
                     }
-                    Ok((_, Err(e))) => self.reject(decide_error_response(&e)),
+                    Ok((_, Err(e), _)) => self.reject(decide_error_response(&e)),
                     Err(e) => self.reject(decide_error_response(&e)),
                 }
             }
@@ -145,13 +152,24 @@ impl AbrService {
                     start.elapsed().as_nanos() as u64 / outcomes.len().max(1) as u64;
                 let slots: Vec<BulkSlot> = outcomes
                     .into_iter()
-                    .map(|(token, result)| match result {
+                    .zip(&reqs)
+                    .map(|((token, result), req)| match result {
                         Ok(reply) => {
                             let stats = self
                                 .metrics
                                 .backend(token.expect("successful decide names its backend"));
                             stats.decisions.fetch_add(1, Ordering::Relaxed);
                             stats.latency.record(per_slot_nanos);
+                            // Live slots carry a clock; VOD batches skip
+                            // the extra per-session lock entirely.
+                            if req.now_secs.is_some() {
+                                if let Ok(Some(latency_secs)) = self
+                                    .store
+                                    .with_session(req.sid, |s| s.last_live_latency_secs())
+                                {
+                                    self.metrics.record_live_latency(latency_secs);
+                                }
+                            }
                             Ok(reply)
                         }
                         Err(e) => {
@@ -200,6 +218,7 @@ fn decide_error_status(e: &DecideError) -> u16 {
         DecideError::OutOfOrder { .. } => 409,
         DecideError::SessionComplete => 410,
         DecideError::BadLevel(_) => 400,
+        DecideError::MissingClock => 400,
     }
 }
 
@@ -416,7 +435,7 @@ mod tests {
             .parse()
             .unwrap();
 
-        let req = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None };
+        let req = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None };
         let resp = c
             .post("/decision", Bytes::from(req.encode()), "text/plain")
             .unwrap();
@@ -449,7 +468,7 @@ mod tests {
             400
         );
         // Decision for a session that does not exist.
-        let req = DecisionRequest { sid: 777, chunk: 0, buffer_secs: 0.0, last: None };
+        let req = DecisionRequest { sid: 777, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None };
         assert_eq!(
             c.post("/decision", Bytes::from(req.encode()), "text/plain")
                 .unwrap()
@@ -474,6 +493,7 @@ mod tests {
                 throughput_kbps: 500.0,
                 download_secs: 1.0,
             }),
+            now_secs: None,
         };
         assert_eq!(
             c.post("/decision", Bytes::from(skip.encode()), "text/plain")
@@ -534,7 +554,7 @@ mod tests {
         // Three live sessions plus one unknown sid in slot 2.
         let reqs: Vec<DecisionRequest> = [sids[0], sids[1], 9_999, sids[2]]
             .iter()
-            .map(|&sid| DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None })
+            .map(|&sid| DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None })
             .collect();
         let resp = c
             .post("/decisions", Bytes::from(encode_bulk(&reqs)), "text/plain")

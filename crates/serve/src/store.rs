@@ -21,7 +21,7 @@ use abr_core::{BitrateController, ControllerContext};
 use abr_fastmpc::{TableStore, TableStoreConfig};
 use abr_predictor::{ErrorTracked, Predictor};
 use abr_sim::RobustBound;
-use abr_video::{LevelIdx, Video};
+use abr_video::{LevelIdx, LiveSchedule, Video};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -42,6 +42,9 @@ pub enum DecideError {
     SessionComplete,
     /// The reported last-chunk level is off the ladder.
     BadLevel(usize),
+    /// A live session's request arrived without the wall clock (`now`)
+    /// the server needs to rebuild the availability state.
+    MissingClock,
 }
 
 impl std::fmt::Display for DecideError {
@@ -53,6 +56,7 @@ impl std::fmt::Display for DecideError {
             }
             DecideError::SessionComplete => write!(f, "session complete"),
             DecideError::BadLevel(l) => write!(f, "level {l} off the ladder"),
+            DecideError::MissingClock => write!(f, "live session needs a `now` clock"),
         }
     }
 }
@@ -65,7 +69,15 @@ pub struct SessionState {
     controller: Box<dyn BitrateController>,
     predictor: ErrorTracked<Box<dyn Predictor>>,
     video: Video,
+    /// The buffer cap the controller sees: `B_max`, additionally clamped
+    /// by the live schedule's `max_buffer_secs` for live sessions —
+    /// exactly `run_session_core`'s effective cap.
     buffer_max_secs: f64,
+    /// The availability schedule for live sessions; `None` is VOD.
+    live: Option<LiveSchedule>,
+    /// Live latency at the most recent decision, for the latency
+    /// histogram on `GET /metrics`; always `None` for VOD sessions.
+    last_live_latency: Option<f64>,
     robust_bound: RobustBound,
     low_buffer_threshold_secs: f64,
     low_buffer_window_chunks: usize,
@@ -86,13 +98,23 @@ impl SessionState {
     /// once — and an evicted table comes back zero-copy from the warm
     /// tier instead of being regenerated.
     pub fn new(spec: SessionSpec, tables: &TableStore) -> Self {
+        let effective_buffer_max = match &spec.live {
+            Some(live) => spec.buffer_max_secs.min(live.max_buffer_secs),
+            None => spec.buffer_max_secs,
+        };
         let table = spec.backend.needs_table().then(|| {
             let mut cfg = abr_fastmpc::TableConfig::with_levels(
                 spec.video.ladder().len(),
-                spec.buffer_max_secs,
+                effective_buffer_max,
             );
             cfg.weights = spec.weights.clone();
-            tables.ensure(&spec.video, spec.buffer_max_secs, &cfg)
+            if spec.live.is_some() {
+                // Live lookups select availability-truncated horizon
+                // slices; generate the full truncation range.
+                let slices = cfg.horizon;
+                cfg = cfg.live_slices(slices);
+            }
+            tables.ensure(&spec.video, effective_buffer_max, &cfg)
         });
         let mut controller = spec
             .backend
@@ -104,7 +126,9 @@ impl SessionState {
             controller,
             predictor: ErrorTracked::new(spec.predictor.build(), spec.error_window),
             video: spec.video,
-            buffer_max_secs: spec.buffer_max_secs,
+            buffer_max_secs: effective_buffer_max,
+            live: spec.live,
+            last_live_latency: None,
             robust_bound: spec.robust_bound,
             low_buffer_threshold_secs: spec.low_buffer_threshold_secs,
             low_buffer_window_chunks: spec.low_buffer_window_chunks,
@@ -119,6 +143,12 @@ impl SessionState {
     /// Wire token of this session's backend (feeds per-backend metrics).
     pub fn backend_token(&self) -> &'static str {
         self.backend_token
+    }
+
+    /// Live latency at the most recent decision, seconds; `None` for VOD
+    /// sessions (feeds the live latency histogram on `GET /metrics`).
+    pub fn last_live_latency_secs(&self) -> Option<f64> {
+        self.last_live_latency
     }
 
     /// Decides the bitrate for `req.chunk`, replaying the bookkeeping of
@@ -141,12 +171,32 @@ impl SessionState {
         if self.next_chunk >= self.video.num_chunks() {
             return Err(DecideError::SessionComplete);
         }
-        if req.chunk != self.next_chunk {
+        // Live catch-up skips chunks client-side (the player jumps over
+        // stale chunks after a stall at the edge), so a live session may
+        // legally move forward by more than one — but never repeat or
+        // rewind. VOD stays strictly sequential.
+        let in_order = if self.live.is_some() {
+            req.chunk >= self.next_chunk && req.chunk < self.video.num_chunks()
+        } else {
+            req.chunk == self.next_chunk
+        };
+        if !in_order {
             return Err(DecideError::OutOfOrder {
                 expected: self.next_chunk,
                 got: req.chunk,
             });
         }
+        let live_state = match (&self.live, req.now_secs) {
+            (Some(live), Some(now)) => {
+                // The single chokepoint shared with the in-process twin:
+                // the availability state is rebuilt from the reported wall
+                // clock through the same LiveSchedule::state arithmetic,
+                // which is what keeps wire decisions bit-identical.
+                Some(live.state(now, req.chunk, req.buffer_secs, self.video.chunk_secs()))
+            }
+            (Some(_), None) => return Err(DecideError::MissingClock),
+            (None, _) => None,
+        };
 
         // Post-download bookkeeping of chunk k-1, exactly as
         // run_session_core performs it before looping to chunk k.
@@ -182,7 +232,9 @@ impl SessionState {
             startup: req.chunk == 0,
             video: &self.video,
             buffer_max_secs: self.buffer_max_secs,
+            live: live_state,
         };
+        self.last_live_latency = live_state.as_ref().map(|s| s.latency_secs);
         let decision = match override_level {
             Some(level) => abr_core::Decision {
                 level: LevelIdx(level.min(self.video.ladder().len() - 1)),
@@ -197,7 +249,7 @@ impl SessionState {
         );
 
         self.prev_buffer_secs = req.buffer_secs;
-        self.next_chunk += 1;
+        self.next_chunk = req.chunk + 1;
         Ok(DecisionReply {
             level: decision.level.get(),
             startup_wait_secs: decision.startup_wait_secs,
@@ -335,7 +387,7 @@ mod tests {
     }
 
     fn first_request(sid: u64) -> DecisionRequest {
-        DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None }
+        DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None }
     }
 
     #[test]
@@ -353,6 +405,7 @@ mod tests {
             chunk: 1,
             buffer_secs: 4.0,
             last: Some(LastChunk { level: r0.level, throughput_kbps: 900.0, download_secs: 2.0 }),
+            now_secs: None,
         };
         s.with_session(sid, |st| st.decide(&req)).unwrap().unwrap();
     }
@@ -371,6 +424,7 @@ mod tests {
             chunk: 1,
             buffer_secs: 4.0,
             last: Some(LastChunk { level: 42, throughput_kbps: 900.0, download_secs: 2.0 }),
+            now_secs: None,
         };
         assert_eq!(
             s.with_session(sid, |st| st.decide(&req)).unwrap(),
@@ -393,6 +447,7 @@ mod tests {
                 chunk: k,
                 buffer_secs: 10.0,
                 last: Some(LastChunk { level, throughput_kbps: 1200.0, download_secs: 1.0 }),
+                now_secs: None,
             };
             level = s.with_session(sid, |st| st.decide(&req).unwrap().level).unwrap();
         }
@@ -401,6 +456,7 @@ mod tests {
             chunk: n,
             buffer_secs: 10.0,
             last: Some(LastChunk { level, throughput_kbps: 1200.0, download_secs: 1.0 }),
+            now_secs: None,
         };
         assert_eq!(
             s.with_session(sid, |st| st.decide(&req)).unwrap(),
@@ -445,6 +501,7 @@ mod tests {
                 throughput_kbps: 1100.0,
                 download_secs: 1.5,
             }),
+            now_secs: None,
         };
         let results = s.decide_bulk(&[next, next]);
         assert!(results[0].1.is_ok());
@@ -454,6 +511,62 @@ mod tests {
         );
         // The empty batch is a no-op.
         assert!(s.decide_bulk(&[]).is_empty());
+    }
+
+    #[test]
+    fn live_sessions_need_a_clock_and_tolerate_catch_up_skips() {
+        let s = store();
+        let mut spec = SessionSpec::paper_default(Backend::RobustMpc, envivio_video());
+        spec.live = Some(LiveSchedule { encode_delay_secs: 2.0, max_buffer_secs: 12.0 });
+        spec.weights.w_lat = 0.1;
+        let sid = s.register(spec);
+        // A live request without the wall clock is refused.
+        let no_clock = DecisionRequest { sid, chunk: 0, buffer_secs: 0.0, last: None, now_secs: None };
+        assert_eq!(
+            s.with_session(sid, |st| st.decide(&no_clock)).unwrap(),
+            Err(DecideError::MissingClock)
+        );
+        let first = DecisionRequest { now_secs: Some(0.0), ..no_clock };
+        let r0 = s.with_session(sid, |st| st.decide(&first)).unwrap().unwrap();
+        assert!(s
+            .with_session(sid, |st| st.last_live_latency_secs())
+            .unwrap()
+            .is_some());
+        // Catch-up: the client skipped chunks 1-3 after an edge stall; the
+        // forward jump is accepted, a rewind is not.
+        let jump = DecisionRequest {
+            sid,
+            chunk: 4,
+            buffer_secs: 3.5,
+            last: Some(LastChunk { level: r0.level, throughput_kbps: 800.0, download_secs: 2.5 }),
+            now_secs: Some(21.0),
+        };
+        s.with_session(sid, |st| st.decide(&jump)).unwrap().unwrap();
+        let rewind = DecisionRequest { chunk: 2, ..jump };
+        assert_eq!(
+            s.with_session(sid, |st| st.decide(&rewind)).unwrap(),
+            Err(DecideError::OutOfOrder { expected: 5, got: 2 })
+        );
+    }
+
+    #[test]
+    fn live_fastmpc_tables_are_sliced_and_keyed_apart_from_vod() {
+        let s = store();
+        s.register(SessionSpec::paper_default(Backend::FastMpc, envivio_video()));
+        let mut live = SessionSpec::paper_default(Backend::FastMpc, envivio_video());
+        live.live = Some(LiveSchedule { encode_delay_secs: 2.0, max_buffer_secs: 30.0 });
+        let sid = s.register(live);
+        // Same video and cap, but the live session's sliced table is a
+        // distinct artifact from the VOD table.
+        assert_eq!(s.tables().len(), 2, "live and VOD configs must not collide");
+        let first = DecisionRequest {
+            sid,
+            chunk: 0,
+            buffer_secs: 0.0,
+            last: None,
+            now_secs: Some(0.0),
+        };
+        s.with_session(sid, |st| st.decide(&first)).unwrap().unwrap();
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl CtxSpec {
             startup: self.startup,
             video,
             buffer_max_secs: BUFFER_MAX_SECS,
+            live: None,
         }
     }
 }

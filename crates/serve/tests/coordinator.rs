@@ -79,6 +79,7 @@ fn report(sid: u64, k: usize, prev_level: usize) -> DecisionRequest {
             throughput_kbps: tput,
             download_secs: 1.5 + (k % 3) as f64 * 0.5,
         }),
+        now_secs: None,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Simulator configuration.
 
-use abr_video::QoeWeights;
+use abr_video::{LiveSchedule, QoeWeights};
 use serde::{Deserialize, Serialize};
 
 /// How the startup delay `T_s` is determined.
@@ -34,38 +34,18 @@ pub enum RobustBound {
     MeanError,
 }
 
-/// Live-streaming constraints: chunk `k` only becomes available for
-/// download once the encoder has produced it.
-///
-/// The session joins `availability_offset_secs` behind the live edge: that
-/// much content already exists at `t = 0` (the DVR window), and the encoder
-/// keeps producing one chunk per `L` seconds. A smaller offset means lower
-/// glass-to-glass latency but also a hard cap on how much protective buffer
-/// the player can ever build.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct LiveConfig {
-    /// How far behind the live edge the session starts, seconds.
-    pub availability_offset_secs: f64,
-}
-
-impl LiveConfig {
-    /// The instant chunk `k` becomes available: its encoding completes when
-    /// the live edge passes the chunk's end, i.e. at
-    /// `(k+1)·L − offset` (never negative — early chunks pre-exist).
-    pub fn available_at(&self, k: usize, chunk_secs: f64) -> f64 {
-        ((k + 1) as f64 * chunk_secs - self.availability_offset_secs).max(0.0)
-    }
-}
-
 /// Full simulator configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Buffer capacity `B_max` in seconds (the paper uses 30 s).
     pub buffer_max_secs: f64,
-    /// Live-streaming mode: when set, downloads additionally wait for chunk
-    /// availability (`None` = video-on-demand, the paper's setting).
+    /// Live-streaming mode: when set, chunk `k` only becomes fetchable at
+    /// `k·L + encode_delay` wall-clock seconds, the buffer is additionally
+    /// capped at the schedule's `max_buffer_secs`, controllers see a
+    /// [`abr_video::LiveState`] snapshot, and per-chunk live-edge latency
+    /// is accounted (`None` = video-on-demand, the paper's setting).
     #[serde(default)]
-    pub live: Option<LiveConfig>,
+    pub live: Option<LiveSchedule>,
     /// Startup policy.
     pub startup: StartupPolicy,
     /// QoE weights used for session accounting.

@@ -29,7 +29,7 @@ mod metrics;
 mod session;
 pub mod timeline;
 
-pub use config::{LiveConfig, RobustBound, SimConfig, StartupPolicy};
+pub use config::{RobustBound, SimConfig, StartupPolicy};
 pub use metrics::{ChunkRecord, SessionResult};
 pub use session::{
     run_session, run_session_core, run_session_with, ChunkDownloader, DownloadOutcome,

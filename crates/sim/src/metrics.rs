@@ -48,6 +48,26 @@ pub struct ChunkRecord {
     /// waits (0 on the fault-free path).
     #[serde(default)]
     pub fault_delay_secs: f64,
+    /// Live catch-up: the player skipped this chunk instead of fetching it
+    /// (the playhead jumped one chunk toward the live edge; `download_secs`,
+    /// `size_kbits` and `throughput_kbps` are all 0). Skipped-at-default
+    /// serialization keeps VOD records byte-identical to pre-live output.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub skipped: bool,
+    /// Live-edge latency held when this chunk landed (or was skipped),
+    /// seconds. Always 0 for video-on-demand.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub latency_secs: f64,
+}
+
+/// `skip_serializing_if` helper for the live-only bool field.
+fn is_false(v: &bool) -> bool {
+    !*v
+}
+
+/// `skip_serializing_if` helper for the live-only latency field.
+fn is_zero_f64(v: &f64) -> bool {
+    *v == 0.0
 }
 
 impl ChunkRecord {
@@ -124,6 +144,36 @@ impl SessionResult {
         self.records.iter().map(|r| r.fault_delay_secs).sum::<f64>() + self.abort_secs
     }
 
+    /// Number of chunks skipped for live catch-up (always 0 in VOD).
+    pub fn skipped_chunks(&self) -> usize {
+        self.records.iter().filter(|r| r.skipped).count()
+    }
+
+    /// Mean live-edge latency over the fetched (non-skipped) chunks,
+    /// seconds. `None` for VOD sessions (no live latency was accounted) and
+    /// for sessions with no fetched chunks.
+    pub fn mean_latency_secs(&self) -> Option<f64> {
+        let fetched: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.skipped)
+            .map(|r| r.latency_secs)
+            .collect();
+        if fetched.is_empty() || fetched.iter().all(|&l| l == 0.0) {
+            None
+        } else {
+            Some(fetched.iter().sum::<f64>() / fetched.len() as f64)
+        }
+    }
+
+    /// Largest live-edge latency any chunk held, seconds (0 for VOD).
+    pub fn max_latency_secs(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.latency_secs)
+            .fold(0.0, f64::max)
+    }
+
     /// Average per-chunk bitrate, kbps (Figures 9/10, left panels).
     pub fn avg_bitrate_kbps(&self) -> f64 {
         self.qoe.avg_bitrate_kbps()
@@ -189,6 +239,8 @@ mod tests {
             retries: 0,
             wasted_kbits: 0.0,
             fault_delay_secs: 0.0,
+            skipped: false,
+            latency_secs: 0.0,
         }
     }
 
@@ -228,6 +280,34 @@ mod tests {
         assert!((s.overestimate_fraction().unwrap() - 0.5).abs() < 1e-12);
         assert!((s.avg_bitrate_kbps() - 350.0).abs() < 1e-12);
         assert_eq!(s.avg_bitrate_change_kbps(), 0.0);
+    }
+
+    #[test]
+    fn live_aggregates_track_skips_and_latency() {
+        let mut a = record(None, 1000.0, 0.0);
+        a.latency_secs = 6.0;
+        let mut b = record(None, 1000.0, 0.0);
+        b.skipped = true;
+        b.latency_secs = 10.0;
+        let mut c = record(None, 1000.0, 0.0);
+        c.latency_secs = 8.0;
+        let s = SessionResult {
+            algorithm: "test".into(),
+            records: vec![a, b, c],
+            ..SessionResult::default()
+        };
+        assert_eq!(s.skipped_chunks(), 1);
+        // Mean over the two fetched chunks only; max over all records.
+        assert!((s.mean_latency_secs().unwrap() - 7.0).abs() < 1e-12);
+        assert!((s.max_latency_secs() - 10.0).abs() < 1e-12);
+        // VOD sessions (all-zero latency) report no mean latency.
+        let vod = SessionResult {
+            records: vec![record(None, 1000.0, 0.0)],
+            ..SessionResult::default()
+        };
+        assert_eq!(vod.mean_latency_secs(), None);
+        assert_eq!(vod.max_latency_secs(), 0.0);
+        assert_eq!(vod.skipped_chunks(), 0);
     }
 
     #[test]

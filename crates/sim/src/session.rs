@@ -339,6 +339,12 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
             cfg.buffer_max_secs >= video.chunk_secs(),
             "buffer must hold at least one chunk"
         );
+        if let Some(live) = &cfg.live {
+            assert!(
+                live.max_buffer_secs >= video.chunk_secs(),
+                "live buffer cap must hold at least one chunk"
+            );
+        }
         let predictor = ErrorTracked::with_buffer(
             predictor,
             cfg.error_window,
@@ -379,6 +385,59 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
         self.aborted || self.k >= self.video.num_chunks()
     }
 
+    /// The buffer cap in effect: `B_max`, additionally clamped by the live
+    /// schedule's `max_buffer_secs` in live mode. This is the cap both the
+    /// buffer dynamics and the controller context use, so baselines that
+    /// steer on `buffer_max_secs` adapt to the live cap automatically.
+    fn effective_buffer_max(&self) -> f64 {
+        match &self.cfg.live {
+            Some(live) => self.cfg.buffer_max_secs.min(live.max_buffer_secs),
+            None => self.cfg.buffer_max_secs,
+        }
+    }
+
+    /// Live catch-up: while the playhead has fallen `>= max(cap, join
+    /// latency) + 2L` behind the live edge (a stall pushed it back — the
+    /// buffer alone can never put it there, and a DVR join starts behind
+    /// the edge *by construction*, so the baseline is part of the floor),
+    /// skip chunks instead of fetching them. Each skip jumps the playhead
+    /// one chunk toward the edge (latency drops by exactly `L`), records a
+    /// skipped [`ChunkRecord`], and consumes no wall-clock time. The last
+    /// chunk is never skipped so every session still ends.
+    fn live_catch_up(&mut self) {
+        let Some(live) = self.cfg.live else { return };
+        let l = self.video.chunk_secs();
+        let join_latency = live.latency_secs(0.0, 0, 0.0, l);
+        let threshold = self.effective_buffer_max().max(join_latency) + 2.0 * l;
+        while self.k + 1 < self.video.num_chunks() {
+            let latency = live.latency_secs(self.now, self.k, self.buffer, l);
+            if latency < threshold {
+                break;
+            }
+            self.out.records.push(ChunkRecord {
+                index: self.k,
+                level: self.prev_level.unwrap_or(LevelIdx(0)),
+                bitrate_kbps: 0.0,
+                size_kbits: 0.0,
+                start_secs: self.now,
+                download_secs: 0.0,
+                rebuffer_secs: 0.0,
+                wait_secs: 0.0,
+                availability_wait_secs: 0.0,
+                buffer_before_secs: self.buffer,
+                buffer_after_secs: self.buffer,
+                throughput_kbps: 0.0,
+                prediction_kbps: None,
+                retries: 0,
+                wasted_kbits: 0.0,
+                fault_delay_secs: 0.0,
+                skipped: true,
+                latency_secs: latency,
+            });
+            self.k += 1;
+        }
+    }
+
     /// Index of the chunk the next [`context`](Self::context)/
     /// [`apply`](Self::apply) pair concerns.
     pub fn chunk_index(&self) -> usize {
@@ -390,6 +449,7 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
     /// prediction; further calls return the same context.
     pub fn context(&mut self) -> ControllerContext<'a> {
         assert!(!self.is_done(), "context() on a finished session");
+        self.live_catch_up();
         if !self.hinted {
             // Oracle predictors get the true mean upcoming throughput.
             let horizon_end = self.now + self.cfg.hint_horizon_secs.max(self.video.chunk_secs());
@@ -419,7 +479,11 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
             recent_low_buffer: self.scratch.low_buffer_history.iter().any(|&b| b),
             startup: self.k == 0,
             video: self.video,
-            buffer_max_secs: self.cfg.buffer_max_secs,
+            buffer_max_secs: self.effective_buffer_max(),
+            live: self
+                .cfg
+                .live
+                .map(|l| l.state(self.now, self.k, self.buffer, self.video.chunk_secs())),
         }
     }
 
@@ -438,12 +502,12 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
                 StartupPolicy::Fixed(ts) => {
                     assert!(ts >= 0.0, "negative fixed startup delay");
                     self.startup_secs = ts;
-                    self.buffer = ts.min(self.cfg.buffer_max_secs);
+                    self.buffer = ts.min(self.effective_buffer_max());
                 }
                 StartupPolicy::Controller => {
                     let ts = decision.startup_wait_secs.unwrap_or(0.0);
                     self.startup_secs = ts;
-                    self.buffer = ts.min(self.cfg.buffer_max_secs);
+                    self.buffer = ts.min(self.effective_buffer_max());
                 }
             }
         }
@@ -494,8 +558,16 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
             self.buffer,
             availability_wait + download_secs,
             self.video.chunk_secs(),
-            self.cfg.buffer_max_secs,
+            self.effective_buffer_max(),
         );
+        // Latency when this chunk lands: the latency at the decision plus
+        // however long the playhead was frozen getting it (the raw stall,
+        // before any startup re-accounting — startup freezes the playhead
+        // too). Computed only in live mode so VOD stays bit-identical.
+        let live_latency = self.cfg.live.map(|live| {
+            live.latency_secs(self.now, k, self.buffer, self.video.chunk_secs())
+                + step.rebuffer_secs
+        });
         if k == 0 && matches!(self.cfg.startup, StartupPolicy::FirstChunk) {
             // Playback starts when this chunk lands: the time to get it is
             // the startup delay, not a rebuffer.
@@ -508,6 +580,9 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
             self.video.ladder().kbps(outcome.delivered_level),
             step.rebuffer_secs,
         );
+        if let Some(latency) = live_latency {
+            self.qoe.push_latency(&self.cfg.weights, latency);
+        }
         self.out.records.push(ChunkRecord {
             index: k,
             level: outcome.delivered_level,
@@ -525,6 +600,8 @@ impl<'a, P: Predictor, D: ChunkDownloader> SessionStepper<'a, P, D> {
             retries: outcome.retries,
             wasted_kbits: outcome.wasted_kbits,
             fault_delay_secs: outcome.fault_delay_secs,
+            skipped: false,
+            latency_secs: live_latency.unwrap_or(0.0),
         });
 
         // Bookkeeping for the next iteration.
@@ -565,7 +642,8 @@ mod tests {
     use abr_core::{Decision, Mpc, MpcConfig};
     use abr_predictor::{HarmonicMean, NoisyOracle};
     use abr_trace::Dataset;
-    use abr_video::{envivio_video, LevelIdx, QoeWeights};
+    use abr_video::{envivio_video, LevelIdx, LiveSchedule, QoeWeights};
+    use proptest::prelude::*;
 
     fn cfg() -> SimConfig {
         SimConfig::paper_default()
@@ -819,8 +897,11 @@ mod tests {
         let t = Trace::constant(100_000.0, 60.0).unwrap();
         let mut c = Fixed(LevelIdx(2));
         let mut config = cfg();
-        config.live = Some(crate::LiveConfig {
-            availability_offset_secs: 8.0,
+        // Joined 8 s behind the edge: chunk k releases at (k+1)·4 − 8,
+        // i.e. encode_delay = −4 in wall-schedule terms.
+        config.live = Some(LiveSchedule {
+            encode_delay_secs: -4.0,
+            max_buffer_secs: 30.0,
         });
         let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
         assert!(r.total_rebuffer_secs() < 1e-6);
@@ -851,8 +932,10 @@ mod tests {
         let v = envivio_video();
         let t = Trace::new(vec![(60.0, 3000.0), (20.0, 400.0), (120.0, 3000.0)]).unwrap();
         let mut live_cfg = cfg();
-        live_cfg.live = Some(crate::LiveConfig {
-            availability_offset_secs: 4.0,
+        // Joined right at the edge: chunk k releases at k·4 exactly.
+        live_cfg.live = Some(LiveSchedule {
+            encode_delay_secs: 0.0,
+            max_buffer_secs: 30.0,
         });
         let mut c1 = Fixed(LevelIdx(2));
         let live = run_session(&mut c1, HarmonicMean::paper_default(), &t, &v, &live_cfg);
@@ -1148,6 +1231,155 @@ mod tests {
         assert!(out.records.is_empty());
         assert_eq!(out.startup_secs, abort_secs);
         assert_eq!(out.qoe.total_rebuffer_secs, 0.0);
+    }
+
+    #[test]
+    fn live_cap_limits_buffer_and_context() {
+        // A 6 s live cap on a fast link: the buffer parks at the cap, never
+        // at the 30 s VOD Bmax, and latency settles near L + buffer.
+        let v = envivio_video();
+        let t = Trace::constant(20_000.0, 60.0).unwrap();
+        let mut config = cfg();
+        config.live = Some(LiveSchedule {
+            encode_delay_secs: -20.0, // deep DVR window: availability never gates
+            max_buffer_secs: 6.0,
+        });
+        let mut c = Fixed(LevelIdx(1));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        assert!(r.total_rebuffer_secs() < 1e-6);
+        let max_buf = r
+            .records
+            .iter()
+            .map(|x| x.buffer_after_secs)
+            .fold(0.0, f64::max);
+        assert!(max_buf <= 6.0 + 1e-9, "cap violated: {max_buf}");
+        assert!((max_buf - 6.0).abs() < 1e-6, "buffer should park at the cap");
+        // Every fetched chunk carries a latency sample.
+        assert!(r.records.iter().all(|x| x.latency_secs > 0.0));
+        assert!(r.mean_latency_secs().is_some());
+        assert_eq!(r.skipped_chunks(), 0);
+    }
+
+    #[test]
+    fn live_stall_triggers_catch_up_skips() {
+        // A long mid-stream outage at the live edge: latency blows past
+        // cap + 2L, so the player skips chunks to catch back up. Skips are
+        // recorded, consume no wall-clock time, and drop latency by L each.
+        let v = envivio_video();
+        let t = Trace::new(vec![(40.0, 3000.0), (30.0, 1.0), (300.0, 3000.0)]).unwrap();
+        let mut config = cfg();
+        config.live = Some(LiveSchedule {
+            encode_delay_secs: 0.0,
+            max_buffer_secs: 8.0,
+        });
+        let mut c = Fixed(LevelIdx(0));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        let skips = r.skipped_chunks();
+        assert!(skips > 0, "the outage should force catch-up skips");
+        // Indices still cover each chunk exactly once, in order.
+        for (i, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec.index, i);
+        }
+        // Skipped records are pure markers.
+        for rec in r.records.iter().filter(|x| x.skipped) {
+            assert_eq!(rec.download_secs, 0.0);
+            assert_eq!(rec.size_kbits, 0.0);
+            assert_eq!(rec.rebuffer_secs, 0.0);
+        }
+        // After catch-up the session returns below the skip threshold.
+        let last = r.records.last().unwrap();
+        assert!(!last.skipped);
+        assert!(last.latency_secs < 8.0 + 2.0 * 4.0);
+        // The QoE total reflects the latency accounting.
+        assert!(r.qoe.total_latency_secs > 0.0);
+    }
+
+    #[test]
+    fn vod_qoe_ignores_latency_fields() {
+        // VOD sessions never call push_latency: total_latency_secs stays 0
+        // even with a non-zero w_lat configured.
+        let v = envivio_video();
+        let t = Trace::constant(1500.0, 60.0).unwrap();
+        let mut config = cfg();
+        config.weights.w_lat = 100.0;
+        let mut c = Fixed(LevelIdx(1));
+        let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+        assert_eq!(r.qoe.total_latency_secs, 0.0);
+        assert_eq!(r.mean_latency_secs(), None);
+        let mut plain_cfg = cfg();
+        plain_cfg.weights.w_lat = 0.0;
+        let mut c2 = Fixed(LevelIdx(1));
+        let plain = run_session(&mut c2, HarmonicMean::paper_default(), &t, &v, &plain_cfg);
+        assert_eq!(r.qoe.qoe.to_bits(), plain.qoe.qoe.to_bits());
+    }
+
+    #[test]
+    fn live_mpc_holds_lower_latency_than_buffer_based_weighting() {
+        // Smoke the full live MPC path end to end: RobustMPC with a latency
+        // weight completes a live session near the edge and records finite
+        // latency for every chunk.
+        let v = envivio_video();
+        let t = Trace::new(vec![(30.0, 2500.0), (20.0, 900.0), (60.0, 2500.0)]).unwrap();
+        let mut config = cfg();
+        config.live = Some(LiveSchedule {
+            encode_delay_secs: 1.0,
+            max_buffer_secs: 8.0,
+        });
+        config.weights.w_lat = 50.0;
+        let mut mpc = Mpc::robust();
+        let r = run_session(&mut mpc, HarmonicMean::paper_default(), &t, &v, &config);
+        assert_eq!(
+            r.records.len(),
+            65,
+            "live session must account every chunk (fetched or skipped)"
+        );
+        assert!(r.qoe.qoe.is_finite());
+        assert!(r.records.iter().all(|x| x.latency_secs.is_finite()));
+        assert!(r.qoe.total_latency_secs > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Live skip accounting conserves playhead monotonicity: across any
+        /// live session the playhead at each record never moves backward,
+        /// chunk indices cover 0..n exactly once, and latency samples are
+        /// non-negative.
+        #[test]
+        fn live_playhead_monotone_across_skips(
+            delay in -8.0f64..8.0,
+            cap in 4.0f64..16.0,
+            rates in proptest::collection::vec(1.0f64..4000.0, 3..7),
+        ) {
+            let v = envivio_video();
+            let segments: Vec<(f64, f64)> = rates.iter().map(|&r| (25.0, r)).collect();
+            let t = Trace::new(segments).unwrap();
+            let mut config = cfg();
+            config.live = Some(LiveSchedule {
+                encode_delay_secs: delay,
+                max_buffer_secs: cap,
+            });
+            config.weights.w_lat = 10.0;
+            let mut c = Mpc::robust();
+            let r = run_session(&mut c, HarmonicMean::paper_default(), &t, &v, &config);
+            let mut prev_playhead = f64::NEG_INFINITY;
+            for (i, rec) in r.records.iter().enumerate() {
+                prop_assert_eq!(rec.index, i, "indices must cover every chunk in order");
+                let playhead = rec.index as f64 * v.chunk_secs() - rec.buffer_before_secs;
+                prop_assert!(
+                    playhead >= prev_playhead - 1e-9,
+                    "playhead moved backward at chunk {}: {} -> {}",
+                    i, prev_playhead, playhead
+                );
+                prev_playhead = playhead;
+                prop_assert!(rec.latency_secs >= -1e-9);
+                prop_assert!(rec.buffer_after_secs <= cap.min(30.0) + 1e-9);
+                if rec.skipped {
+                    prop_assert_eq!(rec.download_secs, 0.0);
+                    prop_assert_eq!(rec.throughput_kbps, 0.0);
+                }
+            }
+        }
     }
 
     #[test]

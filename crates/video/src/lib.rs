@@ -21,12 +21,14 @@
 
 pub mod chunk;
 pub mod ladder;
+pub mod live;
 pub mod presets;
 pub mod qoe;
 pub mod quality;
 
 pub use chunk::{ChunkSizes, Video, VideoBuilder};
 pub use ladder::{Ladder, LevelIdx};
+pub use live::{LiveSchedule, LiveState};
 pub use qoe::{QoeBreakdown, QoePreference, QoeWeights};
 pub use quality::QualityFn;
 

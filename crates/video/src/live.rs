@@ -1,0 +1,253 @@
+//! The live-streaming availability model.
+//!
+//! Video-on-demand assumes every chunk exists up front; live streaming does
+//! not. A [`LiveSchedule`] pins chunk `k`'s release to the wall clock —
+//! `t0 + k·L + encode_delay` — and caps the playback buffer at
+//! `max_buffer_secs` (a live player cannot buffer content the encoder has
+//! not produced, and operators cap it far below the VOD 30 s to bound
+//! glass-to-glass latency).
+//!
+//! [`LiveState`] is the per-decision snapshot derived from the schedule:
+//! how far away the next chunk's release is, and how far the playhead lags
+//! the live edge. The session engine and the decision service both derive
+//! it through [`LiveSchedule::state`], so the wire twin sees bit-identical
+//! inputs by construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock chunk availability for a live session.
+///
+/// Chunk `k` (media `[k·L, (k+1)·L)`) becomes fetchable at
+/// `k·L + encode_delay_secs`, clamped at 0 — a negative delay models a DVR
+/// window where early chunks pre-exist at session start.
+///
+/// ```
+/// use abr_video::LiveSchedule;
+///
+/// let live = LiveSchedule { encode_delay_secs: 2.0, max_buffer_secs: 8.0 };
+/// assert_eq!(live.available_at(0, 4.0), 2.0);
+/// assert_eq!(live.available_at(3, 4.0), 14.0);
+/// // A DVR window: the first chunks already exist.
+/// let dvr = LiveSchedule { encode_delay_secs: -4.0, max_buffer_secs: 8.0 };
+/// assert_eq!(dvr.available_at(0, 4.0), 0.0);
+/// assert_eq!(dvr.available_at(1, 4.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveSchedule {
+    /// Encoder + packager delay between a chunk's media start and its
+    /// release, seconds. Negative values model a DVR window.
+    pub encode_delay_secs: f64,
+    /// Buffer capacity cap for the live session, seconds (the effective
+    /// cap is `min(B_max, max_buffer_secs)`).
+    pub max_buffer_secs: f64,
+}
+
+impl LiveSchedule {
+    /// The instant chunk `k` becomes fetchable: `k·L + encode_delay`,
+    /// never negative (pre-session chunks exist at `t = 0`).
+    pub fn available_at(&self, k: usize, chunk_secs: f64) -> f64 {
+        (k as f64 * chunk_secs + self.encode_delay_secs).max(0.0)
+    }
+
+    /// The live edge at wall time `now`: the media position the encoder
+    /// has released, `now − encode_delay + L` (when chunk `k` releases at
+    /// `k·L + d`, media through `(k+1)·L` exists).
+    pub fn live_edge_secs(&self, now_secs: f64, chunk_secs: f64) -> f64 {
+        (now_secs - self.encode_delay_secs + chunk_secs).max(0.0)
+    }
+
+    /// Latency behind the live edge with the playhead at
+    /// `next_chunk·L − buffer` (contiguous buffered content ahead of the
+    /// playhead): `live_edge − playhead`, clamped non-negative.
+    ///
+    /// Steady state at the edge is `≈ L + buffer`: one chunk still being
+    /// encoded plus whatever the player holds. Latency is constant while
+    /// playing, grows second-for-second while the playhead is frozen
+    /// (startup, rebuffer), and drops by `L` per skipped chunk.
+    pub fn latency_secs(
+        &self,
+        now_secs: f64,
+        next_chunk: usize,
+        buffer_secs: f64,
+        chunk_secs: f64,
+    ) -> f64 {
+        let playhead = next_chunk as f64 * chunk_secs - buffer_secs;
+        (self.live_edge_secs(now_secs, chunk_secs) - playhead).max(0.0)
+    }
+
+    /// The per-decision snapshot handed to controllers (and across the
+    /// wire): derived state for the session about to request `next_chunk`
+    /// at wall time `now_secs` holding `buffer_secs` of content.
+    pub fn state(
+        &self,
+        now_secs: f64,
+        next_chunk: usize,
+        buffer_secs: f64,
+        chunk_secs: f64,
+    ) -> LiveState {
+        LiveState {
+            now_secs,
+            release_in_secs: next_chunk as f64 * chunk_secs + self.encode_delay_secs - now_secs,
+            latency_secs: self.latency_secs(now_secs, next_chunk, buffer_secs, chunk_secs),
+            max_buffer_secs: self.max_buffer_secs,
+        }
+    }
+}
+
+/// Live-session state at one decision point, derived from a
+/// [`LiveSchedule`] by [`LiveSchedule::state`].
+///
+/// `release_in_secs` is *unclamped*: a negative value means the chunk is
+/// already fetchable, and chunk `k + i` releases `release_in_secs + i·L`
+/// from now. The clamp in [`LiveSchedule::available_at`] only bites when
+/// the release predates the session start, in which case the wait is zero
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveState {
+    /// Wall-clock session time of the decision, seconds.
+    pub now_secs: f64,
+    /// Seconds until the requested chunk's release (negative: already
+    /// available).
+    pub release_in_secs: f64,
+    /// Current latency behind the live edge, seconds (non-negative).
+    pub latency_secs: f64,
+    /// Effective buffer cap of the live session, seconds.
+    pub max_buffer_secs: f64,
+}
+
+impl LiveState {
+    /// The forced wait before chunk `next + i` can be fetched at `tau_secs`
+    /// after the decision instant: `max(0, release_in + i·L − tau)`.
+    pub fn wait_before_secs(&self, i: usize, tau_secs: f64, chunk_secs: f64) -> f64 {
+        (self.release_in_secs + i as f64 * chunk_secs - tau_secs).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const L: f64 = 4.0;
+
+    fn sched(delay: f64, cap: f64) -> LiveSchedule {
+        LiveSchedule {
+            encode_delay_secs: delay,
+            max_buffer_secs: cap,
+        }
+    }
+
+    #[test]
+    fn releases_pace_at_one_chunk_per_chunk_duration() {
+        let s = sched(1.5, 8.0);
+        for k in 1..50 {
+            let gap = s.available_at(k, L) - s.available_at(k - 1, L);
+            assert!((gap - L).abs() < 1e-12, "chunk {k}");
+        }
+    }
+
+    #[test]
+    fn dvr_window_preexists() {
+        let s = sched(-10.0, 8.0);
+        assert_eq!(s.available_at(0, L), 0.0);
+        assert_eq!(s.available_at(2, L), 0.0);
+        assert!((s.available_at(3, L) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_latency_is_buffer_plus_a_chunk() {
+        let s = sched(2.0, 8.0);
+        // Fetching chunk 10 exactly at its release with 6 s buffered.
+        let now = s.available_at(10, L);
+        let lat = s.latency_secs(now, 10, 6.0, L);
+        assert!((lat - (L + 6.0)).abs() < 1e-12, "latency {lat}");
+    }
+
+    #[test]
+    fn latency_is_constant_while_playing_and_grows_while_stalled() {
+        let s = sched(2.0, 8.0);
+        // Playing: one chunk consumed per L seconds, buffer steady.
+        let a = s.latency_secs(20.0, 4, 5.0, L);
+        let b = s.latency_secs(24.0, 5, 5.0, L);
+        assert!((a - b).abs() < 1e-12);
+        // Stalled: time passes, playhead (chunk, buffer) frozen.
+        let c = s.latency_secs(27.0, 5, 5.0, L);
+        assert!((c - b - 3.0).abs() < 1e-12);
+        // A skip drops latency by exactly L.
+        let d = s.latency_secs(27.0, 6, 5.0, L);
+        assert!((c - d - L).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_snapshot_is_consistent() {
+        let s = sched(2.0, 6.0);
+        let st = s.state(10.0, 3, 4.0, L);
+        assert!((st.release_in_secs - (12.0 + 2.0 - 10.0)).abs() < 1e-12);
+        assert!((st.latency_secs - s.latency_secs(10.0, 3, 4.0, L)).abs() < 1e-12);
+        assert_eq!(st.max_buffer_secs, 6.0);
+        // Chunk 3 releases in 4 s; at tau = 1 s the wait is 3 s, chunk 4
+        // at tau = 4 s still waits its full spacing.
+        assert!((st.wait_before_secs(0, 1.0, L) - 3.0).abs() < 1e-12);
+        assert!((st.wait_before_secs(1, 4.0, L) - 4.0).abs() < 1e-12);
+        // Far-future tau: already available, no wait.
+        assert_eq!(st.wait_before_secs(0, 100.0, L), 0.0);
+    }
+
+    proptest! {
+        /// No chunk is ever fetchable before its release: for any schedule
+        /// and any wall time before `available_at(k)`, the forced wait
+        /// computed through a state snapshot is exactly the gap.
+        #[test]
+        fn no_chunk_fetchable_before_release(
+            delay in -20.0f64..20.0,
+            k in 0usize..200,
+            early in 1e-6f64..50.0,
+            buffer in 0.0f64..30.0,
+        ) {
+            let s = sched(delay, 8.0);
+            let release = s.available_at(k, L);
+            let now = (release - early).max(0.0);
+            let st = s.state(now, k, buffer, L);
+            let wait = st.wait_before_secs(0, 0.0, L);
+            // The wait closes the whole gap: now + wait >= release.
+            prop_assert!(now + wait >= release - 1e-9,
+                "now {now} + wait {wait} < release {release}");
+            // And never overshoots an already-available chunk.
+            if release <= now {
+                prop_assert_eq!(wait, 0.0);
+            }
+        }
+
+        /// Release times are non-decreasing in `k` and spaced at most `L`
+        /// apart (exactly `L` once past the DVR clamp).
+        #[test]
+        fn releases_monotone_and_chunk_spaced(
+            delay in -20.0f64..20.0,
+            k in 1usize..200,
+        ) {
+            let s = sched(delay, 8.0);
+            let prev = s.available_at(k - 1, L);
+            let cur = s.available_at(k, L);
+            prop_assert!(cur >= prev);
+            prop_assert!(cur - prev <= L + 1e-12);
+        }
+
+        /// Latency is non-negative and consistent: advancing the chunk
+        /// index (a skip) never increases it, and freezing the playhead
+        /// while time passes never decreases it.
+        #[test]
+        fn latency_monotonicity(
+            delay in -10.0f64..10.0,
+            now in 0.0f64..800.0,
+            k in 0usize..150,
+            buffer in 0.0f64..30.0,
+            dt in 0.0f64..20.0,
+        ) {
+            let s = sched(delay, 8.0);
+            let base = s.latency_secs(now, k, buffer, L);
+            prop_assert!(base >= 0.0);
+            prop_assert!(s.latency_secs(now, k + 1, buffer, L) <= base + 1e-12);
+            prop_assert!(s.latency_secs(now + dt, k, buffer, L) >= base - 1e-12);
+        }
+    }
+}

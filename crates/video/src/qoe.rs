@@ -15,6 +15,12 @@
 use crate::quality::QualityFn;
 use serde::{Deserialize, Serialize};
 
+/// `skip_serializing_if` helper: live-only fields are omitted at their 0.0
+/// default so VOD serializations stay byte-identical to pre-live output.
+fn is_zero(v: &f64) -> bool {
+    *v == 0.0
+}
+
 /// The paper's three user-preference presets (Section 7.3, Figure 11b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum QoePreference {
@@ -70,6 +76,13 @@ pub struct QoeWeights {
     /// events"). Zero in every paper preset; combine with `mu` freely.
     #[serde(default)]
     pub mu_event: f64,
+    /// Penalty per second of latency behind the live edge, charged per
+    /// chunk on the latency held while that chunk was obtained
+    /// (`−w_lat · (live_edge − playhead)` in the live QoE vector). Zero in
+    /// every VOD preset and a strict no-op outside live mode. Skipped when
+    /// zero so VOD serializations are byte-identical to pre-live output.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub w_lat: f64,
     /// The perceived-quality map.
     pub quality: QualityFn,
 }
@@ -94,6 +107,7 @@ impl QoeWeights {
             mu,
             mu_s,
             mu_event: 0.0,
+            w_lat: 0.0,
             quality: QualityFn::Identity,
         }
     }
@@ -177,7 +191,14 @@ pub struct QoeBreakdown {
     /// Sum of |R_{k+1} - R_k| in kbps (for Figures 9/10's "average bitrate
     /// change per chunk").
     pub sum_bitrate_change_kbps: f64,
-    /// Weighted total: quality - lambda*change - mu*rebuffer - mu_s*startup.
+    /// Sum of per-chunk live-edge latencies in seconds (unweighted). Zero
+    /// for VOD sessions, where [`QoeBreakdown::push_latency`] is never
+    /// called; skipped when zero so VOD serializations are byte-identical
+    /// to pre-live output.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub total_latency_secs: f64,
+    /// Weighted total: quality - lambda*change - mu*rebuffer - mu_s*startup
+    /// (minus `w_lat` times the per-chunk latency sum in live mode).
     pub qoe: f64,
     last_q: Option<f64>,
     last_kbps: Option<f64>,
@@ -222,6 +243,17 @@ impl QoeBreakdown {
         self.total_rebuffer_secs += rebuffer_secs;
         self.rebuffer_events += 1;
         self.qoe -= w.mu * rebuffer_secs + w.mu_event;
+    }
+
+    /// Adds one chunk's live-edge latency to the running score: the
+    /// latency term `−w_lat · latency` of the live QoE vector, charged on
+    /// the latency held when the chunk was obtained. Only live sessions
+    /// call this — VOD accumulation never touches the latency fields, so
+    /// VOD scores stay bit-identical regardless of `w_lat`.
+    pub fn push_latency(&mut self, w: &QoeWeights, latency_secs: f64) {
+        debug_assert!(latency_secs >= 0.0, "negative live latency");
+        self.total_latency_secs += latency_secs;
+        self.qoe -= w.w_lat * latency_secs;
     }
 
     /// Sets the startup delay term (replaces any previous value).
@@ -378,12 +410,42 @@ mod tests {
     }
 
     #[test]
+    fn push_latency_charges_only_the_latency_term() {
+        let mut w = QoeWeights::balanced();
+        w.w_lat = 50.0;
+        let mut acc = QoeBreakdown::default();
+        acc.push_chunk(&w, 1000.0, 0.0);
+        acc.push_latency(&w, 6.0);
+        acc.push_chunk(&w, 1000.0, 0.0);
+        acc.push_latency(&w, 8.0);
+        assert!((acc.qoe - (2000.0 - 50.0 * 14.0)).abs() < 1e-9);
+        assert!((acc.total_latency_secs - 14.0).abs() < 1e-12);
+        // Quality/rebuffer accounting untouched.
+        assert_eq!(acc.chunks, 2);
+        assert_eq!(acc.rebuffer_events, 0);
+    }
+
+    #[test]
+    fn zero_latency_weight_keeps_vod_scores_identical() {
+        let w = QoeWeights::balanced();
+        assert_eq!(w.w_lat, 0.0);
+        let mut plain = QoeBreakdown::default();
+        plain.push_chunk(&w, 2000.0, 0.3);
+        let mut live = plain;
+        live.push_latency(&w, 12.0);
+        // At w_lat = 0 the weighted total is untouched bit-for-bit.
+        assert_eq!(plain.qoe.to_bits(), live.qoe.to_bits());
+        assert!((live.total_latency_secs - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn quality_fn_is_respected() {
         let w = QoeWeights {
             lambda: 1.0,
             mu: 3000.0,
             mu_s: 3000.0,
             mu_event: 0.0,
+            w_lat: 0.0,
             quality: QualityFn::Saturating { cap_kbps: 1000.0 },
         };
         // 2000 vs 3000 kbps look identical under the cap: no switch penalty.

@@ -147,6 +147,40 @@ if [[ "${1:-}" != "quick" ]]; then
   diff -u "$smoke_dir/fairness_a/fairness.csv" "$smoke_dir/fairness_b/fairness.csv"
   diff -u "$smoke_dir/fairness_a/fairness_cdf.csv" "$smoke_dir/fairness_b/fairness_cdf.csv"
   echo "fairness determinism gate passed"
+
+  echo "== live smoke: availability-gated sessions + live serve leg =="
+  # The live/low-latency subsystem end to end: a quick {delay} x {cap} x
+  # {BB, RobustMPC, FastMPC-live} sweep with the fault layer armed, then
+  # the serve leg driving live sessions through the event engine via the
+  # multiplexed load generator. The experiment asserts 0 wire-twin
+  # mismatches and a non-empty GET /metrics latency histogram for every
+  # backend, so a clean exit is the differential gate; the greps pin the
+  # report shape (frontier verdict + twin confirmation) and the CSVs.
+  ./target/release/abr_harness live --quick --traces 4 \
+    --out "$smoke_dir/live" > "$smoke_dir/live_report.txt"
+  test -s "$smoke_dir/live/live.csv"
+  test -s "$smoke_dir/live/live_frontier.csv"
+  test -s "$smoke_dir/live/live_serve.csv"
+  grep -q "dominates buffer-based" "$smoke_dir/live_report.txt" \
+    || { echo "live smoke: missing frontier verdict"; exit 1; }
+  grep -q "bit-identical to its in-process twin" "$smoke_dir/live_report.txt" \
+    || { echo "live smoke: missing wire-twin confirmation"; exit 1; }
+  echo "live smoke passed: 0 wire-twin mismatches, latency histogram non-empty"
+
+  echo "== VOD invariance gate: live layer off leaves fig8 byte-identical =="
+  # With no --live flags the whole live layer must be dormant: two fig8
+  # runs (the headline VOD artifact) bracketing this gate establish the
+  # sweep is still a pure function of (seed, config) with live code
+  # linked in, and the serve report-diff gate above already pins VOD
+  # decision sequences byte-identical across engines.
+  ./target/release/abr_harness fig8 --quick --traces 6 \
+    --out "$smoke_dir/vod_a" > /dev/null
+  ./target/release/abr_harness fig8 --quick --traces 6 \
+    --threads 2 --out "$smoke_dir/vod_b" > /dev/null
+  for f in "$smoke_dir"/vod_a/*.csv; do
+    diff -u "$f" "$smoke_dir/vod_b/$(basename "$f")"
+  done
+  echo "VOD invariance gate passed"
 fi
 
 echo "== benches compile =="
